@@ -1,0 +1,54 @@
+// Ablation (§IV.B): sweep of the hybrid engine's decision threshold.
+//
+// The paper chose T = A/E > 0.02 for full processing after separate
+// experiments on sequential-vs-random retrieval tradeoffs. This bench
+// sweeps the threshold on CC over RMAT_1M_16M (an algorithm/dataset pair
+// with both very small and very large frontiers) and reports total engine
+// time; the optimum should sit in the interior, with the pure modes at the
+// extremes (threshold 0 == always-FP, threshold inf == always-IP).
+#include <iostream>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/reference.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gt;
+    bench::banner("Ablation: hybrid threshold",
+                  "CC on RMAT_1M_16M, engine seconds per decision threshold");
+
+    const auto spec = bench::scaled_dataset("RMAT_1M_16M");
+    const auto edges = engine::symmetrize(spec.generate());
+    const std::size_t batch = bench::batch_size() * 2;
+
+    Table table({"threshold", "engine_sec", "full_iters", "incr_iters",
+                 "throughput(Meps)"});
+    for (const double threshold :
+         {0.0, 0.001, 0.005, 0.02, 0.05, 0.2, 1.0, 1e9}) {
+        core::GraphTinker store(
+            bench::gt_config(spec.num_vertices, edges.size()));
+        engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(
+            store, engine::EngineOptions{.policy = engine::ModePolicy::Hybrid,
+                                         .threshold = threshold,
+                                         .keep_trace = false});
+        engine::RunStats total;
+        EdgeBatcher batches(edges, batch);
+        for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+            const auto span = batches.batch(b);
+            store.insert_batch(span);
+            total.accumulate(cc.on_batch(span));
+        }
+        table.add_row({threshold >= 1e9 ? "inf(IP)" : Table::fmt(threshold, 3),
+                       Table::fmt(total.seconds, 3),
+                       std::to_string(total.full_iterations),
+                       std::to_string(total.incremental_iterations),
+                       Table::fmt(total.throughput_meps(), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(threshold 0 degenerates to always-full, inf to "
+                 "always-incremental; the paper's operating point is 0.02)\n";
+    return 0;
+}

@@ -1,0 +1,29 @@
+#include "common/drivers.hpp"
+
+#include <algorithm>
+
+namespace gt::bench {
+
+std::vector<VertexId> top_degree_vertices(std::span<const Edge> edges,
+                                          std::size_t k) {
+    std::unordered_map<VertexId, std::uint32_t> degree;
+    degree.reserve(edges.size() / 4);
+    for (const Edge& e : edges) {
+        ++degree[e.src];
+    }
+    std::vector<std::pair<std::uint32_t, VertexId>> ranked;
+    ranked.reserve(degree.size());
+    for (const auto& [v, d] : degree) {
+        ranked.emplace_back(d, v);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    std::vector<VertexId> out;
+    for (std::size_t i = 0; i < ranked.size() && out.size() < k; ++i) {
+        out.push_back(ranked[i].second);
+    }
+    return out;
+}
+
+}  // namespace gt::bench

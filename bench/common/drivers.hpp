@@ -1,0 +1,135 @@
+// Templated measurement drivers shared by the figure benches. Everything is
+// generic over the store type so GraphTinker and STINGER run byte-identical
+// protocols.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/hybrid_engine.hpp"
+#include "gen/batcher.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace gt::bench {
+
+/// Inserts `edges` batch by batch; returns per-batch throughput in million
+/// updates per second (the y-axis of Figs 8/10/17).
+template <typename Store>
+std::vector<double> insertion_series(Store& store,
+                                     std::span<const Edge> edges,
+                                     std::size_t batch_size) {
+    EdgeBatcher batches(edges, batch_size);
+    std::vector<double> out;
+    out.reserve(batches.num_batches());
+    for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+        const auto batch = batches.batch(b);
+        Timer timer;
+        for (const Edge& e : batch) {
+            store.insert_edge(e.src, e.dst, e.weight);
+        }
+        out.push_back(mops(batch.size(), timer.seconds()));
+    }
+    return out;
+}
+
+/// Sharded variant (Fig 10): the wrapper partitions internally.
+template <typename Sharded>
+std::vector<double> insertion_series_sharded(Sharded& store,
+                                             std::span<const Edge> edges,
+                                             std::size_t batch_size) {
+    EdgeBatcher batches(edges, batch_size);
+    std::vector<double> out;
+    out.reserve(batches.num_batches());
+    for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+        const auto batch = batches.batch(b);
+        Timer timer;
+        store.insert_batch(batch);
+        out.push_back(mops(batch.size(), timer.seconds()));
+    }
+    return out;
+}
+
+/// Deletes `edges` batch by batch; per-batch throughput (Fig 14's y-axis).
+template <typename Store>
+std::vector<double> deletion_series(Store& store, std::span<const Edge> edges,
+                                    std::size_t batch_size) {
+    EdgeBatcher batches(edges, batch_size);
+    std::vector<double> out;
+    out.reserve(batches.num_batches());
+    for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+        const auto batch = batches.batch(b);
+        Timer timer;
+        for (const Edge& e : batch) {
+            store.delete_edge(e.src, e.dst);
+        }
+        out.push_back(mops(batch.size(), timer.seconds()));
+    }
+    return out;
+}
+
+/// The full dynamic-analytics protocol of §V.B: ingest in batches, run the
+/// analysis to fixpoint after each batch, aggregate the engine statistics.
+/// Throughput = logical edges / engine seconds, which is mode-independent
+/// (EXPERIMENTS.md).
+template <typename Alg, typename Store>
+engine::RunStats dynamic_analytics(Store& store, std::span<const Edge> edges,
+                                   std::size_t batch_size,
+                                   engine::ModePolicy policy, VertexId root) {
+    engine::DynamicAnalysis<Store, Alg> analysis(
+        store, engine::EngineOptions{.policy = policy, .keep_trace = false});
+    if constexpr (Alg::needs_root) {
+        analysis.set_root(root);
+    }
+    engine::RunStats total;
+    EdgeBatcher batches(edges, batch_size);
+    for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+        const auto batch = batches.batch(b);
+        for (const Edge& e : batch) {
+            store.insert_edge(e.src, e.dst, e.weight);
+        }
+        total.accumulate(analysis.on_batch(batch));
+    }
+    return total;
+}
+
+/// One analytics run on the current store state (used between deletion
+/// batches, where incremental state is invalid and runs start from scratch).
+template <typename Alg, typename Store>
+engine::RunStats scratch_analytics(const Store& store,
+                                   engine::ModePolicy policy, VertexId root) {
+    engine::DynamicAnalysis<Store, Alg> analysis(
+        store, engine::EngineOptions{.policy = policy, .keep_trace = false});
+    if constexpr (Alg::needs_root) {
+        analysis.set_root(root);
+    }
+    return analysis.run_from_scratch();
+}
+
+/// The vertex with the highest out-degree in the stream — the root choice
+/// for BFS/SSSP benches (the paper picks roots among the highest-degree
+/// vertices, §V.B).
+[[nodiscard]] inline VertexId max_degree_vertex(std::span<const Edge> edges) {
+    std::unordered_map<VertexId, std::uint32_t> degree;
+    degree.reserve(edges.size() / 4);
+    for (const Edge& e : edges) {
+        ++degree[e.src];
+    }
+    VertexId best = 0;
+    std::uint32_t best_degree = 0;
+    for (const auto& [v, d] : degree) {
+        if (d > best_degree || (d == best_degree && v < best)) {
+            best = v;
+            best_degree = d;
+        }
+    }
+    return best;
+}
+
+/// Top-k distinct highest-degree vertices (Fig 19 uses 20 roots).
+[[nodiscard]] std::vector<VertexId> top_degree_vertices(
+    std::span<const Edge> edges, std::size_t k);
+
+}  // namespace gt::bench

@@ -1,0 +1,44 @@
+#include "common/harness.hpp"
+
+#include <cstdio>
+
+#include "gen/batcher.hpp"
+#include "util/env.hpp"
+
+namespace gt::bench {
+
+void banner(const std::string& figure, const std::string& description) {
+    std::printf("== %s ==\n%s\nGT_SCALE=%.4f of paper size (set GT_SCALE=1 "
+                "for full scale)\n\n",
+                figure.c_str(), description.c_str(), bench_scale());
+}
+
+DatasetSpec scaled_dataset(const std::string& name) {
+    return dataset_by_name(name).scaled(bench_scale());
+}
+
+std::vector<DatasetSpec> scaled_datasets() {
+    std::vector<DatasetSpec> out;
+    for (const DatasetSpec& spec : table1_datasets()) {
+        out.push_back(spec.scaled(bench_scale()));
+    }
+    return out;
+}
+
+std::size_t batch_size() { return scaled_batch_size(bench_scale()); }
+
+gt::core::Config gt_config(VertexId vertices, EdgeCount edges) {
+    gt::core::Config cfg;
+    cfg.initial_vertices = vertices;
+    cfg.reserve_edges = edges;
+    return cfg;
+}
+
+gt::stinger::StingerConfig st_config(VertexId vertices, EdgeCount edges) {
+    gt::stinger::StingerConfig cfg;
+    cfg.initial_vertices = vertices;
+    cfg.reserve_edges = edges;
+    return cfg;
+}
+
+}  // namespace gt::bench

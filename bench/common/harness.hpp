@@ -1,0 +1,37 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "gen/datasets.hpp"
+#include "stinger/stinger.hpp"
+#include "util/table.hpp"
+#include "util/types.hpp"
+
+namespace gt::bench {
+
+/// Prints the standard bench banner: what figure this reproduces, the scale
+/// factor in effect, and how to change it.
+void banner(const std::string& figure, const std::string& description);
+
+/// Dataset scaled by GT_SCALE (see DESIGN.md §4).
+[[nodiscard]] DatasetSpec scaled_dataset(const std::string& name);
+
+/// All Table-1 datasets at the current scale.
+[[nodiscard]] std::vector<DatasetSpec> scaled_datasets();
+
+/// Batch size scaled so the number of batches matches the paper's x-axes.
+[[nodiscard]] std::size_t batch_size();
+
+/// GraphTinker config presized for a workload (the paper's deployments size
+/// structures for the maximum attainable graph).
+[[nodiscard]] gt::core::Config gt_config(VertexId vertices, EdgeCount edges);
+
+/// STINGER config presized likewise.
+[[nodiscard]] gt::stinger::StingerConfig st_config(VertexId vertices,
+                                                   EdgeCount edges);
+
+}  // namespace gt::bench

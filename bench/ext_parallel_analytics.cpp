@@ -1,0 +1,52 @@
+// Extension bench: shard-parallel analytics (the Fig-6 decomposition
+// extended from updates to the engine's scatter phase).
+//
+// On a multicore host the full-processing scatter scales with shards; on a
+// single-core host the numbers document the coordination overhead instead.
+#include <iostream>
+#include <thread>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "core/sharded.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/parallel_engine.hpp"
+#include "engine/reference.hpp"
+#include "gen/batcher.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gt;
+    bench::banner("Extension: shard-parallel analytics",
+                  "dynamic CC over sharded GraphTinker, 1-8 workers");
+    std::cout << "host hardware_concurrency = "
+              << std::thread::hardware_concurrency() << "\n\n";
+
+    const auto spec = bench::scaled_dataset("RMAT_1M_16M");
+    const auto edges = engine::symmetrize(spec.generate());
+    const std::size_t batch = bench::batch_size() * 2;
+
+    Table table({"workers", "throughput(Meps)", "engine_sec", "iterations"});
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+        core::ShardedStore<core::GraphTinker> store(shards, [&] {
+            return bench::gt_config(spec.num_vertices / shards + 1,
+                                    edges.size() / shards + 1);
+        });
+        engine::ParallelDynamicAnalysis<core::GraphTinker, engine::Cc> cc(
+            store, engine::EngineOptions{.keep_trace = false});
+        engine::RunStats total;
+        EdgeBatcher batches(edges, batch);
+        for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+            const auto span = batches.batch(b);
+            store.insert_batch(span);
+            total.accumulate(cc.on_batch(span));
+        }
+        table.add_row({std::to_string(shards),
+                       Table::fmt(total.throughput_meps(), 2),
+                       Table::fmt(total.seconds, 3),
+                       std::to_string(total.iterations)});
+    }
+    table.print(std::cout);
+    return 0;
+}

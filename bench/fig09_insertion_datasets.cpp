@@ -1,0 +1,39 @@
+// Fig. 9: insertion throughput across all Table-1 datasets (batch 1M,
+// scaled), GraphTinker vs STINGER.
+//
+// Expected shape (paper): GraphTinker wins everywhere, and its advantage
+// widens with dataset size/degree because STINGER's chain walks grow.
+#include <iostream>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "stinger/stinger.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gt;
+    bench::banner("Fig 9",
+                  "Insertion throughput per dataset — GraphTinker vs STINGER");
+
+    Table table({"dataset", "GraphTinker(Meps)", "STINGER(Meps)", "speedup"});
+    for (const DatasetSpec& spec : bench::scaled_datasets()) {
+        const auto edges = spec.generate();
+        core::GraphTinker tinker(
+            bench::gt_config(spec.num_vertices, edges.size()));
+        stinger::Stinger baseline(
+            bench::st_config(spec.num_vertices, edges.size()));
+        const auto s_gt =
+            bench::insertion_series(tinker, edges, bench::batch_size());
+        const auto s_st =
+            bench::insertion_series(baseline, edges, bench::batch_size());
+        const double gt_mean = summarize(s_gt).mean;
+        const double st_mean = summarize(s_st).mean;
+        table.add_row({spec.name, Table::fmt(gt_mean, 3),
+                       Table::fmt(st_mean, 3),
+                       Table::fmt(gt_mean / st_mean, 2) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,9 @@
+// Fig. 13: Connected-Components processing throughput across datasets —
+// GraphTinker (FP / IP / hybrid) vs STINGER (FP).
+#include "common/analytics_fig.hpp"
+#include "engine/algorithms.hpp"
+
+int main() {
+    return gt::bench::run_analytics_figure<gt::engine::Cc>(
+        "Fig 13", "CC throughput per dataset, dynamic batched protocol");
+}

@@ -1,0 +1,92 @@
+// Fig. 16: average BFS/SSSP/CC throughput on RMAT_2M_32M while the graph is
+// deleted batch by batch — delete-only vs delete-and-compact vs STINGER.
+//
+// Expected shape (paper): delete-and-compact beats delete-only for all
+// three algorithms; both beat STINGER.
+#include <iostream>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/reference.hpp"
+#include "gen/batcher.hpp"
+#include "stinger/stinger.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Runs the deletion protocol once per algorithm and store configuration,
+// returning the average analytics throughput across deletion points.
+template <typename Alg, typename Store>
+double average_throughput_under_deletion(Store& store,
+                                         std::span<const gt::Edge> deletions,
+                                         std::size_t batch, gt::VertexId root) {
+    using namespace gt;
+    std::vector<double> samples;
+    EdgeBatcher batches(deletions, batch);
+    for (std::size_t b = 0; b < batches.num_batches(); ++b) {
+        for (const Edge& e : batches.batch(b)) {
+            store.delete_edge(e.src, e.dst);
+        }
+        const auto stats = bench::scratch_analytics<Alg>(
+            store, engine::ModePolicy::ForceFull, root);
+        samples.push_back(stats.throughput_meps());
+    }
+    return summarize(samples).mean;
+}
+
+template <typename Alg>
+void run_row(gt::Table& table, const std::vector<gt::Edge>& inserts,
+             const std::vector<gt::Edge>& deletions, std::size_t batch,
+             gt::VertexId root) {
+    using namespace gt;
+    core::Config only_cfg =
+        gt::bench::gt_config(static_cast<VertexId>(inserts.size() / 16 + 1024),
+                             inserts.size());
+    core::Config compact_cfg = only_cfg;
+    compact_cfg.deletion_mode = core::DeletionMode::DeleteAndCompact;
+    core::GraphTinker gt_only(only_cfg);
+    core::GraphTinker gt_compact(compact_cfg);
+    stinger::Stinger baseline(gt::bench::st_config(
+        static_cast<VertexId>(inserts.size() / 16 + 1024), inserts.size()));
+    gt_only.insert_batch(inserts);
+    gt_compact.insert_batch(inserts);
+    for (const Edge& e : inserts) {
+        baseline.insert_edge(e.src, e.dst, e.weight);
+    }
+    const double t_only = average_throughput_under_deletion<Alg>(
+        gt_only, deletions, batch, root);
+    const double t_comp = average_throughput_under_deletion<Alg>(
+        gt_compact, deletions, batch, root);
+    const double t_st = average_throughput_under_deletion<Alg>(
+        baseline, deletions, batch, root);
+    table.add_row({Alg::name, Table::fmt(t_only, 3), Table::fmt(t_comp, 3),
+                   Table::fmt(t_st, 3),
+                   Table::fmt(t_only > 0 ? t_comp / t_only : 0, 2) + "x"});
+}
+
+}  // namespace
+
+int main() {
+    using namespace gt;
+    bench::banner("Fig 16",
+                  "Average analytics throughput under deletions "
+                  "(RMAT_2M_32M) — BFS/SSSP/CC x {delete-only, "
+                  "delete-and-compact, STINGER}");
+
+    const auto spec = bench::scaled_dataset("RMAT_2M_32M");
+    const auto inserts = engine::symmetrize(spec.generate());
+    const auto deletions = deletion_stream(inserts, 5);
+    const std::size_t batch = bench::batch_size() * 2;
+    const VertexId root = bench::max_degree_vertex(inserts);
+
+    Table table({"algorithm", "delete-only(Meps)", "delete-compact(Meps)",
+                 "STINGER(Meps)", "compact/only"});
+    run_row<engine::Bfs>(table, inserts, deletions, batch, root);
+    run_row<engine::Sssp>(table, inserts, deletions, batch, root);
+    run_row<engine::Cc>(table, inserts, deletions, batch, root);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 17: effect of PAGEWIDTH (16/32/64/128/256) on insertion throughput,
+// hollywood_sim.
+//
+// Expected shape (paper): larger PAGEWIDTH -> higher throughput and better
+// stability, because a wider per-block hash range means fewer Robin Hood
+// collisions and fewer branch-outs.
+#include <iostream>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gt;
+    bench::banner("Fig 17",
+                  "Insertion throughput vs input size for PAGEWIDTH in "
+                  "{16,32,64,128,256} (hollywood_sim)");
+
+    const auto spec = bench::scaled_dataset("hollywood_sim");
+    const auto edges = spec.generate();
+    const std::size_t batch = bench::batch_size();
+
+    const std::vector<std::uint32_t> widths{16, 32, 64, 128, 256};
+    std::vector<std::vector<double>> series;
+    for (const std::uint32_t pw : widths) {
+        core::Config cfg = bench::gt_config(spec.num_vertices, edges.size());
+        cfg.pagewidth = pw;
+        core::GraphTinker store(cfg);
+        series.push_back(bench::insertion_series(store, edges, batch));
+    }
+
+    Table table({"edges_loaded(M)", "PW16", "PW32", "PW64", "PW128", "PW256"});
+    for (std::size_t b = 0; b < series[0].size(); ++b) {
+        std::vector<double> row{static_cast<double>((b + 1) * batch) / 1e6};
+        for (const auto& s : series) {
+            row.push_back(s[b]);
+        }
+        table.add_row_values(row, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nmean throughput / degradation per PAGEWIDTH:\n";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        std::cout << "  PW" << widths[i] << ": "
+                  << Table::fmt(summarize(series[i]).mean, 3) << " Meps, "
+                  << Table::fmt(100 * degradation(series[i]), 1)
+                  << "% degradation\n";
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+// Fig. 19: choice of optimal PAGEWIDTH — total elapsed time for mixed
+// update/analytics workloads, averaged across update:analytics ratios.
+//
+// Protocol (§V.B): for each (dataset, PAGEWIDTH, ratio u:a) the insertion
+// stream is intercepted u times; at each interception a BFS analytics runs
+// a times, each from a different root drawn from the 20 highest-degree
+// vertices. The reported number is the elapsed time averaged across ratios.
+//
+// Expected shape (paper): PAGEWIDTH 64 is the best balance — small widths
+// lose on update throughput, large widths lose on analytics compactness —
+// and the effect grows with dataset size.
+#include <iostream>
+
+#include "common/drivers.hpp"
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "engine/reference.hpp"
+#include "gen/batcher.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gt;
+
+struct Ratio {
+    int updates;    // interceptions of the insert stream
+    int analytics;  // BFS runs per interception
+};
+
+// One experiment: returns total elapsed milliseconds.
+double run_experiment(const std::vector<Edge>& edges, std::uint32_t pagewidth,
+                      Ratio ratio, const std::vector<VertexId>& roots) {
+    core::Config cfg = bench::gt_config(
+        static_cast<VertexId>(edges.size() / 8 + 1024), edges.size());
+    cfg.pagewidth = pagewidth;
+    core::GraphTinker store(cfg);
+    // Intercept the stream `updates` times => updates+ equal segments.
+    const std::size_t segments = static_cast<std::size_t>(ratio.updates);
+    const std::size_t seg_len = (edges.size() + segments - 1) / segments;
+    Timer timer;
+    std::size_t root_cursor = 0;
+    for (std::size_t s = 0; s < segments; ++s) {
+        const std::size_t begin = s * seg_len;
+        const std::size_t len = std::min(seg_len, edges.size() - begin);
+        store.insert_batch(std::span(edges).subspan(begin, len));
+        for (int a = 0; a < ratio.analytics; ++a) {
+            const VertexId root = roots[root_cursor++ % roots.size()];
+            engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> bfs(
+                store, engine::EngineOptions{.keep_trace = false});
+            bfs.set_root(root);
+            bfs.run_from_scratch();
+        }
+    }
+    return timer.millis();
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Fig 19",
+                  "Elapsed time averaged over update:analytics ratios, per "
+                  "PAGEWIDTH and dataset (BFS; 20 high-degree roots)");
+
+    // The paper sweeps ratios 1:10..10:1 over 360 experiments; this scaled
+    // harness samples the same range coarsely in both directions.
+    const std::vector<Ratio> ratios{{1, 8}, {1, 4}, {2, 2}, {4, 1}, {8, 1}};
+    const std::vector<std::uint32_t> widths{8, 16, 32, 64, 128, 256};
+    const std::vector<std::string> datasets{
+        "RMAT_1M_10M", "RMAT_500K_8M", "RMAT_1M_16M", "RMAT_2M_32M"};
+
+    Table table({"dataset", "PW8", "PW16", "PW32", "PW64", "PW128", "PW256",
+                 "best"});
+    for (const auto& name : datasets) {
+        // Fig 19 runs many full loads per dataset; shrink a further 2x so
+        // the 120-experiment sweep stays tractable.
+        const auto spec = bench::scaled_dataset(name).scaled(0.5);
+        const auto edges = engine::symmetrize(spec.generate());
+        const auto roots = bench::top_degree_vertices(edges, 20);
+
+        std::vector<std::string> row{name};
+        double best_time = 0.0;
+        std::size_t best_idx = 0;
+        std::vector<double> avgs;
+        for (const std::uint32_t pw : widths) {
+            std::vector<double> times;
+            for (const Ratio ratio : ratios) {
+                times.push_back(run_experiment(edges, pw, ratio, roots));
+            }
+            avgs.push_back(summarize(times).mean);
+        }
+        for (std::size_t i = 0; i < avgs.size(); ++i) {
+            row.push_back(Table::fmt(avgs[i], 1));
+            if (i == 0 || avgs[i] < best_time) {
+                best_time = avgs[i];
+                best_idx = i;
+            }
+        }
+        row.push_back("PW" + std::to_string(widths[best_idx]));
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n(values are elapsed milliseconds; lower is better; paper "
+                 "finds PW64 the best overall balance)\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark): the Robin Hood map substrate and the
+// EdgeblockArray primitive operations in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/edgeblock_array.hpp"
+#include "core/graphtinker.hpp"
+#include "rhh/robin_hood_map.hpp"
+#include "stinger/stinger.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gt;
+
+void BM_RobinHoodInsert(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        RobinHoodMap<std::uint32_t, std::uint32_t> map;
+        for (std::uint32_t k = 0; k < n; ++k) {
+            map.insert(k * 2654435761u, k);
+        }
+        benchmark::DoNotOptimize(map.size());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RobinHoodInsert)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RobinHoodLookup(benchmark::State& state) {
+    const auto n = static_cast<std::uint32_t>(state.range(0));
+    RobinHoodMap<std::uint32_t, std::uint32_t> map;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        map.insert(k * 2654435761u, k);
+    }
+    std::uint32_t k = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.find((k++ % n) * 2654435761u));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RobinHoodLookup)->Arg(1 << 14)->Arg(1 << 18);
+
+// Per-edge insert cost into one vertex's edgeblock tree as its degree grows
+// — the O(log degree) claim in microcosm.
+void BM_EdgeblockArrayHubInsert(benchmark::State& state) {
+    const auto degree = static_cast<VertexId>(state.range(0));
+    core::Config cfg;
+    cfg.enable_cal = false;
+    for (auto _ : state) {
+        core::EdgeblockArray eba(cfg, nullptr);
+        std::uint32_t top = core::EdgeblockArray::kNoBlock;
+        for (VertexId d = 0; d < degree; ++d) {
+            eba.insert(top, d, 1);
+        }
+        benchmark::DoNotOptimize(eba.blocks_in_use());
+    }
+    state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_EdgeblockArrayHubInsert)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+// The same protocol against the STINGER chain — O(degree) per insert.
+void BM_StingerHubInsert(benchmark::State& state) {
+    const auto degree = static_cast<VertexId>(state.range(0));
+    for (auto _ : state) {
+        stinger::Stinger s;
+        for (VertexId d = 0; d < degree; ++d) {
+            s.insert_edge(0, d);
+        }
+        benchmark::DoNotOptimize(s.num_edges());
+    }
+    state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_StingerHubInsert)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_GraphTinkerStreamEdges(benchmark::State& state) {
+    core::GraphTinker g;
+    Rng rng(1);
+    for (int i = 0; i < 200000; ++i) {
+        g.insert_edge(static_cast<VertexId>(rng.next_below(20000)),
+                      static_cast<VertexId>(rng.next_below(20000)), 1);
+    }
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        g.for_each_edge([&](VertexId, VertexId dst, Weight) { sum += dst; });
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_GraphTinkerStreamEdges);
+
+}  // namespace
+
+BENCHMARK_MAIN();

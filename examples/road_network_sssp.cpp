@@ -1,0 +1,101 @@
+// Road-network monitor: keep single-source travel times fresh as new road
+// segments open.
+//
+// Builds a weighted grid road network, runs SSSP from a depot, then streams
+// in "new road" batches (insertions with travel-time weights). Because SSSP
+// distances are monotone under insertions, the hybrid engine refines the
+// previous answer incrementally — the example prints how little work each
+// refresh needs compared to a full recompute.
+//
+//   $ ./build/examples/road_network_sssp
+#include <cstdio>
+#include <vector>
+
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gt;
+
+constexpr std::uint32_t kGridSide = 300;  // 90k intersections
+
+VertexId node(std::uint32_t x, std::uint32_t y) { return y * kGridSide + x; }
+
+/// Bidirectional road segment with a travel-time weight.
+void add_road(std::vector<Edge>& roads, VertexId a, VertexId b, Weight w) {
+    roads.push_back({a, b, w});
+    roads.push_back({b, a, w});
+}
+
+}  // namespace
+
+int main() {
+    using namespace gt;
+    Rng rng(99);
+
+    // Base network: a city grid with 1-10 minute segments.
+    std::vector<Edge> base;
+    for (std::uint32_t y = 0; y < kGridSide; ++y) {
+        for (std::uint32_t x = 0; x < kGridSide; ++x) {
+            const auto w = [&] {
+                return static_cast<Weight>(1 + rng.next_below(10));
+            };
+            if (x + 1 < kGridSide) {
+                add_road(base, node(x, y), node(x + 1, y), w());
+            }
+            if (y + 1 < kGridSide) {
+                add_road(base, node(x, y), node(x, y + 1), w());
+            }
+        }
+    }
+
+    core::GraphTinker roads;
+    roads.insert_batch(base);
+
+    engine::DynamicAnalysis<core::GraphTinker, engine::Sssp> travel_time(
+        roads);
+    const VertexId depot = node(kGridSide / 2, kGridSide / 2);
+    travel_time.set_root(depot);
+    Timer initial;
+    const auto first = travel_time.run_from_scratch();
+    std::printf("initial network: %llu segments, full SSSP in %.1f ms "
+                "(%zu iterations)\n\n",
+                static_cast<unsigned long long>(roads.num_edges()),
+                initial.millis(), first.iterations);
+
+    const VertexId corner = node(kGridSide - 1, kGridSide - 1);
+    std::printf("depot -> far corner: %u minutes\n\n",
+                travel_time.property(corner));
+
+    // Ten construction seasons: each opens 200 express segments (long-range
+    // shortcuts with low travel time), and the monitor refreshes.
+    std::printf("%-8s %10s %12s %14s %16s\n", "season", "new", "refresh(ms)",
+                "edges touched", "depot->corner");
+    for (int season = 1; season <= 10; ++season) {
+        std::vector<Edge> opened;
+        for (int i = 0; i < 200; ++i) {
+            const VertexId a = static_cast<VertexId>(
+                rng.next_below(kGridSide * kGridSide));
+            const VertexId b = static_cast<VertexId>(
+                rng.next_below(kGridSide * kGridSide));
+            add_road(opened, a, b,
+                     static_cast<Weight>(1 + rng.next_below(3)));
+        }
+        roads.insert_batch(opened);
+        Timer refresh;
+        const auto stats = travel_time.on_batch(opened);
+        std::printf("%-8d %10zu %12.2f %14llu %13u min\n", season,
+                    opened.size(), refresh.millis(),
+                    static_cast<unsigned long long>(stats.edges_streamed),
+                    travel_time.property(corner));
+    }
+
+    std::printf("\n(each refresh touched a small fraction of the %llu "
+                "segments — the incremental model at work)\n",
+                static_cast<unsigned long long>(roads.num_edges()));
+    return 0;
+}

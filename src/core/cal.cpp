@@ -1,0 +1,118 @@
+#include "core/cal.hpp"
+
+#include <cassert>
+
+namespace gt::core {
+
+CoarseAdjacencyList::CoarseAdjacencyList(std::uint32_t group_size,
+                                         std::uint32_t block_edges)
+    : group_size_(group_size), block_edges_(block_edges) {
+    assert(group_size_ > 0 && block_edges_ > 0);
+}
+
+std::uint32_t CoarseAdjacencyList::allocate_block(std::uint32_t group) {
+    std::uint32_t id;
+    if (!free_.empty()) {
+        id = free_.back();
+        free_.pop_back();
+    } else {
+        id = static_cast<std::uint32_t>(blocks_.size());
+        blocks_.emplace_back();
+        pool_.resize(pool_.size() + block_edges_);
+    }
+    blocks_[id] = BlockMeta{.next = kNone, .prev = kNone, .group = group,
+                            .used = 0};
+    return id;
+}
+
+std::uint32_t CoarseAdjacencyList::insert(VertexId dense_src, VertexId raw_src,
+                                          VertexId dst, Weight weight,
+                                          CellRef owner) {
+    const std::uint32_t group = dense_src / group_size_;
+    if (group >= groups_.size()) {
+        groups_.resize(static_cast<std::size_t>(group) + 1);
+    }
+    GroupMeta& meta = groups_[group];
+    if (meta.tail == kNone || blocks_[meta.tail].used == block_edges_) {
+        const std::uint32_t block = allocate_block(group);
+        blocks_[block].prev = meta.tail;
+        if (meta.tail == kNone) {
+            meta.head = block;
+        } else {
+            blocks_[meta.tail].next = block;
+        }
+        meta.tail = block;
+    }
+    BlockMeta& tail = blocks_[meta.tail];
+    const std::uint32_t pos = meta.tail * block_edges_ + tail.used;
+    ++tail.used;
+    pool_[pos] = CalEdgeSlot{.src = raw_src, .dst = dst, .weight = weight,
+                             .owner = owner};
+    ++live_;
+    ++used_;
+    return pos;
+}
+
+void CoarseAdjacencyList::free_tail_block(GroupMeta& meta) {
+    assert(meta.tail != kNone && blocks_[meta.tail].used == 0);
+    const std::uint32_t old_tail = meta.tail;
+    const std::uint32_t prev = blocks_[old_tail].prev;
+    meta.tail = prev;
+    if (prev == kNone) {
+        meta.head = kNone;
+    } else {
+        blocks_[prev].next = kNone;
+    }
+    free_.push_back(old_tail);
+}
+
+std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
+    std::uint32_t pos, bool compact) {
+    CalEdgeSlot& victim = pool_[pos];
+    assert(victim.src != kInvalidVertex && "double CAL erase");
+    --live_;
+    if (!compact) {
+        // Delete-only: flag as invalid; the hole is skipped during streaming
+        // but keeps being scanned, which is exactly the degradation Fig 15
+        // measures.
+        victim.src = kInvalidVertex;
+        return std::nullopt;
+    }
+
+    const std::uint32_t block = pos / block_edges_;
+    GroupMeta& meta = groups_[blocks_[block].group];
+    BlockMeta& tail = blocks_[meta.tail];
+    assert(tail.used > 0);
+    const std::uint32_t last_pos = meta.tail * block_edges_ + tail.used - 1;
+    --tail.used;
+    --used_;
+    std::optional<Moved> moved;
+    if (last_pos != pos) {
+        pool_[pos] = pool_[last_pos];
+        moved = Moved{.owner = pool_[pos].owner, .new_pos = pos};
+    }
+    pool_[last_pos] = CalEdgeSlot{};
+    if (tail.used == 0) {
+        free_tail_block(meta);
+    }
+    return moved;
+}
+
+void CoarseAdjacencyList::update_weight(std::uint32_t pos, Weight weight) {
+    assert(pool_[pos].src != kInvalidVertex);
+    pool_[pos].weight = weight;
+}
+
+void CoarseAdjacencyList::rebind(std::uint32_t pos, CellRef owner) {
+    assert(pool_[pos].src != kInvalidVertex);
+    pool_[pos].owner = owner;
+}
+
+CoarseAdjacencyList::SlotView CoarseAdjacencyList::slot_at(
+    std::uint32_t pos) const {
+    const CalEdgeSlot& slot = pool_[pos];
+    return SlotView{.src = slot.src, .dst = slot.dst, .weight = slot.weight,
+                    .owner = slot.owner, .valid = slot.src != kInvalidVertex};
+}
+
+}  // namespace gt::core

@@ -1,0 +1,149 @@
+// Coarse Adjacency List EdgeblockArray (paper §III.B).
+//
+// A secondary, highly compact copy of every edge, kept in sync in O(1) per
+// update via per-edge CAL-pointers. Source vertices are partitioned into
+// groups of `group_size` consecutive dense ids; each group owns a doubly
+// linked chain of fixed-size blocks whose slots are bump-allocated, so edges
+// of *different* vertices in the group share blocks ("several source vertices
+// share an entry") and full-graph streaming is block-contiguous.
+//
+// Each CAL edge carries a backreference to the EdgeblockArray cell that owns
+// it so that (a) delete-and-compact can relocate the group's last edge into a
+// freshly created hole and fix the owner's CAL-pointer, and (b) the
+// EdgeblockArray can re-bind the pointer when Robin Hood swaps or compaction
+// move a cell.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt::core {
+
+/// Location of an edge-cell inside the EdgeblockArray pool.
+struct CellRef {
+    std::uint32_t block = 0;
+    std::uint32_t slot = 0;
+};
+
+/// Sentinel CAL position for "no CAL copy" (CAL disabled).
+inline constexpr std::uint32_t kNoCalPos = 0xffffffffU;
+
+class CoarseAdjacencyList {
+public:
+    CoarseAdjacencyList(std::uint32_t group_size, std::uint32_t block_edges);
+
+    /// Reserves pool capacity for the expected edge count.
+    void reserve(EdgeCount expected_edges) {
+        pool_.reserve(expected_edges + block_edges_);
+        blocks_.reserve(expected_edges / block_edges_ + 2);
+    }
+
+    /// Appends a copy of (raw_src, dst, weight) to the chain of the group of
+    /// `dense_src`, growing it by one block if the tail is full. Returns the
+    /// CAL position to store in the owning edge-cell.
+    std::uint32_t insert(VertexId dense_src, VertexId raw_src, VertexId dst,
+                         Weight weight, CellRef owner);
+
+    /// Result of a compacting erase: the group's last edge was moved into the
+    /// hole, so its owning edge-cell must have its CAL-pointer rewritten.
+    struct Moved {
+        CellRef owner;          // edge-cell that owns the moved CAL edge
+        std::uint32_t new_pos;  // its new CAL position
+    };
+
+    /// Removes the edge at `pos`. With `compact` the group's tail edge is
+    /// relocated into the hole (keeping every chain dense) and emptied tail
+    /// blocks are returned to the free list; without it the slot is flagged
+    /// invalid and the chain never shrinks (delete-only semantics).
+    std::optional<Moved> erase(std::uint32_t pos, bool compact);
+
+    void update_weight(std::uint32_t pos, Weight weight);
+
+    /// Rewrites the owner backreference (called when the owning edge-cell
+    /// moves inside the EdgeblockArray).
+    void rebind(std::uint32_t pos, CellRef owner);
+
+    /// Streams every live edge, group chain by group chain: fn(src, dst, w).
+    /// Sources are *raw* vertex ids.
+    template <typename Fn>
+    void for_each_edge(Fn&& fn) const {
+        for (const GroupMeta& group : groups_) {
+            for (std::uint32_t b = group.head; b != kNone; b = blocks_[b].next) {
+                const std::size_t base =
+                    static_cast<std::size_t>(b) * block_edges_;
+                const std::uint32_t used = blocks_[b].used;
+                for (std::uint32_t i = 0; i < used; ++i) {
+                    const CalEdgeSlot& slot = pool_[base + i];
+                    if (slot.src != kInvalidVertex) {
+                        fn(slot.src, slot.dst, slot.weight);
+                    }
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] EdgeCount live_edges() const noexcept { return live_; }
+    /// Slots handed out and still scanned during streaming (live + holes).
+    [[nodiscard]] EdgeCount scanned_slots() const noexcept { return used_; }
+    [[nodiscard]] std::size_t blocks_in_use() const noexcept {
+        return blocks_.size() - free_.size();
+    }
+
+    /// Bytes held by in-use blocks (pool slots plus chain metadata).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return blocks_in_use() *
+                   (static_cast<std::size_t>(block_edges_) *
+                        sizeof(CalEdgeSlot) +
+                    sizeof(BlockMeta)) +
+               groups_.size() * sizeof(GroupMeta);
+    }
+
+    /// Test hook: the raw slot at a CAL position.
+    struct SlotView {
+        VertexId src;
+        VertexId dst;
+        Weight weight;
+        CellRef owner;
+        bool valid;
+    };
+    [[nodiscard]] SlotView slot_at(std::uint32_t pos) const;
+
+private:
+    struct CalEdgeSlot {
+        VertexId src = kInvalidVertex;  // raw source id; kInvalidVertex = hole
+        VertexId dst = kInvalidVertex;
+        Weight weight = 0;
+        CellRef owner{};
+    };
+
+    struct BlockMeta {
+        std::uint32_t next = kNone;
+        std::uint32_t prev = kNone;
+        std::uint32_t group = 0;
+        std::uint32_t used = 0;  // bump-allocated slots
+    };
+
+    struct GroupMeta {
+        std::uint32_t head = kNone;
+        std::uint32_t tail = kNone;
+    };
+
+    static constexpr std::uint32_t kNone = 0xffffffffU;
+
+    std::uint32_t allocate_block(std::uint32_t group);
+    void free_tail_block(GroupMeta& group_meta);
+
+    std::uint32_t group_size_;
+    std::uint32_t block_edges_;
+    std::vector<CalEdgeSlot> pool_;
+    std::vector<BlockMeta> blocks_;
+    std::vector<GroupMeta> groups_;
+    std::vector<std::uint32_t> free_;
+    EdgeCount live_ = 0;
+    EdgeCount used_ = 0;
+};
+
+}  // namespace gt::core

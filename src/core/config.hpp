@@ -1,0 +1,89 @@
+// GraphTinker configuration (paper §III.B, §V.A).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace gt::core {
+
+/// Deletion mechanism (paper §III.C).
+enum class DeletionMode : std::uint8_t {
+    /// Tombstone the slot; no structural shrinking. Fast deletes, but probe
+    /// work and analytics scans stay proportional to the peak graph size.
+    DeleteOnly,
+    /// Refill the hole with an edge pulled from the deepest descendant
+    /// subblock on the same hash path, freeing emptied edgeblocks. Robin Hood
+    /// swapping is disabled in this mode (the paper turns RHH off to avoid
+    /// the edge-tracking overhead of swaps).
+    DeleteAndCompact,
+};
+
+struct Config {
+    /// Edge-cells per edgeblock. Paper default 64; evaluated 8..256 (Fig 17-19).
+    std::uint32_t pagewidth = 64;
+    /// Edge-cells per Subblock — the branch-out granularity. Paper default 8.
+    std::uint32_t subblock = 8;
+    /// Edge-cells per Workblock — the retrieval granularity. Paper default 4.
+    std::uint32_t workblock = 4;
+
+    /// Scatter-Gather Hashing: densify the source-vertex index space.
+    bool enable_sgh = true;
+    /// Coarse Adjacency List: maintain the compact secondary edge copy.
+    bool enable_cal = true;
+    /// Robin Hood swapping during inserts (forced off by DeleteAndCompact).
+    bool enable_rhh = true;
+
+    DeletionMode deletion_mode = DeletionMode::DeleteOnly;
+
+    /// Source vertices per CAL group ("for example 1024", paper §III.B).
+    std::uint32_t cal_group_size = 1024;
+    /// Edges per CAL block.
+    std::uint32_t cal_block_edges = 128;
+
+    /// Initial dense-vertex capacity (grows on demand).
+    std::uint32_t initial_vertices = 1024;
+
+    /// Expected number of edges; storage pools reserve capacity for this
+    /// many up front (0 = grow on demand). STINGER-style deployments size
+    /// the structure for the maximum attainable graph, so the benches pass
+    /// the dataset's edge count here for both stores.
+    std::uint64_t reserve_edges = 0;
+
+    /// Validates divisibility/power-of-two invariants; throws on bad values.
+    void validate() const {
+        auto pow2 = [](std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; };
+        if (!pow2(pagewidth) || !pow2(subblock) || !pow2(workblock)) {
+            throw std::invalid_argument(
+                "pagewidth/subblock/workblock must be powers of two");
+        }
+        if (pagewidth % subblock != 0 || subblock % workblock != 0) {
+            throw std::invalid_argument(
+                "pagewidth must divide into subblocks, subblocks into workblocks");
+        }
+        if (pagewidth > 65536) {
+            throw std::invalid_argument("pagewidth larger than 65536 unsupported");
+        }
+        if (cal_group_size == 0 || cal_block_edges == 0) {
+            throw std::invalid_argument("CAL geometry must be non-zero");
+        }
+    }
+
+    /// True when inserts use Robin Hood swapping (RHH is incompatible with
+    /// the compacting delete path).
+    [[nodiscard]] bool rhh_active() const noexcept {
+        return enable_rhh && deletion_mode == DeletionMode::DeleteOnly;
+    }
+};
+
+/// Operation counters exposed for tests, diagnostics and the ablation
+/// benches. All counters are cumulative since construction.
+struct Stats {
+    std::uint64_t cells_probed = 0;       // edge-cells inspected
+    std::uint64_t workblocks_fetched = 0; // workblock-granular retrievals
+    std::uint64_t rhh_swaps = 0;          // Robin Hood displacements
+    std::uint64_t branch_outs = 0;        // subblock -> child edgeblock splits
+    std::uint64_t compaction_moves = 0;   // delete-and-compact relocations
+    std::uint64_t blocks_freed = 0;       // edgeblocks returned to the pool
+};
+
+}  // namespace gt::core

@@ -1,0 +1,464 @@
+#include "core/edgeblock_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gt::core {
+
+EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal)
+    : pagewidth_(config.pagewidth),
+      subblock_(config.subblock),
+      workblock_(config.workblock),
+      spb_(config.pagewidth / config.subblock),
+      rhh_(config.rhh_active()),
+      compact_delete_(config.deletion_mode == DeletionMode::DeleteAndCompact),
+      words_per_block_((config.pagewidth + 63) / 64),
+      cal_(cal) {
+    config.validate();
+    if (config.reserve_edges > 0) {
+        // Blocks fill to roughly half before branching; reserve generously
+        // so the arena never reallocates mid-benchmark.
+        const std::size_t blocks =
+            static_cast<std::size_t>(config.reserve_edges * 2 / pagewidth_) +
+            config.initial_vertices + 1;
+        cells_.reserve(blocks * pagewidth_);
+        children_.reserve(blocks * spb_);
+        occupied_.reserve(blocks);
+        masks_.reserve(blocks * words_per_block_);
+    }
+}
+
+std::uint32_t EdgeblockArray::allocate_block() {
+    std::uint32_t block;
+    if (!free_blocks_.empty()) {
+        block = free_blocks_.back();
+        free_blocks_.pop_back();
+    } else {
+        block = block_count_++;
+        cells_.resize(static_cast<std::size_t>(block_count_) * pagewidth_);
+        children_.resize(static_cast<std::size_t>(block_count_) * spb_,
+                         kNoBlock);
+        occupied_.resize(block_count_, 0);
+        masks_.resize(static_cast<std::size_t>(block_count_) *
+                          words_per_block_,
+                      0);
+        return block;  // freshly appended storage is already cleared
+    }
+    const std::size_t base = static_cast<std::size_t>(block) * pagewidth_;
+    for (std::uint32_t i = 0; i < pagewidth_; ++i) {
+        cells_[base + i] = EdgeCell{};
+    }
+    const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        children_[cbase + s] = kNoBlock;
+    }
+    occupied_[block] = 0;
+    const std::size_t mbase =
+        static_cast<std::size_t>(block) * words_per_block_;
+    for (std::uint32_t w = 0; w < words_per_block_; ++w) {
+        masks_[mbase + w] = 0;
+    }
+    return block;
+}
+
+void EdgeblockArray::free_block(std::uint32_t block) {
+    assert(occupied_[block] == 0);
+    free_blocks_.push_back(block);
+    ++stats_.blocks_freed;
+}
+
+void EdgeblockArray::free_subtree(std::uint32_t block) {
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        const std::uint32_t c = child(block, s);
+        if (c != kNoBlock) {
+            free_subtree(c);
+            child(block, s) = kNoBlock;
+        }
+    }
+    free_block(block);
+}
+
+bool EdgeblockArray::subtree_is_empty(std::uint32_t block) const {
+    if (occupied_[block] != 0) {
+        return false;
+    }
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        if (child(block, s) != kNoBlock) {
+            return false;  // descendants were pruned eagerly; conservative
+        }
+    }
+    return true;
+}
+
+std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
+    std::uint32_t top, VertexId dst) const {
+    std::uint32_t block = top;
+    std::uint32_t level = 0;
+    while (block != kNoBlock) {
+        const std::uint32_t sb = sb_of(dst, level);
+        const std::uint32_t sb_base = sb * subblock_;
+        if (rhh_) {
+            // Probe-order scan with Robin Hood early exit. An EMPTY cell on
+            // the probe path proves the key is absent at this level *and*
+            // below: had the key ever been pushed deeper, this window was
+            // congested at that moment, and delete-only mode never turns an
+            // occupied cell back into EMPTY (deletes tombstone).
+            const std::uint32_t home = home_of(dst, level);
+            std::uint32_t scanned = 0;
+            for (std::uint32_t d = 0; d < subblock_; ++d) {
+                const std::uint32_t slot =
+                    sb_base + ((home + d) & (subblock_ - 1));
+                const EdgeCell& c = cell(block, slot);
+                ++scanned;
+                if (c.state == CellState::Empty) {
+                    stats_.cells_probed += scanned;
+                    stats_.workblocks_fetched +=
+                        (scanned + workblock_ - 1) / workblock_;
+                    return std::nullopt;
+                }
+                if (c.state == CellState::Occupied && c.dst == dst) {
+                    stats_.cells_probed += scanned;
+                    stats_.workblocks_fetched +=
+                        (scanned + workblock_ - 1) / workblock_;
+                    return Located{block, sb, slot, level};
+                }
+            }
+            stats_.cells_probed += scanned;
+            stats_.workblocks_fetched += subblock_ / workblock_;
+        } else {
+            // Compact-delete mode refills holes out of refill order, so the
+            // whole subblock window must be inspected.
+            stats_.workblocks_fetched += subblock_ / workblock_;
+            stats_.cells_probed += subblock_;
+            bool found = false;
+            std::uint32_t where = 0;
+            for (std::uint32_t off = 0; off < subblock_; ++off) {
+                const EdgeCell& c = cell(block, sb_base + off);
+                if (c.state == CellState::Occupied && c.dst == dst) {
+                    found = true;
+                    where = sb_base + off;
+                    break;
+                }
+            }
+            if (found) {
+                return Located{block, sb, where, level};
+            }
+        }
+        block = child(block, sb);
+        ++level;
+    }
+    return std::nullopt;
+}
+
+std::optional<Weight> EdgeblockArray::find(std::uint32_t top,
+                                           VertexId dst) const {
+    if (const auto loc = locate(top, dst)) {
+        return cell(loc->block, loc->slot).weight;
+    }
+    return std::nullopt;
+}
+
+EdgeblockArray::InsertResult EdgeblockArray::insert(
+    std::uint32_t& top, VertexId dst, Weight weight,
+    std::uint32_t new_cal_pos) {
+    const ProbeResult probe = probe_insert(top, dst, weight);
+    switch (probe.kind) {
+        case ProbeResult::Kind::Duplicate:
+            return InsertResult{false, probe.cal_pos};
+        case ProbeResult::Kind::PlaceAt:
+            place_at(probe.where, dst, weight, probe.probe, new_cal_pos);
+            if (cal_ != nullptr && new_cal_pos != kNoCalPos) {
+                cal_->rebind(new_cal_pos, probe.where);
+            }
+            return InsertResult{true, kNoCalPos};
+        case ProbeResult::Kind::Absent:
+            insert_new(top, dst, weight, new_cal_pos);
+            return InsertResult{true, kNoCalPos};
+    }
+    return InsertResult{};  // unreachable
+}
+
+EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
+                                                         VertexId dst,
+                                                         Weight weight) {
+    if (top == kNoBlock) {
+        top = allocate_block();
+        const std::uint32_t sb = sb_of(dst, 0);
+        const std::uint32_t home = home_of(dst, 0);
+        ++stats_.cells_probed;
+        return ProbeResult{ProbeResult::Kind::PlaceAt, kNoCalPos,
+                           CellRef{top, sb * subblock_ + home}, 0};
+    }
+    if (!rhh_) {
+        // Compact-delete mode refills holes out of probe order, so the
+        // EMPTY-exit shortcut is unsound there; fall back to FIND + INSERT.
+        if (const auto loc = locate(top, dst)) {
+            EdgeCell& c = cell(loc->block, loc->slot);
+            c.weight = weight;
+            return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
+                               CellRef{}, 0};
+        }
+        return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{},
+                           0};
+    }
+    std::uint32_t block = top;
+    std::uint32_t level = 0;
+    // A tombstone or Robin Hood swap point earlier on the probe path means
+    // insertion belongs there rather than at a later EMPTY cell; the full
+    // INSERT cascade handles those (rarer) cases.
+    bool earlier_candidate = false;
+    while (block != kNoBlock) {
+        const std::uint32_t sb = sb_of(dst, level);
+        const std::uint32_t sb_base = sb * subblock_;
+        const std::uint32_t home = home_of(dst, level);
+        for (std::uint32_t d = 0; d < subblock_; ++d) {
+            const std::uint32_t slot =
+                sb_base + ((home + d) & (subblock_ - 1));
+            EdgeCell& c = cell(block, slot);
+            ++stats_.cells_probed;
+            if (c.state == CellState::Empty) {
+                // Key absent at this level and every level below (see
+                // locate() for the invariant).
+                if (!earlier_candidate) {
+                    return ProbeResult{ProbeResult::Kind::PlaceAt, kNoCalPos,
+                                       CellRef{block, slot},
+                                       static_cast<std::uint16_t>(d)};
+                }
+                return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos,
+                                   CellRef{}, 0};
+            }
+            if (c.state == CellState::Tombstone) {
+                earlier_candidate = true;
+                continue;
+            }
+            if (c.dst == dst) {
+                c.weight = weight;
+                return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
+                                   CellRef{}, 0};
+            }
+            if (c.probe < d) {
+                earlier_candidate = true;  // RHH would displace here
+            }
+        }
+        stats_.workblocks_fetched += subblock_ / workblock_;
+        block = child(block, sb);
+        ++level;
+    }
+    return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{}, 0};
+}
+
+void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
+                                Weight weight, std::uint32_t new_cal_pos) {
+    if (top == kNoBlock) {
+        top = allocate_block();
+    }
+    // INSERT mode: Robin Hood within the subblock, Tree-Based Hashing
+    // descent on congestion. `carry` is the floating edge; after a swap it
+    // becomes the displaced resident. Every element placed into a cell has
+    // its CAL copy re-bound to the new location — the new edge included,
+    // since it carries `new_cal_pos` from the start.
+    std::uint32_t block = top;
+    std::uint32_t level = 0;
+    EdgeCell carry{dst, weight, new_cal_pos, 0, CellState::Occupied};
+    for (;;) {
+        const std::uint32_t sb = sb_of(carry.dst, level);
+        const std::uint32_t sb_base = sb * subblock_;
+        std::uint32_t home = home_of(carry.dst, level);
+        std::uint32_t dist = carry.probe;
+        bool placed = false;
+        while (dist < subblock_) {
+            const std::uint32_t slot =
+                sb_base + ((home + dist) & (subblock_ - 1));
+            EdgeCell& resident = cell(block, slot);
+            ++stats_.cells_probed;
+            if (resident.state != CellState::Occupied) {
+                carry.probe = static_cast<std::uint16_t>(dist);
+                resident = carry;
+                ++occupied_[block];
+                set_occupancy(block, slot, true);
+                if (cal_ != nullptr && resident.cal_pos != kNoCalPos) {
+                    cal_->rebind(resident.cal_pos, CellRef{block, slot});
+                }
+                placed = true;
+                break;
+            }
+            if (rhh_ && resident.probe < dist) {
+                // Rob the rich: the floater takes this cell, the richer
+                // resident is displaced and continues probing.
+                carry.probe = static_cast<std::uint16_t>(dist);
+                std::swap(resident, carry);
+                ++stats_.rhh_swaps;
+                if (cal_ != nullptr && resident.cal_pos != kNoCalPos) {
+                    cal_->rebind(resident.cal_pos, CellRef{block, slot});
+                }
+                // Continue as the displaced edge: same subblock (everything
+                // here hashed to it), but its own home offset and probe.
+                home = home_of(carry.dst, level);
+                dist = carry.probe;
+            }
+            ++dist;
+        }
+        if (placed) {
+            break;
+        }
+        // Subblock congested: branch out (Tree-Based Hashing). NB: allocate
+        // first — allocate_block() may reallocate children_, so the child
+        // slot must be re-resolved afterwards.
+        std::uint32_t down = child(block, sb);
+        if (down == kNoBlock) {
+            down = allocate_block();
+            child(block, sb) = down;
+            ++stats_.branch_outs;
+        }
+        block = down;
+        ++level;
+        carry.probe = 0;
+    }
+}
+
+bool EdgeblockArray::extract_deepest(std::uint32_t block, EdgeCell& out) {
+    // Descend first: the victim must come from the deepest populated block so
+    // compaction shortens probe paths.
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        std::uint32_t& c = child(block, s);
+        if (c == kNoBlock) {
+            continue;
+        }
+        if (extract_deepest(c, out)) {
+            if (subtree_is_empty(c)) {
+                free_block(c);
+                c = kNoBlock;
+            }
+            return true;
+        }
+        // The child's subtree held nothing: prune it.
+        free_subtree(c);
+        c = kNoBlock;
+    }
+    if (occupied_[block] == 0) {
+        return false;
+    }
+    const std::size_t base = static_cast<std::size_t>(block) * pagewidth_;
+    for (std::uint32_t i = 0; i < pagewidth_; ++i) {
+        EdgeCell& c = cells_[base + i];
+        if (c.state == CellState::Occupied) {
+            out = c;
+            c = EdgeCell{};
+            --occupied_[block];
+            set_occupancy(block, i, false);
+            return true;
+        }
+    }
+    assert(false && "occupied_ count out of sync");
+    return false;
+}
+
+void EdgeblockArray::refill_hole(std::uint32_t block, std::uint32_t sb,
+                                 std::uint32_t slot, std::uint32_t level) {
+    std::uint32_t& down = child(block, sb);
+    if (down == kNoBlock) {
+        return;
+    }
+    EdgeCell victim{};
+    if (!extract_deepest(down, victim)) {
+        free_subtree(down);
+        down = kNoBlock;
+        return;
+    }
+    // Any edge in the subtree hashes to this subblock at this level, so it
+    // may legally occupy the hole; recompute its Robin Hood displacement.
+    const std::uint32_t off = slot - sb * subblock_;
+    const std::uint32_t home = home_of(victim.dst, level);
+    victim.probe = static_cast<std::uint16_t>((off + subblock_ - home) &
+                                              (subblock_ - 1));
+    cell(block, slot) = victim;
+    ++occupied_[block];
+    set_occupancy(block, slot, true);
+    if (cal_ != nullptr && victim.cal_pos != kNoCalPos) {
+        cal_->rebind(victim.cal_pos, CellRef{block, slot});
+    }
+    ++stats_.compaction_moves;
+    if (down != kNoBlock && subtree_is_empty(down)) {
+        free_block(down);
+        down = kNoBlock;
+    }
+}
+
+EdgeblockArray::EraseResult EdgeblockArray::erase(std::uint32_t& top,
+                                                  VertexId dst) {
+    const auto loc = locate(top, dst);
+    if (!loc) {
+        return EraseResult{};
+    }
+    EdgeCell& c = cell(loc->block, loc->slot);
+    const std::uint32_t cal_pos = c.cal_pos;
+    if (!compact_delete_) {
+        // Delete-only: tombstone the cell; probing sees the slot as vacant
+        // for future inserts but nothing shrinks.
+        c.state = CellState::Tombstone;
+        c.cal_pos = kNoCalPos;
+        --occupied_[loc->block];
+        set_occupancy(loc->block, loc->slot, false);
+        return EraseResult{true, cal_pos};
+    }
+    c = EdgeCell{};
+    --occupied_[loc->block];
+    set_occupancy(loc->block, loc->slot, false);
+    refill_hole(loc->block, loc->sb, loc->slot, loc->level);
+    // Prune the now-possibly-empty tail of the hash path so the structure
+    // keeps shrinking as the graph shrinks (paper: "the data structure
+    // shrinks as more edges are deleted").
+    prune_path(top, dst);
+    if (top != kNoBlock && subtree_is_empty(top)) {
+        free_block(top);
+        top = kNoBlock;
+    }
+    return EraseResult{true, cal_pos};
+}
+
+void EdgeblockArray::prune_path(std::uint32_t top, VertexId dst) {
+    if (top == kNoBlock) {
+        return;
+    }
+    // Record the descent path of dst, then free empty childless blocks from
+    // the deepest level upward.
+    struct Step {
+        std::uint32_t block;
+        std::uint32_t sb;
+    };
+    Step path[kMaxPruneDepth];
+    std::size_t depth = 0;
+    std::uint32_t block = top;
+    std::uint32_t level = 0;
+    while (block != kNoBlock && depth < kMaxPruneDepth) {
+        const std::uint32_t sb = sb_of(dst, level);
+        path[depth++] = Step{block, sb};
+        block = child(block, sb);
+        ++level;
+    }
+    for (std::size_t i = depth; i-- > 1;) {
+        const std::uint32_t b = path[i].block;
+        if (subtree_is_empty(b)) {
+            free_block(b);
+            child(path[i - 1].block, path[i - 1].sb) = kNoBlock;
+        } else {
+            break;
+        }
+    }
+}
+
+std::uint32_t EdgeblockArray::subtree_depth(std::uint32_t top) const {
+    if (top == kNoBlock) {
+        return 0;
+    }
+    std::uint32_t depth = 0;
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        const std::uint32_t c = child(top, s);
+        if (c != kNoBlock) {
+            depth = std::max(depth, subtree_depth(c));
+        }
+    }
+    return depth + 1;
+}
+
+}  // namespace gt::core

@@ -1,0 +1,349 @@
+// The EdgeblockArray: Robin Hood + Tree-Based hashed edge storage
+// (paper §III.B).
+//
+// Geometry: an *edgeblock* is PAGEWIDTH edge-cells; it is divided into
+// Subblocks (branch-out granularity, default 8 cells) which are divided into
+// Workblocks (retrieval granularity, default 4 cells). Every vertex that
+// owns edges has a *top-parent* edgeblock; when a subblock congests, the
+// Tree-Based Hashing scheme "branches out" a child edgeblock in the overflow
+// pool and the insert continues in the child at the next hash level. Probe
+// distance when following a vertex's edges is therefore O(log degree) rather
+// than the O(degree) of adjacency-list chains.
+//
+// Within a subblock, insertion runs the Robin Hood Hashing algorithm: the
+// destination id hashes to a home cell; on collision the probe distances of
+// the incoming and resident edges compete and the "richer" edge is displaced
+// and continues probing (wrapping within the subblock). In delete-and-
+// compact mode RHH swapping is disabled (paper §III.C) and deletion holes
+// are refilled by pulling the deepest descendant edge on the same hash path
+// back up, freeing emptied edgeblocks.
+//
+// Blocks live in one pooled arena: callers (GraphTinker) hold a top-block
+// handle per dense source vertex. The structure never stores source ids —
+// ownership is implied by the handle, exactly as the paper's main-region
+// indexing implies it.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cal.hpp"
+#include "core/config.hpp"
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace gt::core {
+
+enum class CellState : std::uint8_t { Empty, Occupied, Tombstone };
+
+/// The most primitive unit of the EdgeblockArray (one edge-cell).
+struct EdgeCell {
+    VertexId dst = kInvalidVertex;
+    Weight weight = 0;
+    std::uint32_t cal_pos = kNoCalPos;
+    std::uint16_t probe = 0;  // Robin Hood displacement from the home cell
+    CellState state = CellState::Empty;
+};
+
+class EdgeblockArray {
+public:
+    static constexpr std::uint32_t kNoBlock = 0xffffffffU;
+
+    /// `cal` may be null (CAL feature disabled); when set, the array keeps
+    /// CAL-pointers consistent whenever cells move.
+    EdgeblockArray(const Config& config, CoarseAdjacencyList* cal);
+
+    struct InsertResult {
+        bool inserted = false;  // false: edge existed, weight updated
+        std::uint32_t existing_cal_pos = kNoCalPos;  // when !inserted
+    };
+
+    /// FIND mode then INSERT mode (paper §III.C). `top` is the vertex's
+    /// top-parent block handle; kNoBlock allocates one.
+    ///
+    /// `new_cal_pos` is the CAL position of the edge's freshly inserted CAL
+    /// copy (kNoCalPos when CAL is off). The new edge *carries* this pointer
+    /// through the Robin Hood cascade, so the CAL owner backreference is
+    /// re-bound at every displacement — including displacements of the new
+    /// edge itself later in the same cascade.
+    InsertResult insert(std::uint32_t& top, VertexId dst, Weight weight,
+                        std::uint32_t new_cal_pos = kNoCalPos);
+
+    /// INSERT mode only — precondition: (…, dst) is absent under `top`
+    /// (i.e. find_ref returned nothing). Used by callers that already ran
+    /// the FIND stage themselves.
+    void insert_new(std::uint32_t& top, VertexId dst, Weight weight,
+                    std::uint32_t new_cal_pos);
+
+    /// Fused FIND/INSERT probe (the hot path). One walk of the hash path
+    /// that either updates an existing edge in place (Duplicate), proves the
+    /// key absent *and* pins a directly writable cell (PlaceAt — the first
+    /// EMPTY on the probe path with no earlier reusable slot or Robin Hood
+    /// swap point, which by the delete-only invariant also proves nothing
+    /// lives deeper), or proves it absent but needs the full INSERT-mode
+    /// cascade (Absent). Callers follow up with place_at or insert_new.
+    struct ProbeResult {
+        enum class Kind : std::uint8_t { Duplicate, PlaceAt, Absent };
+        Kind kind = Kind::Absent;
+        std::uint32_t cal_pos = kNoCalPos;  // Duplicate: the edge's CAL copy
+        CellRef where{};                    // PlaceAt: the free cell
+        std::uint16_t probe = 0;            // PlaceAt: its displacement
+    };
+    ProbeResult probe_insert(std::uint32_t& top, VertexId dst, Weight weight);
+
+    /// Writes a new edge into the cell pinned by probe_insert (PlaceAt).
+    void place_at(CellRef ref, VertexId dst, Weight weight,
+                  std::uint16_t probe, std::uint32_t cal_pos) {
+        EdgeCell& c = cell(ref.block, ref.slot);
+        c = EdgeCell{dst, weight, cal_pos, probe, CellState::Occupied};
+        ++occupied_[ref.block];
+        set_occupancy(ref.block, ref.slot, true);
+    }
+
+    /// FIND mode, returning the cell location instead of the weight.
+    [[nodiscard]] std::optional<CellRef> find_ref(std::uint32_t top,
+                                                  VertexId dst) const {
+        if (const auto loc = locate(top, dst)) {
+            return CellRef{loc->block, loc->slot};
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] const EdgeCell& cell_at(CellRef ref) const {
+        return cell(ref.block, ref.slot);
+    }
+    void set_weight(CellRef ref, Weight weight) {
+        cell(ref.block, ref.slot).weight = weight;
+    }
+
+    struct EraseResult {
+        bool found = false;
+        std::uint32_t cal_pos = kNoCalPos;  // CAL copy to invalidate
+    };
+
+    /// Deletes (…, dst) under the configured deletion mode. In
+    /// delete-and-compact mode, `top` may be reset to kNoBlock when the
+    /// vertex's whole subtree empties.
+    EraseResult erase(std::uint32_t& top, VertexId dst);
+
+    /// FIND mode only.
+    [[nodiscard]] std::optional<Weight> find(std::uint32_t top,
+                                             VertexId dst) const;
+
+    /// Rewrites a cell's CAL pointer (used right after a CAL insert, and by
+    /// CAL compaction when a CAL edge moves).
+    void set_cal_pos(CellRef ref, std::uint32_t pos) {
+        cell(ref.block, ref.slot).cal_pos = pos;
+    }
+
+    /// Visits every live out-edge under `top`: fn(dst, weight). Iteration is
+    /// driven by per-block occupancy bitmasks, so cost is proportional to
+    /// live edges plus blocks — not to the arena's slack.
+    template <typename Fn>
+    void for_each_edge_of(std::uint32_t top, Fn&& fn) const {
+        if (top == kNoBlock) {
+            return;
+        }
+        visit_stack_.clear();
+        visit_stack_.push_back(top);
+        while (!visit_stack_.empty()) {
+            const std::uint32_t block = visit_stack_.back();
+            visit_stack_.pop_back();
+            const std::size_t base =
+                static_cast<std::size_t>(block) * pagewidth_;
+            const std::size_t mbase =
+                static_cast<std::size_t>(block) * words_per_block_;
+            for (std::uint32_t w = 0; w < words_per_block_; ++w) {
+                std::uint64_t bits = masks_[mbase + w];
+                while (bits != 0) {
+                    const auto i = static_cast<std::uint32_t>(
+                        std::countr_zero(bits));
+                    bits &= bits - 1;
+                    const EdgeCell& c = cells_[base + w * 64 + i];
+                    fn(c.dst, c.weight);
+                }
+            }
+            const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
+            for (std::uint32_t s = 0; s < spb_; ++s) {
+                if (children_[cbase + s] != kNoBlock) {
+                    visit_stack_.push_back(children_[cbase + s]);
+                }
+            }
+        }
+    }
+
+    /// Early-terminating variant: fn(dst, weight) returns false to stop.
+    /// Returns false when iteration was cut short.
+    template <typename Fn>
+    bool for_each_edge_of_until(std::uint32_t top, Fn&& fn) const {
+        if (top == kNoBlock) {
+            return true;
+        }
+        std::vector<std::uint32_t> stack{top};
+        while (!stack.empty()) {
+            const std::uint32_t block = stack.back();
+            stack.pop_back();
+            const std::size_t base =
+                static_cast<std::size_t>(block) * pagewidth_;
+            const std::size_t mbase =
+                static_cast<std::size_t>(block) * words_per_block_;
+            for (std::uint32_t w = 0; w < words_per_block_; ++w) {
+                std::uint64_t bits = masks_[mbase + w];
+                while (bits != 0) {
+                    const auto i = static_cast<std::uint32_t>(
+                        std::countr_zero(bits));
+                    bits &= bits - 1;
+                    const EdgeCell& c = cells_[base + w * 64 + i];
+                    if (!fn(c.dst, c.weight)) {
+                        return false;
+                    }
+                }
+            }
+            const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
+            for (std::uint32_t s = 0; s < spb_; ++s) {
+                if (children_[cbase + s] != kNoBlock) {
+                    stack.push_back(children_[cbase + s]);
+                }
+            }
+        }
+        return true;
+    }
+
+    /// Visits every live cell under `top` with its location:
+    /// fn(CellRef, const EdgeCell&). Diagnostics/validation hook.
+    template <typename Fn>
+    void for_each_cell_of(std::uint32_t top, Fn&& fn) const {
+        if (top == kNoBlock) {
+            return;
+        }
+        std::vector<std::uint32_t> stack{top};
+        while (!stack.empty()) {
+            const std::uint32_t block = stack.back();
+            stack.pop_back();
+            for (std::uint32_t i = 0; i < pagewidth_; ++i) {
+                const EdgeCell& c = cell(block, i);
+                if (c.state == CellState::Occupied) {
+                    fn(CellRef{block, i}, c);
+                }
+            }
+            for (std::uint32_t s = 0; s < spb_; ++s) {
+                if (child(block, s) != kNoBlock) {
+                    stack.push_back(child(block, s));
+                }
+            }
+        }
+    }
+
+    // ---- diagnostics / test hooks -------------------------------------
+
+    [[nodiscard]] std::size_t blocks_in_use() const noexcept {
+        return block_count_ - free_blocks_.size();
+    }
+    [[nodiscard]] std::size_t blocks_allocated() const noexcept {
+        return block_count_;
+    }
+    /// Bytes held by in-use blocks (cells + child pointers + occupancy).
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return blocks_in_use() *
+               (static_cast<std::size_t>(pagewidth_) * sizeof(EdgeCell) +
+                spb_ * sizeof(std::uint32_t) +
+                words_per_block_ * sizeof(std::uint64_t) +
+                sizeof(std::uint32_t));
+    }
+    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    /// Depth (generations) of the block tree under `top`; 0 for kNoBlock.
+    [[nodiscard]] std::uint32_t subtree_depth(std::uint32_t top) const;
+    /// Live cells in one block.
+    [[nodiscard]] std::uint32_t occupied_in(std::uint32_t block) const {
+        return occupied_[block];
+    }
+    [[nodiscard]] std::uint32_t pagewidth() const noexcept { return pagewidth_; }
+
+private:
+    [[nodiscard]] EdgeCell& cell(std::uint32_t block, std::uint32_t slot) {
+        return cells_[static_cast<std::size_t>(block) * pagewidth_ + slot];
+    }
+    [[nodiscard]] const EdgeCell& cell(std::uint32_t block,
+                                       std::uint32_t slot) const {
+        return cells_[static_cast<std::size_t>(block) * pagewidth_ + slot];
+    }
+    [[nodiscard]] std::uint32_t& child(std::uint32_t block, std::uint32_t sb) {
+        return children_[static_cast<std::size_t>(block) * spb_ + sb];
+    }
+    [[nodiscard]] std::uint32_t child(std::uint32_t block,
+                                      std::uint32_t sb) const {
+        return children_[static_cast<std::size_t>(block) * spb_ + sb];
+    }
+
+    /// Tree-Based Hashing: one mixed hash per (dst, level) supplies both the
+    /// subblock index (low bits) and the Robin Hood home offset within the
+    /// subblock (high bits) — the two are independent because subblocks per
+    /// block never exceed 2^16.
+    [[nodiscard]] std::uint32_t sb_of(VertexId dst,
+                                      std::uint32_t level) const noexcept {
+        return static_cast<std::uint32_t>(level_hash(dst, level)) & (spb_ - 1);
+    }
+    /// Robin Hood home offset of `dst` within its subblock at `level`.
+    [[nodiscard]] std::uint32_t home_of(VertexId dst,
+                                        std::uint32_t level) const noexcept {
+        return static_cast<std::uint32_t>(level_hash(dst, level) >> 32) &
+               (subblock_ - 1);
+    }
+
+    struct Located {
+        std::uint32_t block;
+        std::uint32_t sb;    // subblock index within the block
+        std::uint32_t slot;  // cell index within the block
+        std::uint32_t level;
+    };
+    [[nodiscard]] std::optional<Located> locate(std::uint32_t top,
+                                                VertexId dst) const;
+
+    std::uint32_t allocate_block();
+    void free_block(std::uint32_t block);
+    void free_subtree(std::uint32_t block);
+    [[nodiscard]] bool subtree_is_empty(std::uint32_t block) const;
+    /// Removes and returns the deepest edge in `block`'s subtree; false when
+    /// the subtree holds no edges. Prunes empty descendants as it unwinds.
+    bool extract_deepest(std::uint32_t block, EdgeCell& out);
+    void refill_hole(std::uint32_t block, std::uint32_t sb, std::uint32_t slot,
+                     std::uint32_t level);
+    void prune_path(std::uint32_t top, VertexId dst);
+
+    /// Descent paths deeper than this are never pruned (bounded stack use);
+    /// real trees stay far shallower than 64 generations.
+    static constexpr std::size_t kMaxPruneDepth = 64;
+
+    std::uint32_t pagewidth_;
+    std::uint32_t subblock_;
+    std::uint32_t workblock_;
+    std::uint32_t spb_;  // subblocks per block
+    bool rhh_;
+    bool compact_delete_;
+    std::uint32_t words_per_block_;  // occupancy-mask words per block
+    CoarseAdjacencyList* cal_;
+
+    void set_occupancy(std::uint32_t block, std::uint32_t slot, bool on) {
+        std::uint64_t& word =
+            masks_[static_cast<std::size_t>(block) * words_per_block_ +
+                   slot / 64];
+        if (on) {
+            word |= 1ULL << (slot % 64);
+        } else {
+            word &= ~(1ULL << (slot % 64));
+        }
+    }
+
+    std::vector<EdgeCell> cells_;
+    std::vector<std::uint32_t> children_;
+    std::vector<std::uint32_t> occupied_;
+    std::vector<std::uint64_t> masks_;
+    std::vector<std::uint32_t> free_blocks_;
+    std::uint32_t block_count_ = 0;
+    mutable std::vector<std::uint32_t> visit_stack_;  // iteration scratch
+    mutable Stats stats_;
+};
+
+}  // namespace gt::core

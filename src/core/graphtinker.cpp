@@ -1,0 +1,225 @@
+#include "core/graphtinker.hpp"
+
+namespace gt::core {
+
+GraphTinker::GraphTinker(Config config)
+    : config_(config),
+      sgh_(config.enable_sgh ? config.initial_vertices : 16),
+      cal_(config.cal_group_size, config.cal_block_edges),
+      eba_(config_, config.enable_cal ? &cal_ : nullptr) {
+    config_.validate();
+    top_.reserve(config_.initial_vertices);
+    if (config_.reserve_edges > 0 && config_.enable_cal) {
+        cal_.reserve(config_.reserve_edges);
+    }
+}
+
+VertexId GraphTinker::map_source(VertexId raw) {
+    if (config_.enable_sgh) {
+        const VertexId dense = sgh_.get_or_assign(raw);
+        if (dense >= top_.size()) {
+            top_.resize(static_cast<std::size_t>(dense) + 1,
+                        EdgeblockArray::kNoBlock);
+            props_.ensure(dense).raw_id = raw;
+        }
+        return dense;
+    }
+    // SGH disabled: raw ids index the main region directly, so the swept id
+    // space is as large as the largest id ever streamed.
+    if (raw >= top_.size()) {
+        top_.resize(static_cast<std::size_t>(raw) + 1,
+                    EdgeblockArray::kNoBlock);
+    }
+    props_.ensure(raw).raw_id = raw;
+    return raw;
+}
+
+std::optional<VertexId> GraphTinker::dense_of(VertexId raw) const {
+    if (config_.enable_sgh) {
+        return sgh_.lookup(raw);
+    }
+    if (raw < top_.size()) {
+        return raw;
+    }
+    return std::nullopt;
+}
+
+bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
+    note_raw(src);
+    note_raw(dst);
+    const VertexId dense = map_source(src);
+
+    const auto probe = eba_.probe_insert(top_[dense], dst, weight);
+    using Kind = EdgeblockArray::ProbeResult::Kind;
+    switch (probe.kind) {
+        case Kind::Duplicate:
+            // probe_insert already updated the EdgeblockArray weight.
+            if (config_.enable_cal && probe.cal_pos != kNoCalPos) {
+                cal_.update_weight(probe.cal_pos, weight);
+            }
+            return false;
+        case Kind::PlaceAt: {
+            // Common case: one probe walk pinned a free cell and proved the
+            // key absent; append the CAL copy and write the cell directly.
+            std::uint32_t cal_pos = kNoCalPos;
+            if (config_.enable_cal) {
+                cal_pos = cal_.insert(dense, src, dst, weight, probe.where);
+            }
+            eba_.place_at(probe.where, dst, weight, probe.probe, cal_pos);
+            break;
+        }
+        case Kind::Absent: {
+            // Congested/reusable-slot path: create the CAL copy first
+            // (placeholder owner) and let the edge carry its CAL pointer
+            // through the Robin Hood cascade — every placement re-binds the
+            // owner, so the backreference stays correct however often the
+            // new edge is displaced.
+            std::uint32_t cal_pos = kNoCalPos;
+            if (config_.enable_cal) {
+                cal_pos = cal_.insert(dense, src, dst, weight, CellRef{});
+            }
+            eba_.insert_new(top_[dense], dst, weight, cal_pos);
+            break;
+        }
+    }
+    ++props_[dense].degree;
+    ++num_edges_;
+    return true;
+}
+
+bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
+    const auto dense = dense_of(src);
+    if (!dense || top_[*dense] == EdgeblockArray::kNoBlock) {
+        return false;
+    }
+    const auto result = eba_.erase(top_[*dense], dst);
+    if (!result.found) {
+        return false;
+    }
+    --props_[*dense].degree;
+    --num_edges_;
+    if (config_.enable_cal && result.cal_pos != kNoCalPos) {
+        const bool compact =
+            config_.deletion_mode == DeletionMode::DeleteAndCompact;
+        if (const auto moved = cal_.erase(result.cal_pos, compact)) {
+            // CAL compaction relocated another edge's copy; point its owning
+            // edge-cell at the new CAL position.
+            eba_.set_cal_pos(moved->owner, moved->new_pos);
+        }
+    }
+    return true;
+}
+
+void GraphTinker::insert_batch(std::span<const Edge> batch) {
+    for (const Edge& e : batch) {
+        insert_edge(e.src, e.dst, e.weight);
+    }
+}
+
+void GraphTinker::delete_batch(std::span<const Edge> batch) {
+    for (const Edge& e : batch) {
+        delete_edge(e.src, e.dst);
+    }
+}
+
+std::optional<Weight> GraphTinker::find_edge(VertexId src,
+                                             VertexId dst) const {
+    const auto dense = dense_of(src);
+    if (!dense) {
+        return std::nullopt;
+    }
+    return eba_.find(top_[*dense], dst);
+}
+
+std::uint32_t GraphTinker::degree(VertexId raw_src) const {
+    const auto dense = dense_of(raw_src);
+    if (!dense || *dense >= props_.size()) {
+        return 0;
+    }
+    return props_[*dense].degree;
+}
+
+GraphTinker::MemoryFootprint GraphTinker::memory_footprint() const {
+    MemoryFootprint out;
+    out.edgeblock_bytes =
+        eba_.memory_bytes() + top_.size() * sizeof(std::uint32_t);
+    if (config_.enable_cal) {
+        out.cal_bytes = cal_.memory_bytes();
+    }
+    if (config_.enable_sgh) {
+        out.sgh_bytes = sgh_.memory_bytes();
+    }
+    out.props_bytes = props_.memory_bytes();
+    return out;
+}
+
+std::string GraphTinker::validate() const {
+    EdgeCount counted = 0;
+    std::string error;
+    for (VertexId dense = 0; dense < top_.size() && error.empty(); ++dense) {
+        const VertexId raw = raw_of(dense);
+        EdgeCount vertex_edges = 0;
+        eba_.for_each_cell_of(top_[dense], [&](CellRef ref,
+                                               const EdgeCell& c) {
+            if (!error.empty()) {
+                return;
+            }
+            ++vertex_edges;
+            // Every stored cell must be reachable through FIND.
+            const auto via_find = eba_.find(top_[dense], c.dst);
+            if (!via_find || *via_find != c.weight) {
+                error = "cell not reachable via FIND (src=" +
+                        std::to_string(raw) + " dst=" + std::to_string(c.dst) +
+                        ")";
+                return;
+            }
+            if (config_.enable_cal) {
+                if (c.cal_pos == kNoCalPos) {
+                    error = "occupied cell without CAL pointer";
+                    return;
+                }
+                const auto slot = cal_.slot_at(c.cal_pos);
+                if (!slot.valid || slot.src != raw || slot.dst != c.dst ||
+                    slot.weight != c.weight ||
+                    slot.owner.block != ref.block ||
+                    slot.owner.slot != ref.slot) {
+                    error = "CAL pointer mismatch (src=" + std::to_string(raw) +
+                            " dst=" + std::to_string(c.dst) + ")";
+                    return;
+                }
+            }
+        });
+        if (!error.empty()) {
+            break;
+        }
+        if (dense < props_.size() && props_[dense].degree != vertex_edges) {
+            return "degree mismatch for raw vertex " + std::to_string(raw) +
+                   ": props=" + std::to_string(props_[dense].degree) +
+                   " counted=" + std::to_string(vertex_edges);
+        }
+        counted += vertex_edges;
+    }
+    if (!error.empty()) {
+        return error;
+    }
+    if (counted != num_edges_) {
+        return "edge count mismatch: counted=" + std::to_string(counted) +
+               " tracked=" + std::to_string(num_edges_);
+    }
+    if (config_.enable_cal && cal_.live_edges() != num_edges_) {
+        return "CAL live-edge mismatch: cal=" +
+               std::to_string(cal_.live_edges()) +
+               " tracked=" + std::to_string(num_edges_);
+    }
+    return {};
+}
+
+std::uint32_t GraphTinker::tree_depth(VertexId src) const {
+    const auto dense = dense_of(src);
+    if (!dense) {
+        return 0;
+    }
+    return eba_.subtree_depth(top_[*dense]);
+}
+
+}  // namespace gt::core

@@ -1,0 +1,179 @@
+// GraphTinker: the public façade tying together the Scatter-Gather Hashing
+// unit, the EdgeblockArray, the VertexPropertyArray and the Coarse Adjacency
+// List (paper Fig. 2/3).
+//
+// The interface units of the paper map onto this class as follows: the
+// load / find-edge / insert-edge / inference / interval / writeback units are
+// the FIND/INSERT walks of the EdgeblockArray (workblock-granular retrieval
+// with control flow per subblock); the SGH unit is `ScatterGatherHash`; the
+// CAL EdgeblockArray is `CoarseAdjacencyList`.
+//
+// All public APIs speak *raw* vertex ids; dense (hashed) ids are an internal
+// detail of the compaction machinery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cal.hpp"
+#include "core/config.hpp"
+#include "core/edgeblock_array.hpp"
+#include "core/sgh.hpp"
+#include "core/vertex_props.hpp"
+#include "util/types.hpp"
+
+namespace gt::core {
+
+class GraphTinker {
+public:
+    explicit GraphTinker(Config config = {});
+
+    // The EdgeblockArray holds an internal pointer to the CAL member, so
+    // instances must never be moved or copied.
+    GraphTinker(const GraphTinker&) = delete;
+    GraphTinker& operator=(const GraphTinker&) = delete;
+
+    // ---- updates -------------------------------------------------------
+
+    /// Inserts (src, dst, weight); overwrites the weight when the edge
+    /// exists. Returns true when a new edge was created.
+    bool insert_edge(VertexId src, VertexId dst, Weight weight = 1);
+
+    /// Deletes (src, dst) under the configured deletion mode. Returns true
+    /// when the edge existed.
+    bool delete_edge(VertexId src, VertexId dst);
+
+    void insert_batch(std::span<const Edge> batch);
+    void delete_batch(std::span<const Edge> batch);
+
+    // ---- queries ---------------------------------------------------------
+
+    [[nodiscard]] std::optional<Weight> find_edge(VertexId src,
+                                                  VertexId dst) const;
+
+    [[nodiscard]] EdgeCount num_edges() const noexcept { return num_edges_; }
+    /// One past the largest raw vertex id seen (src or dst side).
+    [[nodiscard]] VertexId num_vertices() const noexcept {
+        return raw_bound_;
+    }
+    /// Vertices that own at least one edge slot (streamed sources).
+    [[nodiscard]] std::size_t num_nonempty_vertices() const noexcept {
+        return top_.size();
+    }
+    [[nodiscard]] std::uint32_t degree(VertexId raw_src) const;
+
+    // ---- traversal -------------------------------------------------------
+
+    /// Visits every live out-edge of raw vertex `src`: fn(dst, weight).
+    /// Loads from the EdgeblockArray (the incremental-processing path).
+    template <typename Fn>
+    void for_each_out_edge(VertexId src, Fn&& fn) const {
+        const auto dense = dense_of(src);
+        if (!dense) {
+            return;
+        }
+        eba_.for_each_edge_of(top_[*dense], fn);
+    }
+
+    /// Early-terminating out-edge visit: fn(dst, weight) returns false to
+    /// stop (used by pull-style gathers that only need one witness).
+    /// Returns false when iteration was cut short.
+    template <typename Fn>
+    bool for_each_out_edge_until(VertexId src, Fn&& fn) const {
+        const auto dense = dense_of(src);
+        if (!dense) {
+            return true;
+        }
+        return eba_.for_each_edge_of_until(top_[*dense], fn);
+    }
+
+    /// Streams every live edge: fn(src, dst, weight). Loads from the CAL
+    /// EdgeblockArray when the feature is enabled (the full-processing
+    /// path); otherwise falls back to sweeping the EdgeblockArray.
+    template <typename Fn>
+    void for_each_edge(Fn&& fn) const {
+        if (config_.enable_cal) {
+            cal_.for_each_edge(fn);
+            return;
+        }
+        for_each_edge_via_eba(fn);
+    }
+
+    /// Streams every live edge from the EdgeblockArray regardless of CAL
+    /// (exposed for the CAL ablation experiments).
+    template <typename Fn>
+    void for_each_edge_via_eba(Fn&& fn) const {
+        for (VertexId dense = 0; dense < top_.size(); ++dense) {
+            const VertexId raw = raw_of(dense);
+            eba_.for_each_edge_of(top_[dense], [&](VertexId dst, Weight w) {
+                fn(raw, dst, w);
+            });
+        }
+    }
+
+    // ---- diagnostics -----------------------------------------------------
+
+    [[nodiscard]] const Config& config() const noexcept { return config_; }
+    [[nodiscard]] const Stats& stats() const noexcept { return eba_.stats(); }
+    [[nodiscard]] const EdgeblockArray& edgeblock_array() const noexcept {
+        return eba_;
+    }
+    [[nodiscard]] const CoarseAdjacencyList& cal() const noexcept {
+        return cal_;
+    }
+    /// Tree depth (generations of edgeblocks) for raw vertex `src`.
+    [[nodiscard]] std::uint32_t tree_depth(VertexId src) const;
+
+    /// Byte-level footprint of each component (the compaction story in
+    /// numbers: bytes per live edge falls as SGH/CAL keep the arena dense).
+    struct MemoryFootprint {
+        std::size_t edgeblock_bytes = 0;  // cells + children + masks + meta
+        std::size_t cal_bytes = 0;        // CAL pool + chain metadata
+        std::size_t sgh_bytes = 0;        // id-mapping tables
+        std::size_t props_bytes = 0;      // vertex property array
+        [[nodiscard]] std::size_t total() const noexcept {
+            return edgeblock_bytes + cal_bytes + sgh_bytes + props_bytes;
+        }
+        /// Total bytes per live edge (0 when empty).
+        [[nodiscard]] double bytes_per_edge(EdgeCount edges) const noexcept {
+            return edges == 0 ? 0.0
+                              : static_cast<double>(total()) /
+                                    static_cast<double>(edges);
+        }
+    };
+    [[nodiscard]] MemoryFootprint memory_footprint() const;
+
+    /// Deep structural validation (test/debug hook): cross-checks edge
+    /// counts, per-vertex degrees, FIND reachability of every stored cell,
+    /// and the bidirectional EdgeblockArray <-> CAL pointer consistency.
+    /// Returns an empty string when consistent, else a failure description.
+    [[nodiscard]] std::string validate() const;
+
+private:
+    /// Maps a raw source id to its dense index, assigning one when new.
+    VertexId map_source(VertexId raw);
+    /// Read-only dense lookup; empty when the source never streamed.
+    [[nodiscard]] std::optional<VertexId> dense_of(VertexId raw) const;
+    [[nodiscard]] VertexId raw_of(VertexId dense) const {
+        return config_.enable_sgh ? sgh_.raw_of(dense) : dense;
+    }
+    void note_raw(VertexId raw) {
+        if (raw >= raw_bound_) {
+            raw_bound_ = raw + 1;
+        }
+    }
+
+    Config config_;
+    ScatterGatherHash sgh_;
+    CoarseAdjacencyList cal_;
+    EdgeblockArray eba_;
+    VertexPropertyArray props_;
+    std::vector<std::uint32_t> top_;  // dense id -> top-parent block handle
+    EdgeCount num_edges_ = 0;
+    VertexId raw_bound_ = 0;
+};
+
+}  // namespace gt::core

@@ -1,0 +1,93 @@
+#include "core/serialize.hpp"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+namespace gt::core {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+[[nodiscard]] bool get(std::istream& in, T& value) {
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool save_snapshot(const GraphTinker& graph, std::ostream& out) {
+    put(out, kSnapshotMagic);
+    put(out, kSnapshotVersion);
+    const Config& cfg = graph.config();
+    put(out, cfg.pagewidth);
+    put(out, cfg.subblock);
+    put(out, cfg.workblock);
+    put(out, static_cast<std::uint8_t>(cfg.enable_sgh));
+    put(out, static_cast<std::uint8_t>(cfg.enable_cal));
+    put(out, static_cast<std::uint8_t>(cfg.enable_rhh));
+    put(out, static_cast<std::uint8_t>(cfg.deletion_mode));
+    put(out, cfg.cal_group_size);
+    put(out, cfg.cal_block_edges);
+    put(out, graph.num_edges());
+    EdgeCount written = 0;
+    graph.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        put(out, s);
+        put(out, d);
+        put(out, w);
+        ++written;
+    });
+    return static_cast<bool>(out) && written == graph.num_edges();
+}
+
+std::unique_ptr<GraphTinker> load_snapshot(std::istream& in) {
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (!get(in, magic) || magic != kSnapshotMagic || !get(in, version) ||
+        version != kSnapshotVersion) {
+        return nullptr;
+    }
+    Config cfg;
+    std::uint8_t sgh = 0;
+    std::uint8_t cal = 0;
+    std::uint8_t rhh = 0;
+    std::uint8_t mode = 0;
+    if (!get(in, cfg.pagewidth) || !get(in, cfg.subblock) ||
+        !get(in, cfg.workblock) || !get(in, sgh) || !get(in, cal) ||
+        !get(in, rhh) || !get(in, mode) || !get(in, cfg.cal_group_size) ||
+        !get(in, cfg.cal_block_edges)) {
+        return nullptr;
+    }
+    cfg.enable_sgh = sgh != 0;
+    cfg.enable_cal = cal != 0;
+    cfg.enable_rhh = rhh != 0;
+    cfg.deletion_mode = static_cast<DeletionMode>(mode);
+    EdgeCount edges = 0;
+    if (!get(in, edges)) {
+        return nullptr;
+    }
+    cfg.reserve_edges = edges;
+    try {
+        cfg.validate();
+    } catch (const std::invalid_argument&) {
+        return nullptr;
+    }
+    auto graph = std::make_unique<GraphTinker>(cfg);
+    for (EdgeCount i = 0; i < edges; ++i) {
+        VertexId s = 0;
+        VertexId d = 0;
+        Weight w = 0;
+        if (!get(in, s) || !get(in, d) || !get(in, w)) {
+            return nullptr;
+        }
+        graph->insert_edge(s, d, w);
+    }
+    return graph;
+}
+
+}  // namespace gt::core

@@ -1,0 +1,31 @@
+// GraphTinker persistence (extension): save/load a store to a binary stream.
+//
+// The on-disk format is *logical*: the configuration plus the live edge
+// triples streamed from the compact CAL. Loading reconstructs the hash
+// structures by replaying the edges, so a round trip yields a semantically
+// identical graph (same edge set, weights, degrees) rather than a
+// byte-identical arena — which also means snapshots written by one geometry
+// (e.g. PAGEWIDTH=64) load fine into another.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/graphtinker.hpp"
+
+namespace gt::core {
+
+/// Magic + version header guarding against foreign/corrupt input.
+inline constexpr std::uint32_t kSnapshotMagic = 0x47545342;  // "GTSB"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Writes the store's configuration and live edges. Returns false on stream
+/// failure.
+bool save_snapshot(const GraphTinker& graph, std::ostream& out);
+
+/// Reads a snapshot written by save_snapshot into a fresh store constructed
+/// with the *serialized* configuration. Returns nullptr on malformed input.
+/// (unique_ptr because GraphTinker is intentionally non-movable.)
+std::unique_ptr<GraphTinker> load_snapshot(std::istream& in);
+
+}  // namespace gt::core

@@ -1,0 +1,64 @@
+// Scatter-Gather Hashing unit (paper §III.B).
+//
+// Maps raw source-vertex ids, in arrival order, onto a dense id space
+// [0, #non-empty vertices). The dense id is the index of the vertex's
+// top-parent edgeblock, so full scans of the structure touch only vertices
+// that actually own edges — the first of GraphTinker's two compaction levels.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rhh/robin_hood_map.hpp"
+#include "util/types.hpp"
+
+namespace gt::core {
+
+class ScatterGatherHash {
+public:
+    explicit ScatterGatherHash(std::size_t expected_vertices = 16)
+        : map_(expected_vertices * 2) {
+        dense_to_raw_.reserve(expected_vertices);
+    }
+
+    /// Returns the dense id for `raw`, assigning the next unused index when
+    /// the id has not been hashed before.
+    VertexId get_or_assign(VertexId raw) {
+        if (const VertexId* dense = map_.find(raw)) {
+            return *dense;
+        }
+        const auto dense = static_cast<VertexId>(dense_to_raw_.size());
+        map_.insert(raw, dense);
+        dense_to_raw_.push_back(raw);
+        return dense;
+    }
+
+    /// Lookup without assignment; empty when the vertex never owned an edge.
+    [[nodiscard]] std::optional<VertexId> lookup(VertexId raw) const {
+        if (const VertexId* dense = map_.find(raw)) {
+            return *dense;
+        }
+        return std::nullopt;
+    }
+
+    /// Reverse mapping (dense -> raw). Precondition: dense < size().
+    [[nodiscard]] VertexId raw_of(VertexId dense) const {
+        return dense_to_raw_[dense];
+    }
+
+    /// Number of non-empty (streamed) source vertices.
+    [[nodiscard]] std::size_t size() const noexcept {
+        return dense_to_raw_.size();
+    }
+
+    /// Bytes held by the forward map and the reverse table.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return map_.memory_bytes() + dense_to_raw_.capacity() * sizeof(VertexId);
+    }
+
+private:
+    RobinHoodMap<VertexId, VertexId> map_;
+    std::vector<VertexId> dense_to_raw_;
+};
+
+}  // namespace gt::core

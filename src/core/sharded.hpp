@@ -1,0 +1,98 @@
+// Parallel instances of a dynamic graph store (paper §III.D, Fig. 6).
+//
+// The edge stream is partitioned by where the source id hashes, and each
+// partition ("interval") loads into its own store instance on its own core.
+// The wrapper is generic over the store type so GraphTinker and the STINGER
+// baseline parallelize identically — multicore comparisons (Fig. 10) then
+// measure the data structures, not the parallelization strategy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+#include "util/types.hpp"
+
+namespace gt::core {
+
+template <typename Store>
+class ShardedStore {
+public:
+    /// Creates `shards` instances and a matching pool. `factory()` returns
+    /// the *configuration* each store is constructed from (stores are built
+    /// in place — GraphTinker is intentionally non-movable).
+    template <typename Factory>
+    ShardedStore(std::size_t shards, Factory&& factory)
+        : pool_(shards == 0 ? 1 : shards) {
+        const std::size_t n = shards == 0 ? 1 : shards;
+        stores_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            stores_.push_back(std::make_unique<Store>(factory()));
+        }
+    }
+
+    [[nodiscard]] static std::size_t shard_of(VertexId src,
+                                              std::size_t shards) noexcept {
+        return mix32(src) % shards;
+    }
+
+    void insert_batch(std::span<const Edge> batch) {
+        partition(batch);
+        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
+            for (const Edge& e : parts_[s]) {
+                stores_[s]->insert_edge(e.src, e.dst, e.weight);
+            }
+        });
+    }
+
+    void delete_batch(std::span<const Edge> batch) {
+        partition(batch);
+        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
+            for (const Edge& e : parts_[s]) {
+                stores_[s]->delete_edge(e.src, e.dst);
+            }
+        });
+    }
+
+    [[nodiscard]] EdgeCount num_edges() const {
+        EdgeCount total = 0;
+        for (const auto& store : stores_) {
+            total += store->num_edges();
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::size_t num_shards() const noexcept {
+        return stores_.size();
+    }
+    [[nodiscard]] Store& shard(std::size_t i) { return *stores_[i]; }
+    [[nodiscard]] const Store& shard(std::size_t i) const {
+        return *stores_[i];
+    }
+
+    /// Finds the edge in its owning shard.
+    [[nodiscard]] auto find_edge(VertexId src, VertexId dst) const {
+        return stores_[shard_of(src, stores_.size())]->find_edge(src, dst);
+    }
+
+private:
+    void partition(std::span<const Edge> batch) {
+        parts_.assign(stores_.size(), {});
+        const std::size_t n = stores_.size();
+        for (auto& part : parts_) {
+            part.reserve(batch.size() / n + 1);
+        }
+        for (const Edge& e : batch) {
+            parts_[shard_of(e.src, n)].push_back(e);
+        }
+    }
+
+    std::vector<std::unique_ptr<Store>> stores_;
+    std::vector<std::vector<Edge>> parts_;
+    ThreadPool pool_;
+};
+
+}  // namespace gt::core

@@ -1,0 +1,46 @@
+// VertexPropertyArray (paper §III.B): per-vertex metadata indexed by the
+// dense (hashed) source id — degree, an application value slot and flags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt::core {
+
+struct VertexProperty {
+    VertexId raw_id = kInvalidVertex;  // the pre-SGH id of this vertex
+    std::uint32_t degree = 0;          // live out-edges
+    std::uint32_t value = 0;           // application-defined property slot
+    std::uint32_t flags = 0;           // application-defined flag bits
+};
+
+class VertexPropertyArray {
+public:
+    /// Grows to cover `dense` and returns the entry.
+    VertexProperty& ensure(VertexId dense) {
+        if (dense >= props_.size()) {
+            props_.resize(static_cast<std::size_t>(dense) + 1);
+        }
+        return props_[dense];
+    }
+
+    [[nodiscard]] const VertexProperty& operator[](VertexId dense) const {
+        return props_[dense];
+    }
+    [[nodiscard]] VertexProperty& operator[](VertexId dense) {
+        return props_[dense];
+    }
+
+    [[nodiscard]] std::size_t size() const noexcept { return props_.size(); }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return props_.size() * sizeof(VertexProperty);
+    }
+
+private:
+    std::vector<VertexProperty> props_;
+};
+
+}  // namespace gt::core

@@ -1,0 +1,312 @@
+// The hybrid edge-centric graph engine (paper §IV).
+//
+// Per iteration, the inference unit predicts whether full processing (FP —
+// stream *all* edges contiguously, here from the CAL; messages from inactive
+// sources are simply skipped) or incremental processing (IP — walk the
+// out-edges of each active vertex through the EdgeblockArray) is cheaper,
+// using the paper's rule:
+//
+//     T = A / E,     mode = FP when T > threshold (0.02), else IP
+//
+// where A is the number of active vertices for the upcoming iteration and E
+// is the number of edges loaded so far. Both modes compute identical
+// per-iteration results; only the memory access pattern differs — which is
+// the whole point.
+//
+// The engine is generic over the store: any type providing
+//   for_each_out_edge(v, fn(dst, w)) / for_each_edge(fn(src, dst, w)) /
+//   num_edges() / num_vertices() / degree(v)
+// can drive it, so GraphTinker and the STINGER baseline are exercised by
+// byte-for-byte the same engine code.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/active_set.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace gt::engine {
+
+/// Load path of one iteration.
+enum class Mode : std::uint8_t { Full, Incremental };
+
+/// Engine-level policy for choosing the load path.
+///
+/// `Hybrid` is the paper's inference rule: T = A/E against a fixed
+/// threshold, where A counts active vertices. `HybridDegreeAware`
+/// implements the paper's stated future-work heuristic: it weighs the
+/// active set by its total degree (L = Σ degree(active)), i.e. the exact
+/// number of edges an incremental iteration would walk, and compares L/E
+/// against `degree_threshold` — the measured cost ratio between streaming
+/// one edge from the CAL and walking one edge through the EdgeblockArray.
+/// On graphs whose average degree is so high that A/E can never reach the
+/// fixed threshold (e.g. hollywood-2009), the degree-aware rule still finds
+/// the FP/IP crossover.
+enum class ModePolicy : std::uint8_t {
+    ForceFull,
+    ForceIncremental,
+    Hybrid,
+    HybridDegreeAware,
+};
+
+struct EngineOptions {
+    ModePolicy policy = ModePolicy::Hybrid;
+    /// The paper's empirically chosen decision threshold (§IV.B).
+    double threshold = 0.02;
+    /// Crossover for HybridDegreeAware: choose FP when the incremental walk
+    /// would touch more than this fraction of all edges.
+    double degree_threshold = 0.3;
+    /// Record a per-iteration trace (cheap; on by default).
+    bool keep_trace = true;
+};
+
+struct IterationTrace {
+    Mode mode;
+    std::size_t active_vertices;
+    std::uint64_t edges_streamed;  // edges physically read this iteration
+    std::uint64_t logical_edges;   // sum of active-vertex degrees
+    double seconds;
+};
+
+/// Aggregated statistics for one analytics run (one convergence to
+/// fixpoint). `logical_edges` is mode-independent, so
+/// logical_edges / seconds is the throughput metric used to compare FP, IP,
+/// hybrid and the STINGER baseline on equal footing (EXPERIMENTS.md).
+struct RunStats {
+    std::size_t iterations = 0;
+    std::size_t full_iterations = 0;
+    std::size_t incremental_iterations = 0;
+    std::uint64_t edges_streamed = 0;
+    std::uint64_t logical_edges = 0;
+    double seconds = 0.0;
+    std::vector<IterationTrace> trace;
+
+    void accumulate(const RunStats& other) {
+        iterations += other.iterations;
+        full_iterations += other.full_iterations;
+        incremental_iterations += other.incremental_iterations;
+        edges_streamed += other.edges_streamed;
+        logical_edges += other.logical_edges;
+        seconds += other.seconds;
+        trace.insert(trace.end(), other.trace.begin(), other.trace.end());
+    }
+
+    [[nodiscard]] double throughput_meps() const noexcept {
+        return mops(logical_edges, seconds);
+    }
+};
+
+/// A persistent dynamic analysis: vertex properties survive across batch
+/// updates so the incremental-compute model can refine the previous result
+/// instead of recomputing it (paper §II.B).
+template <typename Store, typename Alg>
+class DynamicAnalysis {
+public:
+    using Property = typename Alg::Property;
+
+    explicit DynamicAnalysis(const Store& store, EngineOptions opts = {},
+                             Alg alg = {})
+        : store_(store), opts_(opts), alg_(alg) {}
+
+    /// Registers the analysis root (BFS/SSSP); its property becomes 0 and it
+    /// seeds from-scratch runs. May be called before the vertex exists.
+    void set_root(VertexId root) {
+        roots_.push_back(root);
+        grow(root + 1);
+        props_[root] = Property{0};
+        active_.insert(root);
+    }
+
+    /// Set-Inconsistency-Vertices unit + run to fixpoint. Call *after* the
+    /// store ingested `batch`.
+    RunStats on_batch(std::span<const Edge> batch) {
+        grow(static_cast<VertexId>(store_.num_vertices()));
+        alg_.seed_batch(batch, [&](VertexId v) { active_.insert(v); });
+        return run();
+    }
+
+    /// Store-and-static-compute model: discard prior state and recompute the
+    /// whole analysis on the graph as it currently stands.
+    RunStats run_from_scratch() {
+        reset();
+        return run();
+    }
+
+    /// Re-seeds without discarding properties (useful after manual edits).
+    RunStats run_to_fixpoint() { return run(); }
+
+    [[nodiscard]] const std::vector<Property>& properties() const noexcept {
+        return props_;
+    }
+    [[nodiscard]] Property property(VertexId v) const {
+        return v < props_.size() ? props_[v] : alg_.initial(v);
+    }
+    [[nodiscard]] const Alg& algorithm() const noexcept { return alg_; }
+    [[nodiscard]] const EngineOptions& options() const noexcept {
+        return opts_;
+    }
+
+private:
+    void grow(VertexId bound) {
+        const auto old = static_cast<VertexId>(props_.size());
+        if (bound <= old) {
+            return;
+        }
+        props_.resize(bound);
+        temp_.resize(bound);
+        for (VertexId v = old; v < bound; ++v) {
+            props_[v] = alg_.initial(v);
+        }
+        active_.resize(bound);
+        next_.resize(bound);
+        touched_.resize(bound);
+    }
+
+    void reset() {
+        active_.clear();
+        next_.clear();
+        touched_.clear();
+        const auto bound = static_cast<VertexId>(store_.num_vertices());
+        props_.clear();
+        grow(bound);
+        if constexpr (Alg::needs_root) {
+            for (VertexId root : roots_) {
+                grow(root + 1);
+                props_[root] = Property{0};
+                active_.insert(root);
+            }
+        } else {
+            // Label-propagation style: every vertex starts active owning its
+            // initial label.
+            for (VertexId v = 0; v < bound; ++v) {
+                active_.insert(v);
+            }
+        }
+    }
+
+    /// The inference-box decision for the upcoming iteration (paper §IV.B).
+    [[nodiscard]] Mode decide_mode() const {
+        const double edges =
+            static_cast<double>(std::max<EdgeCount>(store_.num_edges(), 1));
+        switch (opts_.policy) {
+            case ModePolicy::ForceFull:
+                return Mode::Full;
+            case ModePolicy::ForceIncremental:
+                return Mode::Incremental;
+            case ModePolicy::Hybrid: {
+                const double t =
+                    static_cast<double>(active_.size()) / edges;
+                return t > opts_.threshold ? Mode::Full : Mode::Incremental;
+            }
+            case ModePolicy::HybridDegreeAware:
+                break;
+        }
+        std::uint64_t walk = 0;  // edges an IP iteration would traverse
+        for (VertexId u : active_.vertices()) {
+            walk += store_.degree(u);
+        }
+        const double t = static_cast<double>(walk) / edges;
+        return t > opts_.degree_threshold ? Mode::Full : Mode::Incremental;
+    }
+
+    void scatter_to(VertexId dst, Property msg) {
+        if (dst >= temp_.size()) {
+            grow(dst + 1);
+        }
+        if (touched_.insert(dst)) {
+            temp_[dst] = msg;
+        } else {
+            temp_[dst] = alg_.reduce(temp_[dst], msg);
+        }
+    }
+
+    RunStats run() {
+        RunStats stats;
+        while (!active_.empty()) {
+            Timer timer;
+            const Mode mode = decide_mode();
+            const std::size_t processed = active_.size();
+            std::uint64_t streamed = 0;
+            std::uint64_t logical = 0;
+            touched_.clear();
+
+            // --- processing phase (scatter + reduce) --------------------
+            if (mode == Mode::Incremental) {
+                for (VertexId u : active_.vertices()) {
+                    const Property up = props_[u];
+                    store_.for_each_out_edge(u, [&](VertexId v, Weight w) {
+                        ++streamed;
+                        if (const auto msg = alg_.process_edge(u, up, w)) {
+                            scatter_to(v, *msg);
+                        }
+                    });
+                }
+                logical = streamed;
+            } else {
+                store_.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+                    ++streamed;
+                    if (active_.contains(u)) {
+                        if (const auto msg =
+                                alg_.process_edge(u, props_[u], w)) {
+                            scatter_to(v, *msg);
+                        }
+                    }
+                });
+                for (VertexId u : active_.vertices()) {
+                    logical += store_.degree(u);
+                }
+            }
+
+            // Post-scatter hook: algorithms like forward-push PageRank fold
+            // the mass they just pushed into their own committed state.
+            if constexpr (requires(Alg a, Property& prop) {
+                              a.on_scattered(prop);
+                          }) {
+                for (VertexId u : active_.vertices()) {
+                    alg_.on_scattered(props_[u]);
+                }
+            }
+
+            // --- apply phase (commit + next frontier) --------------------
+            next_.clear();
+            for (VertexId v : touched_.vertices()) {
+                if (alg_.apply(props_[v], temp_[v])) {
+                    next_.insert(v);
+                }
+            }
+            active_.swap(next_);
+
+            const double secs = timer.seconds();
+            ++stats.iterations;
+            if (mode == Mode::Full) {
+                ++stats.full_iterations;
+            } else {
+                ++stats.incremental_iterations;
+            }
+            stats.edges_streamed += streamed;
+            stats.logical_edges += logical;
+            stats.seconds += secs;
+            if (opts_.keep_trace) {
+                stats.trace.push_back(
+                    IterationTrace{mode, processed, streamed, logical, secs});
+            }
+        }
+        return stats;
+    }
+
+    const Store& store_;
+    EngineOptions opts_;
+    Alg alg_;
+    std::vector<Property> props_;
+    std::vector<Property> temp_;
+    ActiveSet active_;
+    ActiveSet next_;
+    ActiveSet touched_;
+    std::vector<VertexId> roots_;
+};
+
+}  // namespace gt::engine

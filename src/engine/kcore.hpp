@@ -1,0 +1,101 @@
+// k-core decomposition (extension): peel vertices by degree to find the
+// coreness of every vertex — a standard density measure for the social
+// graphs this library targets.
+//
+// Input is treated as undirected (ingest symmetrized edges). The algorithm
+// is the classic O(V + E) bucket peel (Batagelj–Zaveršnik): process vertices
+// in nondecreasing degree order; a vertex's coreness is its remaining degree
+// when removed, and removal decrements its still-present neighbors.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt::engine {
+
+struct KCoreResult {
+    std::vector<std::uint32_t> coreness;  // per vertex
+    std::uint32_t degeneracy = 0;         // max coreness
+    /// Number of vertices with coreness >= k, for k in [0, degeneracy].
+    std::vector<std::size_t> core_sizes;
+};
+
+template <typename Store>
+[[nodiscard]] KCoreResult kcore_decomposition(const Store& store) {
+    const auto n = static_cast<VertexId>(store.num_vertices());
+    // Undirected degree view (dedup handled by the store).
+    std::vector<std::uint32_t> degree(n, 0);
+    std::vector<std::vector<VertexId>> adjacency(n);
+    store.for_each_edge([&](VertexId u, VertexId v, Weight) {
+        if (u != v) {
+            adjacency[u].push_back(v);
+        }
+    });
+    for (VertexId v = 0; v < n; ++v) {
+        degree[v] = static_cast<std::uint32_t>(adjacency[v].size());
+    }
+
+    // Bucket sort vertices by degree.
+    std::uint32_t max_degree = 0;
+    for (std::uint32_t d : degree) {
+        max_degree = std::max(max_degree, d);
+    }
+    std::vector<std::size_t> bucket_start(max_degree + 2, 0);
+    for (std::uint32_t d : degree) {
+        ++bucket_start[d + 1];
+    }
+    for (std::size_t i = 1; i < bucket_start.size(); ++i) {
+        bucket_start[i] += bucket_start[i - 1];
+    }
+    std::vector<VertexId> order(n);
+    std::vector<std::size_t> position(n);
+    {
+        std::vector<std::size_t> cursor(bucket_start.begin(),
+                                        bucket_start.end() - 1);
+        for (VertexId v = 0; v < n; ++v) {
+            position[v] = cursor[degree[v]]++;
+            order[position[v]] = v;
+        }
+    }
+
+    KCoreResult result;
+    result.coreness.assign(n, 0);
+    std::vector<std::uint32_t> current(degree);
+    std::vector<bool> removed(n, false);
+    // bucket_start[d] = index of the first vertex with current degree >= d.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const VertexId v = order[i];
+        result.coreness[v] = current[v];
+        result.degeneracy = std::max(result.degeneracy, current[v]);
+        removed[v] = true;
+        for (VertexId u : adjacency[v]) {
+            if (removed[u] || current[u] <= current[v]) {
+                continue;
+            }
+            // Move u one bucket down: swap it with the first vertex of its
+            // current bucket, then shrink the bucket boundary.
+            const std::uint32_t du = current[u];
+            const std::size_t first_of_bucket = bucket_start[du];
+            const VertexId w = order[first_of_bucket];
+            if (w != u) {
+                std::swap(order[position[u]], order[first_of_bucket]);
+                std::swap(position[u], position[w]);
+            }
+            ++bucket_start[du];
+            --current[u];
+        }
+    }
+
+    result.core_sizes.assign(result.degeneracy + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+        for (std::uint32_t k = 0; k <= result.coreness[v]; ++k) {
+            ++result.core_sizes[k];
+        }
+    }
+    return result;
+}
+
+}  // namespace gt::engine

@@ -1,0 +1,159 @@
+#include "engine/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+namespace gt::engine {
+
+CsrSnapshot::CsrSnapshot(std::span<const Edge> edges, VertexId num_vertices)
+    : n_(num_vertices) {
+    // Deduplicate (src, dst): last weight wins, matching store semantics.
+    std::unordered_map<std::uint64_t, Weight> dedup;
+    dedup.reserve(edges.size());
+    for (const Edge& e : edges) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+        dedup[key] = e.weight;
+    }
+    std::vector<std::uint32_t> degree(n_ + 1, 0);
+    for (const auto& [key, w] : dedup) {
+        ++degree[key >> 32];
+    }
+    offsets_.assign(n_ + 1, 0);
+    for (VertexId v = 0; v < n_; ++v) {
+        offsets_[v + 1] = offsets_[v] + degree[v];
+    }
+    adjacency_.resize(dedup.size());
+    std::vector<EdgeCount> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [key, w] : dedup) {
+        const auto src = static_cast<VertexId>(key >> 32);
+        const auto dst = static_cast<VertexId>(key & 0xffffffffU);
+        adjacency_[cursor[src]++] = {dst, w};
+    }
+}
+
+std::vector<std::uint32_t> reference_bfs(const CsrSnapshot& g, VertexId root) {
+    std::vector<std::uint32_t> level(g.num_vertices(), kInfDistance);
+    if (root >= g.num_vertices()) {
+        return level;
+    }
+    level[root] = 0;
+    std::queue<VertexId> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+        const VertexId u = frontier.front();
+        frontier.pop();
+        g.for_each_out_edge(u, [&](VertexId v, Weight) {
+            if (level[v] == kInfDistance) {
+                level[v] = level[u] + 1;
+                frontier.push(v);
+            }
+        });
+    }
+    return level;
+}
+
+std::vector<std::uint32_t> reference_sssp(const CsrSnapshot& g,
+                                          VertexId root) {
+    std::vector<std::uint32_t> dist(g.num_vertices(), kInfDistance);
+    if (root >= g.num_vertices()) {
+        return dist;
+    }
+    using Item = std::pair<std::uint32_t, VertexId>;  // (distance, vertex)
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[root] = 0;
+    pq.emplace(0, root);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d != dist[u]) {
+            continue;  // stale entry
+        }
+        g.for_each_out_edge(u, [&](VertexId v, Weight w) {
+            const std::uint64_t candidate = static_cast<std::uint64_t>(d) + w;
+            const auto clamped = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(candidate, kInfDistance - 1));
+            if (clamped < dist[v]) {
+                dist[v] = clamped;
+                pq.emplace(clamped, v);
+            }
+        });
+    }
+    return dist;
+}
+
+std::vector<std::uint32_t> reference_cc(const CsrSnapshot& g) {
+    // Union-find over the edges treated as undirected, then canonicalize
+    // each component to its minimum vertex id (the engine's label fixpoint).
+    std::vector<VertexId> parent(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        parent[v] = v;
+    }
+    auto find = [&](VertexId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+        g.for_each_out_edge(u, [&](VertexId v, Weight) {
+            const VertexId ru = find(u);
+            const VertexId rv = find(v);
+            if (ru != rv) {
+                parent[std::max(ru, rv)] = std::min(ru, rv);
+            }
+        });
+    }
+    std::vector<std::uint32_t> label(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        label[v] = find(v);  // roots are the minimum id by construction
+    }
+    return label;
+}
+
+std::vector<double> reference_pagerank(const CsrSnapshot& g, double damping,
+                                       double epsilon) {
+    const VertexId n = g.num_vertices();
+    std::vector<std::uint32_t> degree(n, 0);
+    for (VertexId u = 0; u < n; ++u) {
+        g.for_each_out_edge(u, [&](VertexId, Weight) { ++degree[u]; });
+    }
+    std::vector<double> rank(n, 1.0 - damping);
+    std::vector<double> next(n, 0.0);
+    for (int iter = 0; iter < 1000; ++iter) {
+        std::fill(next.begin(), next.end(), 1.0 - damping);
+        for (VertexId u = 0; u < n; ++u) {
+            if (degree[u] == 0) {
+                continue;  // dangling vertices absorb their mass
+            }
+            const double share = damping * rank[u] / degree[u];
+            g.for_each_out_edge(u, [&](VertexId v, Weight) {
+                next[v] += share;
+            });
+        }
+        double delta = 0.0;
+        for (VertexId v = 0; v < n; ++v) {
+            delta = std::max(delta, std::abs(next[v] - rank[v]));
+        }
+        rank.swap(next);
+        if (delta < epsilon) {
+            break;
+        }
+    }
+    return rank;
+}
+
+std::vector<Edge> symmetrize(std::span<const Edge> edges) {
+    std::vector<Edge> out;
+    out.reserve(edges.size() * 2);
+    for (const Edge& e : edges) {
+        out.push_back(e);
+        out.push_back(Edge{e.dst, e.src, e.weight});
+    }
+    return out;
+}
+
+}  // namespace gt::engine

@@ -1,0 +1,66 @@
+// Static reference implementations used to validate the hybrid engine.
+//
+// These are deliberately boring textbook algorithms over a CSR snapshot —
+// plain queue BFS, Dijkstra, union-find connected components — so that every
+// engine result (any store, any mode policy, any dynamic schedule) can be
+// checked against an independent oracle in the tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt::engine {
+
+/// An immutable CSR snapshot built from an edge list. Duplicate (src, dst)
+/// pairs keep only the *last* weight, matching the stores' overwrite
+/// semantics.
+class CsrSnapshot {
+public:
+    CsrSnapshot(std::span<const Edge> edges, VertexId num_vertices);
+
+    [[nodiscard]] VertexId num_vertices() const noexcept { return n_; }
+    [[nodiscard]] EdgeCount num_edges() const noexcept {
+        return adjacency_.size();
+    }
+
+    template <typename Fn>
+    void for_each_out_edge(VertexId v, Fn&& fn) const {
+        for (EdgeCount i = offsets_[v]; i < offsets_[v + 1]; ++i) {
+            fn(adjacency_[i].first, adjacency_[i].second);
+        }
+    }
+
+private:
+    VertexId n_;
+    std::vector<EdgeCount> offsets_;
+    std::vector<std::pair<VertexId, Weight>> adjacency_;
+};
+
+/// Hop counts from `root` (kInfDistance when unreachable).
+[[nodiscard]] std::vector<std::uint32_t> reference_bfs(const CsrSnapshot& g,
+                                                       VertexId root);
+
+/// Shortest distances from `root` (Dijkstra; kInfDistance when unreachable).
+[[nodiscard]] std::vector<std::uint32_t> reference_sssp(const CsrSnapshot& g,
+                                                        VertexId root);
+
+/// Min-label connected components over the *directed* edges as given —
+/// matches the engine's label propagation when the input was symmetrized.
+[[nodiscard]] std::vector<std::uint32_t> reference_cc(const CsrSnapshot& g);
+
+/// Unnormalized PageRank fixed point rank_v = (1-d) + d * Σ_{u->v} r_u/deg(u)
+/// by Jacobi iteration to within `epsilon` in the sup norm — the oracle for
+/// the engine's forward-push PageRank.
+[[nodiscard]] std::vector<double> reference_pagerank(const CsrSnapshot& g,
+                                                     double damping = 0.85,
+                                                     double epsilon = 1e-12);
+
+/// Duplicates every edge in the reverse direction (same weight). Analytics
+/// benches symmetrize at ingest so min-label CC computes weakly connected
+/// components and BFS/SSSP follow undirected reachability (DESIGN.md §3.5).
+[[nodiscard]] std::vector<Edge> symmetrize(std::span<const Edge> edges);
+
+}  // namespace gt::engine

@@ -1,0 +1,28 @@
+// Snapshot extraction: freeze any dynamic store into an immutable CSR.
+//
+// The store-and-static-compute model (paper §II.B) classically preprocesses
+// the graph into CSR before each static run; this helper provides that path
+// as a first-class API so static algorithms (and external tooling) can
+// consume GraphTinker/STINGER state directly.
+#pragma once
+
+#include <vector>
+
+#include "engine/reference.hpp"
+#include "util/types.hpp"
+
+namespace gt::engine {
+
+/// Materializes the current edge set of `store` (any type with
+/// for_each_edge and num_vertices) as a CSR snapshot.
+template <typename Store>
+[[nodiscard]] CsrSnapshot snapshot_of(const Store& store) {
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(store.num_edges()));
+    store.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        edges.push_back(Edge{s, d, w});
+    });
+    return CsrSnapshot(edges, store.num_vertices());
+}
+
+}  // namespace gt::engine

@@ -1,0 +1,95 @@
+// Batch preprocessing (extension): deduplicate and cancel updates within a
+// batch before applying it to a store.
+//
+// Streaming frameworks (STINGER's batch server included) pre-combine each
+// update batch: for every (src, dst) pair only the *final* operation in the
+// batch matters, so earlier ones fold away. Optionally, when the caller
+// knows the batch only touches edges that did not exist beforehand (a pure
+// growth stream), an insert-then-delete pair cancels outright.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt {
+
+struct PreparedBatch {
+    std::vector<Update> updates;    // compacted; survivors keep stream order
+    std::size_t duplicates = 0;     // updates folded into their survivor
+    std::size_t cancellations = 0;  // insert+delete pairs removed outright
+};
+
+/// Compacts `raw` so each (src, dst) appears at most once, keeping the
+/// *final* operation for the pair (weight of the last insert wins — the
+/// stores' own overwrite semantics).
+///
+/// `assume_new_edges`: set only when every pair in the batch is known to be
+/// absent from the store beforehand; then a pair whose first op is an insert
+/// and whose last op is a delete nets to nothing and is dropped. Without the
+/// flag such pairs survive as the trailing delete (sound for any prior
+/// state; a no-op when the edge never existed).
+[[nodiscard]] inline PreparedBatch prepare_batch(std::span<const Update> raw,
+                                                 bool assume_new_edges =
+                                                     false) {
+    PreparedBatch out;
+    auto key = [](const Edge& e) {
+        return (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    };
+    struct PairInfo {
+        std::size_t last_index = 0;
+        bool first_is_insert = false;
+    };
+    std::unordered_map<std::uint64_t, PairInfo> pairs;
+    pairs.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const std::uint64_t k = key(raw[i].edge);
+        auto [it, fresh] = pairs.try_emplace(
+            k, PairInfo{i, raw[i].kind == UpdateKind::Insert});
+        if (!fresh) {
+            it->second.last_index = i;
+        }
+    }
+    out.updates.reserve(pairs.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const PairInfo& info = pairs.at(key(raw[i].edge));
+        if (info.last_index != i) {
+            ++out.duplicates;
+            continue;
+        }
+        if (assume_new_edges && info.first_is_insert &&
+            raw[i].kind == UpdateKind::Delete) {
+            ++out.cancellations;
+            continue;
+        }
+        out.updates.push_back(raw[i]);
+    }
+    return out;
+}
+
+/// Convenience: wraps plain inserts as updates.
+[[nodiscard]] inline std::vector<Update> as_inserts(
+    std::span<const Edge> edges) {
+    std::vector<Update> out;
+    out.reserve(edges.size());
+    for (const Edge& e : edges) {
+        out.push_back(Update{e, UpdateKind::Insert});
+    }
+    return out;
+}
+
+/// Applies a prepared batch to any store with insert_edge/delete_edge.
+template <typename Store>
+void apply_batch(Store& store, const PreparedBatch& batch) {
+    for (const Update& u : batch.updates) {
+        if (u.kind == UpdateKind::Insert) {
+            store.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
+        } else {
+            store.delete_edge(u.edge.src, u.edge.dst);
+        }
+    }
+}
+
+}  // namespace gt

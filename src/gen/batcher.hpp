@@ -1,0 +1,48 @@
+// Batch iteration over an edge stream.
+//
+// All paper experiments feed updates in discrete batches (1M edges per batch,
+// §V.A); this helper slices a materialized stream into such batches without
+// copying.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt {
+
+class EdgeBatcher {
+public:
+    EdgeBatcher(std::span<const Edge> edges, std::size_t batch_size)
+        : edges_(edges), batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+    [[nodiscard]] std::size_t num_batches() const noexcept {
+        return (edges_.size() + batch_size_ - 1) / batch_size_;
+    }
+
+    /// The i-th batch; the last batch may be short.
+    [[nodiscard]] std::span<const Edge> batch(std::size_t i) const noexcept {
+        const std::size_t begin = i * batch_size_;
+        const std::size_t len = std::min(batch_size_, edges_.size() - begin);
+        return edges_.subspan(begin, len);
+    }
+
+    [[nodiscard]] std::size_t batch_size() const noexcept { return batch_size_; }
+
+private:
+    std::span<const Edge> edges_;
+    std::size_t batch_size_;
+};
+
+/// Default batch size used throughout the evaluation (paper §V.A), scaled
+/// down proportionally when benches run below paper scale so the *number* of
+/// batches (the x-axis of Figs 8/14/15) stays comparable.
+[[nodiscard]] inline std::size_t scaled_batch_size(double scale) {
+    const double scaled = 1'000'000.0 * scale;
+    return scaled < 1.0 ? 1 : static_cast<std::size_t>(scaled);
+}
+
+}  // namespace gt

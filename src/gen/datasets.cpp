@@ -1,0 +1,71 @@
+#include "gen/datasets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gt {
+
+DatasetSpec DatasetSpec::scaled(double scale) const {
+    if (scale >= 1.0) {
+        return *this;
+    }
+    DatasetSpec out = *this;
+    out.num_vertices = static_cast<VertexId>(std::max<double>(
+        1024.0, static_cast<double>(num_vertices) * scale));
+    out.num_edges = static_cast<EdgeCount>(std::max<double>(
+        4096.0, static_cast<double>(num_edges) * scale));
+    return out;
+}
+
+std::vector<Edge> DatasetSpec::generate() const {
+    return rmat_edges(num_vertices, num_edges, seed, rmat);
+}
+
+const std::vector<DatasetSpec>& table1_datasets() {
+    static const std::vector<DatasetSpec> kDatasets = [] {
+        std::vector<DatasetSpec> specs;
+        auto add = [&](std::string name, std::string kind, VertexId v,
+                       EdgeCount e, std::uint64_t seed, RmatParams p = {}) {
+            specs.push_back(DatasetSpec{std::move(name), std::move(kind), v, e,
+                                        p, seed});
+        };
+        add("RMAT_1M_10M", "synthetic", 1'000'192, 10'000'000, 11);
+        add("RMAT_500K_8M", "synthetic", 524'288, 8'380'000, 12);
+        add("RMAT_1M_16M", "synthetic", 1'048'576, 15'700'000, 13);
+        add("RMAT_2M_32M", "synthetic", 2'097'152, 31'770'000, 14);
+        // hollywood-2009 stand-in: avg degree ~100; slightly flatter RMAT
+        // (bigger A) gives the dense-collaboration hub structure.
+        add("hollywood_sim", "real-world (simulated)", 1'139'906, 113'891'327,
+            15, RmatParams{.a = 0.55, .b = 0.15, .c = 0.15, .noise = 0.1});
+        // kron_g500-logn21 stand-in: Graph500 Kronecker at logn21 scale —
+        // the original is itself a Graph500 Kronecker sample.
+        add("kron21_sim", "real-world (simulated)", 2'097'153, 182'082'942, 16);
+        return specs;
+    }();
+    return kDatasets;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+    for (const DatasetSpec& spec : table1_datasets()) {
+        if (spec.name == name) {
+            return spec;
+        }
+    }
+    throw std::out_of_range("unknown dataset: " + name);
+}
+
+std::vector<Edge> deletion_stream(std::vector<Edge> inserted,
+                                  std::uint64_t seed) {
+    Rng rng(seed);
+    // Fisher-Yates with our deterministic RNG (std::shuffle's output is
+    // implementation-defined, which would break cross-platform repro).
+    for (std::size_t i = inserted.size(); i > 1; --i) {
+        const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+        std::swap(inserted[i - 1], inserted[j]);
+    }
+    return inserted;
+}
+
+}  // namespace gt

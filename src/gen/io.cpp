@@ -1,0 +1,166 @@
+#include "gen/io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gt {
+
+namespace {
+
+[[nodiscard]] bool is_comment_or_blank(const std::string& line) {
+    for (char c : line) {
+        if (c == '#' || c == '%') {
+            return true;
+        }
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+            return false;
+        }
+    }
+    return true;  // blank
+}
+
+void note_vertex(ParsedGraph& graph, VertexId v) {
+    if (v >= graph.num_vertices) {
+        graph.num_vertices = v + 1;
+    }
+}
+
+}  // namespace
+
+ParsedGraph read_edge_list(std::istream& in) {
+    ParsedGraph graph;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        std::istringstream fields(line);
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        std::uint64_t weight = 1;
+        if (!(fields >> src >> dst)) {
+            graph.error = "line " + std::to_string(line_no) +
+                          ": expected `src dst [weight]`";
+            return graph;
+        }
+        fields >> weight;  // optional
+        if (src > kInvalidVertex - 1 || dst > kInvalidVertex - 1) {
+            graph.error = "line " + std::to_string(line_no) +
+                          ": vertex id out of 32-bit range";
+            return graph;
+        }
+        Edge e{static_cast<VertexId>(src), static_cast<VertexId>(dst),
+               static_cast<Weight>(std::max<std::uint64_t>(weight, 1))};
+        note_vertex(graph, e.src);
+        note_vertex(graph, e.dst);
+        graph.edges.push_back(e);
+    }
+    return graph;
+}
+
+ParsedGraph read_matrix_market(std::istream& in) {
+    ParsedGraph graph;
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.rfind("%%MatrixMarket", 0) != 0) {
+        graph.error = "missing %%MatrixMarket banner";
+        return graph;
+    }
+    // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    std::istringstream banner(line);
+    std::string tag;
+    std::string object;
+    std::string format;
+    std::string field;
+    std::string symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    if (object != "matrix" || format != "coordinate") {
+        graph.error = "only coordinate matrices are supported";
+        return graph;
+    }
+    const bool pattern = field == "pattern";
+    const bool symmetric = symmetry == "symmetric" ||
+                           symmetry == "skew-symmetric";
+    if (field != "pattern" && field != "integer" && field != "real") {
+        graph.error = "unsupported field type: " + field;
+        return graph;
+    }
+
+    // Skip comments; then the size line: rows cols nonzeros.
+    std::size_t line_no = 1;
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::uint64_t nonzeros = 0;
+    for (;;) {
+        if (!std::getline(in, line)) {
+            graph.error = "missing size line";
+            return graph;
+        }
+        ++line_no;
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        std::istringstream size_line(line);
+        if (!(size_line >> rows >> cols >> nonzeros)) {
+            graph.error = "malformed size line";
+            return graph;
+        }
+        break;
+    }
+    graph.num_vertices = static_cast<VertexId>(std::max(rows, cols));
+    graph.edges.reserve(symmetric ? nonzeros * 2 : nonzeros);
+
+    std::uint64_t parsed = 0;
+    while (parsed < nonzeros && std::getline(in, line)) {
+        ++line_no;
+        if (is_comment_or_blank(line)) {
+            continue;
+        }
+        std::istringstream entry(line);
+        std::uint64_t row = 0;
+        std::uint64_t col = 0;
+        if (!(entry >> row >> col) || row == 0 || col == 0 || row > rows ||
+            col > cols) {
+            graph.error = "line " + std::to_string(line_no) +
+                          ": malformed coordinate entry";
+            return graph;
+        }
+        Weight weight = 1;
+        if (!pattern) {
+            double value = 1.0;
+            if (!(entry >> value)) {
+                graph.error = "line " + std::to_string(line_no) +
+                              ": missing value";
+                return graph;
+            }
+            weight = static_cast<Weight>(
+                std::max<long long>(1, std::llround(std::abs(value))));
+        }
+        const Edge e{static_cast<VertexId>(row - 1),
+                     static_cast<VertexId>(col - 1), weight};
+        graph.edges.push_back(e);
+        if (symmetric && e.src != e.dst) {
+            graph.edges.push_back(Edge{e.dst, e.src, e.weight});
+        }
+        ++parsed;
+    }
+    if (parsed < nonzeros) {
+        graph.error = "truncated file: expected " + std::to_string(nonzeros) +
+                      " entries, found " + std::to_string(parsed);
+    }
+    return graph;
+}
+
+void write_edge_list(std::ostream& out, std::span<const Edge> edges) {
+    for (const Edge& e : edges) {
+        out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+    }
+}
+
+}  // namespace gt

@@ -1,0 +1,42 @@
+// Graph file I/O: whitespace edge lists and Matrix Market coordinate files.
+//
+// The paper's real-world inputs come from the University of Florida Sparse
+// Matrix Collection, which distributes Matrix Market (.mtx) files; this
+// module reads that format (pattern/integer/real coordinate matrices) plus
+// plain "src dst [weight]" edge lists, so users can run the library on their
+// own graphs.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt {
+
+struct ParsedGraph {
+    std::vector<Edge> edges;
+    VertexId num_vertices = 0;  // declared (mtx) or max-id+1 (edge list)
+    std::string error;          // non-empty on parse failure
+
+    [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+/// Parses a plain edge list: one `src dst [weight]` triple per line;
+/// `#` and `%` start comments; blank lines ignored. Missing weights
+/// default to 1.
+[[nodiscard]] ParsedGraph read_edge_list(std::istream& in);
+
+/// Parses a Matrix Market coordinate file (general or symmetric;
+/// pattern / integer / real fields — real weights are rounded to the
+/// nearest positive integer). Symmetric matrices are expanded to both
+/// directions. 1-based indices are converted to 0-based vertex ids.
+[[nodiscard]] ParsedGraph read_matrix_market(std::istream& in);
+
+/// Writes a `src dst weight` edge list.
+void write_edge_list(std::ostream& out, std::span<const Edge> edges);
+
+}  // namespace gt

@@ -1,0 +1,78 @@
+#include "gen/rmat.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace gt {
+
+namespace {
+
+/// Smallest power-of-two exponent covering n ids.
+[[nodiscard]] unsigned log2_ceil(std::uint64_t n) {
+    unsigned bits = 0;
+    while ((1ULL << bits) < n) {
+        ++bits;
+    }
+    return bits;
+}
+
+}  // namespace
+
+std::vector<Edge> rmat_edges(VertexId num_vertices, EdgeCount num_edges,
+                             std::uint64_t seed, const RmatParams& params) {
+    assert(num_vertices > 0);
+    const unsigned levels = log2_ceil(num_vertices);
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    const double d = 1.0 - params.a - params.b - params.c;
+    for (EdgeCount i = 0; i < num_edges; ++i) {
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        for (unsigned level = 0; level < levels; ++level) {
+            // Per-level multiplicative noise keeps hub degrees realistic.
+            const double na = params.a * (1.0 + params.noise * (rng.next_double() - 0.5));
+            const double nb = params.b * (1.0 + params.noise * (rng.next_double() - 0.5));
+            const double nc = params.c * (1.0 + params.noise * (rng.next_double() - 0.5));
+            const double nd = d * (1.0 + params.noise * (rng.next_double() - 0.5));
+            const double norm = na + nb + nc + nd;
+            const double r = rng.next_double() * norm;
+            src <<= 1;
+            dst <<= 1;
+            if (r < na) {
+                // top-left quadrant: no bits set
+            } else if (r < na + nb) {
+                dst |= 1;
+            } else if (r < na + nb + nc) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        Edge e;
+        e.src = static_cast<VertexId>(src % num_vertices);
+        e.dst = static_cast<VertexId>(dst % num_vertices);
+        e.weight = static_cast<Weight>(1 + rng.next_below(255));
+        edges.push_back(e);
+    }
+    return edges;
+}
+
+std::vector<Edge> uniform_edges(VertexId num_vertices, EdgeCount num_edges,
+                                std::uint64_t seed) {
+    assert(num_vertices > 0);
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(num_edges);
+    for (EdgeCount i = 0; i < num_edges; ++i) {
+        Edge e;
+        e.src = static_cast<VertexId>(rng.next_below(num_vertices));
+        e.dst = static_cast<VertexId>(rng.next_below(num_vertices));
+        e.weight = static_cast<Weight>(1 + rng.next_below(255));
+        edges.push_back(e);
+    }
+    return edges;
+}
+
+}  // namespace gt

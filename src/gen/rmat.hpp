@@ -1,0 +1,44 @@
+// Graph500-style RMAT (recursive-matrix) edge generator.
+//
+// The paper's synthetic datasets come from the Graph500 RMAT generator [2];
+// the two "real-world" graphs (hollywood-2009, kron_g500-logn21) are replaced
+// here by same-scale Kronecker samples — see DESIGN.md §5. RMAT recursively
+// partitions the adjacency matrix into quadrants with probabilities
+// (A, B, C, D) and descends `log2(N)` levels to pick each endpoint pair,
+// which yields the heavy-tailed degree distributions these experiments
+// depend on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gt {
+
+struct RmatParams {
+    double a = 0.57;  // Graph500 defaults
+    double b = 0.19;
+    double c = 0.19;
+    // d = 1 - a - b - c
+    /// Perturbs quadrant probabilities per level (Graph500 "noise") so the
+    /// degree sequence is not perfectly self-similar.
+    double noise = 0.1;
+};
+
+/// Generates `num_edges` directed edges over vertex ids [0, num_vertices).
+/// Vertex ids are produced in a power-of-two space and folded into the target
+/// range, so non-power-of-two dataset sizes (e.g. hollywood-2009's 1,139,906
+/// vertices) work. Weights are uniform in [1, 255] for SSSP.
+[[nodiscard]] std::vector<Edge> rmat_edges(VertexId num_vertices,
+                                           EdgeCount num_edges,
+                                           std::uint64_t seed,
+                                           const RmatParams& params = {});
+
+/// Uniform (Erdős–Rényi style) edge stream over [0, num_vertices).
+[[nodiscard]] std::vector<Edge> uniform_edges(VertexId num_vertices,
+                                              EdgeCount num_edges,
+                                              std::uint64_t seed);
+
+}  // namespace gt

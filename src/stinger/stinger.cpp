@@ -1,0 +1,149 @@
+#include "stinger/stinger.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gt::stinger {
+
+Stinger::Stinger(StingerConfig config)
+    : block_size_(std::max<std::uint32_t>(1, config.edges_per_block)) {
+    vertices_.resize(std::max<std::uint32_t>(1, config.initial_vertices));
+    if (config.reserve_edges > 0) {
+        const std::size_t blocks =
+            static_cast<std::size_t>(config.reserve_edges / block_size_) +
+            config.initial_vertices + 1;
+        blocks_.reserve(blocks);
+        cells_.reserve(blocks * block_size_);
+    }
+}
+
+void Stinger::ensure_vertex(VertexId v) {
+    if (v >= vertices_.size()) {
+        std::size_t size = vertices_.size();
+        while (size <= v) {
+            size *= 2;
+        }
+        vertices_.resize(size);
+    }
+}
+
+std::uint32_t Stinger::allocate_block() {
+    const auto id = static_cast<std::uint32_t>(blocks_.size());
+    blocks_.emplace_back();
+    cells_.resize(cells_.size() + block_size_);
+    return id;
+}
+
+bool Stinger::insert_edge(VertexId src, VertexId dst, Weight weight) {
+    ensure_vertex(src);
+    ensure_vertex(dst);
+    VertexMeta& meta = vertices_[src];
+    const VertexLockGuard guard(meta);  // STINGER locks the list per update
+    const std::uint32_t now = ++timestamp_;
+
+    // FIND pass: walk the entire chain looking for dst, remembering the first
+    // reusable slot (empty or tombstoned) along the way.
+    std::size_t free_slot = static_cast<std::size_t>(-1);
+    for (std::uint32_t b = meta.head; b != kNoBlock; b = blocks_[b].next) {
+        const std::size_t base = static_cast<std::size_t>(b) * block_size_;
+        const std::uint32_t high = blocks_[b].high;
+        for (std::uint32_t i = 0; i < block_size_; ++i) {
+            Cell& cell = cells_[base + i];
+            if (cell.state == CellState::Occupied) {
+                if (cell.dst == dst) {
+                    // Existing edge: update weight and recency timestamp.
+                    cell.weight = weight;
+                    cell.time_recent = now;
+                    return false;
+                }
+            } else if (free_slot == static_cast<std::size_t>(-1)) {
+                free_slot = base + i;
+            }
+            if (i >= high && cell.state == CellState::Empty) {
+                break;  // past the block's high-water mark: nothing further
+            }
+        }
+    }
+
+    if (free_slot == static_cast<std::size_t>(-1)) {
+        // Chain exhausted: append a fresh block at the tail.
+        const std::uint32_t block = allocate_block();
+        if (meta.tail == kNoBlock) {
+            meta.head = block;
+        } else {
+            blocks_[meta.tail].next = block;
+        }
+        meta.tail = block;
+        free_slot = static_cast<std::size_t>(block) * block_size_;
+    }
+
+    Cell& cell = cells_[free_slot];
+    cell.dst = dst;
+    cell.weight = weight;
+    cell.time_first = now;
+    cell.time_recent = now;
+    cell.state = CellState::Occupied;
+    const std::uint32_t block = static_cast<std::uint32_t>(
+        free_slot / block_size_);
+    const std::uint32_t offset = static_cast<std::uint32_t>(
+        free_slot % block_size_);
+    blocks_[block].high = std::max(blocks_[block].high, offset + 1);
+    meta.out_degree.fetch_add(1, std::memory_order_relaxed);
+    vertices_[dst].in_degree.fetch_add(1, std::memory_order_relaxed);
+    num_edges_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool Stinger::delete_edge(VertexId src, VertexId dst) {
+    if (src >= vertices_.size()) {
+        return false;
+    }
+    VertexMeta& meta = vertices_[src];
+    const VertexLockGuard guard(meta);
+    for (std::uint32_t b = meta.head; b != kNoBlock; b = blocks_[b].next) {
+        const std::size_t base = static_cast<std::size_t>(b) * block_size_;
+        for (std::uint32_t i = 0; i < block_size_; ++i) {
+            Cell& cell = cells_[base + i];
+            if (cell.state == CellState::Occupied && cell.dst == dst) {
+                cell.state = CellState::Tombstone;
+                meta.out_degree.fetch_sub(1, std::memory_order_relaxed);
+                vertices_[dst].in_degree.fetch_sub(1,
+                                                   std::memory_order_relaxed);
+                num_edges_.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+const Weight* Stinger::find_edge(VertexId src, VertexId dst) const {
+    if (src >= vertices_.size()) {
+        return nullptr;
+    }
+    for (std::uint32_t b = vertices_[src].head; b != kNoBlock;
+         b = blocks_[b].next) {
+        const std::size_t base = static_cast<std::size_t>(b) * block_size_;
+        for (std::uint32_t i = 0; i < block_size_; ++i) {
+            const Cell& cell = cells_[base + i];
+            if (cell.state == CellState::Occupied && cell.dst == dst) {
+                return &cell.weight;
+            }
+        }
+    }
+    return nullptr;
+}
+
+std::uint32_t Stinger::chain_length(VertexId v) const noexcept {
+    if (v >= vertices_.size()) {
+        return 0;
+    }
+    std::uint32_t len = 0;
+    for (std::uint32_t b = vertices_[v].head; b != kNoBlock;
+         b = blocks_[b].next) {
+        ++len;
+    }
+    return len;
+}
+
+}  // namespace gt::stinger

@@ -1,0 +1,68 @@
+// Active-vertex frontier used by the hybrid engine.
+//
+// The incremental-compute model iterates over an explicit, possibly sparse,
+// set of active vertices; the full-compute model only needs the membership
+// test. This structure provides both: an O(1) dedup bitmap plus a dense list
+// for iteration, with O(active) clearing between iterations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gt {
+
+class ActiveSet {
+public:
+    ActiveSet() = default;
+    explicit ActiveSet(std::size_t capacity) { resize(capacity); }
+
+    /// Grows the id space; existing membership is preserved.
+    void resize(std::size_t capacity) { member_.resize(capacity, false); }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return member_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return list_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return list_.empty(); }
+
+    [[nodiscard]] bool contains(VertexId v) const noexcept {
+        return v < member_.size() && member_[v];
+    }
+
+    /// Adds v if absent; returns true when newly added.
+    bool insert(VertexId v) {
+        if (v >= member_.size()) {
+            member_.resize(static_cast<std::size_t>(v) + 1, false);
+        }
+        if (member_[v]) {
+            return false;
+        }
+        member_[v] = true;
+        list_.push_back(v);
+        return true;
+    }
+
+    /// O(size) clear: only touches bits that are set.
+    void clear() {
+        for (VertexId v : list_) {
+            member_[v] = false;
+        }
+        list_.clear();
+    }
+
+    /// Dense iteration view (insertion order).
+    [[nodiscard]] const std::vector<VertexId>& vertices() const noexcept {
+        return list_;
+    }
+
+    void swap(ActiveSet& other) noexcept {
+        member_.swap(other.member_);
+        list_.swap(other.list_);
+    }
+
+private:
+    std::vector<bool> member_;
+    std::vector<VertexId> list_;
+};
+
+}  // namespace gt

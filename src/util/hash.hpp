@@ -1,0 +1,39 @@
+// Hash mixers used across the data structures.
+//
+// The Tree-Based Hashing scheme of the paper requires a *level-salted* hash
+// family: at every generation of the edgeblock tree the destination vertex id
+// must re-hash to a fresh subblock/cell position, otherwise congestion at one
+// level reproduces itself at every descendant level.
+#pragma once
+
+#include <cstdint>
+
+namespace gt {
+
+/// splitmix64 finalizer — a strong, cheap 64-bit mixer (public-domain
+/// constants from Vigna's splitmix64 reference implementation).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// 32-bit finalizer (murmur3 fmix32).
+[[nodiscard]] constexpr std::uint32_t mix32(std::uint32_t x) noexcept {
+    x ^= x >> 16;
+    x *= 0x85ebca6bU;
+    x ^= x >> 13;
+    x *= 0xc2b2ae35U;
+    x ^= x >> 16;
+    return x;
+}
+
+/// Level-salted hash of a vertex id: `level` is the generation in the
+/// edgeblock tree (0 = top-parent). Distinct levels give independent values.
+[[nodiscard]] constexpr std::uint64_t level_hash(std::uint32_t vertex,
+                                                 std::uint32_t level) noexcept {
+    return mix64((static_cast<std::uint64_t>(level) << 32) | vertex);
+}
+
+}  // namespace gt

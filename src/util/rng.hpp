@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All generators in this repository are seeded explicitly so every benchmark
+// and test run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace gt {
+
+/// xoshiro256** — fast, high-quality PRNG (Blackman & Vigna, public domain).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+        // Seed the full state through splitmix64 as the authors recommend.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            word = mix64(x++);
+        }
+    }
+
+    [[nodiscard]] std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+        // Lemire's multiply-shift rejection-free reduction is fine here:
+        // slight bias is irrelevant for workload synthesis.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    [[nodiscard]] double next_double() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace gt

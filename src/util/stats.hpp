@@ -1,0 +1,51 @@
+// Small statistics helpers for benchmark reporting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gt {
+
+struct Summary {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;
+};
+
+[[nodiscard]] inline Summary summarize(const std::vector<double>& xs) {
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty()) {
+        return s;
+    }
+    double sum = 0.0;
+    s.min = xs.front();
+    s.max = xs.front();
+    for (double x : xs) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) {
+        var += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+}
+
+/// Relative degradation between the first and last sample, as the paper
+/// reports for load stability (e.g. "34% throughput degradation").
+[[nodiscard]] inline double degradation(const std::vector<double>& xs) {
+    if (xs.size() < 2 || xs.front() == 0.0) {
+        return 0.0;
+    }
+    return (xs.front() - xs.back()) / xs.front();
+}
+
+}  // namespace gt

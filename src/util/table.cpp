@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace gt {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+    std::vector<std::string> row;
+    row.reserve(values.size());
+    for (double value : values) {
+        row.push_back(fmt(value, precision));
+    }
+    add_row(std::move(row));
+}
+
+std::string Table::fmt(double value, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::string rule;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        rule.append(widths[c] + 2, c + 1 == header_.size() ? '-' : '-');
+    }
+    os << rule << '\n';
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+void Table::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0) {
+                os << ',';
+            }
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+}  // namespace gt

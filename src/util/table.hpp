@@ -1,0 +1,39 @@
+// Aligned-table / CSV emission for the benchmark harness.
+//
+// Every figure-reproduction binary prints one of these tables so the output
+// can be eyeballed against the paper and also parsed (`--csv` style) by
+// plotting scripts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gt {
+
+/// Collects rows of stringified cells and renders them either as an aligned
+/// text table (human) or as CSV (machines).
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Appends a row; the row is padded/truncated to the header width.
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience for mixed numeric rows.
+    void add_row_values(const std::vector<double>& values, int precision = 3);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+    void print(std::ostream& os) const;
+    void print_csv(std::ostream& os) const;
+
+    /// Formats a double with fixed precision (shared helper).
+    static std::string fmt(double value, int precision = 3);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gt

@@ -1,0 +1,79 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gt {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) {
+        threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) {
+        worker.join();
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+    if (n == 0) {
+        return;
+    }
+    std::unique_lock lock(mutex_);
+    batch_.fn = &fn;
+    batch_.n = n;
+    batch_.next = 0;
+    batch_.remaining = n;
+    ++batch_.epoch;
+    work_cv_.notify_all();
+
+    // The calling thread helps, so a pool of size 1 still makes progress even
+    // while its single worker is busy elsewhere.
+    while (batch_.next < batch_.n) {
+        const std::size_t index = batch_.next++;
+        lock.unlock();
+        fn(index);
+        lock.lock();
+        --batch_.remaining;
+    }
+    done_cv_.wait(lock, [this] { return batch_.remaining == 0; });
+    batch_.fn = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+    std::unique_lock lock(mutex_);
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+        work_cv_.wait(lock, [&] {
+            return stop_ || (batch_.fn != nullptr && batch_.next < batch_.n &&
+                             batch_.epoch != seen_epoch);
+        });
+        if (stop_) {
+            return;
+        }
+        seen_epoch = batch_.epoch;
+        while (batch_.fn != nullptr && batch_.next < batch_.n) {
+            const std::size_t index = batch_.next++;
+            const auto* fn = batch_.fn;
+            lock.unlock();
+            (*fn)(index);
+            lock.lock();
+            if (--batch_.remaining == 0) {
+                done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+}  // namespace gt

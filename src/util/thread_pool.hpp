@@ -1,0 +1,58 @@
+// A small, dependency-free thread pool with a blocking parallel_for.
+//
+// GraphTinker's multicore story (paper §III.D) shards the structure across
+// instances and applies each shard's updates on its own core; this pool is
+// the substrate for that as well as for shard-parallel analytics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gt {
+
+class ThreadPool {
+public:
+    /// Creates `threads` workers. 0 means std::thread::hardware_concurrency().
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Runs fn(i) for i in [0, n) across the pool and blocks until all
+    /// complete. fn is invoked concurrently; it must synchronize any shared
+    /// state itself. Exceptions thrown by fn terminate (tasks are noexcept
+    /// by contract — benchmark/engine bodies do not throw).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+    /// Runs fn(t) once per worker thread t in [0, size()), in parallel.
+    void for_each_worker(const std::function<void(std::size_t)>& fn) {
+        parallel_for(size(), fn);
+    }
+
+private:
+    struct Batch {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        std::size_t next = 0;       // next index to claim
+        std::size_t remaining = 0;  // indices not yet finished
+        std::uint64_t epoch = 0;    // generation counter for wakeups
+    };
+
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Batch batch_;
+    bool stop_ = false;
+};
+
+}  // namespace gt

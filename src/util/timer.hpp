@@ -1,0 +1,32 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gt {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+public:
+    Timer() noexcept : start_(Clock::now()) {}
+
+    void reset() noexcept { start_ = Clock::now(); }
+
+    [[nodiscard]] double seconds() const noexcept {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/// Throughput in million items per second, guarding against zero elapsed.
+[[nodiscard]] inline double mops(std::uint64_t items, double seconds) noexcept {
+    return seconds > 0.0 ? static_cast<double>(items) / seconds / 1e6 : 0.0;
+}
+
+}  // namespace gt

@@ -1,0 +1,44 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/types.hpp"
+
+namespace gt::test {
+
+/// Rewrites weights as a pure function of the endpoints, so duplicate
+/// (src, dst) occurrences in a stream always carry the same weight. Needed
+/// when comparing the *monotone* incremental engine (which can never raise a
+/// distance after a weight increase) against oracles computed on final
+/// weights.
+inline std::vector<Edge> stabilize_weights(std::vector<Edge> edges) {
+    for (Edge& e : edges) {
+        const auto h = mix64((static_cast<std::uint64_t>(e.src) << 32) | e.dst);
+        e.weight = 1 + static_cast<Weight>(h % 254);
+    }
+    return edges;
+}
+
+/// Deduplicates (src, dst) pairs keeping the last weight (store semantics).
+inline std::vector<Edge> dedup_edges(const std::vector<Edge>& edges) {
+    std::unordered_map<std::uint64_t, std::size_t> last;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        last[(static_cast<std::uint64_t>(edges[i].src) << 32) |
+             edges[i].dst] = i;
+    }
+    std::vector<Edge> out;
+    out.reserve(last.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        const auto key =
+            (static_cast<std::uint64_t>(edges[i].src) << 32) | edges[i].dst;
+        if (last.at(key) == i) {
+            out.push_back(edges[i]);
+        }
+    }
+    return out;
+}
+
+}  // namespace gt::test

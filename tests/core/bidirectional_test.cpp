@@ -1,0 +1,88 @@
+// Tests for the bidirectional store and the early-terminating traversals.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bidirectional.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt::core {
+namespace {
+
+TEST(Bidirectional, MirrorsEveryInsert) {
+    BidirectionalGraphTinker g;
+    EXPECT_TRUE(g.insert_edge(1, 2, 5));
+    EXPECT_FALSE(g.insert_edge(1, 2, 7));  // duplicate updates both copies
+    EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(7));
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.in_degree(2), 1u);
+    EXPECT_EQ(g.in_degree(1), 0u);
+    EXPECT_EQ(g.validate(), "");
+}
+
+TEST(Bidirectional, InEdgeTraversal) {
+    BidirectionalGraphTinker g;
+    g.insert_edge(1, 9);
+    g.insert_edge(2, 9);
+    g.insert_edge(9, 3);
+    std::set<VertexId> sources;
+    g.for_each_in_edge(9, [&](VertexId src, Weight) { sources.insert(src); });
+    EXPECT_EQ(sources, (std::set<VertexId>{1, 2}));
+    std::set<VertexId> dsts;
+    g.for_each_out_edge(9, [&](VertexId dst, Weight) { dsts.insert(dst); });
+    EXPECT_EQ(dsts, (std::set<VertexId>{3}));
+}
+
+TEST(Bidirectional, DeleteRemovesBothDirections) {
+    BidirectionalGraphTinker g;
+    g.insert_edge(4, 5);
+    EXPECT_TRUE(g.delete_edge(4, 5));
+    EXPECT_FALSE(g.delete_edge(4, 5));
+    EXPECT_EQ(g.in_degree(5), 0u);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_EQ(g.validate(), "");
+}
+
+TEST(Bidirectional, RandomChurnStaysMirrored) {
+    BidirectionalGraphTinker g;
+    const auto inserts = rmat_edges(200, 5000, 44);
+    g.insert_batch(inserts);
+    EXPECT_EQ(g.validate(), "");
+    // Delete a third, validate the mirror again.
+    for (std::size_t i = 0; i < inserts.size(); i += 3) {
+        g.delete_edge(inserts[i].src, inserts[i].dst);
+    }
+    EXPECT_EQ(g.validate(), "");
+    // in-degree sums must equal out-degree sums.
+    std::uint64_t out_sum = 0;
+    std::uint64_t in_sum = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        out_sum += g.degree(v);
+        in_sum += g.in_degree(v);
+    }
+    EXPECT_EQ(out_sum, in_sum);
+    EXPECT_EQ(out_sum, g.num_edges());
+}
+
+TEST(Bidirectional, UntilTraversalStopsEarly) {
+    BidirectionalGraphTinker g;
+    for (VertexId s = 0; s < 100; ++s) {
+        g.insert_edge(s, 7);
+    }
+    int visited = 0;
+    const bool completed = g.for_each_in_edge_until(7, [&](VertexId, Weight) {
+        ++visited;
+        return visited < 5;  // stop after five
+    });
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(visited, 5);
+    // And a full pass reports completion.
+    visited = 0;
+    EXPECT_TRUE(g.for_each_in_edge_until(
+        7, [&](VertexId, Weight) { ++visited; return true; }));
+    EXPECT_EQ(visited, 100);
+}
+
+}  // namespace
+}  // namespace gt::core

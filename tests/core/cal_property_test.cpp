@@ -1,0 +1,196 @@
+// Randomized property tests for the Coarse Adjacency List and the SGH unit
+// under sustained churn, plus cross-feature combinations not covered by the
+// unit suites.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bidirectional.hpp"
+#include "core/cal.hpp"
+#include "core/graphtinker.hpp"
+#include "core/sgh.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "engine/reference.hpp"
+#include "gen/rmat.hpp"
+#include "stinger/stinger.hpp"
+#include "util/rng.hpp"
+
+namespace gt::core {
+namespace {
+
+class CalFuzzTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CalFuzzTest, RandomChurnKeepsStreamExact) {
+    const bool compact = GetParam();
+    CoarseAdjacencyList cal(/*group_size=*/8, /*block_edges=*/4);
+    // Model: live CAL entries keyed by a synthetic id we track through the
+    // Moved notifications.
+    struct Entry {
+        VertexId src;
+        VertexId dst;
+        Weight weight;
+    };
+    std::unordered_map<std::uint32_t, Entry> live;  // pos -> entry
+    Rng rng(compact ? 1 : 2);
+    for (int op = 0; op < 20000; ++op) {
+        if (live.empty() || rng.next_below(10) < 6) {
+            const auto dense = static_cast<VertexId>(rng.next_below(64));
+            // Unique weight per insertion so the Moved re-keying below can
+            // identify the relocated entry unambiguously.
+            const Entry e{dense * 1000,
+                          static_cast<VertexId>(rng.next_below(100)),
+                          static_cast<Weight>(op + 1)};
+            const auto pos = cal.insert(dense, e.src, e.dst, e.weight,
+                                        CellRef{0, 0});
+            ASSERT_FALSE(live.contains(pos)) << "pos reuse while occupied";
+            live.emplace(pos, e);
+        } else {
+            // Erase a random live position.
+            auto it = live.begin();
+            std::advance(it, static_cast<long>(
+                                 rng.next_below(live.size())));
+            const auto pos = it->first;
+            live.erase(it);
+            if (const auto moved = cal.erase(pos, compact)) {
+                // A tail entry moved into the hole; re-key the model.
+                const auto old_it = live.find(moved->new_pos);
+                // new_pos == pos always here, and the moved entry came from
+                // somewhere else — find it by scanning (model is small).
+                ASSERT_EQ(moved->new_pos, pos);
+                std::optional<std::uint32_t> source;
+                const auto slot = cal.slot_at(pos);
+                for (const auto& [p, e] : live) {
+                    if (p != pos && e.src == slot.src && e.dst == slot.dst &&
+                        e.weight == slot.weight) {
+                        source = p;
+                        break;
+                    }
+                }
+                ASSERT_TRUE(source.has_value()) << "moved entry untracked";
+                live.emplace(pos, live.at(*source));
+                live.erase(*source);
+                (void)old_it;
+            }
+        }
+        ASSERT_EQ(cal.live_edges(), live.size());
+    }
+    // Stream audit: multiset equality with the model.
+    std::multiset<std::tuple<VertexId, VertexId, Weight>> want;
+    for (const auto& [pos, e] : live) {
+        want.emplace(e.src, e.dst, e.weight);
+    }
+    std::multiset<std::tuple<VertexId, VertexId, Weight>> got;
+    cal.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        got.emplace(s, d, w);
+    });
+    EXPECT_EQ(got, want);
+    if (compact) {
+        EXPECT_EQ(cal.scanned_slots(), live.size())
+            << "compact mode must not accumulate holes";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, CalFuzzTest, ::testing::Bool(),
+                         [](const auto& info) {
+                             return info.param ? "compact" : "delete_only";
+                         });
+
+TEST(SghStress, MillionsOfLookupsStayConsistent) {
+    ScatterGatherHash sgh;
+    Rng rng(9);
+    std::unordered_map<VertexId, VertexId> model;
+    for (int i = 0; i < 200000; ++i) {
+        const auto raw = static_cast<VertexId>(rng.next_below(1u << 28));
+        const VertexId dense = sgh.get_or_assign(raw);
+        auto [it, fresh] = model.emplace(raw, dense);
+        if (!fresh) {
+            ASSERT_EQ(it->second, dense) << "remap of raw " << raw;
+        } else {
+            ASSERT_EQ(dense, model.size() - 1) << "dense ids must be serial";
+        }
+        ASSERT_EQ(sgh.raw_of(dense), raw);
+    }
+    EXPECT_EQ(sgh.size(), model.size());
+    EXPECT_GT(sgh.memory_bytes(), 0u);
+}
+
+TEST(GraphTinkerCombo, LargePagewidthSmallGraph) {
+    Config cfg;
+    cfg.pagewidth = 4096;
+    cfg.subblock = 64;
+    cfg.workblock = 16;
+    GraphTinker g(cfg);
+    g.insert_edge(1, 2, 3);
+    EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(3));
+    EXPECT_EQ(g.validate(), "");
+    // Iteration over a nearly-empty giant block stays correct (occupancy
+    // masks skip the slack).
+    int count = 0;
+    g.for_each_out_edge(1, [&](VertexId, Weight) { ++count; });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(GraphTinkerCombo, EngineOverBidirectionalStore) {
+    // The bidirectional wrapper satisfies the store concept, so the hybrid
+    // engine runs over it directly (forward direction).
+    BidirectionalGraphTinker g;
+    const auto edges = engine::symmetrize(rmat_edges(150, 1500, 31));
+    g.insert_batch(edges);
+    engine::DynamicAnalysis<BidirectionalGraphTinker, engine::Bfs> bfs(g);
+    bfs.set_root(0);
+    bfs.run_from_scratch();
+    const engine::CsrSnapshot csr(edges, g.num_vertices());
+    const auto want = engine::reference_bfs(csr, 0);
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        ASSERT_EQ(bfs.property(v), want[v]) << v;
+    }
+}
+
+TEST(GraphTinkerCombo, MixedFeatureChurnStaysValid) {
+    // Every feature combination under one churny workload, validated deeply.
+    for (const bool sgh : {true, false}) {
+        for (const bool cal : {true, false}) {
+            for (const auto mode : {DeletionMode::DeleteOnly,
+                                    DeletionMode::DeleteAndCompact}) {
+                Config cfg;
+                cfg.enable_sgh = sgh;
+                cfg.enable_cal = cal;
+                cfg.deletion_mode = mode;
+                GraphTinker g(cfg);
+                const auto inserts = rmat_edges(120, 2500, 7);
+                g.insert_batch(inserts);
+                for (std::size_t i = 0; i < inserts.size(); i += 2) {
+                    g.delete_edge(inserts[i].src, inserts[i].dst);
+                }
+                g.insert_batch(rmat_edges(120, 500, 8));
+                ASSERT_EQ(g.validate(), "")
+                    << "sgh=" << sgh << " cal=" << cal
+                    << " compact=" << (mode == DeletionMode::DeleteAndCompact);
+            }
+        }
+    }
+}
+
+TEST(StingerExtra, InDegreeTracksBothDirections) {
+    gt::stinger::Stinger s;
+    s.insert_edge(1, 5);
+    s.insert_edge(2, 5);
+    s.insert_edge(5, 1);
+    EXPECT_EQ(s.in_degree(5), 2u);
+    EXPECT_EQ(s.in_degree(1), 1u);
+    EXPECT_EQ(s.in_degree(2), 0u);
+    s.delete_edge(1, 5);
+    EXPECT_EQ(s.in_degree(5), 1u);
+    // Duplicate insert must not double-count.
+    s.insert_edge(2, 5, 9);
+    EXPECT_EQ(s.in_degree(5), 1u);
+    EXPECT_GT(s.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace gt::core

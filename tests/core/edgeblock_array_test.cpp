@@ -1,0 +1,236 @@
+// Tests for the EdgeblockArray: Robin Hood probing, Tree-Based Hashing
+// branch-out, deletion modes and the compaction machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/edgeblock_array.hpp"
+
+namespace gt::core {
+namespace {
+
+Config small_config() {
+    Config cfg;
+    cfg.pagewidth = 16;
+    cfg.subblock = 4;
+    cfg.workblock = 2;
+    cfg.enable_cal = false;
+    return cfg;
+}
+
+TEST(EdgeblockArray, InsertFindUpdate) {
+    const Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    EXPECT_TRUE(eba.insert(top, 5, 10).inserted);
+    EXPECT_NE(top, EdgeblockArray::kNoBlock);
+    EXPECT_FALSE(eba.insert(top, 5, 20).inserted);  // weight update
+    EXPECT_EQ(eba.find(top, 5), std::optional<Weight>(20));
+    EXPECT_FALSE(eba.find(top, 6).has_value());
+}
+
+TEST(EdgeblockArray, FindOnEmptyHandle) {
+    const Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    EXPECT_FALSE(eba.find(EdgeblockArray::kNoBlock, 1).has_value());
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    EXPECT_FALSE(eba.erase(top, 1).found);
+}
+
+TEST(EdgeblockArray, BranchesOutWhenSubblockCongests) {
+    const Config cfg = small_config();  // 4 subblocks of 4 cells
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    // Far more edges than one block holds: the tree must branch.
+    for (VertexId d = 0; d < 200; ++d) {
+        eba.insert(top, d, 1);
+    }
+    EXPECT_GT(eba.stats().branch_outs, 0u);
+    EXPECT_GT(eba.blocks_in_use(), 1u);
+    for (VertexId d = 0; d < 200; ++d) {
+        EXPECT_TRUE(eba.find(top, d).has_value()) << d;
+    }
+}
+
+TEST(EdgeblockArray, DepthIsLogarithmicInDegree) {
+    // The paper's probe-distance claim: O(log n) generations vs the
+    // adjacency list's O(n) blocks.
+    Config cfg;
+    cfg.pagewidth = 64;
+    cfg.subblock = 8;
+    cfg.workblock = 4;
+    cfg.enable_cal = false;
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    constexpr VertexId kDegree = 20000;
+    for (VertexId d = 0; d < kDegree; ++d) {
+        eba.insert(top, d, 1);
+    }
+    const double depth = eba.subtree_depth(top);
+    // Each level multiplies capacity by ~spb (8); generous upper bound of
+    // 4x the information-theoretic depth tolerates hash imbalance.
+    const double log_bound = std::log2(kDegree) / std::log2(8.0);
+    EXPECT_LE(depth, 4.0 * log_bound + 2.0)
+        << "tree far deeper than O(log degree)";
+}
+
+TEST(EdgeblockArray, RobinHoodSwapsHappenAndPreserveFindability) {
+    Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 64; ++d) {
+        eba.insert(top, d, d + 1);
+    }
+    EXPECT_GT(eba.stats().rhh_swaps, 0u) << "RHH never displaced anything";
+    for (VertexId d = 0; d < 64; ++d) {
+        EXPECT_EQ(eba.find(top, d), std::optional<Weight>(d + 1));
+    }
+}
+
+TEST(EdgeblockArray, RhhDisabledInCompactMode) {
+    Config cfg = small_config();
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    EXPECT_FALSE(cfg.rhh_active());
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 64; ++d) {
+        eba.insert(top, d, d + 1);
+    }
+    EXPECT_EQ(eba.stats().rhh_swaps, 0u);
+    for (VertexId d = 0; d < 64; ++d) {
+        EXPECT_EQ(eba.find(top, d), std::optional<Weight>(d + 1));
+    }
+}
+
+TEST(EdgeblockArray, DeleteOnlyTombstonesWithoutFreeingBlocks) {
+    Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 100; ++d) {
+        eba.insert(top, d, 1);
+    }
+    const std::size_t peak_blocks = eba.blocks_in_use();
+    for (VertexId d = 0; d < 100; ++d) {
+        EXPECT_TRUE(eba.erase(top, d).found);
+    }
+    EXPECT_EQ(eba.blocks_in_use(), peak_blocks) << "delete-only must not shrink";
+    EXPECT_EQ(eba.stats().blocks_freed, 0u);
+    for (VertexId d = 0; d < 100; ++d) {
+        EXPECT_FALSE(eba.find(top, d).has_value());
+    }
+    // Tombstoned slots are reusable by later inserts.
+    const std::size_t before = eba.blocks_in_use();
+    for (VertexId d = 200; d < 260; ++d) {
+        eba.insert(top, d, 1);
+    }
+    EXPECT_LE(eba.blocks_in_use(), before + 4);
+}
+
+TEST(EdgeblockArray, DeleteAndCompactShrinksToNothing) {
+    Config cfg = small_config();
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 500; ++d) {
+        eba.insert(top, d, 1);
+    }
+    const std::size_t peak = eba.blocks_in_use();
+    EXPECT_GT(peak, 5u);
+    for (VertexId d = 0; d < 500; ++d) {
+        ASSERT_TRUE(eba.erase(top, d).found) << d;
+    }
+    EXPECT_EQ(top, EdgeblockArray::kNoBlock) << "empty vertex keeps no block";
+    EXPECT_EQ(eba.blocks_in_use(), 0u) << "compact mode must fully shrink";
+    EXPECT_GT(eba.stats().blocks_freed, 0u);
+}
+
+TEST(EdgeblockArray, CompactionRelocatesDeepEdgesUpward) {
+    Config cfg = small_config();
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 300; ++d) {
+        eba.insert(top, d, d);
+    }
+    const auto depth_before = eba.subtree_depth(top);
+    // Delete half; survivors must all stay findable with correct weights.
+    for (VertexId d = 0; d < 300; d += 2) {
+        ASSERT_TRUE(eba.erase(top, d).found);
+    }
+    EXPECT_GT(eba.stats().compaction_moves, 0u);
+    EXPECT_LE(eba.subtree_depth(top), depth_before);
+    for (VertexId d = 1; d < 300; d += 2) {
+        EXPECT_EQ(eba.find(top, d), std::optional<Weight>(d)) << d;
+    }
+    for (VertexId d = 0; d < 300; d += 2) {
+        EXPECT_FALSE(eba.find(top, d).has_value()) << d;
+    }
+}
+
+TEST(EdgeblockArray, FreedBlocksAreRecycled) {
+    Config cfg = small_config();
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top_a = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 200; ++d) {
+        eba.insert(top_a, d, 1);
+    }
+    const std::size_t allocated_peak = eba.blocks_allocated();
+    for (VertexId d = 0; d < 200; ++d) {
+        eba.erase(top_a, d);
+    }
+    // A second vertex reuses the freed pool instead of growing the arena.
+    std::uint32_t top_b = EdgeblockArray::kNoBlock;
+    for (VertexId d = 0; d < 200; ++d) {
+        eba.insert(top_b, d, 1);
+    }
+    EXPECT_EQ(eba.blocks_allocated(), allocated_peak);
+}
+
+TEST(EdgeblockArray, IterationVisitsExactlyLiveEdges) {
+    Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    std::set<VertexId> expected;
+    for (VertexId d = 0; d < 150; ++d) {
+        eba.insert(top, d * 3, 1);
+        expected.insert(d * 3);
+    }
+    for (VertexId d = 0; d < 150; d += 5) {
+        eba.erase(top, d * 3);
+        expected.erase(d * 3);
+    }
+    std::set<VertexId> seen;
+    eba.for_each_edge_of(top, [&](VertexId dst, Weight) {
+        EXPECT_TRUE(seen.insert(dst).second) << "duplicate " << dst;
+    });
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(EdgeblockArray, WorkblockFetchesAreCounted) {
+    Config cfg = small_config();
+    EdgeblockArray eba(cfg, nullptr);
+    std::uint32_t top = EdgeblockArray::kNoBlock;
+    eba.insert(top, 1, 1);
+    const auto before = eba.stats().workblocks_fetched;
+    (void)eba.find(top, 1);
+    EXPECT_GT(eba.stats().workblocks_fetched, before);
+}
+
+TEST(EdgeblockArrayConfig, ValidationRejectsBadGeometry) {
+    Config bad;
+    bad.pagewidth = 48;  // not a power of two
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = Config{};
+    bad.subblock = 16;
+    bad.workblock = 32;  // workblock larger than subblock
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = Config{};
+    bad.cal_group_size = 0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    EXPECT_NO_THROW(Config{}.validate());
+}
+
+}  // namespace
+}  // namespace gt::core

@@ -1,0 +1,250 @@
+// GraphTinker façade tests: feature flags, traversal paths, CAL pointer
+// integrity, and randomized model checks across the configuration space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "core/graphtinker.hpp"
+#include "gen/rmat.hpp"
+#include "util/rng.hpp"
+
+namespace gt::core {
+namespace {
+
+TEST(GraphTinker, EmptyGraphBasics) {
+    GraphTinker g;
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_EQ(g.num_vertices(), 0u);
+    EXPECT_EQ(g.num_nonempty_vertices(), 0u);
+    EXPECT_EQ(g.degree(5), 0u);
+    EXPECT_FALSE(g.find_edge(1, 2).has_value());
+    EXPECT_FALSE(g.delete_edge(1, 2));
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphTinker, InsertUpdatesDegreeAndCounts) {
+    GraphTinker g;
+    EXPECT_TRUE(g.insert_edge(10, 20, 1));
+    EXPECT_TRUE(g.insert_edge(10, 30, 2));
+    EXPECT_TRUE(g.insert_edge(40, 10, 3));
+    EXPECT_EQ(g.num_edges(), 3u);
+    EXPECT_EQ(g.degree(10), 2u);
+    EXPECT_EQ(g.degree(40), 1u);
+    EXPECT_EQ(g.degree(20), 0u);
+    EXPECT_EQ(g.num_vertices(), 41u);          // max raw id + 1
+    EXPECT_EQ(g.num_nonempty_vertices(), 2u);  // only sources own blocks
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphTinker, SelfLoopsAndZeroVertex) {
+    GraphTinker g;
+    EXPECT_TRUE(g.insert_edge(0, 0, 9));
+    EXPECT_EQ(g.find_edge(0, 0), std::optional<Weight>(9));
+    EXPECT_TRUE(g.delete_edge(0, 0));
+    EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTinker, DuplicateInsertIsWeightUpdateEverywhere) {
+    GraphTinker g;  // CAL on: the copy must be updated too
+    g.insert_edge(1, 2, 5);
+    EXPECT_FALSE(g.insert_edge(1, 2, 50));
+    EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(50));
+    Weight cal_weight = 0;
+    g.for_each_edge([&](VertexId, VertexId, Weight w) { cal_weight = w; });
+    EXPECT_EQ(cal_weight, 50u);  // streamed from the CAL
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphTinker, OutEdgeIterationMatchesInserts) {
+    GraphTinker g;
+    std::set<std::pair<VertexId, Weight>> expected;
+    for (VertexId d = 0; d < 500; ++d) {
+        g.insert_edge(7, d, d + 1);
+        expected.insert({d, d + 1});
+    }
+    std::set<std::pair<VertexId, Weight>> seen;
+    g.for_each_out_edge(7, [&](VertexId dst, Weight w) {
+        EXPECT_TRUE(seen.insert({dst, w}).second);
+    });
+    EXPECT_EQ(seen, expected);
+    g.for_each_out_edge(999, [](VertexId, Weight) {
+        FAIL() << "unknown vertex must yield nothing";
+    });
+}
+
+TEST(GraphTinker, CalAndEbaStreamsAgree) {
+    GraphTinker g;
+    const auto edges = rmat_edges(200, 3000, 4);
+    g.insert_batch(edges);
+    using E = std::tuple<VertexId, VertexId, Weight>;
+    std::set<E> via_cal;
+    std::set<E> via_eba;
+    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        EXPECT_TRUE(via_cal.emplace(s, d, w).second) << "dup in CAL stream";
+    });
+    g.for_each_edge_via_eba([&](VertexId s, VertexId d, Weight w) {
+        EXPECT_TRUE(via_eba.emplace(s, d, w).second) << "dup in EBA stream";
+    });
+    EXPECT_EQ(via_cal, via_eba);
+    EXPECT_EQ(via_cal.size(), g.num_edges());
+}
+
+TEST(GraphTinker, SghDisabledSweepsRawIdSpace) {
+    Config cfg;
+    cfg.enable_sgh = false;
+    GraphTinker g(cfg);
+    g.insert_edge(34, 1, 1);
+    g.insert_edge(22789, 1, 1);
+    // Without SGH the main region spans the raw id range (the paper's
+    // "22755 indexes apart" motivating example).
+    EXPECT_EQ(g.num_nonempty_vertices(), 22790u);
+    GraphTinker with_sgh;
+    with_sgh.insert_edge(34, 1, 1);
+    with_sgh.insert_edge(22789, 1, 1);
+    EXPECT_EQ(with_sgh.num_nonempty_vertices(), 2u);
+}
+
+TEST(GraphTinker, CalDisabledStillStreams) {
+    Config cfg;
+    cfg.enable_cal = false;
+    GraphTinker g(cfg);
+    g.insert_edge(1, 2, 3);
+    g.insert_edge(4, 5, 6);
+    std::set<std::tuple<VertexId, VertexId, Weight>> seen;
+    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        seen.emplace(s, d, w);
+    });
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_TRUE(seen.contains({1, 2, 3}));
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphTinker, BatchHelpers) {
+    GraphTinker g;
+    const auto edges = rmat_edges(100, 1000, 6);
+    g.insert_batch(edges);
+    const auto count_after_insert = g.num_edges();
+    EXPECT_GT(count_after_insert, 0u);
+    g.delete_batch(edges);
+    EXPECT_EQ(g.num_edges(), 0u);
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+}
+
+TEST(GraphTinker, HighDegreeHubStaysConsistent) {
+    GraphTinker g;
+    constexpr VertexId kDegree = 30000;
+    for (VertexId d = 0; d < kDegree; ++d) {
+        ASSERT_TRUE(g.insert_edge(0, d, 1));
+    }
+    EXPECT_EQ(g.degree(0), kDegree);
+    EXPECT_TRUE(g.validate().empty()) << g.validate();
+    // Spot-check FIND at depth.
+    for (VertexId d = 0; d < kDegree; d += 997) {
+        EXPECT_TRUE(g.find_edge(0, d).has_value()) << d;
+    }
+}
+
+// ---- randomized model check across the configuration space -------------
+
+struct ModelParam {
+    std::uint32_t pagewidth;
+    std::uint32_t subblock;
+    std::uint32_t workblock;
+    bool sgh;
+    bool cal;
+    DeletionMode mode;
+};
+
+class GraphTinkerModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(GraphTinkerModelTest, MatchesModelUnderRandomChurn) {
+    const ModelParam p = GetParam();
+    Config cfg;
+    cfg.pagewidth = p.pagewidth;
+    cfg.subblock = p.subblock;
+    cfg.workblock = p.workblock;
+    cfg.enable_sgh = p.sgh;
+    cfg.enable_cal = p.cal;
+    cfg.deletion_mode = p.mode;
+    GraphTinker g(cfg);
+    std::unordered_map<std::uint64_t, Weight> model;
+    auto key = [](VertexId a, VertexId b) {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    Rng rng(p.pagewidth * 1000 + p.subblock);
+    constexpr int kOps = 40000;
+    for (int op = 0; op < kOps; ++op) {
+        // Skewed source distribution so some vertices grow deep trees.
+        const auto src = static_cast<VertexId>(
+            rng.next_below(rng.next_below(2) != 0u ? 8 : 512));
+        const auto dst = static_cast<VertexId>(rng.next_below(512));
+        const auto roll = rng.next_below(10);
+        if (roll < 6) {
+            const auto w = static_cast<Weight>(1 + rng.next_below(1000));
+            const bool inserted = g.insert_edge(src, dst, w);
+            EXPECT_EQ(inserted, !model.contains(key(src, dst)));
+            model[key(src, dst)] = w;
+        } else if (roll < 9) {
+            const bool deleted = g.delete_edge(src, dst);
+            EXPECT_EQ(deleted, model.erase(key(src, dst)) > 0);
+        } else {
+            const auto got = g.find_edge(src, dst);
+            const auto it = model.find(key(src, dst));
+            if (it == model.end()) {
+                EXPECT_FALSE(got.has_value());
+            } else {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+        ASSERT_EQ(g.num_edges(), model.size());
+        if (op % 10000 == 9999) {
+            ASSERT_EQ(g.validate(), "") << "op " << op;
+        }
+    }
+    // Full audit at the end: every model edge findable and streamed.
+    ASSERT_EQ(g.validate(), "");
+    std::unordered_map<std::uint64_t, Weight> streamed;
+    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        EXPECT_TRUE(streamed.emplace(key(s, d), w).second);
+    });
+    EXPECT_EQ(streamed.size(), model.size());
+    for (const auto& [k, w] : model) {
+        ASSERT_TRUE(streamed.contains(k));
+        EXPECT_EQ(streamed.at(k), w);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GraphTinkerModelTest,
+    ::testing::Values(
+        // Paper defaults, both deletion modes.
+        ModelParam{64, 8, 4, true, true, DeletionMode::DeleteOnly},
+        ModelParam{64, 8, 4, true, true, DeletionMode::DeleteAndCompact},
+        // Feature ablations.
+        ModelParam{64, 8, 4, false, true, DeletionMode::DeleteOnly},
+        ModelParam{64, 8, 4, true, false, DeletionMode::DeleteOnly},
+        ModelParam{64, 8, 4, false, false, DeletionMode::DeleteAndCompact},
+        // PAGEWIDTH sweep endpoints (Fig 17-19 configurations).
+        ModelParam{8, 8, 4, true, true, DeletionMode::DeleteOnly},
+        ModelParam{16, 4, 2, true, true, DeletionMode::DeleteAndCompact},
+        ModelParam{256, 8, 4, true, true, DeletionMode::DeleteOnly},
+        ModelParam{256, 16, 8, true, true, DeletionMode::DeleteAndCompact},
+        // Degenerate geometries.
+        ModelParam{8, 8, 8, true, true, DeletionMode::DeleteOnly},
+        ModelParam{64, 64, 4, true, true, DeletionMode::DeleteAndCompact},
+        ModelParam{4, 2, 2, true, true, DeletionMode::DeleteOnly}),
+    [](const ::testing::TestParamInfo<ModelParam>& info) {
+        const ModelParam& p = info.param;
+        return "pw" + std::to_string(p.pagewidth) + "_sb" +
+               std::to_string(p.subblock) + "_wb" +
+               std::to_string(p.workblock) + (p.sgh ? "_sgh" : "_nosgh") +
+               (p.cal ? "_cal" : "_nocal") +
+               (p.mode == DeletionMode::DeleteOnly ? "_delonly" : "_delcompact");
+    });
+
+}  // namespace
+}  // namespace gt::core

@@ -1,0 +1,110 @@
+// Round-trip tests for GraphTinker snapshots.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/serialize.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt::core {
+namespace {
+
+using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
+
+EdgeMap edge_map(const GraphTinker& g) {
+    EdgeMap out;
+    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        out[{s, d}] = w;
+    });
+    return out;
+}
+
+TEST(Serialize, EmptyGraphRoundTrips) {
+    GraphTinker g;
+    std::stringstream buffer;
+    ASSERT_TRUE(save_snapshot(g, buffer));
+    const auto loaded = load_snapshot(buffer);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->num_edges(), 0u);
+    EXPECT_EQ(loaded->validate(), "");
+}
+
+TEST(Serialize, EdgesWeightsAndDegreesSurvive) {
+    GraphTinker g;
+    const auto edges = rmat_edges(300, 5000, 77);
+    g.insert_batch(edges);
+    // A few deletions so tombstoned state is exercised.
+    for (std::size_t i = 0; i < edges.size(); i += 7) {
+        g.delete_edge(edges[i].src, edges[i].dst);
+    }
+    std::stringstream buffer;
+    ASSERT_TRUE(save_snapshot(g, buffer));
+    const auto loaded = load_snapshot(buffer);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->num_edges(), g.num_edges());
+    EXPECT_EQ(edge_map(*loaded), edge_map(g));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_EQ(loaded->degree(v), g.degree(v)) << v;
+    }
+    EXPECT_EQ(loaded->validate(), "");
+}
+
+TEST(Serialize, ConfigurationIsPreserved) {
+    Config cfg;
+    cfg.pagewidth = 128;
+    cfg.subblock = 16;
+    cfg.workblock = 8;
+    cfg.enable_sgh = false;
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    GraphTinker g(cfg);
+    g.insert_edge(5, 6, 7);
+    std::stringstream buffer;
+    ASSERT_TRUE(save_snapshot(g, buffer));
+    const auto loaded = load_snapshot(buffer);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->config().pagewidth, 128u);
+    EXPECT_EQ(loaded->config().subblock, 16u);
+    EXPECT_FALSE(loaded->config().enable_sgh);
+    EXPECT_EQ(loaded->config().deletion_mode,
+              DeletionMode::DeleteAndCompact);
+    EXPECT_EQ(loaded->find_edge(5, 6), std::optional<Weight>(7));
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+    {
+        std::stringstream buffer("definitely not a snapshot");
+        EXPECT_EQ(load_snapshot(buffer), nullptr);
+    }
+    {
+        GraphTinker g;
+        g.insert_edge(1, 2, 3);
+        g.insert_edge(4, 5, 6);
+        std::stringstream buffer;
+        ASSERT_TRUE(save_snapshot(g, buffer));
+        const std::string full = buffer.str();
+        std::stringstream truncated(full.substr(0, full.size() - 4));
+        EXPECT_EQ(load_snapshot(truncated), nullptr);
+    }
+    {
+        std::stringstream empty;
+        EXPECT_EQ(load_snapshot(empty), nullptr);
+    }
+}
+
+TEST(Serialize, LoadedStoreRemainsFullyUsable) {
+    GraphTinker g;
+    g.insert_batch(rmat_edges(100, 1500, 3));
+    std::stringstream buffer;
+    ASSERT_TRUE(save_snapshot(g, buffer));
+    auto loaded = load_snapshot(buffer);
+    ASSERT_NE(loaded, nullptr);
+    const auto before = loaded->num_edges();
+    EXPECT_TRUE(loaded->insert_edge(9999, 1, 2));
+    EXPECT_TRUE(loaded->delete_edge(9999, 1));
+    EXPECT_EQ(loaded->num_edges(), before);
+    EXPECT_EQ(loaded->validate(), "");
+}
+
+}  // namespace
+}  // namespace gt::core

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sgh.hpp"
+#include "util/rng.hpp"
+
+namespace gt::core {
+namespace {
+
+TEST(Sgh, AssignsDenseIdsInStreamOrder) {
+    ScatterGatherHash sgh;
+    // The paper: "obtaining the next unused index location ... starting
+    // from zero".
+    EXPECT_EQ(sgh.get_or_assign(34), 0u);
+    EXPECT_EQ(sgh.get_or_assign(22789), 1u);
+    EXPECT_EQ(sgh.get_or_assign(7), 2u);
+    EXPECT_EQ(sgh.size(), 3u);
+}
+
+TEST(Sgh, RepeatLookupsAreStable) {
+    ScatterGatherHash sgh;
+    const VertexId a = sgh.get_or_assign(1000);
+    const VertexId b = sgh.get_or_assign(2000);
+    EXPECT_EQ(sgh.get_or_assign(1000), a);
+    EXPECT_EQ(sgh.get_or_assign(2000), b);
+    EXPECT_EQ(sgh.size(), 2u);
+}
+
+TEST(Sgh, LookupWithoutAssignment) {
+    ScatterGatherHash sgh;
+    EXPECT_FALSE(sgh.lookup(5).has_value());
+    sgh.get_or_assign(5);
+    ASSERT_TRUE(sgh.lookup(5).has_value());
+    EXPECT_EQ(*sgh.lookup(5), 0u);
+    EXPECT_EQ(sgh.size(), 1u);  // lookup never assigns
+    EXPECT_FALSE(sgh.lookup(6).has_value());
+}
+
+TEST(Sgh, ReverseMappingRoundTrips) {
+    ScatterGatherHash sgh;
+    Rng rng(3);
+    std::set<VertexId> raws;
+    while (raws.size() < 5000) {
+        raws.insert(static_cast<VertexId>(rng.next_below(1u << 30)));
+    }
+    for (VertexId raw : raws) {
+        const VertexId dense = sgh.get_or_assign(raw);
+        EXPECT_EQ(sgh.raw_of(dense), raw);
+    }
+    EXPECT_EQ(sgh.size(), raws.size());
+    // Dense space is exactly [0, size): a bijection.
+    std::set<VertexId> denses;
+    for (VertexId raw : raws) {
+        denses.insert(*sgh.lookup(raw));
+    }
+    EXPECT_EQ(denses.size(), raws.size());
+    EXPECT_EQ(*denses.begin(), 0u);
+    EXPECT_EQ(*denses.rbegin(), static_cast<VertexId>(raws.size() - 1));
+}
+
+}  // namespace
+}  // namespace gt::core

@@ -1,0 +1,185 @@
+// Additional engine-level behaviour tests: weight updates flowing through
+// dynamic SSSP, RunStats accounting, hybrid decision traces, memory
+// footprint reporting, and store-concept conformance details.
+#include <gtest/gtest.h>
+
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "engine/reference.hpp"
+#include "gen/rmat.hpp"
+#include "stinger/stinger.hpp"
+
+namespace gt::engine {
+namespace {
+
+TEST(EngineExtra, SsspImprovesWhenWeightDecreases) {
+    // A weight *decrease* on an existing edge is an update batch; seeding
+    // its source must propagate the improvement (monotone direction).
+    core::GraphTinker g;
+    const std::vector<Edge> initial{{0, 1, 10}, {1, 2, 10}};
+    g.insert_batch(initial);
+    DynamicAnalysis<core::GraphTinker, Sssp> sssp(g);
+    sssp.set_root(0);
+    sssp.run_from_scratch();
+    EXPECT_EQ(sssp.property(2), 20u);
+
+    const std::vector<Edge> improvement{{0, 1, 3}};  // 10 -> 3
+    g.insert_batch(improvement);
+    sssp.on_batch(improvement);
+    EXPECT_EQ(sssp.property(1), 3u);
+    EXPECT_EQ(sssp.property(2), 13u);
+}
+
+TEST(EngineExtra, NewShortcutEdgeImprovesDownstream) {
+    core::GraphTinker g;
+    const std::vector<Edge> initial{{0, 1, 5}, {1, 2, 5}, {2, 3, 5}};
+    g.insert_batch(initial);
+    DynamicAnalysis<core::GraphTinker, Sssp> sssp(g);
+    sssp.set_root(0);
+    sssp.run_from_scratch();
+    EXPECT_EQ(sssp.property(3), 15u);
+
+    const std::vector<Edge> shortcut{{0, 3, 2}};
+    g.insert_batch(shortcut);
+    sssp.on_batch(shortcut);
+    EXPECT_EQ(sssp.property(3), 2u);
+}
+
+TEST(EngineExtra, RunStatsAccumulate) {
+    RunStats a;
+    a.iterations = 2;
+    a.full_iterations = 1;
+    a.incremental_iterations = 1;
+    a.edges_streamed = 100;
+    a.logical_edges = 50;
+    a.seconds = 0.5;
+    a.trace.push_back(IterationTrace{Mode::Full, 3, 100, 50, 0.5});
+    RunStats b;
+    b.iterations = 1;
+    b.incremental_iterations = 1;
+    b.edges_streamed = 10;
+    b.logical_edges = 10;
+    b.seconds = 0.1;
+    b.trace.push_back(IterationTrace{Mode::Incremental, 1, 10, 10, 0.1});
+    a.accumulate(b);
+    EXPECT_EQ(a.iterations, 3u);
+    EXPECT_EQ(a.full_iterations, 1u);
+    EXPECT_EQ(a.incremental_iterations, 2u);
+    EXPECT_EQ(a.edges_streamed, 110u);
+    EXPECT_EQ(a.logical_edges, 60u);
+    EXPECT_DOUBLE_EQ(a.seconds, 0.6);
+    EXPECT_EQ(a.trace.size(), 2u);
+    EXPECT_NEAR(a.throughput_meps(), 60.0 / 0.6 / 1e6, 1e-9);
+}
+
+TEST(EngineExtra, HybridSwitchesDirectionsWithinOneRun) {
+    // On a small-E graph BFS frontiers cross the A/E threshold in both
+    // directions over the run, so a hybrid trace should contain both modes.
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(rmat_edges(3000, 9000, 17)));
+    DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+        g, EngineOptions{.policy = ModePolicy::Hybrid, .threshold = 0.02});
+    bfs.set_root(0);
+    const auto stats = bfs.run_from_scratch();
+    EXPECT_GT(stats.full_iterations, 0u);
+    EXPECT_GT(stats.incremental_iterations, 0u);
+    // The trace records the actual decisions.
+    bool saw_full = false;
+    bool saw_incremental = false;
+    for (const auto& t : stats.trace) {
+        saw_full = saw_full || t.mode == Mode::Full;
+        saw_incremental = saw_incremental || t.mode == Mode::Incremental;
+    }
+    EXPECT_TRUE(saw_full);
+    EXPECT_TRUE(saw_incremental);
+}
+
+TEST(EngineExtra, KeepTraceOffLeavesTraceEmpty) {
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(rmat_edges(100, 500, 2)));
+    DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+        g, EngineOptions{.keep_trace = false});
+    bfs.set_root(0);
+    const auto stats = bfs.run_from_scratch();
+    EXPECT_TRUE(stats.trace.empty());
+    EXPECT_GT(stats.iterations, 0u);
+}
+
+TEST(EngineExtra, EmptyGraphAnalysesTerminateImmediately) {
+    core::GraphTinker g;
+    DynamicAnalysis<core::GraphTinker, Cc> cc(g);
+    const auto stats = cc.run_from_scratch();
+    EXPECT_EQ(stats.iterations, 0u);
+    DynamicAnalysis<core::GraphTinker, Bfs> bfs(g);
+    // No root registered: nothing to do.
+    EXPECT_EQ(bfs.run_from_scratch().iterations, 0u);
+}
+
+TEST(EngineExtra, OnBatchWithEmptyBatchIsANoop) {
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(rmat_edges(50, 200, 1)));
+    DynamicAnalysis<core::GraphTinker, Cc> cc(g);
+    cc.run_from_scratch();
+    const auto stats = cc.on_batch({});
+    EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(EngineExtra, MemoryFootprintReflectsFeatureToggles) {
+    const auto edges = rmat_edges(500, 8000, 6);
+    core::Config all_on;
+    core::Config no_cal;
+    no_cal.enable_cal = false;
+    core::Config no_sgh;
+    no_sgh.enable_sgh = false;
+    core::GraphTinker g_all(all_on);
+    core::GraphTinker g_nocal(no_cal);
+    core::GraphTinker g_nosgh(no_sgh);
+    g_all.insert_batch(edges);
+    g_nocal.insert_batch(edges);
+    g_nosgh.insert_batch(edges);
+
+    const auto fp_all = g_all.memory_footprint();
+    const auto fp_nocal = g_nocal.memory_footprint();
+    const auto fp_nosgh = g_nosgh.memory_footprint();
+    EXPECT_GT(fp_all.edgeblock_bytes, 0u);
+    EXPECT_GT(fp_all.cal_bytes, 0u);
+    EXPECT_GT(fp_all.sgh_bytes, 0u);
+    EXPECT_EQ(fp_nocal.cal_bytes, 0u);
+    EXPECT_EQ(fp_nosgh.sgh_bytes, 0u);
+    EXPECT_LT(fp_nocal.total(), fp_all.total());
+    EXPECT_GT(fp_all.bytes_per_edge(g_all.num_edges()), 0.0);
+    EXPECT_EQ(fp_all.bytes_per_edge(0), 0.0);
+    // Sanity: a dense RMAT graph should cost tens of bytes per edge, not
+    // kilobytes (the compaction story).
+    EXPECT_LT(fp_all.bytes_per_edge(g_all.num_edges()), 512.0);
+}
+
+TEST(EngineExtra, StingerDrivesEveryAlgorithm) {
+    stinger::Stinger g;
+    const auto edges = symmetrize(rmat_edges(150, 1200, 4));
+    for (const Edge& e : edges) {
+        g.insert_edge(e.src, e.dst, e.weight);
+    }
+    const CsrSnapshot csr(edges, g.num_vertices());
+    {
+        DynamicAnalysis<stinger::Stinger, Sssp> sssp(g);
+        sssp.set_root(0);
+        sssp.run_from_scratch();
+        const auto want = reference_sssp(csr, 0);
+        for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+            ASSERT_EQ(sssp.property(v), want[v]) << v;
+        }
+    }
+    {
+        DynamicAnalysis<stinger::Stinger, Cc> cc(g);
+        cc.run_from_scratch();
+        const auto want = reference_cc(csr);
+        for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+            ASSERT_EQ(cc.property(v), want[v]) << v;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gt::engine

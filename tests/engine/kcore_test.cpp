@@ -1,0 +1,120 @@
+// Tests for k-core decomposition.
+#include <gtest/gtest.h>
+
+#include "core/graphtinker.hpp"
+#include "engine/kcore.hpp"
+#include "engine/reference.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt::engine {
+namespace {
+
+// Brute-force oracle: repeatedly strip vertices with degree < k; a vertex's
+// coreness is the largest k whose k-core contains it.
+std::vector<std::uint32_t> brute_coreness(const std::vector<Edge>& edges,
+                                          VertexId n) {
+    std::vector<std::vector<VertexId>> adj(n);
+    for (const Edge& e : edges) {
+        if (e.src != e.dst) {
+            adj[e.src].push_back(e.dst);
+        }
+    }
+    std::vector<std::uint32_t> coreness(n, 0);
+    for (std::uint32_t k = 1;; ++k) {
+        std::vector<bool> alive(n, true);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (VertexId v = 0; v < n; ++v) {
+                if (!alive[v]) {
+                    continue;
+                }
+                std::uint32_t deg = 0;
+                for (VertexId u : adj[v]) {
+                    deg += alive[u] ? 1 : 0;
+                }
+                if (deg < k) {
+                    alive[v] = false;
+                    changed = true;
+                }
+            }
+        }
+        bool any = false;
+        for (VertexId v = 0; v < n; ++v) {
+            if (alive[v]) {
+                coreness[v] = k;
+                any = true;
+            }
+        }
+        if (!any) {
+            return coreness;
+        }
+    }
+}
+
+TEST(KCore, TriangleWithTail) {
+    // Triangle {0,1,2} (2-core) with a pendant 3 (1-core) and isolated 4.
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(std::vector<Edge>{
+        {0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {2, 3, 1}, {4, 4, 1}}));
+    g.delete_edge(4, 4);
+    const auto result = kcore_decomposition(g);
+    EXPECT_EQ(result.coreness[0], 2u);
+    EXPECT_EQ(result.coreness[1], 2u);
+    EXPECT_EQ(result.coreness[2], 2u);
+    EXPECT_EQ(result.coreness[3], 1u);
+    EXPECT_EQ(result.coreness[4], 0u);
+    EXPECT_EQ(result.degeneracy, 2u);
+    ASSERT_EQ(result.core_sizes.size(), 3u);
+    EXPECT_EQ(result.core_sizes[0], 5u);  // everyone is in the 0-core
+    EXPECT_EQ(result.core_sizes[1], 4u);
+    EXPECT_EQ(result.core_sizes[2], 3u);
+}
+
+TEST(KCore, CliqueCorenessIsSizeMinusOne) {
+    core::GraphTinker g;
+    std::vector<Edge> edges;
+    constexpr VertexId kClique = 8;
+    for (VertexId a = 0; a < kClique; ++a) {
+        for (VertexId b = a + 1; b < kClique; ++b) {
+            edges.push_back({a, b, 1});
+        }
+    }
+    g.insert_batch(symmetrize(edges));
+    const auto result = kcore_decomposition(g);
+    for (VertexId v = 0; v < kClique; ++v) {
+        EXPECT_EQ(result.coreness[v], kClique - 1) << v;
+    }
+    EXPECT_EQ(result.degeneracy, kClique - 1);
+}
+
+TEST(KCore, MatchesBruteForceOnRandomGraphs) {
+    for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+        const auto edges = symmetrize(rmat_edges(80, 400, seed));
+        core::GraphTinker g;
+        g.insert_batch(edges);
+        const VertexId n = g.num_vertices();  // max streamed id + 1
+        // Build the oracle over the store's deduplicated view.
+        std::vector<Edge> dedup;
+        g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+            dedup.push_back({s, d, w});
+        });
+        const auto want = brute_coreness(dedup, n);
+        const auto got = kcore_decomposition(g);
+        ASSERT_EQ(got.coreness.size(), n);
+        for (VertexId v = 0; v < n; ++v) {
+            ASSERT_EQ(got.coreness[v], want[v]) << "seed " << seed << " v "
+                                                << v;
+        }
+    }
+}
+
+TEST(KCore, EmptyGraph) {
+    core::GraphTinker g;
+    const auto result = kcore_decomposition(g);
+    EXPECT_TRUE(result.coreness.empty());
+    EXPECT_EQ(result.degeneracy, 0u);
+}
+
+}  // namespace
+}  // namespace gt::engine

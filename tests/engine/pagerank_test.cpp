@@ -1,0 +1,143 @@
+// Tests for the forward-push PageRank extension and the degree-aware hybrid
+// policy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "engine/reference.hpp"
+#include "gen/rmat.hpp"
+#include "stinger/stinger.hpp"
+
+namespace gt::engine {
+namespace {
+
+TEST(PageRank, MatchesJacobiOracleOnChain) {
+    // 0 -> 1 -> 2; vertex 3 isolated.
+    core::GraphTinker g;
+    g.insert_edge(0, 1);
+    g.insert_edge(1, 2);
+    g.insert_edge(3, 3);  // self loop: pushes to itself
+    g.delete_edge(3, 3);
+
+    PageRank<core::GraphTinker> alg{&g, 0.85, 1e-12};
+    DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
+        g, EngineOptions{}, alg);
+    pr.run_from_scratch();
+
+    const std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}};
+    const CsrSnapshot csr(edges, g.num_vertices());
+    const auto want = reference_pagerank(csr);
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        EXPECT_NEAR(pr.property(v).rank, want[v], 1e-6) << v;
+    }
+    // Hand values: rank0 = 0.15, rank1 = 0.15 + 0.85*0.15 = 0.2775.
+    EXPECT_NEAR(pr.property(0).rank, 0.15, 1e-6);
+    EXPECT_NEAR(pr.property(1).rank, 0.2775, 1e-6);
+}
+
+TEST(PageRank, MatchesOracleOnRandomGraphAllPolicies) {
+    core::GraphTinker g;
+    const auto edges = rmat_edges(300, 3000, 12);
+    g.insert_batch(edges);
+    const CsrSnapshot csr(edges, g.num_vertices());
+    const auto want = reference_pagerank(csr);
+
+    for (const ModePolicy policy :
+         {ModePolicy::ForceFull, ModePolicy::ForceIncremental,
+          ModePolicy::Hybrid, ModePolicy::HybridDegreeAware}) {
+        PageRank<core::GraphTinker> alg{&g, 0.85, 1e-10};
+        DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
+            g, EngineOptions{.policy = policy, .keep_trace = false}, alg);
+        pr.run_from_scratch();
+        for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+            ASSERT_NEAR(pr.property(v).rank, want[v], 1e-4)
+                << "policy " << static_cast<int>(policy) << " vertex " << v;
+        }
+    }
+}
+
+TEST(PageRank, ResidualsDrainBelowTolerance) {
+    core::GraphTinker g;
+    g.insert_batch(rmat_edges(100, 800, 3));
+    PageRank<core::GraphTinker> alg{&g, 0.85, 1e-8};
+    DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
+        g, EngineOptions{}, alg);
+    pr.run_from_scratch();
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_LE(pr.property(v).rank >= 0.0, true);
+        EXPECT_LE(pr.property(v).residual, 1e-8) << v;
+    }
+}
+
+TEST(PageRank, HubCollectsMoreRankThanLeaf) {
+    // Star: everyone points at the hub.
+    core::GraphTinker g;
+    for (VertexId v = 1; v <= 50; ++v) {
+        g.insert_edge(v, 0);
+    }
+    PageRank<core::GraphTinker> alg{&g, 0.85, 1e-10};
+    DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
+        g, EngineOptions{}, alg);
+    pr.run_from_scratch();
+    EXPECT_GT(pr.property(0).rank, 5.0);  // 0.15 + 50 * 0.85 * 0.15
+    EXPECT_NEAR(pr.property(1).rank, 0.15, 1e-6);
+}
+
+TEST(PageRank, WorksOverStingerToo) {
+    stinger::Stinger g;
+    const auto edges = rmat_edges(200, 1500, 9);
+    for (const Edge& e : edges) {
+        g.insert_edge(e.src, e.dst, e.weight);
+    }
+    PageRank<stinger::Stinger> alg{&g, 0.85, 1e-10};
+    DynamicAnalysis<stinger::Stinger, PageRank<stinger::Stinger>> pr(
+        g, EngineOptions{}, alg);
+    pr.run_from_scratch();
+    const CsrSnapshot csr(edges, g.num_vertices());
+    const auto want = reference_pagerank(csr);
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        ASSERT_NEAR(pr.property(v).rank, want[v], 1e-4) << v;
+    }
+}
+
+TEST(HybridDegreeAware, ProducesSameResultsAsOtherPolicies) {
+    core::GraphTinker g;
+    const auto edges = symmetrize(rmat_edges(300, 4000, 8));
+    g.insert_batch(edges);
+    const CsrSnapshot csr(edges, g.num_vertices());
+    const auto want = reference_bfs(csr, 2);
+    DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+        g, EngineOptions{.policy = ModePolicy::HybridDegreeAware});
+    bfs.set_root(2);
+    bfs.run_from_scratch();
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+        ASSERT_EQ(bfs.property(v), want[v]) << v;
+    }
+}
+
+TEST(HybridDegreeAware, ExtremeThresholdsDegenerate) {
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(rmat_edges(200, 2000, 4)));
+    {
+        DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+            g, EngineOptions{.policy = ModePolicy::HybridDegreeAware,
+                             .degree_threshold = 0.0});
+        bfs.set_root(0);
+        const auto stats = bfs.run_from_scratch();
+        EXPECT_EQ(stats.incremental_iterations, 0u);
+    }
+    {
+        DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+            g, EngineOptions{.policy = ModePolicy::HybridDegreeAware,
+                             .degree_threshold = 1e9});
+        bfs.set_root(0);
+        const auto stats = bfs.run_from_scratch();
+        EXPECT_EQ(stats.full_iterations, 0u);
+    }
+}
+
+}  // namespace
+}  // namespace gt::engine

@@ -1,0 +1,97 @@
+// Sanity tests for the static reference algorithms (the oracles themselves).
+#include <gtest/gtest.h>
+
+#include "engine/reference.hpp"
+
+namespace gt::engine {
+namespace {
+
+// A small fixed graph:
+//   0 -> 1 (w1), 0 -> 2 (w5), 1 -> 2 (w1), 2 -> 3 (w2), 4 -> 5 (w1)
+// Component {0,1,2,3}, component {4,5}, isolated 6.
+std::vector<Edge> tiny() {
+    return {{0, 1, 1}, {0, 2, 5}, {1, 2, 1}, {2, 3, 2}, {4, 5, 1}};
+}
+
+TEST(CsrSnapshot, BuildsAndIterates) {
+    const auto edges = tiny();
+    const CsrSnapshot g(edges, 7);
+    EXPECT_EQ(g.num_vertices(), 7u);
+    EXPECT_EQ(g.num_edges(), 5u);
+    int count = 0;
+    Weight w02 = 0;
+    g.for_each_out_edge(0, [&](VertexId v, Weight w) {
+        ++count;
+        if (v == 2) {
+            w02 = w;
+        }
+    });
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(w02, 5u);
+}
+
+TEST(CsrSnapshot, DuplicateEdgesKeepLastWeight) {
+    const std::vector<Edge> edges{{0, 1, 3}, {0, 1, 9}};
+    const CsrSnapshot g(edges, 2);
+    EXPECT_EQ(g.num_edges(), 1u);
+    Weight seen = 0;
+    g.for_each_out_edge(0, [&](VertexId, Weight w) { seen = w; });
+    EXPECT_EQ(seen, 9u);
+}
+
+TEST(ReferenceBfs, HopCounts) {
+    const CsrSnapshot g(tiny(), 7);
+    const auto level = reference_bfs(g, 0);
+    EXPECT_EQ(level[0], 0u);
+    EXPECT_EQ(level[1], 1u);
+    EXPECT_EQ(level[2], 1u);
+    EXPECT_EQ(level[3], 2u);
+    EXPECT_EQ(level[4], kInfDistance);
+    EXPECT_EQ(level[6], kInfDistance);
+}
+
+TEST(ReferenceBfs, RootOutOfRange) {
+    const CsrSnapshot g(tiny(), 7);
+    const auto level = reference_bfs(g, 100);
+    for (auto l : level) {
+        EXPECT_EQ(l, kInfDistance);
+    }
+}
+
+TEST(ReferenceSssp, WeightedDistances) {
+    const CsrSnapshot g(tiny(), 7);
+    const auto dist = reference_sssp(g, 0);
+    EXPECT_EQ(dist[0], 0u);
+    EXPECT_EQ(dist[1], 1u);
+    EXPECT_EQ(dist[2], 2u);  // 0->1->2 beats 0->2 (5)
+    EXPECT_EQ(dist[3], 4u);
+    EXPECT_EQ(dist[5], kInfDistance);
+}
+
+TEST(ReferenceCc, MinLabelPerComponent) {
+    const CsrSnapshot g(tiny(), 7);
+    const auto label = reference_cc(g);
+    EXPECT_EQ(label[0], 0u);
+    EXPECT_EQ(label[1], 0u);
+    EXPECT_EQ(label[2], 0u);
+    EXPECT_EQ(label[3], 0u);
+    EXPECT_EQ(label[4], 4u);
+    EXPECT_EQ(label[5], 4u);
+    EXPECT_EQ(label[6], 6u);  // isolated vertex keeps its own label
+}
+
+TEST(Symmetrize, DoublesEveryEdge) {
+    const auto sym = symmetrize(tiny());
+    EXPECT_EQ(sym.size(), 10u);
+    // Reverse twin present with the same weight.
+    bool found = false;
+    for (const Edge& e : sym) {
+        if (e.src == 3 && e.dst == 2 && e.weight == 2) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace gt::engine

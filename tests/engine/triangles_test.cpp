@@ -1,0 +1,129 @@
+// Tests for snapshot extraction and triangle counting / clustering
+// coefficients.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/graphtinker.hpp"
+#include "engine/reference.hpp"
+#include "engine/snapshot.hpp"
+#include "engine/triangles.hpp"
+#include "gen/rmat.hpp"
+#include "stinger/stinger.hpp"
+
+namespace gt::engine {
+namespace {
+
+// Brute-force oracle: count triangles by enumerating vertex triples over an
+// adjacency-set view (undirected).
+std::uint64_t brute_triangles(const std::vector<Edge>& edges, VertexId n) {
+    std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+    for (const Edge& e : edges) {
+        if (e.src != e.dst) {
+            adj[e.src][e.dst] = true;
+            adj[e.dst][e.src] = true;
+        }
+    }
+    std::uint64_t count = 0;
+    for (VertexId a = 0; a < n; ++a) {
+        for (VertexId b = a + 1; b < n; ++b) {
+            if (!adj[a][b]) {
+                continue;
+            }
+            for (VertexId c = b + 1; c < n; ++c) {
+                if (adj[a][c] && adj[b][c]) {
+                    ++count;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+TEST(Triangles, SingleTriangle) {
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(std::vector<Edge>{{0, 1, 1}, {1, 2, 1},
+                                                {2, 0, 1}}));
+    const auto stats = count_triangles(g);
+    EXPECT_EQ(stats.total_triangles, 1u);
+    EXPECT_EQ(stats.per_vertex[0], 1u);
+    EXPECT_DOUBLE_EQ(stats.clustering_coefficient[0], 1.0);
+    EXPECT_DOUBLE_EQ(stats.global_clustering, 1.0);
+}
+
+TEST(Triangles, TriangleFreeGraphIsZero) {
+    core::GraphTinker g;  // a star has no triangles
+    std::vector<Edge> edges;
+    for (VertexId v = 1; v <= 20; ++v) {
+        edges.push_back({0, v, 1});
+    }
+    g.insert_batch(symmetrize(edges));
+    const auto stats = count_triangles(g);
+    EXPECT_EQ(stats.total_triangles, 0u);
+    EXPECT_DOUBLE_EQ(stats.clustering_coefficient[0], 0.0);
+}
+
+TEST(Triangles, SelfLoopsAndDuplicatesIgnored) {
+    core::GraphTinker g;
+    g.insert_batch(symmetrize(std::vector<Edge>{
+        {0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {0, 0, 1}, {0, 1, 9}}));
+    const auto stats = count_triangles(g);
+    EXPECT_EQ(stats.total_triangles, 1u);
+}
+
+TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
+    for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        constexpr VertexId kN = 60;
+        const auto edges = symmetrize(rmat_edges(kN, 300, seed));
+        core::GraphTinker g;
+        g.insert_batch(edges);
+        const auto stats = count_triangles(g);
+        EXPECT_EQ(stats.total_triangles, brute_triangles(edges, kN))
+            << "seed " << seed;
+    }
+}
+
+TEST(Triangles, SameAnswerOnBothStores) {
+    const auto edges = symmetrize(rmat_edges(100, 800, 14));
+    core::GraphTinker tinker;
+    stinger::Stinger baseline;
+    tinker.insert_batch(edges);
+    for (const Edge& e : edges) {
+        baseline.insert_edge(e.src, e.dst, e.weight);
+    }
+    EXPECT_EQ(count_triangles(tinker).total_triangles,
+              count_triangles(baseline).total_triangles);
+}
+
+TEST(Snapshot, CapturesLiveEdgesExactly) {
+    core::GraphTinker g;
+    g.insert_edge(0, 1, 4);
+    g.insert_edge(1, 2, 5);
+    g.insert_edge(2, 0, 6);
+    g.delete_edge(1, 2);
+    const CsrSnapshot snap = snapshot_of(g);
+    EXPECT_EQ(snap.num_edges(), 2u);
+    EXPECT_EQ(snap.num_vertices(), g.num_vertices());
+    std::map<std::pair<VertexId, VertexId>, Weight> seen;
+    for (VertexId v = 0; v < snap.num_vertices(); ++v) {
+        snap.for_each_out_edge(v, [&](VertexId d, Weight w) {
+            seen[{v, d}] = w;
+        });
+    }
+    EXPECT_EQ(seen, (std::map<std::pair<VertexId, VertexId>, Weight>{
+                        {{0, 1}, 4}, {{2, 0}, 6}}));
+}
+
+TEST(Snapshot, StaticAlgorithmsRunOnSnapshots) {
+    const auto edges = symmetrize(rmat_edges(200, 2500, 15));
+    core::GraphTinker g;
+    g.insert_batch(edges);
+    const CsrSnapshot snap = snapshot_of(g);
+    const CsrSnapshot direct(edges, g.num_vertices());
+    const auto a = reference_bfs(snap, 0);
+    const auto b = reference_bfs(direct, 0);
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gt::engine

@@ -1,0 +1,106 @@
+// Tests for direction-optimizing BFS (the vertex-centric extension).
+#include <gtest/gtest.h>
+
+#include "core/bidirectional.hpp"
+#include "engine/reference.hpp"
+#include "engine/vertex_centric.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt::engine {
+namespace {
+
+TEST(DirectionBfs, MatchesReferenceOnChain) {
+    const std::vector<Edge> edges{{0, 1, 1}, {1, 2, 1}, {2, 3, 1}};
+    core::BidirectionalGraphTinker g;
+    g.insert_batch(edges);
+    const auto level = direction_optimizing_bfs(g, 0);
+    EXPECT_EQ(level[0], 0u);
+    EXPECT_EQ(level[1], 1u);
+    EXPECT_EQ(level[3], 3u);
+}
+
+TEST(DirectionBfs, MatchesReferenceOnRandomGraphs) {
+    for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+        const auto edges = symmetrize(rmat_edges(500, 8000, seed));
+        core::BidirectionalGraphTinker g;
+        g.insert_batch(edges);
+        const CsrSnapshot csr(edges, g.num_vertices());
+        const auto want = reference_bfs(csr, 0);
+        DirectionStats stats;
+        const auto got = direction_optimizing_bfs(g, 0, &stats);
+        ASSERT_EQ(got.size(), want.size());
+        for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+            ASSERT_EQ(got[v], want[v]) << "seed " << seed << " vertex " << v;
+        }
+        EXPECT_GT(stats.levels, 0u);
+    }
+}
+
+TEST(DirectionBfs, SwitchesToBottomUpOnDenseGraphs) {
+    // A dense low-diameter RMAT frontier explodes within a level or two —
+    // exactly the regime where pulling wins.
+    const auto edges = symmetrize(rmat_edges(2000, 60000, 5));
+    core::BidirectionalGraphTinker g;
+    g.insert_batch(edges);
+    DirectionStats stats;
+    direction_optimizing_bfs(g, 0, &stats);
+    EXPECT_GT(stats.bottom_up_levels, 0u) << "never pulled on a dense graph";
+}
+
+TEST(DirectionBfs, BottomUpExaminesFewerEdgesThanPushOnly) {
+    const auto edges = symmetrize(rmat_edges(2000, 60000, 6));
+    core::BidirectionalGraphTinker g;
+    g.insert_batch(edges);
+    DirectionStats opt;
+    DirectionStats push;
+    direction_optimizing_bfs(g, 0, &opt);
+    direction_optimizing_bfs(g, 0, &push,
+                             DirectionOptions{.force_push = true});
+    EXPECT_EQ(push.bottom_up_levels, 0u);
+    EXPECT_LT(opt.edges_examined, push.edges_examined)
+        << "direction optimization failed to save edge inspections";
+}
+
+TEST(DirectionBfs, ForcePushMatchesOptimized) {
+    const auto edges = symmetrize(rmat_edges(800, 12000, 7));
+    core::BidirectionalGraphTinker g;
+    g.insert_batch(edges);
+    const auto a = direction_optimizing_bfs(g, 3);
+    const auto b = direction_optimizing_bfs(g, 3, nullptr,
+                                            DirectionOptions{.force_push = true});
+    EXPECT_EQ(a, b);
+}
+
+TEST(DirectionBfs, RootOutOfRangeAndUnreachable) {
+    core::BidirectionalGraphTinker g;
+    g.insert_edge(0, 1);
+    g.insert_edge(5, 6);  // separate component
+    const auto level = direction_optimizing_bfs(g, 0);
+    EXPECT_EQ(level[1], 1u);
+    EXPECT_EQ(level[5], kInfDistance);
+    const auto none = direction_optimizing_bfs(g, 99999);
+    for (auto l : none) {
+        EXPECT_EQ(l, kInfDistance);
+    }
+}
+
+TEST(DirectionBfs, TraceAccountingConsistent) {
+    const auto edges = symmetrize(rmat_edges(600, 9000, 8));
+    core::BidirectionalGraphTinker g;
+    g.insert_batch(edges);
+    DirectionStats stats;
+    direction_optimizing_bfs(g, 0, &stats);
+    ASSERT_EQ(stats.trace.size(), stats.levels);
+    std::uint64_t examined = 0;
+    std::size_t bottom_up = 0;
+    for (const auto& t : stats.trace) {
+        examined += t.edges_examined;
+        bottom_up += t.bottom_up ? 1 : 0;
+        EXPECT_GT(t.frontier, 0u);
+    }
+    EXPECT_EQ(examined, stats.edges_examined);
+    EXPECT_EQ(bottom_up, stats.bottom_up_levels);
+}
+
+}  // namespace
+}  // namespace gt::engine

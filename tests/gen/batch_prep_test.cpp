@@ -1,0 +1,104 @@
+// Tests for within-batch deduplication and cancellation.
+#include <gtest/gtest.h>
+
+#include "core/graphtinker.hpp"
+#include "gen/batch_prep.hpp"
+#include "gen/rmat.hpp"
+#include "util/rng.hpp"
+
+namespace gt {
+namespace {
+
+Update ins(VertexId s, VertexId d, Weight w = 1) {
+    return Update{Edge{s, d, w}, UpdateKind::Insert};
+}
+Update del(VertexId s, VertexId d) {
+    return Update{Edge{s, d, 0}, UpdateKind::Delete};
+}
+
+TEST(BatchPrep, KeepsDistinctUpdates) {
+    const std::vector<Update> raw{ins(1, 2), ins(3, 4), del(5, 6)};
+    const auto prepared = prepare_batch(raw);
+    EXPECT_EQ(prepared.updates, raw);
+    EXPECT_EQ(prepared.duplicates, 0u);
+    EXPECT_EQ(prepared.cancellations, 0u);
+}
+
+TEST(BatchPrep, LastOperationWins) {
+    const std::vector<Update> raw{ins(1, 2, 10), ins(1, 2, 20), ins(1, 2, 30)};
+    const auto prepared = prepare_batch(raw);
+    ASSERT_EQ(prepared.updates.size(), 1u);
+    EXPECT_EQ(prepared.updates[0].edge.weight, 30u);
+    EXPECT_EQ(prepared.duplicates, 2u);
+}
+
+TEST(BatchPrep, InsertThenDeleteSurvivesAsDeleteByDefault) {
+    // The edge may have existed before the batch, so the delete must apply.
+    const std::vector<Update> raw{ins(1, 2), del(1, 2)};
+    const auto prepared = prepare_batch(raw);
+    ASSERT_EQ(prepared.updates.size(), 1u);
+    EXPECT_EQ(prepared.updates[0].kind, UpdateKind::Delete);
+    EXPECT_EQ(prepared.cancellations, 0u);
+}
+
+TEST(BatchPrep, InsertThenDeleteCancelsForNewEdges) {
+    const std::vector<Update> raw{ins(1, 2), del(1, 2), ins(3, 4)};
+    const auto prepared = prepare_batch(raw, /*assume_new_edges=*/true);
+    ASSERT_EQ(prepared.updates.size(), 1u);
+    EXPECT_EQ(prepared.updates[0].edge.src, 3u);
+    EXPECT_EQ(prepared.cancellations, 1u);
+}
+
+TEST(BatchPrep, DeleteThenReinsertSurvivesAsInsert) {
+    const std::vector<Update> raw{del(1, 2), ins(1, 2, 9)};
+    const auto prepared = prepare_batch(raw, /*assume_new_edges=*/true);
+    ASSERT_EQ(prepared.updates.size(), 1u);
+    EXPECT_EQ(prepared.updates[0].kind, UpdateKind::Insert);
+    EXPECT_EQ(prepared.updates[0].edge.weight, 9u);
+}
+
+TEST(BatchPrep, PreparedApplicationMatchesRawApplication) {
+    // Property: applying the prepared batch leaves any store in exactly the
+    // state raw application would.
+    Rng rng(5);
+    std::vector<Update> raw;
+    for (int i = 0; i < 5000; ++i) {
+        const auto s = static_cast<VertexId>(rng.next_below(40));
+        const auto d = static_cast<VertexId>(rng.next_below(40));
+        if (rng.next_below(10) < 7) {
+            raw.push_back(ins(s, d, static_cast<Weight>(1 + rng.next_below(99))));
+        } else {
+            raw.push_back(del(s, d));
+        }
+    }
+    core::GraphTinker direct;
+    core::GraphTinker prepared_store;
+    for (const Update& u : raw) {
+        if (u.kind == UpdateKind::Insert) {
+            direct.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
+        } else {
+            direct.delete_edge(u.edge.src, u.edge.dst);
+        }
+    }
+    const auto prepared = prepare_batch(raw);
+    apply_batch(prepared_store, prepared);
+    EXPECT_EQ(prepared_store.num_edges(), direct.num_edges());
+    direct.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        EXPECT_EQ(prepared_store.find_edge(s, d), std::optional<Weight>(w))
+            << s << "->" << d;
+    });
+    EXPECT_GT(prepared.duplicates, 0u);  // heavy collisions by construction
+}
+
+TEST(BatchPrep, AsInsertsWraps) {
+    const auto edges = rmat_edges(50, 100, 1);
+    const auto updates = as_inserts(edges);
+    ASSERT_EQ(updates.size(), edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        EXPECT_EQ(updates[i].edge, edges[i]);
+        EXPECT_EQ(updates[i].kind, UpdateKind::Insert);
+    }
+}
+
+}  // namespace
+}  // namespace gt

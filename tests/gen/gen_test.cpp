@@ -1,0 +1,155 @@
+// Tests for the workload generators, dataset registry and batcher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "gen/batcher.hpp"
+#include "gen/datasets.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt {
+namespace {
+
+TEST(Rmat, ProducesRequestedCountInRange) {
+    const auto edges = rmat_edges(1000, 5000, 1);
+    EXPECT_EQ(edges.size(), 5000u);
+    for (const Edge& e : edges) {
+        EXPECT_LT(e.src, 1000u);
+        EXPECT_LT(e.dst, 1000u);
+        EXPECT_GE(e.weight, 1u);
+        EXPECT_LE(e.weight, 255u);
+    }
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+    const auto a = rmat_edges(512, 2000, 99);
+    const auto b = rmat_edges(512, 2000, 99);
+    EXPECT_EQ(a, b);
+    const auto c = rmat_edges(512, 2000, 100);
+    EXPECT_NE(a, c);
+}
+
+TEST(Rmat, NonPowerOfTwoVertexCountsWork) {
+    const auto edges = rmat_edges(1'000'192 / 100, 10000, 3);
+    for (const Edge& e : edges) {
+        EXPECT_LT(e.src, 10001u);
+        EXPECT_LT(e.dst, 10001u);
+    }
+}
+
+TEST(Rmat, HeavyTailedComparedToUniform) {
+    // RMAT's defining property: hubs. The max out-degree of an RMAT sample
+    // must dwarf that of a uniform stream of the same size.
+    constexpr VertexId kV = 4096;
+    constexpr EdgeCount kE = 50000;
+    auto max_degree = [](const std::vector<Edge>& edges) {
+        std::map<VertexId, int> deg;
+        for (const Edge& e : edges) {
+            ++deg[e.src];
+        }
+        int best = 0;
+        for (const auto& [v, d] : deg) {
+            best = std::max(best, d);
+        }
+        return best;
+    };
+    const int rmat_max = max_degree(rmat_edges(kV, kE, 5));
+    const int unif_max = max_degree(uniform_edges(kV, kE, 5));
+    EXPECT_GT(rmat_max, 3 * unif_max);
+}
+
+TEST(Uniform, CoversVertexSpaceEvenly) {
+    const auto edges = uniform_edges(100, 50000, 8);
+    std::vector<int> count(100, 0);
+    for (const Edge& e : edges) {
+        ++count[e.src];
+    }
+    const auto [lo, hi] = std::minmax_element(count.begin(), count.end());
+    EXPECT_GT(*lo, 300);  // expectation 500 per vertex
+    EXPECT_LT(*hi, 750);
+}
+
+TEST(Datasets, Table1MatchesPaper) {
+    const auto& specs = table1_datasets();
+    ASSERT_EQ(specs.size(), 6u);
+    EXPECT_EQ(specs[0].name, "RMAT_1M_10M");
+    EXPECT_EQ(specs[0].num_vertices, 1'000'192u);
+    EXPECT_EQ(specs[0].num_edges, 10'000'000u);
+    EXPECT_EQ(specs[1].num_vertices, 524'288u);
+    EXPECT_EQ(specs[1].num_edges, 8'380'000u);
+    EXPECT_EQ(specs[2].num_vertices, 1'048'576u);
+    EXPECT_EQ(specs[3].num_edges, 31'770'000u);
+    EXPECT_EQ(specs[4].name, "hollywood_sim");
+    EXPECT_EQ(specs[4].num_vertices, 1'139'906u);
+    EXPECT_EQ(specs[4].num_edges, 113'891'327u);
+    EXPECT_EQ(specs[5].name, "kron21_sim");
+    EXPECT_EQ(specs[5].num_vertices, 2'097'153u);
+    EXPECT_EQ(specs[5].num_edges, 182'082'942u);
+}
+
+TEST(Datasets, LookupByName) {
+    EXPECT_EQ(dataset_by_name("RMAT_2M_32M").num_edges, 31'770'000u);
+    EXPECT_THROW((void)dataset_by_name("nope"), std::out_of_range);
+}
+
+TEST(Datasets, ScalingPreservesAverageDegree) {
+    const auto& full = dataset_by_name("RMAT_1M_16M");
+    const auto small = full.scaled(0.01);
+    const double full_deg = static_cast<double>(full.num_edges) /
+                            full.num_vertices;
+    const double small_deg = static_cast<double>(small.num_edges) /
+                             small.num_vertices;
+    EXPECT_NEAR(small_deg, full_deg, full_deg * 0.05);
+    EXPECT_LT(small.num_edges, full.num_edges);
+}
+
+TEST(Datasets, ScaleOneIsIdentity) {
+    const auto& full = dataset_by_name("RMAT_500K_8M");
+    const auto same = full.scaled(1.0);
+    EXPECT_EQ(same.num_vertices, full.num_vertices);
+    EXPECT_EQ(same.num_edges, full.num_edges);
+}
+
+TEST(Datasets, DeletionStreamIsPermutation) {
+    auto inserted = rmat_edges(256, 3000, 21);
+    auto deleted = deletion_stream(inserted, 5);
+    ASSERT_EQ(deleted.size(), inserted.size());
+    auto key = [](const Edge& e) {
+        return std::tuple(e.src, e.dst, e.weight);
+    };
+    std::sort(inserted.begin(), inserted.end(),
+              [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+    std::sort(deleted.begin(), deleted.end(),
+              [&](const Edge& a, const Edge& b) { return key(a) < key(b); });
+    EXPECT_EQ(inserted, deleted);
+}
+
+TEST(Batcher, SlicesExactly) {
+    std::vector<Edge> edges(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        edges[i].src = static_cast<VertexId>(i);
+    }
+    EdgeBatcher batcher(edges, 3);
+    ASSERT_EQ(batcher.num_batches(), 4u);
+    EXPECT_EQ(batcher.batch(0).size(), 3u);
+    EXPECT_EQ(batcher.batch(3).size(), 1u);  // remainder batch
+    EXPECT_EQ(batcher.batch(0)[0].src, 0u);
+    EXPECT_EQ(batcher.batch(3)[0].src, 9u);
+}
+
+TEST(Batcher, ZeroBatchSizeClampsToOne) {
+    std::vector<Edge> edges(3);
+    EdgeBatcher batcher(edges, 0);
+    EXPECT_EQ(batcher.num_batches(), 3u);
+}
+
+TEST(Batcher, ScaledBatchSizeFloorsAtOne) {
+    EXPECT_EQ(scaled_batch_size(1.0), 1'000'000u);
+    EXPECT_EQ(scaled_batch_size(1.0 / 16.0), 62'500u);
+    EXPECT_EQ(scaled_batch_size(1e-9), 1u);
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,130 @@
+// Tests for graph file parsing and writing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/io.hpp"
+
+namespace gt {
+namespace {
+
+TEST(EdgeList, ParsesTriplesAndPairs) {
+    std::istringstream in(
+        "# a comment\n"
+        "0 1 5\n"
+        "\n"
+        "2 3\n"
+        "% another comment\n"
+        "10 0 7\n");
+    const auto parsed = read_edge_list(in);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    ASSERT_EQ(parsed.edges.size(), 3u);
+    EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 5}));
+    EXPECT_EQ(parsed.edges[1], (Edge{2, 3, 1}));  // default weight
+    EXPECT_EQ(parsed.edges[2], (Edge{10, 0, 7}));
+    EXPECT_EQ(parsed.num_vertices, 11u);
+}
+
+TEST(EdgeList, RejectsGarbageLines) {
+    std::istringstream in("0 1\nnot numbers\n");
+    const auto parsed = read_edge_list(in);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(EdgeList, RejectsHugeIds) {
+    std::istringstream in("0 99999999999\n");
+    const auto parsed = read_edge_list(in);
+    EXPECT_FALSE(parsed.ok());
+}
+
+TEST(EdgeList, EmptyInputIsEmptyGraph) {
+    std::istringstream in("# only comments\n\n");
+    const auto parsed = read_edge_list(in);
+    EXPECT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.edges.empty());
+    EXPECT_EQ(parsed.num_vertices, 0u);
+}
+
+TEST(EdgeList, RoundTripsThroughWriter) {
+    const std::vector<Edge> edges{{1, 2, 3}, {4, 5, 6}, {0, 0, 1}};
+    std::ostringstream out;
+    write_edge_list(out, edges);
+    std::istringstream in(out.str());
+    const auto parsed = read_edge_list(in);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.edges, edges);
+}
+
+TEST(MatrixMarket, ParsesGeneralIntegerMatrix) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "% comment\n"
+        "4 4 3\n"
+        "1 2 10\n"
+        "3 4 20\n"
+        "4 1 30\n");
+    const auto parsed = read_matrix_market(in);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.num_vertices, 4u);
+    ASSERT_EQ(parsed.edges.size(), 3u);
+    EXPECT_EQ(parsed.edges[0], (Edge{0, 1, 10}));  // 1-based -> 0-based
+    EXPECT_EQ(parsed.edges[2], (Edge{3, 0, 30}));
+}
+
+TEST(MatrixMarket, SymmetricPatternExpandsBothDirections) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 3\n");  // diagonal entry must not duplicate
+    const auto parsed = read_matrix_market(in);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    ASSERT_EQ(parsed.edges.size(), 3u);
+    EXPECT_EQ(parsed.edges[0], (Edge{1, 0, 1}));
+    EXPECT_EQ(parsed.edges[1], (Edge{0, 1, 1}));
+    EXPECT_EQ(parsed.edges[2], (Edge{2, 2, 1}));
+}
+
+TEST(MatrixMarket, RealWeightsRoundToPositiveIntegers) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 2 2.7\n"
+        "2 1 -0.1\n");  // tiny magnitudes clamp to weight 1
+    const auto parsed = read_matrix_market(in);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.edges[0].weight, 3u);
+    EXPECT_EQ(parsed.edges[1].weight, 1u);
+}
+
+TEST(MatrixMarket, RejectsBadBannerSizeAndTruncation) {
+    {
+        std::istringstream in("not a banner\n1 1 0\n");
+        EXPECT_FALSE(read_matrix_market(in).ok());
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix array real general\n2 2 0\n");
+        EXPECT_FALSE(read_matrix_market(in).ok());
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "4 4 3\n"
+            "1 2 10\n");  // promised 3 entries, gave 1
+        const auto parsed = read_matrix_market(in);
+        EXPECT_FALSE(parsed.ok());
+        EXPECT_NE(parsed.error.find("truncated"), std::string::npos);
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "3 1 5\n");  // row out of bounds
+        EXPECT_FALSE(read_matrix_market(in).ok());
+    }
+}
+
+}  // namespace
+}  // namespace gt

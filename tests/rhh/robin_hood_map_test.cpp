@@ -1,0 +1,160 @@
+// Unit + property tests for the Robin Hood hash map substrate.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rhh/robin_hood_map.hpp"
+#include "util/rng.hpp"
+
+namespace gt {
+namespace {
+
+TEST(RobinHoodMap, InsertAndFind) {
+    RobinHoodMap<std::uint32_t, int> map;
+    EXPECT_TRUE(map.insert(1, 10));
+    EXPECT_TRUE(map.insert(2, 20));
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), 10);
+    ASSERT_NE(map.find(2), nullptr);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.find(3), nullptr);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(RobinHoodMap, InsertOverwrites) {
+    RobinHoodMap<std::uint32_t, int> map;
+    EXPECT_TRUE(map.insert(7, 1));
+    EXPECT_FALSE(map.insert(7, 2));  // overwrite, not a new key
+    EXPECT_EQ(*map.find(7), 2);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(RobinHoodMap, EraseReturnsValue) {
+    RobinHoodMap<std::uint32_t, int> map;
+    map.insert(5, 50);
+    const auto removed = map.erase(5);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(*removed, 50);
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_FALSE(map.erase(5).has_value());
+}
+
+TEST(RobinHoodMap, GrowsPastInitialCapacity) {
+    RobinHoodMap<std::uint32_t, std::uint32_t> map(16);
+    for (std::uint32_t k = 0; k < 10000; ++k) {
+        map.insert(k, k * 2);
+    }
+    EXPECT_EQ(map.size(), 10000u);
+    for (std::uint32_t k = 0; k < 10000; ++k) {
+        ASSERT_NE(map.find(k), nullptr) << k;
+        EXPECT_EQ(*map.find(k), k * 2);
+    }
+}
+
+TEST(RobinHoodMap, ProbeDistanceStaysSmallAtLoad) {
+    // The Robin Hood property: bounded displacement even near max load.
+    RobinHoodMap<std::uint32_t, int> map;
+    for (std::uint32_t k = 0; k < 50000; ++k) {
+        map.insert(k * 2654435761u, 0);  // adversarially regular keys
+    }
+    EXPECT_LT(map.mean_probe_distance(), 3.0);
+    EXPECT_LT(map.max_probe_distance(), 48u);
+}
+
+TEST(RobinHoodMap, ForEachVisitsEverything) {
+    RobinHoodMap<std::uint32_t, std::uint32_t> map;
+    for (std::uint32_t k = 100; k < 200; ++k) {
+        map.insert(k, k + 1);
+    }
+    std::unordered_map<std::uint32_t, std::uint32_t> seen;
+    map.for_each([&](std::uint32_t k, std::uint32_t v) { seen[k] = v; });
+    EXPECT_EQ(seen.size(), 100u);
+    for (std::uint32_t k = 100; k < 200; ++k) {
+        EXPECT_EQ(seen.at(k), k + 1);
+    }
+}
+
+TEST(RobinHoodMap, ClearEmptiesAndRemainsUsable) {
+    RobinHoodMap<std::uint32_t, int> map;
+    for (std::uint32_t k = 0; k < 100; ++k) {
+        map.insert(k, 1);
+    }
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_TRUE(map.insert(5, 9));
+    EXPECT_EQ(*map.find(5), 9);
+}
+
+TEST(RobinHoodMap, BackwardShiftKeepsClusterFindable) {
+    // Insert colliding keys, erase from the middle of the cluster, and
+    // verify every survivor remains reachable (the classic tombstone bug).
+    RobinHoodMap<std::uint64_t, int> map(16);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; k < 12; ++k) {
+        keys.push_back(k);
+        map.insert(k, static_cast<int>(k));
+    }
+    map.erase(5);
+    map.erase(6);
+    for (std::uint64_t k : keys) {
+        if (k == 5 || k == 6) {
+            EXPECT_EQ(map.find(k), nullptr);
+        } else {
+            ASSERT_NE(map.find(k), nullptr) << k;
+            EXPECT_EQ(*map.find(k), static_cast<int>(k));
+        }
+    }
+}
+
+// ---- randomized model check over several scales ------------------------
+
+class RobinHoodModelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RobinHoodModelTest, MatchesUnorderedMapUnderRandomOps) {
+    const std::size_t universe = GetParam();
+    RobinHoodMap<std::uint32_t, std::uint32_t> map;
+    std::unordered_map<std::uint32_t, std::uint32_t> model;
+    Rng rng(universe);
+    for (int op = 0; op < 20000; ++op) {
+        const auto key = static_cast<std::uint32_t>(rng.next_below(universe));
+        const auto roll = rng.next_below(10);
+        if (roll < 5) {
+            const auto value = static_cast<std::uint32_t>(rng.next());
+            map.insert(key, value);
+            model[key] = value;
+        } else if (roll < 8) {
+            const auto got = map.find(key);
+            const auto it = model.find(key);
+            if (it == model.end()) {
+                EXPECT_EQ(got, nullptr);
+            } else {
+                ASSERT_NE(got, nullptr);
+                EXPECT_EQ(*got, it->second);
+            }
+        } else {
+            const auto removed = map.erase(key);
+            const auto it = model.find(key);
+            EXPECT_EQ(removed.has_value(), it != model.end());
+            if (it != model.end()) {
+                EXPECT_EQ(*removed, it->second);
+                model.erase(it);
+            }
+        }
+        ASSERT_EQ(map.size(), model.size());
+    }
+    // Final full audit.
+    for (const auto& [k, v] : model) {
+        ASSERT_NE(map.find(k), nullptr);
+        EXPECT_EQ(*map.find(k), v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, RobinHoodModelTest,
+                         ::testing::Values(16, 256, 4096, 100000));
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,143 @@
+// Tests for the STINGER-style adjacency-list baseline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "gen/rmat.hpp"
+#include "stinger/stinger.hpp"
+#include "util/rng.hpp"
+
+namespace gt::stinger {
+namespace {
+
+TEST(Stinger, InsertFindBasics) {
+    Stinger s;
+    EXPECT_TRUE(s.insert_edge(1, 2, 5));
+    EXPECT_TRUE(s.insert_edge(1, 3, 6));
+    ASSERT_NE(s.find_edge(1, 2), nullptr);
+    EXPECT_EQ(*s.find_edge(1, 2), 5u);
+    EXPECT_EQ(s.find_edge(1, 4), nullptr);
+    EXPECT_EQ(s.find_edge(9, 9), nullptr);
+    EXPECT_EQ(s.num_edges(), 2u);
+    EXPECT_EQ(s.degree(1), 2u);
+    EXPECT_EQ(s.degree(2), 0u);
+}
+
+TEST(Stinger, DuplicateInsertUpdatesWeight) {
+    Stinger s;
+    EXPECT_TRUE(s.insert_edge(1, 2, 5));
+    EXPECT_FALSE(s.insert_edge(1, 2, 9));
+    EXPECT_EQ(*s.find_edge(1, 2), 9u);
+    EXPECT_EQ(s.num_edges(), 1u);
+    EXPECT_EQ(s.degree(1), 1u);
+}
+
+TEST(Stinger, DeleteTombstonesAndReuses) {
+    Stinger s(StingerConfig{.edges_per_block = 4});
+    for (VertexId d = 0; d < 4; ++d) {
+        s.insert_edge(0, d + 10);
+    }
+    EXPECT_EQ(s.num_blocks(), 1u);
+    EXPECT_TRUE(s.delete_edge(0, 11));
+    EXPECT_FALSE(s.delete_edge(0, 11));  // already gone
+    EXPECT_EQ(s.degree(0), 3u);
+    // Reinsertion fills the tombstone rather than growing the chain.
+    s.insert_edge(0, 99);
+    EXPECT_EQ(s.num_blocks(), 1u);
+    EXPECT_EQ(s.chain_length(0), 1u);
+}
+
+TEST(Stinger, ChainGrowsByBlocks) {
+    Stinger s(StingerConfig{.edges_per_block = 4});
+    for (VertexId d = 0; d < 13; ++d) {
+        s.insert_edge(7, d);
+    }
+    EXPECT_EQ(s.chain_length(7), 4u);  // ceil(13/4)
+    EXPECT_EQ(s.degree(7), 13u);
+    // All still findable through the chain walk.
+    for (VertexId d = 0; d < 13; ++d) {
+        EXPECT_NE(s.find_edge(7, d), nullptr) << d;
+    }
+}
+
+TEST(Stinger, VertexArrayGrowsOnDemand) {
+    Stinger s(StingerConfig{.initial_vertices = 2});
+    s.insert_edge(1000, 2000);
+    EXPECT_GE(s.num_vertices(), 2001u);  // dst also registered
+    EXPECT_EQ(s.degree(1000), 1u);
+}
+
+TEST(Stinger, OutEdgeTraversalSkipsTombstones) {
+    Stinger s;
+    s.insert_edge(3, 1);
+    s.insert_edge(3, 2);
+    s.insert_edge(3, 5);
+    s.delete_edge(3, 2);
+    std::set<VertexId> seen;
+    s.for_each_out_edge(3, [&](VertexId dst, Weight) { seen.insert(dst); });
+    EXPECT_EQ(seen, (std::set<VertexId>{1, 5}));
+}
+
+TEST(Stinger, FullTraversalVisitsEveryLiveEdge) {
+    Stinger s;
+    const auto edges = rmat_edges(100, 1000, 17);
+    std::map<std::pair<VertexId, VertexId>, Weight> model;
+    for (const Edge& e : edges) {
+        s.insert_edge(e.src, e.dst, e.weight);
+        model[{e.src, e.dst}] = e.weight;
+    }
+    std::map<std::pair<VertexId, VertexId>, Weight> seen;
+    s.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+        EXPECT_TRUE(seen.emplace(std::pair{u, v}, w).second)
+            << "duplicate edge in traversal";
+    });
+    EXPECT_EQ(seen, model);
+    EXPECT_EQ(s.num_edges(), model.size());
+}
+
+TEST(Stinger, RandomOpsMatchModel) {
+    Stinger s(StingerConfig{.edges_per_block = 8});
+    std::unordered_map<std::uint64_t, Weight> model;
+    Rng rng(33);
+    auto key = [](VertexId a, VertexId b) {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+    for (int op = 0; op < 30000; ++op) {
+        const auto src = static_cast<VertexId>(rng.next_below(64));
+        const auto dst = static_cast<VertexId>(rng.next_below(64));
+        const auto roll = rng.next_below(10);
+        if (roll < 6) {
+            const auto w = static_cast<Weight>(1 + rng.next_below(100));
+            s.insert_edge(src, dst, w);
+            model[key(src, dst)] = w;
+        } else if (roll < 8) {
+            const bool deleted = s.delete_edge(src, dst);
+            EXPECT_EQ(deleted, model.erase(key(src, dst)) > 0);
+        } else {
+            const Weight* got = s.find_edge(src, dst);
+            const auto it = model.find(key(src, dst));
+            if (it == model.end()) {
+                EXPECT_EQ(got, nullptr);
+            } else {
+                ASSERT_NE(got, nullptr);
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+        ASSERT_EQ(s.num_edges(), model.size());
+    }
+}
+
+TEST(Stinger, ProbeCostGrowsLinearlyWithDegree) {
+    // The baseline's defining weakness: FIND walks the whole chain, so chains
+    // of a high-degree vertex keep growing linearly.
+    Stinger s(StingerConfig{.edges_per_block = 16});
+    for (VertexId d = 0; d < 1600; ++d) {
+        s.insert_edge(0, d);
+    }
+    EXPECT_EQ(s.chain_length(0), 100u);  // 1600 / 16, O(degree) blocks
+}
+
+}  // namespace
+}  // namespace gt::stinger

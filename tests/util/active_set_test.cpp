@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/active_set.hpp"
+
+namespace gt {
+namespace {
+
+TEST(ActiveSet, StartsEmpty) {
+    ActiveSet set(10);
+    EXPECT_TRUE(set.empty());
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.contains(3));
+}
+
+TEST(ActiveSet, InsertDeduplicates) {
+    ActiveSet set(10);
+    EXPECT_TRUE(set.insert(5));
+    EXPECT_FALSE(set.insert(5));
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_TRUE(set.contains(5));
+}
+
+TEST(ActiveSet, PreservesInsertionOrder) {
+    ActiveSet set(10);
+    set.insert(7);
+    set.insert(2);
+    set.insert(9);
+    ASSERT_EQ(set.vertices().size(), 3u);
+    EXPECT_EQ(set.vertices()[0], 7u);
+    EXPECT_EQ(set.vertices()[1], 2u);
+    EXPECT_EQ(set.vertices()[2], 9u);
+}
+
+TEST(ActiveSet, ClearOnlyTouchesMembers) {
+    ActiveSet set(1000);
+    for (VertexId v = 0; v < 100; ++v) {
+        set.insert(v * 7 % 1000);
+    }
+    set.clear();
+    EXPECT_TRUE(set.empty());
+    for (VertexId v = 0; v < 1000; ++v) {
+        EXPECT_FALSE(set.contains(v));
+    }
+    // Reusable after clear.
+    EXPECT_TRUE(set.insert(42));
+    EXPECT_TRUE(set.contains(42));
+}
+
+TEST(ActiveSet, GrowsAutomaticallyOnInsert) {
+    ActiveSet set(4);
+    EXPECT_TRUE(set.insert(1000));
+    EXPECT_TRUE(set.contains(1000));
+    EXPECT_GE(set.capacity(), 1001u);
+}
+
+TEST(ActiveSet, ResizePreservesMembership) {
+    ActiveSet set(8);
+    set.insert(3);
+    set.resize(100);
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_FALSE(set.contains(50));
+}
+
+TEST(ActiveSet, ContainsOutOfRangeIsFalse) {
+    ActiveSet set(4);
+    EXPECT_FALSE(set.contains(999));
+}
+
+TEST(ActiveSet, SwapExchangesContents) {
+    ActiveSet a(10);
+    ActiveSet b(10);
+    a.insert(1);
+    b.insert(2);
+    b.insert(3);
+    a.swap(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_TRUE(a.contains(2));
+    EXPECT_TRUE(a.contains(3));
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_TRUE(b.contains(1));
+}
+
+}  // namespace
+}  // namespace gt

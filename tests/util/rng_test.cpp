@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace gt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i) {
+        if (a.next() == b.next()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i) {
+            EXPECT_LT(rng.next_below(bound), bound);
+        }
+    }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(rng.next_below(1), 0u);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleRoughlyUniform) {
+    Rng rng(13);
+    double sum = 0.0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+        sum += rng.next_double();
+    }
+    EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ProducesDistinctValues) {
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        seen.insert(rng.next());
+    }
+    EXPECT_EQ(seen.size(), 10000u);  // 64-bit collisions are ~impossible
+}
+
+TEST(Hash, Mix64IsInjectiveOnSample) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t x = 0; x < 10000; ++x) {
+        seen.insert(mix64(x));
+    }
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, LevelHashVariesWithLevel) {
+    // The Tree-Based Hashing contract: the same vertex re-hashes
+    // independently at every tree level.
+    int same = 0;
+    for (std::uint32_t v = 0; v < 1000; ++v) {
+        if ((level_hash(v, 0) & 7) == (level_hash(v, 1) & 7)) {
+            ++same;
+        }
+    }
+    // ~1/8 expected by chance; fail only on gross correlation.
+    EXPECT_LT(same, 300);
+    EXPECT_GT(same, 10);
+}
+
+TEST(Hash, Mix32Avalanche) {
+    // Flipping one input bit should flip many output bits on average.
+    int total_flips = 0;
+    for (std::uint32_t x = 1; x <= 64; ++x) {
+        const std::uint32_t a = mix32(x);
+        const std::uint32_t b = mix32(x ^ 1u);
+        total_flips += __builtin_popcount(a ^ b);
+    }
+    EXPECT_GT(total_flips / 64, 10);  // >10 of 32 bits on average
+}
+
+}  // namespace
+}  // namespace gt

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace gt {
+namespace {
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+    ThreadPool pool;
+    EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoop) {
+    ThreadPool pool(2);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SingleThreadPoolStillCompletes) {
+    ThreadPool pool(1);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int round = 0; round < 50; ++round) {
+        pool.parallel_for(17, [&](std::size_t) { total.fetch_add(1); });
+    }
+    EXPECT_EQ(total.load(), 50 * 17);
+}
+
+TEST(ThreadPool, ActuallyRunsConcurrently) {
+    ThreadPool pool(4);
+    std::atomic<int> concurrent{0};
+    std::atomic<int> peak{0};
+    pool.parallel_for(64, [&](std::size_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int expected = peak.load();
+        while (now > expected &&
+               !peak.compare_exchange_weak(expected, now)) {
+        }
+        // Sleep briefly so workers overlap.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        concurrent.fetch_sub(1);
+    });
+    EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, LargeWorkItemsDontStarveOthers) {
+    ThreadPool pool(2);
+    std::vector<std::atomic<int>> done(8);
+    pool.parallel_for(8, [&](std::size_t i) {
+        if (i == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        done[i].fetch_add(1);
+    });
+    for (auto& d : done) {
+        EXPECT_EQ(d.load(), 1);
+    }
+}
+
+}  // namespace
+}  // namespace gt

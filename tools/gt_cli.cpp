@@ -1,0 +1,275 @@
+// gt — command-line front end for the GraphTinker library.
+//
+// Subcommands:
+//   gt generate <dataset|rmat:V:E> [seed]        emit an edge list to stdout
+//   gt stats <file>                              load a graph, print stats
+//   gt bfs <file> <root>                         hop counts from <root>
+//   gt cc <file>                                 component sizes
+//   gt pagerank <file> [top_k]                   highest-rank vertices
+//   gt triangles <file>                          triangle census
+//   gt convert <file.mtx>                        Matrix Market -> edge list
+//
+// <file> may be a plain edge list ("src dst [weight]" lines) or a Matrix
+// Market .mtx file (detected by extension). "-" reads stdin as an edge list.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/graphtinker.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "engine/reference.hpp"
+#include "engine/kcore.hpp"
+#include "engine/triangles.hpp"
+#include "gen/datasets.hpp"
+#include "gen/io.hpp"
+#include "gen/rmat.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace gt;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: gt <generate|stats|bfs|cc|pagerank|triangles|"
+                 "kcore|convert> ...\n"
+                 "  gt generate <dataset|rmat:V:E> [seed]\n"
+                 "  gt stats <file>\n"
+                 "  gt bfs <file> <root>\n"
+                 "  gt cc <file>\n"
+                 "  gt pagerank <file> [top_k]\n"
+                 "  gt triangles <file>\n"
+                 "  gt kcore <file>\n"
+                 "  gt convert <file.mtx>\n"
+                 "datasets: ");
+    for (const DatasetSpec& spec : table1_datasets()) {
+        std::fprintf(stderr, "%s ", spec.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+}
+
+ParsedGraph load(const std::string& path) {
+    if (path == "-") {
+        return read_edge_list(std::cin);
+    }
+    std::ifstream in(path);
+    if (!in) {
+        ParsedGraph failed;
+        failed.error = "cannot open " + path;
+        return failed;
+    }
+    if (path.size() > 4 && path.substr(path.size() - 4) == ".mtx") {
+        return read_matrix_market(in);
+    }
+    return read_edge_list(in);
+}
+
+core::GraphTinker& ingest(core::GraphTinker& g, const ParsedGraph& parsed) {
+    g.insert_batch(parsed.edges);
+    return g;
+}
+
+int cmd_generate(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::string what = argv[0];
+    const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                        : 42;
+    std::vector<Edge> edges;
+    if (what.rfind("rmat:", 0) == 0) {
+        VertexId v = 0;
+        EdgeCount e = 0;
+        if (std::sscanf(what.c_str(), "rmat:%u:%llu", &v,
+                        reinterpret_cast<unsigned long long*>(&e)) != 2 ||
+            v == 0) {
+            std::fprintf(stderr, "bad rmat spec: %s\n", what.c_str());
+            return 2;
+        }
+        edges = rmat_edges(v, e, seed);
+    } else {
+        try {
+            DatasetSpec spec = dataset_by_name(what);
+            spec.seed = seed;
+            edges = spec.generate();
+        } catch (const std::out_of_range&) {
+            std::fprintf(stderr, "unknown dataset: %s\n", what.c_str());
+            return 2;
+        }
+    }
+    write_edge_list(std::cout, edges);
+    return 0;
+}
+
+int cmd_stats(const ParsedGraph& parsed) {
+    core::GraphTinker g;
+    Timer timer;
+    ingest(g, parsed);
+    const double load_s = timer.seconds();
+    std::uint32_t max_degree = 0;
+    std::uint64_t degree_sum = 0;
+    g.for_each_edge([&](VertexId, VertexId, Weight) { ++degree_sum; });
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        max_degree = std::max(max_degree, g.degree(v));
+    }
+    std::printf("vertices (id space) : %u\n", g.num_vertices());
+    std::printf("non-empty sources   : %zu\n", g.num_nonempty_vertices());
+    std::printf("edges (distinct)    : %llu\n",
+                static_cast<unsigned long long>(g.num_edges()));
+    std::printf("stream updates      : %zu\n", parsed.edges.size());
+    std::printf("max out-degree      : %u\n", max_degree);
+    std::printf("edgeblocks in use   : %zu\n",
+                g.edgeblock_array().blocks_in_use());
+    std::printf("load time           : %.3f s (%.2f Mupdates/s)\n", load_s,
+                mops(parsed.edges.size(), load_s));
+    return 0;
+}
+
+int cmd_bfs(const ParsedGraph& parsed, VertexId root) {
+    core::GraphTinker g;
+    ingest(g, parsed);
+    engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> bfs(g);
+    bfs.set_root(root);
+    Timer timer;
+    const auto stats = bfs.run_from_scratch();
+    std::map<std::uint32_t, std::size_t> histogram;
+    std::size_t unreachable = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const auto level = bfs.property(v);
+        if (level == kInfDistance) {
+            ++unreachable;
+        } else {
+            ++histogram[level];
+        }
+    }
+    std::printf("BFS from %u: %zu iterations (%zu full / %zu incremental) "
+                "in %.3f s\n",
+                root, stats.iterations, stats.full_iterations,
+                stats.incremental_iterations, timer.seconds());
+    for (const auto& [level, count] : histogram) {
+        std::printf("  level %-4u %zu vertices\n", level, count);
+    }
+    std::printf("  unreachable: %zu\n", unreachable);
+    return 0;
+}
+
+int cmd_cc(const ParsedGraph& parsed) {
+    core::GraphTinker g;
+    // CC needs symmetric reachability.
+    g.insert_batch(engine::symmetrize(parsed.edges));
+    engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(g);
+    cc.run_from_scratch();
+    std::map<std::uint32_t, std::size_t> sizes;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ++sizes[cc.property(v)];
+    }
+    std::vector<std::size_t> ordered;
+    for (const auto& [label, size] : sizes) {
+        ordered.push_back(size);
+    }
+    std::sort(ordered.rbegin(), ordered.rend());
+    std::printf("components: %zu\n", ordered.size());
+    for (std::size_t i = 0; i < ordered.size() && i < 10; ++i) {
+        std::printf("  #%zu: %zu vertices\n", i + 1, ordered[i]);
+    }
+    return 0;
+}
+
+int cmd_pagerank(const ParsedGraph& parsed, std::size_t top_k) {
+    core::GraphTinker g;
+    ingest(g, parsed);
+    engine::PageRank<core::GraphTinker> alg{&g, 0.85, 1e-9};
+    engine::DynamicAnalysis<core::GraphTinker,
+                            engine::PageRank<core::GraphTinker>>
+        pr(g, engine::EngineOptions{.keep_trace = false}, alg);
+    pr.run_from_scratch();
+    std::vector<std::pair<double, VertexId>> ranked;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        ranked.emplace_back(pr.property(v).rank, v);
+    }
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                           top_k, ranked.size())),
+                      ranked.end(), std::greater<>());
+    std::printf("top %zu vertices by PageRank:\n",
+                std::min(top_k, ranked.size()));
+    for (std::size_t i = 0; i < top_k && i < ranked.size(); ++i) {
+        std::printf("  %u  %.4f\n", ranked[i].second, ranked[i].first);
+    }
+    return 0;
+}
+
+int cmd_kcore(const ParsedGraph& parsed) {
+    core::GraphTinker g;
+    g.insert_batch(engine::symmetrize(parsed.edges));
+    const auto result = engine::kcore_decomposition(g);
+    std::printf("degeneracy: %u\n", result.degeneracy);
+    for (std::uint32_t k = 0; k < result.core_sizes.size(); ++k) {
+        std::printf("  %u-core: %zu vertices\n", k, result.core_sizes[k]);
+    }
+    return 0;
+}
+
+int cmd_triangles(const ParsedGraph& parsed) {
+    core::GraphTinker g;
+    g.insert_batch(engine::symmetrize(parsed.edges));
+    const auto stats = engine::count_triangles(g);
+    std::printf("triangles          : %llu\n",
+                static_cast<unsigned long long>(stats.total_triangles));
+    std::printf("global clustering  : %.6f\n", stats.global_clustering);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string command = argv[1];
+    if (command == "generate") {
+        return cmd_generate(argc - 2, argv + 2);
+    }
+    if (argc < 3) {
+        return usage();
+    }
+    const ParsedGraph parsed = load(argv[2]);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+        return 1;
+    }
+    if (command == "stats") {
+        return cmd_stats(parsed);
+    }
+    if (command == "bfs") {
+        if (argc < 4) {
+            return usage();
+        }
+        return cmd_bfs(parsed, static_cast<gt::VertexId>(
+                                   std::strtoul(argv[3], nullptr, 10)));
+    }
+    if (command == "cc") {
+        return cmd_cc(parsed);
+    }
+    if (command == "pagerank") {
+        return cmd_pagerank(
+            parsed, argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10);
+    }
+    if (command == "triangles") {
+        return cmd_triangles(parsed);
+    }
+    if (command == "kcore") {
+        return cmd_kcore(parsed);
+    }
+    if (command == "convert") {
+        gt::write_edge_list(std::cout, parsed.edges);
+        return 0;
+    }
+    return usage();
+}
