@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sgh_cal.dir/ablation_sgh_cal.cpp.o"
+  "CMakeFiles/ablation_sgh_cal.dir/ablation_sgh_cal.cpp.o.d"
+  "ablation_sgh_cal"
+  "ablation_sgh_cal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sgh_cal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workblock.dir/ablation_workblock.cpp.o"
+  "CMakeFiles/ablation_workblock.dir/ablation_workblock.cpp.o.d"
+  "ablation_workblock"
+  "ablation_workblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_direction_bfs.dir/ext_direction_bfs.cpp.o"
+  "CMakeFiles/ext_direction_bfs.dir/ext_direction_bfs.cpp.o.d"
+  "ext_direction_bfs"
+  "ext_direction_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_direction_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

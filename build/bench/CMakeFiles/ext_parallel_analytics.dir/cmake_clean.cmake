@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_analytics.dir/ext_parallel_analytics.cpp.o"
+  "CMakeFiles/ext_parallel_analytics.dir/ext_parallel_analytics.cpp.o.d"
+  "ext_parallel_analytics"
+  "ext_parallel_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

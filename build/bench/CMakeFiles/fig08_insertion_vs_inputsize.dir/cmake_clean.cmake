@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_insertion_vs_inputsize.dir/fig08_insertion_vs_inputsize.cpp.o"
+  "CMakeFiles/fig08_insertion_vs_inputsize.dir/fig08_insertion_vs_inputsize.cpp.o.d"
+  "fig08_insertion_vs_inputsize"
+  "fig08_insertion_vs_inputsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_insertion_vs_inputsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

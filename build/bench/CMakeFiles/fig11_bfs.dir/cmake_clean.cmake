@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bfs.dir/fig11_bfs.cpp.o"
+  "CMakeFiles/fig11_bfs.dir/fig11_bfs.cpp.o.d"
+  "fig11_bfs"
+  "fig11_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig12_sssp.cpp" "bench/CMakeFiles/fig12_sssp.dir/fig12_sssp.cpp.o" "gcc" "bench/CMakeFiles/fig12_sssp.dir/fig12_sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stinger/CMakeFiles/gt_stinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sssp.dir/fig12_sssp.cpp.o"
+  "CMakeFiles/fig12_sssp.dir/fig12_sssp.cpp.o.d"
+  "fig12_sssp"
+  "fig12_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_deletion.dir/fig14_deletion.cpp.o"
+  "CMakeFiles/fig14_deletion.dir/fig14_deletion.cpp.o.d"
+  "fig14_deletion"
+  "fig14_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_bfs_after_deletion.dir/fig15_bfs_after_deletion.cpp.o"
+  "CMakeFiles/fig15_bfs_after_deletion.dir/fig15_bfs_after_deletion.cpp.o.d"
+  "fig15_bfs_after_deletion"
+  "fig15_bfs_after_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bfs_after_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_bfs_after_deletion.
+# This may be replaced when dependencies are built.

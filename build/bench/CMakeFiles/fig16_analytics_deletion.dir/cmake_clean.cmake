@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_analytics_deletion.dir/fig16_analytics_deletion.cpp.o"
+  "CMakeFiles/fig16_analytics_deletion.dir/fig16_analytics_deletion.cpp.o.d"
+  "fig16_analytics_deletion"
+  "fig16_analytics_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_analytics_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_analytics_deletion.
+# This may be replaced when dependencies are built.

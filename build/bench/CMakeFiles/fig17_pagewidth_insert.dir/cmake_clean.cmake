@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_pagewidth_insert.dir/fig17_pagewidth_insert.cpp.o"
+  "CMakeFiles/fig17_pagewidth_insert.dir/fig17_pagewidth_insert.cpp.o.d"
+  "fig17_pagewidth_insert"
+  "fig17_pagewidth_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_pagewidth_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

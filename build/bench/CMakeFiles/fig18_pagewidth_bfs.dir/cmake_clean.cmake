@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_pagewidth_bfs.dir/fig18_pagewidth_bfs.cpp.o"
+  "CMakeFiles/fig18_pagewidth_bfs.dir/fig18_pagewidth_bfs.cpp.o.d"
+  "fig18_pagewidth_bfs"
+  "fig18_pagewidth_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_pagewidth_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

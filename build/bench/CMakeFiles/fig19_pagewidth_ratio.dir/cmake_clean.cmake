@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_pagewidth_ratio.dir/fig19_pagewidth_ratio.cpp.o"
+  "CMakeFiles/fig19_pagewidth_ratio.dir/fig19_pagewidth_ratio.cpp.o.d"
+  "fig19_pagewidth_ratio"
+  "fig19_pagewidth_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_pagewidth_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

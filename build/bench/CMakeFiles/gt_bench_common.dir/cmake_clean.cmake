@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_bench_common.dir/common/drivers.cpp.o"
+  "CMakeFiles/gt_bench_common.dir/common/drivers.cpp.o.d"
+  "CMakeFiles/gt_bench_common.dir/common/harness.cpp.o"
+  "CMakeFiles/gt_bench_common.dir/common/harness.cpp.o.d"
+  "libgt_bench_common.a"
+  "libgt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

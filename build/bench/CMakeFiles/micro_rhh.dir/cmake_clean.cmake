@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rhh.dir/micro_rhh.cpp.o"
+  "CMakeFiles/micro_rhh.dir/micro_rhh.cpp.o.d"
+  "micro_rhh"
+  "micro_rhh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_toolkit.dir/analytics_toolkit.cpp.o"
+  "CMakeFiles/analytics_toolkit.dir/analytics_toolkit.cpp.o.d"
+  "analytics_toolkit"
+  "analytics_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_network_sssp.dir/road_network_sssp.cpp.o"
+  "CMakeFiles/road_network_sssp.dir/road_network_sssp.cpp.o.d"
+  "road_network_sssp"
+  "road_network_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_network_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

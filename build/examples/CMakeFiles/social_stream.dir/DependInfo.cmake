@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/social_stream.cpp" "examples/CMakeFiles/social_stream.dir/social_stream.cpp.o" "gcc" "examples/CMakeFiles/social_stream.dir/social_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stinger/CMakeFiles/gt_stinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gt_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cal.cpp" "src/core/CMakeFiles/gt_core.dir/cal.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/cal.cpp.o.d"
+  "/root/repo/src/core/edgeblock_array.cpp" "src/core/CMakeFiles/gt_core.dir/edgeblock_array.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/edgeblock_array.cpp.o.d"
+  "/root/repo/src/core/graphtinker.cpp" "src/core/CMakeFiles/gt_core.dir/graphtinker.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/graphtinker.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/gt_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/gt_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

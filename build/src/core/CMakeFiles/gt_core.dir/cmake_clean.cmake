@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_core.dir/cal.cpp.o"
+  "CMakeFiles/gt_core.dir/cal.cpp.o.d"
+  "CMakeFiles/gt_core.dir/edgeblock_array.cpp.o"
+  "CMakeFiles/gt_core.dir/edgeblock_array.cpp.o.d"
+  "CMakeFiles/gt_core.dir/graphtinker.cpp.o"
+  "CMakeFiles/gt_core.dir/graphtinker.cpp.o.d"
+  "CMakeFiles/gt_core.dir/serialize.cpp.o"
+  "CMakeFiles/gt_core.dir/serialize.cpp.o.d"
+  "libgt_core.a"
+  "libgt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_engine.dir/reference.cpp.o"
+  "CMakeFiles/gt_engine.dir/reference.cpp.o.d"
+  "libgt_engine.a"
+  "libgt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

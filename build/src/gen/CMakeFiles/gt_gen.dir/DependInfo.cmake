@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/datasets.cpp" "src/gen/CMakeFiles/gt_gen.dir/datasets.cpp.o" "gcc" "src/gen/CMakeFiles/gt_gen.dir/datasets.cpp.o.d"
+  "/root/repo/src/gen/io.cpp" "src/gen/CMakeFiles/gt_gen.dir/io.cpp.o" "gcc" "src/gen/CMakeFiles/gt_gen.dir/io.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/gen/CMakeFiles/gt_gen.dir/rmat.cpp.o" "gcc" "src/gen/CMakeFiles/gt_gen.dir/rmat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

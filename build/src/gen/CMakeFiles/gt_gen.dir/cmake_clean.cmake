@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_gen.dir/datasets.cpp.o"
+  "CMakeFiles/gt_gen.dir/datasets.cpp.o.d"
+  "CMakeFiles/gt_gen.dir/io.cpp.o"
+  "CMakeFiles/gt_gen.dir/io.cpp.o.d"
+  "CMakeFiles/gt_gen.dir/rmat.cpp.o"
+  "CMakeFiles/gt_gen.dir/rmat.cpp.o.d"
+  "libgt_gen.a"
+  "libgt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

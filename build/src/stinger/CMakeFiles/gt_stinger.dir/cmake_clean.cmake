@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_stinger.dir/stinger.cpp.o"
+  "CMakeFiles/gt_stinger.dir/stinger.cpp.o.d"
+  "libgt_stinger.a"
+  "libgt_stinger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_stinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt_util.dir/env.cpp.o"
+  "CMakeFiles/gt_util.dir/env.cpp.o.d"
+  "CMakeFiles/gt_util.dir/table.cpp.o"
+  "CMakeFiles/gt_util.dir/table.cpp.o.d"
+  "CMakeFiles/gt_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/gt_util.dir/thread_pool.cpp.o.d"
+  "libgt_util.a"
+  "libgt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

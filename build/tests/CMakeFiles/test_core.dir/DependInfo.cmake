@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bidirectional_test.cpp" "tests/CMakeFiles/test_core.dir/core/bidirectional_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bidirectional_test.cpp.o.d"
+  "/root/repo/tests/core/cal_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/cal_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cal_property_test.cpp.o.d"
+  "/root/repo/tests/core/cal_test.cpp" "tests/CMakeFiles/test_core.dir/core/cal_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cal_test.cpp.o.d"
+  "/root/repo/tests/core/eba_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/eba_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/eba_property_test.cpp.o.d"
+  "/root/repo/tests/core/edgeblock_array_test.cpp" "tests/CMakeFiles/test_core.dir/core/edgeblock_array_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/edgeblock_array_test.cpp.o.d"
+  "/root/repo/tests/core/graphtinker_test.cpp" "tests/CMakeFiles/test_core.dir/core/graphtinker_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/graphtinker_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/test_core.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/sgh_test.cpp" "tests/CMakeFiles/test_core.dir/core/sgh_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sgh_test.cpp.o.d"
+  "/root/repo/tests/core/sharded_test.cpp" "tests/CMakeFiles/test_core.dir/core/sharded_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sharded_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stinger/CMakeFiles/gt_stinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gt_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

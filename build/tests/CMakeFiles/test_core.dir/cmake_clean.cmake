@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/bidirectional_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bidirectional_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cal_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cal_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/cal_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cal_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/eba_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/eba_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/edgeblock_array_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/edgeblock_array_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/graphtinker_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/graphtinker_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/serialize_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/serialize_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sgh_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sgh_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sharded_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sharded_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

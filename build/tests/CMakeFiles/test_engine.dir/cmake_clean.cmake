@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/engine/engine_extra_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/engine_extra_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/engine_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/engine_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/kcore_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/kcore_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/pagerank_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/pagerank_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/parallel_engine_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/parallel_engine_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/reference_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/reference_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/triangles_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/triangles_test.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/vertex_centric_test.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/vertex_centric_test.cpp.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rhh.dir/rhh/robin_hood_map_test.cpp.o"
+  "CMakeFiles/test_rhh.dir/rhh/robin_hood_map_test.cpp.o.d"
+  "test_rhh"
+  "test_rhh.pdb"
+  "test_rhh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rhh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stinger.dir/stinger/stinger_test.cpp.o"
+  "CMakeFiles/test_stinger.dir/stinger/stinger_test.cpp.o.d"
+  "test_stinger"
+  "test_stinger.pdb"
+  "test_stinger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

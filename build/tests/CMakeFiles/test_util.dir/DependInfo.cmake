@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/active_set_test.cpp" "tests/CMakeFiles/test_util.dir/util/active_set_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/active_set_test.cpp.o.d"
+  "/root/repo/tests/util/misc_test.cpp" "tests/CMakeFiles/test_util.dir/util/misc_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/misc_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stinger/CMakeFiles/gt_stinger.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/gt_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

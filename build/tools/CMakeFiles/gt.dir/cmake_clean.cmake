@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gt.dir/gt_cli.cpp.o"
+  "CMakeFiles/gt.dir/gt_cli.cpp.o.d"
+  "gt"
+  "gt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
