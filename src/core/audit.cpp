@@ -1,0 +1,629 @@
+#include "core/audit.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/graphtinker.hpp"
+
+namespace gt::core {
+
+std::string_view to_string(AuditCheck check) noexcept {
+    switch (check) {
+        case AuditCheck::TbhStructure:
+            return "tbh-structure";
+        case AuditCheck::TbhOrphan:
+            return "tbh-orphan";
+        case AuditCheck::Occupancy:
+            return "occupancy";
+        case AuditCheck::RhhPlacement:
+            return "rhh-placement";
+        case AuditCheck::RhhProbePath:
+            return "rhh-probe-path";
+        case AuditCheck::FindReachability:
+            return "find-reachability";
+        case AuditCheck::CalForward:
+            return "cal-forward";
+        case AuditCheck::CalReverse:
+            return "cal-reverse";
+        case AuditCheck::CalChain:
+            return "cal-chain";
+        case AuditCheck::SghBijection:
+            return "sgh-bijection";
+        case AuditCheck::DegreeAccounting:
+            return "degree-accounting";
+        case AuditCheck::EdgeAccounting:
+            return "edge-accounting";
+    }
+    return "unknown";
+}
+
+std::string AuditViolation::to_string() const {
+    std::string out{gt::core::to_string(check)};
+    if (src != kInvalidVertex) {
+        out += " src=" + std::to_string(src);
+    }
+    if (dst != kInvalidVertex) {
+        out += " dst=" + std::to_string(dst);
+    }
+    out += ": " + detail;
+    return out;
+}
+
+bool AuditReport::has(AuditCheck check) const noexcept {
+    for (const AuditViolation& v : violations) {
+        if (v.check == check) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string AuditReport::to_string() const {
+    if (ok()) {
+        return {};
+    }
+    std::string out = "audit found " + std::to_string(violations.size()) +
+                      " violation(s)";
+    if (truncated) {
+        out += " (truncated)";
+    }
+    out += ":\n";
+    for (const AuditViolation& v : violations) {
+        out += "  " + v.to_string() + "\n";
+    }
+    return out;
+}
+
+/// Stateful single-run audit walk. Every check appends typed violations and
+/// keeps going (up to the report cap), so one run reports every broken
+/// invariant class at once. Nested in Auditor so it shares the friend
+/// access the core classes grant.
+class Auditor::Run {
+public:
+    explicit Run(const GraphTinker& g) : g_(g), eba_(g.eba_) {}
+
+    AuditReport run() {
+        audit_tree_and_cells();
+        if (g_.config_.enable_cal) {
+            audit_cal();
+        }
+        if (g_.config_.enable_sgh) {
+            audit_sgh();
+        }
+        audit_edge_totals();
+        return std::move(report_);
+    }
+
+private:
+    void add(AuditCheck check, VertexId src, VertexId dst,
+             std::string detail) {
+        if (report_.violations.size() >= AuditReport::kMaxViolations) {
+            report_.truncated = true;
+            return;
+        }
+        report_.violations.push_back(
+            AuditViolation{check, src, dst, std::move(detail)});
+    }
+
+    [[nodiscard]] bool mask_bit(std::uint32_t block,
+                                std::uint32_t slot) const {
+        const std::uint64_t word =
+            eba_.masks_[static_cast<std::size_t>(block) *
+                            eba_.words_per_block_ +
+                        slot / 64];
+        return ((word >> (slot % 64)) & 1U) != 0;
+    }
+
+    // ---- pass 1: TBH tree walk + per-cell RHH / CAL-forward checks -------
+
+    void audit_tree_and_cells() {
+        const std::size_t blocks = eba_.block_count_;
+        std::vector<std::uint8_t> reached(blocks, 0);
+        std::vector<std::uint8_t> free_flag(blocks, 0);
+        for (const std::uint32_t b : eba_.free_blocks_) {
+            if (b >= blocks) {
+                add(AuditCheck::TbhStructure, kInvalidVertex, kInvalidVertex,
+                    "free list holds out-of-range block " + std::to_string(b));
+                continue;
+            }
+            if (free_flag[b]) {
+                add(AuditCheck::TbhStructure, kInvalidVertex, kInvalidVertex,
+                    "block " + std::to_string(b) + " free-listed twice");
+            }
+            free_flag[b] = 1;
+            for (std::uint32_t s = 0; s < eba_.spb_; ++s) {
+                if (eba_.child(b, s) != EdgeblockArray::kNoBlock) {
+                    add(AuditCheck::TbhStructure, kInvalidVertex,
+                        kInvalidVertex,
+                        "free block " + std::to_string(b) +
+                            " still links child at subblock " +
+                            std::to_string(s));
+                }
+            }
+        }
+
+        for (VertexId dense = 0; dense < g_.top_.size(); ++dense) {
+            ++report_.vertices_audited;
+            const VertexId raw = g_.raw_of(dense);
+            const EdgeCount cells = walk_vertex(dense, raw, reached,
+                                                free_flag);
+            total_cells_ += cells;
+            const std::uint32_t degree =
+                dense < g_.props_.size() ? g_.props_[dense].degree : 0;
+            if (degree != cells) {
+                add(AuditCheck::DegreeAccounting, raw, kInvalidVertex,
+                    "stored degree " + std::to_string(degree) + " but " +
+                        std::to_string(cells) + " live cells");
+            }
+        }
+
+        for (std::uint32_t b = 0; b < blocks; ++b) {
+            if (!free_flag[b] && reached[b] == 0) {
+                add(AuditCheck::TbhOrphan, kInvalidVertex, kInvalidVertex,
+                    "allocated block " + std::to_string(b) +
+                        " unreachable from every top parent");
+            }
+        }
+    }
+
+    /// Depth-first walk of one vertex's edgeblock tree. Returns the number
+    /// of live cells seen under the tree.
+    EdgeCount walk_vertex(VertexId dense, VertexId raw,
+                          std::vector<std::uint8_t>& reached,
+                          const std::vector<std::uint8_t>& free_flag) {
+        const std::uint32_t top = g_.top_[dense];
+        if (top == EdgeblockArray::kNoBlock) {
+            return 0;
+        }
+        EdgeCount cells = 0;
+        struct Frame {
+            std::uint32_t block;
+            std::uint32_t level;
+        };
+        std::vector<Frame> stack{{top, 0}};
+        while (!stack.empty()) {
+            const auto [block, level] = stack.back();
+            stack.pop_back();
+            if (block >= eba_.block_count_) {
+                add(AuditCheck::TbhStructure, raw, kInvalidVertex,
+                    "handle " + std::to_string(block) +
+                        " outside the arena (level " + std::to_string(level) +
+                        ")");
+                continue;
+            }
+            if (free_flag[block]) {
+                add(AuditCheck::TbhStructure, raw, kInvalidVertex,
+                    "reachable block " + std::to_string(block) +
+                        " is on the free list");
+                continue;
+            }
+            if (reached[block]++ != 0) {
+                add(AuditCheck::TbhStructure, raw, kInvalidVertex,
+                    "block " + std::to_string(block) +
+                        " reached twice (cycle or shared child)");
+                continue;  // do not descend again
+            }
+            ++report_.blocks_audited;
+            cells += audit_block(raw, top, block, level);
+            for (std::uint32_t s = 0; s < eba_.spb_; ++s) {
+                const std::uint32_t down = eba_.child(block, s);
+                if (down != EdgeblockArray::kNoBlock) {
+                    stack.push_back(Frame{down, level + 1});
+                }
+            }
+        }
+        return cells;
+    }
+
+    /// Per-cell checks of one reachable block at its tree level. Returns the
+    /// number of occupied cells.
+    EdgeCount audit_block(VertexId raw, std::uint32_t top,
+                          std::uint32_t block, std::uint32_t level) {
+        EdgeCount occupied = 0;
+        for (std::uint32_t slot = 0; slot < eba_.pagewidth_; ++slot) {
+            const EdgeCell& c = eba_.cell(block, slot);
+            const bool is_occupied = c.state == CellState::Occupied;
+            if (mask_bit(block, slot) != is_occupied) {
+                add(AuditCheck::Occupancy, raw, c.dst,
+                    "occupancy bit disagrees with cell state (block " +
+                        std::to_string(block) + " slot " +
+                        std::to_string(slot) + ")");
+            }
+            if (!is_occupied) {
+                continue;
+            }
+            ++occupied;
+            ++report_.cells_audited;
+            audit_cell(raw, top, block, slot, level, c);
+        }
+        if (occupied != eba_.occupied_[block]) {
+            add(AuditCheck::Occupancy, raw, kInvalidVertex,
+                "block " + std::to_string(block) + " counter says " +
+                    std::to_string(eba_.occupied_[block]) + " but " +
+                    std::to_string(occupied) + " cells are occupied");
+        }
+        return occupied;
+    }
+
+    void audit_cell(VertexId raw, std::uint32_t top, std::uint32_t block,
+                    std::uint32_t slot, std::uint32_t level,
+                    const EdgeCell& c) {
+        const std::uint32_t sb = slot / eba_.subblock_;
+        const std::uint32_t sb_base = sb * eba_.subblock_;
+
+        // Robin Hood placement: right subblock for the (dst, level) hash and
+        // probe distance equal to the displacement from the home offset.
+        if (eba_.sb_of(c.dst, level) != sb) {
+            add(AuditCheck::RhhPlacement, raw, c.dst,
+                "cell stored in subblock " + std::to_string(sb) +
+                    " but hashes to " +
+                    std::to_string(eba_.sb_of(c.dst, level)) + " at level " +
+                    std::to_string(level));
+        } else {
+            const std::uint32_t home = eba_.home_of(c.dst, level);
+            const std::uint32_t off = slot - sb_base;
+            const std::uint32_t expected =
+                (off + eba_.subblock_ - home) & (eba_.subblock_ - 1);
+            if (c.probe != expected) {
+                add(AuditCheck::RhhPlacement, raw, c.dst,
+                    "stored probe " + std::to_string(c.probe) +
+                        " but displacement from home is " +
+                        std::to_string(expected));
+            } else if (eba_.rhh_) {
+                // Probe-path continuity (delete-only mode): no EMPTY cell
+                // may precede the edge on its probe path, otherwise the
+                // FIND early-exit would miss it.
+                for (std::uint32_t d = 0; d < c.probe; ++d) {
+                    const std::uint32_t on_path =
+                        sb_base + ((home + d) & (eba_.subblock_ - 1));
+                    if (eba_.cell(block, on_path).state == CellState::Empty) {
+                        add(AuditCheck::RhhProbePath, raw, c.dst,
+                            "EMPTY cell at probe distance " +
+                                std::to_string(d) +
+                                " precedes edge stored at distance " +
+                                std::to_string(c.probe));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // End-to-end FIND retrieval.
+        const auto found = eba_.find(top, c.dst);
+        if (!found || *found != c.weight) {
+            add(AuditCheck::FindReachability, raw, c.dst,
+                !found ? "stored cell not reachable via FIND"
+                       : "FIND returns weight " + std::to_string(*found) +
+                             " but cell stores " + std::to_string(c.weight));
+        }
+
+        // CAL forward pointer.
+        if (!g_.config_.enable_cal) {
+            if (c.cal_pos != kNoCalPos) {
+                add(AuditCheck::CalForward, raw, c.dst,
+                    "CAL disabled but cell carries CAL pointer " +
+                        std::to_string(c.cal_pos));
+            }
+            return;
+        }
+        if (c.cal_pos == kNoCalPos) {
+            add(AuditCheck::CalForward, raw, c.dst,
+                "occupied cell without CAL pointer");
+            return;
+        }
+        if (c.cal_pos >= g_.cal_.pool_.size()) {
+            add(AuditCheck::CalForward, raw, c.dst,
+                "CAL pointer " + std::to_string(c.cal_pos) +
+                    " outside the pool");
+            return;
+        }
+        const auto slot_view = g_.cal_.slot_at(c.cal_pos);
+        if (!slot_view.valid || slot_view.src != raw ||
+            slot_view.dst != c.dst || slot_view.weight != c.weight ||
+            slot_view.owner.block != block || slot_view.owner.slot != slot) {
+            add(AuditCheck::CalForward, raw, c.dst,
+                "CAL slot " + std::to_string(c.cal_pos) +
+                    " disagrees with its owning cell");
+        }
+    }
+
+    // ---- pass 2: CAL chains + reverse pointers ---------------------------
+
+    void audit_cal() {
+        const CoarseAdjacencyList& cal = g_.cal_;
+        constexpr std::uint32_t kNone = 0xffffffffU;
+        std::vector<std::uint8_t> chained(cal.blocks_.size(), 0);
+
+        for (std::size_t group = 0; group < cal.groups_.size(); ++group) {
+            const auto& meta = cal.groups_[group];
+            if ((meta.head == kNone) != (meta.tail == kNone)) {
+                add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                    "group " + std::to_string(group) +
+                        " has mismatched head/tail sentinels");
+                continue;
+            }
+            std::uint32_t prev = kNone;
+            std::uint32_t b = meta.head;
+            std::size_t steps = 0;
+            while (b != kNone) {
+                if (b >= cal.blocks_.size() ||
+                    ++steps > cal.blocks_.size()) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "group " + std::to_string(group) +
+                            " chain is out of range or cyclic");
+                    break;
+                }
+                if (chained[b]++ != 0) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "CAL block " + std::to_string(b) +
+                            " appears in two chains");
+                    break;
+                }
+                const auto& bm = cal.blocks_[b];
+                if (bm.group != group) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "CAL block " + std::to_string(b) + " tagged group " +
+                            std::to_string(bm.group) + " but chained in " +
+                            std::to_string(group));
+                }
+                if (bm.prev != prev) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "CAL block " + std::to_string(b) +
+                            " prev link broken");
+                }
+                if (bm.used > cal.block_edges_) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "CAL block " + std::to_string(b) +
+                            " used count exceeds capacity");
+                }
+                if (bm.next == kNone && meta.tail != b) {
+                    add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                        "group " + std::to_string(group) +
+                            " tail does not terminate its chain");
+                }
+                audit_cal_block(b);
+                prev = b;
+                b = bm.next;
+            }
+        }
+
+        // Every pool block is either chained or free-listed, never both.
+        std::vector<std::uint8_t> free_flag(cal.blocks_.size(), 0);
+        for (const std::uint32_t b : cal.free_) {
+            if (b < cal.blocks_.size()) {
+                free_flag[b] = 1;
+            }
+        }
+        for (std::size_t b = 0; b < cal.blocks_.size(); ++b) {
+            if (chained[b] != 0 && free_flag[b] != 0) {
+                add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                    "CAL block " + std::to_string(b) +
+                        " both chained and free-listed");
+            } else if (chained[b] == 0 && free_flag[b] == 0) {
+                add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                    "CAL block " + std::to_string(b) +
+                        " neither chained nor free-listed");
+            }
+        }
+
+        if (cal_live_ != cal.live_edges()) {
+            add(AuditCheck::EdgeAccounting, kInvalidVertex, kInvalidVertex,
+                "CAL live counter says " + std::to_string(cal.live_edges()) +
+                    " but " + std::to_string(cal_live_) +
+                    " live slots exist");
+        }
+    }
+
+    /// Reverse (CAL slot -> edge-cell) round-trip for one chained block.
+    void audit_cal_block(std::uint32_t block) {
+        const CoarseAdjacencyList& cal = g_.cal_;
+        const std::size_t base =
+            static_cast<std::size_t>(block) * cal.block_edges_;
+        for (std::uint32_t i = 0; i < cal.blocks_[block].used; ++i) {
+            ++report_.cal_slots_audited;
+            const auto& slot = cal.pool_[base + i];
+            if (slot.src == kInvalidVertex) {
+                continue;  // delete-only hole
+            }
+            ++cal_live_;
+            const auto pos = static_cast<std::uint32_t>(base + i);
+            if (slot.owner.block >= eba_.block_count_ ||
+                slot.owner.slot >= eba_.pagewidth_) {
+                add(AuditCheck::CalReverse, slot.src, slot.dst,
+                    "CAL slot " + std::to_string(pos) +
+                        " owner reference outside the arena");
+                continue;
+            }
+            const EdgeCell& cell =
+                eba_.cell(slot.owner.block, slot.owner.slot);
+            if (cell.state != CellState::Occupied ||
+                cell.cal_pos != pos || cell.dst != slot.dst ||
+                cell.weight != slot.weight) {
+                add(AuditCheck::CalReverse, slot.src, slot.dst,
+                    "CAL slot " + std::to_string(pos) +
+                        " owner cell does not point back");
+            }
+        }
+    }
+
+    // ---- pass 3: SGH bijection ------------------------------------------
+
+    void audit_sgh() {
+        const ScatterGatherHash& sgh = g_.sgh_;
+        if (sgh.size() != g_.top_.size()) {
+            add(AuditCheck::SghBijection, kInvalidVertex, kInvalidVertex,
+                "SGH maps " + std::to_string(sgh.size()) +
+                    " vertices but the top-parent table holds " +
+                    std::to_string(g_.top_.size()));
+        }
+        if (sgh.map_.size() != sgh.dense_to_raw_.size()) {
+            add(AuditCheck::SghBijection, kInvalidVertex, kInvalidVertex,
+                "forward map holds " + std::to_string(sgh.map_.size()) +
+                    " entries but reverse table holds " +
+                    std::to_string(sgh.dense_to_raw_.size()));
+        }
+        const VertexId bound =
+            static_cast<VertexId>(std::min(sgh.size(), g_.top_.size()));
+        for (VertexId dense = 0; dense < bound; ++dense) {
+            const VertexId raw = sgh.raw_of(dense);
+            const auto round_trip = sgh.lookup(raw);
+            if (!round_trip || *round_trip != dense) {
+                add(AuditCheck::SghBijection, raw, kInvalidVertex,
+                    "dense id " + std::to_string(dense) +
+                        " does not round-trip (raw " + std::to_string(raw) +
+                        " maps to " +
+                        (round_trip ? std::to_string(*round_trip)
+                                    : std::string("nothing")) +
+                        ")");
+                continue;
+            }
+            if (dense < g_.props_.size() &&
+                g_.props_[dense].raw_id != raw) {
+                add(AuditCheck::SghBijection, raw, kInvalidVertex,
+                    "vertex property raw_id " +
+                        std::to_string(g_.props_[dense].raw_id) +
+                        " disagrees with SGH raw id " + std::to_string(raw));
+            }
+        }
+    }
+
+    // ---- pass 4: global accounting --------------------------------------
+
+    void audit_edge_totals() {
+        if (total_cells_ != g_.num_edges_) {
+            add(AuditCheck::EdgeAccounting, kInvalidVertex, kInvalidVertex,
+                "edge counter says " + std::to_string(g_.num_edges_) +
+                    " but " + std::to_string(total_cells_) +
+                    " live cells are stored");
+        }
+        if (g_.config_.enable_cal && cal_live_ != g_.num_edges_) {
+            add(AuditCheck::EdgeAccounting, kInvalidVertex, kInvalidVertex,
+                "edge counter says " + std::to_string(g_.num_edges_) +
+                    " but the CAL holds " + std::to_string(cal_live_) +
+                    " live copies");
+        }
+    }
+
+    const GraphTinker& g_;
+    const EdgeblockArray& eba_;
+    AuditReport report_;
+    EdgeCount total_cells_ = 0;
+    EdgeCount cal_live_ = 0;
+};
+
+AuditReport Auditor::run(const GraphTinker& graph) {
+    return Run(graph).run();
+}
+
+AuditReport GraphTinker::audit() const { return Auditor::run(*this); }
+
+std::string GraphTinker::validate() const {
+    const AuditReport report = audit();
+    if (report.ok()) {
+        return {};
+    }
+    return report.violations.front().to_string();
+}
+
+// ---- test-only corruption hooks ----------------------------------------
+
+EdgeCell* CorruptionInjector::locate_cell(GraphTinker& graph, VertexId src,
+                                          VertexId dst) {
+    const auto dense = graph.dense_of(src);
+    if (!dense) {
+        return nullptr;
+    }
+    const auto ref = graph.eba_.find_ref(graph.top_[*dense], dst);
+    if (!ref) {
+        return nullptr;
+    }
+    return &graph.eba_.cell(ref->block, ref->slot);
+}
+
+bool CorruptionInjector::break_cal_pointer(GraphTinker& graph, VertexId src,
+                                           VertexId dst) {
+    EdgeCell* cell = locate_cell(graph, src, dst);
+    if (cell == nullptr || cell->cal_pos == kNoCalPos) {
+        return false;
+    }
+    cell->cal_pos = kNoCalPos;
+    return true;
+}
+
+bool CorruptionInjector::corrupt_probe(GraphTinker& graph, VertexId src,
+                                       VertexId dst) {
+    EdgeCell* cell = locate_cell(graph, src, dst);
+    if (cell == nullptr) {
+        return false;
+    }
+    cell->probe = static_cast<std::uint16_t>(cell->probe ^ 1U);
+    return true;
+}
+
+bool CorruptionInjector::orphan_child(GraphTinker& graph, VertexId src) {
+    const auto dense = graph.dense_of(src);
+    if (!dense || graph.top_[*dense] == EdgeblockArray::kNoBlock) {
+        return false;
+    }
+    EdgeblockArray& eba = graph.eba_;
+    std::vector<std::uint32_t> stack{graph.top_[*dense]};
+    while (!stack.empty()) {
+        const std::uint32_t block = stack.back();
+        stack.pop_back();
+        for (std::uint32_t s = 0; s < eba.spb_; ++s) {
+            std::uint32_t& down = eba.child(block, s);
+            if (down != EdgeblockArray::kNoBlock) {
+                down = EdgeblockArray::kNoBlock;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool CorruptionInjector::link_cycle(GraphTinker& graph, VertexId src) {
+    const auto dense = graph.dense_of(src);
+    if (!dense || graph.top_[*dense] == EdgeblockArray::kNoBlock) {
+        return false;
+    }
+    EdgeblockArray& eba = graph.eba_;
+    const std::uint32_t top = graph.top_[*dense];
+    for (std::uint32_t s = 0; s < eba.spb_; ++s) {
+        std::uint32_t& down = eba.child(top, s);
+        if (down == EdgeblockArray::kNoBlock) {
+            down = top;  // the top block becomes its own descendant
+            return true;
+        }
+    }
+    return false;
+}
+
+bool CorruptionInjector::corrupt_degree(GraphTinker& graph, VertexId src) {
+    const auto dense = graph.dense_of(src);
+    if (!dense || *dense >= graph.props_.size()) {
+        return false;
+    }
+    ++graph.props_[*dense].degree;
+    return true;
+}
+
+bool CorruptionInjector::corrupt_sgh(GraphTinker& graph) {
+    auto& table = graph.sgh_.dense_to_raw_;
+    if (table.size() < 2) {
+        return false;
+    }
+    std::swap(table[0], table[1]);
+    return true;
+}
+
+bool CorruptionInjector::vanish_cell(GraphTinker& graph, VertexId src,
+                                     VertexId dst) {
+    EdgeCell* cell = locate_cell(graph, src, dst);
+    if (cell == nullptr) {
+        return false;
+    }
+    *cell = EdgeCell{};  // blanked without touching counters or masks
+    return true;
+}
+
+}  // namespace gt::core

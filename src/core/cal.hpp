@@ -144,6 +144,10 @@ private:
     std::vector<std::uint32_t> free_;
     EdgeCount live_ = 0;
     EdgeCount used_ = 0;
+
+    // Structural auditor + test-only corruption hook (core/audit.hpp).
+    friend class Auditor;
+    friend class CorruptionInjector;
 };
 
 }  // namespace gt::core

@@ -3,6 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
+namespace {
+
+/// Accumulates probe-work counters locally and flushes them into the shared
+/// (relaxed-atomic) Stats once on scope exit — one RMW per operation instead
+/// of one per cell inspected.
+struct StatsFlush {
+    gt::core::Stats& stats;
+    std::uint64_t cells = 0;
+    std::uint64_t workblocks = 0;
+    ~StatsFlush() {
+        if (cells != 0) {
+            stats.cells_probed += cells;
+        }
+        if (workblocks != 0) {
+            stats.workblocks_fetched += workblocks;
+        }
+    }
+};
+
+}  // namespace
+
 namespace gt::core {
 
 EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal)
@@ -92,6 +113,7 @@ bool EdgeblockArray::subtree_is_empty(std::uint32_t block) const {
 
 std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
     std::uint32_t top, VertexId dst) const {
+    StatsFlush flush{stats_};
     std::uint32_t block = top;
     std::uint32_t level = 0;
     while (block != kNoBlock) {
@@ -111,25 +133,23 @@ std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
                 const EdgeCell& c = cell(block, slot);
                 ++scanned;
                 if (c.state == CellState::Empty) {
-                    stats_.cells_probed += scanned;
-                    stats_.workblocks_fetched +=
-                        (scanned + workblock_ - 1) / workblock_;
+                    flush.cells += scanned;
+                    flush.workblocks += (scanned + workblock_ - 1) / workblock_;
                     return std::nullopt;
                 }
                 if (c.state == CellState::Occupied && c.dst == dst) {
-                    stats_.cells_probed += scanned;
-                    stats_.workblocks_fetched +=
-                        (scanned + workblock_ - 1) / workblock_;
+                    flush.cells += scanned;
+                    flush.workblocks += (scanned + workblock_ - 1) / workblock_;
                     return Located{block, sb, slot, level};
                 }
             }
-            stats_.cells_probed += scanned;
-            stats_.workblocks_fetched += subblock_ / workblock_;
+            flush.cells += scanned;
+            flush.workblocks += subblock_ / workblock_;
         } else {
             // Compact-delete mode refills holes out of refill order, so the
             // whole subblock window must be inspected.
-            stats_.workblocks_fetched += subblock_ / workblock_;
-            stats_.cells_probed += subblock_;
+            flush.workblocks += subblock_ / workblock_;
+            flush.cells += subblock_;
             bool found = false;
             std::uint32_t where = 0;
             for (std::uint32_t off = 0; off < subblock_; ++off) {
@@ -181,11 +201,12 @@ EdgeblockArray::InsertResult EdgeblockArray::insert(
 EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                                                          VertexId dst,
                                                          Weight weight) {
+    StatsFlush flush{stats_};
     if (top == kNoBlock) {
         top = allocate_block();
         const std::uint32_t sb = sb_of(dst, 0);
         const std::uint32_t home = home_of(dst, 0);
-        ++stats_.cells_probed;
+        ++flush.cells;
         return ProbeResult{ProbeResult::Kind::PlaceAt, kNoCalPos,
                            CellRef{top, sb * subblock_ + home}, 0};
     }
@@ -215,7 +236,7 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
             const std::uint32_t slot =
                 sb_base + ((home + d) & (subblock_ - 1));
             EdgeCell& c = cell(block, slot);
-            ++stats_.cells_probed;
+            ++flush.cells;
             if (c.state == CellState::Empty) {
                 // Key absent at this level and every level below (see
                 // locate() for the invariant).
@@ -240,7 +261,7 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                 earlier_candidate = true;  // RHH would displace here
             }
         }
-        stats_.workblocks_fetched += subblock_ / workblock_;
+        flush.workblocks += subblock_ / workblock_;
         block = child(block, sb);
         ++level;
     }
@@ -257,6 +278,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
     // becomes the displaced resident. Every element placed into a cell has
     // its CAL copy re-bound to the new location — the new edge included,
     // since it carries `new_cal_pos` from the start.
+    StatsFlush flush{stats_};
     std::uint32_t block = top;
     std::uint32_t level = 0;
     EdgeCell carry{dst, weight, new_cal_pos, 0, CellState::Occupied};
@@ -270,7 +292,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
             const std::uint32_t slot =
                 sb_base + ((home + dist) & (subblock_ - 1));
             EdgeCell& resident = cell(block, slot);
-            ++stats_.cells_probed;
+            ++flush.cells;
             if (resident.state != CellState::Occupied) {
                 carry.probe = static_cast<std::uint16_t>(dist);
                 resident = carry;

@@ -140,12 +140,14 @@ public:
 
     /// Visits every live out-edge under `top`: fn(dst, weight). Iteration is
     /// driven by per-block occupancy bitmasks, so cost is proportional to
-    /// live edges plus blocks — not to the arena's slack.
+    /// live edges plus blocks — not to the arena's slack. Safe to call from
+    /// concurrent readers: the traversal scratch is thread-local.
     template <typename Fn>
     void for_each_edge_of(std::uint32_t top, Fn&& fn) const {
         if (top == kNoBlock) {
             return;
         }
+        static thread_local std::vector<std::uint32_t> visit_stack_;
         visit_stack_.clear();
         visit_stack_.push_back(top);
         while (!visit_stack_.empty()) {
@@ -342,8 +344,14 @@ private:
     std::vector<std::uint64_t> masks_;
     std::vector<std::uint32_t> free_blocks_;
     std::uint32_t block_count_ = 0;
-    mutable std::vector<std::uint32_t> visit_stack_;  // iteration scratch
+    // Counters are relaxed atomics (StatCounter) so const FIND paths may be
+    // shared by concurrent readers without racing.
     mutable Stats stats_;
+
+    // The structural auditor (src/core/audit.hpp) reads the raw arena, and
+    // its test-only corruption hook writes it.
+    friend class Auditor;
+    friend class CorruptionInjector;
 };
 
 }  // namespace gt::core

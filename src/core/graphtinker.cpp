@@ -153,66 +153,8 @@ GraphTinker::MemoryFootprint GraphTinker::memory_footprint() const {
     return out;
 }
 
-std::string GraphTinker::validate() const {
-    EdgeCount counted = 0;
-    std::string error;
-    for (VertexId dense = 0; dense < top_.size() && error.empty(); ++dense) {
-        const VertexId raw = raw_of(dense);
-        EdgeCount vertex_edges = 0;
-        eba_.for_each_cell_of(top_[dense], [&](CellRef ref,
-                                               const EdgeCell& c) {
-            if (!error.empty()) {
-                return;
-            }
-            ++vertex_edges;
-            // Every stored cell must be reachable through FIND.
-            const auto via_find = eba_.find(top_[dense], c.dst);
-            if (!via_find || *via_find != c.weight) {
-                error = "cell not reachable via FIND (src=" +
-                        std::to_string(raw) + " dst=" + std::to_string(c.dst) +
-                        ")";
-                return;
-            }
-            if (config_.enable_cal) {
-                if (c.cal_pos == kNoCalPos) {
-                    error = "occupied cell without CAL pointer";
-                    return;
-                }
-                const auto slot = cal_.slot_at(c.cal_pos);
-                if (!slot.valid || slot.src != raw || slot.dst != c.dst ||
-                    slot.weight != c.weight ||
-                    slot.owner.block != ref.block ||
-                    slot.owner.slot != ref.slot) {
-                    error = "CAL pointer mismatch (src=" + std::to_string(raw) +
-                            " dst=" + std::to_string(c.dst) + ")";
-                    return;
-                }
-            }
-        });
-        if (!error.empty()) {
-            break;
-        }
-        if (dense < props_.size() && props_[dense].degree != vertex_edges) {
-            return "degree mismatch for raw vertex " + std::to_string(raw) +
-                   ": props=" + std::to_string(props_[dense].degree) +
-                   " counted=" + std::to_string(vertex_edges);
-        }
-        counted += vertex_edges;
-    }
-    if (!error.empty()) {
-        return error;
-    }
-    if (counted != num_edges_) {
-        return "edge count mismatch: counted=" + std::to_string(counted) +
-               " tracked=" + std::to_string(num_edges_);
-    }
-    if (config_.enable_cal && cal_.live_edges() != num_edges_) {
-        return "CAL live-edge mismatch: cal=" +
-               std::to_string(cal_.live_edges()) +
-               " tracked=" + std::to_string(num_edges_);
-    }
-    return {};
-}
+// audit() and validate() are defined in core/audit.cpp alongside the
+// structural auditor they delegate to.
 
 std::uint32_t GraphTinker::tree_depth(VertexId src) const {
     const auto dense = dense_of(src);

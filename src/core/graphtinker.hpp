@@ -27,6 +27,8 @@
 
 namespace gt::core {
 
+struct AuditReport;  // core/audit.hpp
+
 class GraphTinker {
 public:
     explicit GraphTinker(Config config = {});
@@ -146,9 +148,14 @@ public:
     };
     [[nodiscard]] MemoryFootprint memory_footprint() const;
 
-    /// Deep structural validation (test/debug hook): cross-checks edge
-    /// counts, per-vertex degrees, FIND reachability of every stored cell,
-    /// and the bidirectional EdgeblockArray <-> CAL pointer consistency.
+    /// Deep structural audit (see core/audit.hpp): verifies Robin Hood probe
+    /// invariants per subblock, TBH tree well-formedness, the CAL <->
+    /// EdgeblockArray pointer round-trip for every live edge, the SGH
+    /// dense-index bijection, and edge/degree accounting. Returns a typed
+    /// report listing every violation found.
+    [[nodiscard]] AuditReport audit() const;
+
+    /// Legacy validation hook: runs audit() and renders the first violation.
     /// Returns an empty string when consistent, else a failure description.
     [[nodiscard]] std::string validate() const;
 
@@ -174,6 +181,12 @@ private:
     std::vector<std::uint32_t> top_;  // dense id -> top-parent block handle
     EdgeCount num_edges_ = 0;
     VertexId raw_bound_ = 0;
+
+    // The structural auditor reads the private cross-component state, and
+    // its test-only corruption hook mutates it to prove audit() detects
+    // every violation class.
+    friend class Auditor;
+    friend class CorruptionInjector;
 };
 
 }  // namespace gt::core

@@ -59,6 +59,10 @@ public:
 private:
     RobinHoodMap<VertexId, VertexId> map_;
     std::vector<VertexId> dense_to_raw_;
+
+    // Structural auditor + test-only corruption hook (core/audit.hpp).
+    friend class Auditor;
+    friend class CorruptionInjector;
 };
 
 }  // namespace gt::core

@@ -1,0 +1,43 @@
+// ScopedAudit: RAII deep-audit hook for the test suite.
+//
+// Construct one next to a GraphTinker under test; when the scope closes the
+// full structural auditor (core/audit.hpp) sweeps the instance and fails the
+// test with the typed violation list if any invariant is broken. Tests that
+// mutate the graph in phases can also call check() explicitly between
+// phases.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/audit.hpp"
+#include "core/graphtinker.hpp"
+
+namespace gt::test {
+
+class ScopedAudit {
+public:
+    explicit ScopedAudit(const core::GraphTinker& graph,
+                         std::string label = {})
+        : graph_(&graph), label_(std::move(label)) {}
+
+    ScopedAudit(const ScopedAudit&) = delete;
+    ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+    ~ScopedAudit() { check(); }
+
+    /// Runs the audit now; reports violations through gtest.
+    void check() const {
+        const core::AuditReport report = core::Auditor::run(*graph_);
+        EXPECT_TRUE(report.ok())
+            << (label_.empty() ? "" : label_ + ": ") << report.to_string();
+    }
+
+private:
+    const core::GraphTinker* graph_;
+    std::string label_;
+};
+
+}  // namespace gt::test

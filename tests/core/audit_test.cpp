@@ -1,0 +1,202 @@
+// The auditor audited: a clean graph must produce an empty report with real
+// coverage, and every deliberately seeded corruption class must surface as
+// exactly the violation kind it belongs to. Each corruption test drives the
+// graph through the public API, reaches into the internals via the test-only
+// CorruptionInjector, and asserts the typed report.
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graphtinker.hpp"
+#include "util/rng.hpp"
+
+namespace gt::core {
+namespace {
+
+Config small_config() {
+    Config cfg;
+    cfg.pagewidth = 16;
+    cfg.subblock = 8;
+    cfg.workblock = 4;
+    return cfg;
+}
+
+/// Loads a deterministic pseudo-random multigraph dense enough to force
+/// Robin Hood displacements and TBH branch-outs on a 16-cell pagewidth.
+void load_dense(GraphTinker& g, std::uint32_t vertices = 32,
+                std::uint32_t edges = 600) {
+    Rng rng(7);
+    for (std::uint32_t i = 0; i < edges; ++i) {
+        const auto src = static_cast<VertexId>(rng.next() % vertices);
+        const auto dst = static_cast<VertexId>(rng.next() % (vertices * 4));
+        g.insert_edge(src, dst, 1 + static_cast<Weight>(i % 250));
+    }
+}
+
+/// First live edge of `src`, so corruption targets always exist.
+Edge first_edge_of(const GraphTinker& g, VertexId src) {
+    Edge out{src, kInvalidVertex, 0};
+    g.for_each_out_edge_until(src, [&](VertexId dst, Weight w) {
+        out.dst = dst;
+        out.weight = w;
+        return false;
+    });
+    return out;
+}
+
+TEST(Audit, CleanGraphReportsNoViolationsWithFullCoverage) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    const AuditReport report = g.audit();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(report.cells_audited, g.num_edges());
+    EXPECT_EQ(report.cal_slots_audited, g.num_edges());
+    EXPECT_GT(report.blocks_audited, 1u) << "expected TBH branch-outs";
+    EXPECT_EQ(report.vertices_audited, g.num_nonempty_vertices());
+    EXPECT_FALSE(report.truncated);
+}
+
+TEST(Audit, CleanAfterDeletionsBothModes) {
+    for (const DeletionMode mode :
+         {DeletionMode::DeleteOnly, DeletionMode::DeleteAndCompact}) {
+        Config cfg = small_config();
+        cfg.deletion_mode = mode;
+        GraphTinker g(cfg);
+        load_dense(g);
+        Rng rng(13);
+        for (std::uint32_t i = 0; i < 400; ++i) {
+            g.delete_edge(static_cast<VertexId>(rng.next() % 32),
+                          static_cast<VertexId>(rng.next() % 128));
+        }
+        const AuditReport report = g.audit();
+        EXPECT_TRUE(report.ok())
+            << "mode " << static_cast<int>(mode) << ": "
+            << report.to_string();
+    }
+}
+
+TEST(Audit, DetectsBrokenCalPointer) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    const Edge target = first_edge_of(g, 3);
+    ASSERT_NE(target.dst, kInvalidVertex);
+    ASSERT_TRUE(CorruptionInjector::break_cal_pointer(g, 3, target.dst));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::CalForward)) << report.to_string();
+    // The stranded CAL copy still points at the cell, whose pointer no
+    // longer points back: the reverse round-trip must trip too.
+    EXPECT_TRUE(report.has(AuditCheck::CalReverse)) << report.to_string();
+}
+
+TEST(Audit, DetectsCorruptedRhhProbe) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    const Edge target = first_edge_of(g, 5);
+    ASSERT_NE(target.dst, kInvalidVertex);
+    ASSERT_TRUE(CorruptionInjector::corrupt_probe(g, 5, target.dst));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::RhhPlacement)) << report.to_string();
+}
+
+TEST(Audit, DetectsOrphanedTbhChild) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    // Find a vertex whose tree actually branched out.
+    bool orphaned = false;
+    for (VertexId src = 0; src < 32 && !orphaned; ++src) {
+        orphaned = CorruptionInjector::orphan_child(g, src);
+    }
+    ASSERT_TRUE(orphaned) << "no vertex grew an overflow child";
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::TbhOrphan)) << report.to_string();
+}
+
+TEST(Audit, DetectsTbhCycle) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    bool cycled = false;
+    for (VertexId src = 0; src < 32 && !cycled; ++src) {
+        cycled = CorruptionInjector::link_cycle(g, src);
+    }
+    ASSERT_TRUE(cycled) << "no top block had a spare child slot";
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::TbhStructure)) << report.to_string();
+}
+
+TEST(Audit, DetectsDegreeDrift) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    ASSERT_TRUE(CorruptionInjector::corrupt_degree(g, 1));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::DegreeAccounting))
+        << report.to_string();
+}
+
+TEST(Audit, DetectsSghBijectionBreak) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    ASSERT_TRUE(CorruptionInjector::corrupt_sgh(g));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::SghBijection)) << report.to_string();
+}
+
+TEST(Audit, DetectsOccupancyDrift) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    const Edge target = first_edge_of(g, 2);
+    ASSERT_NE(target.dst, kInvalidVertex);
+    ASSERT_TRUE(CorruptionInjector::vanish_cell(g, 2, target.dst));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(AuditCheck::Occupancy)) << report.to_string();
+    EXPECT_TRUE(report.has(AuditCheck::EdgeAccounting))
+        << report.to_string();
+}
+
+TEST(Audit, ReportTruncatesInsteadOfExploding) {
+    GraphTinker g(small_config());
+    load_dense(g, 32, 2000);
+    // Swapping the SGH tables misattributes every edge of two vertices;
+    // with a dense graph that alone will not exceed the cap, so also break
+    // many CAL pointers.
+    for (VertexId src = 0; src < 32; ++src) {
+        Edge e = first_edge_of(g, src);
+        if (e.dst != kInvalidVertex) {
+            CorruptionInjector::break_cal_pointer(g, src, e.dst);
+        }
+    }
+    ASSERT_TRUE(CorruptionInjector::corrupt_sgh(g));
+    const AuditReport report = g.audit();
+    ASSERT_FALSE(report.ok());
+    EXPECT_LE(report.violations.size(), AuditReport::kMaxViolations);
+}
+
+TEST(Audit, ValidateRendersFirstViolation) {
+    GraphTinker g(small_config());
+    load_dense(g);
+    EXPECT_EQ(g.validate(), "");
+    ASSERT_TRUE(CorruptionInjector::corrupt_degree(g, 1));
+    const std::string rendered = g.validate();
+    EXPECT_NE(rendered.find("degree-accounting"), std::string::npos)
+        << rendered;
+}
+
+TEST(Audit, CleanWithFeaturesDisabled) {
+    Config cfg = small_config();
+    cfg.enable_sgh = false;
+    cfg.enable_cal = false;
+    GraphTinker g(cfg);
+    load_dense(g);
+    const AuditReport report = g.audit();
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(report.cal_slots_audited, 0u);
+}
+
+}  // namespace
+}  // namespace gt::core

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <unordered_map>
 
+#include "common/scoped_audit.hpp"
 #include "core/graphtinker.hpp"
 #include "gen/rmat.hpp"
 #include "util/rng.hpp"
@@ -135,6 +136,7 @@ TEST(GraphTinker, BatchHelpers) {
 
 TEST(GraphTinker, HighDegreeHubStaysConsistent) {
     GraphTinker g;
+    const test::ScopedAudit audit_guard(g, "high-degree hub");
     constexpr VertexId kDegree = 30000;
     for (VertexId d = 0; d < kDegree; ++d) {
         ASSERT_TRUE(g.insert_edge(0, d, 1));
@@ -170,6 +172,8 @@ TEST_P(GraphTinkerModelTest, MatchesModelUnderRandomChurn) {
     cfg.enable_cal = p.cal;
     cfg.deletion_mode = p.mode;
     GraphTinker g(cfg);
+    // Deep-audits the final state when the test scope closes.
+    const test::ScopedAudit audit_guard(g, "model churn");
     std::unordered_map<std::uint64_t, Weight> model;
     auto key = [](VertexId a, VertexId b) {
         return (static_cast<std::uint64_t>(a) << 32) | b;

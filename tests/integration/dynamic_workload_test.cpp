@@ -7,6 +7,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/scoped_audit.hpp"
 #include "common/test_util.hpp"
 #include "core/bidirectional.hpp"
 #include "core/graphtinker.hpp"
@@ -34,6 +35,8 @@ TEST(DynamicWorkload, ThreeStoresTrackOneModelThroughMixedTraffic) {
     compact_cfg.deletion_mode = core::DeletionMode::DeleteAndCompact;
     core::GraphTinker tinker_only;
     core::GraphTinker tinker_compact(compact_cfg);
+    const test::ScopedAudit audit_only(tinker_only, "delete-only store");
+    const test::ScopedAudit audit_compact(tinker_compact, "compacting store");
     stinger::Stinger baseline;
     std::map<EdgeKey, Weight> model;
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources using the compile database from the `tidy` CMake preset.
+#
+# Usage:
+#   tools/run_tidy.sh [path ...]      # default: src tools
+#
+# Environment:
+#   CLANG_TIDY   clang-tidy binary to use (default: discovered on PATH)
+#   BUILD_DIR    build tree with compile_commands.json
+#                (default: build/tidy, configured on demand)
+#   TIDY_JOBS    parallel jobs (default: nproc)
+#
+# Exits 0 with a notice when no clang-tidy binary is available, so the script
+# is safe to call from environments that only ship the gcc toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY_BIN="${CLANG_TIDY:-}"
+if [[ -z "${TIDY_BIN}" ]]; then
+    for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                     clang-tidy-16 clang-tidy-15; do
+        if command -v "${candidate}" >/dev/null 2>&1; then
+            TIDY_BIN="${candidate}"
+            break
+        fi
+    done
+fi
+if [[ -z "${TIDY_BIN}" ]]; then
+    echo "run_tidy.sh: no clang-tidy binary found (set CLANG_TIDY to" \
+         "override); skipping static analysis." >&2
+    exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build/tidy}"
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "run_tidy.sh: configuring ${BUILD_DIR} for the compile database"
+    cmake --preset tidy >/dev/null
+fi
+
+declare -a paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+    paths=(src tools)
+fi
+
+declare -a sources=()
+while IFS= read -r -d '' file; do
+    sources+=("${file}")
+done < <(find "${paths[@]}" -name '*.cpp' -print0 | sort -z)
+
+if [[ ${#sources[@]} -eq 0 ]]; then
+    echo "run_tidy.sh: no sources under: ${paths[*]}" >&2
+    exit 2
+fi
+
+jobs="${TIDY_JOBS:-$(nproc)}"
+echo "run_tidy.sh: ${TIDY_BIN} over ${#sources[@]} files (${jobs} jobs)"
+status=0
+printf '%s\0' "${sources[@]}" |
+    xargs -0 -n 1 -P "${jobs}" \
+        "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet || status=$?
+exit "${status}"
