@@ -1,0 +1,217 @@
+// Micro bench for the batched ingest pipeline: edges/sec across batch sizes
+// for the per-edge baseline, the source-grouped single-instance fast path,
+// and the radix-partitioned 8-shard wrapper. Emits BENCH_ingest.json.
+//
+// The per-edge baseline applies insert_edge one update at a time — the state
+// of the repo before the batch pipeline existed. The fast-path rows call
+// insert_batch, which sorts by source, resolves SGH/top once per run,
+// prefetches the next run's edgeblock and probes with the bit-parallel
+// kernel. `speedup_batch100k` records fast path vs baseline at the largest
+// batch; the CI perf-smoke job fails when `--check` sees it below 0.5x
+// (a >2x regression).
+//
+// Flags / env:
+//   --out=PATH           JSON output path (default BENCH_ingest.json)
+//   --check              exit nonzero on a >2x regression vs baseline
+//   GT_INGEST_VERTICES   vertex-id space (default 32768)
+//   GT_INGEST_EDGES      stream length   (default 1000000)
+//   GT_INGEST_REPS       repetitions per mode, best-of (default 3)
+//   GT_INGEST_RMAT_A     RMAT `a` quadrant probability (default 0.57;
+//                        b = c = (1 - a) / 3, Graph500-style skew)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "core/graphtinker.hpp"
+#include "core/probe_kernel.hpp"
+#include "core/sharded.hpp"
+#include "gen/rmat.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace gt;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    const long long parsed = std::atoll(value);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+core::Config sized_config(std::size_t vertices, std::size_t edges) {
+    return bench::gt_config(static_cast<VertexId>(vertices),
+                            static_cast<EdgeCount>(edges));
+}
+
+/// One measured configuration: how a fresh store ingests the whole stream
+/// when it arrives in `batch` -sized slices.
+struct Row {
+    std::string mode;        // "per_edge" | "batch" | "sharded8"
+    std::size_t batch_size;  // slice length fed per call
+    double edges_per_sec;
+};
+
+template <typename ApplySlice>
+double timed_ingest(std::span<const Edge> edges, std::size_t batch,
+                    ApplySlice&& apply) {
+    Timer timer;
+    for (std::size_t i = 0; i < edges.size(); i += batch) {
+        const std::size_t len = std::min(batch, edges.size() - i);
+        apply(edges.subspan(i, len));
+    }
+    const double secs = timer.seconds();
+    return secs > 0.0 ? static_cast<double>(edges.size()) / secs : 0.0;
+}
+
+/// Best-of-`reps` throughput of ingesting the stream into a fresh store
+/// built by `make_store` and fed through `apply`. Best-of filters scheduler
+/// interference: a run can only be slowed down by noise, never sped up.
+template <typename MakeStore, typename Apply>
+double best_of(std::size_t reps, std::span<const Edge> edges,
+               std::size_t batch, MakeStore&& make_store, Apply&& apply) {
+    double best = 0.0;
+    for (std::size_t r = 0; r < reps; ++r) {
+        auto store = make_store();
+        const double eps =
+            timed_ingest(edges, batch, [&](std::span<const Edge> s) {
+                apply(*store, s);
+            });
+        best = std::max(best, eps);
+    }
+    return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_ingest.json";
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg == "--check") {
+            check = true;
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    const std::size_t vertices = env_size("GT_INGEST_VERTICES", 32768);
+    const std::size_t num_edges = env_size("GT_INGEST_EDGES", 1000000);
+    const std::size_t reps = env_size("GT_INGEST_REPS", 3);
+    RmatParams rmat{};
+    if (const char* a = std::getenv("GT_INGEST_RMAT_A");
+        a != nullptr && *a != '\0') {
+        const double parsed = std::atof(a);
+        if (parsed > 0.25 && parsed < 1.0) {
+            rmat.a = parsed;
+            rmat.b = rmat.c = (1.0 - parsed) / 3.0;
+        }
+    }
+    bench::banner("micro_ingest",
+                  "Batched ingest pipeline: per-edge baseline vs "
+                  "source-grouped fast path vs 8-shard partitioned");
+    std::cout << "stream: RMAT " << vertices << " vertices, " << num_edges
+              << " edges (GT_INGEST_VERTICES / GT_INGEST_EDGES)\n\n";
+
+    const auto edges = rmat_edges(static_cast<VertexId>(vertices),
+                                  static_cast<EdgeCount>(num_edges), 42, rmat);
+    const std::vector<std::size_t> batch_sizes{1, 1000, 100000};
+    std::vector<Row> rows;
+
+    const auto fresh_single = [&] {
+        return std::make_unique<core::GraphTinker>(
+            sized_config(vertices, num_edges));
+    };
+    const auto fresh_sharded = [&] {
+        return std::make_unique<core::ShardedStore<core::GraphTinker>>(
+            8,
+            [&] { return sized_config(vertices / 8 + 1, num_edges / 8 + 1); });
+    };
+
+    // Per-edge baseline: always one update per call, measured once — slicing
+    // a per-edge loop changes nothing, so it doubles as the reference for
+    // every batch size.
+    rows.push_back(Row{
+        "per_edge", 1,
+        best_of(reps, std::span<const Edge>(edges), 1, fresh_single,
+                [](core::GraphTinker& st, std::span<const Edge> s) {
+                    for (const Edge& e : s) {
+                        st.insert_edge(e.src, e.dst, e.weight);
+                    }
+                })});
+
+    for (const std::size_t batch : batch_sizes) {
+        rows.push_back(Row{
+            "batch", batch,
+            best_of(reps, std::span<const Edge>(edges), batch, fresh_single,
+                    [](core::GraphTinker& st, std::span<const Edge> s) {
+                        st.insert_batch(s);
+                    })});
+    }
+
+    for (const std::size_t batch : batch_sizes) {
+        rows.push_back(Row{
+            "sharded8", batch,
+            best_of(reps, std::span<const Edge>(edges), batch, fresh_sharded,
+                    [](core::ShardedStore<core::GraphTinker>& st,
+                       std::span<const Edge> s) { st.insert_batch(s); })});
+    }
+
+    double baseline = 0.0;
+    double batch100k = 0.0;
+    Table table({"mode", "batch", "edges/sec"});
+    for (const Row& row : rows) {
+        if (row.mode == "per_edge") {
+            baseline = row.edges_per_sec;
+        }
+        if (row.mode == "batch" && row.batch_size == 100000) {
+            batch100k = row.edges_per_sec;
+        }
+        table.add_row({row.mode, std::to_string(row.batch_size),
+                       Table::fmt(row.edges_per_sec / 1e6, 3) + " M"});
+    }
+    table.print(std::cout);
+    const double speedup = baseline > 0.0 ? batch100k / baseline : 0.0;
+    std::cout << "\nspeedup (batch 100k vs per-edge): "
+              << Table::fmt(speedup, 2) << "x\n";
+
+    std::ofstream json(out_path);
+    json << "{\n"
+         << "  \"bench\": \"micro_ingest\",\n"
+         << "  \"vertices\": " << vertices << ",\n"
+         << "  \"edges\": " << num_edges << ",\n"
+         << "  \"rmat_a\": " << rmat.a << ",\n"
+         << "  \"reps\": " << reps << ",\n"
+         << "  \"simd\": " << (gt::core::kProbeKernelSimd ? "true" : "false")
+         << ",\n"
+         << "  \"speedup_batch100k\": " << speedup << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        json << "    {\"mode\": \"" << rows[i].mode << "\", \"batch\": "
+             << rows[i].batch_size << ", \"edges_per_sec\": "
+             << rows[i].edges_per_sec
+             << (i + 1 < rows.size() ? "},\n" : "}\n");
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (check && speedup < 0.5) {
+        std::cerr << "REGRESSION: batch-100k fast path at "
+                  << Table::fmt(speedup, 2)
+                  << "x of the per-edge baseline (threshold 0.5x)\n";
+        return 1;
+    }
+    return 0;
+}

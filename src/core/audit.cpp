@@ -114,6 +114,14 @@ private:
         return ((word >> (slot % 64)) & 1U) != 0;
     }
 
+    [[nodiscard]] bool tomb_bit(std::uint32_t block, std::uint32_t slot) const {
+        const std::uint64_t word =
+            eba_.tomb_masks_[static_cast<std::size_t>(block) *
+                                 eba_.words_per_block_ +
+                             slot / 64];
+        return ((word >> (slot % 64)) & 1U) != 0;
+    }
+
     // ---- pass 1: TBH tree walk + per-cell RHH / CAL-forward checks -------
 
     void audit_tree_and_cells() {
@@ -226,6 +234,13 @@ private:
             if (mask_bit(block, slot) != is_occupied) {
                 add(AuditCheck::Occupancy, raw, c.dst,
                     "occupancy bit disagrees with cell state (block " +
+                        std::to_string(block) + " slot " +
+                        std::to_string(slot) + ")");
+            }
+            if (tomb_bit(block, slot) !=
+                (c.state == CellState::Tombstone)) {
+                add(AuditCheck::Occupancy, raw, c.dst,
+                    "tombstone bit disagrees with cell state (block " +
                         std::to_string(block) + " slot " +
                         std::to_string(slot) + ")");
             }

@@ -32,6 +32,13 @@ std::uint32_t CoarseAdjacencyList::insert(VertexId dense_src, VertexId raw_src,
     if (group >= groups_.size()) {
         groups_.resize(static_cast<std::size_t>(group) + 1);
     }
+    return insert_in_group(group, raw_src, dst, weight, owner);
+}
+
+std::uint32_t CoarseAdjacencyList::insert_in_group(std::uint32_t group,
+                                                   VertexId raw_src,
+                                                   VertexId dst, Weight weight,
+                                                   CellRef owner) {
     GroupMeta& meta = groups_[group];
     if (meta.tail == kNone || blocks_[meta.tail].used == block_edges_) {
         const std::uint32_t block = allocate_block(group);

@@ -47,6 +47,34 @@ public:
     std::uint32_t insert(VertexId dense_src, VertexId raw_src, VertexId dst,
                          Weight weight, CellRef owner);
 
+    /// Amortized append handle for a run of inserts that all target the same
+    /// dense source: the group resolution (a division plus a bounds-checked
+    /// resize) runs once at construction instead of per edge. Valid only
+    /// while no interleaved erase/compaction runs on the list.
+    class Appender {
+    public:
+        std::uint32_t append(VertexId raw_src, VertexId dst, Weight weight,
+                             CellRef owner) {
+            return cal_->insert_in_group(group_, raw_src, dst, weight, owner);
+        }
+
+    private:
+        friend class CoarseAdjacencyList;
+        Appender(CoarseAdjacencyList* cal, std::uint32_t group)
+            : cal_(cal), group_(group) {}
+        CoarseAdjacencyList* cal_;
+        std::uint32_t group_;
+    };
+
+    /// Appender for `dense_src`'s group (creates the group when new).
+    [[nodiscard]] Appender appender(VertexId dense_src) {
+        const std::uint32_t group = dense_src / group_size_;
+        if (group >= groups_.size()) {
+            groups_.resize(static_cast<std::size_t>(group) + 1);
+        }
+        return Appender{this, group};
+    }
+
     /// Result of a compacting erase: the group's last edge was moved into the
     /// hole, so its owning edge-cell must have its CAL-pointer rewritten.
     struct Moved {
@@ -132,6 +160,10 @@ private:
     };
 
     static constexpr std::uint32_t kNone = 0xffffffffU;
+
+    /// Append into an already-resolved (and existing) group.
+    std::uint32_t insert_in_group(std::uint32_t group, VertexId raw_src,
+                                  VertexId dst, Weight weight, CellRef owner);
 
     std::uint32_t allocate_block(std::uint32_t group);
     void free_tail_block(GroupMeta& group_meta);

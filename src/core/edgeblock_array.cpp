@@ -3,21 +3,55 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/probe_kernel.hpp"
+#include "util/simd.hpp"
+
 namespace {
+
+/// Thread-local landing zone for a stats-deferral scope (see
+/// EdgeblockArray::begin_stats_batch): while `target` points at an array's
+/// Stats, that array's per-operation flushes accumulate here in plain
+/// integers and hit the shared relaxed atomics once when the scope closes.
+struct DeferredStats {
+    gt::core::Stats* target = nullptr;
+    int depth = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t workblocks = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t branch_outs = 0;
+};
+thread_local DeferredStats g_deferred_stats;
 
 /// Accumulates probe-work counters locally and flushes them into the shared
 /// (relaxed-atomic) Stats once on scope exit — one RMW per operation instead
-/// of one per cell inspected.
+/// of one per cell inspected. Under an open deferral scope for the same
+/// Stats object the flush lands in g_deferred_stats instead, so batched
+/// ingest pays the atomic RMWs once per batch rather than once per edge.
 struct StatsFlush {
     gt::core::Stats& stats;
     std::uint64_t cells = 0;
     std::uint64_t workblocks = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t branch_outs = 0;
     ~StatsFlush() {
+        if (g_deferred_stats.target == &stats) {
+            g_deferred_stats.cells += cells;
+            g_deferred_stats.workblocks += workblocks;
+            g_deferred_stats.swaps += swaps;
+            g_deferred_stats.branch_outs += branch_outs;
+            return;
+        }
         if (cells != 0) {
             stats.cells_probed += cells;
         }
         if (workblocks != 0) {
             stats.workblocks_fetched += workblocks;
+        }
+        if (swaps != 0) {
+            stats.rhh_swaps += swaps;
+        }
+        if (branch_outs != 0) {
+            stats.branch_outs += branch_outs;
         }
     }
 };
@@ -33,19 +67,27 @@ EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal)
       spb_(config.pagewidth / config.subblock),
       rhh_(config.rhh_active()),
       compact_delete_(config.deletion_mode == DeletionMode::DeleteAndCompact),
+      kernel_ok_(config.subblock <= 64),
       words_per_block_((config.pagewidth + 63) / 64),
       cal_(cal) {
     config.validate();
     if (config.reserve_edges > 0) {
-        // Blocks fill to roughly half before branching; reserve generously
-        // so the arena never reallocates mid-benchmark.
-        const std::size_t blocks =
-            static_cast<std::size_t>(config.reserve_edges * 2 / pagewidth_) +
-            config.initial_vertices + 1;
-        cells_.reserve(blocks * pagewidth_);
-        children_.reserve(blocks * spb_);
-        occupied_.reserve(blocks);
-        masks_.reserve(blocks * words_per_block_);
+        // Pre-size the arena eagerly (resize, not reserve) so the bulk
+        // fills and first-touch page faults happen here instead of on the
+        // insert hot path. Hash-sharded subblocks branch out well before a
+        // block fills (skewed streams average ~a quarter occupancy), hence
+        // the 4-edges-per-pagewidth sizing; geometric growth in
+        // allocate_block covers any tail.
+        const std::size_t blocks = std::min<std::size_t>(
+            static_cast<std::size_t>(config.reserve_edges * 4 / pagewidth_) +
+                config.initial_vertices + 1,
+            kNoBlock - 1);
+        storage_blocks_ = static_cast<std::uint32_t>(blocks);
+        cells_.resize(blocks * pagewidth_);
+        children_.resize(blocks * spb_, kNoBlock);
+        occupied_.resize(blocks, 0);
+        masks_.resize(blocks * words_per_block_, 0);
+        tomb_masks_.resize(blocks * words_per_block_, 0);
     }
 }
 
@@ -56,13 +98,26 @@ std::uint32_t EdgeblockArray::allocate_block() {
         free_blocks_.pop_back();
     } else {
         block = block_count_++;
-        cells_.resize(static_cast<std::size_t>(block_count_) * pagewidth_);
-        children_.resize(static_cast<std::size_t>(block_count_) * spb_,
-                         kNoBlock);
-        occupied_.resize(block_count_, 0);
-        masks_.resize(static_cast<std::size_t>(block_count_) *
-                          words_per_block_,
-                      0);
+        if (block_count_ > storage_blocks_) {
+            // Grow the arena by many blocks at once: branch-outs allocate
+            // constantly on the insert hot path, and five small resizes per
+            // block (each element-constructing one block's worth of cells)
+            // cost more than one bulk fill amortized over the chunk.
+            storage_blocks_ =
+                std::max(block_count_, storage_blocks_ + storage_blocks_ / 2);
+            storage_blocks_ = std::max(storage_blocks_, 64U);
+            cells_.resize(static_cast<std::size_t>(storage_blocks_) *
+                          pagewidth_);
+            children_.resize(
+                static_cast<std::size_t>(storage_blocks_) * spb_, kNoBlock);
+            occupied_.resize(storage_blocks_, 0);
+            masks_.resize(static_cast<std::size_t>(storage_blocks_) *
+                              words_per_block_,
+                          0);
+            tomb_masks_.resize(static_cast<std::size_t>(storage_blocks_) *
+                                   words_per_block_,
+                               0);
+        }
         return block;  // freshly appended storage is already cleared
     }
     const std::size_t base = static_cast<std::size_t>(block) * pagewidth_;
@@ -78,6 +133,7 @@ std::uint32_t EdgeblockArray::allocate_block() {
         static_cast<std::size_t>(block) * words_per_block_;
     for (std::uint32_t w = 0; w < words_per_block_; ++w) {
         masks_[mbase + w] = 0;
+        tomb_masks_[mbase + w] = 0;
     }
     return block;
 }
@@ -111,6 +167,34 @@ bool EdgeblockArray::subtree_is_empty(std::uint32_t block) const {
     return true;
 }
 
+void EdgeblockArray::begin_stats_batch() const noexcept {
+    if (g_deferred_stats.depth++ == 0) {
+        g_deferred_stats.target = &stats_;
+    }
+}
+
+void EdgeblockArray::end_stats_batch() const noexcept {
+    if (--g_deferred_stats.depth != 0) {
+        return;
+    }
+    if (g_deferred_stats.target != nullptr) {
+        Stats& stats = *g_deferred_stats.target;
+        if (g_deferred_stats.cells != 0) {
+            stats.cells_probed += g_deferred_stats.cells;
+        }
+        if (g_deferred_stats.workblocks != 0) {
+            stats.workblocks_fetched += g_deferred_stats.workblocks;
+        }
+        if (g_deferred_stats.swaps != 0) {
+            stats.rhh_swaps += g_deferred_stats.swaps;
+        }
+        if (g_deferred_stats.branch_outs != 0) {
+            stats.branch_outs += g_deferred_stats.branch_outs;
+        }
+    }
+    g_deferred_stats = DeferredStats{};
+}
+
 std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
     std::uint32_t top, VertexId dst) const {
     StatsFlush flush{stats_};
@@ -119,7 +203,28 @@ std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
     while (block != kNoBlock) {
         const std::uint32_t sb = sb_of(dst, level);
         const std::uint32_t sb_base = sb * subblock_;
-        if (rhh_) {
+        if (kernel_ok_) {
+            // Bit-parallel FIND: one SIMD dst compare over the subblock plus
+            // the occupancy/tombstone windows decide found/absent/descend
+            // without a per-cell walk (see core/probe_kernel.hpp).
+            const WindowBits bits = window_bits(block, sb_base);
+            const SubblockWindow w{
+                &cells_[static_cast<std::size_t>(block) * pagewidth_ +
+                        sb_base],
+                subblock_, bits.occ, bits.tomb};
+            const FindStep step =
+                rhh_ ? find_step<kProbeKernelSimd>(w, home_of(dst, level),
+                                                   dst)
+                     : find_step_full<kProbeKernelSimd>(w, dst);
+            flush.cells += step.scanned;
+            flush.workblocks += (step.scanned + workblock_ - 1) / workblock_;
+            if (step.kind == FindStep::Kind::Found) {
+                return Located{block, sb, sb_base + step.slot, level};
+            }
+            if (step.kind == FindStep::Kind::Absent) {
+                return std::nullopt;
+            }
+        } else if (rhh_) {
             // Probe-order scan with Robin Hood early exit. An EMPTY cell on
             // the probe path proves the key is absent at this level *and*
             // below: had the key ever been pushed deeper, this window was
@@ -192,7 +297,8 @@ EdgeblockArray::InsertResult EdgeblockArray::insert(
             }
             return InsertResult{true, kNoCalPos};
         case ProbeResult::Kind::Absent:
-            insert_new(top, dst, weight, new_cal_pos);
+            insert_new(top, dst, weight, new_cal_pos, probe.resume_block,
+                       probe.resume_level);
             return InsertResult{true, kNoCalPos};
     }
     return InsertResult{};  // unreachable
@@ -226,8 +332,64 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
     std::uint32_t level = 0;
     // A tombstone or Robin Hood swap point earlier on the probe path means
     // insertion belongs there rather than at a later EMPTY cell; the full
-    // INSERT cascade handles those (rarer) cases.
+    // INSERT cascade handles those (rarer) cases. The first such point (or
+    // the deepest block when the walk exhausts the tree) is handed back as
+    // the cascade's resume point so it need not re-walk the levels above,
+    // which are full windows with nothing for it to do.
     bool earlier_candidate = false;
+    std::uint32_t resume_block = top;
+    std::uint32_t resume_level = 0;
+    if (kernel_ok_) {
+        // Bit-parallel fused FIND/INSERT (see core/probe_kernel.hpp):
+        // duplicate and first-EMPTY detection run on the subblock's masks
+        // and one SIMD dst compare per level.
+        while (block != kNoBlock) {
+            const std::uint32_t sb = sb_of(dst, level);
+            const std::uint32_t sb_base = sb * subblock_;
+            const WindowBits bits = window_bits(block, sb_base);
+            const SubblockWindow w{
+                &cells_[static_cast<std::size_t>(block) * pagewidth_ +
+                        sb_base],
+                subblock_, bits.occ, bits.tomb};
+            const ProbeStep step =
+                probe_step<kProbeKernelSimd>(w, home_of(dst, level), dst);
+            flush.cells += step.scanned;
+            flush.workblocks += (step.scanned + workblock_ - 1) / workblock_;
+            if (step.kind == ProbeStep::Kind::Duplicate) {
+                EdgeCell& c = cell(block, sb_base + step.slot);
+                c.weight = weight;
+                return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
+                                   CellRef{}, 0};
+            }
+            if (!earlier_candidate) {
+                if (step.candidate) {
+                    earlier_candidate = true;
+                    resume_block = block;
+                    resume_level = level;
+                }
+            }
+            if (step.kind == ProbeStep::Kind::Empty) {
+                if (!earlier_candidate) {
+                    return ProbeResult{
+                        ProbeResult::Kind::PlaceAt, kNoCalPos,
+                        CellRef{block, sb_base + step.slot},
+                        static_cast<std::uint16_t>(step.dist)};
+                }
+                return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos,
+                                   CellRef{}, 0, resume_block, resume_level};
+            }
+            if (!earlier_candidate) {
+                // Full window, nothing reusable: the cascade would cross
+                // this level verbatim, so keep the resume point below it.
+                resume_block = block;
+                resume_level = level;
+            }
+            block = child(block, sb);
+            ++level;
+        }
+        return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{},
+                           0, resume_block, resume_level};
+    }
     while (block != kNoBlock) {
         const std::uint32_t sb = sb_of(dst, level);
         const std::uint32_t sb_base = sb * subblock_;
@@ -246,10 +408,14 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                                        static_cast<std::uint16_t>(d)};
                 }
                 return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos,
-                                   CellRef{}, 0};
+                                   CellRef{}, 0, resume_block, resume_level};
             }
             if (c.state == CellState::Tombstone) {
-                earlier_candidate = true;
+                if (!earlier_candidate) {
+                    earlier_candidate = true;
+                    resume_block = block;
+                    resume_level = level;
+                }
                 continue;
             }
             if (c.dst == dst) {
@@ -257,30 +423,42 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                 return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
                                    CellRef{}, 0};
             }
-            if (c.probe < d) {
+            if (c.probe < d && !earlier_candidate) {
                 earlier_candidate = true;  // RHH would displace here
+                resume_block = block;
+                resume_level = level;
             }
         }
         flush.workblocks += subblock_ / workblock_;
+        if (!earlier_candidate) {
+            resume_block = block;
+            resume_level = level;
+        }
         block = child(block, sb);
         ++level;
     }
-    return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{}, 0};
+    return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{}, 0,
+                       resume_block, resume_level};
 }
 
 void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
-                                Weight weight, std::uint32_t new_cal_pos) {
+                                Weight weight, std::uint32_t new_cal_pos,
+                                std::uint32_t start_block,
+                                std::uint32_t start_level) {
     if (top == kNoBlock) {
         top = allocate_block();
+        start_block = kNoBlock;
     }
     // INSERT mode: Robin Hood within the subblock, Tree-Based Hashing
     // descent on congestion. `carry` is the floating edge; after a swap it
     // becomes the displaced resident. Every element placed into a cell has
     // its CAL copy re-bound to the new location — the new edge included,
-    // since it carries `new_cal_pos` from the start.
+    // since it carries `new_cal_pos` from the start. When the caller's
+    // probe proved the levels above `start_block` are full windows with no
+    // tombstone and no swap point, the cascade resumes there directly.
     StatsFlush flush{stats_};
-    std::uint32_t block = top;
-    std::uint32_t level = 0;
+    std::uint32_t block = start_block == kNoBlock ? top : start_block;
+    std::uint32_t level = start_block == kNoBlock ? 0 : start_level;
     EdgeCell carry{dst, weight, new_cal_pos, 0, CellState::Occupied};
     for (;;) {
         const std::uint32_t sb = sb_of(carry.dst, level);
@@ -298,6 +476,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
                 resident = carry;
                 ++occupied_[block];
                 set_occupancy(block, slot, true);
+                set_tombstone(block, slot, false);
                 if (cal_ != nullptr && resident.cal_pos != kNoCalPos) {
                     cal_->rebind(resident.cal_pos, CellRef{block, slot});
                 }
@@ -309,7 +488,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
                 // resident is displaced and continues probing.
                 carry.probe = static_cast<std::uint16_t>(dist);
                 std::swap(resident, carry);
-                ++stats_.rhh_swaps;
+                ++flush.swaps;
                 if (cal_ != nullptr && resident.cal_pos != kNoCalPos) {
                     cal_->rebind(resident.cal_pos, CellRef{block, slot});
                 }
@@ -330,7 +509,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
         if (down == kNoBlock) {
             down = allocate_block();
             child(block, sb) = down;
-            ++stats_.branch_outs;
+            ++flush.branch_outs;
         }
         block = down;
         ++level;
@@ -421,6 +600,7 @@ EdgeblockArray::EraseResult EdgeblockArray::erase(std::uint32_t& top,
         c.cal_pos = kNoCalPos;
         --occupied_[loc->block];
         set_occupancy(loc->block, loc->slot, false);
+        set_tombstone(loc->block, loc->slot, true);
         return EraseResult{true, cal_pos};
     }
     c = EdgeCell{};
@@ -467,6 +647,59 @@ void EdgeblockArray::prune_path(std::uint32_t top, VertexId dst) {
             break;
         }
     }
+}
+
+void EdgeblockArray::prefetch_probe(std::uint32_t top,
+                                    VertexId dst) const noexcept {
+    if (top == kNoBlock || top >= block_count_) {
+        return;
+    }
+    // The first probe of (top, dst) reads the level-0 subblock's cells and
+    // the block's mask words; warm both. Two lines cover 8 cells — the
+    // default subblock.
+    const std::uint32_t sb_base = sb_of(dst, 0) * subblock_;
+    const EdgeCell* cells =
+        &cells_[static_cast<std::size_t>(top) * pagewidth_ + sb_base];
+    // Write intent: an insert fills a cell in this window, and fetching the
+    // line exclusive up front avoids a second coherence transition.
+    simd::prefetch_write(cells);
+    simd::prefetch_write(cells + 4);
+    simd::prefetch(&masks_[static_cast<std::size_t>(top) * words_per_block_]);
+    simd::prefetch(
+        &tomb_masks_[static_cast<std::size_t>(top) * words_per_block_]);
+    // Warm the child pointer too so the second prefetch stage
+    // (prefetch_probe_child) can read it without its own miss.
+    simd::prefetch(&children_[static_cast<std::size_t>(top) * spb_ +
+                              sb_of(dst, 0)]);
+}
+
+void EdgeblockArray::prefetch_probe_child(std::uint32_t top,
+                                          VertexId dst) const noexcept {
+    if (top == kNoBlock || top >= block_count_) {
+        return;
+    }
+    const std::uint32_t sb0 = sb_of(dst, 0);
+    // Only chase the child when the level-0 window is full: that is the
+    // only case where the probe descends, and the masks are already cached
+    // from the first prefetch stage, so this peek is (nearly) free.
+    const WindowBits bits = window_bits(top, sb0 * subblock_);
+    const std::uint64_t full =
+        subblock_ >= 64 ? ~0ULL : (1ULL << subblock_) - 1;
+    if (bits.occ != full) {
+        return;
+    }
+    const std::uint32_t c = child(top, sb0);
+    if (c == kNoBlock || c >= block_count_) {
+        return;
+    }
+    const std::uint32_t sb_base = sb_of(dst, 1) * subblock_;
+    const EdgeCell* cells =
+        &cells_[static_cast<std::size_t>(c) * pagewidth_ + sb_base];
+    simd::prefetch_write(cells);
+    simd::prefetch_write(cells + 4);
+    simd::prefetch(&masks_[static_cast<std::size_t>(c) * words_per_block_]);
+    simd::prefetch(
+        &tomb_masks_[static_cast<std::size_t>(c) * words_per_block_]);
 }
 
 std::uint32_t EdgeblockArray::subtree_depth(std::uint32_t top) const {

@@ -74,8 +74,15 @@ public:
     /// INSERT mode only — precondition: (…, dst) is absent under `top`
     /// (i.e. find_ref returned nothing). Used by callers that already ran
     /// the FIND stage themselves.
+    /// `start_block`/`start_level` (optional) resume the cascade below the
+    /// tree's top: probe_insert proves that every level above its Absent
+    /// resume point is a full window with no tombstone and no Robin Hood
+    /// swap opportunity, so the cascade would walk through them verbatim —
+    /// starting at the resume point skips that re-walk.
     void insert_new(std::uint32_t& top, VertexId dst, Weight weight,
-                    std::uint32_t new_cal_pos);
+                    std::uint32_t new_cal_pos,
+                    std::uint32_t start_block = kNoBlock,
+                    std::uint32_t start_level = 0);
 
     /// Fused FIND/INSERT probe (the hot path). One walk of the hash path
     /// that either updates an existing edge in place (Duplicate), proves the
@@ -90,6 +97,12 @@ public:
         std::uint32_t cal_pos = kNoCalPos;  // Duplicate: the edge's CAL copy
         CellRef where{};                    // PlaceAt: the free cell
         std::uint16_t probe = 0;            // PlaceAt: its displacement
+        // Absent: where the INSERT cascade must begin — the first level with
+        // a tombstone or Robin Hood swap point (or the deepest block when
+        // the walk fell off the tree). Levels above are full windows the
+        // cascade would cross without effect, so insert_new skips them.
+        std::uint32_t resume_block = kNoBlock;
+        std::uint32_t resume_level = 0;
     };
     ProbeResult probe_insert(std::uint32_t& top, VertexId dst, Weight weight);
 
@@ -100,7 +113,21 @@ public:
         c = EdgeCell{dst, weight, cal_pos, probe, CellState::Occupied};
         ++occupied_[ref.block];
         set_occupancy(ref.block, ref.slot, true);
+        set_tombstone(ref.block, ref.slot, false);
     }
+
+    /// Software-prefetches the state a FIND/INSERT probe of (`top`, `dst`)
+    /// will touch first: the level-0 subblock's cells and the block's
+    /// occupancy masks. The batched ingest path calls this for the *next*
+    /// source run while the current one drains, hiding the arena miss.
+    void prefetch_probe(std::uint32_t top, VertexId dst) const noexcept;
+
+    /// Second prefetch stage: once prefetch_probe's lines have landed, the
+    /// level-0 masks are cheap to read, so this peeks at them — if the
+    /// level-0 subblock is full (the probe will descend) it prefetches the
+    /// level-1 child's window too. Call it at a *shorter* lookahead distance
+    /// than prefetch_probe so the stage-1 lines have arrived.
+    void prefetch_probe_child(std::uint32_t top, VertexId dst) const noexcept;
 
     /// FIND mode, returning the cell location instead of the weight.
     [[nodiscard]] std::optional<CellRef> find_ref(std::uint32_t top,
@@ -246,15 +273,39 @@ public:
     [[nodiscard]] std::size_t blocks_allocated() const noexcept {
         return block_count_;
     }
-    /// Bytes held by in-use blocks (cells + child pointers + occupancy).
+    /// Bytes held by in-use blocks (cells + child pointers + occupancy and
+    /// tombstone masks).
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
         return blocks_in_use() *
                (static_cast<std::size_t>(pagewidth_) * sizeof(EdgeCell) +
                 spb_ * sizeof(std::uint32_t) +
-                words_per_block_ * sizeof(std::uint64_t) +
+                2 * words_per_block_ * sizeof(std::uint64_t) +
                 sizeof(std::uint32_t));
     }
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    /// Opens / closes a thread-local stats-deferral scope: while open, this
+    /// array's probe counters accumulate in plain thread-local integers and
+    /// land in the shared relaxed atomics once at close. Batched ingest
+    /// wraps its apply loop in one scope so the counter RMWs are paid per
+    /// batch instead of per edge (2–4 atomic adds per insert otherwise).
+    /// Scopes nest; concurrent readers on other threads simply observe the
+    /// counters a batch late, which relaxed counters already permit.
+    void begin_stats_batch() const noexcept;
+    void end_stats_batch() const noexcept;
+    /// RAII wrapper for begin/end_stats_batch.
+    class [[nodiscard]] StatsBatchScope {
+    public:
+        explicit StatsBatchScope(const EdgeblockArray& eba) noexcept
+            : eba_(eba) {
+            eba_.begin_stats_batch();
+        }
+        ~StatsBatchScope() { eba_.end_stats_batch(); }
+        StatsBatchScope(const StatsBatchScope&) = delete;
+        StatsBatchScope& operator=(const StatsBatchScope&) = delete;
+
+    private:
+        const EdgeblockArray& eba_;
+    };
     /// Depth (generations) of the block tree under `top`; 0 for kNoBlock.
     [[nodiscard]] std::uint32_t subtree_depth(std::uint32_t top) const;
     /// Live cells in one block.
@@ -324,6 +375,7 @@ private:
     std::uint32_t spb_;  // subblocks per block
     bool rhh_;
     bool compact_delete_;
+    bool kernel_ok_;  // subblock fits one mask word: bit-parallel probing
     std::uint32_t words_per_block_;  // occupancy-mask words per block
     CoarseAdjacencyList* cal_;
 
@@ -338,12 +390,46 @@ private:
         }
     }
 
+    void set_tombstone(std::uint32_t block, std::uint32_t slot, bool on) {
+        std::uint64_t& word =
+            tomb_masks_[static_cast<std::size_t>(block) * words_per_block_ +
+                        slot / 64];
+        if (on) {
+            word |= 1ULL << (slot % 64);
+        } else {
+            word &= ~(1ULL << (slot % 64));
+        }
+    }
+
+    /// Occupancy/tombstone bits of the subblock starting at cell `sb_base`.
+    /// Precondition: kernel_ok_ (the window never straddles a mask word,
+    /// because subblock_ is a power of two <= 64 and sb_base is a multiple
+    /// of it).
+    struct WindowBits {
+        std::uint64_t occ;
+        std::uint64_t tomb;
+    };
+    [[nodiscard]] WindowBits window_bits(std::uint32_t block,
+                                         std::uint32_t sb_base) const {
+        const std::size_t word =
+            static_cast<std::size_t>(block) * words_per_block_ + sb_base / 64;
+        const std::uint32_t shift = sb_base % 64;
+        const std::uint64_t wmask =
+            subblock_ >= 64 ? ~0ULL : (1ULL << subblock_) - 1;
+        return WindowBits{(masks_[word] >> shift) & wmask,
+                          (tomb_masks_[word] >> shift) & wmask};
+    }
+
     std::vector<EdgeCell> cells_;
     std::vector<std::uint32_t> children_;
     std::vector<std::uint32_t> occupied_;
     std::vector<std::uint64_t> masks_;
+    std::vector<std::uint64_t> tomb_masks_;  // bit set = Tombstone cell
     std::vector<std::uint32_t> free_blocks_;
     std::uint32_t block_count_ = 0;
+    /// Blocks the backing vectors currently have storage for
+    /// (>= block_count_; the arena grows in chunks, not per block).
+    std::uint32_t storage_blocks_ = 0;
     // Counters are relaxed atomics (StatCounter) so const FIND paths may be
     // shared by concurrent readers without racing.
     mutable Stats stats_;

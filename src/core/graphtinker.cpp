@@ -1,5 +1,8 @@
 #include "core/graphtinker.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace gt::core {
 
 GraphTinker::GraphTinker(Config config)
@@ -48,7 +51,17 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
     note_raw(src);
     note_raw(dst);
     const VertexId dense = map_source(src);
+    if (!insert_resolved(dense, src, dst, weight, nullptr)) {
+        return false;
+    }
+    ++props_[dense].degree;
+    ++num_edges_;
+    return true;
+}
 
+bool GraphTinker::insert_resolved(VertexId dense, VertexId raw_src,
+                                  VertexId dst, Weight weight,
+                                  CoarseAdjacencyList::Appender* app) {
     const auto probe = eba_.probe_insert(top_[dense], dst, weight);
     using Kind = EdgeblockArray::ProbeResult::Kind;
     switch (probe.kind) {
@@ -63,7 +76,10 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
             // key absent; append the CAL copy and write the cell directly.
             std::uint32_t cal_pos = kNoCalPos;
             if (config_.enable_cal) {
-                cal_pos = cal_.insert(dense, src, dst, weight, probe.where);
+                cal_pos = app != nullptr
+                              ? app->append(raw_src, dst, weight, probe.where)
+                              : cal_.insert(dense, raw_src, dst, weight,
+                                            probe.where);
             }
             eba_.place_at(probe.where, dst, weight, probe.probe, cal_pos);
             break;
@@ -76,27 +92,35 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
             // new edge is displaced.
             std::uint32_t cal_pos = kNoCalPos;
             if (config_.enable_cal) {
-                cal_pos = cal_.insert(dense, src, dst, weight, CellRef{});
+                cal_pos = app != nullptr
+                              ? app->append(raw_src, dst, weight, CellRef{})
+                              : cal_.insert(dense, raw_src, dst, weight,
+                                            CellRef{});
             }
             eba_.insert_new(top_[dense], dst, weight, cal_pos);
             break;
         }
     }
-    ++props_[dense].degree;
-    ++num_edges_;
     return true;
 }
 
 bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
     const auto dense = dense_of(src);
-    if (!dense || top_[*dense] == EdgeblockArray::kNoBlock) {
+    if (!dense) {
         return false;
     }
-    const auto result = eba_.erase(top_[*dense], dst);
+    return delete_resolved(*dense, dst);
+}
+
+bool GraphTinker::delete_resolved(VertexId dense, VertexId dst) {
+    if (top_[dense] == EdgeblockArray::kNoBlock) {
+        return false;
+    }
+    const auto result = eba_.erase(top_[dense], dst);
     if (!result.found) {
         return false;
     }
-    --props_[*dense].degree;
+    --props_[dense].degree;
     --num_edges_;
     if (config_.enable_cal && result.cal_pos != kNoCalPos) {
         const bool compact =
@@ -110,15 +134,218 @@ bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
     return true;
 }
 
+void GraphTinker::sort_batch_by_source(std::span<const Edge> batch) {
+    const std::size_t n = batch.size();
+    VertexId max_src = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        max_src = std::max(max_src, batch[i].src);
+    }
+    // Fast path: one stable counting sort over the source ids, scattering
+    // the edges straight into ingest_sorted_ — no key array, no second
+    // radix pass, no separate gather. Applies whenever the histogram stays
+    // small relative to the batch (its clear/prefix cost is ~4 histogram
+    // entries per edge) and within a fixed memory cap.
+    const std::size_t span = static_cast<std::size_t>(max_src) + 1;
+    if (n >= 2048 && span <= 4 * n && span <= (1U << 20)) {
+        ingest_hist_.assign(span + 1, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++ingest_hist_[batch[i].src + 1];
+        }
+        for (std::size_t s = 1; s <= span; ++s) {
+            ingest_hist_[s] += ingest_hist_[s - 1];
+        }
+        ingest_sorted_.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            ingest_sorted_[ingest_hist_[batch[i].src]++] = batch[i];
+        }
+        return;
+    }
+    ingest_keys_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ingest_keys_[i] =
+            (static_cast<std::uint64_t>(batch[i].src) << 32) | i;
+    }
+    if (n < 2048) {
+        // Full-key comparison sorts by (src, index) — exactly the stable
+        // source grouping the runs need.
+        std::sort(ingest_keys_.begin(), ingest_keys_.end());
+        materialize_sorted(batch);
+        return;
+    }
+    // LSD radix over the source digits only (16 bits per pass); ties keep
+    // their batch order, which full-key passes would also guarantee but at
+    // twice the cost.
+    constexpr std::uint32_t kRadixBits = 16;
+    constexpr std::uint32_t kBuckets = 1U << kRadixBits;
+    ingest_tmp_.resize(n);
+    ingest_hist_.assign(kBuckets, 0);
+    std::uint64_t* from = ingest_keys_.data();
+    std::uint64_t* to = ingest_tmp_.data();
+    const std::uint32_t passes = max_src < kBuckets ? 1 : 2;
+    for (std::uint32_t pass = 0; pass < passes; ++pass) {
+        const std::uint32_t shift = 32 + pass * kRadixBits;
+        if (pass > 0) {
+            ingest_hist_.assign(kBuckets, 0);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            ++ingest_hist_[(from[i] >> shift) & (kBuckets - 1)];
+        }
+        std::uint32_t run = 0;
+        for (std::uint32_t b = 0; b < kBuckets; ++b) {
+            const std::uint32_t count = ingest_hist_[b];
+            ingest_hist_[b] = run;
+            run += count;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            to[ingest_hist_[(from[i] >> shift) & (kBuckets - 1)]++] = from[i];
+        }
+        std::swap(from, to);
+    }
+    if (from != ingest_keys_.data()) {
+        std::swap(ingest_keys_, ingest_tmp_);
+    }
+    materialize_sorted(batch);
+}
+
+void GraphTinker::materialize_sorted(std::span<const Edge> batch) {
+    const std::size_t n = batch.size();
+    ingest_sorted_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ingest_sorted_[i] =
+            batch[static_cast<std::uint32_t>(ingest_keys_[i])];
+    }
+}
+
+std::span<const GraphTinker::SourceRun> GraphTinker::resolve_runs(
+    std::size_t n, bool assign) {
+    ingest_runs_.clear();
+    // SGH lookahead: the source this many positions ahead has its hash
+    // bucket warmed while the current run resolves. Short runs (the worst
+    // case for this loop — one hash miss per edge) become memory-parallel.
+    constexpr std::size_t kResolveLookahead = 16;
+    for (std::size_t i = 0; i < n;) {
+        if (config_.enable_sgh && i + kResolveLookahead < n) {
+            sgh_.prefetch(ingest_sorted_[i + kResolveLookahead].src);
+        }
+        const VertexId src = ingest_sorted_[i].src;
+        std::size_t end = i + 1;
+        while (end < n && ingest_sorted_[end].src == src) {
+            ++end;
+        }
+        if (assign) {
+            note_raw(src);
+            const VertexId dense = map_source(src);
+            ingest_runs_.push_back(SourceRun{
+                src, dense, top_[dense], static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(end)});
+        } else if (const auto dense = dense_of(src)) {
+            // Unknown sources drop out here: every delete under them is a
+            // no-op, so their run never reaches the apply loop.
+            ingest_runs_.push_back(SourceRun{
+                src, *dense, top_[*dense], static_cast<std::uint32_t>(i),
+                static_cast<std::uint32_t>(end)});
+        }
+        i = end;
+    }
+    return ingest_runs_;
+}
+
+void GraphTinker::prefetch_ahead(std::span<const SourceRun> runs,
+                                 std::size_t& cursor, std::size_t pos,
+                                 bool deep) const {
+    while (cursor < runs.size() && pos >= runs[cursor].end) {
+        ++cursor;
+    }
+    if (cursor >= runs.size() || pos < runs[cursor].begin) {
+        return;
+    }
+    if (deep) {
+        eba_.prefetch_probe_child(runs[cursor].top, ingest_sorted_[pos].dst);
+    } else {
+        eba_.prefetch_probe(runs[cursor].top, ingest_sorted_[pos].dst);
+    }
+}
+
 void GraphTinker::insert_batch(std::span<const Edge> batch) {
-    for (const Edge& e : batch) {
-        insert_edge(e.src, e.dst, e.weight);
+    if (batch.size() < kBatchFastPathMin ||
+        batch.size() > std::numeric_limits<std::uint32_t>::max()) {
+        for (const Edge& e : batch) {
+            insert_edge(e.src, e.dst, e.weight);
+        }
+        return;
+    }
+    sort_batch_by_source(batch);
+    // All sources resolve before any edge applies, so the lookahead
+    // prefetch below reads tops straight out of the run table (top_ cannot
+    // be resized mid-loop — map_source only runs here).
+    const std::span<const SourceRun> runs =
+        resolve_runs(batch.size(), /*assign=*/true);
+    // One stats flush for the whole batch instead of 2–4 atomic RMWs per
+    // probe; readers on other threads see the counters a batch late, which
+    // relaxed counters already permit.
+    const EdgeblockArray::StatsBatchScope stats_scope{eba_};
+    std::size_t pf_cursor = 0;
+    std::size_t pf_child_cursor = 0;
+    for (const SourceRun& run : runs) {
+        // Constant-distance lookahead: while edge i resolves, the subblock
+        // edge i+D will probe is already in flight, so its DRAM miss
+        // overlaps useful work instead of serializing behind it.
+        std::uint32_t created = 0;
+        VertexId max_dst = 0;
+        const auto drain = [&](CoarseAdjacencyList::Appender* app_ptr) {
+            for (std::size_t i = run.begin; i < run.end; ++i) {
+                prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
+                               /*deep=*/false);
+                prefetch_ahead(runs, pf_child_cursor,
+                               i + kPrefetchChildDistance, /*deep=*/true);
+                const Edge& e = ingest_sorted_[i];
+                // Adjacent same-destination updates: only the last one
+                // counts (exactly what applying them in order would leave
+                // behind), so the earlier ones skip their probe walks
+                // entirely.
+                if (i + 1 < run.end && ingest_sorted_[i + 1].dst == e.dst) {
+                    continue;
+                }
+                max_dst = std::max(max_dst, e.dst);
+                created += insert_resolved(run.dense, run.src, e.dst,
+                                           e.weight, app_ptr)
+                               ? 1U
+                               : 0U;
+            }
+        };
+        if (config_.enable_cal) {
+            CoarseAdjacencyList::Appender app = cal_.appender(run.dense);
+            drain(&app);
+        } else {
+            drain(nullptr);
+        }
+        // Per-run accounting: every edge of the run shares dense/raw ids,
+        // so the counters and the raw-id bound update once, not per edge.
+        note_raw(max_dst);
+        props_[run.dense].degree += created;
+        num_edges_ += created;
     }
 }
 
 void GraphTinker::delete_batch(std::span<const Edge> batch) {
-    for (const Edge& e : batch) {
-        delete_edge(e.src, e.dst);
+    if (batch.size() < kBatchFastPathMin ||
+        batch.size() > std::numeric_limits<std::uint32_t>::max()) {
+        for (const Edge& e : batch) {
+            delete_edge(e.src, e.dst);
+        }
+        return;
+    }
+    sort_batch_by_source(batch);
+    const std::span<const SourceRun> runs =
+        resolve_runs(batch.size(), /*assign=*/false);
+    const EdgeblockArray::StatsBatchScope stats_scope{eba_};
+    std::size_t pf_cursor = 0;
+    for (const SourceRun& run : runs) {
+        for (std::size_t i = run.begin; i < run.end; ++i) {
+            prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
+                           /*deep=*/false);
+            delete_resolved(run.dense, ingest_sorted_[i].dst);
+        }
     }
 }
 

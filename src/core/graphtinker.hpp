@@ -48,7 +48,16 @@ public:
     /// when the edge existed.
     bool delete_edge(VertexId src, VertexId dst);
 
+    /// Batched insert. Large batches take the source-grouped fast path:
+    /// the batch is radix-sorted by source (stable, so last-wins weight
+    /// semantics for duplicate pairs are preserved), the SGH mapping and
+    /// top-block handle resolve once per source run, the next run's
+    /// edgeblock is software-prefetched while the current one drains, and
+    /// CAL group resolution is amortized per run. The resulting store is
+    /// equivalent to per-edge application (same edges, weights, degrees and
+    /// audit invariants); only internal block/CAL layout may differ.
     void insert_batch(std::span<const Edge> batch);
+    /// Batched delete with the same source-grouped fast path.
     void delete_batch(std::span<const Edge> batch);
 
     // ---- queries ---------------------------------------------------------
@@ -160,8 +169,58 @@ public:
     [[nodiscard]] std::string validate() const;
 
 private:
+    /// Batches below this size skip the sort and apply per edge.
+    static constexpr std::size_t kBatchFastPathMin = 33;
+    /// Sorted-batch lookahead: the probe target this many edges ahead is
+    /// software-prefetched so its DRAM miss overlaps the current inserts.
+    static constexpr std::size_t kPrefetchDistance = 32;
+    /// Shorter second-stage lookahead: by the time an edge is this close,
+    /// the first stage's level-0 lines have landed, so the peek-and-chase
+    /// child prefetch (EdgeblockArray::prefetch_probe_child) can run.
+    static constexpr std::size_t kPrefetchChildDistance = 16;
+
     /// Maps a raw source id to its dense index, assigning one when new.
     VertexId map_source(VertexId raw);
+    /// insert_edge body after source resolution; `app` (optional) amortizes
+    /// the CAL group lookup across a source run. Returns true when a new
+    /// edge was created — the caller owns the degree / num_edges_ updates,
+    /// so the batch path can accumulate them once per source run.
+    bool insert_resolved(VertexId dense, VertexId raw_src, VertexId dst,
+                         Weight weight, CoarseAdjacencyList::Appender* app);
+    /// delete_edge body after source resolution.
+    bool delete_resolved(VertexId dense, VertexId dst);
+    /// Materializes `batch` into ingest_sorted_ grouped by source, stable
+    /// in batch order within a source, so the apply loop streams
+    /// sequentially. Small source spans take a single-pass counting sort
+    /// that scatters edges directly; wide spans fall back to an LSD radix
+    /// sort over (src << 32 | index) keys followed by one gather pass.
+    /// Scratch capacity is reused across batches.
+    void sort_batch_by_source(std::span<const Edge> batch);
+    /// Gathers `batch` into ingest_sorted_ in ingest_keys_ order (the
+    /// radix-sort fallback's final pass).
+    void materialize_sorted(std::span<const Edge> batch);
+    /// One source run of a sorted batch: positions [begin, end) of
+    /// ingest_sorted_ share `src`, resolved to `dense` before application.
+    /// `top` snapshots top_[dense] at resolve time — a prefetch hint only
+    /// (kNoBlock for fresh vertices, and the apply loop may re-root the
+    /// tree), but it spares the lookahead a second random top_ read.
+    struct SourceRun {
+        VertexId src;
+        VertexId dense;
+        std::uint32_t top;
+        std::uint32_t begin;
+        std::uint32_t end;
+    };
+    /// Scans ingest_sorted_ into ingest_runs_, resolving each source once
+    /// (`assign` = map_source for inserts, dense_of for deletes — runs with
+    /// unknown sources are dropped there). Returns the runs.
+    std::span<const SourceRun> resolve_runs(std::size_t n, bool assign);
+    /// Prefetches the probe target of sorted-batch position `pos`, walking
+    /// `cursor` forward through ingest_runs_ to find its run (amortized
+    /// O(1): both advance monotonically). `deep` selects the second stage
+    /// (child chase) instead of the level-0 warm-up.
+    void prefetch_ahead(std::span<const SourceRun> runs, std::size_t& cursor,
+                        std::size_t pos, bool deep) const;
     /// Read-only dense lookup; empty when the source never streamed.
     [[nodiscard]] std::optional<VertexId> dense_of(VertexId raw) const;
     [[nodiscard]] VertexId raw_of(VertexId dense) const {
@@ -181,6 +240,14 @@ private:
     std::vector<std::uint32_t> top_;  // dense id -> top-parent block handle
     EdgeCount num_edges_ = 0;
     VertexId raw_bound_ = 0;
+
+    // Batched-ingest scratch (capacity reused across batches; holds keys and
+    // radix histograms, never edge copies).
+    std::vector<std::uint64_t> ingest_keys_;
+    std::vector<std::uint64_t> ingest_tmp_;
+    std::vector<std::uint32_t> ingest_hist_;
+    std::vector<SourceRun> ingest_runs_;
+    std::vector<Edge> ingest_sorted_;
 
     // The structural auditor reads the private cross-component state, and
     // its test-only corruption hook mutates it to prove audit() detects

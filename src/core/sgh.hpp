@@ -33,6 +33,9 @@ public:
         return dense;
     }
 
+    /// Warms the map bucket `raw` hashes to, ahead of get_or_assign/lookup.
+    void prefetch(VertexId raw) const noexcept { map_.prefetch(raw); }
+
     /// Lookup without assignment; empty when the vertex never owned an edge.
     [[nodiscard]] std::optional<VertexId> lookup(VertexId raw) const {
         if (const VertexId* dense = map_.find(raw)) {

@@ -5,13 +5,24 @@
 // The wrapper is generic over the store type so GraphTinker and the STINGER
 // baseline parallelize identically — multicore comparisons (Fig. 10) then
 // measure the data structures, not the parallelization strategy.
+//
+// Batches flow through a two-pass parallel radix partition: every worker
+// histograms a chunk of the batch by shard, a serial prefix sum turns the
+// per-(worker, shard) counts into write cursors, and the workers scatter
+// their chunks into one flat arena at disjoint offsets. The arena and the
+// count/offset tables are members whose capacity is reused, so steady-state
+// batches allocate nothing. Stores that expose a native insert_batch /
+// delete_batch (GraphTinker's source-grouped fast path) receive their shard
+// slice as one span; others fall back to per-edge application.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "gen/batch_prep.hpp"
 #include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
@@ -34,27 +45,78 @@ public:
         }
     }
 
+    /// Owning shard of a source id. Division-free for any shard count: the
+    /// mixed hash is mapped into [0, shards) with a multiply-shift (Lemire's
+    /// fastmod), which preserves the hash's uniformity without requiring a
+    /// power-of-two count. Safe for shards == 0 (returns 0).
     [[nodiscard]] static std::size_t shard_of(VertexId src,
                                               std::size_t shards) noexcept {
-        return mix32(src) % shards;
+        if (shards <= 1) {
+            return 0;
+        }
+        return static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(mix32(src)) * shards) >> 32);
     }
 
     void insert_batch(std::span<const Edge> batch) {
-        partition(batch);
+        partition(batch, edge_arena_,
+                  [](const Edge& e) { return e.src; });
         pool_.parallel_for(stores_.size(), [&](std::size_t s) {
-            for (const Edge& e : parts_[s]) {
-                stores_[s]->insert_edge(e.src, e.dst, e.weight);
+            const std::span<const Edge> part = shard_slice(edge_arena_, s);
+            if constexpr (requires(Store& st) { st.insert_batch(part); }) {
+                stores_[s]->insert_batch(part);
+            } else {
+                for (const Edge& e : part) {
+                    stores_[s]->insert_edge(e.src, e.dst, e.weight);
+                }
             }
         });
     }
 
     void delete_batch(std::span<const Edge> batch) {
-        partition(batch);
+        partition(batch, edge_arena_,
+                  [](const Edge& e) { return e.src; });
         pool_.parallel_for(stores_.size(), [&](std::size_t s) {
-            for (const Edge& e : parts_[s]) {
-                stores_[s]->delete_edge(e.src, e.dst);
+            const std::span<const Edge> part = shard_slice(edge_arena_, s);
+            if constexpr (requires(Store& st) { st.delete_batch(part); }) {
+                stores_[s]->delete_batch(part);
+            } else {
+                for (const Edge& e : part) {
+                    stores_[s]->delete_edge(e.src, e.dst);
+                }
             }
         });
+    }
+
+    /// Outcome of apply_updates: how much of the raw batch pre-combining
+    /// folded away before any shard saw it.
+    struct ApplyResult {
+        std::size_t applied = 0;        // updates that reached the stores
+        std::size_t duplicates = 0;     // folded into their survivor
+        std::size_t cancellations = 0;  // insert+delete pairs dropped
+    };
+
+    /// Applies a mixed insert/delete stream: the batch is pre-combined with
+    /// prepare_batch (dedup per pair, optional insert+delete cancellation)
+    /// *before* sharding, then radix-partitioned and applied per shard in
+    /// stream order. See prepare_batch for `assume_new_edges`.
+    ApplyResult apply_updates(std::span<const Update> raw,
+                              bool assume_new_edges = false) {
+        const PreparedBatch prepared = prepare_batch(raw, assume_new_edges);
+        partition(std::span<const Update>(prepared.updates), update_arena_,
+                  [](const Update& u) { return u.edge.src; });
+        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
+            for (const Update& u : shard_slice(update_arena_, s)) {
+                if (u.kind == UpdateKind::Insert) {
+                    stores_[s]->insert_edge(u.edge.src, u.edge.dst,
+                                            u.edge.weight);
+                } else {
+                    stores_[s]->delete_edge(u.edge.src, u.edge.dst);
+                }
+            }
+        });
+        return ApplyResult{prepared.updates.size(), prepared.duplicates,
+                           prepared.cancellations};
     }
 
     [[nodiscard]] EdgeCount num_edges() const {
@@ -79,19 +141,100 @@ public:
     }
 
 private:
-    void partition(std::span<const Edge> batch) {
-        parts_.assign(stores_.size(), {});
+    /// Batches below this size partition serially (two passes, one thread);
+    /// the fork/join overhead would dominate otherwise.
+    static constexpr std::size_t kParallelPartitionMin = 4096;
+
+    [[nodiscard]] std::size_t chunk_begin(std::size_t chunk,
+                                          std::size_t chunk_size,
+                                          std::size_t total) const noexcept {
+        const std::size_t begin = chunk * chunk_size;
+        return begin < total ? begin : total;
+    }
+
+    /// Two-pass radix partition of `batch` by source shard into `arena`
+    /// (count -> prefix -> scatter). All scratch keeps its capacity between
+    /// batches, so the steady state is allocation-free.
+    template <typename T, typename SrcOf>
+    void partition(std::span<const T> batch, std::vector<T>& arena,
+                   SrcOf&& src_of) {
         const std::size_t n = stores_.size();
-        for (auto& part : parts_) {
-            part.reserve(batch.size() / n + 1);
+        const std::size_t count = batch.size();
+        arena.resize(count);
+        offsets_.assign(n + 1, 0);
+        if (count == 0) {
+            return;
         }
-        for (const Edge& e : batch) {
-            parts_[shard_of(e.src, n)].push_back(e);
+        if (n == 1) {
+            std::copy(batch.begin(), batch.end(), arena.begin());
+            offsets_[1] = count;
+            return;
+        }
+        const std::size_t workers =
+            count < kParallelPartitionMin
+                ? 1
+                : std::min(pool_.size(),
+                           count / (kParallelPartitionMin / 4) + 1);
+        const std::size_t chunk_size = (count + workers - 1) / workers;
+        cursors_.assign(workers * n, 0);
+
+        // Pass 1: per-worker shard histograms over disjoint chunks.
+        auto count_chunk = [&](std::size_t w) {
+            const std::size_t begin = chunk_begin(w, chunk_size, count);
+            const std::size_t end = chunk_begin(w + 1, chunk_size, count);
+            std::size_t* hist = cursors_.data() + w * n;
+            for (std::size_t i = begin; i < end; ++i) {
+                ++hist[shard_of(src_of(batch[i]), n)];
+            }
+        };
+        if (workers == 1) {
+            count_chunk(0);
+        } else {
+            pool_.parallel_for(workers, count_chunk);
+        }
+
+        // Prefix sums: shard-major so each shard's slice is contiguous and
+        // each (worker, shard) pair owns a disjoint cursor range.
+        std::size_t run = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+            offsets_[s] = run;
+            for (std::size_t w = 0; w < workers; ++w) {
+                const std::size_t c = cursors_[w * n + s];
+                cursors_[w * n + s] = run;
+                run += c;
+            }
+        }
+        offsets_[n] = run;
+
+        // Pass 2: scatter. Writes of different workers never overlap.
+        auto scatter_chunk = [&](std::size_t w) {
+            const std::size_t begin = chunk_begin(w, chunk_size, count);
+            const std::size_t end = chunk_begin(w + 1, chunk_size, count);
+            std::size_t* cursor = cursors_.data() + w * n;
+            T* out = arena.data();
+            for (std::size_t i = begin; i < end; ++i) {
+                out[cursor[shard_of(src_of(batch[i]), n)]++] = batch[i];
+            }
+        };
+        if (workers == 1) {
+            scatter_chunk(0);
+        } else {
+            pool_.parallel_for(workers, scatter_chunk);
         }
     }
 
+    template <typename T>
+    [[nodiscard]] std::span<const T> shard_slice(const std::vector<T>& arena,
+                                                 std::size_t s) const {
+        return std::span<const T>(arena.data() + offsets_[s],
+                                  offsets_[s + 1] - offsets_[s]);
+    }
+
     std::vector<std::unique_ptr<Store>> stores_;
-    std::vector<std::vector<Edge>> parts_;
+    std::vector<Edge> edge_arena_;      // flat partitioned batch, by shard
+    std::vector<Update> update_arena_;  // flat partitioned update stream
+    std::vector<std::size_t> offsets_;  // shard s owns [offsets_[s], [s+1])
+    std::vector<std::size_t> cursors_;  // per-(worker, shard) scratch
     ThreadPool pool_;
 };
 

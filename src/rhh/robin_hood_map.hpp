@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "util/hash.hpp"
+#include "util/simd.hpp"
 
 namespace gt {
 
@@ -74,6 +75,13 @@ public:
 
     [[nodiscard]] bool contains(Key key) const noexcept {
         return find(key) != nullptr;
+    }
+
+    /// Warms the home bucket of `key` ahead of a find/insert — callers that
+    /// know their next lookups (e.g. the batched ingest resolving a sorted
+    /// source list) overlap the bucket miss with useful work.
+    void prefetch(Key key) const noexcept {
+        gt::simd::prefetch(&slots_[home(key)]);
     }
 
     /// Removes a key via backward-shift; returns the removed value if any.
