@@ -3,7 +3,7 @@
 //
 // Protocol (§V.B): edges load in batches; after every batch the analysis
 // runs to fixpoint on the current graph. Graphs are symmetrized at ingest
-// (DESIGN.md §3.5). Throughput is logical edges per engine second, a
+// (DESIGN.md §3.6). Throughput is logical edges per engine second, a
 // mode-independent work measure, so columns are directly comparable.
 //
 // Expected shapes (paper): GT-FP up to ~10x STINGER-FP; hybrid >= both pure

@@ -1,0 +1,307 @@
+// Micro bench for the maintenance & space-reclamation layer: insert an RMAT
+// stream, delete a random half, run maintain(), and measure what the purge /
+// un-branch / CAL-compaction sweep buys back. Emits BENCH_churn.json.
+//
+// Three scenarios:
+//   delete_only  tombstone churn: mean find_edge probe distance is measured
+//                on the churned store, after maintain(), and on a fresh twin
+//                built from only the survivors. The maintained store must
+//                probe within 10% of the twin, and the in-use EBA+CAL
+//                footprint must drop >= 25% from its peak.
+//   compact      delete-and-compact churn: maintenance un-branches sparse
+//                subtrees; footprint and tree-shape stats are reported.
+//   amortized    delete-only with Config::maintenance_budget_cells set, so
+//                every insert_batch/delete_batch runs a bounded slice —
+//                reclamation rides the update stream instead of a stop-the-
+//                world sweep.
+//
+// Every phase transition is followed by a full structural audit; --check
+// exits nonzero on any audit violation or missed threshold.
+//
+// Flags / env:
+//   --out=PATH            JSON output path (default BENCH_churn.json)
+//   --check               exit nonzero when acceptance thresholds fail
+//   GT_CHURN_VERTICES     vertex-id space (default 32768)
+//   GT_CHURN_EDGES        stream length   (default 1000000)
+//   GT_CHURN_DELETE_PCT   percent of the stream deleted (default 50)
+//   GT_CHURN_BUDGET       amortized budget in cells (default 65536)
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "core/audit.hpp"
+#include "core/graphtinker.hpp"
+#include "core/maintenance.hpp"
+#include "gen/rmat.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace gt;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') {
+        return fallback;
+    }
+    const long long parsed = std::atoll(value);
+    return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// Mean edge-cells probed per find_edge over the surviving edge set.
+double mean_probe(const core::GraphTinker& g,
+                  const std::vector<Edge>& survivors) {
+    if (survivors.empty()) {
+        return 0.0;
+    }
+    const std::uint64_t before = g.stats().cells_probed;
+    std::size_t misses = 0;
+    for (const Edge& e : survivors) {
+        if (!g.find_edge(e.src, e.dst)) {
+            ++misses;
+        }
+    }
+    if (misses != 0) {
+        std::cerr << "BUG: " << misses << " survivors unreachable\n";
+        std::exit(1);
+    }
+    return static_cast<double>(g.stats().cells_probed - before) /
+           static_cast<double>(survivors.size());
+}
+
+/// In-use bytes of the two edge-bearing components (what maintenance can
+/// actually give back; SGH/props never shrink).
+std::size_t edge_bytes(const core::GraphTinker& g) {
+    const auto mf = g.memory_footprint();
+    return mf.edgeblock_bytes + mf.cal_bytes;
+}
+
+bool audit_clean(const core::GraphTinker& g, const std::string& where,
+                 bool& ok) {
+    const core::AuditReport report = g.audit();
+    if (!report.ok()) {
+        std::cerr << "AUDIT FAILED (" << where
+                  << "): " << report.to_string() << "\n";
+        ok = false;
+        return false;
+    }
+    return true;
+}
+
+struct ChurnRow {
+    std::string mode;
+    double probe_churned = 0.0;
+    double probe_maintained = 0.0;
+    double probe_fresh = 0.0;
+    double probe_ratio = 0.0;  // maintained / fresh twin
+    std::size_t peak_bytes = 0;
+    std::size_t after_bytes = 0;
+    double footprint_drop = 0.0;  // fraction of peak given back
+    double maintain_secs = 0.0;
+    core::MaintenanceReport report;
+    bool audits_ok = true;
+};
+
+ChurnRow run_churn(core::Config cfg, const std::string& mode,
+                   const std::vector<Edge>& stream,
+                   const std::vector<Edge>& deletions,
+                   std::size_t batch_cells) {
+    ChurnRow row;
+    row.mode = mode;
+    cfg.maintenance_budget_cells = static_cast<std::uint32_t>(batch_cells);
+    core::GraphTinker g(cfg);
+
+    constexpr std::size_t kBatch = 100000;
+    for (std::size_t i = 0; i < stream.size(); i += kBatch) {
+        const std::size_t len = std::min(kBatch, stream.size() - i);
+        g.insert_batch(std::span<const Edge>(stream).subspan(i, len));
+    }
+    row.peak_bytes = edge_bytes(g);
+
+    for (std::size_t i = 0; i < deletions.size(); i += kBatch) {
+        const std::size_t len = std::min(kBatch, deletions.size() - i);
+        g.delete_batch(std::span<const Edge>(deletions).subspan(i, len));
+    }
+    row.peak_bytes = std::max(row.peak_bytes, edge_bytes(g));
+    audit_clean(g, mode + " after deletes", row.audits_ok);
+
+    std::vector<Edge> survivors;
+    survivors.reserve(g.num_edges());
+    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        survivors.push_back(Edge{s, d, w});
+    });
+    row.probe_churned = mean_probe(g, survivors);
+
+    Timer timer;
+    row.report = g.maintain();
+    row.maintain_secs = timer.seconds();
+    audit_clean(g, mode + " after maintain", row.audits_ok);
+
+    row.after_bytes = edge_bytes(g);
+    // Satellite check: in-use footprint must fall monotonically through a
+    // purge — the reclaimed blocks really left the in-use figure.
+    if (row.after_bytes > row.peak_bytes) {
+        std::cerr << "BUG: footprint grew across maintain() (" << mode
+                  << ")\n";
+        row.audits_ok = false;
+    }
+    row.footprint_drop =
+        row.peak_bytes == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(row.after_bytes) /
+                        static_cast<double>(row.peak_bytes);
+    row.probe_maintained = mean_probe(g, survivors);
+
+    // Fresh twin: only the survivors ever inserted.
+    core::GraphTinker fresh(cfg);
+    fresh.insert_batch(survivors);
+    row.probe_fresh = mean_probe(fresh, survivors);
+    row.probe_ratio = row.probe_fresh > 0.0
+                          ? row.probe_maintained / row.probe_fresh
+                          : 0.0;
+    return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string out_path = "BENCH_churn.json";
+    bool check = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (arg == "--check") {
+            check = true;
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            return 2;
+        }
+    }
+
+    const std::size_t vertices = env_size("GT_CHURN_VERTICES", 32768);
+    const std::size_t num_edges = env_size("GT_CHURN_EDGES", 1000000);
+    const std::size_t delete_pct = env_size("GT_CHURN_DELETE_PCT", 50);
+    const std::size_t budget = env_size("GT_CHURN_BUDGET", 65536);
+
+    bench::banner("micro_churn",
+                  "Delete-wave maintenance: tombstone purge, TBH "
+                  "un-branching and CAL compaction vs a fresh-built twin");
+    std::cout << "stream: RMAT " << vertices << " vertices, " << num_edges
+              << " edges, delete " << delete_pct
+              << "% (GT_CHURN_VERTICES / GT_CHURN_EDGES / "
+                 "GT_CHURN_DELETE_PCT)\n\n";
+
+    const auto stream = rmat_edges(static_cast<VertexId>(vertices),
+                                   static_cast<EdgeCount>(num_edges), 42);
+    std::vector<Edge> deletions = stream;
+    std::mt19937 rng(7);
+    std::shuffle(deletions.begin(), deletions.end(), rng);
+    deletions.resize(stream.size() * delete_pct / 100);
+
+    const core::Config base =
+        bench::gt_config(static_cast<VertexId>(vertices),
+                         static_cast<EdgeCount>(num_edges));
+
+    std::vector<ChurnRow> rows;
+    rows.push_back(run_churn(base, "delete_only", stream, deletions, 0));
+    core::Config compact = base;
+    compact.deletion_mode = core::DeletionMode::DeleteAndCompact;
+    rows.push_back(run_churn(compact, "compact", stream, deletions, 0));
+    rows.push_back(run_churn(base, "amortized", stream, deletions, budget));
+
+    Table table({"mode", "probe churned", "probe maintained", "probe fresh",
+                 "ratio", "footprint drop", "maintain s"});
+    for (const ChurnRow& row : rows) {
+        table.add_row({row.mode, Table::fmt(row.probe_churned, 2),
+                       Table::fmt(row.probe_maintained, 2),
+                       Table::fmt(row.probe_fresh, 2),
+                       Table::fmt(row.probe_ratio, 3),
+                       Table::fmt(row.footprint_drop * 100.0, 1) + " %",
+                       Table::fmt(row.maintain_secs, 3)});
+    }
+    table.print(std::cout);
+    for (const ChurnRow& row : rows) {
+        std::cout << row.mode << ": purged " << row.report.trees_purged
+                  << " trees / " << row.report.tombstones_purged
+                  << " tombstones, unbranched " << row.report.trees_unbranched
+                  << ", moved " << row.report.cells_moved
+                  << " cells, reclaimed " << row.report.eba_blocks_reclaimed
+                  << " edgeblocks + " << row.report.cal_blocks_reclaimed
+                  << " CAL blocks (" << row.report.cal_holes_reclaimed
+                  << " holes)\n";
+    }
+
+    std::ofstream json(out_path);
+    json << "{\n"
+         << "  \"bench\": \"micro_churn\",\n"
+         << "  \"vertices\": " << vertices << ",\n"
+         << "  \"edges\": " << num_edges << ",\n"
+         << "  \"delete_pct\": " << delete_pct << ",\n"
+         << "  \"budget_cells\": " << budget << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ChurnRow& r = rows[i];
+        json << "    {\"mode\": \"" << r.mode << "\", "
+             << "\"probe_churned\": " << r.probe_churned << ", "
+             << "\"probe_maintained\": " << r.probe_maintained << ", "
+             << "\"probe_fresh\": " << r.probe_fresh << ", "
+             << "\"probe_ratio\": " << r.probe_ratio << ", "
+             << "\"peak_bytes\": " << r.peak_bytes << ", "
+             << "\"after_bytes\": " << r.after_bytes << ", "
+             << "\"footprint_drop\": " << r.footprint_drop << ", "
+             << "\"maintain_secs\": " << r.maintain_secs << ", "
+             << "\"trees_purged\": " << r.report.trees_purged << ", "
+             << "\"tombstones_purged\": " << r.report.tombstones_purged
+             << ", "
+             << "\"trees_unbranched\": " << r.report.trees_unbranched << ", "
+             << "\"cells_moved\": " << r.report.cells_moved << ", "
+             << "\"eba_blocks_reclaimed\": "
+             << r.report.eba_blocks_reclaimed << ", "
+             << "\"cal_blocks_reclaimed\": "
+             << r.report.cal_blocks_reclaimed << ", "
+             << "\"audits_ok\": " << (r.audits_ok ? "true" : "false") << "}"
+             << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (check) {
+        bool failed = false;
+        for (const ChurnRow& row : rows) {
+            if (!row.audits_ok) {
+                std::cerr << "CHECK FAILED: audit violations in " << row.mode
+                          << "\n";
+                failed = true;
+            }
+        }
+        const ChurnRow& del = rows[0];
+        if (del.probe_ratio > 1.10) {
+            std::cerr << "CHECK FAILED: delete_only maintained probe at "
+                      << Table::fmt(del.probe_ratio, 3)
+                      << "x of the fresh twin (threshold 1.10x)\n";
+            failed = true;
+        }
+        if (del.footprint_drop < 0.25) {
+            std::cerr << "CHECK FAILED: delete_only footprint dropped "
+                      << Table::fmt(del.footprint_drop * 100.0, 1)
+                      << "% of peak (threshold 25%)\n";
+            failed = true;
+        }
+        if (failed) {
+            return 1;
+        }
+        std::cout << "check passed: probe ratio "
+                  << Table::fmt(del.probe_ratio, 3) << "x, footprint drop "
+                  << Table::fmt(del.footprint_drop * 100.0, 1) << "%\n";
+    }
+    return 0;
+}

@@ -148,6 +148,7 @@ private:
                             std::to_string(s));
                 }
             }
+            audit_free_block(b);
         }
 
         for (VertexId dense = 0; dense < g_.top_.size(); ++dense) {
@@ -170,6 +171,38 @@ private:
                 add(AuditCheck::TbhOrphan, kInvalidVertex, kInvalidVertex,
                     "allocated block " + std::to_string(b) +
                         " unreachable from every top parent");
+            }
+        }
+    }
+
+    /// Reclaimed blocks must be scrubbed clean: free_block clears the cells
+    /// and both mask planes, and allocate_block recycles them without
+    /// re-clearing — a dirty free block would leak stale edges (or
+    /// tombstones) straight into the next tree built on top of it.
+    void audit_free_block(std::uint32_t b) {
+        if (eba_.occupied_[b] != 0) {
+            add(AuditCheck::TbhStructure, kInvalidVertex, kInvalidVertex,
+                "free block " + std::to_string(b) + " counts " +
+                    std::to_string(eba_.occupied_[b]) + " occupied cells");
+        }
+        const std::size_t mbase =
+            static_cast<std::size_t>(b) * eba_.words_per_block_;
+        for (std::uint32_t w = 0; w < eba_.words_per_block_; ++w) {
+            if (eba_.masks_[mbase + w] != 0 ||
+                eba_.tomb_masks_[mbase + w] != 0) {
+                add(AuditCheck::TbhStructure, kInvalidVertex, kInvalidVertex,
+                    "free block " + std::to_string(b) +
+                        " has non-empty occupancy/tombstone masks");
+                break;
+            }
+        }
+        for (std::uint32_t slot = 0; slot < eba_.pagewidth_; ++slot) {
+            if (eba_.cell(b, slot).state != CellState::Empty) {
+                add(AuditCheck::TbhStructure, kInvalidVertex, kInvalidVertex,
+                    "free block " + std::to_string(b) +
+                        " holds a non-EMPTY cell at slot " +
+                        std::to_string(slot));
+                break;
             }
         }
     }
@@ -407,6 +440,7 @@ private:
         for (const std::uint32_t b : cal.free_) {
             if (b < cal.blocks_.size()) {
                 free_flag[b] = 1;
+                audit_cal_free_block(b);
             }
         }
         for (std::size_t b = 0; b < cal.blocks_.size(); ++b) {
@@ -426,6 +460,28 @@ private:
                 "CAL live counter says " + std::to_string(cal.live_edges()) +
                     " but " + std::to_string(cal_live_) +
                     " live slots exist");
+        }
+    }
+
+    /// Free-listed CAL blocks must be fully drained: a stale live slot in a
+    /// recycled block would resurface as a phantom edge the next time the
+    /// block is appended to a chain.
+    void audit_cal_free_block(std::uint32_t block) {
+        const CoarseAdjacencyList& cal = g_.cal_;
+        if (cal.blocks_[block].used != 0) {
+            add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                "free CAL block " + std::to_string(block) + " counts " +
+                    std::to_string(cal.blocks_[block].used) + " used slots");
+        }
+        const std::size_t base =
+            static_cast<std::size_t>(block) * cal.block_edges_;
+        for (std::uint32_t i = 0; i < cal.block_edges_; ++i) {
+            if (cal.pool_[base + i].src != kInvalidVertex) {
+                add(AuditCheck::CalChain, kInvalidVertex, kInvalidVertex,
+                    "free CAL block " + std::to_string(block) +
+                        " holds a live slot at offset " + std::to_string(i));
+                break;
+            }
         }
     }
 

@@ -94,7 +94,16 @@ std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
     --tail.used;
     --used_;
     std::optional<Moved> moved;
+    // Self-move guard: when the erased edge IS the group's tail edge
+    // (last_pos == pos), there is nothing to relocate and no Moved may be
+    // emitted — the caller would re-bind an owner's CAL pointer to a slot
+    // this erase just vacated.
     if (last_pos != pos) {
+        // Compact chains hold no holes, so the relocated tail edge is
+        // always live and its owner backreference is current (every prior
+        // cell move re-bound it through rebind()).
+        assert(pool_[last_pos].src != kInvalidVertex &&
+               "compact-mode tail slot must be live");
         pool_[pos] = pool_[last_pos];
         moved = Moved{.owner = pool_[pos].owner, .new_pos = pos};
     }
@@ -103,6 +112,71 @@ std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
         free_tail_block(meta);
     }
     return moved;
+}
+
+std::size_t CoarseAdjacencyList::compact_chains(
+    const std::function<void(CellRef, std::uint32_t)>& rebind) {
+    std::size_t reclaimed = 0;
+    for (GroupMeta& meta : groups_) {
+        if (meta.head == kNone) {
+            continue;
+        }
+        // One pass per chain with a trailing write cursor: live slots slide
+        // toward the head (preserving streaming order), holes are skipped
+        // and every relocated edge's owner is re-bound immediately.
+        std::uint32_t wb = meta.head;
+        std::uint32_t wslot = 0;
+        std::uint64_t live_in_group = 0;
+        for (std::uint32_t rb = meta.head; rb != kNone;
+             rb = blocks_[rb].next) {
+            const std::size_t rbase =
+                static_cast<std::size_t>(rb) * block_edges_;
+            const std::uint32_t used = blocks_[rb].used;
+            for (std::uint32_t i = 0; i < used; ++i) {
+                CalEdgeSlot& slot = pool_[rbase + i];
+                if (slot.src == kInvalidVertex) {
+                    ++reclaimed;  // delete-only hole: drops out of the chain
+                    continue;
+                }
+                ++live_in_group;
+                if (wslot == block_edges_) {
+                    wb = blocks_[wb].next;
+                    wslot = 0;
+                }
+                const auto wpos =
+                    static_cast<std::uint32_t>(wb * block_edges_ + wslot);
+                if (wpos != static_cast<std::uint32_t>(rbase + i)) {
+                    pool_[wpos] = slot;
+                    slot = CalEdgeSlot{};
+                    rebind(pool_[wpos].owner, wpos);
+                }
+                ++wslot;
+            }
+        }
+        if (live_in_group == 0) {
+            // Nothing left: the whole chain returns to the free list.
+            while (meta.tail != kNone) {
+                blocks_[meta.tail].used = 0;
+                free_tail_block(meta);
+            }
+            continue;
+        }
+        // Rewrite the bump counters — full blocks up to the write cursor,
+        // the cursor block partial — and free everything past the cursor.
+        for (std::uint32_t b = meta.head;; b = blocks_[b].next) {
+            if (b == wb) {
+                blocks_[b].used = wslot;
+                break;
+            }
+            blocks_[b].used = block_edges_;
+        }
+        while (meta.tail != wb) {
+            blocks_[meta.tail].used = 0;
+            free_tail_block(meta);
+        }
+    }
+    used_ -= reclaimed;
+    return reclaimed;
 }
 
 void CoarseAdjacencyList::update_weight(std::uint32_t pos, Weight weight) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -85,8 +86,18 @@ public:
     /// Removes the edge at `pos`. With `compact` the group's tail edge is
     /// relocated into the hole (keeping every chain dense) and emptied tail
     /// blocks are returned to the free list; without it the slot is flagged
-    /// invalid and the chain never shrinks (delete-only semantics).
+    /// invalid and the chain does not shrink until the next compact_chains
+    /// sweep (delete-only semantics).
     std::optional<Moved> erase(std::uint32_t pos, bool compact);
+
+    /// Maintenance sweep: rewrites every group chain dense — live slots
+    /// slide toward the chain head in streaming order, delete-only holes
+    /// vanish, and emptied tail blocks return to the free list, shrinking
+    /// memory_bytes(). `rebind(owner, new_pos)` fires for every relocated
+    /// edge so the owning edge-cells' CAL pointers stay bound. Returns the
+    /// number of holes reclaimed.
+    std::size_t compact_chains(
+        const std::function<void(CellRef, std::uint32_t)>& rebind);
 
     void update_weight(std::uint32_t pos, Weight weight);
 
@@ -121,11 +132,14 @@ public:
     }
 
     /// Bytes held by in-use blocks (pool slots plus chain metadata).
+    /// Free-listed blocks are excluded so chain compaction is observable.
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        return blocks_in_use() *
-                   (static_cast<std::size_t>(block_edges_) *
-                        sizeof(CalEdgeSlot) +
-                    sizeof(BlockMeta)) +
+        return blocks_in_use() * bytes_per_block() +
+               groups_.size() * sizeof(GroupMeta);
+    }
+    /// Bytes of pool storage actually allocated (in-use + free-listed).
+    [[nodiscard]] std::size_t memory_capacity_bytes() const noexcept {
+        return blocks_.size() * bytes_per_block() +
                groups_.size() * sizeof(GroupMeta);
     }
 
@@ -160,6 +174,11 @@ private:
     };
 
     static constexpr std::uint32_t kNone = 0xffffffffU;
+
+    [[nodiscard]] std::size_t bytes_per_block() const noexcept {
+        return static_cast<std::size_t>(block_edges_) * sizeof(CalEdgeSlot) +
+               sizeof(BlockMeta);
+    }
 
     /// Append into an already-resolved (and existing) group.
     std::uint32_t insert_in_group(std::uint32_t group, VertexId raw_src,

@@ -50,6 +50,24 @@ struct Config {
     /// the dataset's edge count here for both stores.
     std::uint64_t reserve_edges = 0;
 
+    // ---- maintenance & space reclamation (core/maintenance.hpp) ----------
+
+    /// Delete-only mode: a vertex tree whose tombstone fraction
+    /// (tombstones / (live + tombstones)) reaches this threshold is rebuilt
+    /// by maintain(), purging the tombstones and restoring fresh-build Robin
+    /// Hood probe distances. 0 rebuilds on the first tombstone; 1 disables
+    /// purging.
+    double purge_tombstone_threshold = 0.25;
+    /// CAL hole fraction (holes / scanned slots) at which maintain()
+    /// compacts the group chains, returning emptied blocks to the CAL free
+    /// list. 1 disables chain compaction.
+    double cal_compact_threshold = 0.25;
+    /// Amortized maintenance: after every insert_batch/delete_batch, up to
+    /// this many edge-cells' worth of maintenance work (tree scans, purge
+    /// rebuilds, un-branch merges) runs, resuming round-robin across
+    /// vertices. 0 leaves all maintenance to explicit maintain() calls.
+    std::uint32_t maintenance_budget_cells = 0;
+
     /// Validates divisibility/power-of-two invariants; throws on bad values.
     void validate() const {
         auto pow2 = [](std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; };
@@ -66,6 +84,12 @@ struct Config {
         }
         if (cal_group_size == 0 || cal_block_edges == 0) {
             throw std::invalid_argument("CAL geometry must be non-zero");
+        }
+        if (purge_tombstone_threshold < 0.0 ||
+            purge_tombstone_threshold > 1.0 || cal_compact_threshold < 0.0 ||
+            cal_compact_threshold > 1.0) {
+            throw std::invalid_argument(
+                "maintenance thresholds must lie in [0, 1]");
         }
     }
 
@@ -115,6 +139,9 @@ struct Stats {
     StatCounter branch_outs;        // subblock -> child edgeblock splits
     StatCounter compaction_moves;   // delete-and-compact relocations
     StatCounter blocks_freed;       // edgeblocks returned to the pool
+    StatCounter trees_rebuilt;      // tombstone purges (tree rebuilds)
+    StatCounter tombstones_purged;  // tombstones erased by purges
+    StatCounter unbranch_moves;     // edges pulled up by TBH un-branching
 };
 
 }  // namespace gt::core

@@ -120,26 +120,27 @@ std::uint32_t EdgeblockArray::allocate_block() {
         }
         return block;  // freshly appended storage is already cleared
     }
+    // Free-listed blocks were scrubbed clean by free_block (an invariant
+    // the auditor enforces), so recycling is pop-and-go.
+    assert(occupied_[block] == 0);
+    return block;
+}
+
+void EdgeblockArray::free_block(std::uint32_t block) {
+    assert(occupied_[block] == 0);
+    // Scrub on the way out so free-listed blocks hold no stale cells, masks
+    // or tombstones — allocate_block recycles them without re-clearing, and
+    // the auditor checks reclaimed blocks are genuinely empty.
     const std::size_t base = static_cast<std::size_t>(block) * pagewidth_;
     for (std::uint32_t i = 0; i < pagewidth_; ++i) {
         cells_[base + i] = EdgeCell{};
     }
-    const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
-    for (std::uint32_t s = 0; s < spb_; ++s) {
-        children_[cbase + s] = kNoBlock;
-    }
-    occupied_[block] = 0;
     const std::size_t mbase =
         static_cast<std::size_t>(block) * words_per_block_;
     for (std::uint32_t w = 0; w < words_per_block_; ++w) {
         masks_[mbase + w] = 0;
         tomb_masks_[mbase + w] = 0;
     }
-    return block;
-}
-
-void EdgeblockArray::free_block(std::uint32_t block) {
-    assert(occupied_[block] == 0);
     free_blocks_.push_back(block);
     ++stats_.blocks_freed;
 }
@@ -700,6 +701,155 @@ void EdgeblockArray::prefetch_probe_child(std::uint32_t top,
     simd::prefetch(&masks_[static_cast<std::size_t>(c) * words_per_block_]);
     simd::prefetch(
         &tomb_masks_[static_cast<std::size_t>(c) * words_per_block_]);
+}
+
+EdgeblockArray::TreeLoad EdgeblockArray::tree_load(std::uint32_t top) const {
+    TreeLoad load;
+    if (top == kNoBlock) {
+        return load;
+    }
+    std::vector<std::uint32_t> stack{top};
+    while (!stack.empty()) {
+        const std::uint32_t block = stack.back();
+        stack.pop_back();
+        ++load.blocks;
+        load.live += occupied_[block];
+        const std::size_t mbase =
+            static_cast<std::size_t>(block) * words_per_block_;
+        for (std::uint32_t w = 0; w < words_per_block_; ++w) {
+            load.tombstones += static_cast<std::uint32_t>(
+                std::popcount(tomb_masks_[mbase + w]));
+        }
+        for (std::uint32_t s = 0; s < spb_; ++s) {
+            if (child(block, s) != kNoBlock) {
+                stack.push_back(child(block, s));
+            }
+        }
+    }
+    return load;
+}
+
+std::uint32_t EdgeblockArray::rebuild_tree(std::uint32_t& top) {
+    if (top == kNoBlock) {
+        return 0;
+    }
+    // Collect the live cells, freeing each block as it is drained. The
+    // freed blocks land on the free list before the reinsert below starts
+    // allocating, so a rebuild recycles its own storage instead of growing
+    // the arena.
+    std::vector<EdgeCell> live;
+    std::vector<std::uint32_t> stack{top};
+    std::uint64_t tombstones = 0;
+    while (!stack.empty()) {
+        const std::uint32_t block = stack.back();
+        stack.pop_back();
+        const std::size_t base = static_cast<std::size_t>(block) * pagewidth_;
+        for (std::uint32_t i = 0; i < pagewidth_; ++i) {
+            const EdgeCell& c = cells_[base + i];
+            if (c.state == CellState::Occupied) {
+                live.push_back(c);
+            } else if (c.state == CellState::Tombstone) {
+                ++tombstones;
+            }
+        }
+        for (std::uint32_t s = 0; s < spb_; ++s) {
+            std::uint32_t& down = child(block, s);
+            if (down != kNoBlock) {
+                stack.push_back(down);
+                down = kNoBlock;
+            }
+        }
+        occupied_[block] = 0;
+        free_block(block);
+    }
+    top = kNoBlock;
+    stats_.tombstones_purged += tombstones;
+    ++stats_.trees_rebuilt;
+    // Reinsert through the regular INSERT cascade: placement invariants
+    // (including the delete-only EMPTY-exit soundness) hold by construction
+    // in a tombstone-free tree, and every placement re-binds the cell's CAL
+    // copy exactly as a fresh build would.
+    for (const EdgeCell& c : live) {
+        insert_new(top, c.dst, c.weight, c.cal_pos);
+    }
+    return static_cast<std::uint32_t>(live.size());
+}
+
+std::uint32_t EdgeblockArray::subtree_live(std::uint32_t block) const {
+    std::uint32_t live = occupied_[block];
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        const std::uint32_t down = child(block, s);
+        if (down != kNoBlock) {
+            live += subtree_live(down);
+        }
+    }
+    return live;
+}
+
+std::uint32_t EdgeblockArray::unbranch(std::uint32_t& top) {
+    if (top == kNoBlock || rhh_) {
+        return 0;  // RHH probe-order placement forbids out-of-order pull-ups
+    }
+    return unbranch_block(top, 0);
+}
+
+std::uint32_t EdgeblockArray::unbranch_block(std::uint32_t block,
+                                             std::uint32_t level) {
+    std::uint32_t moved = 0;
+    for (std::uint32_t s = 0; s < spb_; ++s) {
+        std::uint32_t& down = child(block, s);
+        if (down == kNoBlock) {
+            continue;
+        }
+        // Post-order: merge the deepest generations first so this child's
+        // census below reflects its already-shrunk subtree.
+        moved += unbranch_block(down, level + 1);
+        const std::uint32_t live = subtree_live(down);
+        if (live == 0) {
+            free_subtree(down);
+            down = kNoBlock;
+            continue;
+        }
+        const std::uint32_t sb_base = s * subblock_;
+        std::uint32_t free_slots = 0;
+        for (std::uint32_t off = 0; off < subblock_; ++off) {
+            if (cell(block, sb_base + off).state != CellState::Occupied) {
+                ++free_slots;
+            }
+        }
+        if (live > free_slots) {
+            continue;
+        }
+        // Every edge under the child hashes to this window at this level
+        // (the branch-out that created it proves so), so each may legally
+        // take any free slot; recompute the displacement bookkeeping as
+        // refill_hole does.
+        EdgeCell victim{};
+        std::uint32_t off = 0;
+        while (down != kNoBlock && extract_deepest(down, victim)) {
+            while (cell(block, sb_base + off).state == CellState::Occupied) {
+                ++off;
+            }
+            const std::uint32_t slot = sb_base + off;
+            const std::uint32_t home = home_of(victim.dst, level);
+            victim.probe = static_cast<std::uint16_t>(
+                (off + subblock_ - home) & (subblock_ - 1));
+            cell(block, slot) = victim;
+            ++occupied_[block];
+            set_occupancy(block, slot, true);
+            set_tombstone(block, slot, false);
+            if (cal_ != nullptr && victim.cal_pos != kNoCalPos) {
+                cal_->rebind(victim.cal_pos, CellRef{block, slot});
+            }
+            ++moved;
+            ++stats_.unbranch_moves;
+        }
+        if (down != kNoBlock) {
+            free_subtree(down);  // only empties/tombstones remain
+            down = kNoBlock;
+        }
+    }
+    return moved;
 }
 
 std::uint32_t EdgeblockArray::subtree_depth(std::uint32_t top) const {

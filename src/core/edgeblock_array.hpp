@@ -155,6 +155,35 @@ public:
     /// vertex's whole subtree empties.
     EraseResult erase(std::uint32_t& top, VertexId dst);
 
+    // ---- maintenance primitives (policy lives in core/maintenance.hpp) ---
+
+    /// Cell census of the tree under `top` (drives the purge policy).
+    struct TreeLoad {
+        std::uint32_t live = 0;
+        std::uint32_t tombstones = 0;
+        std::uint32_t blocks = 0;
+    };
+    [[nodiscard]] TreeLoad tree_load(std::uint32_t top) const;
+
+    /// Tombstone purge: collects the live cells under `top`, frees the whole
+    /// subtree and reinserts them into a fresh tree. Tombstones vanish, the
+    /// Robin Hood placement returns to fresh-build probe distance, depth
+    /// shrinks, and surplus blocks land on the free list. CAL pointers of
+    /// moved cells are re-bound through the usual insert path. Returns the
+    /// number of live cells reinserted; `top` is rewritten (kNoBlock when
+    /// the tree held no live cells).
+    std::uint32_t rebuild_tree(std::uint32_t& top);
+
+    /// TBH un-branching: bottom-up, merges every child subtree whose live
+    /// cells all fit into the free slots of the parent subblock window that
+    /// branched to it, then frees the child's blocks. Any edge in the
+    /// subtree hashes to that window at the parent's level, so the pull-up
+    /// is placement-legal. Only valid when Robin Hood swapping is off
+    /// (compact-delete or no-RHH mode): moved edges land out of probe order,
+    /// which the full-window FIND tolerates but the RHH early-exit does not.
+    /// Returns the number of edges pulled up; no-op (returns 0) in RHH mode.
+    std::uint32_t unbranch(std::uint32_t& top);
+
     /// FIND mode only.
     [[nodiscard]] std::optional<Weight> find(std::uint32_t top,
                                              VertexId dst) const;
@@ -274,13 +303,15 @@ public:
         return block_count_;
     }
     /// Bytes held by in-use blocks (cells + child pointers + occupancy and
-    /// tombstone masks).
+    /// tombstone masks). Free-listed blocks are excluded — this is the
+    /// footprint reclamation shrinks, not the arena's high-water mark.
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        return blocks_in_use() *
-               (static_cast<std::size_t>(pagewidth_) * sizeof(EdgeCell) +
-                spb_ * sizeof(std::uint32_t) +
-                2 * words_per_block_ * sizeof(std::uint64_t) +
-                sizeof(std::uint32_t));
+        return blocks_in_use() * bytes_per_block();
+    }
+    /// Bytes of arena storage actually allocated (the capacity high-water
+    /// mark): in-use blocks plus free-listed blocks plus growth slack.
+    [[nodiscard]] std::size_t memory_capacity_bytes() const noexcept {
+        return static_cast<std::size_t>(storage_blocks_) * bytes_per_block();
     }
     [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
     /// Opens / closes a thread-local stats-deferral scope: while open, this
@@ -354,9 +385,20 @@ private:
     [[nodiscard]] std::optional<Located> locate(std::uint32_t top,
                                                 VertexId dst) const;
 
+    [[nodiscard]] std::size_t bytes_per_block() const noexcept {
+        return static_cast<std::size_t>(pagewidth_) * sizeof(EdgeCell) +
+               spb_ * sizeof(std::uint32_t) +
+               2 * words_per_block_ * sizeof(std::uint64_t) +
+               sizeof(std::uint32_t);
+    }
+
     std::uint32_t allocate_block();
     void free_block(std::uint32_t block);
     void free_subtree(std::uint32_t block);
+    /// Total live cells under `block`'s subtree.
+    [[nodiscard]] std::uint32_t subtree_live(std::uint32_t block) const;
+    /// Bottom-up un-branch of one block's children at tree level `level`.
+    std::uint32_t unbranch_block(std::uint32_t block, std::uint32_t level);
     [[nodiscard]] bool subtree_is_empty(std::uint32_t block) const;
     /// Removes and returns the deepest edge in `block`'s subtree; false when
     /// the subtree holds no edges. Prunes empty descendants as it unwinds.

@@ -267,6 +267,15 @@ void GraphTinker::prefetch_ahead(std::span<const SourceRun> runs,
 }
 
 void GraphTinker::insert_batch(std::span<const Edge> batch) {
+    // Amortized maintenance rides on every batch boundary when configured.
+    struct MaintainAtExit {
+        GraphTinker& g;
+        ~MaintainAtExit() {
+            if (g.config_.maintenance_budget_cells > 0) {
+                g.maintain_some(g.config_.maintenance_budget_cells);
+            }
+        }
+    } maintain_at_exit{*this};
     if (batch.size() < kBatchFastPathMin ||
         batch.size() > std::numeric_limits<std::uint32_t>::max()) {
         for (const Edge& e : batch) {
@@ -328,6 +337,14 @@ void GraphTinker::insert_batch(std::span<const Edge> batch) {
 }
 
 void GraphTinker::delete_batch(std::span<const Edge> batch) {
+    struct MaintainAtExit {
+        GraphTinker& g;
+        ~MaintainAtExit() {
+            if (g.config_.maintenance_budget_cells > 0) {
+                g.maintain_some(g.config_.maintenance_budget_cells);
+            }
+        }
+    } maintain_at_exit{*this};
     if (batch.size() < kBatchFastPathMin ||
         batch.size() > std::numeric_limits<std::uint32_t>::max()) {
         for (const Edge& e : batch) {
@@ -344,7 +361,16 @@ void GraphTinker::delete_batch(std::span<const Edge> batch) {
         for (std::size_t i = run.begin; i < run.end; ++i) {
             prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
                            /*deep=*/false);
-            delete_resolved(run.dense, ingest_sorted_[i].dst);
+            const Edge& e = ingest_sorted_[i];
+            // Adjacent same-destination deletes: the first one removes the
+            // edge and every later one is a guaranteed no-op (erase of an
+            // absent / already-tombstoned key never touches the counters),
+            // so skip the earlier duplicates' probe walks — the insert
+            // path's adjacent-duplicate skip, mirrored.
+            if (i + 1 < run.end && ingest_sorted_[i + 1].dst == e.dst) {
+                continue;
+            }
+            delete_resolved(run.dense, e.dst);
         }
     }
 }
@@ -370,8 +396,11 @@ GraphTinker::MemoryFootprint GraphTinker::memory_footprint() const {
     MemoryFootprint out;
     out.edgeblock_bytes =
         eba_.memory_bytes() + top_.size() * sizeof(std::uint32_t);
+    out.edgeblock_capacity_bytes =
+        eba_.memory_capacity_bytes() + top_.size() * sizeof(std::uint32_t);
     if (config_.enable_cal) {
         out.cal_bytes = cal_.memory_bytes();
+        out.cal_capacity_bytes = cal_.memory_capacity_bytes();
     }
     if (config_.enable_sgh) {
         out.sgh_bytes = sgh_.memory_bytes();

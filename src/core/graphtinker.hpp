@@ -21,6 +21,7 @@
 #include "core/cal.hpp"
 #include "core/config.hpp"
 #include "core/edgeblock_array.hpp"
+#include "core/maintenance.hpp"
 #include "core/sgh.hpp"
 #include "core/vertex_props.hpp"
 #include "util/types.hpp"
@@ -57,8 +58,22 @@ public:
     /// equivalent to per-edge application (same edges, weights, degrees and
     /// audit invariants); only internal block/CAL layout may differ.
     void insert_batch(std::span<const Edge> batch);
-    /// Batched delete with the same source-grouped fast path.
+    /// Batched delete with the same source-grouped fast path. Duplicate
+    /// (src, dst) pairs within a batch delete the edge once: later
+    /// occurrences are no-ops, exactly as per-edge application behaves.
     void delete_batch(std::span<const Edge> batch);
+
+    // ---- maintenance (core/maintenance.hpp) ------------------------------
+
+    /// Full maintenance sweep: purges tombstone-laden trees, un-branches
+    /// sparse subtrees, compacts the CAL chains. Edges, weights and degrees
+    /// are untouched; probe distance and memory_footprint() shrink back
+    /// toward fresh-build levels.
+    MaintenanceReport maintain();
+    /// Bounded maintenance slice (~`budget_cells` edge-cells of work),
+    /// resuming round-robin across vertices. insert_batch/delete_batch call
+    /// this automatically when Config::maintenance_budget_cells > 0.
+    MaintenanceReport maintain_some(std::uint32_t budget_cells);
 
     // ---- queries ---------------------------------------------------------
 
@@ -145,6 +160,11 @@ public:
         std::size_t cal_bytes = 0;        // CAL pool + chain metadata
         std::size_t sgh_bytes = 0;        // id-mapping tables
         std::size_t props_bytes = 0;      // vertex property array
+        /// Arena capacity high-water marks (in-use + free-listed + growth
+        /// slack). The in-use figures above shrink as maintenance reclaims
+        /// blocks; these do not — storage is recycled, never unmapped.
+        std::size_t edgeblock_capacity_bytes = 0;
+        std::size_t cal_capacity_bytes = 0;
         [[nodiscard]] std::size_t total() const noexcept {
             return edgeblock_bytes + cal_bytes + sgh_bytes + props_bytes;
         }
@@ -240,6 +260,8 @@ private:
     std::vector<std::uint32_t> top_;  // dense id -> top-parent block handle
     EdgeCount num_edges_ = 0;
     VertexId raw_bound_ = 0;
+    /// Resume point of the amortized maintenance slices (dense id).
+    VertexId maintain_cursor_ = 0;
 
     // Batched-ingest scratch (capacity reused across batches; holds keys and
     // radix histograms, never edge copies).
@@ -251,9 +273,11 @@ private:
 
     // The structural auditor reads the private cross-component state, and
     // its test-only corruption hook mutates it to prove audit() detects
-    // every violation class.
+    // every violation class. The maintainer drives the reclamation
+    // primitives over the same state.
     friend class Auditor;
     friend class CorruptionInjector;
+    friend class Maintainer;
 };
 
 }  // namespace gt::core

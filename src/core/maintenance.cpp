@@ -1,0 +1,127 @@
+#include "core/maintenance.hpp"
+
+#include "core/graphtinker.hpp"
+
+namespace gt::core {
+
+/// Stateful single-run maintenance walk. Nested in Maintainer so it shares
+/// the friend access GraphTinker grants.
+class Maintainer::Run {
+public:
+    Run(GraphTinker& g, std::uint64_t budget, bool bounded)
+        : g_(g), budget_(budget), bounded_(bounded) {}
+
+    MaintenanceReport run() {
+        // Purge rebuilds go through the regular INSERT cascade; defer their
+        // probe-counter flushes to one batch like the ingest paths do.
+        const EdgeblockArray::StatsBatchScope stats_scope{g_.eba_};
+        sweep_trees();
+        compact_cal();
+        return report_;
+    }
+
+private:
+    void sweep_trees() {
+        const std::size_t n = g_.top_.size();
+        if (n == 0) {
+            report_.complete = true;
+            return;
+        }
+        const std::size_t start = bounded_ ? g_.maintain_cursor_ % n : 0;
+        std::size_t step = 0;
+        for (; step < n; ++step) {
+            if (bounded_ && cost_ >= budget_) {
+                break;
+            }
+            maintain_tree(static_cast<VertexId>((start + step) % n));
+        }
+        report_.complete = step == n;
+        if (bounded_) {
+            g_.maintain_cursor_ =
+                static_cast<VertexId>((start + step) % n);
+        }
+    }
+
+    void maintain_tree(VertexId dense) {
+        std::uint32_t& top = g_.top_[dense];
+        if (top == EdgeblockArray::kNoBlock) {
+            ++cost_;
+            return;
+        }
+        ++report_.trees_examined;
+        const EdgeblockArray::TreeLoad load = g_.eba_.tree_load(top);
+        cost_ += static_cast<std::uint64_t>(load.live) + load.tombstones +
+                 load.blocks;
+        const Config& cfg = g_.config_;
+        const std::size_t blocks_before = g_.eba_.blocks_in_use();
+        if (cfg.deletion_mode == DeletionMode::DeleteOnly &&
+            load.tombstones > 0 &&
+            static_cast<double>(load.tombstones) >
+                cfg.purge_tombstone_threshold *
+                    static_cast<double>(load.live + load.tombstones)) {
+            const std::uint32_t moved = g_.eba_.rebuild_tree(top);
+            cost_ += 2ULL * moved;  // collect + reinsert
+            ++report_.trees_purged;
+            report_.cells_moved += moved;
+            report_.tombstones_purged += load.tombstones;
+        } else if (!cfg.rhh_active() && load.blocks > 1) {
+            const std::uint32_t moved = g_.eba_.unbranch(top);
+            cost_ += 2ULL * moved;
+            if (moved > 0 || g_.eba_.blocks_in_use() < blocks_before) {
+                ++report_.trees_unbranched;
+                report_.cells_moved += moved;
+            }
+        }
+        const std::size_t blocks_after = g_.eba_.blocks_in_use();
+        if (blocks_after < blocks_before) {
+            report_.eba_blocks_reclaimed += blocks_before - blocks_after;
+        }
+    }
+
+    void compact_cal() {
+        if (!g_.config_.enable_cal) {
+            return;
+        }
+        const EdgeCount scanned = g_.cal_.scanned_slots();
+        const EdgeCount holes = scanned - g_.cal_.live_edges();
+        if (holes == 0 ||
+            static_cast<double>(holes) <=
+                g_.config_.cal_compact_threshold *
+                    static_cast<double>(scanned)) {
+            return;
+        }
+        const std::size_t blocks_before = g_.cal_.blocks_in_use();
+        report_.cal_holes_reclaimed += g_.cal_.compact_chains(
+            [this](CellRef owner, std::uint32_t pos) {
+                g_.eba_.set_cal_pos(owner, pos);
+            });
+        const std::size_t blocks_after = g_.cal_.blocks_in_use();
+        if (blocks_after < blocks_before) {
+            report_.cal_blocks_reclaimed += blocks_before - blocks_after;
+        }
+        cost_ += scanned;
+    }
+
+    GraphTinker& g_;
+    MaintenanceReport report_;
+    std::uint64_t budget_ = 0;
+    std::uint64_t cost_ = 0;
+    bool bounded_ = false;
+};
+
+MaintenanceReport Maintainer::run(GraphTinker& graph) {
+    return Run(graph, 0, /*bounded=*/false).run();
+}
+
+MaintenanceReport Maintainer::run_budget(GraphTinker& graph,
+                                         std::uint32_t budget_cells) {
+    return Run(graph, budget_cells, /*bounded=*/true).run();
+}
+
+MaintenanceReport GraphTinker::maintain() { return Maintainer::run(*this); }
+
+MaintenanceReport GraphTinker::maintain_some(std::uint32_t budget_cells) {
+    return Maintainer::run_budget(*this, budget_cells);
+}
+
+}  // namespace gt::core

@@ -1,0 +1,90 @@
+// Maintenance & space reclamation for GraphTinker (DESIGN.md §3.5).
+//
+// Deletion leaves debris behind: delete-only mode accumulates tombstones
+// (probe work stays proportional to the peak graph), delete-and-compact can
+// strand sparse child edgeblocks under their parents, and the CAL chains
+// keep scanning holes forever. The maintainer walks the store and undoes
+// all three:
+//
+//   tombstone purge   delete-only trees whose tombstone fraction crosses
+//                     Config::purge_tombstone_threshold are rebuilt in
+//                     place (EdgeblockArray::rebuild_tree), restoring
+//                     fresh-build Robin Hood probe distance and returning
+//                     surplus blocks to the arena free list
+//   TBH un-branching  when Robin Hood swapping is off, child subtrees whose
+//                     edges fit the parent window that branched to them are
+//                     merged back up (EdgeblockArray::unbranch), shrinking
+//                     tree depth after delete waves
+//   CAL compaction    once the hole fraction crosses
+//                     Config::cal_compact_threshold, every group chain is
+//                     rewritten dense (CoarseAdjacencyList::compact_chains)
+//                     and emptied blocks return to the CAL free list; moved
+//                     edges' owners are re-bound through set_cal_pos
+//
+// Two entry points: GraphTinker::maintain() sweeps everything, and
+// GraphTinker::maintain_some(budget) runs a bounded slice that resumes
+// round-robin across vertices — insert_batch/delete_batch call the latter
+// automatically when Config::maintenance_budget_cells is non-zero, so
+// reclamation cost is amortized over the update stream.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gt::core {
+
+class GraphTinker;
+
+/// What one maintenance run accomplished.
+struct MaintenanceReport {
+    std::size_t trees_examined = 0;       // vertex trees censused
+    std::size_t trees_purged = 0;         // tombstone-purge rebuilds
+    std::size_t trees_unbranched = 0;     // trees shrunk by un-branching
+    std::size_t cells_moved = 0;          // edges relocated by purge/merge
+    std::size_t tombstones_purged = 0;    // tombstones erased
+    std::size_t eba_blocks_reclaimed = 0; // edgeblocks freed (net)
+    std::size_t cal_holes_reclaimed = 0;  // CAL slots compacted away
+    std::size_t cal_blocks_reclaimed = 0; // CAL blocks freed (net)
+    /// False when a budgeted run stopped before visiting every vertex.
+    bool complete = false;
+
+    /// True when the run changed nothing (no purge, merge or compaction).
+    [[nodiscard]] bool idle() const noexcept {
+        return trees_purged == 0 && trees_unbranched == 0 &&
+               cells_moved == 0 && tombstones_purged == 0 &&
+               eba_blocks_reclaimed == 0 && cal_holes_reclaimed == 0 &&
+               cal_blocks_reclaimed == 0;
+    }
+
+    MaintenanceReport& operator+=(const MaintenanceReport& o) noexcept {
+        trees_examined += o.trees_examined;
+        trees_purged += o.trees_purged;
+        trees_unbranched += o.trees_unbranched;
+        cells_moved += o.cells_moved;
+        tombstones_purged += o.tombstones_purged;
+        eba_blocks_reclaimed += o.eba_blocks_reclaimed;
+        cal_holes_reclaimed += o.cal_holes_reclaimed;
+        cal_blocks_reclaimed += o.cal_blocks_reclaimed;
+        complete = complete && o.complete;
+        return *this;
+    }
+};
+
+/// Executes maintenance sweeps over a GraphTinker instance. Mutates the
+/// store — same single-writer contract as inserts and deletes.
+class Maintainer {
+public:
+    /// Full sweep: every vertex tree plus the CAL chains.
+    static MaintenanceReport run(GraphTinker& graph);
+    /// Bounded slice: stops once ~`budget_cells` edge-cells of work (census
+    /// + relocation) have been spent, resuming where the last slice left
+    /// off. The CAL compaction, when triggered, always runs whole — the
+    /// sweep resets the hole fraction to zero, so it is self-amortizing.
+    static MaintenanceReport run_budget(GraphTinker& graph,
+                                        std::uint32_t budget_cells);
+
+private:
+    class Run;  // stateful single-run walk (maintenance.cpp)
+};
+
+}  // namespace gt::core

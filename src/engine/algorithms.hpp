@@ -106,7 +106,7 @@ struct Sssp {
 /// Connected components via min-label propagation: property = component
 /// label (smallest vertex id in the component). Graphs must be symmetrized
 /// at ingest for this to compute *weakly* connected components — the
-/// analytics benches do so (DESIGN.md §3.5).
+/// analytics benches do so (DESIGN.md §3.6).
 struct Cc {
     using Property = std::uint32_t;
     static constexpr const char* name = "CC";

@@ -60,7 +60,7 @@ private:
 
 /// Duplicates every edge in the reverse direction (same weight). Analytics
 /// benches symmetrize at ingest so min-label CC computes weakly connected
-/// components and BFS/SSSP follow undirected reachability (DESIGN.md §3.5).
+/// components and BFS/SSSP follow undirected reachability (DESIGN.md §3.6).
 [[nodiscard]] std::vector<Edge> symmetrize(std::span<const Edge> edges);
 
 }  // namespace gt::engine

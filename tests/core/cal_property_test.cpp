@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/scoped_audit.hpp"
 #include "core/bidirectional.hpp"
 #include "core/cal.hpp"
 #include "core/graphtinker.hpp"
@@ -99,6 +100,86 @@ INSTANTIATE_TEST_SUITE_P(Modes, CalFuzzTest, ::testing::Bool(),
                          [](const auto& info) {
                              return info.param ? "compact" : "delete_only";
                          });
+
+TEST(CalEraseEdgeCases, TailSelfEraseEmitsNoMove) {
+    // Erasing the group's tail edge with compact=true is a self-move: the
+    // victim IS the slot the tail would relocate into. No Moved may be
+    // emitted — a caller re-binding through it would point an owner cell at
+    // the slot this erase just vacated.
+    CoarseAdjacencyList cal(/*group_size=*/8, /*block_edges=*/4);
+    std::vector<std::uint32_t> pos;
+    for (VertexId i = 0; i < 3; ++i) {
+        pos.push_back(cal.insert(0, 7, 100 + i, i + 1, CellRef{0, 0}));
+    }
+    // Tail first: nothing to relocate.
+    EXPECT_FALSE(cal.erase(pos[2], /*compact=*/true).has_value());
+    EXPECT_EQ(cal.live_edges(), 2u);
+    EXPECT_EQ(cal.scanned_slots(), 2u);
+
+    // Middle next: the new tail (pos[1]) slides into the hole and the Moved
+    // notification points at the vacated position.
+    const auto moved = cal.erase(pos[0], /*compact=*/true);
+    ASSERT_TRUE(moved.has_value());
+    EXPECT_EQ(moved->new_pos, pos[0]);
+    EXPECT_EQ(cal.slot_at(pos[0]).dst, 101u);
+    EXPECT_EQ(cal.live_edges(), 1u);
+
+    // Down to one edge; erasing it is again a pure self-move.
+    EXPECT_FALSE(cal.erase(pos[0], /*compact=*/true).has_value());
+    EXPECT_EQ(cal.live_edges(), 0u);
+    EXPECT_EQ(cal.scanned_slots(), 0u);
+}
+
+TEST(CalEraseEdgeCases, DrainedTailBlocksReturnToFreeList) {
+    CoarseAdjacencyList cal(/*group_size=*/8, /*block_edges=*/4);
+    std::vector<std::uint32_t> pos;
+    for (VertexId i = 0; i < 9; ++i) {  // 3 blocks of 4
+        pos.push_back(cal.insert(0, 7, i, i + 1, CellRef{0, 0}));
+    }
+    const std::size_t peak_blocks = cal.blocks_in_use();
+    ASSERT_EQ(peak_blocks, 3u);
+    const std::size_t peak_bytes = cal.memory_bytes();
+
+    // Compact-erase from the tail end: every fourth erase drains a block.
+    for (std::size_t i = pos.size(); i-- > 4;) {
+        EXPECT_FALSE(cal.erase(pos[i], /*compact=*/true).has_value());
+    }
+    EXPECT_EQ(cal.blocks_in_use(), 1u);
+    EXPECT_LT(cal.memory_bytes(), peak_bytes);
+    EXPECT_EQ(cal.memory_capacity_bytes() >= peak_bytes, true);
+
+    // Refill: the free-listed blocks are recycled, capacity does not grow.
+    const std::size_t capacity = cal.memory_capacity_bytes();
+    for (VertexId i = 0; i < 5; ++i) {
+        cal.insert(0, 7, 50 + i, i + 1, CellRef{0, 0});
+    }
+    EXPECT_EQ(cal.blocks_in_use(), peak_blocks);
+    EXPECT_EQ(cal.memory_capacity_bytes(), capacity);
+}
+
+TEST(CalEraseEdgeCases, GraphLevelTailDeleteKeepsOwnersCoherent) {
+    // Through the full stack: in compact mode, deleting the most recently
+    // inserted edge of a source hits the CAL tail self-move path; the audit
+    // verifies every surviving owner <-> slot pointer pair afterwards.
+    Config cfg;
+    cfg.deletion_mode = DeletionMode::DeleteAndCompact;
+    GraphTinker g(cfg);
+    const test::ScopedAudit audit(g, "tail_delete");
+    for (VertexId dst = 0; dst < 20; ++dst) {
+        g.insert_edge(4, dst, dst + 1);
+    }
+    // Delete newest-first: every delete is the group-tail self-move case.
+    for (VertexId dst = 20; dst-- > 10;) {
+        ASSERT_TRUE(g.delete_edge(4, dst));
+        audit.check();
+    }
+    // And oldest-first: every delete relocates the tail and re-binds.
+    for (VertexId dst = 0; dst < 10; ++dst) {
+        ASSERT_TRUE(g.delete_edge(4, dst));
+        audit.check();
+    }
+    EXPECT_EQ(g.num_edges(), 0u);
+}
 
 TEST(SghStress, MillionsOfLookupsStayConsistent) {
     ScatterGatherHash sgh;

@@ -110,6 +110,55 @@ TEST(IngestDifferential, DuplicatePairsKeepLastWeight) {
     EXPECT_EQ(batch.find_edge(0, 5), serial.find_edge(0, 5));
 }
 
+TEST(IngestDifferential, DuplicateDeletesDecrementOnce) {
+    // A delete batch naming the same (src, dst) pair several times must
+    // remove the edge exactly once: the sorted apply loop skips adjacent
+    // duplicates, and the tombstone left by the first erase makes any
+    // re-probe miss. num_edges must never double-decrement.
+    for (const NamedConfig& nc : all_configs()) {
+        GraphTinker batch(nc.config);
+        GraphTinker serial(nc.config);
+        const auto edges = rmat_edges(400, 6000, 21);
+        batch.insert_batch(edges);
+        for (const Edge& e : edges) {
+            serial.insert_edge(e.src, e.dst, e.weight);
+        }
+
+        // Every surviving edge deleted twice back-to-back plus once more at
+        // the end of the stream (non-adjacent repeat after sorting ties are
+        // broken by stable order).
+        std::vector<Edge> deletes;
+        EdgeMap live = edge_map(batch);
+        std::size_t picked = 0;
+        for (const auto& [key, weight] : live) {
+            if (picked++ % 2 != 0) {
+                continue;
+            }
+            deletes.push_back(Edge{key.first, key.second, weight});
+            deletes.push_back(Edge{key.first, key.second, weight});
+        }
+        const std::size_t first_wave = deletes.size();
+        deletes.insert(deletes.end(), deletes.begin(),
+                       deletes.begin() + static_cast<std::ptrdiff_t>(
+                                             first_wave / 2));
+        batch.delete_batch(deletes);
+        for (const Edge& e : deletes) {
+            serial.delete_edge(e.src, e.dst);
+        }
+        expect_equivalent(batch, serial, nc.name + " dup_deletes");
+
+        // Deleting the same set again in a fresh batch (all already gone)
+        // must be a no-op for the counters.
+        const EdgeCount before = batch.num_edges();
+        batch.delete_batch(deletes);
+        for (const Edge& e : deletes) {
+            serial.delete_edge(e.src, e.dst);
+        }
+        EXPECT_EQ(batch.num_edges(), before) << nc.name;
+        expect_equivalent(batch, serial, nc.name + " redelete");
+    }
+}
+
 TEST(IngestDifferential, MixedInsertDeleteStream) {
     // Interleaved insert/delete batches, including deletes of absent edges
     // and of never-streamed sources, across every config.

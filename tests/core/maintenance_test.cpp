@@ -1,0 +1,326 @@
+// Maintenance & space-reclamation layer (core/maintenance.hpp): tombstone
+// purges, TBH un-branching and CAL chain compaction must reclaim space and
+// probe distance without disturbing a single observable edge, across every
+// feature configuration and under the full structural audit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/scoped_audit.hpp"
+#include "core/audit.hpp"
+#include "core/graphtinker.hpp"
+#include "gen/rmat.hpp"
+
+namespace gt::core {
+namespace {
+
+using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
+
+EdgeMap edge_map(const GraphTinker& g) {
+    EdgeMap out;
+    g.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+        out[{u, v}] = w;
+    });
+    return out;
+}
+
+/// Deletes every other streamed edge via delete_batch and returns how many
+/// live edges remain.
+EdgeCount delete_half(GraphTinker& g, const std::vector<Edge>& edges) {
+    std::vector<Edge> deletes;
+    for (std::size_t i = 0; i < edges.size(); i += 2) {
+        deletes.push_back(edges[i]);
+    }
+    g.delete_batch(deletes);
+    return g.num_edges();
+}
+
+/// Mean edge-cells probed per find_edge over every surviving edge.
+double mean_find_probe(const GraphTinker& g, const EdgeMap& live) {
+    const std::uint64_t before = g.stats().cells_probed;
+    for (const auto& [key, weight] : live) {
+        EXPECT_EQ(g.find_edge(key.first, key.second), weight);
+    }
+    const std::uint64_t after = g.stats().cells_probed;
+    return live.empty() ? 0.0
+                        : static_cast<double>(after - before) /
+                              static_cast<double>(live.size());
+}
+
+struct NamedConfig {
+    std::string name;
+    Config config;
+};
+
+std::vector<NamedConfig> all_configs() {
+    std::vector<NamedConfig> out;
+    out.push_back({"default", Config{}});
+    Config no_cal;
+    no_cal.enable_cal = false;
+    out.push_back({"no_cal", no_cal});
+    Config compact;
+    compact.deletion_mode = DeletionMode::DeleteAndCompact;
+    out.push_back({"compact_delete", compact});
+    Config no_rhh;
+    no_rhh.enable_rhh = false;
+    out.push_back({"no_rhh", no_rhh});
+    return out;
+}
+
+TEST(Maintenance, PurgeRestoresProbeDistanceAndFreesBlocks) {
+    // Delete-only mode: a heavy delete wave leaves tombstones that keep
+    // probe chains at peak-graph length. The purge must erase them, shorten
+    // lookups and hand surplus blocks back to the arena.
+    GraphTinker g;  // default = DeleteOnly + RHH
+    const test::ScopedAudit audit(g, "purge");
+    const auto edges = rmat_edges(800, 40000, 5);
+    g.insert_batch(edges);
+    delete_half(g, edges);
+    audit.check();
+
+    const EdgeMap before_map = edge_map(g);
+    const double probe_before = mean_find_probe(g, before_map);
+    const std::size_t bytes_before = g.memory_footprint().edgeblock_bytes;
+
+    const MaintenanceReport report = g.maintain();
+    EXPECT_TRUE(report.complete);
+    EXPECT_GT(report.trees_purged, 0u);
+    EXPECT_GT(report.tombstones_purged, 0u);
+    EXPECT_EQ(g.stats().trees_rebuilt, report.trees_purged);
+    EXPECT_EQ(g.stats().tombstones_purged, report.tombstones_purged);
+
+    // Not one observable edge moved.
+    EXPECT_EQ(edge_map(g), before_map);
+
+    // Probe distance and in-use footprint both shrink.
+    const double probe_after = mean_find_probe(g, before_map);
+    EXPECT_LE(probe_after, probe_before);
+    EXPECT_LT(g.memory_footprint().edgeblock_bytes, bytes_before);
+    EXPECT_GT(report.eba_blocks_reclaimed, 0u);
+}
+
+TEST(Maintenance, MaintainPreservesEquivalenceAcrossConfigs) {
+    std::mt19937 rng(7);
+    for (const NamedConfig& nc : all_configs()) {
+        GraphTinker g(nc.config);
+        const test::ScopedAudit audit(g, nc.name);
+        const auto edges = rmat_edges(600, 20000, 31);
+        g.insert_batch(edges);
+
+        // Random 60% delete wave, batch + per-edge mixed.
+        std::vector<Edge> shuffled = edges;
+        std::shuffle(shuffled.begin(), shuffled.end(), rng);
+        const std::size_t cut = shuffled.size() * 3 / 5;
+        g.delete_batch(std::span<const Edge>(shuffled).subspan(0, cut / 2));
+        for (std::size_t i = cut / 2; i < cut; ++i) {
+            g.delete_edge(shuffled[i].src, shuffled[i].dst);
+        }
+        audit.check();
+
+        const EdgeMap before_map = edge_map(g);
+        const EdgeCount before_edges = g.num_edges();
+        const MaintenanceReport report = g.maintain();
+        EXPECT_TRUE(report.complete) << nc.name;
+        audit.check();
+        EXPECT_EQ(g.num_edges(), before_edges) << nc.name;
+        EXPECT_EQ(edge_map(g), before_map) << nc.name;
+        for (const auto& [key, weight] : before_map) {
+            ASSERT_EQ(g.find_edge(key.first, key.second), weight)
+                << nc.name << " (" << key.first << "," << key.second << ")";
+        }
+
+        // A second sweep right away finds nothing left to do.
+        const MaintenanceReport again = g.maintain();
+        EXPECT_TRUE(again.complete) << nc.name;
+        EXPECT_TRUE(again.idle()) << nc.name;
+    }
+}
+
+TEST(Maintenance, UnbranchShrinksTreeDepth) {
+    // no-RHH delete-only mode: deletes tombstone window slots while the
+    // children stay populated, so after a heavy wave the sparse child
+    // subtrees fit back into their parents' windows. (In compact-delete
+    // mode refill_hole already pulls children up on every erase, keeping
+    // branched windows full — un-branching targets exactly this config.)
+    // Purge is disabled so the merge path, not the rebuild path, does the
+    // reclamation.
+    Config cfg;
+    cfg.enable_rhh = false;
+    cfg.purge_tombstone_threshold = 1.0;
+    GraphTinker g(cfg);
+    const test::ScopedAudit audit(g, "unbranch");
+    constexpr VertexId kHub = 3;
+    constexpr VertexId kFan = 2000;
+    for (VertexId dst = 0; dst < kFan; ++dst) {
+        g.insert_edge(kHub, dst, dst + 1);
+    }
+    const std::uint32_t depth_peak = g.tree_depth(kHub);
+    ASSERT_GT(depth_peak, 1u);
+
+    for (VertexId dst = 0; dst < kFan; ++dst) {
+        if (dst % 16 != 0) {
+            g.delete_edge(kHub, dst);
+        }
+    }
+    audit.check();
+
+    const EdgeMap before_map = edge_map(g);
+    const std::size_t blocks_before = g.edgeblock_array().blocks_in_use();
+    const MaintenanceReport report = g.maintain();
+    EXPECT_GT(report.trees_unbranched, 0u);
+    EXPECT_GT(report.eba_blocks_reclaimed, 0u);
+    EXPECT_LT(g.tree_depth(kHub), depth_peak);
+    EXPECT_LT(g.edgeblock_array().blocks_in_use(), blocks_before);
+    EXPECT_EQ(edge_map(g), before_map);
+    EXPECT_EQ(g.stats().unbranch_moves, report.cells_moved);
+}
+
+TEST(Maintenance, CalCompactionReclaimsHolesAndBlocks) {
+    // Delete-only holes keep being scanned until compact_chains rewrites the
+    // chains dense; afterwards the scanned and live slot counts coincide and
+    // emptied blocks sit on the CAL free list.
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "cal_compact");
+    const auto edges = rmat_edges(500, 30000, 13);
+    g.insert_batch(edges);
+    delete_half(g, edges);
+    ASSERT_GT(g.cal().scanned_slots(), g.cal().live_edges());
+
+    const EdgeMap before_map = edge_map(g);
+    const std::size_t cal_blocks_before = g.cal().blocks_in_use();
+    const MaintenanceReport report = g.maintain();
+    EXPECT_GT(report.cal_holes_reclaimed, 0u);
+    EXPECT_EQ(g.cal().scanned_slots(), g.cal().live_edges());
+    EXPECT_LT(g.cal().blocks_in_use(), cal_blocks_before);
+    // for_each_edge streams from the CAL: the rebind kept every owner
+    // pointer coherent, so the edge set is bit-identical.
+    EXPECT_EQ(edge_map(g), before_map);
+}
+
+TEST(Maintenance, BudgetedSlicesConvergeToFullSweep) {
+    // maintain_some must make monotone progress: repeated small slices end
+    // in the same state as one full sweep on a twin store.
+    Config cfg;  // explicit maintain_some calls only; no auto budget
+    GraphTinker sliced(cfg);
+    GraphTinker full(cfg);
+    const test::ScopedAudit audit(sliced, "budgeted");
+    const auto edges = rmat_edges(400, 15000, 17);
+    sliced.insert_batch(edges);
+    full.insert_batch(edges);
+    delete_half(sliced, edges);
+    delete_half(full, edges);
+
+    full.maintain();
+    // 400 slices x 512 cells is far more than the total census + relocation
+    // work, so the round-robin cursor wraps the vertex set several times and
+    // every purge/compaction lands; idle slices still advance the cursor.
+    for (int slice = 0; slice < 400; ++slice) {
+        const MaintenanceReport r = sliced.maintain_some(512);
+        if (slice % 50 == 0) {
+            audit.check();
+        }
+        if (r.complete && r.idle()) {
+            break;
+        }
+    }
+    EXPECT_EQ(edge_map(sliced), edge_map(full));
+    EXPECT_EQ(sliced.edgeblock_array().blocks_in_use(),
+              full.edgeblock_array().blocks_in_use());
+    EXPECT_EQ(sliced.cal().scanned_slots(), full.cal().scanned_slots());
+}
+
+TEST(Maintenance, AmortizedBudgetInsideBatchesKeepsTwinEquivalence) {
+    // With maintenance_budget_cells set, every insert_batch/delete_batch
+    // runs a bounded slice on the way out. The store must stay equivalent
+    // to a maintenance-free twin at every step.
+    Config amortized;
+    amortized.maintenance_budget_cells = 2048;
+    GraphTinker g(amortized);
+    GraphTinker twin;  // no amortized maintenance
+    const test::ScopedAudit audit(g, "amortized");
+    std::mt19937 rng(23);
+    std::vector<Edge> live;
+    for (int round = 0; round < 6; ++round) {
+        const auto inserts = rmat_edges(300, 5000, 400 + round);
+        g.insert_batch(inserts);
+        twin.insert_batch(inserts);
+        live.insert(live.end(), inserts.begin(), inserts.end());
+        std::vector<Edge> deletes;
+        for (int i = 0; i < 2000 && !live.empty(); ++i) {
+            const std::size_t pick = rng() % live.size();
+            deletes.push_back(live[pick]);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+        g.delete_batch(deletes);
+        twin.delete_batch(deletes);
+        audit.check();
+        ASSERT_EQ(g.num_edges(), twin.num_edges()) << "round " << round;
+        ASSERT_EQ(edge_map(g), edge_map(twin)) << "round " << round;
+    }
+    // The amortized store did real reclamation along the way.
+    EXPECT_GT(g.stats().trees_rebuilt + g.stats().blocks_freed, 0u);
+}
+
+TEST(Maintenance, NoopOnEmptyAndFreshStores) {
+    for (const NamedConfig& nc : all_configs()) {
+        GraphTinker empty(nc.config);
+        const MaintenanceReport r0 = empty.maintain();
+        EXPECT_TRUE(r0.complete) << nc.name;
+        EXPECT_TRUE(r0.idle()) << nc.name;
+        EXPECT_TRUE(empty.maintain_some(64).idle()) << nc.name;
+    }
+
+    // A freshly built delete-free store has nothing to purge or compact.
+    GraphTinker fresh;
+    const test::ScopedAudit audit(fresh, "fresh");
+    fresh.insert_batch(rmat_edges(300, 8000, 3));
+    const EdgeMap before = edge_map(fresh);
+    const MaintenanceReport r = fresh.maintain();
+    EXPECT_TRUE(r.complete);
+    EXPECT_TRUE(r.idle());
+    EXPECT_EQ(edge_map(fresh), before);
+}
+
+TEST(Maintenance, FootprintSeparatesInUseFromCapacity) {
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "footprint");
+    const auto edges = rmat_edges(600, 25000, 41);
+    g.insert_batch(edges);
+    const GraphTinker::MemoryFootprint peak = g.memory_footprint();
+    EXPECT_LE(peak.edgeblock_bytes, peak.edgeblock_capacity_bytes);
+    EXPECT_LE(peak.cal_bytes, peak.cal_capacity_bytes);
+
+    delete_half(g, edges);
+    g.maintain();
+    const GraphTinker::MemoryFootprint after = g.memory_footprint();
+    // In-use shrinks with reclamation; arena capacity is recycled, never
+    // unmapped, so it stays put.
+    EXPECT_LT(after.edgeblock_bytes, peak.edgeblock_bytes);
+    EXPECT_EQ(after.edgeblock_capacity_bytes, peak.edgeblock_capacity_bytes);
+    EXPECT_LE(after.cal_bytes, peak.cal_bytes);
+}
+
+TEST(Maintenance, PurgeThresholdOneDisablesPurges) {
+    Config cfg;
+    cfg.purge_tombstone_threshold = 1.0;
+    cfg.cal_compact_threshold = 1.0;
+    GraphTinker g(cfg);
+    const test::ScopedAudit audit(g, "disabled");
+    const auto edges = rmat_edges(300, 10000, 9);
+    g.insert_batch(edges);
+    delete_half(g, edges);
+    const MaintenanceReport report = g.maintain();
+    EXPECT_TRUE(report.complete);
+    EXPECT_EQ(report.trees_purged, 0u);
+    EXPECT_EQ(report.cal_holes_reclaimed, 0u);
+}
+
+}  // namespace
+}  // namespace gt::core
