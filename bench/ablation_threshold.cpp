@@ -32,8 +32,7 @@ int main() {
             bench::gt_config(spec.num_vertices, edges.size()));
         engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(
             store, engine::EngineOptions{.policy = engine::ModePolicy::Hybrid,
-                                         .threshold = threshold,
-                                         .keep_trace = false});
+                                         .threshold = threshold});
         engine::RunStats total;
         EdgeBatcher batches(edges, batch);
         for (std::size_t b = 0; b < batches.num_batches(); ++b) {

@@ -79,7 +79,7 @@ engine::RunStats dynamic_analytics(Store& store, std::span<const Edge> edges,
                                    std::size_t batch_size,
                                    engine::ModePolicy policy, VertexId root) {
     engine::DynamicAnalysis<Store, Alg> analysis(
-        store, engine::EngineOptions{.policy = policy, .keep_trace = false});
+        store, engine::EngineOptions{.policy = policy});
     if constexpr (Alg::needs_root) {
         analysis.set_root(root);
     }
@@ -101,7 +101,7 @@ template <typename Alg, typename Store>
 engine::RunStats scratch_analytics(const Store& store,
                                    engine::ModePolicy policy, VertexId root) {
     engine::DynamicAnalysis<Store, Alg> analysis(
-        store, engine::EngineOptions{.policy = policy, .keep_trace = false});
+        store, engine::EngineOptions{.policy = policy});
     if constexpr (Alg::needs_root) {
         analysis.set_root(root);
     }

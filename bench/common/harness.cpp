@@ -1,6 +1,8 @@
 #include "common/harness.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include "gen/batcher.hpp"
 #include "util/env.hpp"
@@ -11,6 +13,35 @@ void banner(const std::string& figure, const std::string& description) {
     std::printf("== %s ==\n%s\nGT_SCALE=%.4f of paper size (set GT_SCALE=1 "
                 "for full scale)\n\n",
                 figure.c_str(), description.c_str(), bench_scale());
+}
+
+BenchArgs parse_bench_args(int argc, char** argv, std::string default_out) {
+    BenchArgs args;
+    args.out_path = std::move(default_out);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--out=", 0) == 0) {
+            args.out_path = arg.substr(6);
+        } else if (arg.rfind("--registry-out=", 0) == 0) {
+            args.registry_out = arg.substr(15);
+        } else if (arg == "--check") {
+            args.check = true;
+        } else {
+            std::cerr << "unknown flag: " << arg << "\n";
+            args.ok = false;
+        }
+    }
+    return args;
+}
+
+void write_registry_snapshot(const std::string& path,
+                             const obs::Snapshot& snap) {
+    if (path.empty()) {
+        return;
+    }
+    std::ofstream os(path);
+    obs::Exporter::write_json(os, snap);
+    std::cout << "wrote " << path << "\n";
 }
 
 DatasetSpec scaled_dataset(const std::string& name) {

@@ -7,6 +7,8 @@
 
 #include "core/config.hpp"
 #include "gen/datasets.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "stinger/stinger.hpp"
 #include "util/table.hpp"
 #include "util/types.hpp"
@@ -16,6 +18,23 @@ namespace gt::bench {
 /// Prints the standard bench banner: what figure this reproduces, the scale
 /// factor in effect, and how to change it.
 void banner(const std::string& figure, const std::string& description);
+
+/// The flags every measuring bench accepts. `ok` is false after an unknown
+/// flag (the bench should exit 2).
+struct BenchArgs {
+    std::string out_path;      // --out=PATH, seeded with the bench default
+    std::string registry_out;  // --registry-out=PATH, empty = skip
+    bool check = false;        // --check: enforce acceptance thresholds
+    bool ok = true;
+};
+
+[[nodiscard]] BenchArgs parse_bench_args(int argc, char** argv,
+                                         std::string default_out);
+
+/// Writes a standalone registry-snapshot JSON document ("gt.obs.v1") to
+/// `path` via the shared exporter; no-op when `path` is empty.
+void write_registry_snapshot(const std::string& path,
+                             const obs::Snapshot& snap);
 
 /// Dataset scaled by GT_SCALE (see DESIGN.md §4).
 [[nodiscard]] DatasetSpec scaled_dataset(const std::string& name);

@@ -34,7 +34,7 @@ int main() {
                                     edges.size() / shards + 1);
         });
         engine::ParallelDynamicAnalysis<core::GraphTinker, engine::Cc> cc(
-            store, engine::EngineOptions{.keep_trace = false});
+            store, engine::EngineOptions{});
         engine::RunStats total;
         EdgeBatcher batches(edges, batch);
         for (std::size_t b = 0; b < batches.num_batches(); ++b) {

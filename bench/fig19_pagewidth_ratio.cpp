@@ -50,7 +50,7 @@ double run_experiment(const std::vector<Edge>& edges, std::uint32_t pagewidth,
         for (int a = 0; a < ratio.analytics; ++a) {
             const VertexId root = roots[root_cursor++ % roots.size()];
             engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> bfs(
-                store, engine::EngineOptions{.keep_trace = false});
+                store, engine::EngineOptions{});
             bfs.set_root(root);
             bfs.run_from_scratch();
         }

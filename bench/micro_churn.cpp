@@ -20,6 +20,7 @@
 //
 // Flags / env:
 //   --out=PATH            JSON output path (default BENCH_churn.json)
+//   --registry-out=PATH   standalone gt.obs registry snapshot (optional)
 //   --check               exit nonzero when acceptance thresholds fail
 //   GT_CHURN_VERTICES     vertex-id space (default 32768)
 //   GT_CHURN_EDGES        stream length   (default 1000000)
@@ -39,6 +40,7 @@
 #include "core/graphtinker.hpp"
 #include "core/maintenance.hpp"
 #include "gen/rmat.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -108,6 +110,7 @@ struct ChurnRow {
     double maintain_secs = 0.0;
     core::MaintenanceReport report;
     bool audits_ok = true;
+    obs::Snapshot telemetry;  // registry snapshot after maintain()
 };
 
 ChurnRow run_churn(core::Config cfg, const std::string& mode,
@@ -135,7 +138,7 @@ ChurnRow run_churn(core::Config cfg, const std::string& mode,
 
     std::vector<Edge> survivors;
     survivors.reserve(g.num_edges());
-    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         survivors.push_back(Edge{s, d, w});
     });
     row.probe_churned = mean_probe(g, survivors);
@@ -159,6 +162,7 @@ ChurnRow run_churn(core::Config cfg, const std::string& mode,
             : 1.0 - static_cast<double>(row.after_bytes) /
                         static_cast<double>(row.peak_bytes);
     row.probe_maintained = mean_probe(g, survivors);
+    row.telemetry = g.telemetry();
 
     // Fresh twin: only the survivors ever inserted.
     core::GraphTinker fresh(cfg);
@@ -173,18 +177,10 @@ ChurnRow run_churn(core::Config cfg, const std::string& mode,
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string out_path = "BENCH_churn.json";
-    bool check = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else if (arg == "--check") {
-            check = true;
-        } else {
-            std::cerr << "unknown flag: " << arg << "\n";
-            return 2;
-        }
+    const bench::BenchArgs args =
+        bench::parse_bench_args(argc, argv, "BENCH_churn.json");
+    if (!args.ok) {
+        return 2;
     }
 
     const std::size_t vertices = env_size("GT_CHURN_VERTICES", 32768);
@@ -240,41 +236,51 @@ int main(int argc, char** argv) {
                   << " holes)\n";
     }
 
-    std::ofstream json(out_path);
-    json << "{\n"
-         << "  \"bench\": \"micro_churn\",\n"
-         << "  \"vertices\": " << vertices << ",\n"
-         << "  \"edges\": " << num_edges << ",\n"
-         << "  \"delete_pct\": " << delete_pct << ",\n"
-         << "  \"budget_cells\": " << budget << ",\n"
-         << "  \"results\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const ChurnRow& r = rows[i];
-        json << "    {\"mode\": \"" << r.mode << "\", "
-             << "\"probe_churned\": " << r.probe_churned << ", "
-             << "\"probe_maintained\": " << r.probe_maintained << ", "
-             << "\"probe_fresh\": " << r.probe_fresh << ", "
-             << "\"probe_ratio\": " << r.probe_ratio << ", "
-             << "\"peak_bytes\": " << r.peak_bytes << ", "
-             << "\"after_bytes\": " << r.after_bytes << ", "
-             << "\"footprint_drop\": " << r.footprint_drop << ", "
-             << "\"maintain_secs\": " << r.maintain_secs << ", "
-             << "\"trees_purged\": " << r.report.trees_purged << ", "
-             << "\"tombstones_purged\": " << r.report.tombstones_purged
-             << ", "
-             << "\"trees_unbranched\": " << r.report.trees_unbranched << ", "
-             << "\"cells_moved\": " << r.report.cells_moved << ", "
-             << "\"eba_blocks_reclaimed\": "
-             << r.report.eba_blocks_reclaimed << ", "
-             << "\"cal_blocks_reclaimed\": "
-             << r.report.cal_blocks_reclaimed << ", "
-             << "\"audits_ok\": " << (r.audits_ok ? "true" : "false") << "}"
-             << (i + 1 < rows.size() ? ",\n" : "\n");
+    std::ofstream json(args.out_path);
+    obs::JsonWriter w(json);
+    w.begin_object();
+    w.member("bench", "micro_churn");
+    w.member("vertices", static_cast<std::uint64_t>(vertices));
+    w.member("edges", static_cast<std::uint64_t>(num_edges));
+    w.member("delete_pct", static_cast<std::uint64_t>(delete_pct));
+    w.member("budget_cells", static_cast<std::uint64_t>(budget));
+    w.key("results").begin_array();
+    for (const ChurnRow& r : rows) {
+        w.begin_object();
+        w.member("mode", r.mode);
+        w.member("probe_churned", r.probe_churned);
+        w.member("probe_maintained", r.probe_maintained);
+        w.member("probe_fresh", r.probe_fresh);
+        w.member("probe_ratio", r.probe_ratio);
+        w.member("peak_bytes", static_cast<std::uint64_t>(r.peak_bytes));
+        w.member("after_bytes", static_cast<std::uint64_t>(r.after_bytes));
+        w.member("footprint_drop", r.footprint_drop);
+        w.member("maintain_secs", r.maintain_secs);
+        w.member("trees_purged",
+                 static_cast<std::uint64_t>(r.report.trees_purged));
+        w.member("tombstones_purged",
+                 static_cast<std::uint64_t>(r.report.tombstones_purged));
+        w.member("trees_unbranched",
+                 static_cast<std::uint64_t>(r.report.trees_unbranched));
+        w.member("cells_moved",
+                 static_cast<std::uint64_t>(r.report.cells_moved));
+        w.member("eba_blocks_reclaimed",
+                 static_cast<std::uint64_t>(r.report.eba_blocks_reclaimed));
+        w.member("cal_blocks_reclaimed",
+                 static_cast<std::uint64_t>(r.report.cal_blocks_reclaimed));
+        w.member("audits_ok", r.audits_ok);
+        w.key("registry");
+        obs::Exporter::append_json(w, r.telemetry);
+        w.end_object();
     }
-    json << "  ]\n}\n";
-    std::cout << "wrote " << out_path << "\n";
+    w.end_array();
+    w.end_object();
+    w.finish();
+    std::cout << "wrote " << args.out_path << "\n";
 
-    if (check) {
+    bench::write_registry_snapshot(args.registry_out, rows[0].telemetry);
+
+    if (args.check) {
         bool failed = false;
         for (const ChurnRow& row : rows) {
             if (!row.audits_ok) {

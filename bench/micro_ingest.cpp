@@ -12,6 +12,7 @@
 //
 // Flags / env:
 //   --out=PATH           JSON output path (default BENCH_ingest.json)
+//   --registry-out=PATH  standalone gt.obs registry snapshot (optional)
 //   --check              exit nonzero on a >2x regression vs baseline
 //   GT_INGEST_VERTICES   vertex-id space (default 32768)
 //   GT_INGEST_EDGES      stream length   (default 1000000)
@@ -30,6 +31,8 @@
 #include "core/probe_kernel.hpp"
 #include "core/sharded.hpp"
 #include "gen/rmat.hpp"
+#include "obs/export.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -53,11 +56,13 @@ core::Config sized_config(std::size_t vertices, std::size_t edges) {
 }
 
 /// One measured configuration: how a fresh store ingests the whole stream
-/// when it arrives in `batch` -sized slices.
+/// when it arrives in `batch` -sized slices. `edges_per_sec` is the best
+/// rep (noise can only slow a run down); `reps` summarizes all of them.
 struct Row {
     std::string mode;        // "per_edge" | "batch" | "sharded8"
     std::size_t batch_size;  // slice length fed per call
-    double edges_per_sec;
+    double edges_per_sec = 0.0;
+    Summary reps;
 };
 
 template <typename ApplySlice>
@@ -72,39 +77,39 @@ double timed_ingest(std::span<const Edge> edges, std::size_t batch,
     return secs > 0.0 ? static_cast<double>(edges.size()) / secs : 0.0;
 }
 
-/// Best-of-`reps` throughput of ingesting the stream into a fresh store
-/// built by `make_store` and fed through `apply`. Best-of filters scheduler
-/// interference: a run can only be slowed down by noise, never sped up.
+/// Throughput of ingesting the stream into a fresh store built by
+/// `make_store` and fed through `apply`, over `reps` repetitions. The
+/// headline is the best rep (a run can only be slowed down by noise, never
+/// sped up); the full rep series goes through gt::summarize so the JSON
+/// carries mean and sample stddev alongside it.
 template <typename MakeStore, typename Apply>
-double best_of(std::size_t reps, std::span<const Edge> edges,
-               std::size_t batch, MakeStore&& make_store, Apply&& apply) {
-    double best = 0.0;
+Row measure(std::string mode, std::size_t batch_reported, std::size_t reps,
+            std::span<const Edge> edges, std::size_t batch,
+            MakeStore&& make_store, Apply&& apply) {
+    std::vector<double> eps_reps;
+    eps_reps.reserve(reps);
     for (std::size_t r = 0; r < reps; ++r) {
         auto store = make_store();
-        const double eps =
+        eps_reps.push_back(
             timed_ingest(edges, batch, [&](std::span<const Edge> s) {
                 apply(*store, s);
-            });
-        best = std::max(best, eps);
+            }));
     }
-    return best;
+    Row row;
+    row.mode = std::move(mode);
+    row.batch_size = batch_reported;
+    row.reps = summarize(eps_reps);
+    row.edges_per_sec = row.reps.max;
+    return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string out_path = "BENCH_ingest.json";
-    bool check = false;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--out=", 0) == 0) {
-            out_path = arg.substr(6);
-        } else if (arg == "--check") {
-            check = true;
-        } else {
-            std::cerr << "unknown flag: " << arg << "\n";
-            return 2;
-        }
+    const bench::BenchArgs args =
+        bench::parse_bench_args(argc, argv, "BENCH_ingest.json");
+    if (!args.ok) {
+        return 2;
     }
 
     const std::size_t vertices = env_size("GT_INGEST_VERTICES", 32768);
@@ -143,35 +148,34 @@ int main(int argc, char** argv) {
     // Per-edge baseline: always one update per call, measured once — slicing
     // a per-edge loop changes nothing, so it doubles as the reference for
     // every batch size.
-    rows.push_back(Row{
-        "per_edge", 1,
-        best_of(reps, std::span<const Edge>(edges), 1, fresh_single,
-                [](core::GraphTinker& st, std::span<const Edge> s) {
-                    for (const Edge& e : s) {
-                        st.insert_edge(e.src, e.dst, e.weight);
-                    }
-                })});
+    rows.push_back(measure(
+        "per_edge", 1, reps, std::span<const Edge>(edges), 1, fresh_single,
+        [](core::GraphTinker& st, std::span<const Edge> s) {
+            for (const Edge& e : s) {
+                st.insert_edge(e.src, e.dst, e.weight);
+            }
+        }));
 
     for (const std::size_t batch : batch_sizes) {
-        rows.push_back(Row{
-            "batch", batch,
-            best_of(reps, std::span<const Edge>(edges), batch, fresh_single,
-                    [](core::GraphTinker& st, std::span<const Edge> s) {
-                        st.insert_batch(s);
-                    })});
+        rows.push_back(measure(
+            "batch", batch, reps, std::span<const Edge>(edges), batch,
+            fresh_single,
+            [](core::GraphTinker& st, std::span<const Edge> s) {
+                st.insert_batch(s);
+            }));
     }
 
     for (const std::size_t batch : batch_sizes) {
-        rows.push_back(Row{
-            "sharded8", batch,
-            best_of(reps, std::span<const Edge>(edges), batch, fresh_sharded,
-                    [](core::ShardedStore<core::GraphTinker>& st,
-                       std::span<const Edge> s) { st.insert_batch(s); })});
+        rows.push_back(measure(
+            "sharded8", batch, reps, std::span<const Edge>(edges), batch,
+            fresh_sharded,
+            [](core::ShardedStore<core::GraphTinker>& st,
+               std::span<const Edge> s) { st.insert_batch(s); }));
     }
 
     double baseline = 0.0;
     double batch100k = 0.0;
-    Table table({"mode", "batch", "edges/sec"});
+    Table table({"mode", "batch", "edges/sec", "mean", "stddev"});
     for (const Row& row : rows) {
         if (row.mode == "per_edge") {
             baseline = row.edges_per_sec;
@@ -180,34 +184,60 @@ int main(int argc, char** argv) {
             batch100k = row.edges_per_sec;
         }
         table.add_row({row.mode, std::to_string(row.batch_size),
-                       Table::fmt(row.edges_per_sec / 1e6, 3) + " M"});
+                       Table::fmt(row.edges_per_sec / 1e6, 3) + " M",
+                       Table::fmt(row.reps.mean / 1e6, 3) + " M",
+                       Table::fmt(row.reps.stddev / 1e6, 3) + " M"});
     }
     table.print(std::cout);
     const double speedup = baseline > 0.0 ? batch100k / baseline : 0.0;
     std::cout << "\nspeedup (batch 100k vs per-edge): "
               << Table::fmt(speedup, 2) << "x\n";
+    // Stable machine-readable line; tools/check_obs_overhead.sh diffs this
+    // figure between GT_OBS=ON and GT_OBS=OFF builds.
+    std::cout << "headline_batch100k_eps=" << batch100k << "\n";
 
-    std::ofstream json(out_path);
-    json << "{\n"
-         << "  \"bench\": \"micro_ingest\",\n"
-         << "  \"vertices\": " << vertices << ",\n"
-         << "  \"edges\": " << num_edges << ",\n"
-         << "  \"rmat_a\": " << rmat.a << ",\n"
-         << "  \"reps\": " << reps << ",\n"
-         << "  \"simd\": " << (gt::core::kProbeKernelSimd ? "true" : "false")
-         << ",\n"
-         << "  \"speedup_batch100k\": " << speedup << ",\n"
-         << "  \"results\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        json << "    {\"mode\": \"" << rows[i].mode << "\", \"batch\": "
-             << rows[i].batch_size << ", \"edges_per_sec\": "
-             << rows[i].edges_per_sec
-             << (i + 1 < rows.size() ? "},\n" : "}\n");
+    // One more untimed batch-100k ingest into a fresh store: its registry
+    // snapshot records what the fast path did (probe histograms, batch
+    // latencies, block churn) for the JSON artifacts.
+    auto instrumented = fresh_single();
+    for (std::size_t i = 0; i < edges.size(); i += 100000) {
+        const std::size_t len = std::min<std::size_t>(100000,
+                                                      edges.size() - i);
+        instrumented->insert_batch(
+            std::span<const Edge>(edges).subspan(i, len));
     }
-    json << "  ]\n}\n";
-    std::cout << "wrote " << out_path << "\n";
+    const obs::Snapshot snap = instrumented->telemetry();
 
-    if (check && speedup < 0.5) {
+    std::ofstream json(args.out_path);
+    obs::JsonWriter w(json);
+    w.begin_object();
+    w.member("bench", "micro_ingest");
+    w.member("vertices", static_cast<std::uint64_t>(vertices));
+    w.member("edges", static_cast<std::uint64_t>(num_edges));
+    w.member("rmat_a", rmat.a);
+    w.member("reps", static_cast<std::uint64_t>(reps));
+    w.member("simd", gt::core::kProbeKernelSimd);
+    w.member("speedup_batch100k", speedup);
+    w.key("results").begin_array();
+    for (const Row& row : rows) {
+        w.begin_object();
+        w.member("mode", row.mode);
+        w.member("batch", static_cast<std::uint64_t>(row.batch_size));
+        w.member("edges_per_sec", row.edges_per_sec);
+        w.member("eps_mean", row.reps.mean);
+        w.member("eps_stddev", row.reps.stddev);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("registry");
+    obs::Exporter::append_json(w, snap);
+    w.end_object();
+    w.finish();
+    std::cout << "wrote " << args.out_path << "\n";
+
+    bench::write_registry_snapshot(args.registry_out, snap);
+
+    if (args.check && speedup < 0.5) {
         std::cerr << "REGRESSION: batch-100k fast path at "
                   << Table::fmt(speedup, 2)
                   << "x of the per-edge baseline (threshold 0.5x)\n";

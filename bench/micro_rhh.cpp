@@ -80,7 +80,7 @@ void BM_GraphTinkerStreamEdges(benchmark::State& state) {
     }
     for (auto _ : state) {
         std::uint64_t sum = 0;
-        g.for_each_edge([&](VertexId, VertexId dst, Weight) { sum += dst; });
+        g.visit_edges([&](VertexId, VertexId dst, Weight) { sum += dst; });
         benchmark::DoNotOptimize(sum);
     }
     state.SetItemsProcessed(state.iterations() * g.num_edges());

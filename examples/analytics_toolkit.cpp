@@ -35,7 +35,7 @@ int main() {
     engine::PageRank<core::GraphTinker> pr_alg{&graph.forward(), 0.85, 1e-9};
     engine::DynamicAnalysis<core::GraphTinker,
                             engine::PageRank<core::GraphTinker>>
-        pr(graph.forward(), engine::EngineOptions{.keep_trace = false},
+        pr(graph.forward(), engine::EngineOptions{},
            pr_alg);
     pr.run_from_scratch();
     VertexId top_vertex = 0;

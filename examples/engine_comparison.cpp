@@ -25,7 +25,7 @@ template <typename Store>
 engine::RunStats drive(Store& store, const std::vector<Edge>& edges,
                        engine::ModePolicy policy) {
     engine::DynamicAnalysis<Store, engine::Bfs> bfs(
-        store, engine::EngineOptions{.policy = policy, .keep_trace = false});
+        store, engine::EngineOptions{.policy = policy});
     bfs.set_root(0);
     engine::RunStats total;
     EdgeBatcher batches(edges, 50'000);

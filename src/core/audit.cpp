@@ -277,10 +277,14 @@ private:
                         std::to_string(block) + " slot " +
                         std::to_string(slot) + ")");
             }
+            if (c.state == CellState::Tombstone) {
+                ++report_.tombstones;
+            }
             if (!is_occupied) {
                 continue;
             }
             ++occupied;
+            ++report_.live_edges;
             ++report_.cells_audited;
             audit_cell(raw, top, block, slot, level, c);
         }
@@ -429,6 +433,7 @@ private:
                         "group " + std::to_string(group) +
                             " tail does not terminate its chain");
                 }
+                ++report_.cal_blocks;
                 audit_cal_block(b);
                 prev = b;
                 b = bm.next;

@@ -96,6 +96,13 @@ struct AuditReport {
     std::size_t cells_audited = 0;
     std::size_t cal_slots_audited = 0;
 
+    // Independent census from the walk itself — the ground truth the
+    // telemetry parity test compares gt.obs gauges against. Counted cell by
+    // cell during the sweep, never read from the structures' own counters.
+    EdgeCount live_edges = 0;    // occupied cells across reachable trees
+    EdgeCount tombstones = 0;    // tombstone cells across reachable trees
+    std::size_t cal_blocks = 0;  // CAL blocks reached via group chains
+
     [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
     /// True when the report contains at least one violation of `check`.
     [[nodiscard]] bool has(AuditCheck check) const noexcept;

@@ -70,22 +70,18 @@ public:
     }
 
     template <typename Fn>
-    void for_each_out_edge(VertexId src, Fn&& fn) const {
-        forward_.for_each_out_edge(src, fn);
+    bool visit_out_edges(VertexId src, Fn&& fn) const {
+        return forward_.visit_out_edges(src, fn);
     }
-    /// Visits every in-edge of `dst`: fn(src, weight).
+    /// Visits every in-edge of `dst`: fn(src, weight); void- or
+    /// bool-returning as everywhere in the visit_* API.
     template <typename Fn>
-    void for_each_in_edge(VertexId dst, Fn&& fn) const {
-        reverse_.for_each_out_edge(dst, fn);
-    }
-    /// Early-terminating in-edge visit: fn returns false to stop.
-    template <typename Fn>
-    bool for_each_in_edge_until(VertexId dst, Fn&& fn) const {
-        return reverse_.for_each_out_edge_until(dst, fn);
+    bool visit_in_edges(VertexId dst, Fn&& fn) const {
+        return reverse_.visit_out_edges(dst, fn);
     }
     template <typename Fn>
-    void for_each_edge(Fn&& fn) const {
-        forward_.for_each_edge(fn);
+    bool visit_edges(Fn&& fn) const {
+        return forward_.visit_edges(fn);
     }
 
     [[nodiscard]] const GraphTinker& forward() const noexcept {
@@ -108,7 +104,7 @@ public:
             return "direction edge counts diverge";
         }
         std::string error;
-        forward_.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        forward_.visit_edges([&](VertexId s, VertexId d, Weight w) {
             if (!error.empty()) {
                 return;
             }

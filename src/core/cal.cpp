@@ -5,9 +5,22 @@
 namespace gt::core {
 
 CoarseAdjacencyList::CoarseAdjacencyList(std::uint32_t group_size,
-                                         std::uint32_t block_edges)
-    : group_size_(group_size), block_edges_(block_edges) {
+                                         std::uint32_t block_edges,
+                                         obs::Registry* registry)
+    : group_size_(group_size), block_edges_(block_edges),
+      registry_(registry) {
     assert(group_size_ > 0 && block_edges_ > 0);
+    if (registry_ == nullptr) {
+        owned_registry_ = std::make_unique<obs::Registry>();
+        registry_ = owned_registry_.get();
+    }
+    obs::Registry& r = *registry_;
+    blocks_allocated_m_ = &r.counter("cal.blocks_allocated");
+    blocks_freed_m_ = &r.counter("cal.blocks_freed");
+    holes_created_m_ = &r.counter("cal.holes_created");
+    holes_reclaimed_m_ = &r.counter("cal.holes_reclaimed");
+    compact_moves_m_ = &r.counter("cal.compact_moves");
+    chain_blocks_m_ = &r.histogram("cal.chain_blocks");
 }
 
 std::uint32_t CoarseAdjacencyList::allocate_block(std::uint32_t group) {
@@ -22,6 +35,20 @@ std::uint32_t CoarseAdjacencyList::allocate_block(std::uint32_t group) {
     }
     blocks_[id] = BlockMeta{.next = kNone, .prev = kNone, .group = group,
                             .used = 0};
+    blocks_allocated_m_->inc();
+    // Chain-length distribution: sampled at growth time, when the walk is
+    // proportional to the chain the paper cares about anyway. Gated so a
+    // disabled run never pays the walk.
+    if constexpr (obs::kEnabled) {
+        if (obs::recording() && group < groups_.size()) {
+            std::uint64_t len = 1;  // the block being linked in
+            for (std::uint32_t b = groups_[group].head; b != kNone;
+                 b = blocks_[b].next) {
+                ++len;
+            }
+            chain_blocks_m_->record(len);
+        }
+    }
     return id;
 }
 
@@ -71,6 +98,7 @@ void CoarseAdjacencyList::free_tail_block(GroupMeta& meta) {
         blocks_[prev].next = kNone;
     }
     free_.push_back(old_tail);
+    blocks_freed_m_->inc();
 }
 
 std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
@@ -83,6 +111,7 @@ std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
         // but keeps being scanned, which is exactly the degradation Fig 15
         // measures.
         victim.src = kInvalidVertex;
+        holes_created_m_->inc();
         return std::nullopt;
     }
 
@@ -106,6 +135,7 @@ std::optional<CoarseAdjacencyList::Moved> CoarseAdjacencyList::erase(
                "compact-mode tail slot must be live");
         pool_[pos] = pool_[last_pos];
         moved = Moved{.owner = pool_[pos].owner, .new_pos = pos};
+        compact_moves_m_->inc();
     }
     pool_[last_pos] = CalEdgeSlot{};
     if (tail.used == 0) {
@@ -176,6 +206,7 @@ std::size_t CoarseAdjacencyList::compact_chains(
         }
     }
     used_ -= reclaimed;
+    holes_reclaimed_m_->add(reclaimed);
     return reclaimed;
 }
 

@@ -16,10 +16,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
+#include "util/visit.hpp"
 
 namespace gt::core {
 
@@ -34,7 +37,11 @@ inline constexpr std::uint32_t kNoCalPos = 0xffffffffU;
 
 class CoarseAdjacencyList {
 public:
-    CoarseAdjacencyList(std::uint32_t group_size, std::uint32_t block_edges);
+    /// `registry` receives the CAL's telemetry ("cal.*" counters plus the
+    /// chain-length histogram); null constructs a private registry so
+    /// standalone (test) instances keep recording.
+    CoarseAdjacencyList(std::uint32_t group_size, std::uint32_t block_edges,
+                        obs::Registry* registry = nullptr);
 
     /// Reserves pool capacity for the expected edge count.
     void reserve(EdgeCount expected_edges) {
@@ -105,10 +112,11 @@ public:
     /// moves inside the EdgeblockArray).
     void rebind(std::uint32_t pos, CellRef owner);
 
-    /// Streams every live edge, group chain by group chain: fn(src, dst, w).
-    /// Sources are *raw* vertex ids.
+    /// Streams every live edge, group chain by group chain: fn(src, dst, w),
+    /// where fn may return void (stream everything) or bool (false stops the
+    /// scan; returns false when cut short). Sources are *raw* vertex ids.
     template <typename Fn>
-    void for_each_edge(Fn&& fn) const {
+    bool visit_edges(Fn&& fn) const {
         for (const GroupMeta& group : groups_) {
             for (std::uint32_t b = group.head; b != kNone; b = blocks_[b].next) {
                 const std::size_t base =
@@ -117,11 +125,14 @@ public:
                 for (std::uint32_t i = 0; i < used; ++i) {
                     const CalEdgeSlot& slot = pool_[base + i];
                     if (slot.src != kInvalidVertex) {
-                        fn(slot.src, slot.dst, slot.weight);
+                        if (!visit_step(fn, slot.src, slot.dst, slot.weight)) {
+                            return false;
+                        }
                     }
                 }
             }
         }
+        return true;
     }
 
     [[nodiscard]] EdgeCount live_edges() const noexcept { return live_; }
@@ -189,6 +200,17 @@ private:
 
     std::uint32_t group_size_;
     std::uint32_t block_edges_;
+    // Telemetry handles, resolved once at construction (names "cal.*").
+    // Only rare structural events record here — block churn, hole
+    // accounting, compaction — never the per-edge append path.
+    obs::Registry* registry_ = nullptr;
+    std::unique_ptr<obs::Registry> owned_registry_;
+    obs::Counter* blocks_allocated_m_ = nullptr;
+    obs::Counter* blocks_freed_m_ = nullptr;
+    obs::Counter* holes_created_m_ = nullptr;
+    obs::Counter* holes_reclaimed_m_ = nullptr;
+    obs::Counter* compact_moves_m_ = nullptr;
+    obs::Histogram* chain_blocks_m_ = nullptr;
     std::vector<CalEdgeSlot> pool_;
     std::vector<BlockMeta> blocks_;
     std::vector<GroupMeta> groups_;

@@ -10,10 +10,11 @@ namespace {
 
 /// Thread-local landing zone for a stats-deferral scope (see
 /// EdgeblockArray::begin_stats_batch): while `target` points at an array's
-/// Stats, that array's per-operation flushes accumulate here in plain
-/// integers and hit the shared relaxed atomics once when the scope closes.
+/// resolved counter handles, that array's per-operation flushes accumulate
+/// here in plain integers and hit the shared relaxed atomics once when the
+/// scope closes.
 struct DeferredStats {
-    gt::core::Stats* target = nullptr;
+    const gt::core::EbaMetrics* target = nullptr;
     int depth = 0;
     std::uint64_t cells = 0;
     std::uint64_t workblocks = 0;
@@ -22,19 +23,26 @@ struct DeferredStats {
 };
 thread_local DeferredStats g_deferred_stats;
 
-/// Accumulates probe-work counters locally and flushes them into the shared
-/// (relaxed-atomic) Stats once on scope exit — one RMW per operation instead
-/// of one per cell inspected. Under an open deferral scope for the same
-/// Stats object the flush lands in g_deferred_stats instead, so batched
+/// Accumulates probe-work counters locally and flushes them through the
+/// array's obs::Counter handles once on scope exit — one RMW per operation
+/// instead of one per cell inspected. Under an open deferral scope for the
+/// same array the flush lands in g_deferred_stats instead, so batched
 /// ingest pays the atomic RMWs once per batch rather than once per edge.
+/// When `probe_hist` is set, the operation's total probe distance (cells)
+/// additionally lands in that histogram — sampled and gated, so the cost
+/// with recording off is one predictable branch per op.
 struct StatsFlush {
-    gt::core::Stats& stats;
+    const gt::core::EbaMetrics& m;
+    gt::obs::Histogram* probe_hist = nullptr;
     std::uint64_t cells = 0;
     std::uint64_t workblocks = 0;
     std::uint64_t swaps = 0;
     std::uint64_t branch_outs = 0;
     ~StatsFlush() {
-        if (g_deferred_stats.target == &stats) {
+        if (probe_hist != nullptr) {
+            probe_hist->record_sampled(cells);
+        }
+        if (g_deferred_stats.target == &m) {
             g_deferred_stats.cells += cells;
             g_deferred_stats.workblocks += workblocks;
             g_deferred_stats.swaps += swaps;
@@ -42,16 +50,16 @@ struct StatsFlush {
             return;
         }
         if (cells != 0) {
-            stats.cells_probed += cells;
+            m.cells_probed->add(cells);
         }
         if (workblocks != 0) {
-            stats.workblocks_fetched += workblocks;
+            m.workblocks_fetched->add(workblocks);
         }
         if (swaps != 0) {
-            stats.rhh_swaps += swaps;
+            m.rhh_swaps->add(swaps);
         }
         if (branch_outs != 0) {
-            stats.branch_outs += branch_outs;
+            m.branch_outs->add(branch_outs);
         }
     }
 };
@@ -60,7 +68,8 @@ struct StatsFlush {
 
 namespace gt::core {
 
-EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal)
+EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal,
+                               obs::Registry* registry)
     : pagewidth_(config.pagewidth),
       subblock_(config.subblock),
       workblock_(config.workblock),
@@ -69,8 +78,25 @@ EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal)
       compact_delete_(config.deletion_mode == DeletionMode::DeleteAndCompact),
       kernel_ok_(config.subblock <= 64),
       words_per_block_((config.pagewidth + 63) / 64),
-      cal_(cal) {
+      cal_(cal),
+      registry_(registry) {
     config.validate();
+    if (registry_ == nullptr) {
+        owned_registry_ = std::make_unique<obs::Registry>();
+        registry_ = owned_registry_.get();
+    }
+    obs::Registry& r = *registry_;
+    metrics_.cells_probed = &r.counter("eba.cells_probed");
+    metrics_.workblocks_fetched = &r.counter("eba.workblocks_fetched");
+    metrics_.rhh_swaps = &r.counter("eba.rhh_swaps");
+    metrics_.branch_outs = &r.counter("eba.branch_outs");
+    metrics_.compaction_moves = &r.counter("eba.compaction_moves");
+    metrics_.blocks_freed = &r.counter("eba.blocks_freed");
+    metrics_.trees_rebuilt = &r.counter("eba.trees_rebuilt");
+    metrics_.tombstones_purged = &r.counter("eba.tombstones_purged");
+    metrics_.unbranch_moves = &r.counter("eba.unbranch_moves");
+    metrics_.find_probe_cells = &r.histogram("eba.find_probe_cells");
+    metrics_.insert_probe_cells = &r.histogram("eba.insert_probe_cells");
     if (config.reserve_edges > 0) {
         // Pre-size the arena eagerly (resize, not reserve) so the bulk
         // fills and first-touch page faults happen here instead of on the
@@ -142,7 +168,7 @@ void EdgeblockArray::free_block(std::uint32_t block) {
         tomb_masks_[mbase + w] = 0;
     }
     free_blocks_.push_back(block);
-    ++stats_.blocks_freed;
+    metrics_.blocks_freed->inc();
 }
 
 void EdgeblockArray::free_subtree(std::uint32_t block) {
@@ -170,7 +196,7 @@ bool EdgeblockArray::subtree_is_empty(std::uint32_t block) const {
 
 void EdgeblockArray::begin_stats_batch() const noexcept {
     if (g_deferred_stats.depth++ == 0) {
-        g_deferred_stats.target = &stats_;
+        g_deferred_stats.target = &metrics_;
     }
 }
 
@@ -179,18 +205,18 @@ void EdgeblockArray::end_stats_batch() const noexcept {
         return;
     }
     if (g_deferred_stats.target != nullptr) {
-        Stats& stats = *g_deferred_stats.target;
+        const EbaMetrics& m = *g_deferred_stats.target;
         if (g_deferred_stats.cells != 0) {
-            stats.cells_probed += g_deferred_stats.cells;
+            m.cells_probed->add(g_deferred_stats.cells);
         }
         if (g_deferred_stats.workblocks != 0) {
-            stats.workblocks_fetched += g_deferred_stats.workblocks;
+            m.workblocks_fetched->add(g_deferred_stats.workblocks);
         }
         if (g_deferred_stats.swaps != 0) {
-            stats.rhh_swaps += g_deferred_stats.swaps;
+            m.rhh_swaps->add(g_deferred_stats.swaps);
         }
         if (g_deferred_stats.branch_outs != 0) {
-            stats.branch_outs += g_deferred_stats.branch_outs;
+            m.branch_outs->add(g_deferred_stats.branch_outs);
         }
     }
     g_deferred_stats = DeferredStats{};
@@ -198,7 +224,7 @@ void EdgeblockArray::end_stats_batch() const noexcept {
 
 std::optional<EdgeblockArray::Located> EdgeblockArray::locate(
     std::uint32_t top, VertexId dst) const {
-    StatsFlush flush{stats_};
+    StatsFlush flush{metrics_, metrics_.find_probe_cells};
     std::uint32_t block = top;
     std::uint32_t level = 0;
     while (block != kNoBlock) {
@@ -308,7 +334,7 @@ EdgeblockArray::InsertResult EdgeblockArray::insert(
 EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                                                          VertexId dst,
                                                          Weight weight) {
-    StatsFlush flush{stats_};
+    StatsFlush flush{metrics_, metrics_.insert_probe_cells};
     if (top == kNoBlock) {
         top = allocate_block();
         const std::uint32_t sb = sb_of(dst, 0);
@@ -457,7 +483,7 @@ void EdgeblockArray::insert_new(std::uint32_t& top, VertexId dst,
     // since it carries `new_cal_pos` from the start. When the caller's
     // probe proved the levels above `start_block` are full windows with no
     // tombstone and no swap point, the cascade resumes there directly.
-    StatsFlush flush{stats_};
+    StatsFlush flush{metrics_, metrics_.insert_probe_cells};
     std::uint32_t block = start_block == kNoBlock ? top : start_block;
     std::uint32_t level = start_block == kNoBlock ? 0 : start_level;
     EdgeCell carry{dst, weight, new_cal_pos, 0, CellState::Occupied};
@@ -579,7 +605,7 @@ void EdgeblockArray::refill_hole(std::uint32_t block, std::uint32_t sb,
     if (cal_ != nullptr && victim.cal_pos != kNoCalPos) {
         cal_->rebind(victim.cal_pos, CellRef{block, slot});
     }
-    ++stats_.compaction_moves;
+    metrics_.compaction_moves->inc();
     if (down != kNoBlock && subtree_is_empty(down)) {
         free_block(down);
         down = kNoBlock;
@@ -763,8 +789,8 @@ std::uint32_t EdgeblockArray::rebuild_tree(std::uint32_t& top) {
         free_block(block);
     }
     top = kNoBlock;
-    stats_.tombstones_purged += tombstones;
-    ++stats_.trees_rebuilt;
+    metrics_.tombstones_purged->add(tombstones);
+    metrics_.trees_rebuilt->inc();
     // Reinsert through the regular INSERT cascade: placement invariants
     // (including the delete-only EMPTY-exit soundness) hold by construction
     // in a tombstone-free tree, and every placement re-binds the cell's CAL
@@ -842,7 +868,7 @@ std::uint32_t EdgeblockArray::unbranch_block(std::uint32_t block,
                 cal_->rebind(victim.cal_pos, CellRef{block, slot});
             }
             ++moved;
-            ++stats_.unbranch_moves;
+            metrics_.unbranch_moves->inc();
         }
         if (down != kNoBlock) {
             free_subtree(down);  // only empties/tombstones remain
@@ -850,6 +876,30 @@ std::uint32_t EdgeblockArray::unbranch_block(std::uint32_t block,
         }
     }
     return moved;
+}
+
+Stats EdgeblockArray::stats() const noexcept {
+    Stats s;
+    s.cells_probed += metrics_.cells_probed->value();
+    s.workblocks_fetched += metrics_.workblocks_fetched->value();
+    s.rhh_swaps += metrics_.rhh_swaps->value();
+    s.branch_outs += metrics_.branch_outs->value();
+    s.compaction_moves += metrics_.compaction_moves->value();
+    s.blocks_freed += metrics_.blocks_freed->value();
+    s.trees_rebuilt += metrics_.trees_rebuilt->value();
+    s.tombstones_purged += metrics_.tombstones_purged->value();
+    s.unbranch_moves += metrics_.unbranch_moves->value();
+    return s;
+}
+
+std::uint64_t EdgeblockArray::tombstones_in_arena() const noexcept {
+    std::uint64_t total = 0;
+    const std::size_t words =
+        static_cast<std::size_t>(block_count_) * words_per_block_;
+    for (std::size_t w = 0; w < words; ++w) {
+        total += static_cast<std::uint64_t>(std::popcount(tomb_masks_[w]));
+    }
+    return total;
 }
 
 std::uint32_t EdgeblockArray::subtree_depth(std::uint32_t top) const {

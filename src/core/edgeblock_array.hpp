@@ -26,15 +26,37 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/cal.hpp"
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "util/hash.hpp"
 #include "util/types.hpp"
+#include "util/visit.hpp"
 
 namespace gt::core {
+
+/// Typed obs handles the EdgeblockArray records through — resolved once at
+/// construction from the owning registry, so hot paths never touch the
+/// registry's name map. Counter names: "eba.<field>"; the two histograms
+/// ("eba.find_probe_cells", "eba.insert_probe_cells") sample per-operation
+/// probe distance in cells.
+struct EbaMetrics {
+    obs::Counter* cells_probed = nullptr;
+    obs::Counter* workblocks_fetched = nullptr;
+    obs::Counter* rhh_swaps = nullptr;
+    obs::Counter* branch_outs = nullptr;
+    obs::Counter* compaction_moves = nullptr;
+    obs::Counter* blocks_freed = nullptr;
+    obs::Counter* trees_rebuilt = nullptr;
+    obs::Counter* tombstones_purged = nullptr;
+    obs::Counter* unbranch_moves = nullptr;
+    obs::Histogram* find_probe_cells = nullptr;
+    obs::Histogram* insert_probe_cells = nullptr;
+};
 
 enum class CellState : std::uint8_t { Empty, Occupied, Tombstone };
 
@@ -52,8 +74,11 @@ public:
     static constexpr std::uint32_t kNoBlock = 0xffffffffU;
 
     /// `cal` may be null (CAL feature disabled); when set, the array keeps
-    /// CAL-pointers consistent whenever cells move.
-    EdgeblockArray(const Config& config, CoarseAdjacencyList* cal);
+    /// CAL-pointers consistent whenever cells move. `registry` names where
+    /// telemetry lands; null constructs a private registry (standalone /
+    /// test use) so recording sites never branch on its presence.
+    EdgeblockArray(const Config& config, CoarseAdjacencyList* cal,
+                   obs::Registry* registry = nullptr);
 
     struct InsertResult {
         bool inserted = false;  // false: edge existed, weight updated
@@ -194,19 +219,22 @@ public:
         cell(ref.block, ref.slot).cal_pos = pos;
     }
 
-    /// Visits every live out-edge under `top`: fn(dst, weight). Iteration is
-    /// driven by per-block occupancy bitmasks, so cost is proportional to
-    /// live edges plus blocks — not to the arena's slack. Safe to call from
-    /// concurrent readers: the traversal scratch is thread-local.
+    /// Visits every live out-edge under `top`: fn(dst, weight), where fn may
+    /// return void (visit everything) or bool (false stops the traversal).
+    /// Returns false when iteration was cut short. Iteration is driven by
+    /// per-block occupancy bitmasks, so cost is proportional to live edges
+    /// plus blocks — not to the arena's slack. Safe to call from concurrent
+    /// readers and from inside another visit: the thread-local traversal
+    /// scratch is segmented per nesting level.
     template <typename Fn>
-    void for_each_edge_of(std::uint32_t top, Fn&& fn) const {
+    bool visit_edges_of(std::uint32_t top, Fn&& fn) const {
         if (top == kNoBlock) {
-            return;
+            return true;
         }
         static thread_local std::vector<std::uint32_t> visit_stack_;
-        visit_stack_.clear();
+        const std::size_t sbase = visit_stack_.size();
         visit_stack_.push_back(top);
-        while (!visit_stack_.empty()) {
+        while (visit_stack_.size() > sbase) {
             const std::uint32_t block = visit_stack_.back();
             visit_stack_.pop_back();
             const std::size_t base =
@@ -220,41 +248,8 @@ public:
                         std::countr_zero(bits));
                     bits &= bits - 1;
                     const EdgeCell& c = cells_[base + w * 64 + i];
-                    fn(c.dst, c.weight);
-                }
-            }
-            const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
-            for (std::uint32_t s = 0; s < spb_; ++s) {
-                if (children_[cbase + s] != kNoBlock) {
-                    visit_stack_.push_back(children_[cbase + s]);
-                }
-            }
-        }
-    }
-
-    /// Early-terminating variant: fn(dst, weight) returns false to stop.
-    /// Returns false when iteration was cut short.
-    template <typename Fn>
-    bool for_each_edge_of_until(std::uint32_t top, Fn&& fn) const {
-        if (top == kNoBlock) {
-            return true;
-        }
-        std::vector<std::uint32_t> stack{top};
-        while (!stack.empty()) {
-            const std::uint32_t block = stack.back();
-            stack.pop_back();
-            const std::size_t base =
-                static_cast<std::size_t>(block) * pagewidth_;
-            const std::size_t mbase =
-                static_cast<std::size_t>(block) * words_per_block_;
-            for (std::uint32_t w = 0; w < words_per_block_; ++w) {
-                std::uint64_t bits = masks_[mbase + w];
-                while (bits != 0) {
-                    const auto i = static_cast<std::uint32_t>(
-                        std::countr_zero(bits));
-                    bits &= bits - 1;
-                    const EdgeCell& c = cells_[base + w * 64 + i];
-                    if (!fn(c.dst, c.weight)) {
+                    if (!visit_step(fn, c.dst, c.weight)) {
+                        visit_stack_.resize(sbase);
                         return false;
                     }
                 }
@@ -262,7 +257,7 @@ public:
             const std::size_t cbase = static_cast<std::size_t>(block) * spb_;
             for (std::uint32_t s = 0; s < spb_; ++s) {
                 if (children_[cbase + s] != kNoBlock) {
-                    stack.push_back(children_[cbase + s]);
+                    visit_stack_.push_back(children_[cbase + s]);
                 }
             }
         }
@@ -313,7 +308,20 @@ public:
     [[nodiscard]] std::size_t memory_capacity_bytes() const noexcept {
         return static_cast<std::size_t>(storage_blocks_) * bytes_per_block();
     }
-    [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+    /// \deprecated Compatibility shim (PR 4): assembles the legacy Stats
+    /// struct from the obs registry counters. New code should resolve
+    /// counters from registry() (names "eba.<field>") or read a
+    /// registry().snapshot() instead.
+    [[nodiscard]] Stats stats() const noexcept;
+    /// The registry this array records into (owned fallback when none was
+    /// supplied at construction).
+    [[nodiscard]] obs::Registry& registry() const noexcept {
+        return *registry_;
+    }
+    /// Tombstone cells across the whole arena (popcount of the tombstone
+    /// masks). Free-listed blocks are scrubbed on free, so they contribute
+    /// zero — this is the live tombstone census the auditor cross-checks.
+    [[nodiscard]] std::uint64_t tombstones_in_arena() const noexcept;
     /// Opens / closes a thread-local stats-deferral scope: while open, this
     /// array's probe counters accumulate in plain thread-local integers and
     /// land in the shared relaxed atomics once at close. Batched ingest
@@ -472,9 +480,12 @@ private:
     /// Blocks the backing vectors currently have storage for
     /// (>= block_count_; the arena grows in chunks, not per block).
     std::uint32_t storage_blocks_ = 0;
-    // Counters are relaxed atomics (StatCounter) so const FIND paths may be
-    // shared by concurrent readers without racing.
-    mutable Stats stats_;
+    // Telemetry: counters/histograms live in the registry (relaxed atomics,
+    // so const FIND paths may be shared by concurrent readers); metrics_
+    // caches the typed handles resolved once at construction.
+    obs::Registry* registry_ = nullptr;
+    std::unique_ptr<obs::Registry> owned_registry_;
+    EbaMetrics metrics_{};
 
     // The structural auditor (src/core/audit.hpp) reads the raw arena, and
     // its test-only corruption hook writes it.

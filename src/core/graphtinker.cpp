@@ -3,18 +3,25 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/timer.hpp"
+
 namespace gt::core {
 
 GraphTinker::GraphTinker(Config config)
     : config_(config),
+      obs_(std::make_unique<obs::Registry>()),
       sgh_(config.enable_sgh ? config.initial_vertices : 16),
-      cal_(config.cal_group_size, config.cal_block_edges),
-      eba_(config_, config.enable_cal ? &cal_ : nullptr) {
+      cal_(config.cal_group_size, config.cal_block_edges, obs_.get()),
+      eba_(config_, config.enable_cal ? &cal_ : nullptr, obs_.get()) {
     config_.validate();
     top_.reserve(config_.initial_vertices);
     if (config_.reserve_edges > 0 && config_.enable_cal) {
         cal_.reserve(config_.reserve_edges);
     }
+    ingest_batch_us_ = &obs_->histogram("gt.insert_batch_us");
+    delete_batch_us_ = &obs_->histogram("gt.delete_batch_us");
+    batches_ingested_ = &obs_->counter("gt.batches");
+    updates_applied_ = &obs_->counter("gt.updates");
 }
 
 VertexId GraphTinker::map_source(VertexId raw) {
@@ -266,7 +273,34 @@ void GraphTinker::prefetch_ahead(std::span<const SourceRun> runs,
     }
 }
 
+namespace {
+/// Records a batch's wall time into a latency histogram (microseconds) on
+/// scope exit. The Timer read only happens when recording is enabled, so a
+/// disabled run pays one predictable branch per batch.
+class BatchLatencyScope {
+public:
+    explicit BatchLatencyScope(obs::Histogram* hist) noexcept
+        : hist_(hist), armed_(obs::kEnabled && obs::recording()) {}
+    ~BatchLatencyScope() {
+        if (armed_) {
+            hist_->record(
+                static_cast<std::uint64_t>(timer_.seconds() * 1e6));
+        }
+    }
+    BatchLatencyScope(const BatchLatencyScope&) = delete;
+    BatchLatencyScope& operator=(const BatchLatencyScope&) = delete;
+
+private:
+    obs::Histogram* hist_;
+    bool armed_;
+    Timer timer_;
+};
+}  // namespace
+
 void GraphTinker::insert_batch(std::span<const Edge> batch) {
+    batches_ingested_->inc();
+    updates_applied_->add(batch.size());
+    const BatchLatencyScope lat{ingest_batch_us_};
     // Amortized maintenance rides on every batch boundary when configured.
     struct MaintainAtExit {
         GraphTinker& g;
@@ -337,6 +371,9 @@ void GraphTinker::insert_batch(std::span<const Edge> batch) {
 }
 
 void GraphTinker::delete_batch(std::span<const Edge> batch) {
+    batches_ingested_->inc();
+    updates_applied_->add(batch.size());
+    const BatchLatencyScope lat{delete_batch_us_};
     struct MaintainAtExit {
         GraphTinker& g;
         ~MaintainAtExit() {
@@ -407,6 +444,34 @@ GraphTinker::MemoryFootprint GraphTinker::memory_footprint() const {
     }
     out.props_bytes = props_.memory_bytes();
     return out;
+}
+
+obs::Snapshot GraphTinker::telemetry() const {
+    // Structural census gauges are refreshed at snapshot time — they are
+    // levels, not events, so polling beats hot-path bookkeeping.
+    obs::Registry& r = *obs_;
+    r.gauge("gt.num_edges").set(static_cast<double>(num_edges_));
+    r.gauge("gt.num_vertices").set(static_cast<double>(raw_bound_));
+    r.gauge("gt.nonempty_vertices").set(static_cast<double>(top_.size()));
+    r.gauge("eba.blocks_in_use")
+        .set(static_cast<double>(eba_.blocks_in_use()));
+    r.gauge("eba.blocks_allocated")
+        .set(static_cast<double>(eba_.blocks_allocated()));
+    r.gauge("eba.tombstones")
+        .set(static_cast<double>(eba_.tombstones_in_arena()));
+    if (config_.enable_cal) {
+        r.gauge("cal.blocks_in_use")
+            .set(static_cast<double>(cal_.blocks_in_use()));
+        r.gauge("cal.live_edges").set(static_cast<double>(cal_.live_edges()));
+        r.gauge("cal.scanned_slots")
+            .set(static_cast<double>(cal_.scanned_slots()));
+    }
+    const MemoryFootprint mem = memory_footprint();
+    r.gauge("mem.edgeblock_bytes")
+        .set(static_cast<double>(mem.edgeblock_bytes));
+    r.gauge("mem.cal_bytes").set(static_cast<double>(mem.cal_bytes));
+    r.gauge("mem.total_bytes").set(static_cast<double>(mem.total()));
+    return r.snapshot();
 }
 
 // audit() and validate() are defined in core/audit.cpp alongside the

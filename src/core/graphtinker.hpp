@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -24,7 +25,9 @@
 #include "core/maintenance.hpp"
 #include "core/sgh.hpp"
 #include "core/vertex_props.hpp"
+#include "obs/metrics.hpp"
 #include "util/types.hpp"
+#include "util/visit.hpp"
 
 namespace gt::core {
 
@@ -93,57 +96,64 @@ public:
 
     // ---- traversal -------------------------------------------------------
 
-    /// Visits every live out-edge of raw vertex `src`: fn(dst, weight).
-    /// Loads from the EdgeblockArray (the incremental-processing path).
+    /// Visits every live out-edge of raw vertex `src`: fn(dst, weight),
+    /// where fn may return void (visit everything) or bool (false stops —
+    /// pull-style gathers that only need one witness). Returns false when
+    /// iteration was cut short. Loads from the EdgeblockArray (the
+    /// incremental-processing path).
     template <typename Fn>
-    void for_each_out_edge(VertexId src, Fn&& fn) const {
-        const auto dense = dense_of(src);
-        if (!dense) {
-            return;
-        }
-        eba_.for_each_edge_of(top_[*dense], fn);
-    }
-
-    /// Early-terminating out-edge visit: fn(dst, weight) returns false to
-    /// stop (used by pull-style gathers that only need one witness).
-    /// Returns false when iteration was cut short.
-    template <typename Fn>
-    bool for_each_out_edge_until(VertexId src, Fn&& fn) const {
+    bool visit_out_edges(VertexId src, Fn&& fn) const {
         const auto dense = dense_of(src);
         if (!dense) {
             return true;
         }
-        return eba_.for_each_edge_of_until(top_[*dense], fn);
+        return eba_.visit_edges_of(top_[*dense], fn);
     }
 
-    /// Streams every live edge: fn(src, dst, weight). Loads from the CAL
+    /// Streams every live edge: fn(src, dst, weight), void- or
+    /// bool-returning as in visit_out_edges. Loads from the CAL
     /// EdgeblockArray when the feature is enabled (the full-processing
     /// path); otherwise falls back to sweeping the EdgeblockArray.
     template <typename Fn>
-    void for_each_edge(Fn&& fn) const {
+    bool visit_edges(Fn&& fn) const {
         if (config_.enable_cal) {
-            cal_.for_each_edge(fn);
-            return;
+            return cal_.visit_edges(fn);
         }
-        for_each_edge_via_eba(fn);
+        return visit_edges_via_eba(fn);
     }
 
     /// Streams every live edge from the EdgeblockArray regardless of CAL
     /// (exposed for the CAL ablation experiments).
     template <typename Fn>
-    void for_each_edge_via_eba(Fn&& fn) const {
+    bool visit_edges_via_eba(Fn&& fn) const {
         for (VertexId dense = 0; dense < top_.size(); ++dense) {
             const VertexId raw = raw_of(dense);
-            eba_.for_each_edge_of(top_[dense], [&](VertexId dst, Weight w) {
-                fn(raw, dst, w);
-            });
+            const bool complete = eba_.visit_edges_of(
+                top_[dense], [&](VertexId dst, Weight w) {
+                    return visit_step(fn, raw, dst, w);
+                });
+            if (!complete) {
+                return false;
+            }
         }
+        return true;
     }
 
     // ---- diagnostics -----------------------------------------------------
 
     [[nodiscard]] const Config& config() const noexcept { return config_; }
-    [[nodiscard]] const Stats& stats() const noexcept { return eba_.stats(); }
+    /// \deprecated Compatibility shim (PR 4): snapshots the legacy Stats
+    /// struct from the obs registry. Prefer obs() / telemetry() — e.g.
+    /// obs().counter("eba.cells_probed") or telemetry().counter_value().
+    [[nodiscard]] Stats stats() const noexcept { return eba_.stats(); }
+    /// The store's metrics registry. Every component (EBA probe counters
+    /// and histograms, CAL chain telemetry, maintenance sweeps, batch
+    /// ingest latency) records here under dotted names — see the README
+    /// metric table.
+    [[nodiscard]] obs::Registry& obs() const noexcept { return *obs_; }
+    /// Snapshot of the registry with the structural gauges (live edges,
+    /// tombstones, blocks in use, byte footprints) refreshed first.
+    [[nodiscard]] obs::Snapshot telemetry() const;
     [[nodiscard]] const EdgeblockArray& edgeblock_array() const noexcept {
         return eba_;
     }
@@ -253,6 +263,9 @@ private:
     }
 
     Config config_;
+    // The registry outlives (and is constructed before) every component
+    // that resolves handles from it — declaration order is load-bearing.
+    std::unique_ptr<obs::Registry> obs_;
     ScatterGatherHash sgh_;
     CoarseAdjacencyList cal_;
     EdgeblockArray eba_;
@@ -262,6 +275,12 @@ private:
     VertexId raw_bound_ = 0;
     /// Resume point of the amortized maintenance slices (dense id).
     VertexId maintain_cursor_ = 0;
+
+    // Batch-ingest telemetry handles (resolved once at construction).
+    obs::Histogram* ingest_batch_us_ = nullptr;
+    obs::Histogram* delete_batch_us_ = nullptr;
+    obs::Counter* batches_ingested_ = nullptr;
+    obs::Counter* updates_applied_ = nullptr;
 
     // Batched-ingest scratch (capacity reused across batches; holds keys and
     // radix histograms, never edge copies).

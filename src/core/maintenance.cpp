@@ -17,6 +17,14 @@ public:
         const EdgeblockArray::StatsBatchScope stats_scope{g_.eba_};
         sweep_trees();
         compact_cal();
+        // One registry record per sweep: how much work this run touched
+        // (cells examined + moved) and whether it finished its walk.
+        obs::Registry& r = g_.obs();
+        r.counter("maintenance.runs").inc();
+        if (report_.complete) {
+            r.counter("maintenance.complete_runs").inc();
+        }
+        r.histogram("maintenance.cells_touched").record(cost_);
         return report_;
     }
 

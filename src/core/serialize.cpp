@@ -36,7 +36,7 @@ bool save_snapshot(const GraphTinker& graph, std::ostream& out) {
     put(out, cfg.cal_block_edges);
     put(out, graph.num_edges());
     EdgeCount written = 0;
-    graph.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    graph.visit_edges([&](VertexId s, VertexId d, Weight w) {
         put(out, s);
         put(out, d);
         put(out, w);

@@ -14,17 +14,26 @@
 // the whole point.
 //
 // The engine is generic over the store: any type providing
-//   for_each_out_edge(v, fn(dst, w)) / for_each_edge(fn(src, dst, w)) /
+//   visit_out_edges(v, fn(dst, w)) / visit_edges(fn(src, dst, w)) /
 //   num_edges() / num_vertices() / degree(v)
 // can drive it, so GraphTinker and the STINGER baseline are exercised by
 // byte-for-byte the same engine code.
+//
+// Telemetry goes through gt::obs: point EngineOptions::registry at a
+// MetricsRegistry and the engine appends one row per iteration to the
+// "engine.trace" series (mode, decision ratio, edges streamed/walked, wall
+// time) and bumps the aggregate "engine.*" counters. No registry, no
+// recording — there is no private trace vector any more.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/active_set.hpp"
 #include "util/timer.hpp"
 #include "util/types.hpp"
@@ -60,17 +69,21 @@ struct EngineOptions {
     /// Crossover for HybridDegreeAware: choose FP when the incremental walk
     /// would touch more than this fraction of all edges.
     double degree_threshold = 0.3;
-    /// Record a per-iteration trace (cheap; on by default).
-    bool keep_trace = true;
+    /// Telemetry sink. When set, every iteration appends a row to the
+    /// "engine.trace" series (fields kTraceFields below) and bumps the
+    /// aggregate "engine.*" counters. Typically `&store.obs()` so engine
+    /// and store telemetry land in one snapshot; null disables recording.
+    obs::Registry* registry = nullptr;
 };
 
-struct IterationTrace {
-    Mode mode;
-    std::size_t active_vertices;
-    std::uint64_t edges_streamed;  // edges physically read this iteration
-    std::uint64_t logical_edges;   // sum of active-vertex degrees
-    double seconds;
-};
+/// Field schema of the "engine.trace" series, one row per iteration:
+/// `iteration` is a monotonically increasing sequence number across runs,
+/// `mode_full` is 1.0 for FP / 0.0 for IP, `ratio` is the value the
+/// inference unit compared against its threshold (A/E, or L/E for the
+/// degree-aware policy).
+inline constexpr std::array<std::string_view, 7> kTraceFields = {
+    "iteration",     "mode_full",     "active", "ratio",
+    "edges_streamed", "logical_edges", "seconds"};
 
 /// Aggregated statistics for one analytics run (one convergence to
 /// fixpoint). `logical_edges` is mode-independent, so
@@ -83,7 +96,6 @@ struct RunStats {
     std::uint64_t edges_streamed = 0;
     std::uint64_t logical_edges = 0;
     double seconds = 0.0;
-    std::vector<IterationTrace> trace;
 
     void accumulate(const RunStats& other) {
         iterations += other.iterations;
@@ -92,7 +104,6 @@ struct RunStats {
         edges_streamed += other.edges_streamed;
         logical_edges += other.logical_edges;
         seconds += other.seconds;
-        trace.insert(trace.end(), other.trace.begin(), other.trace.end());
     }
 
     [[nodiscard]] double throughput_meps() const noexcept {
@@ -110,7 +121,18 @@ public:
 
     explicit DynamicAnalysis(const Store& store, EngineOptions opts = {},
                              Alg alg = {})
-        : store_(store), opts_(opts), alg_(alg) {}
+        : store_(store), opts_(opts), alg_(alg) {
+        if (opts_.registry != nullptr) {
+            obs::Registry& r = *opts_.registry;
+            trace_ = &r.series("engine.trace",
+                               {kTraceFields.begin(), kTraceFields.end()});
+            iterations_m_ = &r.counter("engine.iterations");
+            full_m_ = &r.counter("engine.full_iterations");
+            incremental_m_ = &r.counter("engine.incremental_iterations");
+            streamed_m_ = &r.counter("engine.edges_streamed");
+            logical_m_ = &r.counter("engine.logical_edges");
+        }
+    }
 
     /// Registers the analysis root (BFS/SSSP); its property becomes 0 and it
     /// seeds from-scratch runs. May be called before the vertex exists.
@@ -188,20 +210,27 @@ private:
         }
     }
 
+    /// Mode plus the ratio the inference unit compared (published to the
+    /// "engine.trace" series so threshold crossings are visible post hoc).
+    struct ModeDecision {
+        Mode mode;
+        double ratio;
+    };
+
     /// The inference-box decision for the upcoming iteration (paper §IV.B).
-    [[nodiscard]] Mode decide_mode() const {
+    [[nodiscard]] ModeDecision decide_mode() const {
         const double edges =
             static_cast<double>(std::max<EdgeCount>(store_.num_edges(), 1));
+        const double a_over_e = static_cast<double>(active_.size()) / edges;
         switch (opts_.policy) {
             case ModePolicy::ForceFull:
-                return Mode::Full;
+                return {Mode::Full, a_over_e};
             case ModePolicy::ForceIncremental:
-                return Mode::Incremental;
-            case ModePolicy::Hybrid: {
-                const double t =
-                    static_cast<double>(active_.size()) / edges;
-                return t > opts_.threshold ? Mode::Full : Mode::Incremental;
-            }
+                return {Mode::Incremental, a_over_e};
+            case ModePolicy::Hybrid:
+                return {a_over_e > opts_.threshold ? Mode::Full
+                                                   : Mode::Incremental,
+                        a_over_e};
             case ModePolicy::HybridDegreeAware:
                 break;
         }
@@ -210,7 +239,8 @@ private:
             walk += store_.degree(u);
         }
         const double t = static_cast<double>(walk) / edges;
-        return t > opts_.degree_threshold ? Mode::Full : Mode::Incremental;
+        return {t > opts_.degree_threshold ? Mode::Full : Mode::Incremental,
+                t};
     }
 
     void scatter_to(VertexId dst, Property msg) {
@@ -228,7 +258,8 @@ private:
         RunStats stats;
         while (!active_.empty()) {
             Timer timer;
-            const Mode mode = decide_mode();
+            const ModeDecision decision = decide_mode();
+            const Mode mode = decision.mode;
             const std::size_t processed = active_.size();
             std::uint64_t streamed = 0;
             std::uint64_t logical = 0;
@@ -238,7 +269,7 @@ private:
             if (mode == Mode::Incremental) {
                 for (VertexId u : active_.vertices()) {
                     const Property up = props_[u];
-                    store_.for_each_out_edge(u, [&](VertexId v, Weight w) {
+                    store_.visit_out_edges(u, [&](VertexId v, Weight w) {
                         ++streamed;
                         if (const auto msg = alg_.process_edge(u, up, w)) {
                             scatter_to(v, *msg);
@@ -247,7 +278,7 @@ private:
                 }
                 logical = streamed;
             } else {
-                store_.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+                store_.visit_edges([&](VertexId u, VertexId v, Weight w) {
                     ++streamed;
                     if (active_.contains(u)) {
                         if (const auto msg =
@@ -290,17 +321,43 @@ private:
             stats.edges_streamed += streamed;
             stats.logical_edges += logical;
             stats.seconds += secs;
-            if (opts_.keep_trace) {
-                stats.trace.push_back(
-                    IterationTrace{mode, processed, streamed, logical, secs});
-            }
+            publish_iteration(decision, processed, streamed, logical, secs);
         }
         return stats;
+    }
+
+    void publish_iteration(ModeDecision decision, std::size_t processed,
+                           std::uint64_t streamed, std::uint64_t logical,
+                           double secs) {
+        if (trace_ == nullptr) {
+            return;
+        }
+        iterations_m_->inc();
+        (decision.mode == Mode::Full ? full_m_ : incremental_m_)->inc();
+        streamed_m_->add(streamed);
+        logical_m_->add(logical);
+        const double row[] = {static_cast<double>(++iteration_seq_),
+                              decision.mode == Mode::Full ? 1.0 : 0.0,
+                              static_cast<double>(processed),
+                              decision.ratio,
+                              static_cast<double>(streamed),
+                              static_cast<double>(logical),
+                              secs};
+        trace_->append(row);
     }
 
     const Store& store_;
     EngineOptions opts_;
     Alg alg_;
+    // Telemetry handles, resolved once in the constructor; all null when
+    // EngineOptions::registry is null (trace_ doubles as the gate).
+    obs::Series* trace_ = nullptr;
+    obs::Counter* iterations_m_ = nullptr;
+    obs::Counter* full_m_ = nullptr;
+    obs::Counter* incremental_m_ = nullptr;
+    obs::Counter* streamed_m_ = nullptr;
+    obs::Counter* logical_m_ = nullptr;
+    std::uint64_t iteration_seq_ = 0;  // trace row ids, monotone across runs
     std::vector<Property> props_;
     std::vector<Property> temp_;
     ActiveSet active_;

@@ -29,7 +29,7 @@ template <typename Store>
     // Undirected degree view (dedup handled by the store).
     std::vector<std::uint32_t> degree(n, 0);
     std::vector<std::vector<VertexId>> adjacency(n);
-    store.for_each_edge([&](VertexId u, VertexId v, Weight) {
+    store.visit_edges([&](VertexId u, VertexId v, Weight) {
         if (u != v) {
             adjacency[u].push_back(v);
         }

@@ -38,7 +38,18 @@ public:
           opts_(opts),
           alg_(alg),
           pool_(store.num_shards()),
-          locals_(store.num_shards()) {}
+          locals_(store.num_shards()) {
+        if (opts_.registry != nullptr) {
+            obs::Registry& r = *opts_.registry;
+            trace_ = &r.series("engine.trace",
+                               {kTraceFields.begin(), kTraceFields.end()});
+            iterations_m_ = &r.counter("engine.iterations");
+            full_m_ = &r.counter("engine.full_iterations");
+            incremental_m_ = &r.counter("engine.incremental_iterations");
+            streamed_m_ = &r.counter("engine.edges_streamed");
+            logical_m_ = &r.counter("engine.logical_edges");
+        }
+    }
 
     void set_root(VertexId root) {
         roots_.push_back(root);
@@ -124,19 +135,25 @@ private:
         }
     }
 
-    [[nodiscard]] Mode decide_mode() const {
-        switch (opts_.policy) {
-            case ModePolicy::ForceFull:
-                return Mode::Full;
-            case ModePolicy::ForceIncremental:
-                return Mode::Incremental;
-            default:
-                break;
-        }
+    /// Mode plus the compared A/E ratio (see hybrid_engine.hpp).
+    struct ModeDecision {
+        Mode mode;
+        double ratio;
+    };
+
+    [[nodiscard]] ModeDecision decide_mode() const {
         const double edges = static_cast<double>(
             std::max<EdgeCount>(total_edges(), 1));
         const double t = static_cast<double>(active_.size()) / edges;
-        return t > opts_.threshold ? Mode::Full : Mode::Incremental;
+        switch (opts_.policy) {
+            case ModePolicy::ForceFull:
+                return {Mode::Full, t};
+            case ModePolicy::ForceIncremental:
+                return {Mode::Incremental, t};
+            default:
+                break;
+        }
+        return {t > opts_.threshold ? Mode::Full : Mode::Incremental, t};
     }
 
     RunStats run() {
@@ -145,7 +162,8 @@ private:
         std::vector<std::vector<VertexId>> by_shard(store_.num_shards());
         while (!active_.empty()) {
             Timer timer;
-            const Mode mode = decide_mode();
+            const ModeDecision decision = decide_mode();
+            const Mode mode = decision.mode;
             const std::size_t processed = active_.size();
 
             // --- parallel scatter phase ------------------------------
@@ -175,14 +193,14 @@ private:
                 };
                 if (mode == Mode::Incremental) {
                     for (VertexId u : by_shard[s]) {
-                        store_.shard(s).for_each_out_edge(
+                        store_.shard(s).visit_out_edges(
                             u, [&](VertexId v, Weight w) {
                                 ++local.streamed;
                                 scatter(u, v, w);
                             });
                     }
                 } else {
-                    store_.shard(s).for_each_edge(
+                    store_.shard(s).visit_edges(
                         [&](VertexId u, VertexId v, Weight w) {
                             ++local.streamed;
                             if (active_.contains(u)) {
@@ -244,10 +262,20 @@ private:
             stats.edges_streamed += streamed;
             stats.logical_edges += logical;
             stats.seconds += secs;
-            if (opts_.keep_trace) {
-                stats.trace.push_back(IterationTrace{mode, processed,
-                                                     streamed, logical,
-                                                     secs});
+            if (trace_ != nullptr) {
+                iterations_m_->inc();
+                (mode == Mode::Full ? full_m_ : incremental_m_)->inc();
+                streamed_m_->add(streamed);
+                logical_m_->add(logical);
+                const double row[] = {
+                    static_cast<double>(++iteration_seq_),
+                    mode == Mode::Full ? 1.0 : 0.0,
+                    static_cast<double>(processed),
+                    decision.ratio,
+                    static_cast<double>(streamed),
+                    static_cast<double>(logical),
+                    secs};
+                trace_->append(row);
             }
         }
         return stats;
@@ -256,6 +284,15 @@ private:
     const Sharded& store_;
     EngineOptions opts_;
     Alg alg_;
+    // Telemetry handles (null without EngineOptions::registry); rows land
+    // in the same "engine.trace" schema the serial engine publishes.
+    obs::Series* trace_ = nullptr;
+    obs::Counter* iterations_m_ = nullptr;
+    obs::Counter* full_m_ = nullptr;
+    obs::Counter* incremental_m_ = nullptr;
+    obs::Counter* streamed_m_ = nullptr;
+    obs::Counter* logical_m_ = nullptr;
+    std::uint64_t iteration_seq_ = 0;
     ThreadPool pool_;
     std::vector<Property> props_;
     std::vector<Property> temp_;

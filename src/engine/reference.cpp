@@ -45,7 +45,7 @@ std::vector<std::uint32_t> reference_bfs(const CsrSnapshot& g, VertexId root) {
     while (!frontier.empty()) {
         const VertexId u = frontier.front();
         frontier.pop();
-        g.for_each_out_edge(u, [&](VertexId v, Weight) {
+        g.visit_out_edges(u, [&](VertexId v, Weight) {
             if (level[v] == kInfDistance) {
                 level[v] = level[u] + 1;
                 frontier.push(v);
@@ -71,7 +71,7 @@ std::vector<std::uint32_t> reference_sssp(const CsrSnapshot& g,
         if (d != dist[u]) {
             continue;  // stale entry
         }
-        g.for_each_out_edge(u, [&](VertexId v, Weight w) {
+        g.visit_out_edges(u, [&](VertexId v, Weight w) {
             const std::uint64_t candidate = static_cast<std::uint64_t>(d) + w;
             const auto clamped = static_cast<std::uint32_t>(
                 std::min<std::uint64_t>(candidate, kInfDistance - 1));
@@ -99,7 +99,7 @@ std::vector<std::uint32_t> reference_cc(const CsrSnapshot& g) {
         return x;
     };
     for (VertexId u = 0; u < g.num_vertices(); ++u) {
-        g.for_each_out_edge(u, [&](VertexId v, Weight) {
+        g.visit_out_edges(u, [&](VertexId v, Weight) {
             const VertexId ru = find(u);
             const VertexId rv = find(v);
             if (ru != rv) {
@@ -119,7 +119,7 @@ std::vector<double> reference_pagerank(const CsrSnapshot& g, double damping,
     const VertexId n = g.num_vertices();
     std::vector<std::uint32_t> degree(n, 0);
     for (VertexId u = 0; u < n; ++u) {
-        g.for_each_out_edge(u, [&](VertexId, Weight) { ++degree[u]; });
+        g.visit_out_edges(u, [&](VertexId, Weight) { ++degree[u]; });
     }
     std::vector<double> rank(n, 1.0 - damping);
     std::vector<double> next(n, 0.0);
@@ -130,7 +130,7 @@ std::vector<double> reference_pagerank(const CsrSnapshot& g, double damping,
                 continue;  // dangling vertices absorb their mass
             }
             const double share = damping * rank[u] / degree[u];
-            g.for_each_out_edge(u, [&](VertexId v, Weight) {
+            g.visit_out_edges(u, [&](VertexId v, Weight) {
                 next[v] += share;
             });
         }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/visit.hpp"
 
 namespace gt::engine {
 
@@ -27,10 +28,13 @@ public:
     }
 
     template <typename Fn>
-    void for_each_out_edge(VertexId v, Fn&& fn) const {
+    bool visit_out_edges(VertexId v, Fn&& fn) const {
         for (EdgeCount i = offsets_[v]; i < offsets_[v + 1]; ++i) {
-            fn(adjacency_[i].first, adjacency_[i].second);
+            if (!visit_step(fn, adjacency_[i].first, adjacency_[i].second)) {
+                return false;
+            }
         }
+        return true;
     }
 
 private:

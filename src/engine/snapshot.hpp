@@ -14,12 +14,12 @@
 namespace gt::engine {
 
 /// Materializes the current edge set of `store` (any type with
-/// for_each_edge and num_vertices) as a CSR snapshot.
+/// visit_edges and num_vertices) as a CSR snapshot.
 template <typename Store>
 [[nodiscard]] CsrSnapshot snapshot_of(const Store& store) {
     std::vector<Edge> edges;
     edges.reserve(static_cast<std::size_t>(store.num_edges()));
-    store.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    store.visit_edges([&](VertexId s, VertexId d, Weight w) {
         edges.push_back(Edge{s, d, w});
     });
     return CsrSnapshot(edges, store.num_vertices());

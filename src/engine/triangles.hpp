@@ -32,7 +32,7 @@ template <typename Store>
 [[nodiscard]] TriangleStats count_triangles(const Store& store) {
     const auto n = static_cast<VertexId>(store.num_vertices());
     std::vector<std::vector<VertexId>> adjacency(n);
-    store.for_each_edge([&](VertexId u, VertexId v, Weight) {
+    store.visit_edges([&](VertexId u, VertexId v, Weight) {
         if (u != v) {
             adjacency[u].push_back(v);
         }

@@ -98,7 +98,7 @@ std::vector<std::uint32_t> direction_optimizing_bfs(
         if (!bottom_up) {
             // Top-down push along out-edges.
             for (VertexId u : frontier) {
-                store.for_each_out_edge(u, [&](VertexId v, Weight) {
+                store.visit_out_edges(u, [&](VertexId v, Weight) {
                     ++examined;
                     if (level[v] == kInfDistance) {
                         level[v] = depth + 1;
@@ -113,7 +113,7 @@ std::vector<std::uint32_t> direction_optimizing_bfs(
                 if (level[v] != kInfDistance) {
                     continue;
                 }
-                store.for_each_in_edge_until(v, [&](VertexId u, Weight) {
+                store.visit_in_edges(v, [&](VertexId u, Weight) {
                     ++examined;
                     if (level[u] == depth) {
                         level[v] = depth + 1;

@@ -1,0 +1,270 @@
+#include "obs/export.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace gt::obs {
+
+// ---- JsonWriter -------------------------------------------------------
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                constexpr char hex[] = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+std::string JsonWriter::format_double(double v) {
+    if (!std::isfinite(v)) {
+        return "0";  // JSON has no NaN/Inf; benches never produce them
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+void JsonWriter::newline_indent() {
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) {
+        os_ << "  ";
+    }
+}
+
+void JsonWriter::before_value() {
+    if (stack_.empty()) {
+        return;  // top-level document value
+    }
+    char& state = stack_.back();
+    if (state == 'v') {
+        state = 'o';  // value consumed the pending key
+        return;
+    }
+    assert(state == 'a' && "JSON object members need key() before value()");
+    if (has_items_.back()) {
+        os_ << ',';
+    }
+    has_items_.back() = true;
+    newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+    assert(!stack_.empty() && stack_.back() == 'o');
+    if (has_items_.back()) {
+        os_ << ',';
+    }
+    has_items_.back() = true;
+    newline_indent();
+    write_escaped(os_, name);
+    os_ << ": ";
+    stack_.back() = 'v';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+    before_value();
+    os_ << '{';
+    stack_.push_back('o');
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+    assert(!stack_.empty() && stack_.back() == 'o');
+    const bool had_items = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had_items) {
+        newline_indent();
+    }
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+    before_value();
+    os_ << '[';
+    stack_.push_back('a');
+    has_items_.push_back(false);
+    return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+    assert(!stack_.empty() && stack_.back() == 'a');
+    const bool had_items = has_items_.back();
+    stack_.pop_back();
+    has_items_.pop_back();
+    if (had_items) {
+        newline_indent();
+    }
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+    before_value();
+    write_escaped(os_, v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+    before_value();
+    os_ << format_double(v);
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+    before_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+    before_value();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+    before_value();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+void JsonWriter::finish() {
+    assert(stack_.empty() && "finish() with unclosed containers");
+    os_ << '\n';
+}
+
+// ---- Exporter ---------------------------------------------------------
+
+void Exporter::append_json(JsonWriter& w, const Snapshot& snap) {
+    w.begin_object();
+    w.member("schema", "gt.obs.v1");
+
+    w.key("counters").begin_object();
+    for (const auto& c : snap.counters) {
+        w.member(c.name, c.value);
+    }
+    w.end_object();
+
+    w.key("gauges").begin_object();
+    for (const auto& g : snap.gauges) {
+        w.member(g.name, g.value);
+    }
+    w.end_object();
+
+    w.key("histograms").begin_object();
+    for (const auto& h : snap.histograms) {
+        w.key(h.name).begin_object();
+        w.member("count", h.count);
+        w.member("sum", h.sum);
+        w.member("mean", h.mean());
+        w.member("p50", h.quantile_bound(0.50));
+        w.member("p99", h.quantile_bound(0.99));
+        w.key("buckets").begin_array();
+        for (const auto b : h.buckets) {
+            w.value(b);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+
+    w.key("series").begin_object();
+    for (const auto& s : snap.series) {
+        w.key(s.name).begin_object();
+        w.key("fields").begin_array();
+        for (const auto& f : s.fields) {
+            w.value(f);
+        }
+        w.end_array();
+        w.key("rows").begin_array();
+        for (const auto& row : s.rows) {
+            w.begin_array();
+            for (const double v : row) {
+                w.value(v);
+            }
+            w.end_array();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+
+    w.end_object();
+}
+
+void Exporter::write_json(std::ostream& os, const Snapshot& snap) {
+    JsonWriter w(os);
+    append_json(w, snap);
+    w.finish();
+}
+
+void Exporter::write_table(std::ostream& os, const Snapshot& snap) {
+    if (!snap.counters.empty() || !snap.gauges.empty()) {
+        Table t({"metric", "value"});
+        for (const auto& c : snap.counters) {
+            t.add_row({c.name, std::to_string(c.value)});
+        }
+        for (const auto& g : snap.gauges) {
+            t.add_row({g.name, JsonWriter::format_double(g.value)});
+        }
+        t.print(os);
+    }
+    if (!snap.histograms.empty()) {
+        Table t({"histogram", "count", "mean", "p50", "p99", "max<="});
+        for (const auto& h : snap.histograms) {
+            std::size_t top = 0;
+            for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+                if (h.buckets[i] != 0) {
+                    top = i;
+                }
+            }
+            t.add_row({h.name, std::to_string(h.count),
+                       Table::fmt(h.mean(), 2),
+                       std::to_string(h.quantile_bound(0.50)),
+                       std::to_string(h.quantile_bound(0.99)),
+                       std::to_string(Histogram::bucket_limit(top))});
+        }
+        t.print(os);
+    }
+    for (const auto& s : snap.series) {
+        os << s.name << " (" << s.rows.size() << " rows)\n";
+        std::vector<std::string> header = {"#"};
+        header.insert(header.end(), s.fields.begin(), s.fields.end());
+        Table t(std::move(header));
+        std::size_t i = 0;
+        for (const auto& row : s.rows) {
+            std::vector<std::string> cells = {std::to_string(i++)};
+            for (const double v : row) {
+                cells.push_back(Table::fmt(v, 4));
+            }
+            t.add_row(std::move(cells));
+        }
+        t.print(os);
+    }
+}
+
+}  // namespace gt::obs

@@ -1,0 +1,88 @@
+// Rendering for gt::obs snapshots — one exporter for every emitter.
+//
+// JsonWriter is a small streaming JSON emitter (comma/indent bookkeeping,
+// string escaping, shortest-round-trip doubles) used by the benches for
+// their envelope documents; Exporter renders a Snapshot either as a
+// stable-schema JSON value ("gt.obs.v1", sections sorted by metric name)
+// or as aligned human tables. Benches and the CLI embed snapshots with
+// Exporter::append_json instead of hand-rolling JSON.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gt::obs {
+
+/// Streaming JSON writer. Call shape mirrors the document: begin_object /
+/// key / value / end_object, with commas, newlines and 2-space indentation
+/// inserted automatically. Output is deterministic (doubles use shortest
+/// round-trip formatting), which the golden-schema test relies on.
+class JsonWriter {
+public:
+    explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+    JsonWriter& begin_object();
+    JsonWriter& end_object();
+    JsonWriter& begin_array();
+    JsonWriter& end_array();
+    JsonWriter& key(std::string_view name);
+
+    JsonWriter& value(std::string_view v);
+    JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+    JsonWriter& value(double v);
+    JsonWriter& value(std::uint64_t v);
+    JsonWriter& value(std::int64_t v);
+    JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter& value(unsigned v) {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter& value(bool v);
+
+    /// key(k) + value(v) in one call.
+    template <typename T>
+    JsonWriter& member(std::string_view k, T&& v) {
+        key(k);
+        return value(std::forward<T>(v));
+    }
+
+    /// Terminates the document with a trailing newline (top level only).
+    void finish();
+
+    /// Formats a double exactly as value(double) would — shared with the
+    /// table renderer so both outputs agree.
+    [[nodiscard]] static std::string format_double(double v);
+
+private:
+    void before_value();
+    void newline_indent();
+
+    std::ostream& os_;
+    // One level per open container: 'o' expecting key, 'v' object expecting
+    // value (key already written), 'a' array.
+    std::string stack_;
+    std::vector<bool> has_items_;
+};
+
+/// Renders Snapshots. All three consumers (micro_ingest, micro_churn,
+/// `gt stats`) go through this one implementation.
+class Exporter {
+public:
+    /// Writes a full JSON document: the snapshot object plus trailing
+    /// newline.
+    static void write_json(std::ostream& os, const Snapshot& snap);
+
+    /// Emits the snapshot as the *current value* of `w` — use after
+    /// w.key("registry") to embed a snapshot in a larger document.
+    static void append_json(JsonWriter& w, const Snapshot& snap);
+
+    /// Renders aligned human tables (counters/gauges, histogram summary
+    /// with mean/p50/p99, series rows).
+    static void write_table(std::ostream& os, const Snapshot& snap);
+};
+
+}  // namespace gt::obs

@@ -1,0 +1,196 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gt::obs {
+
+namespace {
+
+std::uint32_t floor_pow2(std::uint32_t v) noexcept {
+    return v == 0 ? 1 : std::bit_floor(v);
+}
+
+std::uint32_t env_sample_period() noexcept {
+    const char* raw = std::getenv("GT_OBS_SAMPLE");
+    if (raw == nullptr || *raw == '\0') {
+        return 64;
+    }
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(raw, &end, 10);
+    if (end == raw || v == 0 || v > (1u << 30)) {
+        return 64;
+    }
+    return floor_pow2(static_cast<std::uint32_t>(v));
+}
+
+bool env_recording() noexcept {
+    const char* raw = std::getenv("GT_OBS_RECORD");
+    if (raw == nullptr || *raw == '\0') {
+        return true;
+    }
+    return !(raw[0] == '0' && raw[1] == '\0');
+}
+
+std::atomic<bool>& recording_flag() noexcept {
+    static std::atomic<bool> flag{env_recording()};
+    return flag;
+}
+
+std::atomic<std::uint32_t>& sample_mask_word() noexcept {
+    static std::atomic<std::uint32_t> mask{env_sample_period() - 1};
+    return mask;
+}
+
+}  // namespace
+
+bool recording() noexcept {
+    return recording_flag().load(std::memory_order_relaxed);
+}
+
+void set_recording(bool on) noexcept {
+    recording_flag().store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t sample_period() noexcept {
+    return detail::sample_mask() + 1;
+}
+
+void set_sample_period(std::uint32_t period) noexcept {
+    sample_mask_word().store(floor_pow2(period) - 1,
+                             std::memory_order_relaxed);
+}
+
+std::uint32_t detail::sample_mask() noexcept {
+    return sample_mask_word().load(std::memory_order_relaxed);
+}
+
+// ---- Snapshot ---------------------------------------------------------
+
+namespace {
+
+template <typename Rows>
+auto* find_row(const Rows& rows, std::string_view name) {
+    // Rows are sorted by name (registry maps iterate in order).
+    const auto it = std::lower_bound(
+        rows.begin(), rows.end(), name,
+        [](const auto& row, std::string_view n) { return row.name < n; });
+    return (it != rows.end() && it->name == name) ? &*it : nullptr;
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::HistogramRow::quantile_bound(
+    double q) const noexcept {
+    if (count == 0) {
+        return 0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen > rank) {
+            return Histogram::bucket_limit(i);
+        }
+    }
+    return Histogram::bucket_limit(buckets.size() - 1);
+}
+
+const Snapshot::CounterRow* Snapshot::counter(std::string_view name) const {
+    return find_row(counters, name);
+}
+const Snapshot::GaugeRow* Snapshot::gauge(std::string_view name) const {
+    return find_row(gauges, name);
+}
+const Snapshot::HistogramRow* Snapshot::histogram(
+    std::string_view name) const {
+    return find_row(histograms, name);
+}
+const Snapshot::SeriesRow* Snapshot::find_series(
+    std::string_view name) const {
+    return find_row(series, name);
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+    const CounterRow* row = counter(name);
+    return row == nullptr ? 0 : row->value;
+}
+
+double Snapshot::gauge_value(std::string_view name) const {
+    const GaugeRow* row = gauge(name);
+    return row == nullptr ? 0.0 : row->value;
+}
+
+// ---- MetricsRegistry --------------------------------------------------
+
+namespace {
+
+template <typename T, typename Map, typename Make>
+T& resolve(Map& map, std::string_view name, Make make) {
+    auto it = map.find(name);
+    if (it == map.end()) {
+        it = map.emplace(std::string(name), make()).first;
+    }
+    return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return resolve<Counter>(counters_, name,
+                   [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return resolve<Gauge>(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return resolve<Histogram>(histograms_, name,
+                   [] { return std::make_unique<Histogram>(); });
+}
+
+Series& MetricsRegistry::series(std::string_view name,
+                                std::vector<std::string> fields,
+                                std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return resolve<Series>(series_, name, [&] {
+        return std::make_unique<Series>(std::move(fields), capacity);
+    });
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+        snap.counters.push_back({name, c->value()});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+        snap.gauges.push_back({name, g->value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        Snapshot::HistogramRow row;
+        row.name = name;
+        row.count = h->count();
+        row.sum = h->sum();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+            row.buckets[i] = h->bucket(i);
+        }
+        snap.histograms.push_back(std::move(row));
+    }
+    snap.series.reserve(series_.size());
+    for (const auto& [name, s] : series_) {
+        snap.series.push_back({name, s->fields(), s->rows()});
+    }
+    return snap;
+}
+
+}  // namespace gt::obs

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/visit.hpp"
 
 namespace gt::stinger {
 
@@ -72,11 +73,12 @@ public:
                    : 0;
     }
 
-    /// Visits every live out-edge of v: fn(dst, weight).
+    /// Visits every live out-edge of v: fn(dst, weight); fn may return void
+    /// or bool (false stops; returns false when cut short).
     template <typename Fn>
-    void for_each_out_edge(VertexId v, Fn&& fn) const {
+    bool visit_out_edges(VertexId v, Fn&& fn) const {
         if (v >= vertices_.size()) {
-            return;
+            return true;
         }
         for (std::uint32_t b = vertices_[v].head; b != kNoBlock;
              b = blocks_[b].next) {
@@ -84,20 +86,30 @@ public:
             for (std::uint32_t i = 0; i < block_size_; ++i) {
                 const Cell& cell = cells_[base + i];
                 if (cell.state == CellState::Occupied) {
-                    fn(cell.dst, cell.weight);
+                    if (!visit_step(fn, cell.dst, cell.weight)) {
+                        return false;
+                    }
                 }
             }
         }
+        return true;
     }
 
     /// Visits every live edge: fn(src, dst, weight). This sweeps the entire
     /// logical vertex array — STINGER has no non-empty-vertex index, which is
     /// exactly the inefficiency GraphTinker's SGH addresses.
     template <typename Fn>
-    void for_each_edge(Fn&& fn) const {
+    bool visit_edges(Fn&& fn) const {
         for (VertexId v = 0; v < vertices_.size(); ++v) {
-            for_each_out_edge(v, [&](VertexId dst, Weight w) { fn(v, dst, w); });
+            const bool complete =
+                visit_out_edges(v, [&](VertexId dst, Weight w) {
+                    return visit_step(fn, v, dst, w);
+                });
+            if (!complete) {
+                return false;
+            }
         }
+        return true;
     }
 
     /// Diagnostics: blocks allocated in the pool.

@@ -10,12 +10,17 @@ namespace gt {
 
 struct Summary {
     double mean = 0.0;
-    double stddev = 0.0;
+    double stddev = 0.0;  // sample stddev (n-1 divisor); 0 when count < 2
     double min = 0.0;
     double max = 0.0;
     std::size_t count = 0;
 };
 
+/// Mean / sample standard deviation / extrema of a benchmark rep series.
+/// The stddev uses Bessel's correction (n-1): benchmark reps are a sample
+/// of the timing distribution, not its entirety, and the population formula
+/// systematically understates spread for the small rep counts (3-10) the
+/// harness runs. One rep (or none) has no spread estimate — stddev is 0.
 [[nodiscard]] inline Summary summarize(const std::vector<double>& xs) {
     Summary s;
     s.count = xs.size();
@@ -31,11 +36,14 @@ struct Summary {
         s.max = std::max(s.max, x);
     }
     s.mean = sum / static_cast<double>(xs.size());
+    if (xs.size() < 2) {
+        return s;
+    }
     double var = 0.0;
     for (double x : xs) {
         var += (x - s.mean) * (x - s.mean);
     }
-    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size() - 1));
     return s;
 }
 

@@ -1,0 +1,28 @@
+// Visitor-callback adapter for the unified visit_* edge-iteration API.
+//
+// Every edge visitor in the tree (`visit_out_edges`, `visit_edges`,
+// `visit_edges_of`, …) accepts a callback that may return either `void`
+// (visit everything) or `bool` (`false` stops the traversal early). The
+// two former API families (`for_each_*` and `for_each_*_until`) collapsed
+// into one; visit_step() is the `if constexpr` shim that makes a void
+// callback look like one that always continues.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace gt {
+
+/// Invokes `fn(args...)`; returns true to continue iterating. A void
+/// callback always continues; a bool-returning callback stops on false.
+template <typename Fn, typename... Args>
+[[nodiscard]] constexpr bool visit_step(Fn& fn, Args&&... args) {
+    if constexpr (std::is_void_v<std::invoke_result_t<Fn&, Args&&...>>) {
+        fn(std::forward<Args>(args)...);
+        return true;
+    } else {
+        return static_cast<bool>(fn(std::forward<Args>(args)...));
+    }
+}
+
+}  // namespace gt

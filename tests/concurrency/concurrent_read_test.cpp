@@ -4,7 +4,7 @@
 // it simultaneously. This directly exercises the two const-path mutations
 // that must be race-free by construction — the relaxed-atomic Stats counters
 // bumped by every FIND and the thread-local traversal scratch used by
-// for_each_edge_of.
+// visit_edges_of.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -95,7 +95,7 @@ TEST(ConcurrentRead, MixedTraversalFindAndAudit) {
             for (int round = 0; round < 30; ++round) {
                 EdgeCount seen = 0;
                 for (VertexId src = 0; src < 48; ++src) {
-                    g.for_each_out_edge(src,
+                    g.visit_out_edges(src,
                                         [&](VertexId, Weight) { ++seen; });
                 }
                 if (seen != expect_edges) {
@@ -105,11 +105,11 @@ TEST(ConcurrentRead, MixedTraversalFindAndAudit) {
             }
         });
     }
-    // One full-stream thread: CAL-backed for_each_edge.
+    // One full-stream thread: CAL-backed visit_edges.
     threads.emplace_back([&] {
         for (int round = 0; round < 30; ++round) {
             EdgeCount seen = 0;
-            g.for_each_edge([&](VertexId, VertexId, Weight) { ++seen; });
+            g.visit_edges([&](VertexId, VertexId, Weight) { ++seen; });
             if (seen != expect_edges) {
                 failed.store(true, std::memory_order_relaxed);
                 return;
@@ -145,7 +145,7 @@ TEST(ConcurrentRead, MixedTraversalFindAndAudit) {
 }
 
 TEST(ConcurrentRead, EbaFallbackStreamIsThreadSafe) {
-    // With CAL disabled, for_each_edge falls back to the EdgeblockArray
+    // With CAL disabled, visit_edges falls back to the EdgeblockArray
     // sweep, which leans on the thread-local visit stack from every thread.
     Config cfg = stress_config();
     cfg.enable_cal = false;
@@ -162,7 +162,7 @@ TEST(ConcurrentRead, EbaFallbackStreamIsThreadSafe) {
         threads.emplace_back([&] {
             for (int round = 0; round < 20; ++round) {
                 EdgeCount seen = 0;
-                g.for_each_edge([&](VertexId, VertexId, Weight) { ++seen; });
+                g.visit_edges([&](VertexId, VertexId, Weight) { ++seen; });
                 if (seen != expect_edges) {
                     failed.store(true, std::memory_order_relaxed);
                     return;

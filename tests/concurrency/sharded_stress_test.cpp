@@ -55,13 +55,13 @@ TEST(ShardedStress, InterleavedInsertDeleteMatchesSerialReference) {
 
     // Content equivalence: every reference edge is found in its shard with
     // the same weight, and no shard holds an edge the reference lacks.
-    reference.for_each_edge([&](VertexId src, VertexId dst, Weight w) {
+    reference.visit_edges([&](VertexId src, VertexId dst, Weight w) {
         const auto got = store.find_edge(src, dst);
         ASSERT_TRUE(got.has_value()) << src << "->" << dst;
         EXPECT_EQ(*got, w) << src << "->" << dst;
     });
     for (std::size_t s = 0; s < store.num_shards(); ++s) {
-        store.shard(s).for_each_edge(
+        store.shard(s).visit_edges(
             [&](VertexId src, VertexId dst, Weight w) {
                 const auto want = reference.find_edge(src, dst);
                 ASSERT_TRUE(want.has_value())

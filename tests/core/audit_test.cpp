@@ -36,7 +36,7 @@ void load_dense(GraphTinker& g, std::uint32_t vertices = 32,
 /// First live edge of `src`, so corruption targets always exist.
 Edge first_edge_of(const GraphTinker& g, VertexId src) {
     Edge out{src, kInvalidVertex, 0};
-    g.for_each_out_edge_until(src, [&](VertexId dst, Weight w) {
+    g.visit_out_edges(src, [&](VertexId dst, Weight w) {
         out.dst = dst;
         out.weight = w;
         return false;

@@ -27,10 +27,10 @@ TEST(Bidirectional, InEdgeTraversal) {
     g.insert_edge(2, 9);
     g.insert_edge(9, 3);
     std::set<VertexId> sources;
-    g.for_each_in_edge(9, [&](VertexId src, Weight) { sources.insert(src); });
+    g.visit_in_edges(9, [&](VertexId src, Weight) { sources.insert(src); });
     EXPECT_EQ(sources, (std::set<VertexId>{1, 2}));
     std::set<VertexId> dsts;
-    g.for_each_out_edge(9, [&](VertexId dst, Weight) { dsts.insert(dst); });
+    g.visit_out_edges(9, [&](VertexId dst, Weight) { dsts.insert(dst); });
     EXPECT_EQ(dsts, (std::set<VertexId>{3}));
 }
 
@@ -71,7 +71,7 @@ TEST(Bidirectional, UntilTraversalStopsEarly) {
         g.insert_edge(s, 7);
     }
     int visited = 0;
-    const bool completed = g.for_each_in_edge_until(7, [&](VertexId, Weight) {
+    const bool completed = g.visit_in_edges(7, [&](VertexId, Weight) {
         ++visited;
         return visited < 5;  // stop after five
     });
@@ -79,7 +79,7 @@ TEST(Bidirectional, UntilTraversalStopsEarly) {
     EXPECT_EQ(visited, 5);
     // And a full pass reports completion.
     visited = 0;
-    EXPECT_TRUE(g.for_each_in_edge_until(
+    EXPECT_TRUE(g.visit_in_edges(
         7, [&](VertexId, Weight) { ++visited; return true; }));
     EXPECT_EQ(visited, 100);
 }

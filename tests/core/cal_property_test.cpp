@@ -86,7 +86,7 @@ TEST_P(CalFuzzTest, RandomChurnKeepsStreamExact) {
         want.emplace(e.src, e.dst, e.weight);
     }
     std::multiset<std::tuple<VertexId, VertexId, Weight>> got;
-    cal.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    cal.visit_edges([&](VertexId s, VertexId d, Weight w) {
         got.emplace(s, d, w);
     });
     EXPECT_EQ(got, want);
@@ -212,7 +212,7 @@ TEST(GraphTinkerCombo, LargePagewidthSmallGraph) {
     // Iteration over a nearly-empty giant block stays correct (occupancy
     // masks skip the slack).
     int count = 0;
-    g.for_each_out_edge(1, [&](VertexId, Weight) { ++count; });
+    g.visit_out_edges(1, [&](VertexId, Weight) { ++count; });
     EXPECT_EQ(count, 1);
 }
 

@@ -17,7 +17,7 @@ TEST(Cal, InsertAndStream) {
     cal.insert(/*dense_src=*/0, /*raw_src=*/100, /*dst=*/1, /*w=*/7, ref(0, 0));
     cal.insert(1, 200, 2, 8, ref(0, 1));
     std::multiset<std::tuple<VertexId, VertexId, Weight>> seen;
-    cal.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    cal.visit_edges([&](VertexId s, VertexId d, Weight w) {
         seen.emplace(s, d, w);
     });
     EXPECT_EQ(seen.size(), 2u);
@@ -45,7 +45,7 @@ TEST(Cal, ChainsGrowBlockByBlock) {
     }
     EXPECT_EQ(cal.blocks_in_use(), 4u);  // ceil(7/2)
     std::size_t count = 0;
-    cal.for_each_edge([&](VertexId, VertexId, Weight) { ++count; });
+    cal.visit_edges([&](VertexId, VertexId, Weight) { ++count; });
     EXPECT_EQ(count, 7u);
 }
 
@@ -58,7 +58,7 @@ TEST(Cal, DeleteOnlyLeavesScannedHoles) {
     EXPECT_EQ(cal.live_edges(), 2u);
     EXPECT_EQ(cal.scanned_slots(), 3u);  // hole still scanned
     std::set<VertexId> dsts;
-    cal.for_each_edge([&](VertexId, VertexId d, Weight) { dsts.insert(d); });
+    cal.visit_edges([&](VertexId, VertexId d, Weight) { dsts.insert(d); });
     EXPECT_EQ(dsts, (std::set<VertexId>{10, 12}));
     // Other slots unaffected.
     EXPECT_TRUE(cal.slot_at(p0).valid);
@@ -121,7 +121,7 @@ TEST(Cal, CompactionIsGroupLocal) {
     // Group 1's edge must not migrate into group 0's hole.
     EXPECT_FALSE(moved.has_value());
     std::multiset<VertexId> srcs;
-    cal.for_each_edge([&](VertexId s, VertexId, Weight) { srcs.insert(s); });
+    cal.visit_edges([&](VertexId s, VertexId, Weight) { srcs.insert(s); });
     EXPECT_EQ(srcs, (std::multiset<VertexId>{1}));
 }
 
@@ -148,7 +148,7 @@ TEST(Cal, StreamsGroupsInDenseOrder) {
     cal.insert(0, 100, 2, 1, ref(0, 1));  // group 0
     cal.insert(5, 500, 3, 1, ref(0, 2));  // group 2
     std::vector<VertexId> order;
-    cal.for_each_edge([&](VertexId s, VertexId, Weight) {
+    cal.visit_edges([&](VertexId s, VertexId, Weight) {
         order.push_back(s);
     });
     ASSERT_EQ(order.size(), 3u);

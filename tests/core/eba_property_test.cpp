@@ -62,7 +62,7 @@ TEST_P(EbaGeometryTest, RandomOpsMatchModel) {
     }
     // Final audit through iteration.
     std::unordered_map<VertexId, Weight> seen;
-    eba.for_each_edge_of(top, [&](VertexId d, Weight w) {
+    eba.visit_edges_of(top, [&](VertexId d, Weight w) {
         EXPECT_TRUE(seen.emplace(d, w).second) << "duplicate " << d;
     });
     EXPECT_EQ(seen.size(), model.size());
@@ -188,7 +188,7 @@ TEST(EbaInvariant, ProbeValuesMatchDisplacement) {
     // cell (validated via for_each + find) is the observable consequence.
     std::size_t live = 0;
     bool all_found = true;
-    eba.for_each_edge_of(top, [&](VertexId d, Weight) {
+    eba.visit_edges_of(top, [&](VertexId d, Weight) {
         ++live;
         all_found = all_found && eba.find(top, d).has_value();
     });

@@ -202,7 +202,7 @@ TEST(EdgeblockArray, IterationVisitsExactlyLiveEdges) {
         expected.erase(d * 3);
     }
     std::set<VertexId> seen;
-    eba.for_each_edge_of(top, [&](VertexId dst, Weight) {
+    eba.visit_edges_of(top, [&](VertexId dst, Weight) {
         EXPECT_TRUE(seen.insert(dst).second) << "duplicate " << dst;
     });
     EXPECT_EQ(seen, expected);

@@ -54,7 +54,7 @@ TEST(GraphTinker, DuplicateInsertIsWeightUpdateEverywhere) {
     EXPECT_FALSE(g.insert_edge(1, 2, 50));
     EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(50));
     Weight cal_weight = 0;
-    g.for_each_edge([&](VertexId, VertexId, Weight w) { cal_weight = w; });
+    g.visit_edges([&](VertexId, VertexId, Weight w) { cal_weight = w; });
     EXPECT_EQ(cal_weight, 50u);  // streamed from the CAL
     EXPECT_TRUE(g.validate().empty()) << g.validate();
 }
@@ -67,11 +67,11 @@ TEST(GraphTinker, OutEdgeIterationMatchesInserts) {
         expected.insert({d, d + 1});
     }
     std::set<std::pair<VertexId, Weight>> seen;
-    g.for_each_out_edge(7, [&](VertexId dst, Weight w) {
+    g.visit_out_edges(7, [&](VertexId dst, Weight w) {
         EXPECT_TRUE(seen.insert({dst, w}).second);
     });
     EXPECT_EQ(seen, expected);
-    g.for_each_out_edge(999, [](VertexId, Weight) {
+    g.visit_out_edges(999, [](VertexId, Weight) {
         FAIL() << "unknown vertex must yield nothing";
     });
 }
@@ -83,10 +83,10 @@ TEST(GraphTinker, CalAndEbaStreamsAgree) {
     using E = std::tuple<VertexId, VertexId, Weight>;
     std::set<E> via_cal;
     std::set<E> via_eba;
-    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         EXPECT_TRUE(via_cal.emplace(s, d, w).second) << "dup in CAL stream";
     });
-    g.for_each_edge_via_eba([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges_via_eba([&](VertexId s, VertexId d, Weight w) {
         EXPECT_TRUE(via_eba.emplace(s, d, w).second) << "dup in EBA stream";
     });
     EXPECT_EQ(via_cal, via_eba);
@@ -115,7 +115,7 @@ TEST(GraphTinker, CalDisabledStillStreams) {
     g.insert_edge(1, 2, 3);
     g.insert_edge(4, 5, 6);
     std::set<std::tuple<VertexId, VertexId, Weight>> seen;
-    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         seen.emplace(s, d, w);
     });
     EXPECT_EQ(seen.size(), 2u);
@@ -212,7 +212,7 @@ TEST_P(GraphTinkerModelTest, MatchesModelUnderRandomChurn) {
     // Full audit at the end: every model edge findable and streamed.
     ASSERT_EQ(g.validate(), "");
     std::unordered_map<std::uint64_t, Weight> streamed;
-    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         EXPECT_TRUE(streamed.emplace(key(s, d), w).second);
     });
     EXPECT_EQ(streamed.size(), model.size());

@@ -24,7 +24,7 @@ using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
 
 EdgeMap edge_map(const GraphTinker& g) {
     EdgeMap out;
-    g.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+    g.visit_edges([&](VertexId u, VertexId v, Weight w) {
         out[{u, v}] = w;
     });
     return out;
@@ -34,7 +34,7 @@ template <typename Sharded>
 EdgeMap edge_map_sharded(const Sharded& sharded) {
     EdgeMap out;
     for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
-        sharded.shard(s).for_each_edge(
+        sharded.shard(s).visit_edges(
             [&](VertexId u, VertexId v, Weight w) { out[{u, v}] = w; });
     }
     return out;

@@ -24,7 +24,7 @@ using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
 
 EdgeMap edge_map(const GraphTinker& g) {
     EdgeMap out;
-    g.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+    g.visit_edges([&](VertexId u, VertexId v, Weight w) {
         out[{u, v}] = w;
     });
     return out;
@@ -198,7 +198,7 @@ TEST(Maintenance, CalCompactionReclaimsHolesAndBlocks) {
     EXPECT_GT(report.cal_holes_reclaimed, 0u);
     EXPECT_EQ(g.cal().scanned_slots(), g.cal().live_edges());
     EXPECT_LT(g.cal().blocks_in_use(), cal_blocks_before);
-    // for_each_edge streams from the CAL: the rebind kept every owner
+    // visit_edges streams from the CAL: the rebind kept every owner
     // pointer coherent, so the edge set is bit-identical.
     EXPECT_EQ(edge_map(g), before_map);
 }

@@ -19,7 +19,7 @@ using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
 
 EdgeMap edge_map(const GraphTinker& g) {
     EdgeMap out;
-    g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         out[{s, d}] = w;
     });
     return out;
@@ -111,7 +111,7 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
 
         // Fresh twin from the surviving edge set only.
         GraphTinker twin(cfg);
-        g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        g.visit_edges([&](VertexId s, VertexId d, Weight w) {
             twin.insert_edge(s, d, w);
         });
         EXPECT_EQ(loaded->num_edges(), twin.num_edges()) << label;
@@ -121,7 +121,7 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
             ASSERT_EQ(loaded->degree(v), twin.degree(v))
                 << label << " v=" << v;
         }
-        twin.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        twin.visit_edges([&](VertexId s, VertexId d, Weight w) {
             ASSERT_EQ(loaded->find_edge(s, d), std::optional<Weight>(w))
                 << label << " (" << s << "," << d << ")";
         });

@@ -18,7 +18,7 @@ template <typename Sharded>
 std::set<E> all_edges(const Sharded& sharded) {
     std::set<E> out;
     for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
-        sharded.shard(s).for_each_edge(
+        sharded.shard(s).visit_edges(
             [&](VertexId u, VertexId v, Weight w) { out.emplace(u, v, w); });
     }
     return out;
@@ -33,7 +33,7 @@ TEST(Sharded, GraphTinkerMatchesSerialInstance) {
     EXPECT_EQ(sharded.num_edges(), serial.num_edges());
 
     std::set<E> serial_edges;
-    serial.for_each_edge(
+    serial.visit_edges(
         [&](VertexId u, VertexId v, Weight w) { serial_edges.emplace(u, v, w); });
     EXPECT_EQ(all_edges(sharded), serial_edges);
 }
@@ -83,7 +83,7 @@ TEST(Sharded, WorksForStingerToo) {
     }
     EXPECT_EQ(sharded.num_edges(), serial.num_edges());
     std::set<E> serial_edges;
-    serial.for_each_edge(
+    serial.visit_edges(
         [&](VertexId u, VertexId v, Weight w) { serial_edges.emplace(u, v, w); });
     EXPECT_EQ(all_edges(sharded), serial_edges);
 }

@@ -54,14 +54,12 @@ TEST(EngineExtra, RunStatsAccumulate) {
     a.edges_streamed = 100;
     a.logical_edges = 50;
     a.seconds = 0.5;
-    a.trace.push_back(IterationTrace{Mode::Full, 3, 100, 50, 0.5});
     RunStats b;
     b.iterations = 1;
     b.incremental_iterations = 1;
     b.edges_streamed = 10;
     b.logical_edges = 10;
     b.seconds = 0.1;
-    b.trace.push_back(IterationTrace{Mode::Incremental, 1, 10, 10, 0.1});
     a.accumulate(b);
     EXPECT_EQ(a.iterations, 3u);
     EXPECT_EQ(a.full_iterations, 1u);
@@ -69,7 +67,6 @@ TEST(EngineExtra, RunStatsAccumulate) {
     EXPECT_EQ(a.edges_streamed, 110u);
     EXPECT_EQ(a.logical_edges, 60u);
     EXPECT_DOUBLE_EQ(a.seconds, 0.6);
-    EXPECT_EQ(a.trace.size(), 2u);
     EXPECT_NEAR(a.throughput_meps(), 60.0 / 0.6 / 1e6, 1e-9);
 }
 
@@ -79,30 +76,45 @@ TEST(EngineExtra, HybridSwitchesDirectionsWithinOneRun) {
     core::GraphTinker g;
     g.insert_batch(symmetrize(rmat_edges(3000, 9000, 17)));
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
-        g, EngineOptions{.policy = ModePolicy::Hybrid, .threshold = 0.02});
+        g, EngineOptions{.policy = ModePolicy::Hybrid,
+                         .threshold = 0.02,
+                         .registry = &g.obs()});
     bfs.set_root(0);
     const auto stats = bfs.run_from_scratch();
     EXPECT_GT(stats.full_iterations, 0u);
     EXPECT_GT(stats.incremental_iterations, 0u);
-    // The trace records the actual decisions.
+    // The published trace records the actual decisions: FP rows carry a
+    // ratio above the threshold, IP rows one at or below it.
+    const auto snap = g.obs().snapshot();
+    const auto* trace = snap.find_series("engine.trace");
+    ASSERT_NE(trace, nullptr);
     bool saw_full = false;
     bool saw_incremental = false;
-    for (const auto& t : stats.trace) {
-        saw_full = saw_full || t.mode == Mode::Full;
-        saw_incremental = saw_incremental || t.mode == Mode::Incremental;
+    for (const auto& row : trace->rows) {
+        const bool full = row[1] == 1.0;
+        saw_full = saw_full || full;
+        saw_incremental = saw_incremental || !full;
+        if (full) {
+            EXPECT_GT(row[3], 0.02);
+        } else {
+            EXPECT_LE(row[3], 0.02);
+        }
     }
     EXPECT_TRUE(saw_full);
     EXPECT_TRUE(saw_incremental);
 }
 
-TEST(EngineExtra, KeepTraceOffLeavesTraceEmpty) {
+TEST(EngineExtra, NoRegistryMeansNoTraceRecording) {
     core::GraphTinker g;
     g.insert_batch(symmetrize(rmat_edges(100, 500, 2)));
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
-        g, EngineOptions{.keep_trace = false});
+        g, EngineOptions{});
     bfs.set_root(0);
     const auto stats = bfs.run_from_scratch();
-    EXPECT_TRUE(stats.trace.empty());
+    // The store's registry never grows an engine series by default.
+    const auto snap = g.obs().snapshot();
+    EXPECT_EQ(snap.find_series("engine.trace"), nullptr);
+    EXPECT_EQ(snap.counter_value("engine.iterations"), 0u);
     EXPECT_GT(stats.iterations, 0u);
 }
 

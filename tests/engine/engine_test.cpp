@@ -118,25 +118,39 @@ TEST(Engine, HybridThresholdExtremesForceTheMode) {
     }
 }
 
-TEST(Engine, TraceAccountingAddsUp) {
+TEST(Engine, RegistryTraceAccountingAddsUp) {
     core::GraphTinker g;
     g.insert_batch(symmetrize(rmat_edges(100, 1000, 5)));
-    DynamicAnalysis<core::GraphTinker, Bfs> bfs(g);
+    // Point the engine at the store's registry: iteration telemetry lands
+    // in the "engine.trace" series next to the store's own metrics.
+    DynamicAnalysis<core::GraphTinker, Bfs> bfs(
+        g, EngineOptions{.registry = &g.obs()});
     bfs.set_root(0);
     const auto stats = bfs.run_from_scratch();
-    ASSERT_EQ(stats.trace.size(), stats.iterations);
+    const auto snap = g.obs().snapshot();
+    const auto* trace = snap.find_series("engine.trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_EQ(trace->fields.size(), kTraceFields.size());
+    ASSERT_EQ(trace->rows.size(), stats.iterations);
     std::uint64_t streamed = 0;
     std::uint64_t logical = 0;
     std::size_t full = 0;
-    for (const auto& it : stats.trace) {
-        streamed += it.edges_streamed;
-        logical += it.logical_edges;
-        full += it.mode == Mode::Full ? 1 : 0;
-        EXPECT_GT(it.active_vertices, 0u);
+    for (const auto& row : trace->rows) {
+        full += row[1] == 1.0 ? 1 : 0;      // mode_full
+        EXPECT_GT(row[2], 0.0);             // active vertices
+        EXPECT_GT(row[3], 0.0);             // decision ratio A/E
+        streamed += static_cast<std::uint64_t>(row[4]);
+        logical += static_cast<std::uint64_t>(row[5]);
     }
     EXPECT_EQ(streamed, stats.edges_streamed);
     EXPECT_EQ(logical, stats.logical_edges);
     EXPECT_EQ(full, stats.full_iterations);
+    // Aggregate counters published through the same registry agree.
+    EXPECT_EQ(snap.counter_value("engine.iterations"), stats.iterations);
+    EXPECT_EQ(snap.counter_value("engine.edges_streamed"),
+              stats.edges_streamed);
+    EXPECT_EQ(snap.counter_value("engine.full_iterations"),
+              stats.full_iterations);
 }
 
 TEST(Engine, RootMayPredateItsVertex) {

@@ -96,7 +96,7 @@ TEST(KCore, MatchesBruteForceOnRandomGraphs) {
         const VertexId n = g.num_vertices();  // max streamed id + 1
         // Build the oracle over the store's deduplicated view.
         std::vector<Edge> dedup;
-        g.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        g.visit_edges([&](VertexId s, VertexId d, Weight w) {
             dedup.push_back({s, d, w});
         });
         const auto want = brute_coreness(dedup, n);

@@ -50,7 +50,7 @@ TEST(PageRank, MatchesOracleOnRandomGraphAllPolicies) {
           ModePolicy::Hybrid, ModePolicy::HybridDegreeAware}) {
         PageRank<core::GraphTinker> alg{&g, 0.85, 1e-10};
         DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
-            g, EngineOptions{.policy = policy, .keep_trace = false}, alg);
+            g, EngineOptions{.policy = policy}, alg);
         pr.run_from_scratch();
         for (VertexId v = 0; v < csr.num_vertices(); ++v) {
             ASSERT_NEAR(pr.property(v).rank, want[v], 1e-4)

@@ -111,15 +111,23 @@ TEST(ParallelEngine, TraceAndCountsAddUp) {
         return core::Config{};
     });
     store.insert_batch(edges);
-    ParallelDynamicAnalysis<core::GraphTinker, Bfs> bfs(store);
+    // The sharded store has per-shard registries; a standalone registry
+    // collects the engine-level telemetry instead.
+    obs::Registry registry;
+    ParallelDynamicAnalysis<core::GraphTinker, Bfs> bfs(
+        store, EngineOptions{.registry = &registry});
     bfs.set_root(0);
     const auto stats = bfs.run_from_scratch();
-    ASSERT_EQ(stats.trace.size(), stats.iterations);
+    const auto snap = registry.snapshot();
+    const auto* trace = snap.find_series("engine.trace");
+    ASSERT_NE(trace, nullptr);
+    ASSERT_EQ(trace->rows.size(), stats.iterations);
     std::uint64_t streamed = 0;
-    for (const auto& t : stats.trace) {
-        streamed += t.edges_streamed;
+    for (const auto& row : trace->rows) {
+        streamed += static_cast<std::uint64_t>(row[4]);
     }
     EXPECT_EQ(streamed, stats.edges_streamed);
+    EXPECT_EQ(snap.counter_value("engine.iterations"), stats.iterations);
     EXPECT_GT(stats.logical_edges, 0u);
 }
 

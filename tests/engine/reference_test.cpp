@@ -20,7 +20,7 @@ TEST(CsrSnapshot, BuildsAndIterates) {
     EXPECT_EQ(g.num_edges(), 5u);
     int count = 0;
     Weight w02 = 0;
-    g.for_each_out_edge(0, [&](VertexId v, Weight w) {
+    g.visit_out_edges(0, [&](VertexId v, Weight w) {
         ++count;
         if (v == 2) {
             w02 = w;
@@ -35,7 +35,7 @@ TEST(CsrSnapshot, DuplicateEdgesKeepLastWeight) {
     const CsrSnapshot g(edges, 2);
     EXPECT_EQ(g.num_edges(), 1u);
     Weight seen = 0;
-    g.for_each_out_edge(0, [&](VertexId, Weight w) { seen = w; });
+    g.visit_out_edges(0, [&](VertexId, Weight w) { seen = w; });
     EXPECT_EQ(seen, 9u);
 }
 

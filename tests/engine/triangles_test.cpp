@@ -106,7 +106,7 @@ TEST(Snapshot, CapturesLiveEdgesExactly) {
     EXPECT_EQ(snap.num_vertices(), g.num_vertices());
     std::map<std::pair<VertexId, VertexId>, Weight> seen;
     for (VertexId v = 0; v < snap.num_vertices(); ++v) {
-        snap.for_each_out_edge(v, [&](VertexId d, Weight w) {
+        snap.visit_out_edges(v, [&](VertexId d, Weight w) {
             seen[{v, d}] = w;
         });
     }

@@ -83,7 +83,7 @@ TEST(BatchPrep, PreparedApplicationMatchesRawApplication) {
     const auto prepared = prepare_batch(raw);
     apply_batch(prepared_store, prepared);
     EXPECT_EQ(prepared_store.num_edges(), direct.num_edges());
-    direct.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+    direct.visit_edges([&](VertexId s, VertexId d, Weight w) {
         EXPECT_EQ(prepared_store.find_edge(s, d), std::optional<Weight>(w))
             << s << "->" << d;
     });

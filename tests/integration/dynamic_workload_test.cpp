@@ -70,7 +70,7 @@ TEST(DynamicWorkload, ThreeStoresTrackOneModelThroughMixedTraffic) {
         ASSERT_EQ(tinker_only.validate(), "") << "phase " << phase;
         ASSERT_EQ(tinker_compact.validate(), "") << "phase " << phase;
         std::map<EdgeKey, Weight> seen;
-        tinker_compact.for_each_edge([&](VertexId s, VertexId d, Weight w) {
+        tinker_compact.visit_edges([&](VertexId s, VertexId d, Weight w) {
             seen[{s, d}] = w;
         });
         ASSERT_EQ(seen, model) << "phase " << phase;

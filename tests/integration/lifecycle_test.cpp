@@ -126,11 +126,11 @@ TEST(Integration, ParallelShardsEqualSerialUnderChurn) {
     }
     using E = std::tuple<VertexId, VertexId, Weight>;
     std::set<E> serial_set;
-    serial.for_each_edge(
+    serial.visit_edges(
         [&](VertexId u, VertexId v, Weight w) { serial_set.emplace(u, v, w); });
     std::set<E> sharded_set;
     for (std::size_t s = 0; s < sharded.num_shards(); ++s) {
-        sharded.shard(s).for_each_edge([&](VertexId u, VertexId v, Weight w) {
+        sharded.shard(s).visit_edges([&](VertexId u, VertexId v, Weight w) {
             sharded_set.emplace(u, v, w);
         });
         ASSERT_EQ(sharded.shard(s).validate(), "") << "shard " << s;

@@ -1,0 +1,181 @@
+// Golden-schema tests for obs::Exporter / obs::JsonWriter: the "gt.obs.v1"
+// JSON rendering is a stable interchange format (CI diffs registry
+// snapshots across runs), so its exact byte shape is pinned here.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace gt::obs {
+namespace {
+
+struct KnobGuard {
+    bool rec = recording();
+    std::uint32_t period = sample_period();
+    ~KnobGuard() {
+        set_recording(rec);
+        set_sample_period(period);
+    }
+};
+
+/// Builds the registry every golden test renders: one of each metric kind
+/// with hand-computable aggregates.
+MetricsRegistry& golden_registry(MetricsRegistry& r) {
+    r.counter("alpha.count").add(3);
+    r.gauge("beta.level").set(2.5);
+    Histogram& h = r.histogram("gamma.dist");
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    Series& s = r.series("delta.trace", {"x", "y"});
+    const double row0[] = {1.0, 2.0};
+    const double row1[] = {3.0, 4.5};
+    s.append(row0);
+    s.append(row1);
+    return r;
+}
+
+/// The 33 bucket lines of gamma.dist: values 0, 1, 5 land in buckets
+/// 0, 1 and 3 (bit-width buckets), everything else stays zero.
+std::string golden_bucket_lines() {
+    constexpr std::array<int, 4> head = {1, 1, 0, 1};
+    std::string out;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        out += "        ";
+        out += std::to_string(i < head.size() ? head[i] : 0);
+        if (i + 1 < Histogram::kBuckets) {
+            out += ',';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string golden_document() {
+    return
+        "{\n"
+        "  \"schema\": \"gt.obs.v1\",\n"
+        "  \"counters\": {\n"
+        "    \"alpha.count\": 3\n"
+        "  },\n"
+        "  \"gauges\": {\n"
+        "    \"beta.level\": 2.5\n"
+        "  },\n"
+        "  \"histograms\": {\n"
+        "    \"gamma.dist\": {\n"
+        "      \"count\": 3,\n"
+        "      \"sum\": 6,\n"
+        "      \"mean\": 2,\n"
+        "      \"p50\": 1,\n"
+        "      \"p99\": 1,\n"
+        "      \"buckets\": [\n" +
+        golden_bucket_lines() +
+        "      ]\n"
+        "    }\n"
+        "  },\n"
+        "  \"series\": {\n"
+        "    \"delta.trace\": {\n"
+        "      \"fields\": [\n"
+        "        \"x\",\n"
+        "        \"y\"\n"
+        "      ],\n"
+        "      \"rows\": [\n"
+        "        [\n"
+        "          1,\n"
+        "          2\n"
+        "        ],\n"
+        "        [\n"
+        "          3,\n"
+        "          4.5\n"
+        "        ]\n"
+        "      ]\n"
+        "    }\n"
+        "  }\n"
+        "}\n";
+}
+
+TEST(ObsExporter, GoldenJsonDocument) {
+    if (!kEnabled) {
+        GTEST_SKIP() << "GT_OBS=0 build records nothing";
+    }
+    const KnobGuard guard;
+    set_recording(true);
+    MetricsRegistry r;
+    std::ostringstream os;
+    Exporter::write_json(os, golden_registry(r).snapshot());
+    EXPECT_EQ(os.str(), golden_document());
+}
+
+TEST(ObsExporter, RenderingIsDeterministic) {
+    if (!kEnabled) {
+        GTEST_SKIP() << "GT_OBS=0 build records nothing";
+    }
+    const KnobGuard guard;
+    set_recording(true);
+    MetricsRegistry r;
+    const Snapshot snap = golden_registry(r).snapshot();
+    std::ostringstream a;
+    std::ostringstream b;
+    Exporter::write_json(a, snap);
+    Exporter::write_json(b, snap);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(ObsExporter, AppendJsonEmbedsAtTheOuterIndent) {
+    // The benches embed the snapshot under a "registry" member of their own
+    // envelope; the embedded object must nest (not restart) indentation.
+    MetricsRegistry r;
+    r.counter("n").inc();
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("bench", "t");
+    w.key("registry");
+    Exporter::append_json(w, r.snapshot());
+    w.end_object();
+    w.finish();
+    const std::string out = os.str();
+    EXPECT_NE(out.find("  \"registry\": {\n    \"schema\": \"gt.obs.v1\","),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("      \"n\": 1\n"), std::string::npos) << out;
+}
+
+TEST(ObsJsonWriter, EscapesStrings) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.member("quote\"back\\slash", "line\nbreak\ttab");
+    w.end_object();
+    w.finish();
+    EXPECT_EQ(os.str(),
+              "{\n  \"quote\\\"back\\\\slash\": \"line\\nbreak\\ttab\"\n}\n");
+}
+
+TEST(ObsJsonWriter, DoublesUseShortestRoundTrip) {
+    EXPECT_EQ(JsonWriter::format_double(2.0), "2");
+    EXPECT_EQ(JsonWriter::format_double(4.5), "4.5");
+    EXPECT_EQ(JsonWriter::format_double(0.1), "0.1");
+    // JSON has no NaN/Inf; the writer degrades to 0 rather than emitting
+    // an unparseable token.
+    EXPECT_EQ(JsonWriter::format_double(std::nan("")), "0");
+}
+
+TEST(ObsJsonWriter, EmptyContainersStayOnOneLine) {
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("a").begin_array().end_array();
+    w.key("o").begin_object().end_object();
+    w.end_object();
+    w.finish();
+    EXPECT_EQ(os.str(), "{\n  \"a\": [],\n  \"o\": {}\n}\n");
+}
+
+}  // namespace
+}  // namespace gt::obs

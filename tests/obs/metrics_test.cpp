@@ -1,0 +1,212 @@
+// Unit tests for the gt::obs telemetry primitives and registry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace gt::obs {
+namespace {
+
+/// Restores the process-wide runtime knobs on scope exit so tests cannot
+/// leak recording state into each other.
+struct KnobGuard {
+    bool rec = recording();
+    std::uint32_t period = sample_period();
+    ~KnobGuard() {
+        set_recording(rec);
+        set_sample_period(period);
+    }
+};
+
+TEST(ObsCounter, AccumulatesAndStartsAtZero) {
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, LastValueWins) {
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(ObsHistogram, BucketOfMatchesBitWidth) {
+    EXPECT_EQ(Histogram::bucket_of(0), 0u);
+    EXPECT_EQ(Histogram::bucket_of(1), 1u);
+    EXPECT_EQ(Histogram::bucket_of(2), 2u);
+    EXPECT_EQ(Histogram::bucket_of(3), 2u);
+    EXPECT_EQ(Histogram::bucket_of(4), 3u);
+    EXPECT_EQ(Histogram::bucket_of(7), 3u);
+    EXPECT_EQ(Histogram::bucket_of(8), 4u);
+    EXPECT_EQ(Histogram::bucket_of((1ull << 31)), 32u);
+    // Values past the covered range clamp into the last bucket.
+    EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+    // Bucket limits label the inclusive upper bound of each bucket.
+    EXPECT_EQ(Histogram::bucket_limit(0), 0u);
+    EXPECT_EQ(Histogram::bucket_limit(1), 1u);
+    EXPECT_EQ(Histogram::bucket_limit(3), 7u);
+}
+
+TEST(ObsHistogram, RecordTracksCountSumBuckets) {
+    const KnobGuard guard;
+    set_recording(true);
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 6u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+}
+
+TEST(ObsHistogram, RuntimeSwitchGatesRecording) {
+    const KnobGuard guard;
+    Histogram h;
+    set_recording(false);
+    h.record(7);
+    h.record_sampled(7);
+    EXPECT_EQ(h.count(), 0u);
+    set_recording(true);
+    h.record(7);
+    EXPECT_EQ(h.count(), obs::kEnabled ? 1u : 0u);
+}
+
+TEST(ObsHistogram, SampledRecordingKeepsEveryNth) {
+    if (!obs::kEnabled) {
+        GTEST_SKIP() << "GT_OBS=0 build";
+    }
+    const KnobGuard guard;
+    set_recording(true);
+    set_sample_period(4);
+    Histogram h;
+    // The per-thread tick counter may start at any phase; any window of
+    // 4*N consecutive ticks still lands exactly N samples.
+    for (int i = 0; i < 16; ++i) {
+        h.record_sampled(2);
+    }
+    EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(ObsKnobs, SamplePeriodFloorsToPowerOfTwo) {
+    const KnobGuard guard;
+    set_sample_period(100);
+    EXPECT_EQ(sample_period(), 64u);
+    set_sample_period(1);
+    EXPECT_EQ(sample_period(), 1u);
+    set_sample_period(0);  // nonsense clamps to "record everything"
+    EXPECT_EQ(sample_period(), 1u);
+}
+
+TEST(ObsSeries, RingDropsOldestAndCountsAppends) {
+    const KnobGuard guard;
+    set_recording(true);
+    MetricsRegistry r;
+    Series& s = r.series("t", {"a", "b"}, 3);
+    for (double i = 1; i <= 5; ++i) {
+        const double row[] = {i, 10 * i};
+        s.append(row);
+    }
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.appended(), 5u);
+    const auto rows = s.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_DOUBLE_EQ(rows[0][0], 3.0);  // oldest surviving
+    EXPECT_DOUBLE_EQ(rows[2][0], 5.0);
+    EXPECT_DOUBLE_EQ(rows[2][1], 50.0);
+}
+
+TEST(ObsSeries, RowsPadOrTruncateToSchema) {
+    const KnobGuard guard;
+    set_recording(true);
+    MetricsRegistry r;
+    Series& s = r.series("t", {"a", "b"});
+    const double narrow[] = {1.0};
+    const double wide[] = {2.0, 3.0, 99.0};
+    s.append(narrow);
+    s.append(wide);
+    const auto rows = s.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    ASSERT_EQ(rows[0].size(), 2u);  // zero-padded to the schema
+    EXPECT_DOUBLE_EQ(rows[0][1], 0.0);
+    ASSERT_EQ(rows[1].size(), 2u);  // extra value dropped
+    EXPECT_DOUBLE_EQ(rows[1][1], 3.0);
+}
+
+TEST(ObsSeries, RecordingSwitchGatesAppends) {
+    const KnobGuard guard;
+    MetricsRegistry r;
+    Series& s = r.series("t", {"a"});
+    set_recording(false);
+    const double row[] = {1.0};
+    s.append(row);
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ObsRegistry, HandlesAreStableAcrossResolution) {
+    MetricsRegistry r;
+    Counter& a = r.counter("x");
+    r.counter("y").inc();  // new entries must not move existing handles
+    r.histogram("z").record(1);
+    EXPECT_EQ(&a, &r.counter("x"));
+    a.add(2);
+    EXPECT_EQ(r.snapshot().counter_value("x"), 2u);
+}
+
+TEST(ObsRegistry, CountersIgnoreTheRecordingSwitch) {
+    // Counters are the pre-existing Stats counters moved behind names;
+    // disabling histogram recording must not silence them.
+    const KnobGuard guard;
+    set_recording(false);
+    MetricsRegistry r;
+    r.counter("c").inc();
+    r.gauge("g").set(4.0);
+    const Snapshot snap = r.snapshot();
+    EXPECT_EQ(snap.counter_value("c"), 1u);
+    EXPECT_DOUBLE_EQ(snap.gauge_value("g"), 4.0);
+}
+
+TEST(ObsSnapshot, SectionsSortedAndLookupsWork) {
+    MetricsRegistry r;
+    r.counter("zeta").add(1);
+    r.counter("alpha").add(2);
+    r.gauge("mid").set(0.5);
+    const Snapshot snap = r.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "alpha");
+    EXPECT_EQ(snap.counters[1].name, "zeta");
+    EXPECT_EQ(snap.counter_value("alpha"), 2u);
+    EXPECT_EQ(snap.counter_value("missing"), 0u);
+    EXPECT_EQ(snap.counter("missing"), nullptr);
+    EXPECT_EQ(snap.find_series("missing"), nullptr);
+}
+
+TEST(ObsSnapshot, QuantileBoundWalksBuckets) {
+    const KnobGuard guard;
+    set_recording(true);
+    MetricsRegistry r;
+    Histogram& h = r.histogram("h");
+    for (int i = 0; i < 98; ++i) {
+        h.record(1);
+    }
+    h.record(1000);
+    h.record(1000);
+    const Snapshot snap = r.snapshot();
+    const auto* row = snap.histogram("h");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->quantile_bound(0.50), 1u);
+    // 1000 has bit width 10: bucket limit 2^10 - 1.
+    EXPECT_EQ(row->quantile_bound(0.99), 1023u);
+    EXPECT_DOUBLE_EQ(row->mean(), (98.0 + 2000.0) / 100.0);
+}
+
+}  // namespace
+}  // namespace gt::obs

@@ -76,7 +76,7 @@ TEST(Stinger, OutEdgeTraversalSkipsTombstones) {
     s.insert_edge(3, 5);
     s.delete_edge(3, 2);
     std::set<VertexId> seen;
-    s.for_each_out_edge(3, [&](VertexId dst, Weight) { seen.insert(dst); });
+    s.visit_out_edges(3, [&](VertexId dst, Weight) { seen.insert(dst); });
     EXPECT_EQ(seen, (std::set<VertexId>{1, 5}));
 }
 
@@ -89,7 +89,7 @@ TEST(Stinger, FullTraversalVisitsEveryLiveEdge) {
         model[{e.src, e.dst}] = e.weight;
     }
     std::map<std::pair<VertexId, VertexId>, Weight> seen;
-    s.for_each_edge([&](VertexId u, VertexId v, Weight w) {
+    s.visit_edges([&](VertexId u, VertexId v, Weight w) {
         EXPECT_TRUE(seen.emplace(std::pair{u, v}, w).second)
             << "duplicate edge in traversal";
     });

@@ -58,13 +58,35 @@ TEST(Stats, SummarizeBasics) {
     EXPECT_DOUBLE_EQ(s.min, 1.0);
     EXPECT_DOUBLE_EQ(s.max, 4.0);
     EXPECT_EQ(s.count, 4u);
-    EXPECT_NEAR(s.stddev, 1.118, 0.001);
+    // Sample stddev: sqrt(((1.5^2)*2 + (0.5^2)*2) / 3) = sqrt(5/3).
+    EXPECT_NEAR(s.stddev, 1.29099, 0.0001);
 }
 
 TEST(Stats, SummarizeEmpty) {
     const Summary s = summarize({});
     EXPECT_EQ(s.count, 0u);
     EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarizeSingleSampleHasNoSpread) {
+    // n = 1: mean/min/max collapse to the sample; the n-1 divisor would be
+    // 0/0, so the spread estimate is defined as 0.
+    const Summary s = summarize({7.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 7.5);
+    EXPECT_DOUBLE_EQ(s.min, 7.5);
+    EXPECT_DOUBLE_EQ(s.max, 7.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SummarizeTwoSamplesUsesBessel) {
+    // n = 2: var = ((1)^2 + (1)^2) / (2-1) = 2, stddev = sqrt(2) —
+    // the population formula would give 1.0.
+    const Summary s = summarize({4.0, 6.0});
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(2.0));
 }
 
 TEST(Stats, DegradationMatchesPaperDefinition) {

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Measures the cost of the compiled-in observability layer: builds
+# micro_ingest twice (GT_OBS=ON, the default, and GT_OBS=0), runs both on
+# the same workload, and compares the batch=100k headline throughput each
+# bench prints on stdout (`headline_batch100k_eps=<eps>`).
+#
+# Writes BENCH_obs_overhead.json with both numbers and the relative delta.
+# With --check, exits non-zero when the instrumented build is more than
+# GT_OBS_BUDGET_PCT (default 2) percent slower than the stripped build —
+# the acceptance gate for "disabled-cost-free, enabled-cost-tiny".
+#
+# Usage:
+#   tools/check_obs_overhead.sh [--check] [--out=FILE]
+#
+# Environment:
+#   BUILD_ROOT          build trees go under here (default: build)
+#   GT_OBS_BUDGET_PCT   allowed slowdown percent for --check (default: 2)
+#   GT_INGEST_VERTICES / GT_INGEST_EDGES / GT_INGEST_REPS
+#                       forwarded to micro_ingest for workload sizing
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHECK=0
+OUT="BENCH_obs_overhead.json"
+for arg in "$@"; do
+    case "${arg}" in
+    --check) CHECK=1 ;;
+    --out=*) OUT="${arg#--out=}" ;;
+    *)
+        echo "check_obs_overhead.sh: unknown argument: ${arg}" >&2
+        exit 2
+        ;;
+    esac
+done
+
+BUILD_ROOT="${BUILD_ROOT:-build}"
+BUDGET_PCT="${GT_OBS_BUDGET_PCT:-2}"
+
+build_and_run() { # <dir> <extra cmake flags...>
+    local dir="$1"
+    shift
+    cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@" >/dev/null
+    cmake --build "${dir}" -j "$(nproc)" --target micro_ingest >/dev/null
+    # Headline line is `headline_batch100k_eps=<eps>`; tables and progress
+    # also land on stdout, so grab the tagged line only.
+    "${dir}/bench/micro_ingest" | sed -n 's/^headline_batch100k_eps=//p'
+}
+
+echo "check_obs_overhead.sh: building + running GT_OBS=ON ..."
+eps_on="$(build_and_run "${BUILD_ROOT}/obs-on" -DGT_OBS=ON)"
+echo "check_obs_overhead.sh: building + running GT_OBS=0 ..."
+eps_off="$(build_and_run "${BUILD_ROOT}/obs-off" -DGT_OBS=OFF)"
+
+if [[ -z "${eps_on}" || -z "${eps_off}" ]]; then
+    echo "check_obs_overhead.sh: missing headline_batch100k_eps output" >&2
+    exit 1
+fi
+
+status=0
+awk -v on="${eps_on}" -v off="${eps_off}" -v budget="${BUDGET_PCT}" \
+    -v out="${OUT}" -v check="${CHECK}" 'BEGIN {
+    # Positive delta = instrumented build is slower than the stripped one.
+    delta_pct = (off - on) / off * 100.0
+    ok = (delta_pct <= budget) ? 1 : 0
+    printf "obs overhead: on=%.3g eps, off=%.3g eps, delta=%.2f%% (budget %s%%)\n",
+           on, off, delta_pct, budget
+    printf "{\n"                                       > out
+    printf "  \"bench\": \"obs_overhead\",\n"          > out
+    printf "  \"eps_obs_on\": %.6g,\n", on             > out
+    printf "  \"eps_obs_off\": %.6g,\n", off           > out
+    printf "  \"delta_pct\": %.4f,\n", delta_pct       > out
+    printf "  \"budget_pct\": %s,\n", budget           > out
+    printf "  \"ok\": %s\n", ok ? "true" : "false"     > out
+    printf "}\n"                                       > out
+    if (check && !ok) {
+        printf "check_obs_overhead.sh: FAIL: %.2f%% > %s%% budget\n",
+               delta_pct, budget | "cat 1>&2"
+        exit 1
+    }
+}' || status=$?
+echo "wrote ${OUT}"
+exit "${status}"

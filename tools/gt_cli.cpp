@@ -2,7 +2,11 @@
 //
 // Subcommands:
 //   gt generate <dataset|rmat:V:E> [seed]        emit an edge list to stdout
-//   gt stats <file>                              load a graph, print stats
+//   gt stats <file> [--json]                     load a graph, print stats
+//                                                + gt.obs telemetry tables
+//   gt trace <file> <root> [--json]              BFS with the per-iteration
+//                                                engine.trace series (FP/IP
+//                                                decisions) printed
 //   gt bfs <file> <root>                         hop counts from <root>
 //   gt cc <file>                                 component sizes
 //   gt pagerank <file> [top_k]                   highest-rank vertices
@@ -12,6 +16,8 @@
 //
 // <file> may be a plain edge list ("src dst [weight]" lines) or a Matrix
 // Market .mtx file (detected by extension). "-" reads stdin as an edge list.
+// --json renders the registry snapshot through the shared gt::obs exporter
+// (schema "gt.obs.v1"), the same document the micro benches embed.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -30,6 +36,8 @@
 #include "gen/datasets.hpp"
 #include "gen/io.hpp"
 #include "gen/rmat.hpp"
+#include "obs/export.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -38,10 +46,11 @@ using namespace gt;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: gt <generate|stats|bfs|cc|pagerank|triangles|"
+                 "usage: gt <generate|stats|trace|bfs|cc|pagerank|triangles|"
                  "kcore|audit|convert> ...\n"
                  "  gt generate <dataset|rmat:V:E> [seed]\n"
-                 "  gt stats <file>\n"
+                 "  gt stats <file> [--json]\n"
+                 "  gt trace <file> <root> [--json]\n"
                  "  gt bfs <file> <root>\n"
                  "  gt cc <file>\n"
                  "  gt pagerank <file> [top_k]\n"
@@ -110,14 +119,19 @@ int cmd_generate(int argc, char** argv) {
     return 0;
 }
 
-int cmd_stats(const ParsedGraph& parsed) {
+int cmd_stats(const ParsedGraph& parsed, bool json) {
     core::GraphTinker g;
     Timer timer;
     ingest(g, parsed);
     const double load_s = timer.seconds();
+    const obs::Snapshot snap = g.telemetry();
+    if (json) {
+        // Machine consumers get the bare registry document — identical in
+        // schema to what the micro benches embed under "registry".
+        obs::Exporter::write_json(std::cout, snap);
+        return 0;
+    }
     std::uint32_t max_degree = 0;
-    std::uint64_t degree_sum = 0;
-    g.for_each_edge([&](VertexId, VertexId, Weight) { ++degree_sum; });
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
         max_degree = std::max(max_degree, g.degree(v));
     }
@@ -131,6 +145,50 @@ int cmd_stats(const ParsedGraph& parsed) {
                 g.edgeblock_array().blocks_in_use());
     std::printf("load time           : %.3f s (%.2f Mupdates/s)\n", load_s,
                 mops(parsed.edges.size(), load_s));
+    std::printf("\n-- telemetry (gt.obs) --\n");
+    obs::Exporter::write_table(std::cout, snap);
+    return 0;
+}
+
+/// `gt trace`: run hybrid BFS with the engine pointed at the store's
+/// registry, then print the per-iteration "engine.trace" series — the FP/IP
+/// decisions the inference unit actually made, with the A/E ratio each one
+/// compared against the threshold.
+int cmd_trace(const ParsedGraph& parsed, VertexId root, bool json) {
+    core::GraphTinker g;
+    ingest(g, parsed);
+    engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> bfs(
+        g, engine::EngineOptions{.registry = &g.obs()});
+    bfs.set_root(root);
+    const auto stats = bfs.run_from_scratch();
+    const obs::Snapshot snap = g.telemetry();
+    if (json) {
+        obs::Exporter::write_json(std::cout, snap);
+        return 0;
+    }
+    std::printf("BFS from %u: %zu iterations (%zu full / %zu incremental), "
+                "%llu edges streamed\n\n",
+                root, stats.iterations, stats.full_iterations,
+                stats.incremental_iterations,
+                static_cast<unsigned long long>(stats.edges_streamed));
+    const auto* trace = snap.find_series("engine.trace");
+    if (trace == nullptr) {
+        std::printf("no engine.trace series recorded "
+                    "(GT_OBS_RECORD=0?)\n");
+        return 0;
+    }
+    Table table({"iter", "mode", "active", "ratio", "streamed", "logical",
+                 "seconds"});
+    for (const auto& row : trace->rows) {
+        table.add_row({Table::fmt(row[0], 0),
+                       row[1] == 1.0 ? "FP" : "IP",
+                       Table::fmt(row[2], 0),
+                       Table::fmt(row[3], 5),
+                       Table::fmt(row[4], 0),
+                       Table::fmt(row[5], 0),
+                       Table::fmt(row[6], 6)});
+    }
+    table.print(std::cout);
     return 0;
 }
 
@@ -190,7 +248,7 @@ int cmd_pagerank(const ParsedGraph& parsed, std::size_t top_k) {
     engine::PageRank<core::GraphTinker> alg{&g, 0.85, 1e-9};
     engine::DynamicAnalysis<core::GraphTinker,
                             engine::PageRank<core::GraphTinker>>
-        pr(g, engine::EngineOptions{.keep_trace = false}, alg);
+        pr(g, engine::EngineOptions{}, alg);
     pr.run_from_scratch();
     std::vector<std::pair<double, VertexId>> ranked;
     for (VertexId v = 0; v < g.num_vertices(); ++v) {
@@ -312,8 +370,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
         return 1;
     }
+    const bool json =
+        argc > 3 && std::string(argv[argc - 1]) == "--json";
     if (command == "stats") {
-        return cmd_stats(parsed);
+        return cmd_stats(parsed, json);
+    }
+    if (command == "trace") {
+        if (argc < 4) {
+            return usage();
+        }
+        return cmd_trace(parsed,
+                         static_cast<gt::VertexId>(
+                             std::strtoul(argv[3], nullptr, 10)),
+                         json);
     }
     if (command == "bfs") {
         if (argc < 4) {
