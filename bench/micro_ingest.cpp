@@ -10,6 +10,12 @@
 // batch; the CI perf-smoke job fails when `--check` sees it below 0.5x
 // (a >2x regression).
 //
+// The wal_buffered / wal_fsync rows re-run the batch path with a WAL
+// attached (buffered group commit vs fsync-per-batch). The durability
+// contract allows buffered logging at most 15% throughput overhead:
+// `wal_overhead_batch100k` (buffered-WAL eps / no-WAL eps at batch 100k)
+// must stay >= 0.85 under `--check`.
+//
 // Flags / env:
 //   --out=PATH           JSON output path (default BENCH_ingest.json)
 //   --registry-out=PATH  standalone gt.obs registry snapshot (optional)
@@ -19,6 +25,7 @@
 //   GT_INGEST_REPS       repetitions per mode, best-of (default 3)
 //   GT_INGEST_RMAT_A     RMAT `a` quadrant probability (default 0.57;
 //                        b = c = (1 - a) / 3, Graph500-style skew)
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -31,6 +38,7 @@
 #include "core/probe_kernel.hpp"
 #include "core/sharded.hpp"
 #include "gen/rmat.hpp"
+#include "recover/wal.hpp"
 #include "obs/export.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -103,6 +111,29 @@ Row measure(std::string mode, std::size_t batch_reported, std::size_t reps,
     return row;
 }
 
+/// GraphTinker with a write-ahead log teed in: measures the durability tax
+/// of the logging path itself. Each instance starts from an empty log file
+/// (WalWriter::open resumes an existing one, which would skew reps).
+struct WalStore {
+    core::GraphTinker g;
+    recover::WalWriter wal;
+
+    WalStore(const core::Config& cfg, const std::string& path,
+             recover::DurabilityMode mode)
+        : g(cfg) {
+        std::remove(path.c_str());
+        if (!wal.open(path, mode).ok()) {
+            std::cerr << "cannot open bench WAL at " << path << "\n";
+            std::exit(2);
+        }
+        g.attach_update_log(&wal);
+    }
+    ~WalStore() {
+        g.attach_update_log(nullptr);
+        wal.close();
+    }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -173,8 +204,36 @@ int main(int argc, char** argv) {
                std::span<const Edge> s) { st.insert_batch(s); }));
     }
 
+    // Durability rows: same batch path, WAL teed in. Per-edge WAL logging
+    // (batch 1 in fsync mode) would be one fsync per edge — measured only
+    // at the batch sizes the durability contract targets.
+    const std::string wal_path = args.out_path + ".wal.tmp";
+    const struct {
+        const char* mode;
+        recover::DurabilityMode durability;
+    } wal_modes[] = {
+        {"wal_buffered", recover::DurabilityMode::Buffered},
+        {"wal_fsync", recover::DurabilityMode::FsyncBatch},
+    };
+    for (const auto& wm : wal_modes) {
+        for (const std::size_t batch : {std::size_t{1000}, std::size_t{100000}}) {
+            rows.push_back(measure(
+                wm.mode, batch, reps, std::span<const Edge>(edges), batch,
+                [&] {
+                    return std::make_unique<WalStore>(
+                        sized_config(vertices, num_edges), wal_path,
+                        wm.durability);
+                },
+                [](WalStore& st, std::span<const Edge> s) {
+                    st.g.insert_batch(s);
+                }));
+        }
+    }
+    std::remove(wal_path.c_str());
+
     double baseline = 0.0;
     double batch100k = 0.0;
+    double wal_buffered100k = 0.0;
     Table table({"mode", "batch", "edges/sec", "mean", "stddev"});
     for (const Row& row : rows) {
         if (row.mode == "per_edge") {
@@ -183,6 +242,9 @@ int main(int argc, char** argv) {
         if (row.mode == "batch" && row.batch_size == 100000) {
             batch100k = row.edges_per_sec;
         }
+        if (row.mode == "wal_buffered" && row.batch_size == 100000) {
+            wal_buffered100k = row.edges_per_sec;
+        }
         table.add_row({row.mode, std::to_string(row.batch_size),
                        Table::fmt(row.edges_per_sec / 1e6, 3) + " M",
                        Table::fmt(row.reps.mean / 1e6, 3) + " M",
@@ -190,8 +252,12 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
     const double speedup = baseline > 0.0 ? batch100k / baseline : 0.0;
+    const double wal_overhead =
+        batch100k > 0.0 ? wal_buffered100k / batch100k : 0.0;
     std::cout << "\nspeedup (batch 100k vs per-edge): "
               << Table::fmt(speedup, 2) << "x\n";
+    std::cout << "wal overhead (buffered WAL vs no WAL, batch 100k): "
+              << Table::fmt(wal_overhead, 2) << "x\n";
     // Stable machine-readable line; tools/check_obs_overhead.sh diffs this
     // figure between GT_OBS=ON and GT_OBS=OFF builds.
     std::cout << "headline_batch100k_eps=" << batch100k << "\n";
@@ -218,6 +284,7 @@ int main(int argc, char** argv) {
     w.member("reps", static_cast<std::uint64_t>(reps));
     w.member("simd", gt::core::kProbeKernelSimd);
     w.member("speedup_batch100k", speedup);
+    w.member("wal_overhead_batch100k", wal_overhead);
     w.key("results").begin_array();
     for (const Row& row : rows) {
         w.begin_object();
@@ -241,6 +308,12 @@ int main(int argc, char** argv) {
         std::cerr << "REGRESSION: batch-100k fast path at "
                   << Table::fmt(speedup, 2)
                   << "x of the per-edge baseline (threshold 0.5x)\n";
+        return 1;
+    }
+    if (args.check && wal_overhead < 0.85) {
+        std::cerr << "REGRESSION: buffered WAL at "
+                  << Table::fmt(wal_overhead, 2)
+                  << "x of no-WAL batch-100k throughput (threshold 0.85x)\n";
         return 1;
     }
     return 0;

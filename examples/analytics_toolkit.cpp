@@ -77,8 +77,17 @@ int main() {
 
     // 5. Persist and restore.
     std::stringstream buffer;
-    core::save_snapshot(graph.forward(), buffer);
-    const auto restored = core::load_snapshot(buffer);
+    if (const gt::Status st = core::write_snapshot(graph.forward(), buffer);
+        !st.ok()) {
+        std::printf("5. Persistence FAILED: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    core::LoadedSnapshot loaded;
+    if (const gt::Status st = core::read_snapshot(buffer, loaded); !st.ok()) {
+        std::printf("5. Restore FAILED: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    const auto restored = std::move(loaded.graph);
     std::printf("5. Persistence: snapshot is %zu bytes; restored graph has "
                 "%llu edges (validate: %s)\n",
                 buffer.str().size(),

@@ -1,6 +1,9 @@
 #include "core/cal.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/failpoint.hpp"
 
 namespace gt::core {
 
@@ -50,6 +53,50 @@ std::uint32_t CoarseAdjacencyList::allocate_block(std::uint32_t group) {
         }
     }
     return id;
+}
+
+void CoarseAdjacencyList::reserve_headroom() {
+    // Invariant restored here: free_ can absorb a push for every block that
+    // exists (or is about to), so free_tail_block never reallocates.
+    if (free_.empty()) {
+        // The next append may allocate one fresh block: metadata slot, one
+        // block's worth of pool slots, and a free-list slot for its
+        // eventual release. Geometric growth — vector::reserve alone would
+        // degrade push_back's amortization to O(n^2).
+        const std::size_t nblocks = blocks_.size() + 1;
+        if (free_.capacity() < nblocks) {
+            free_.reserve(std::max<std::size_t>(nblocks * 2, 8));
+        }
+        if (blocks_.capacity() < nblocks) {
+            blocks_.reserve(std::max<std::size_t>(nblocks * 2, 8));
+        }
+        const std::size_t npool = pool_.size() + block_edges_;
+        if (pool_.capacity() < npool) {
+            pool_.reserve(std::max(npool, pool_.capacity() * 2));
+        }
+    } else if (free_.capacity() < blocks_.size()) {
+        free_.reserve(blocks_.size());
+    }
+}
+
+void CoarseAdjacencyList::prepare_append(VertexId dense_src) {
+    const std::uint32_t group = dense_src / group_size_;
+    if (group >= groups_.size()) {
+        groups_.resize(static_cast<std::size_t>(group) + 1);
+    }
+    prepare_append_group(group);
+}
+
+void CoarseAdjacencyList::prepare_append_group(std::uint32_t /*group*/) {
+    GT_FAILPOINT("cal.grow");
+    reserve_headroom();
+}
+
+void CoarseAdjacencyList::prepare_erase() {
+    GT_FAILPOINT("cal.grow");
+    if (free_.capacity() < blocks_.size()) {
+        free_.reserve(blocks_.size());
+    }
 }
 
 std::uint32_t CoarseAdjacencyList::insert(VertexId dense_src, VertexId raw_src,

@@ -55,6 +55,19 @@ public:
     std::uint32_t insert(VertexId dense_src, VertexId raw_src, VertexId dst,
                          Weight weight, CellRef owner);
 
+    /// Growth pre-flight for one append to `dense_src`'s chain: creates the
+    /// group slot and reserves enough pool/metadata/free-list capacity that
+    /// the append itself cannot hit an allocating (throwing) operation. All
+    /// throwing work — including the "cal.grow" fail point — happens here,
+    /// before the caller mutates anything, so a mid-batch allocation failure
+    /// rolls back cleanly.
+    void prepare_append(VertexId dense_src);
+
+    /// Pre-flight for one erase: the "cal.grow" fail point plus free-list
+    /// headroom, so a compacting erase that frees an emptied tail block
+    /// cannot throw out of free_tail_block.
+    void prepare_erase();
+
     /// Amortized append handle for a run of inserts that all target the same
     /// dense source: the group resolution (a division plus a bounds-checked
     /// resize) runs once at construction instead of per edge. Valid only
@@ -65,6 +78,10 @@ public:
                              CellRef owner) {
             return cal_->insert_in_group(group_, raw_src, dst, weight, owner);
         }
+
+        /// prepare_append for the already-resolved group (skips the group
+        /// division on the batch hot path).
+        void prepare() { cal_->prepare_append_group(group_); }
 
     private:
         friend class CoarseAdjacencyList;
@@ -194,9 +211,14 @@ private:
     /// Append into an already-resolved (and existing) group.
     std::uint32_t insert_in_group(std::uint32_t group, VertexId raw_src,
                                   VertexId dst, Weight weight, CellRef owner);
+    /// prepare_append once the group slot is known to exist.
+    void prepare_append_group(std::uint32_t group);
 
     std::uint32_t allocate_block(std::uint32_t group);
     void free_tail_block(GroupMeta& group_meta);
+    /// Reserves capacity so the next block allocation and any number of
+    /// tail-block frees are nothrow (free_ is kept able to hold every block).
+    void reserve_headroom();
 
     std::uint32_t group_size_;
     std::uint32_t block_edges_;

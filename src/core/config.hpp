@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/status.hpp"
+
 namespace gt::core {
 
 /// Deletion mechanism (paper §III.C).
@@ -68,28 +70,57 @@ struct Config {
     /// vertices. 0 leaves all maintenance to explicit maintain() calls.
     std::uint32_t maintenance_budget_cells = 0;
 
-    /// Validates divisibility/power-of-two invariants; throws on bad values.
-    void validate() const {
+    /// Non-throwing validation: divisibility/power-of-two invariants plus
+    /// the resource-sanity caps an *untrusted* config (one decoded from a
+    /// snapshot file) must clear before the store allocates anything from
+    /// it. Returns the first violated invariant as a typed Status.
+    [[nodiscard]] Status check() const noexcept {
         auto pow2 = [](std::uint32_t x) { return x != 0 && (x & (x - 1)) == 0; };
+        auto bad = [](const char* why) {
+            return Status{StatusCode::InvalidArgument, why};
+        };
         if (!pow2(pagewidth) || !pow2(subblock) || !pow2(workblock)) {
-            throw std::invalid_argument(
-                "pagewidth/subblock/workblock must be powers of two");
+            return bad("pagewidth/subblock/workblock must be powers of two");
         }
         if (pagewidth % subblock != 0 || subblock % workblock != 0) {
-            throw std::invalid_argument(
-                "pagewidth must divide into subblocks, subblocks into workblocks");
+            return bad(
+                "pagewidth must divide into subblocks, subblocks into "
+                "workblocks");
         }
         if (pagewidth > 65536) {
-            throw std::invalid_argument("pagewidth larger than 65536 unsupported");
+            return bad("pagewidth larger than 65536 unsupported");
         }
         if (cal_group_size == 0 || cal_block_edges == 0) {
-            throw std::invalid_argument("CAL geometry must be non-zero");
+            return bad("CAL geometry must be non-zero");
         }
-        if (purge_tombstone_threshold < 0.0 ||
-            purge_tombstone_threshold > 1.0 || cal_compact_threshold < 0.0 ||
-            cal_compact_threshold > 1.0) {
-            throw std::invalid_argument(
-                "maintenance thresholds must lie in [0, 1]");
+        if (cal_group_size > (1U << 24) || cal_block_edges > (1U << 24)) {
+            return bad("CAL geometry implausibly large");
+        }
+        if (deletion_mode != DeletionMode::DeleteOnly &&
+            deletion_mode != DeletionMode::DeleteAndCompact) {
+            return bad("deletion_mode outside the enum range");
+        }
+        if (initial_vertices > (1U << 28)) {
+            return bad("initial_vertices implausibly large");
+        }
+        if (reserve_edges > (std::uint64_t{1} << 40)) {
+            return bad("reserve_edges implausibly large");
+        }
+        if (!(purge_tombstone_threshold >= 0.0 &&
+              purge_tombstone_threshold <= 1.0) ||
+            !(cal_compact_threshold >= 0.0 && cal_compact_threshold <= 1.0)) {
+            // Negated >= form so NaN (possible in a fuzzed header) fails.
+            return bad("maintenance thresholds must lie in [0, 1]");
+        }
+        return Status::success();
+    }
+
+    /// Validates as check(); throws std::invalid_argument on bad values
+    /// (the construction-time API — programmer error, not data error).
+    void validate() const {
+        const Status st = check();
+        if (!st.ok()) {
+            throw std::invalid_argument(st.message);
         }
     }
 

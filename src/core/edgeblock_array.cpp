@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/probe_kernel.hpp"
+#include "util/failpoint.hpp"
 #include "util/simd.hpp"
 
 namespace {
@@ -117,6 +118,33 @@ EdgeblockArray::EdgeblockArray(const Config& config, CoarseAdjacencyList* cal,
     }
 }
 
+void EdgeblockArray::grow_storage(std::uint32_t target) {
+    // Resize order is failure-safe: if any resize throws, the vectors that
+    // already grew merely carry unused slack (block_count_ and
+    // storage_blocks_ are written only after every resize landed), so the
+    // arena stays consistent.
+    cells_.resize(static_cast<std::size_t>(target) * pagewidth_);
+    children_.resize(static_cast<std::size_t>(target) * spb_, kNoBlock);
+    occupied_.resize(target, 0);
+    masks_.resize(static_cast<std::size_t>(target) * words_per_block_, 0);
+    tomb_masks_.resize(static_cast<std::size_t>(target) * words_per_block_,
+                       0);
+    storage_blocks_ = target;
+}
+
+void EdgeblockArray::ensure_block_available() {
+    if (!free_blocks_.empty() || block_count_ < storage_blocks_) {
+        return;
+    }
+    GT_FAILPOINT("eba.grow");
+    // Grow the arena by many blocks at once: branch-outs allocate
+    // constantly on the insert hot path, and five small resizes per
+    // block (each element-constructing one block's worth of cells)
+    // cost more than one bulk fill amortized over the chunk.
+    grow_storage(std::max({block_count_ + 1,
+                           storage_blocks_ + storage_blocks_ / 2, 64U}));
+}
+
 std::uint32_t EdgeblockArray::allocate_block() {
     std::uint32_t block;
     if (!free_blocks_.empty()) {
@@ -125,24 +153,11 @@ std::uint32_t EdgeblockArray::allocate_block() {
     } else {
         block = block_count_++;
         if (block_count_ > storage_blocks_) {
-            // Grow the arena by many blocks at once: branch-outs allocate
-            // constantly on the insert hot path, and five small resizes per
-            // block (each element-constructing one block's worth of cells)
-            // cost more than one bulk fill amortized over the chunk.
-            storage_blocks_ =
-                std::max(block_count_, storage_blocks_ + storage_blocks_ / 2);
-            storage_blocks_ = std::max(storage_blocks_, 64U);
-            cells_.resize(static_cast<std::size_t>(storage_blocks_) *
-                          pagewidth_);
-            children_.resize(
-                static_cast<std::size_t>(storage_blocks_) * spb_, kNoBlock);
-            occupied_.resize(storage_blocks_, 0);
-            masks_.resize(static_cast<std::size_t>(storage_blocks_) *
-                              words_per_block_,
-                          0);
-            tomb_masks_.resize(static_cast<std::size_t>(storage_blocks_) *
-                                   words_per_block_,
-                               0);
+            // Growth fallback for paths that skipped the pre-flight
+            // (maintenance rebuilds); the insert path always runs
+            // ensure_block_available first, so it never grows here.
+            grow_storage(std::max(
+                {block_count_, storage_blocks_ + storage_blocks_ / 2, 64U}));
         }
         return block;  // freshly appended storage is already cleared
     }
@@ -348,9 +363,12 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
         // EMPTY-exit shortcut is unsound there; fall back to FIND + INSERT.
         if (const auto loc = locate(top, dst)) {
             EdgeCell& c = cell(loc->block, loc->slot);
+            const Weight prev = c.weight;
             c.weight = weight;
-            return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
-                               CellRef{}, 0};
+            ProbeResult dup{ProbeResult::Kind::Duplicate, c.cal_pos,
+                            CellRef{}, 0};
+            dup.prev_weight = prev;
+            return dup;
         }
         return ProbeResult{ProbeResult::Kind::Absent, kNoCalPos, CellRef{},
                            0};
@@ -384,9 +402,12 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
             flush.workblocks += (step.scanned + workblock_ - 1) / workblock_;
             if (step.kind == ProbeStep::Kind::Duplicate) {
                 EdgeCell& c = cell(block, sb_base + step.slot);
+                const Weight prev = c.weight;
                 c.weight = weight;
-                return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
-                                   CellRef{}, 0};
+                ProbeResult dup{ProbeResult::Kind::Duplicate, c.cal_pos,
+                                CellRef{}, 0};
+                dup.prev_weight = prev;
+                return dup;
             }
             if (!earlier_candidate) {
                 if (step.candidate) {
@@ -446,9 +467,12 @@ EdgeblockArray::ProbeResult EdgeblockArray::probe_insert(std::uint32_t& top,
                 continue;
             }
             if (c.dst == dst) {
+                const Weight prev = c.weight;
                 c.weight = weight;
-                return ProbeResult{ProbeResult::Kind::Duplicate, c.cal_pos,
-                                   CellRef{}, 0};
+                ProbeResult dup{ProbeResult::Kind::Duplicate, c.cal_pos,
+                                CellRef{}, 0};
+                dup.prev_weight = prev;
+                return dup;
             }
             if (c.probe < d && !earlier_candidate) {
                 earlier_candidate = true;  // RHH would displace here
@@ -620,6 +644,7 @@ EdgeblockArray::EraseResult EdgeblockArray::erase(std::uint32_t& top,
     }
     EdgeCell& c = cell(loc->block, loc->slot);
     const std::uint32_t cal_pos = c.cal_pos;
+    const Weight weight = c.weight;
     if (!compact_delete_) {
         // Delete-only: tombstone the cell; probing sees the slot as vacant
         // for future inserts but nothing shrinks.
@@ -628,7 +653,7 @@ EdgeblockArray::EraseResult EdgeblockArray::erase(std::uint32_t& top,
         --occupied_[loc->block];
         set_occupancy(loc->block, loc->slot, false);
         set_tombstone(loc->block, loc->slot, true);
-        return EraseResult{true, cal_pos};
+        return EraseResult{true, cal_pos, weight};
     }
     c = EdgeCell{};
     --occupied_[loc->block];
@@ -642,7 +667,7 @@ EdgeblockArray::EraseResult EdgeblockArray::erase(std::uint32_t& top,
         free_block(top);
         top = kNoBlock;
     }
-    return EraseResult{true, cal_pos};
+    return EraseResult{true, cal_pos, weight};
 }
 
 void EdgeblockArray::prune_path(std::uint32_t top, VertexId dst) {

@@ -128,8 +128,32 @@ public:
         // cascade would cross without effect, so insert_new skips them.
         std::uint32_t resume_block = kNoBlock;
         std::uint32_t resume_level = 0;
+        // Duplicate: the weight the cell held before this probe overwrote
+        // it — the transactional batch undo journal restores it on rollback.
+        // Kept last: the Absent returns aggregate-initialize through
+        // resume_level positionally.
+        Weight prev_weight = 0;
     };
     ProbeResult probe_insert(std::uint32_t& top, VertexId dst, Weight weight);
+
+    /// Growth pre-flight for the insert path: guarantees that at least one
+    /// block can be allocated without the arena having to grow, so the
+    /// probe/cascade that follows cannot hit an allocation failure after it
+    /// has started mutating cells (one insert allocates at most one block —
+    /// a branch-out's fresh child absorbs the carried edge immediately).
+    /// All throwing work (the "eba.grow" fail point and the backing-vector
+    /// resizes) happens here, before any structural mutation, which is what
+    /// makes a mid-batch allocation failure cleanly roll-backable.
+    void ensure_block_available();
+
+    /// Erase-path counterpart: keeps the block free-list able to absorb
+    /// every block that exists, so the (possibly several) free_block calls
+    /// a compacting erase performs can never throw mid-mutation.
+    void ensure_erase_headroom() {
+        if (free_blocks_.capacity() < block_count_) {
+            free_blocks_.reserve(block_count_);
+        }
+    }
 
     /// Writes a new edge into the cell pinned by probe_insert (PlaceAt).
     void place_at(CellRef ref, VertexId dst, Weight weight,
@@ -173,6 +197,7 @@ public:
     struct EraseResult {
         bool found = false;
         std::uint32_t cal_pos = kNoCalPos;  // CAL copy to invalidate
+        Weight weight = 0;  // the erased edge's weight (undo-journal redo)
     };
 
     /// Deletes (…, dst) under the configured deletion mode. In
@@ -401,6 +426,11 @@ private:
     }
 
     std::uint32_t allocate_block();
+    /// Grows the backing vectors to `target` blocks of storage. The only
+    /// place the arena's vectors reallocate; may throw std::bad_alloc, in
+    /// which case no arena state has changed (sizes only ever grow, and
+    /// block_count_ is untouched).
+    void grow_storage(std::uint32_t target);
     void free_block(std::uint32_t block);
     void free_subtree(std::uint32_t block);
     /// Total live cells under `block`'s subtree.

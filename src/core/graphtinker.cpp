@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace gt::core {
@@ -55,20 +56,57 @@ std::optional<VertexId> GraphTinker::dense_of(VertexId raw) const {
 }
 
 bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
+    // Solo durability frame: a single-edge call outside any batch is its
+    // own commit unit. Inside a batch (or a rollback) the enclosing frame
+    // already covers it. Log failures latch inside the log (see
+    // UpdateLog); the in-memory store stays authoritative.
+    const bool tee = log_ != nullptr && txn_ == TxnState::Idle;
+    if (tee) {
+        const Edge e{src, dst, weight};
+        log_->begin_batch(1);
+        log_->stage_inserts({&e, 1});
+    }
     note_raw(src);
     note_raw(dst);
-    const VertexId dense = map_source(src);
-    if (!insert_resolved(dense, src, dst, weight, nullptr)) {
-        return false;
+    bool created = false;
+    try {
+        const VertexId dense = map_source(src);
+        created = insert_resolved(dense, src, dst, weight, nullptr);
+        if (created) {
+            ++props_[dense].degree;
+            ++num_edges_;
+        }
+    } catch (...) {
+        if (tee) {
+            log_->abort_batch();
+        }
+        throw;
     }
-    ++props_[dense].degree;
-    ++num_edges_;
-    return true;
+    if (tee) {
+        log_->commit_batch();
+    }
+    return created;
 }
 
 bool GraphTinker::insert_resolved(VertexId dense, VertexId raw_src,
                                   VertexId dst, Weight weight,
                                   CoarseAdjacencyList::Appender* app) {
+    // Growth pre-flight: every allocation the apply below could need is
+    // performed (or its capacity reserved) here, before any structural
+    // mutation — one insert allocates at most one edgeblock and one CAL
+    // block, so after these calls the probe/cascade/append below is
+    // nothrow. A failure here (real or injected via the "eba.grow" /
+    // "cal.grow" fail points) therefore leaves this edge un-applied and the
+    // store untouched, which is what makes a mid-batch failure cleanly
+    // roll-backable from the undo journal alone.
+    eba_.ensure_block_available();
+    if (config_.enable_cal) {
+        if (app != nullptr) {
+            app->prepare();
+        } else {
+            cal_.prepare_append(dense);
+        }
+    }
     const auto probe = eba_.probe_insert(top_[dense], dst, weight);
     using Kind = EdgeblockArray::ProbeResult::Kind;
     switch (probe.kind) {
@@ -76,6 +114,11 @@ bool GraphTinker::insert_resolved(VertexId dense, VertexId raw_src,
             // probe_insert already updated the EdgeblockArray weight.
             if (config_.enable_cal && probe.cal_pos != kNoCalPos) {
                 cal_.update_weight(probe.cal_pos, weight);
+            }
+            if (txn_ == TxnState::Applying) {
+                journal_.push_back(UndoEntry{UndoEntry::Kind::RestoreWeight,
+                                             raw_src, dst,
+                                             probe.prev_weight});
             }
             return false;
         case Kind::PlaceAt: {
@@ -108,20 +151,48 @@ bool GraphTinker::insert_resolved(VertexId dense, VertexId raw_src,
             break;
         }
     }
+    if (txn_ == TxnState::Applying) {
+        journal_.push_back(
+            UndoEntry{UndoEntry::Kind::EraseInsert, raw_src, dst, 0});
+    }
     return true;
 }
 
 bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
-    const auto dense = dense_of(src);
-    if (!dense) {
-        return false;
+    const bool tee = log_ != nullptr && txn_ == TxnState::Idle;
+    if (tee) {
+        const Edge e{src, dst, 0};
+        log_->begin_batch(1);
+        log_->stage_deletes({&e, 1});
     }
-    return delete_resolved(*dense, dst);
+    bool found = false;
+    try {
+        if (const auto dense = dense_of(src)) {
+            found = delete_resolved(*dense, src, dst);
+        }
+    } catch (...) {
+        if (tee) {
+            log_->abort_batch();
+        }
+        throw;
+    }
+    if (tee) {
+        log_->commit_batch();
+    }
+    return found;
 }
 
-bool GraphTinker::delete_resolved(VertexId dense, VertexId dst) {
+bool GraphTinker::delete_resolved(VertexId dense, VertexId raw_src,
+                                  VertexId dst) {
     if (top_[dense] == EdgeblockArray::kNoBlock) {
         return false;
+    }
+    // Erase pre-flight: free-list headroom (and the "cal.grow" fail point)
+    // up front, so the block frees a compacting erase performs mid-mutation
+    // cannot throw.
+    eba_.ensure_erase_headroom();
+    if (config_.enable_cal) {
+        cal_.prepare_erase();
     }
     const auto result = eba_.erase(top_[dense], dst);
     if (!result.found) {
@@ -137,6 +208,10 @@ bool GraphTinker::delete_resolved(VertexId dense, VertexId dst) {
             // edge-cell at the new CAL position.
             eba_.set_cal_pos(moved->owner, moved->new_pos);
         }
+    }
+    if (txn_ == TxnState::Applying) {
+        journal_.push_back(UndoEntry{UndoEntry::Kind::Reinsert, raw_src, dst,
+                                     result.weight});
     }
     return true;
 }
@@ -297,7 +372,105 @@ private:
 };
 }  // namespace
 
-void GraphTinker::insert_batch(std::span<const Edge> batch) {
+Status GraphTinker::validate_batch(std::span<const Edge> batch) {
+    // Staged validation: the whole batch is screened before anything
+    // mutates, so a rejected batch leaves the store byte-identical.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].src == kInvalidVertex || batch[i].dst == kInvalidVertex) {
+            return Status{StatusCode::InvalidArgument,
+                          "batch edge carries the invalid-vertex sentinel",
+                          i};
+        }
+    }
+    return Status::success();
+}
+
+bool GraphTinker::rollback_journal() noexcept {
+    // Newest-first replay restores the pre-batch store: an edge that was
+    // created and then re-weighted inside the same batch first gets its
+    // weight step undone, then the creation.
+    txn_ = TxnState::RollingBack;
+    bool complete = true;
+    for (std::size_t i = journal_.size(); i-- > 0;) {
+        const UndoEntry& u = journal_[i];
+        try {
+            switch (u.kind) {
+                case UndoEntry::Kind::EraseInsert: {
+                    if (const auto dense = dense_of(u.src)) {
+                        delete_resolved(*dense, u.src, u.dst);
+                    }
+                    break;
+                }
+                case UndoEntry::Kind::RestoreWeight:
+                case UndoEntry::Kind::Reinsert:
+                    // Re-entering the insert path re-creates the edge (or
+                    // overwrites the weight back) with its pre-batch value.
+                    insert_edge(u.src, u.dst, u.prev);
+                    break;
+            }
+        } catch (...) {
+            // A rollback step can only throw on genuine allocation failure
+            // (fail points are single-shot and already fired). Keep
+            // unwinding the rest; the caller reports the store degraded.
+            complete = false;
+        }
+    }
+    journal_.clear();
+    txn_ = TxnState::Idle;
+    return complete;
+}
+
+template <typename ApplyFn>
+Status GraphTinker::run_transaction(std::span<const Edge> batch, bool deletes,
+                                    ApplyFn&& apply) {
+    if (const Status st = validate_batch(batch); !st.ok()) {
+        return st;
+    }
+    // Stage-before-apply: the durability frame holds the batch before the
+    // first in-memory mutation; it is committed only after the apply fully
+    // succeeded. A crash anywhere in between leaves an uncommitted frame
+    // recovery discards — equivalent to the rollback a clean failure takes.
+    if (log_ != nullptr) {
+        const bool staged = log_->begin_batch(batch.size()) &&
+                            (deletes ? log_->stage_deletes(batch)
+                                     : log_->stage_inserts(batch));
+        if (!staged) {
+            log_->abort_batch();
+            return Status{StatusCode::IoError,
+                          "update log could not stage the batch"};
+        }
+    }
+    journal_.clear();
+    journal_.reserve(batch.size());  // apply-path journal pushes are nothrow
+    txn_ = TxnState::Applying;
+    Status st = Status::success();
+    try {
+        apply();
+    } catch (const fail::InjectedFault& f) {
+        st = Status{StatusCode::FaultInjected,
+                    "injected fault at site '" + f.site() + "' mid-batch",
+                    journal_.size()};
+    } catch (const std::bad_alloc&) {
+        st = Status{StatusCode::ResourceExhausted,
+                    "allocation failed mid-batch", journal_.size()};
+    }
+    txn_ = TxnState::Idle;
+    if (st.ok() && log_ != nullptr && !log_->commit_batch()) {
+        // Applied in memory but not durable: roll memory back so the store
+        // never diverges from what a post-crash replay would rebuild.
+        st = Status{StatusCode::IoError,
+                    "update log commit failed; batch rolled back"};
+    } else if (!st.ok() && log_ != nullptr) {
+        log_->abort_batch();
+    }
+    if (!st.ok() && !rollback_journal()) {
+        st.message += "; rollback incomplete — store degraded";
+    }
+    journal_.clear();
+    return st;
+}
+
+Status GraphTinker::insert_batch(std::span<const Edge> batch) {
     batches_ingested_->inc();
     updates_applied_->add(batch.size());
     const BatchLatencyScope lat{ingest_batch_us_};
@@ -310,67 +483,83 @@ void GraphTinker::insert_batch(std::span<const Edge> batch) {
             }
         }
     } maintain_at_exit{*this};
-    if (batch.size() < kBatchFastPathMin ||
-        batch.size() > std::numeric_limits<std::uint32_t>::max()) {
-        for (const Edge& e : batch) {
-            insert_edge(e.src, e.dst, e.weight);
-        }
-        return;
-    }
-    sort_batch_by_source(batch);
-    // All sources resolve before any edge applies, so the lookahead
-    // prefetch below reads tops straight out of the run table (top_ cannot
-    // be resized mid-loop — map_source only runs here).
-    const std::span<const SourceRun> runs =
-        resolve_runs(batch.size(), /*assign=*/true);
-    // One stats flush for the whole batch instead of 2–4 atomic RMWs per
-    // probe; readers on other threads see the counters a batch late, which
-    // relaxed counters already permit.
-    const EdgeblockArray::StatsBatchScope stats_scope{eba_};
-    std::size_t pf_cursor = 0;
-    std::size_t pf_child_cursor = 0;
-    for (const SourceRun& run : runs) {
-        // Constant-distance lookahead: while edge i resolves, the subblock
-        // edge i+D will probe is already in flight, so its DRAM miss
-        // overlaps useful work instead of serializing behind it.
-        std::uint32_t created = 0;
-        VertexId max_dst = 0;
-        const auto drain = [&](CoarseAdjacencyList::Appender* app_ptr) {
-            for (std::size_t i = run.begin; i < run.end; ++i) {
-                prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
-                               /*deep=*/false);
-                prefetch_ahead(runs, pf_child_cursor,
-                               i + kPrefetchChildDistance, /*deep=*/true);
-                const Edge& e = ingest_sorted_[i];
-                // Adjacent same-destination updates: only the last one
-                // counts (exactly what applying them in order would leave
-                // behind), so the earlier ones skip their probe walks
-                // entirely.
-                if (i + 1 < run.end && ingest_sorted_[i + 1].dst == e.dst) {
-                    continue;
-                }
-                max_dst = std::max(max_dst, e.dst);
-                created += insert_resolved(run.dense, run.src, e.dst,
-                                           e.weight, app_ptr)
-                               ? 1U
-                               : 0U;
+    return run_transaction(batch, /*deletes=*/false, [&] {
+        if (batch.size() < kBatchFastPathMin ||
+            batch.size() > std::numeric_limits<std::uint32_t>::max()) {
+            for (const Edge& e : batch) {
+                insert_edge(e.src, e.dst, e.weight);
             }
-        };
-        if (config_.enable_cal) {
-            CoarseAdjacencyList::Appender app = cal_.appender(run.dense);
-            drain(&app);
-        } else {
-            drain(nullptr);
+            return;
         }
-        // Per-run accounting: every edge of the run shares dense/raw ids,
-        // so the counters and the raw-id bound update once, not per edge.
-        note_raw(max_dst);
-        props_[run.dense].degree += created;
-        num_edges_ += created;
-    }
+        sort_batch_by_source(batch);
+        // All sources resolve before any edge applies, so the lookahead
+        // prefetch below reads tops straight out of the run table (top_
+        // cannot be resized mid-loop — map_source only runs here).
+        const std::span<const SourceRun> runs =
+            resolve_runs(batch.size(), /*assign=*/true);
+        // One stats flush for the whole batch instead of 2–4 atomic RMWs
+        // per probe; readers on other threads see the counters a batch
+        // late, which relaxed counters already permit.
+        const EdgeblockArray::StatsBatchScope stats_scope{eba_};
+        std::size_t pf_cursor = 0;
+        std::size_t pf_child_cursor = 0;
+        for (const SourceRun& run : runs) {
+            // Constant-distance lookahead: while edge i resolves, the
+            // subblock edge i+D will probe is already in flight, so its
+            // DRAM miss overlaps useful work instead of serializing behind
+            // it.
+            std::uint32_t created = 0;
+            VertexId max_dst = 0;
+            const auto drain = [&](CoarseAdjacencyList::Appender* app_ptr) {
+                for (std::size_t i = run.begin; i < run.end; ++i) {
+                    prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
+                                   /*deep=*/false);
+                    prefetch_ahead(runs, pf_child_cursor,
+                                   i + kPrefetchChildDistance, /*deep=*/true);
+                    const Edge& e = ingest_sorted_[i];
+                    // Adjacent same-destination updates: only the last one
+                    // counts (exactly what applying them in order would
+                    // leave behind), so the earlier ones skip their probe
+                    // walks entirely.
+                    if (i + 1 < run.end &&
+                        ingest_sorted_[i + 1].dst == e.dst) {
+                        continue;
+                    }
+                    max_dst = std::max(max_dst, e.dst);
+                    created += insert_resolved(run.dense, run.src, e.dst,
+                                               e.weight, app_ptr)
+                                   ? 1U
+                                   : 0U;
+                }
+            };
+            // Per-run accounting: every edge of the run shares dense/raw
+            // ids, so the counters and the raw-id bound update once, not
+            // per edge. A mid-run failure settles the partial run first —
+            // the journaled edges of this run ARE applied and the rollback
+            // deletes them through the accounted path, so the counters must
+            // cover them before the unwind reaches the rollback.
+            try {
+                if (config_.enable_cal) {
+                    CoarseAdjacencyList::Appender app =
+                        cal_.appender(run.dense);
+                    drain(&app);
+                } else {
+                    drain(nullptr);
+                }
+            } catch (...) {
+                note_raw(max_dst);
+                props_[run.dense].degree += created;
+                num_edges_ += created;
+                throw;
+            }
+            note_raw(max_dst);
+            props_[run.dense].degree += created;
+            num_edges_ += created;
+        }
+    });
 }
 
-void GraphTinker::delete_batch(std::span<const Edge> batch) {
+Status GraphTinker::delete_batch(std::span<const Edge> batch) {
     batches_ingested_->inc();
     updates_applied_->add(batch.size());
     const BatchLatencyScope lat{delete_batch_us_};
@@ -382,34 +571,36 @@ void GraphTinker::delete_batch(std::span<const Edge> batch) {
             }
         }
     } maintain_at_exit{*this};
-    if (batch.size() < kBatchFastPathMin ||
-        batch.size() > std::numeric_limits<std::uint32_t>::max()) {
-        for (const Edge& e : batch) {
-            delete_edge(e.src, e.dst);
-        }
-        return;
-    }
-    sort_batch_by_source(batch);
-    const std::span<const SourceRun> runs =
-        resolve_runs(batch.size(), /*assign=*/false);
-    const EdgeblockArray::StatsBatchScope stats_scope{eba_};
-    std::size_t pf_cursor = 0;
-    for (const SourceRun& run : runs) {
-        for (std::size_t i = run.begin; i < run.end; ++i) {
-            prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
-                           /*deep=*/false);
-            const Edge& e = ingest_sorted_[i];
-            // Adjacent same-destination deletes: the first one removes the
-            // edge and every later one is a guaranteed no-op (erase of an
-            // absent / already-tombstoned key never touches the counters),
-            // so skip the earlier duplicates' probe walks — the insert
-            // path's adjacent-duplicate skip, mirrored.
-            if (i + 1 < run.end && ingest_sorted_[i + 1].dst == e.dst) {
-                continue;
+    return run_transaction(batch, /*deletes=*/true, [&] {
+        if (batch.size() < kBatchFastPathMin ||
+            batch.size() > std::numeric_limits<std::uint32_t>::max()) {
+            for (const Edge& e : batch) {
+                delete_edge(e.src, e.dst);
             }
-            delete_resolved(run.dense, e.dst);
+            return;
         }
-    }
+        sort_batch_by_source(batch);
+        const std::span<const SourceRun> runs =
+            resolve_runs(batch.size(), /*assign=*/false);
+        const EdgeblockArray::StatsBatchScope stats_scope{eba_};
+        std::size_t pf_cursor = 0;
+        for (const SourceRun& run : runs) {
+            for (std::size_t i = run.begin; i < run.end; ++i) {
+                prefetch_ahead(runs, pf_cursor, i + kPrefetchDistance,
+                               /*deep=*/false);
+                const Edge& e = ingest_sorted_[i];
+                // Adjacent same-destination deletes: the first one removes
+                // the edge and every later one is a guaranteed no-op (erase
+                // of an absent / already-tombstoned key never touches the
+                // counters), so skip the earlier duplicates' probe walks —
+                // the insert path's adjacent-duplicate skip, mirrored.
+                if (i + 1 < run.end && ingest_sorted_[i + 1].dst == e.dst) {
+                    continue;
+                }
+                delete_resolved(run.dense, run.src, e.dst);
+            }
+        }
+    });
 }
 
 std::optional<Weight> GraphTinker::find_edge(VertexId src,

@@ -24,8 +24,10 @@
 #include "core/edgeblock_array.hpp"
 #include "core/maintenance.hpp"
 #include "core/sgh.hpp"
+#include "core/update_log.hpp"
 #include "core/vertex_props.hpp"
 #include "obs/metrics.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 #include "util/visit.hpp"
 
@@ -60,11 +62,36 @@ public:
     /// CAL group resolution is amortized per run. The resulting store is
     /// equivalent to per-edge application (same edges, weights, degrees and
     /// audit invariants); only internal block/CAL layout may differ.
-    void insert_batch(std::span<const Edge> batch);
-    /// Batched delete with the same source-grouped fast path. Duplicate
-    /// (src, dst) pairs within a batch delete the edge once: later
-    /// occurrences are no-ops, exactly as per-edge application behaves.
-    void delete_batch(std::span<const Edge> batch);
+    ///
+    /// Transactional: the batch applies all-or-nothing. Edges carrying
+    /// kInvalidVertex endpoints are rejected up front (InvalidArgument,
+    /// `detail` = the first failing batch index) before anything mutates,
+    /// and a mid-batch failure (allocation, injected fault) rolls every
+    /// already-applied update back through the undo journal before the
+    /// typed error returns. An attached UpdateLog sees the batch staged
+    /// before application and committed only after it fully applied, so a
+    /// crash mid-batch replays to the rolled-back (batch-never-happened)
+    /// state. Not [[nodiscard]]: the legacy fire-and-forget call sites
+    /// remain valid — a dropped error leaves the store exactly as it was
+    /// before the batch.
+    Status insert_batch(std::span<const Edge> batch);
+    /// Batched delete with the same source-grouped fast path and the same
+    /// transactional all-or-nothing semantics (rolled-back deletes are
+    /// re-inserted with their original weights). Duplicate (src, dst) pairs
+    /// within a batch delete the edge once: later occurrences are no-ops,
+    /// exactly as per-edge application behaves.
+    Status delete_batch(std::span<const Edge> batch);
+
+    // ---- durability (src/recover) ----------------------------------------
+
+    /// Attaches the durability tee: every subsequent insert/delete (single
+    /// or batch) is framed and staged through `log` before it applies and
+    /// committed after it applies (see core/update_log.hpp for the crash
+    /// contract). Pass nullptr to detach. The log must outlive the
+    /// attachment. Typically wired by recover::DurableStore rather than
+    /// called directly.
+    void attach_update_log(UpdateLog* log) noexcept { log_ = log; }
+    [[nodiscard]] UpdateLog* update_log() const noexcept { return log_; }
 
     // ---- maintenance (core/maintenance.hpp) ------------------------------
 
@@ -217,8 +244,39 @@ private:
     /// so the batch path can accumulate them once per source run.
     bool insert_resolved(VertexId dense, VertexId raw_src, VertexId dst,
                          Weight weight, CoarseAdjacencyList::Appender* app);
-    /// delete_edge body after source resolution.
-    bool delete_resolved(VertexId dense, VertexId dst);
+    /// delete_edge body after source resolution (`raw_src` only feeds the
+    /// undo journal).
+    bool delete_resolved(VertexId dense, VertexId raw_src, VertexId dst);
+
+    // ---- transactional batch machinery -----------------------------------
+
+    /// One rollback step, journaled per applied update while a batch is in
+    /// Applying state and replayed in reverse order when it fails.
+    struct UndoEntry {
+        enum class Kind : std::uint8_t {
+            EraseInsert,    // insert created an edge -> delete it
+            RestoreWeight,  // insert overwrote a weight -> write prev back
+            Reinsert,       // delete removed an edge -> re-insert prev
+        };
+        Kind kind;
+        VertexId src;  // raw ids: rollback re-enters the public-id paths
+        VertexId dst;
+        Weight prev;
+    };
+    enum class TxnState : std::uint8_t { Idle, Applying, RollingBack };
+
+    /// Pre-application screen: finds the first edge with a kInvalidVertex
+    /// endpoint (InvalidArgument, detail = its index), or Ok.
+    [[nodiscard]] static Status validate_batch(std::span<const Edge> batch);
+    /// Replays journal_ newest-first, restoring the pre-batch store.
+    /// Returns false if a rollback step itself failed (allocation failure
+    /// during re-insertion) — the store may then be missing rolled-back
+    /// edges and the caller's Status says so.
+    bool rollback_journal() noexcept;
+    /// Shared begin/commit/abort framing around both batch bodies.
+    template <typename ApplyFn>
+    Status run_transaction(std::span<const Edge> batch, bool deletes,
+                           ApplyFn&& apply);
     /// Materializes `batch` into ingest_sorted_ grouped by source, stable
     /// in batch order within a source, so the apply loop streams
     /// sequentially. Small source spans take a single-pass counting sort
@@ -275,6 +333,13 @@ private:
     VertexId raw_bound_ = 0;
     /// Resume point of the amortized maintenance slices (dense id).
     VertexId maintain_cursor_ = 0;
+
+    /// Durability tee (non-owning; nullptr = durability off).
+    UpdateLog* log_ = nullptr;
+    TxnState txn_ = TxnState::Idle;
+    /// Undo journal of the in-flight batch. Reserved to the batch size up
+    /// front so the per-update pushes on the apply path cannot throw.
+    std::vector<UndoEntry> journal_;
 
     // Batch-ingest telemetry handles (resolved once at construction).
     obs::Histogram* ingest_batch_us_ = nullptr;

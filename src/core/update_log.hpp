@@ -1,0 +1,49 @@
+// UpdateLog: the durability tee GraphTinker writes its update stream
+// through when one is attached (GraphTinker::attach_update_log).
+//
+// The contract mirrors the store's transactional batch semantics: every
+// logical commit unit — one insert_batch/delete_batch call, or one
+// single-edge insert/delete — is framed begin / stage / commit (or abort).
+// The store stages the ops *before* applying them in memory and commits
+// only after the in-memory apply succeeded, so:
+//
+//   - a crash mid-apply leaves an uncommitted frame the log's reader
+//     discards (the batch never happened, matching the rolled-back memory
+//     state a clean failure would have produced);
+//   - a committed frame always describes a batch that fully applied, so
+//     replay is exact.
+//
+// Methods are noexcept and report failure by returning false — the store is
+// on its hot path and must not unwind through logging; implementations
+// latch their first error for callers to inspect (see
+// recover::WalWriter::status()). The interface lives in core (rather than
+// the recover module that implements it) so the store does not depend on
+// the durability layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.hpp"
+
+namespace gt::core {
+
+class UpdateLog {
+public:
+    virtual ~UpdateLog() = default;
+
+    /// Opens a commit frame that will stage `op_count` updates. Returns
+    /// false when the log cannot accept the frame (latched failure).
+    virtual bool begin_batch(std::uint64_t op_count) noexcept = 0;
+    /// Stages edge insertions into the open frame.
+    virtual bool stage_inserts(std::span<const Edge> edges) noexcept = 0;
+    /// Stages edge deletions into the open frame.
+    virtual bool stage_deletes(std::span<const Edge> edges) noexcept = 0;
+    /// Seals and persists the frame; the durability point. Returns false
+    /// when the frame could not be made durable.
+    virtual bool commit_batch() noexcept = 0;
+    /// Drops the open frame (the in-memory apply failed and rolled back).
+    virtual void abort_batch() noexcept = 0;
+};
+
+}  // namespace gt::core

@@ -1,0 +1,243 @@
+#include "recover/durable.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/audit.hpp"
+#include "core/serialize.hpp"
+
+namespace gt::recover {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+Status fsync_path(const std::string& path, bool directory) {
+    const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+    const int fd = ::open(path.c_str(), flags | O_CLOEXEC);
+    if (fd < 0) {
+        return Status{StatusCode::IoError,
+                      "open('" + path + "') for fsync failed: " +
+                          std::strerror(errno)};
+    }
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        return Status{StatusCode::IoError,
+                      "fsync('" + path + "') failed: " +
+                          std::strerror(errno)};
+    }
+    return Status::success();
+}
+
+Status load_snapshot_file(const std::string& path,
+                          core::LoadedSnapshot& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        return Status{StatusCode::IoError,
+                      "cannot open snapshot '" + path + "'"};
+    }
+    return core::read_snapshot(in, out);
+}
+
+}  // namespace
+
+DurableStore::~DurableStore() { close(); }
+
+void DurableStore::close() noexcept {
+    if (graph_ != nullptr && wal_ != nullptr) {
+        graph_->attach_update_log(nullptr);
+    }
+    if (wal_ != nullptr) {
+        wal_->close();
+        wal_.reset();
+    }
+    graph_.reset();
+}
+
+std::string DurableStore::snapshot_path() const {
+    return dir_ + "/snapshot.gts";
+}
+std::string DurableStore::prev_snapshot_path() const {
+    return dir_ + "/snapshot.prev.gts";
+}
+std::string DurableStore::wal_path() const { return dir_ + "/wal.gtw"; }
+
+Status DurableStore::open(const std::string& dir,
+                          const DurableOptions& options, RecoveryInfo* info) {
+    close();
+    dir_ = dir;
+    options_ = options;
+    RecoveryInfo local;
+    RecoveryInfo& ri = info != nullptr ? *info : local;
+    ri = RecoveryInfo{};
+
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+        return Status{StatusCode::IoError,
+                      "mkdir('" + dir + "') failed: " + std::strerror(errno)};
+    }
+
+    // 1. Newest-valid-snapshot fallback chain.
+    core::LoadedSnapshot loaded;
+    if (file_exists(snapshot_path())) {
+        ri.snapshot_status = load_snapshot_file(snapshot_path(), loaded);
+        if (ri.snapshot_status.ok()) {
+            ri.source = RecoveryInfo::Source::Snapshot;
+        }
+    } else {
+        ri.snapshot_status =
+            Status{StatusCode::IoError, "snapshot.gts absent"};
+    }
+    if (loaded.graph == nullptr && file_exists(prev_snapshot_path())) {
+        ri.prev_snapshot_status =
+            load_snapshot_file(prev_snapshot_path(), loaded);
+        if (ri.prev_snapshot_status.ok()) {
+            ri.source = RecoveryInfo::Source::PrevSnapshot;
+        }
+    }
+    if (loaded.graph != nullptr) {
+        graph_ = std::move(loaded.graph);
+        ri.snapshot_wal_seq = loaded.wal_seq;
+    } else {
+        ri.source = RecoveryInfo::Source::Fresh;
+        ri.snapshot_wal_seq = 0;
+        try {
+            graph_ = std::make_unique<core::GraphTinker>(options.config);
+        } catch (const std::invalid_argument& e) {
+            return Status{StatusCode::InvalidArgument, e.what()};
+        }
+    }
+
+    // 2. Replay the WAL tail on top (strictly after the snapshot's seq).
+    ri.wal_present = file_exists(wal_path());
+    if (ri.wal_present) {
+        const Status st =
+            replay_wal(wal_path(), *graph_, ri.snapshot_wal_seq, ri.replay);
+        if (!st.ok()) {
+            graph_.reset();
+            return st;
+        }
+    }
+
+    // 3. Post-replay structural audit: a recovered store must be
+    // indistinguishable from one that never crashed.
+    if (options.audit_after_recovery) {
+        ri.audit_ran = true;
+        const core::AuditReport report = graph_->audit();
+        ri.audit_clean = report.ok();
+        if (!ri.audit_clean) {
+            const Status st{StatusCode::RecoveryAuditFailed,
+                            "post-replay audit: " + report.to_string(),
+                            report.violations.size()};
+            graph_.reset();
+            return st;
+        }
+    }
+
+    // 4. Attach the appending WAL (its open() truncates the torn tail).
+    wal_ = std::make_unique<WalWriter>(&graph_->obs());
+    const std::uint64_t resume =
+        std::max(ri.replay.last_seq, ri.snapshot_wal_seq) + 1;
+    const Status wst = wal_->open(wal_path(), options.mode, resume);
+    if (!wst.ok()) {
+        wal_.reset();
+        graph_.reset();
+        return wst;
+    }
+    graph_->attach_update_log(wal_.get());
+    return Status::success();
+}
+
+Status DurableStore::checkpoint() {
+    if (!is_open()) {
+        return Status{StatusCode::InvalidArgument,
+                      "checkpoint on a closed store"};
+    }
+    // Hard durability boundary: everything the snapshot will claim to cover
+    // must actually be on disk before the snapshot can rotate in.
+    if (const Status st = wal_->sync(); !st.ok()) {
+        return st;
+    }
+    const std::uint64_t covered_seq = wal_->durable_seq();
+    const std::string tmp = dir_ + "/snapshot.tmp.gts";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            return Status{StatusCode::IoError,
+                          "cannot create '" + tmp + "'"};
+        }
+        if (const Status st = core::write_snapshot(*graph_, out, covered_seq);
+            !st.ok()) {
+            return st;
+        }
+    }
+    if (const Status st = fsync_path(tmp, /*directory=*/false); !st.ok()) {
+        return st;
+    }
+    // Rotate: current -> prev (clobbering the old prev), tmp -> current.
+    // A crash between the renames leaves a valid prev to fall back to.
+    if (file_exists(snapshot_path())) {
+        if (std::rename(snapshot_path().c_str(),
+                        prev_snapshot_path().c_str()) != 0) {
+            return Status{StatusCode::IoError,
+                          std::string{"snapshot rotate failed: "} +
+                              std::strerror(errno)};
+        }
+    }
+    if (std::rename(tmp.c_str(), snapshot_path().c_str()) != 0) {
+        return Status{StatusCode::IoError,
+                      std::string{"snapshot rename failed: "} +
+                          std::strerror(errno)};
+    }
+    return fsync_path(dir_, /*directory=*/true);
+}
+
+Status DurableStore::prune_wal() {
+    if (!is_open()) {
+        return Status{StatusCode::InvalidArgument,
+                      "prune_wal on a closed store"};
+    }
+    // The snapshot chain must cover everything the WAL would be pruned of;
+    // simplest sound policy: checkpoint already ran, so start a fresh log.
+    const std::uint64_t resume = wal_->next_seq();
+    const DurabilityMode mode = wal_->mode();
+    graph_->attach_update_log(nullptr);
+    wal_->close();
+    const std::string tmp = dir_ + "/wal.tmp.gtw";
+    {
+        WalWriter fresh;
+        if (const Status st = fresh.open(tmp, DurabilityMode::FsyncBatch,
+                                         resume);
+            !st.ok()) {
+            return st;
+        }
+        if (const Status st = fresh.sync(); !st.ok()) {
+            return st;
+        }
+        fresh.close();
+    }
+    if (std::rename(tmp.c_str(), wal_path().c_str()) != 0) {
+        return Status{StatusCode::IoError,
+                      std::string{"wal rotate failed: "} +
+                          std::strerror(errno)};
+    }
+    if (const Status st = fsync_path(dir_, /*directory=*/true); !st.ok()) {
+        return st;
+    }
+    if (const Status st = wal_->open(wal_path(), mode, resume); !st.ok()) {
+        return st;
+    }
+    graph_->attach_update_log(wal_.get());
+    return Status::success();
+}
+
+}  // namespace gt::recover

@@ -1,0 +1,118 @@
+// DurableStore — a GraphTinker wrapped in the crash-recovery protocol.
+//
+// Directory layout:
+//
+//   <dir>/snapshot.gts        newest checkpoint (core/serialize.hpp v2)
+//   <dir>/snapshot.prev.gts   previous checkpoint (fallback)
+//   <dir>/wal.gtw             write-ahead log (recover/wal.hpp)
+//
+// open() recovery state machine:
+//
+//   1. load snapshot.gts; on *any* decode failure fall back to
+//      snapshot.prev.gts; on failure again start from an empty store.
+//      The per-file Status codes are surfaced in RecoveryInfo.
+//   2. replay wal.gtw strictly after the loaded snapshot's wal_seq,
+//      discarding the torn tail and any uncommitted frame.
+//   3. audit() the rebuilt store; refuse (RecoveryAuditFailed) if any
+//      structural invariant is violated.
+//   4. truncate the WAL's torn tail and attach a WalWriter appending at
+//      the next sequence number.
+//
+// checkpoint() writes snapshot.tmp.gts, fsyncs it, rotates
+// snapshot.gts -> snapshot.prev.gts, renames the tmp into place, and fsyncs
+// the directory — crash-atomic at every step. The WAL is *not* truncated by
+// a checkpoint (by default): keeping it means a later snapshot corruption
+// can still recover by full replay; prune_wal() reclaims the space when the
+// caller decides the snapshots are trustworthy.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/graphtinker.hpp"
+#include "recover/wal.hpp"
+#include "util/status.hpp"
+
+namespace gt::recover {
+
+struct DurableOptions {
+    /// Configuration for a store created from scratch (ignored when a
+    /// snapshot supplies one).
+    core::Config config{};
+    DurabilityMode mode = DurabilityMode::Buffered;
+    /// Run the deep structural audit after recovery (cheap insurance; turn
+    /// off only for enormous stores).
+    bool audit_after_recovery = true;
+};
+
+/// What open() found and did — surfaced for the CLI and tests.
+struct RecoveryInfo {
+    enum class Source : std::uint8_t { Fresh, Snapshot, PrevSnapshot };
+    Source source = Source::Fresh;
+    Status snapshot_status;       // decode result of snapshot.gts
+    Status prev_snapshot_status;  // decode result of snapshot.prev.gts
+    std::uint64_t snapshot_wal_seq = 0;
+    ReplayStats replay;
+    bool wal_present = false;
+    bool audit_ran = false;
+    bool audit_clean = true;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(
+    RecoveryInfo::Source s) noexcept {
+    switch (s) {
+        case RecoveryInfo::Source::Fresh: return "fresh";
+        case RecoveryInfo::Source::Snapshot: return "snapshot";
+        case RecoveryInfo::Source::PrevSnapshot: return "prev_snapshot";
+    }
+    return "unknown";
+}
+
+class DurableStore {
+public:
+    DurableStore() = default;
+    ~DurableStore();
+    DurableStore(const DurableStore&) = delete;
+    DurableStore& operator=(const DurableStore&) = delete;
+
+    /// Recovers (or creates) the store at `dir` per the state machine above
+    /// and attaches the WAL. `info` (optional) receives the recovery
+    /// details.
+    [[nodiscard]] Status open(const std::string& dir,
+                              const DurableOptions& options = {},
+                              RecoveryInfo* info = nullptr);
+
+    /// Detaches the WAL and closes it (pending buffered data is written;
+    /// FsyncBatch mode syncs).
+    void close() noexcept;
+
+    [[nodiscard]] bool is_open() const noexcept { return graph_ != nullptr; }
+    [[nodiscard]] core::GraphTinker& graph() noexcept { return *graph_; }
+    [[nodiscard]] const core::GraphTinker& graph() const noexcept {
+        return *graph_;
+    }
+    [[nodiscard]] WalWriter& wal() noexcept { return *wal_; }
+
+    /// Crash-atomically replaces the newest snapshot with the current
+    /// in-memory state and records the WAL position it covers.
+    [[nodiscard]] Status checkpoint();
+
+    /// Drops WAL records a checkpoint already covers by rewriting the log.
+    /// Call after a checkpoint has been verified/trusted.
+    [[nodiscard]] Status prune_wal();
+
+    // Paths (exposed for the torture harness).
+    [[nodiscard]] std::string snapshot_path() const;
+    [[nodiscard]] std::string prev_snapshot_path() const;
+    [[nodiscard]] std::string wal_path() const;
+
+private:
+    std::string dir_;
+    DurableOptions options_{};
+    std::unique_ptr<core::GraphTinker> graph_;
+    /// Created in open() so its "wal.*" telemetry lands in the graph's own
+    /// registry (one unified exporter per store).
+    std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace gt::recover

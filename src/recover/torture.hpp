@@ -1,0 +1,158 @@
+// Deterministic crash-torture workload (tools/crash_torture.sh).
+//
+// The writer process applies step 0, 1, 2, ... against a DurableStore until
+// it is killed. Every step is a single transactional batch derived purely
+// from (seed, step), so a verifier — in a different process, after the
+// kill — can regenerate the exact op stream. Every *insert* step carries a
+// marker edge (kTortureMarkerSrc -> step); batches are atomic, so the set
+// of markers present after recovery identifies exactly which insert steps
+// committed. Delete steps (every 4th) cannot carry markers, which leaves
+// one bit of ambiguity when the crash lands right after a delete step's
+// commit: the verifier therefore accepts either of the two hypotheses
+// (trailing delete committed / not yet) — see verify_torture_recovery.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graphtinker.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gt::recover {
+
+/// Marker source vertex — far outside the workload's vertex range.
+inline constexpr VertexId kTortureMarkerSrc = 4000000000U;
+
+/// True when `step` is a delete step (every 4th, after a warm-up).
+[[nodiscard]] constexpr bool torture_step_is_delete(
+    std::uint64_t step) noexcept {
+    return step >= 3 && step % 4 == 3;
+}
+
+/// The batch for `step`, derived purely from (seed, step). Insert steps
+/// draw `edges_per_step` random edges over a `vertices`-wide id space plus
+/// the marker edge; delete steps re-derive the edges of step-3 and delete
+/// them (their marker included).
+[[nodiscard]] inline std::vector<Edge> torture_step_batch(
+    std::uint64_t seed, std::uint64_t step, std::uint32_t edges_per_step,
+    std::uint32_t vertices) {
+    if (torture_step_is_delete(step)) {
+        std::vector<Edge> prey =
+            torture_step_batch(seed, step - 3, edges_per_step, vertices);
+        for (Edge& e : prey) {
+            e.weight = 0;  // weights are ignored by deletes
+        }
+        return prey;
+    }
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL + step);
+    std::vector<Edge> batch;
+    batch.reserve(edges_per_step + 1);
+    for (std::uint32_t i = 0; i < edges_per_step; ++i) {
+        const auto src = static_cast<VertexId>(rng.next_below(vertices));
+        const auto dst = static_cast<VertexId>(rng.next_below(vertices));
+        const auto w = static_cast<Weight>(1 + rng.next_below(1000));
+        batch.push_back(Edge{src, dst, w});
+    }
+    // The marker rides in the same atomic batch as the payload.
+    batch.push_back(Edge{kTortureMarkerSrc,
+                         static_cast<VertexId>(step),
+                         static_cast<Weight>(step + 1)});
+    return batch;
+}
+
+/// Replays steps [0, steps) into `graph` (the verifier's twin build).
+inline void torture_apply_steps(core::GraphTinker& graph, std::uint64_t seed,
+                                std::uint64_t steps,
+                                std::uint32_t edges_per_step,
+                                std::uint32_t vertices) {
+    for (std::uint64_t k = 0; k < steps; ++k) {
+        const std::vector<Edge> batch =
+            torture_step_batch(seed, k, edges_per_step, vertices);
+        if (torture_step_is_delete(k)) {
+            (void)graph.delete_batch(batch);
+        } else {
+            (void)graph.insert_batch(batch);
+        }
+    }
+}
+
+/// Sorted (src, dst, weight) triples of every live edge — the canonical
+/// form the verifier compares.
+[[nodiscard]] inline std::vector<Edge> sorted_edge_set(
+    const core::GraphTinker& graph) {
+    std::vector<Edge> edges;
+    edges.reserve(graph.num_edges());
+    graph.visit_edges([&](VertexId s, VertexId d, Weight w) {
+        edges.push_back(Edge{s, d, w});
+    });
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+        return a.src != b.src ? a.src < b.src
+               : a.dst != b.dst ? a.dst < b.dst
+                                : a.weight < b.weight;
+    });
+    return edges;
+}
+
+/// Largest marker step present in `graph` (nullopt when none committed).
+[[nodiscard]] inline std::optional<std::uint64_t> torture_max_marker(
+    const core::GraphTinker& graph) {
+    std::optional<std::uint64_t> best;
+    graph.visit_out_edges(kTortureMarkerSrc, [&](VertexId dst, Weight) {
+        if (!best || dst > *best) {
+            best = dst;
+        }
+    });
+    return best;
+}
+
+struct TortureVerdict {
+    bool ok = false;
+    std::uint64_t committed_steps = 0;  // steps the recovered state matches
+    std::string detail;
+};
+
+/// Decides whether `recovered` equals a committed prefix of the torture
+/// stream. Because a trailing *delete* step leaves no marker, both
+/// hypotheses (with and without it) are regenerated and compared.
+[[nodiscard]] inline TortureVerdict verify_torture_recovery(
+    const core::GraphTinker& recovered, std::uint64_t seed,
+    std::uint32_t edges_per_step, std::uint32_t vertices) {
+    const std::optional<std::uint64_t> marker = torture_max_marker(recovered);
+    // Steps 0..marker all committed (markers are per-insert-step and the
+    // stream is sequential). Candidate prefix lengths: marker+1, or
+    // marker+2 when the following step is a delete (whose commit is
+    // invisible to markers).
+    std::vector<std::uint64_t> candidates;
+    if (!marker) {
+        candidates.push_back(0);
+    } else {
+        candidates.push_back(*marker + 1);
+        if (torture_step_is_delete(*marker + 1)) {
+            candidates.push_back(*marker + 2);
+        }
+    }
+    const std::vector<Edge> got = sorted_edge_set(recovered);
+    for (const std::uint64_t steps : candidates) {
+        core::Config cfg = recovered.config();
+        cfg.reserve_edges = 0;
+        core::GraphTinker twin(cfg);
+        torture_apply_steps(twin, seed, steps, edges_per_step, vertices);
+        if (sorted_edge_set(twin) == got) {
+            return TortureVerdict{true, steps,
+                                  "matches committed prefix of " +
+                                      std::to_string(steps) + " step(s)"};
+        }
+    }
+    TortureVerdict v;
+    v.ok = false;
+    v.committed_steps = marker ? *marker + 1 : 0;
+    v.detail = "recovered edge set matches no committed prefix (max marker " +
+               (marker ? std::to_string(*marker) : std::string{"none"}) + ")";
+    return v;
+}
+
+}  // namespace gt::recover

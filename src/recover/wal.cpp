@@ -1,0 +1,625 @@
+#include "recover/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/graphtinker.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+
+namespace gt::recover {
+
+namespace {
+
+constexpr std::size_t kRecordHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + 1;
+constexpr std::size_t kFileHeaderBytes = sizeof(std::uint32_t) * 2;
+
+/// crc32c over (len, seq, type, payload) — everything after the crc field.
+std::uint32_t record_crc(std::uint32_t len, std::uint64_t seq,
+                         std::uint8_t type, const void* payload) {
+    std::uint32_t crc = 0xFFFFFFFFU;
+    crc = util::crc32c_extend(crc, &len, sizeof(len));
+    crc = util::crc32c_extend(crc, &seq, sizeof(seq));
+    crc = util::crc32c_extend(crc, &type, sizeof(type));
+    crc = util::crc32c_extend(crc, payload, len);
+    return crc ^ 0xFFFFFFFFU;
+}
+
+bool valid_type(std::uint8_t t) {
+    return t >= static_cast<std::uint8_t>(WalRecordType::BatchBegin) &&
+           t <= static_cast<std::uint8_t>(WalRecordType::SoloDelete);
+}
+
+/// Full-buffer write with EINTR/partial-write handling.
+bool write_all(int fd, const unsigned char* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool read_all(int fd, unsigned char* data, std::size_t len) {
+    while (len > 0) {
+        const ssize_t n = ::read(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        if (n == 0) {
+            return false;  // EOF short of len
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+
+WalWriter::WalWriter(obs::Registry* registry) : registry_(registry) {
+    if (registry_ == nullptr) {
+        owned_registry_ = std::make_unique<obs::Registry>();
+        registry_ = owned_registry_.get();
+    }
+    obs::Registry& r = *registry_;
+    records_m_ = &r.counter("wal.records_appended");
+    commits_m_ = &r.counter("wal.batches_committed");
+    aborts_m_ = &r.counter("wal.batches_aborted");
+    bytes_m_ = &r.counter("wal.bytes_written");
+    fsyncs_m_ = &r.counter("wal.fsyncs");
+    commit_bytes_m_ = &r.histogram("wal.commit_bytes");
+}
+
+WalWriter::~WalWriter() { close(); }
+
+void WalWriter::latch(Status st) noexcept {
+    if (status_.ok()) {
+        status_ = std::move(st);
+    }
+}
+
+Status WalWriter::open(const std::string& path, DurabilityMode mode,
+                       std::uint64_t next_seq_hint) {
+    close();
+    status_ = Status::success();
+    mode_ = mode;
+    next_seq_ = next_seq_hint == 0 ? 1 : next_seq_hint;
+    if (mode_ == DurabilityMode::Off) {
+        // No file at all: commits are accounted (sequence numbers advance so
+        // checkpoints stay coherent) but nothing is persisted.
+        return Status::success();
+    }
+
+    // Scan whatever is already there: resume the sequence after the last
+    // valid record and cut off any torn tail so fresh appends land on a
+    // clean boundary.
+    ReplayStats scan;
+    const Status scanned = scan_wal(path, scan, [](const WalRecord&) {});
+    const bool exists = scanned.code != StatusCode::IoError;
+    if (exists) {
+        if (scanned.code == StatusCode::WalBadMagic ||
+            scanned.code == StatusCode::WalBadVersion) {
+            return scanned;  // refuse to append to a foreign file
+        }
+        if (scan.torn_tail) {
+            if (const Status st = truncate_wal_tail(path, scan.valid_bytes);
+                !st.ok()) {
+                return st;
+            }
+        }
+        if (scan.last_seq != 0) {
+            next_seq_ = scan.last_seq + 1;
+        }
+    }
+
+    const int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0) {
+        return Status{StatusCode::IoError,
+                      "open('" + path + "') failed: " + std::strerror(errno)};
+    }
+    if (!exists || scan.valid_bytes < kFileHeaderBytes) {
+        const std::uint32_t magic = kWalMagic;
+        const std::uint32_t version = kWalVersion;
+        unsigned char header[kFileHeaderBytes];
+        std::memcpy(header, &magic, sizeof(magic));
+        std::memcpy(header + sizeof(magic), &version, sizeof(version));
+        out_buf_.assign(header, header + sizeof(header));
+        if (!write_out_buf()) {
+            close();
+            return Status{StatusCode::IoError, "WAL header write failed"};
+        }
+    }
+    return Status::success();
+}
+
+void WalWriter::close() noexcept {
+    if (fd_ >= 0) {
+        if (mode_ == DurabilityMode::FsyncBatch) {
+            ::fsync(fd_);
+        }
+        ::close(fd_);
+        fd_ = -1;
+    }
+    in_batch_ = false;
+    staged_.clear();
+    stage_buf_.clear();
+}
+
+Status WalWriter::sync() noexcept {
+    if (mode_ == DurabilityMode::Off) {
+        return Status::success();
+    }
+    if (fd_ < 0) {
+        return Status{StatusCode::WalClosed, "sync on a closed WAL"};
+    }
+    if (::fsync(fd_) != 0) {
+        const Status st{StatusCode::IoError,
+                        std::string{"fsync failed: "} + std::strerror(errno)};
+        latch(st);
+        return st;
+    }
+    fsyncs_m_->inc();
+    return Status::success();
+}
+
+bool WalWriter::begin_batch(std::uint64_t op_count) noexcept {
+    if (!status_.ok()) {
+        return false;
+    }
+    if (in_batch_) {
+        // Frames never nest (the store guards with its txn state); treat it
+        // as a latched programming error rather than corrupting the log.
+        latch(Status{StatusCode::WalBadRecord, "nested begin_batch"});
+        return false;
+    }
+    try {
+        in_batch_ = true;
+        batch_ops_ = op_count;
+        staged_.clear();
+        stage_buf_.clear();
+        return true;
+    } catch (...) {
+        latch(Status{StatusCode::ResourceExhausted, "begin_batch failed"});
+        return false;
+    }
+}
+
+bool WalWriter::stage_inserts(std::span<const Edge> edges) noexcept {
+    if (!status_.ok() || !in_batch_) {
+        return false;
+    }
+    try {
+        GT_FAILPOINT("wal.stage");
+        staged_.push_back(StagedRun{WalRecordType::InsertRun,
+                                    static_cast<std::uint32_t>(edges.size())});
+        stage_buf_.insert(stage_buf_.end(), edges.begin(), edges.end());
+        return true;
+    } catch (...) {
+        // Staging happens entirely in memory, before any file I/O — the
+        // caller aborts the frame and the log stays coherent, so this is a
+        // transient failure, not a latched one.
+        return false;
+    }
+}
+
+bool WalWriter::stage_deletes(std::span<const Edge> edges) noexcept {
+    if (!status_.ok() || !in_batch_) {
+        return false;
+    }
+    try {
+        GT_FAILPOINT("wal.stage");
+        staged_.push_back(StagedRun{WalRecordType::DeleteRun,
+                                    static_cast<std::uint32_t>(edges.size())});
+        stage_buf_.insert(stage_buf_.end(), edges.begin(), edges.end());
+        return true;
+    } catch (...) {
+        // See stage_inserts: in-memory failure before any I/O — transient.
+        return false;
+    }
+}
+
+void WalWriter::encode_record(WalRecordType type, const void* payload,
+                              std::size_t len) {
+    const auto len32 = static_cast<std::uint32_t>(len);
+    const std::uint64_t seq = next_seq_++;
+    const auto type8 = static_cast<std::uint8_t>(type);
+    const std::uint32_t crc = record_crc(len32, seq, type8, payload);
+    const auto append = [this](const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        out_buf_.insert(out_buf_.end(), b, b + n);
+    };
+    append(&crc, sizeof(crc));
+    append(&len32, sizeof(len32));
+    append(&seq, sizeof(seq));
+    append(&type8, sizeof(type8));
+    append(payload, len);
+    records_m_->inc();
+}
+
+bool WalWriter::write_out_buf() noexcept {
+    if (mode_ == DurabilityMode::Off) {
+        out_buf_.clear();
+        return true;
+    }
+    if (fd_ < 0) {
+        latch(Status{StatusCode::WalClosed, "append to a closed WAL"});
+        return false;
+    }
+    if (!write_all(fd_, out_buf_.data(), out_buf_.size())) {
+        latch(Status{StatusCode::IoError,
+                     std::string{"WAL write failed: "} +
+                         std::strerror(errno)});
+        return false;
+    }
+    bytes_m_->add(out_buf_.size());
+    out_buf_.clear();
+    return true;
+}
+
+bool WalWriter::commit_batch() noexcept {
+    if (!status_.ok() || !in_batch_) {
+        return false;
+    }
+    in_batch_ = false;
+    try {
+        GT_FAILPOINT("wal.commit");
+        out_buf_.clear();
+        // Single-op frames collapse into one Solo record: a third of the
+        // framing bytes and one crc, which is what keeps per-edge durable
+        // inserts viable.
+        if (batch_ops_ == 1 && staged_.size() == 1 && staged_[0].count == 1) {
+            const WalRecordType solo =
+                staged_[0].type == WalRecordType::InsertRun
+                    ? WalRecordType::SoloInsert
+                    : WalRecordType::SoloDelete;
+            encode_record(solo, stage_buf_.data(), sizeof(Edge));
+        } else {
+            encode_record(WalRecordType::BatchBegin, &batch_ops_,
+                          sizeof(batch_ops_));
+            std::size_t edge_off = 0;
+            std::vector<unsigned char> payload;
+            for (const StagedRun& run : staged_) {
+                payload.clear();
+                payload.reserve(sizeof(run.count) +
+                                run.count * sizeof(Edge));
+                const auto* c =
+                    reinterpret_cast<const unsigned char*>(&run.count);
+                payload.insert(payload.end(), c, c + sizeof(run.count));
+                const auto* e = reinterpret_cast<const unsigned char*>(
+                    stage_buf_.data() + edge_off);
+                payload.insert(payload.end(), e,
+                               e + static_cast<std::size_t>(run.count) *
+                                       sizeof(Edge));
+                edge_off += run.count;
+                encode_record(run.type, payload.data(), payload.size());
+            }
+            encode_record(WalRecordType::BatchCommit, &batch_ops_,
+                          sizeof(batch_ops_));
+        }
+        const std::size_t commit_bytes = out_buf_.size();
+        if (!write_out_buf()) {
+            return false;
+        }
+        if (mode_ == DurabilityMode::FsyncBatch) {
+            if (::fsync(fd_) != 0) {
+                latch(Status{StatusCode::IoError,
+                             std::string{"fsync failed: "} +
+                                 std::strerror(errno)});
+                return false;
+            }
+            fsyncs_m_->inc();
+        }
+        commits_m_->inc();
+        commit_bytes_m_->record_sampled(commit_bytes);
+        staged_.clear();
+        stage_buf_.clear();
+        return true;
+    } catch (const fail::InjectedFault& f) {
+        latch(Status{StatusCode::FaultInjected,
+                     "injected fault at '" + f.site() + "'"});
+        return false;
+    } catch (...) {
+        latch(Status{StatusCode::ResourceExhausted, "commit_batch failed"});
+        return false;
+    }
+}
+
+void WalWriter::abort_batch() noexcept {
+    if (in_batch_) {
+        in_batch_ = false;
+        staged_.clear();
+        stage_buf_.clear();
+        aborts_m_->inc();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan / replay
+
+Status scan_wal(const std::string& path, ReplayStats& stats,
+                const std::function<void(const WalRecord&)>& fn) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return Status{StatusCode::IoError,
+                      "open('" + path + "') failed: " + std::strerror(errno)};
+    }
+    struct FdCloser {
+        int fd;
+        ~FdCloser() { ::close(fd); }
+    } closer{fd};
+
+    unsigned char header[kFileHeaderBytes];
+    if (!read_all(fd, header, sizeof(header))) {
+        // Empty (or sub-header) file: treat as a valid empty log with a
+        // torn tail of whatever partial bytes exist.
+        stats.valid_bytes = 0;
+        stats.torn_tail = true;
+        stats.tail_status = Status{StatusCode::WalTruncated,
+                                   "EOF inside the file header"};
+        return Status::success();
+    }
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::memcpy(&magic, header, sizeof(magic));
+    std::memcpy(&version, header + sizeof(magic), sizeof(version));
+    if (magic != kWalMagic) {
+        return Status{StatusCode::WalBadMagic, "not a GraphTinker WAL",
+                      magic};
+    }
+    if (version != kWalVersion) {
+        return Status{StatusCode::WalBadVersion, "unsupported WAL version",
+                      version};
+    }
+    std::uint64_t offset = kFileHeaderBytes;
+    stats.valid_bytes = offset;
+
+    WalRecord rec;
+    bool frame_open = false;
+    std::uint64_t prev_seq = 0;
+    const auto stop = [&](StatusCode code, std::string msg,
+                          std::uint64_t detail = 0) {
+        stats.torn_tail = true;
+        stats.tail_status = Status{code, std::move(msg), detail};
+        return Status::success();
+    };
+    for (;;) {
+        unsigned char rh[kRecordHeaderBytes];
+        const ssize_t got = ::read(fd, rh, sizeof(rh));
+        if (got == 0) {
+            break;  // clean EOF on a record boundary
+        }
+        if (got < 0 || static_cast<std::size_t>(got) < sizeof(rh)) {
+            return stop(StatusCode::WalTruncated,
+                        "EOF inside a record header", offset);
+        }
+        std::uint32_t crc = 0;
+        std::uint32_t len = 0;
+        std::uint64_t seq = 0;
+        std::uint8_t type = 0;
+        std::memcpy(&crc, rh, sizeof(crc));
+        std::memcpy(&len, rh + 4, sizeof(len));
+        std::memcpy(&seq, rh + 8, sizeof(seq));
+        std::memcpy(&type, rh + 16, sizeof(type));
+        if (len > kWalMaxRecordLen || !valid_type(type)) {
+            return stop(StatusCode::WalBadRecord,
+                        "record header out of bounds", offset);
+        }
+        rec.payload.resize(len);
+        if (len > 0 && !read_all(fd, rec.payload.data(), len)) {
+            return stop(StatusCode::WalTruncated,
+                        "EOF inside a record payload", offset);
+        }
+        if (crc != record_crc(len, seq, type, rec.payload.data())) {
+            return stop(StatusCode::WalChecksum, "record checksum mismatch",
+                        offset);
+        }
+        if (prev_seq != 0 && seq != prev_seq + 1) {
+            return stop(StatusCode::WalBadSequence,
+                        "sequence gap in the record stream", seq);
+        }
+        prev_seq = seq;
+        rec.seq = seq;
+        rec.type = static_cast<WalRecordType>(type);
+        rec.offset = offset;
+        offset += sizeof(rh) + len;
+
+        ++stats.records_scanned;
+        stats.last_seq = seq;
+        stats.valid_bytes = offset;
+        switch (rec.type) {
+            case WalRecordType::BatchBegin:
+                frame_open = true;  // an older open frame is simply torn
+                break;
+            case WalRecordType::BatchCommit:
+                frame_open = false;
+                stats.last_committed_seq = seq;
+                break;
+            case WalRecordType::SoloInsert:
+            case WalRecordType::SoloDelete:
+                if (!frame_open) {
+                    stats.last_committed_seq = seq;
+                }
+                break;
+            default:
+                break;
+        }
+        fn(rec);
+    }
+    stats.torn_batch = frame_open;
+    return Status::success();
+}
+
+namespace {
+
+/// Frame accumulator for replay: buffers the runs of the open frame and
+/// applies them only when the commit record arrives.
+struct FrameReplay {
+    struct Run {
+        bool deletes;
+        std::vector<Edge> edges;
+    };
+    bool open = false;
+    std::vector<Run> runs;
+
+    void reset() {
+        open = false;
+        runs.clear();
+    }
+};
+
+[[nodiscard]] bool decode_run(const std::vector<unsigned char>& payload,
+                              std::vector<Edge>& out) {
+    std::uint32_t count = 0;
+    if (payload.size() < sizeof(count)) {
+        return false;
+    }
+    std::memcpy(&count, payload.data(), sizeof(count));
+    const std::size_t need =
+        sizeof(count) + static_cast<std::size_t>(count) * sizeof(Edge);
+    if (payload.size() != need) {
+        return false;
+    }
+    out.resize(count);
+    std::memcpy(out.data(), payload.data() + sizeof(count),
+                static_cast<std::size_t>(count) * sizeof(Edge));
+    return true;
+}
+
+}  // namespace
+
+Status replay_wal(const std::string& path, core::GraphTinker& graph,
+                  std::uint64_t after_seq, ReplayStats& stats) {
+    FrameReplay frame;
+    Status apply_status = Status::success();
+    const auto apply_runs = [&](const std::vector<FrameReplay::Run>& runs) {
+        for (const FrameReplay::Run& run : runs) {
+            if (run.deletes) {
+                const Status st = graph.delete_batch(run.edges);
+                if (!st.ok() && apply_status.ok()) {
+                    apply_status = st;
+                }
+                stats.edges_deleted += run.edges.size();
+            } else {
+                const Status st = graph.insert_batch(run.edges);
+                if (!st.ok() && apply_status.ok()) {
+                    apply_status = st;
+                }
+                stats.edges_inserted += run.edges.size();
+            }
+        }
+        ++stats.batches_applied;
+    };
+    std::vector<Edge> solo(1);
+    bool malformed = false;
+    const Status st = scan_wal(path, stats, [&](const WalRecord& rec) {
+        if (malformed || !apply_status.ok()) {
+            return;
+        }
+        switch (rec.type) {
+            case WalRecordType::BatchBegin:
+                frame.reset();
+                frame.open = true;
+                break;
+            case WalRecordType::InsertRun:
+            case WalRecordType::DeleteRun: {
+                if (!frame.open) {
+                    malformed = true;  // run outside a frame
+                    return;
+                }
+                FrameReplay::Run run;
+                run.deletes = rec.type == WalRecordType::DeleteRun;
+                if (!decode_run(rec.payload, run.edges)) {
+                    malformed = true;
+                    return;
+                }
+                frame.runs.push_back(std::move(run));
+                break;
+            }
+            case WalRecordType::BatchCommit:
+                if (!frame.open) {
+                    malformed = true;
+                    return;
+                }
+                // Skip frames the snapshot already covers: the *commit*
+                // seq is the frame's durability point.
+                if (rec.seq > after_seq) {
+                    apply_runs(frame.runs);
+                }
+                frame.reset();
+                break;
+            case WalRecordType::SoloInsert:
+            case WalRecordType::SoloDelete: {
+                if (frame.open) {
+                    // A solo record implicitly tears any open frame.
+                    frame.reset();
+                }
+                if (rec.payload.size() != sizeof(Edge)) {
+                    malformed = true;
+                    return;
+                }
+                if (rec.seq <= after_seq) {
+                    return;
+                }
+                std::memcpy(solo.data(), rec.payload.data(), sizeof(Edge));
+                if (rec.type == WalRecordType::SoloInsert) {
+                    const Status ist = graph.insert_batch(solo);
+                    if (!ist.ok() && apply_status.ok()) {
+                        apply_status = ist;
+                    }
+                    ++stats.edges_inserted;
+                } else {
+                    const Status dst = graph.delete_batch(solo);
+                    if (!dst.ok() && apply_status.ok()) {
+                        apply_status = dst;
+                    }
+                    ++stats.edges_deleted;
+                }
+                ++stats.batches_applied;
+                break;
+            }
+        }
+    });
+    if (!st.ok()) {
+        return st;
+    }
+    if (!apply_status.ok()) {
+        return apply_status;
+    }
+    if (malformed) {
+        return Status{StatusCode::WalBadRecord,
+                      "well-checksummed record violates framing"};
+    }
+    stats.torn_batch = stats.torn_batch || frame.open;
+    return Status::success();
+}
+
+Status truncate_wal_tail(const std::string& path,
+                         std::uint64_t valid_bytes) {
+    if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+        return Status{StatusCode::IoError,
+                      "truncate('" + path +
+                          "') failed: " + std::strerror(errno)};
+    }
+    return Status::success();
+}
+
+}  // namespace gt::recover

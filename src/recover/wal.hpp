@@ -1,0 +1,207 @@
+// Checksummed write-ahead log (the durability tentpole).
+//
+// File layout:
+//
+//   u32 magic "GTWL", u32 version 1
+//   record*:  u32 crc32c | u32 len | u64 seq | u8 type | payload[len]
+//
+// The crc covers (len, seq, type, payload), so a flipped bit anywhere in a
+// record — header included — is detected. Sequence numbers are assigned at
+// commit time and are strictly contiguous in the file; a gap means records
+// were lost and recovery refuses the tail.
+//
+// Record types:
+//
+//   BatchBegin   payload u64 op_count      opens a commit frame
+//   InsertRun    payload u32 n, n edges    insertions staged in the frame
+//   DeleteRun    payload u32 n, n edges    deletions staged in the frame
+//   BatchCommit  payload u64 op_count      seals the frame (durability point)
+//   SoloInsert   payload 1 edge            single-op frame, collapsed
+//   SoloDelete   payload 1 edge            single-op frame, collapsed
+//
+// A frame's records are buffered in memory while the store applies the
+// batch and reach the file *only at commit* — one write() per batch (group
+// commit), one fsync under DurabilityMode::FsyncBatch. A frame begun but
+// never committed (crash mid-apply) therefore leaves no trace at all, and a
+// crash mid-write leaves a torn tail that scan/replay discard down to the
+// last committed frame — exactly the state the store's transactional
+// rollback would have produced.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/update_log.hpp"
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace gt::core {
+class GraphTinker;
+}  // namespace gt::core
+
+namespace gt::recover {
+
+inline constexpr std::uint32_t kWalMagic = 0x4754574C;  // "GTWL"
+inline constexpr std::uint32_t kWalVersion = 1;
+/// Records larger than this are rejected as corrupt before any
+/// length-proportional allocation happens (a batch is capped well below).
+inline constexpr std::uint32_t kWalMaxRecordLen = 1U << 30;
+
+enum class WalRecordType : std::uint8_t {
+    BatchBegin = 1,
+    InsertRun = 2,
+    DeleteRun = 3,
+    BatchCommit = 4,
+    SoloInsert = 5,
+    SoloDelete = 6,
+};
+
+/// How hard commits push toward the platter.
+enum class DurabilityMode : std::uint8_t {
+    /// Log nothing (measurement baseline; recovery sees an empty log).
+    Off,
+    /// write() at commit; the OS page cache owns the data. Survives process
+    /// crashes, not power loss.
+    Buffered,
+    /// write() + fsync() at commit — one fsync per *batch*, which is what
+    /// makes WAL-per-batch affordable. Survives power loss.
+    FsyncBatch,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DurabilityMode m) {
+    switch (m) {
+        case DurabilityMode::Off: return "off";
+        case DurabilityMode::Buffered: return "buffered";
+        case DurabilityMode::FsyncBatch: return "fsync_batch";
+    }
+    return "unknown";
+}
+
+/// Appending side. Implements core::UpdateLog so GraphTinker tees through
+/// it; all UpdateLog methods are noexcept and latch the first failure into
+/// status() (the store must not unwind through its durability tee).
+class WalWriter final : public core::UpdateLog {
+public:
+    /// `registry` receives the "wal.*" telemetry; null keeps a private one.
+    explicit WalWriter(obs::Registry* registry = nullptr);
+    ~WalWriter() override;
+
+    WalWriter(const WalWriter&) = delete;
+    WalWriter& operator=(const WalWriter&) = delete;
+
+    /// Opens (creating if absent) the log at `path` for appending. An
+    /// existing file is scanned: its torn tail — anything after the last
+    /// valid record — is truncated away, and appending resumes at the next
+    /// sequence number. `expect_first_seq` guards against mixing logs from
+    /// different stores (0 = don't care).
+    [[nodiscard]] Status open(const std::string& path, DurabilityMode mode,
+                              std::uint64_t next_seq_hint = 0);
+    void close() noexcept;
+
+    /// First error latched by the append path (Ok while healthy). Once
+    /// non-Ok every further begin/stage/commit returns false.
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+    [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] DurabilityMode mode() const noexcept { return mode_; }
+    /// Sequence number the next committed record will carry.
+    [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+    /// Sequence number of the last record made durable (0 = none yet).
+    [[nodiscard]] std::uint64_t durable_seq() const noexcept {
+        return next_seq_ - 1;
+    }
+
+    /// Forces an fsync now (checkpointing wants a hard boundary even in
+    /// Buffered mode).
+    [[nodiscard]] Status sync() noexcept;
+
+    // ---- core::UpdateLog -------------------------------------------------
+    bool begin_batch(std::uint64_t op_count) noexcept override;
+    bool stage_inserts(std::span<const Edge> edges) noexcept override;
+    bool stage_deletes(std::span<const Edge> edges) noexcept override;
+    bool commit_batch() noexcept override;
+    void abort_batch() noexcept override;
+
+private:
+    struct StagedRun {
+        WalRecordType type;
+        std::uint32_t count;  // edges, stored back-to-back in stage_buf_
+    };
+
+    void latch(Status st) noexcept;
+    /// Encodes one record (header + payload + crc) into out_buf_.
+    void encode_record(WalRecordType type, const void* payload,
+                       std::size_t len);
+    [[nodiscard]] bool write_out_buf() noexcept;
+
+    int fd_ = -1;
+    DurabilityMode mode_ = DurabilityMode::Buffered;
+    std::uint64_t next_seq_ = 1;
+    Status status_;
+
+    bool in_batch_ = false;
+    std::uint64_t batch_ops_ = 0;
+    std::vector<StagedRun> staged_;
+    std::vector<Edge> stage_buf_;
+    std::vector<unsigned char> out_buf_;
+
+    obs::Registry* registry_ = nullptr;
+    std::unique_ptr<obs::Registry> owned_registry_;
+    obs::Counter* records_m_ = nullptr;
+    obs::Counter* commits_m_ = nullptr;
+    obs::Counter* aborts_m_ = nullptr;
+    obs::Counter* bytes_m_ = nullptr;
+    obs::Counter* fsyncs_m_ = nullptr;
+    obs::Histogram* commit_bytes_m_ = nullptr;
+};
+
+/// One decoded record (payload still raw bytes).
+struct WalRecord {
+    std::uint64_t seq = 0;
+    WalRecordType type{};
+    std::vector<unsigned char> payload;
+    std::uint64_t offset = 0;  // byte offset of the record header
+};
+
+/// Outcome of a scan/replay pass.
+struct ReplayStats {
+    std::uint64_t records_scanned = 0;
+    std::uint64_t batches_applied = 0;
+    std::uint64_t edges_inserted = 0;
+    std::uint64_t edges_deleted = 0;
+    std::uint64_t last_seq = 0;          // last valid record seen
+    std::uint64_t last_committed_seq = 0;
+    std::uint64_t valid_bytes = 0;       // offset past the last valid record
+    bool torn_tail = false;              // trailing bytes failed validation
+    bool torn_batch = false;             // open frame discarded at EOF
+    Status tail_status;                  // why scanning stopped (Ok = EOF)
+};
+
+/// Scans `path`, calling `fn(record)` for every valid record in order; stops
+/// at the first invalid/torn record. Returns Ok when the whole file parsed
+/// (stats.tail_status says why it stopped otherwise — a torn tail is
+/// *expected* after a crash and is reported via stats, not the return).
+/// Returns WalBadMagic/WalBadVersion when the file is not a WAL at all.
+[[nodiscard]] Status scan_wal(
+    const std::string& path, ReplayStats& stats,
+    const std::function<void(const WalRecord&)>& fn);
+
+/// Replays every committed frame with seq > `after_seq` into `graph`
+/// (insert/delete runs re-applied in commit order). Torn tails and
+/// uncommitted frames are discarded per the crash contract. The graph must
+/// not have a WAL attached (replay must not re-log).
+[[nodiscard]] Status replay_wal(const std::string& path,
+                                core::GraphTinker& graph,
+                                std::uint64_t after_seq, ReplayStats& stats);
+
+/// Truncates `path` to its valid prefix (stats.valid_bytes of a scan). Used
+/// by WalWriter::open before appending, and by tests.
+[[nodiscard]] Status truncate_wal_tail(const std::string& path,
+                                       std::uint64_t valid_bytes);
+
+}  // namespace gt::recover

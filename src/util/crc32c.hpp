@@ -1,0 +1,100 @@
+// CRC32C (Castagnoli) — the checksum guarding every WAL record and snapshot
+// section (src/recover, core/serialize). Chosen over plain CRC32 for its
+// better error-detection properties on short records and because it is the
+// de-facto storage-stack standard (iSCSI, ext4, LevelDB WALs).
+//
+// Implementation: slice-by-8 with compile-time-generated tables — ~1 word
+// per cycle without any ISA requirement beyond baseline x86-64/aarch64 (the
+// build does not assume SSE4.2). When the compiler is explicitly targeting
+// SSE4.2 the hardware crc32 instruction is used instead.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace gt::util {
+
+namespace detail {
+
+inline constexpr std::uint32_t kCrc32cPoly = 0x82F63B78U;  // reflected
+
+using Crc32cTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+constexpr Crc32cTables make_crc32c_tables() {
+    Crc32cTables t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int k = 0; k < 8; ++k) {
+            crc = (crc >> 1) ^ ((crc & 1U) != 0 ? kCrc32cPoly : 0U);
+        }
+        t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = t[0][i];
+        for (std::size_t s = 1; s < 8; ++s) {
+            crc = t[0][crc & 0xFFU] ^ (crc >> 8);
+            t[s][i] = crc;
+        }
+    }
+    return t;
+}
+
+inline constexpr Crc32cTables kCrc32cTables = make_crc32c_tables();
+
+}  // namespace detail
+
+/// Extends a running CRC32C over `len` bytes. Start (and finish) with
+/// crc32c(): the init/final XORs live there so partial updates compose.
+inline std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                                   std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+#if defined(__SSE4_2__)
+    while (len >= 8) {
+        std::uint64_t word;
+        std::memcpy(&word, p, 8);
+        crc = static_cast<std::uint32_t>(_mm_crc32_u64(crc, word));
+        p += 8;
+        len -= 8;
+    }
+    while (len > 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        --len;
+    }
+#else
+    const auto& t = detail::kCrc32cTables;
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    // The word-at-a-time slice absorbs the running crc into the low bytes,
+    // which is only correct little-endian; big-endian targets take the
+    // byte loop below.
+    while (len >= 8) {
+        std::uint64_t word;
+        std::memcpy(&word, p, 8);
+        word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+        crc = t[7][word & 0xFFU] ^ t[6][(word >> 8) & 0xFFU] ^
+              t[5][(word >> 16) & 0xFFU] ^ t[4][(word >> 24) & 0xFFU] ^
+              t[3][(word >> 32) & 0xFFU] ^ t[2][(word >> 40) & 0xFFU] ^
+              t[1][(word >> 48) & 0xFFU] ^ t[0][word >> 56];
+        p += 8;
+        len -= 8;
+    }
+#endif
+    while (len > 0) {
+        crc = t[0][(crc ^ *p++) & 0xFFU] ^ (crc >> 8);
+        --len;
+    }
+#endif
+    return crc;
+}
+
+/// One-shot CRC32C of a buffer (standard init/final inversion).
+inline std::uint32_t crc32c(const void* data, std::size_t len) noexcept {
+    return crc32c_extend(0xFFFFFFFFU, data, len) ^ 0xFFFFFFFFU;
+}
+
+}  // namespace gt::util

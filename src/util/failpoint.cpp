@@ -1,0 +1,103 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace gt::fail {
+
+namespace {
+
+struct SiteState {
+    std::uint64_t countdown = 0;  // 0 = not armed
+    std::uint64_t hits = 0;
+};
+
+struct Registry {
+    std::mutex mu;
+    std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& registry() {
+    static Registry r;
+    return r;
+}
+
+/// Hot-path gate. Counts *armed sites*; crossings only take the mutex while
+/// this is nonzero.
+std::atomic<std::uint64_t> g_armed{0};
+
+}  // namespace
+
+bool any_armed() noexcept {
+    return g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+void arm(const std::string& site, std::uint64_t countdown) {
+    if (countdown == 0) {
+        countdown = 1;
+    }
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    SiteState& s = r.sites[site];
+    if (s.countdown == 0) {
+        g_armed.fetch_add(1, std::memory_order_relaxed);
+    }
+    s.countdown = countdown;
+}
+
+void disarm(const std::string& site) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(site);
+    if (it != r.sites.end() && it->second.countdown != 0) {
+        it->second.countdown = 0;
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+void reset() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    for (auto& [name, state] : r.sites) {
+        if (state.countdown != 0) {
+            state.countdown = 0;
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::uint64_t hits(const std::string& site) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+namespace detail {
+
+void crossed(const char* site) {
+    Registry& r = registry();
+    bool fire = false;
+    {
+        const std::lock_guard<std::mutex> lock(r.mu);
+        const auto it = r.sites.find(site);
+        if (it == r.sites.end() || it->second.countdown == 0) {
+            return;
+        }
+        ++it->second.hits;
+        if (--it->second.countdown == 0) {
+            // Single-shot: firing disarms, so rollback paths that re-cross
+            // the site succeed unless the test re-arms it.
+            g_armed.fetch_sub(1, std::memory_order_relaxed);
+            fire = true;
+        }
+    }
+    if (fire) {
+        throw InjectedFault{site};
+    }
+}
+
+}  // namespace detail
+
+}  // namespace gt::fail

@@ -1,0 +1,88 @@
+// gt::fail — pluggable fault injection for robustness testing.
+//
+// A *fail point* is a named site in production code where a test (or the
+// crash-torture harness) can schedule a failure: the Nth time execution
+// crosses the site, it throws gt::fail::InjectedFault — which derives from
+// std::bad_alloc, so every handler written for genuine allocation failure
+// also covers injected ones. Sites are placed where failure is *survivable
+// by construction*: arena growth pre-flights that run before any structural
+// mutation, and WAL appends whose caller latches the error.
+//
+// Cost when idle: one relaxed atomic load of a process-wide "anything
+// armed?" flag per site crossing — no lock, no map lookup. Arming is
+// test-only and mutex-guarded. Fail points are countdown-armed and
+// single-shot: after firing they disarm themselves, so rollback/recovery
+// code that re-crosses the same site does not fail again unless the test
+// re-arms it.
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <string>
+
+namespace gt::fail {
+
+/// Thrown when an armed fail point fires. Derives from std::bad_alloc so
+/// generic OOM-rollback paths handle injected faults identically; callers
+/// that need to distinguish catch InjectedFault first.
+class InjectedFault : public std::bad_alloc {
+public:
+    explicit InjectedFault(std::string site) : site_(std::move(site)) {}
+    [[nodiscard]] const char* what() const noexcept override {
+        return "gt::fail::InjectedFault";
+    }
+    [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+private:
+    std::string site_;
+};
+
+/// Arms `site` to fire on its `countdown`-th crossing (1 = next crossing).
+/// Re-arming an armed site resets its countdown.
+void arm(const std::string& site, std::uint64_t countdown = 1);
+
+/// Disarms `site` (no-op when not armed).
+void disarm(const std::string& site);
+
+/// Disarms every site.
+void reset();
+
+/// Crossings of `site` since process start (armed or not, fired or not).
+/// Test-only introspection; counted only while at least one site is armed.
+[[nodiscard]] std::uint64_t hits(const std::string& site);
+
+/// True when at least one site is armed (the hot-path gate).
+[[nodiscard]] bool any_armed() noexcept;
+
+namespace detail {
+/// Slow path of GT_FAILPOINT: decrements `site`'s countdown and throws
+/// InjectedFault when it reaches zero. Called only when any_armed().
+void crossed(const char* site);
+}  // namespace detail
+
+/// Marks a fail-point site. Near-zero cost when nothing is armed.
+inline void failpoint(const char* site) {
+    if (any_armed()) {
+        detail::crossed(site);
+    }
+}
+
+/// RAII arm/disarm for tests.
+class ScopedFailPoint {
+public:
+    explicit ScopedFailPoint(std::string site, std::uint64_t countdown = 1)
+        : site_(std::move(site)) {
+        arm(site_, countdown);
+    }
+    ~ScopedFailPoint() { disarm(site_); }
+    ScopedFailPoint(const ScopedFailPoint&) = delete;
+    ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+private:
+    std::string site_;
+};
+
+}  // namespace gt::fail
+
+/// Site marker macro — reads as a statement at the injection site.
+#define GT_FAILPOINT(site) ::gt::fail::failpoint(site)

@@ -1,0 +1,142 @@
+// gt::Status — typed, allocation-light error reporting for the durability
+// and persistence layers.
+//
+// The recovery stack (snapshots, WAL, transactional batches) needs to say
+// *which* failure happened — a truncated config section is recoverable by
+// falling back to an older snapshot, while a checksum mismatch in the edge
+// stream means the file is actively corrupt, and a transactional batch
+// failure must carry the failing op index back to the caller. A bool cannot
+// express any of that, so every fallible operation in those layers returns a
+// Status: a code from the closed enum below, an optional human-readable
+// message, and a 64-bit detail slot (failing batch index, byte offset, or
+// sequence number depending on the code).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gt {
+
+/// Closed set of failure classes. Codes are grouped by subsystem; tests
+/// assert on codes (never on message text), so each distinct detectable
+/// failure gets its own code.
+enum class StatusCode : std::uint8_t {
+    Ok = 0,
+
+    // ---- generic -------------------------------------------------------
+    InvalidArgument,    // caller-supplied value out of domain
+    ResourceExhausted,  // allocation failure (std::bad_alloc)
+    FaultInjected,      // a gt::fail FailPoint fired (tests/torture only)
+    IoError,            // read/write/fsync/rename on the underlying file
+
+    // ---- snapshot save/load (core/serialize.hpp) -----------------------
+    SnapshotBadMagic,           // leading magic is not "GTSB"
+    SnapshotBadVersion,         // unsupported format version
+    SnapshotTruncatedHeader,    // EOF inside magic/version/wal_seq
+    SnapshotTruncatedConfig,    // EOF inside the config section
+    SnapshotConfigChecksum,     // config section CRC32C mismatch
+    SnapshotBadConfig,          // config decoded but fails validation
+    SnapshotTruncatedEdgeCount, // EOF where the edge count belongs
+    SnapshotTruncatedEdges,     // EOF inside the edge records
+    SnapshotEdgeChecksum,       // edge section CRC32C mismatch
+    SnapshotEdgeCountMismatch,  // edges present != count declared
+    SnapshotTruncatedFooter,    // EOF where the end marker belongs
+    SnapshotBadFooter,          // end marker is not "GTSE"
+    SnapshotImplausibleCount,   // declared edge count exceeds the stream size
+
+    // ---- write-ahead log (recover/wal.hpp) -----------------------------
+    WalBadMagic,     // file header magic is not "GTWL"
+    WalBadVersion,   // unsupported WAL format version
+    WalTruncated,    // clean torn tail: EOF inside a record (discardable)
+    WalChecksum,     // record CRC32C mismatch (bit rot / torn write)
+    WalBadRecord,    // record type/length outside the format's bounds
+    WalBadSequence,  // sequence numbers not contiguous/monotonic
+    WalTornBatch,    // batch frame opened but never committed (discardable)
+    WalClosed,       // writer already failed/closed; append refused
+
+    // ---- recovery orchestration (recover/durable.hpp) ------------------
+    RecoveryAuditFailed,  // post-replay structural audit found violations
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+    switch (code) {
+        case StatusCode::Ok: return "ok";
+        case StatusCode::InvalidArgument: return "invalid_argument";
+        case StatusCode::ResourceExhausted: return "resource_exhausted";
+        case StatusCode::FaultInjected: return "fault_injected";
+        case StatusCode::IoError: return "io_error";
+        case StatusCode::SnapshotBadMagic: return "snapshot_bad_magic";
+        case StatusCode::SnapshotBadVersion: return "snapshot_bad_version";
+        case StatusCode::SnapshotTruncatedHeader:
+            return "snapshot_truncated_header";
+        case StatusCode::SnapshotTruncatedConfig:
+            return "snapshot_truncated_config";
+        case StatusCode::SnapshotConfigChecksum:
+            return "snapshot_config_checksum";
+        case StatusCode::SnapshotBadConfig: return "snapshot_bad_config";
+        case StatusCode::SnapshotTruncatedEdgeCount:
+            return "snapshot_truncated_edge_count";
+        case StatusCode::SnapshotTruncatedEdges:
+            return "snapshot_truncated_edges";
+        case StatusCode::SnapshotEdgeChecksum:
+            return "snapshot_edge_checksum";
+        case StatusCode::SnapshotEdgeCountMismatch:
+            return "snapshot_edge_count_mismatch";
+        case StatusCode::SnapshotTruncatedFooter:
+            return "snapshot_truncated_footer";
+        case StatusCode::SnapshotBadFooter: return "snapshot_bad_footer";
+        case StatusCode::SnapshotImplausibleCount:
+            return "snapshot_implausible_count";
+        case StatusCode::WalBadMagic: return "wal_bad_magic";
+        case StatusCode::WalBadVersion: return "wal_bad_version";
+        case StatusCode::WalTruncated: return "wal_truncated";
+        case StatusCode::WalChecksum: return "wal_checksum";
+        case StatusCode::WalBadRecord: return "wal_bad_record";
+        case StatusCode::WalBadSequence: return "wal_bad_sequence";
+        case StatusCode::WalTornBatch: return "wal_torn_batch";
+        case StatusCode::WalClosed: return "wal_closed";
+        case StatusCode::RecoveryAuditFailed: return "recovery_audit_failed";
+    }
+    return "unknown";
+}
+
+struct Status {
+    StatusCode code = StatusCode::Ok;
+    std::string message;
+    /// Code-dependent detail: the failing op index for batch errors, the
+    /// byte offset for file-format errors, the sequence number for WAL
+    /// ordering errors. 0 when the code carries no detail.
+    std::uint64_t detail = 0;
+
+    Status() = default;
+    Status(StatusCode c, std::string msg, std::uint64_t d = 0)
+        : code(c), message(std::move(msg)), detail(d) {}
+
+    [[nodiscard]] bool ok() const noexcept { return code == StatusCode::Ok; }
+    explicit operator bool() const noexcept { return ok(); }
+
+    [[nodiscard]] static Status success() { return Status{}; }
+    [[nodiscard]] static Status make(StatusCode code, std::string message,
+                                     std::uint64_t detail = 0) {
+        return Status{code, std::move(message), detail};
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        if (ok()) {
+            return "ok";
+        }
+        std::string out{gt::to_string(code)};
+        if (!message.empty()) {
+            out += ": ";
+            out += message;
+        }
+        if (detail != 0) {
+            out += " (detail=" + std::to_string(detail) + ")";
+        }
+        return out;
+    }
+};
+
+}  // namespace gt

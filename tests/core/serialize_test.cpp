@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <map>
 #include <random>
+#include <memory>
 #include <span>
 #include <sstream>
 #include <vector>
@@ -25,11 +26,24 @@ EdgeMap edge_map(const GraphTinker& g) {
     return out;
 }
 
+// Status-API wrappers keeping the older round-trip tests terse.
+Status save(const GraphTinker& g, std::ostream& out) {
+    return write_snapshot(g, out);
+}
+
+std::unique_ptr<GraphTinker> load(std::istream& in) {
+    LoadedSnapshot loaded;
+    if (!read_snapshot(in, loaded).ok()) {
+        return nullptr;
+    }
+    return std::move(loaded.graph);
+}
+
 TEST(Serialize, EmptyGraphRoundTrips) {
     GraphTinker g;
     std::stringstream buffer;
-    ASSERT_TRUE(save_snapshot(g, buffer));
-    const auto loaded = load_snapshot(buffer);
+    ASSERT_TRUE(save(g, buffer).ok());
+    const auto loaded = load(buffer);
     ASSERT_NE(loaded, nullptr);
     EXPECT_EQ(loaded->num_edges(), 0u);
     EXPECT_EQ(loaded->validate(), "");
@@ -44,8 +58,8 @@ TEST(Serialize, EdgesWeightsAndDegreesSurvive) {
         g.delete_edge(edges[i].src, edges[i].dst);
     }
     std::stringstream buffer;
-    ASSERT_TRUE(save_snapshot(g, buffer));
-    const auto loaded = load_snapshot(buffer);
+    ASSERT_TRUE(save(g, buffer).ok());
+    const auto loaded = load(buffer);
     ASSERT_NE(loaded, nullptr);
     EXPECT_EQ(loaded->num_edges(), g.num_edges());
     EXPECT_EQ(edge_map(*loaded), edge_map(g));
@@ -65,8 +79,8 @@ TEST(Serialize, ConfigurationIsPreserved) {
     GraphTinker g(cfg);
     g.insert_edge(5, 6, 7);
     std::stringstream buffer;
-    ASSERT_TRUE(save_snapshot(g, buffer));
-    const auto loaded = load_snapshot(buffer);
+    ASSERT_TRUE(save(g, buffer).ok());
+    const auto loaded = load(buffer);
     ASSERT_NE(loaded, nullptr);
     EXPECT_EQ(loaded->config().pagewidth, 128u);
     EXPECT_EQ(loaded->config().subblock, 16u);
@@ -104,8 +118,8 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
         audit.check();
 
         std::stringstream buffer;
-        ASSERT_TRUE(save_snapshot(g, buffer)) << label;
-        const auto loaded = load_snapshot(buffer);
+        ASSERT_TRUE(save(g, buffer).ok()) << label;
+        const auto loaded = load(buffer);
         ASSERT_NE(loaded, nullptr) << label;
         const test::ScopedAudit loaded_audit(*loaded, label + " loaded");
 
@@ -139,21 +153,21 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
 TEST(Serialize, RejectsGarbageAndTruncation) {
     {
         std::stringstream buffer("definitely not a snapshot");
-        EXPECT_EQ(load_snapshot(buffer), nullptr);
+        EXPECT_EQ(load(buffer), nullptr);
     }
     {
         GraphTinker g;
         g.insert_edge(1, 2, 3);
         g.insert_edge(4, 5, 6);
         std::stringstream buffer;
-        ASSERT_TRUE(save_snapshot(g, buffer));
+        ASSERT_TRUE(save(g, buffer).ok());
         const std::string full = buffer.str();
         std::stringstream truncated(full.substr(0, full.size() - 4));
-        EXPECT_EQ(load_snapshot(truncated), nullptr);
+        EXPECT_EQ(load(truncated), nullptr);
     }
     {
         std::stringstream empty;
-        EXPECT_EQ(load_snapshot(empty), nullptr);
+        EXPECT_EQ(load(empty), nullptr);
     }
 }
 
@@ -161,8 +175,8 @@ TEST(Serialize, LoadedStoreRemainsFullyUsable) {
     GraphTinker g;
     g.insert_batch(rmat_edges(100, 1500, 3));
     std::stringstream buffer;
-    ASSERT_TRUE(save_snapshot(g, buffer));
-    auto loaded = load_snapshot(buffer);
+    ASSERT_TRUE(save(g, buffer).ok());
+    auto loaded = load(buffer);
     ASSERT_NE(loaded, nullptr);
     const auto before = loaded->num_edges();
     EXPECT_TRUE(loaded->insert_edge(9999, 1, 2));

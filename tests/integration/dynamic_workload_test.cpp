@@ -176,8 +176,10 @@ TEST(DynamicWorkload, PreparedBatchesPersistenceAndPullBfsCompose) {
 
     // Persist the forward direction and reload; triangles must agree.
     std::stringstream buffer;
-    ASSERT_TRUE(core::save_snapshot(g.forward(), buffer));
-    const auto restored = core::load_snapshot(buffer);
+    ASSERT_TRUE(core::write_snapshot(g.forward(), buffer).ok());
+    core::LoadedSnapshot loaded;
+    ASSERT_TRUE(core::read_snapshot(buffer, loaded).ok());
+    const auto restored = std::move(loaded.graph);
     ASSERT_NE(restored, nullptr);
     EXPECT_EQ(engine::count_triangles(g.forward()).total_triangles,
               engine::count_triangles(*restored).total_triangles);

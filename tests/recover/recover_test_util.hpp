@@ -1,0 +1,67 @@
+// Shared helpers for the durability/recovery test suite.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/graphtinker.hpp"
+#include "util/types.hpp"
+
+namespace gt::test {
+
+/// Self-deleting temporary directory (recursive removal on destruction).
+class TempDir {
+public:
+    TempDir() {
+        std::string tmpl = "/tmp/gt_recover_test.XXXXXX";
+        if (::mkdtemp(tmpl.data()) == nullptr) {
+            std::abort();
+        }
+        path_ = tmpl;
+    }
+    ~TempDir() {
+        const std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+    [[nodiscard]] std::string file(const std::string& name) const {
+        return path_ + "/" + name;
+    }
+
+private:
+    std::string path_;
+};
+
+using EdgeMap = std::map<std::pair<VertexId, VertexId>, Weight>;
+
+inline EdgeMap edge_map_of(const core::GraphTinker& g) {
+    EdgeMap out;
+    g.visit_edges([&](VertexId s, VertexId d, Weight w) {
+        out[{s, d}] = w;
+    });
+    return out;
+}
+
+inline std::vector<unsigned char> read_file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+inline void write_file_bytes(const std::string& path,
+                             const std::vector<unsigned char>& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace gt::test

@@ -1,0 +1,201 @@
+// All-or-nothing batch semantics: a batch that fails part-way must leave
+// the store byte-for-byte equivalent to never having started, verified
+// against a twin store that never saw the failing batch.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/scoped_audit.hpp"
+#include "core/graphtinker.hpp"
+#include "gen/rmat.hpp"
+#include "recover/wal.hpp"
+#include "recover_test_util.hpp"
+#include "util/failpoint.hpp"
+
+namespace gt::core {
+namespace {
+
+using test::edge_map_of;
+using test::TempDir;
+
+TEST(TransactionalBatch, SentinelEndpointRejectsWholeBatchWithIndex) {
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "sentinel");
+    g.insert_edge(1, 2, 3);
+    std::vector<Edge> batch{{4, 5, 6}, {7, 8, 9},
+                            {kInvalidVertex, 1, 1}, {10, 11, 12}};
+    const Status st = g.insert_batch(batch);
+    EXPECT_EQ(st.code, StatusCode::InvalidArgument);
+    EXPECT_EQ(st.detail, 2u);  // index of the offending edge
+    EXPECT_EQ(g.num_edges(), 1u);  // nothing before the bad index applied
+
+    const Status dst = g.delete_batch(batch);
+    EXPECT_EQ(dst.code, StatusCode::InvalidArgument);
+    EXPECT_EQ(dst.detail, 2u);
+    EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(TransactionalBatch, EbaGrowthFailureMidBatchRollsBackCompletely) {
+    // Fire the edgeblock-arena growth fail point at several depths into a
+    // batch big enough to need growth repeatedly; every time, the store
+    // must equal its pre-batch self and audit clean.
+    const auto base = rmat_edges(128, 2000, 31);
+    const auto batch = rmat_edges(512, 30000, 32);
+    for (const std::uint64_t countdown : {1ULL, 2ULL, 3ULL}) {
+        GraphTinker g;
+        const test::ScopedAudit audit(g, "eba.grow rollback");
+        ASSERT_TRUE(g.insert_batch(base).ok());
+        const auto before = edge_map_of(g);
+        const auto edges_before = g.num_edges();
+
+        fail::ScopedFailPoint fp("eba.grow", countdown);
+        const Status st = g.insert_batch(batch);
+        ASSERT_EQ(st.code, StatusCode::FaultInjected) << countdown;
+        EXPECT_EQ(g.num_edges(), edges_before) << countdown;
+        EXPECT_EQ(edge_map_of(g), before) << countdown;
+        audit.check();
+
+        // The store stays fully usable: the same batch succeeds once the
+        // fault is gone (single-shot fail points disarm themselves).
+        ASSERT_TRUE(g.insert_batch(batch).ok()) << countdown;
+        audit.check();
+    }
+}
+
+TEST(TransactionalBatch, CalGrowthFailureMidBatchRollsBackCompletely) {
+    const auto base = rmat_edges(128, 2000, 41);
+    const auto batch = rmat_edges(256, 8000, 42);
+    // cal.grow is crossed on every per-run pre-flight, so mid-batch
+    // countdowns land inside the apply loop.
+    for (const std::uint64_t countdown : {1ULL, 50ULL, 500ULL}) {
+        GraphTinker g;
+        const test::ScopedAudit audit(g, "cal.grow rollback");
+        ASSERT_TRUE(g.insert_batch(base).ok());
+        const auto before = edge_map_of(g);
+
+        fail::ScopedFailPoint fp("cal.grow", countdown);
+        const Status st = g.insert_batch(batch);
+        ASSERT_EQ(st.code, StatusCode::FaultInjected) << countdown;
+        EXPECT_EQ(edge_map_of(g), before) << countdown;
+        audit.check();
+        ASSERT_TRUE(g.insert_batch(batch).ok()) << countdown;
+    }
+}
+
+TEST(TransactionalBatch, WeightUpdatesAreRolledBackToo) {
+    // A failing batch that would have *updated* existing weights must
+    // restore the old weights, not just erase created edges.
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "weight rollback");
+    std::vector<Edge> base;
+    for (VertexId v = 0; v < 400; ++v) {
+        base.push_back(Edge{v, v + 1, 7});
+    }
+    ASSERT_TRUE(g.insert_batch(base).ok());
+    const auto before = edge_map_of(g);
+
+    std::vector<Edge> update = base;
+    for (Edge& e : update) {
+        e.weight = 99;
+    }
+    // Plenty of fresh edges after the updates so the fault lands after
+    // some weight updates have already been applied.
+    const auto fresh = rmat_edges(4096, 60000, 51);
+    update.insert(update.end(), fresh.begin(), fresh.end());
+
+    fail::ScopedFailPoint fp("eba.grow", 1);
+    const Status st = g.insert_batch(update);
+    ASSERT_EQ(st.code, StatusCode::FaultInjected);
+    EXPECT_EQ(edge_map_of(g), before);
+    audit.check();
+}
+
+TEST(TransactionalBatch, DeleteBatchRollbackReinsertsDeletedEdges) {
+    const auto base = rmat_edges(128, 3000, 61);
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "delete rollback");
+    ASSERT_TRUE(g.insert_batch(base).ok());
+    const auto before = edge_map_of(g);
+
+    // cal.grow is also crossed by the erase pre-flight, partway through.
+    fail::ScopedFailPoint fp("cal.grow", 200);
+    const Status st = g.delete_batch(base);
+    ASSERT_EQ(st.code, StatusCode::FaultInjected);
+    EXPECT_EQ(edge_map_of(g), before);
+    audit.check();
+
+    ASSERT_TRUE(g.delete_batch(base).ok());
+    EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(TransactionalBatch, WalStageFailureAbortsBeforeAnyMutation) {
+    TempDir dir;
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "wal stage");
+    recover::WalWriter wal;
+    ASSERT_TRUE(wal.open(dir.file("wal.gtw"),
+                         recover::DurabilityMode::Buffered).ok());
+    g.attach_update_log(&wal);
+    ASSERT_TRUE(g.insert_batch(rmat_edges(64, 500, 71)).ok());
+    const auto before = edge_map_of(g);
+
+    {
+        fail::ScopedFailPoint fp("wal.stage", 1);
+        const Status st = g.insert_batch(rmat_edges(64, 500, 72));
+        EXPECT_EQ(st.code, StatusCode::IoError);
+        EXPECT_EQ(edge_map_of(g), before);
+    }
+    // Stage failures latch nothing (the throw happens before the writer
+    // touches its own state), so the log keeps working afterwards.
+    ASSERT_TRUE(g.insert_batch(rmat_edges(64, 500, 73)).ok());
+    g.attach_update_log(nullptr);
+}
+
+TEST(TransactionalBatch, WalCommitFailureRollsBackMemoryToo) {
+    // If the durability point cannot be reached, memory must roll back —
+    // otherwise the store and its log diverge and replay reproduces a
+    // different graph.
+    TempDir dir;
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "wal commit");
+    recover::WalWriter wal;
+    ASSERT_TRUE(wal.open(dir.file("wal.gtw"),
+                         recover::DurabilityMode::Buffered).ok());
+    g.attach_update_log(&wal);
+    ASSERT_TRUE(g.insert_batch(rmat_edges(64, 500, 81)).ok());
+    const auto before = edge_map_of(g);
+
+    {
+        fail::ScopedFailPoint fp("wal.commit", 1);
+        const Status st = g.insert_batch(rmat_edges(64, 500, 82));
+        EXPECT_EQ(st.code, StatusCode::IoError);
+        EXPECT_EQ(edge_map_of(g), before);
+        audit.check();
+    }
+    g.attach_update_log(nullptr);
+    wal.close();
+
+    // The log holds exactly the committed batch — replay agrees with the
+    // rolled-back store.
+    GraphTinker replayed;
+    recover::ReplayStats stats;
+    ASSERT_TRUE(
+        recover::replay_wal(dir.file("wal.gtw"), replayed, 0, stats).ok());
+    EXPECT_EQ(edge_map_of(replayed), before);
+}
+
+TEST(TransactionalBatch, SoloInsertFaultLeavesStoreUntouched) {
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "solo");
+    ASSERT_TRUE(g.insert_batch(rmat_edges(64, 1000, 91)).ok());
+    const auto before = edge_map_of(g);
+
+    fail::ScopedFailPoint fp("cal.grow", 1);
+    EXPECT_THROW(g.insert_edge(999999, 1, 2), fail::InjectedFault);
+    EXPECT_EQ(edge_map_of(g), before);
+    audit.check();
+    EXPECT_TRUE(g.insert_edge(999999, 1, 2));
+}
+
+}  // namespace
+}  // namespace gt::core

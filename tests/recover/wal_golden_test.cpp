@@ -1,0 +1,119 @@
+// WAL on-disk format pin: the byte layout of version 1 must never drift.
+//
+// The expected bytes are assembled *manually* from the documented format
+// (header "GTWL"+1; record = u32 crc | u32 len | u64 seq | u8 type |
+// payload), not through WalWriter's encoder — so an accidental change to
+// encode_record, the field order, or the CRC definition fails here even if
+// writer and reader drift together. The CRC32C implementation itself is
+// pinned by the standard known-answer vector first.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "recover/wal.hpp"
+#include "recover_test_util.hpp"
+#include "util/crc32c.hpp"
+
+namespace gt::recover {
+namespace {
+
+TEST(WalGolden, Crc32cKnownAnswerVector) {
+    // The canonical CRC-32C (Castagnoli) check value: crc("123456789").
+    const char digits[] = "123456789";
+    EXPECT_EQ(util::crc32c(digits, 9), 0xE3069283U);
+    // And the iSCSI all-zero 32-byte vector (RFC 3720 B.4).
+    const unsigned char zeros[32] = {};
+    EXPECT_EQ(util::crc32c(zeros, sizeof(zeros)), 0x8A9136AAU);
+}
+
+void append_u32(std::vector<unsigned char>& buf, std::uint32_t v) {
+    // The format is little-endian by definition; spell it out byte by byte
+    // so this test also pins endianness.
+    buf.push_back(static_cast<unsigned char>(v));
+    buf.push_back(static_cast<unsigned char>(v >> 8));
+    buf.push_back(static_cast<unsigned char>(v >> 16));
+    buf.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+void append_u64(std::vector<unsigned char>& buf, std::uint64_t v) {
+    append_u32(buf, static_cast<std::uint32_t>(v));
+    append_u32(buf, static_cast<std::uint32_t>(v >> 32));
+}
+
+void append_record(std::vector<unsigned char>& buf, std::uint64_t seq,
+                   WalRecordType type,
+                   const std::vector<unsigned char>& payload) {
+    std::vector<unsigned char> crc_input;
+    append_u32(crc_input, static_cast<std::uint32_t>(payload.size()));
+    append_u64(crc_input, seq);
+    crc_input.push_back(static_cast<unsigned char>(type));
+    crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+    append_u32(buf, util::crc32c(crc_input.data(), crc_input.size()));
+    buf.insert(buf.end(), crc_input.begin(), crc_input.end());
+}
+
+std::vector<unsigned char> edge_bytes(VertexId s, VertexId d, Weight w) {
+    std::vector<unsigned char> out;
+    append_u32(out, s);
+    append_u32(out, d);
+    append_u32(out, w);
+    return out;
+}
+
+TEST(WalGolden, FileBytesMatchSpecAssembledByHand) {
+    // Fixed op sequence: one 2-insert batch, one solo insert, one solo
+    // delete. Everything about the resulting file is specified.
+    test::TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        const std::vector<Edge> batch{{10, 20, 30}, {40, 50, 60}};
+        ASSERT_TRUE(wal.begin_batch(batch.size()));
+        ASSERT_TRUE(wal.stage_inserts(batch));
+        ASSERT_TRUE(wal.commit_batch());
+        const Edge ins{70, 80, 90};
+        ASSERT_TRUE(wal.begin_batch(1));
+        ASSERT_TRUE(wal.stage_inserts({&ins, 1}));
+        ASSERT_TRUE(wal.commit_batch());
+        const Edge del{10, 20, 0};
+        ASSERT_TRUE(wal.begin_batch(1));
+        ASSERT_TRUE(wal.stage_deletes({&del, 1}));
+        ASSERT_TRUE(wal.commit_batch());
+        wal.close();
+    }
+
+    std::vector<unsigned char> expected;
+    append_u32(expected, 0x4754574CU);  // "GTWL" (little-endian u32)
+    append_u32(expected, 1);            // version
+
+    // Frame 1: BatchBegin(ops=2) / InsertRun(2 edges) / BatchCommit(ops=2).
+    {
+        std::vector<unsigned char> ops;
+        append_u64(ops, 2);
+        append_record(expected, 1, WalRecordType::BatchBegin, ops);
+        std::vector<unsigned char> run;
+        append_u32(run, 2);  // edge count
+        const auto e1 = edge_bytes(10, 20, 30);
+        const auto e2 = edge_bytes(40, 50, 60);
+        run.insert(run.end(), e1.begin(), e1.end());
+        run.insert(run.end(), e2.begin(), e2.end());
+        append_record(expected, 2, WalRecordType::InsertRun, run);
+        append_record(expected, 3, WalRecordType::BatchCommit, ops);
+    }
+    // Frames 2 and 3: single-op frames collapse to solo records.
+    append_record(expected, 4, WalRecordType::SoloInsert,
+                  edge_bytes(70, 80, 90));
+    append_record(expected, 5, WalRecordType::SoloDelete,
+                  edge_bytes(10, 20, 0));
+
+    const std::vector<unsigned char> actual = test::read_file_bytes(path);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(actual[i], expected[i]) << "byte " << i;
+    }
+}
+
+}  // namespace
+}  // namespace gt::recover

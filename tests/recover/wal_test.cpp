@@ -1,0 +1,261 @@
+// WalWriter / scan_wal / replay_wal behavior tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/scoped_audit.hpp"
+#include "core/graphtinker.hpp"
+#include "gen/rmat.hpp"
+#include "recover/wal.hpp"
+#include "recover_test_util.hpp"
+
+namespace gt::recover {
+namespace {
+
+using test::TempDir;
+
+std::vector<Edge> some_edges(std::size_t n, std::uint64_t seed = 9) {
+    return rmat_edges(64, n, seed);
+}
+
+TEST(Wal, CommitThenScanRoundTrips) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    WalWriter wal;
+    ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+
+    const auto batch = some_edges(5);
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_inserts(batch));
+    ASSERT_TRUE(wal.commit_batch());
+
+    const Edge solo{7, 8, 9};
+    ASSERT_TRUE(wal.begin_batch(1));
+    ASSERT_TRUE(wal.stage_inserts({&solo, 1}));
+    ASSERT_TRUE(wal.commit_batch());
+    wal.close();
+
+    std::vector<WalRecordType> types;
+    std::vector<std::uint64_t> seqs;
+    ReplayStats stats;
+    ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord& rec) {
+        types.push_back(rec.type);
+        seqs.push_back(rec.seq);
+    }).ok());
+    // Multi-op batch = BEGIN/INS/COMMIT; single-op batch collapses to SOLO.
+    ASSERT_EQ(types.size(), 4u);
+    EXPECT_EQ(types[0], WalRecordType::BatchBegin);
+    EXPECT_EQ(types[1], WalRecordType::InsertRun);
+    EXPECT_EQ(types[2], WalRecordType::BatchCommit);
+    EXPECT_EQ(types[3], WalRecordType::SoloInsert);
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    EXPECT_EQ(stats.last_committed_seq, 4u);
+    EXPECT_FALSE(stats.torn_tail);
+    EXPECT_FALSE(stats.torn_batch);
+}
+
+TEST(Wal, AbortedFrameLeavesNoTraceOrSeqGap) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    WalWriter wal;
+    ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+    const auto batch = some_edges(4);
+
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_inserts(batch));
+    wal.abort_batch();
+
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_deletes(batch));
+    ASSERT_TRUE(wal.commit_batch());
+    wal.close();
+
+    ReplayStats stats;
+    std::vector<WalRecordType> types;
+    ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord& rec) {
+        types.push_back(rec.type);
+    }).ok());
+    // The aborted frame wrote nothing; seqs stay contiguous from 1.
+    ASSERT_EQ(types.size(), 3u);
+    EXPECT_EQ(types[1], WalRecordType::DeleteRun);
+    EXPECT_EQ(stats.last_seq, 3u);
+    EXPECT_TRUE(stats.tail_status.ok());
+}
+
+TEST(Wal, ReopenResumesSequenceAndTruncatesTornTail) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        const auto batch = some_edges(3);
+        ASSERT_TRUE(wal.begin_batch(batch.size()));
+        ASSERT_TRUE(wal.stage_inserts(batch));
+        ASSERT_TRUE(wal.commit_batch());
+        wal.close();
+    }
+    // Simulate a torn write: garbage appended past the last commit.
+    auto bytes = test::read_file_bytes(path);
+    const std::size_t clean_size = bytes.size();
+    for (int i = 0; i < 11; ++i) {
+        bytes.push_back(0xAB);
+    }
+    test::write_file_bytes(path, bytes);
+
+    {
+        ReplayStats stats;
+        ASSERT_TRUE(scan_wal(path, stats, [](const WalRecord&) {}).ok());
+        EXPECT_TRUE(stats.torn_tail);
+        EXPECT_EQ(stats.valid_bytes, clean_size);
+    }
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        EXPECT_EQ(wal.next_seq(), 4u);  // BEGIN/INS/COMMIT consumed 1..3
+        const Edge solo{1, 2, 3};
+        ASSERT_TRUE(wal.begin_batch(1));
+        ASSERT_TRUE(wal.stage_inserts({&solo, 1}));
+        ASSERT_TRUE(wal.commit_batch());
+        wal.close();
+    }
+    ReplayStats stats;
+    ASSERT_TRUE(scan_wal(path, stats, [](const WalRecord&) {}).ok());
+    EXPECT_FALSE(stats.torn_tail);
+    EXPECT_EQ(stats.records_scanned, 4u);
+    EXPECT_EQ(stats.last_seq, 4u);
+}
+
+TEST(Wal, BitFlipStopsScanAtLastValidRecord) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    std::uint64_t second_record_offset = 0;
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        for (int i = 0; i < 3; ++i) {
+            const Edge solo{static_cast<VertexId>(i), 2, 3};
+            ASSERT_TRUE(wal.begin_batch(1));
+            ASSERT_TRUE(wal.stage_inserts({&solo, 1}));
+            ASSERT_TRUE(wal.commit_batch());
+        }
+        wal.close();
+        ReplayStats stats;
+        ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord& rec) {
+            if (rec.seq == 2) {
+                second_record_offset = rec.offset;
+            }
+        }).ok());
+    }
+    auto bytes = test::read_file_bytes(path);
+    bytes[second_record_offset + 20] ^= 0x10;  // inside record 2's payload
+    test::write_file_bytes(path, bytes);
+
+    ReplayStats stats;
+    std::uint64_t seen = 0;
+    ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord&) {
+        ++seen;
+    }).ok());
+    EXPECT_EQ(seen, 1u);
+    EXPECT_TRUE(stats.torn_tail);
+    EXPECT_EQ(stats.tail_status.code, StatusCode::WalChecksum);
+    EXPECT_EQ(stats.last_committed_seq, 1u);
+}
+
+TEST(Wal, RefusesForeignFiles) {
+    TempDir dir;
+    const std::string path = dir.file("not_a_wal");
+    test::write_file_bytes(path, {'G', 'A', 'R', 'B', 'A', 'G', 'E', '!'});
+    WalWriter wal;
+    EXPECT_EQ(wal.open(path, DurabilityMode::Buffered).code,
+              StatusCode::WalBadMagic);
+
+    // Right magic, wrong version.
+    std::vector<unsigned char> versioned(8, 0);
+    const std::uint32_t magic = kWalMagic;
+    const std::uint32_t version = kWalVersion + 7;
+    std::memcpy(versioned.data(), &magic, 4);
+    std::memcpy(versioned.data() + 4, &version, 4);
+    test::write_file_bytes(path, versioned);
+    EXPECT_EQ(wal.open(path, DurabilityMode::Buffered).code,
+              StatusCode::WalBadVersion);
+}
+
+TEST(Wal, OffModePersistsNothingButAdvancesSeqs) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    WalWriter wal;
+    ASSERT_TRUE(wal.open(path, DurabilityMode::Off).ok());
+    const auto batch = some_edges(4);
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_inserts(batch));
+    ASSERT_TRUE(wal.commit_batch());
+    EXPECT_GT(wal.next_seq(), 1u);
+    wal.close();
+    // No file was ever created.
+    ReplayStats stats;
+    EXPECT_EQ(scan_wal(path, stats, [](const WalRecord&) {}).code,
+              StatusCode::IoError);
+}
+
+TEST(Wal, ReplaySkipsFramesCoveredBySnapshotSeq) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    std::uint64_t first_commit_seq = 0;
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        const std::vector<Edge> first{{1, 2, 10}, {3, 4, 11}};
+        ASSERT_TRUE(wal.begin_batch(first.size()));
+        ASSERT_TRUE(wal.stage_inserts(first));
+        ASSERT_TRUE(wal.commit_batch());
+        first_commit_seq = wal.durable_seq();
+        const std::vector<Edge> second{{5, 6, 12}, {7, 8, 13}};
+        ASSERT_TRUE(wal.begin_batch(second.size()));
+        ASSERT_TRUE(wal.stage_inserts(second));
+        ASSERT_TRUE(wal.commit_batch());
+        wal.close();
+    }
+    core::GraphTinker g;
+    const test::ScopedAudit audit(g, "replay");
+    ReplayStats stats;
+    ASSERT_TRUE(replay_wal(path, g, first_commit_seq, stats).ok());
+    EXPECT_EQ(stats.batches_applied, 1u);
+    EXPECT_EQ(g.num_edges(), 2u);
+    EXPECT_EQ(g.find_edge(5, 6), std::optional<Weight>(12));
+    EXPECT_EQ(g.find_edge(1, 2), std::nullopt);
+}
+
+TEST(Wal, ReplayAppliesInsertsAndDeletesInCommitOrder) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    const auto edges = some_edges(200, 21);
+    {
+        core::GraphTinker g;
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::FsyncBatch).ok());
+        g.attach_update_log(&wal);
+        ASSERT_TRUE(g.insert_batch(edges).ok());
+        std::vector<Edge> doomed(edges.begin(), edges.begin() + 50);
+        ASSERT_TRUE(g.delete_batch(doomed).ok());
+        ASSERT_TRUE(g.insert_edge(9999, 1, 5));
+        g.attach_update_log(nullptr);
+        wal.close();
+    }
+    // Twin built only from the log must match a twin built from the ops.
+    core::GraphTinker replayed;
+    const test::ScopedAudit audit(replayed, "replayed");
+    ReplayStats stats;
+    ASSERT_TRUE(replay_wal(path, replayed, 0, stats).ok());
+
+    core::GraphTinker expected;
+    expected.insert_batch(edges);
+    expected.delete_batch({edges.begin(), edges.begin() + 50});
+    expected.insert_edge(9999, 1, 5);
+    EXPECT_EQ(test::edge_map_of(replayed), test::edge_map_of(expected));
+    EXPECT_EQ(stats.batches_applied, 3u);
+}
+
+}  // namespace
+}  // namespace gt::recover

@@ -13,6 +13,13 @@
 //   gt triangles <file>                          triangle census
 //   gt audit <dataset|rmat:V:E|file> [seed]      deep structural audit
 //   gt convert <file.mtx>                        Matrix Market -> edge list
+//   gt recover <dir>                             open a durable store dir,
+//                                                report the recovery outcome
+//   gt wal-dump <file> [limit]                   list the records of a WAL
+//   gt torture-writer <dir> <seed> [steps]       crash-torture workload
+//                                                writer (killed externally)
+//   gt torture-verify <dir> <seed>               recover + committed-prefix
+//                                                verification (exit 0/1)
 //
 // <file> may be a plain edge list ("src dst [weight]" lines) or a Matrix
 // Market .mtx file (detected by extension). "-" reads stdin as an edge list.
@@ -37,6 +44,9 @@
 #include "gen/io.hpp"
 #include "gen/rmat.hpp"
 #include "obs/export.hpp"
+#include "recover/durable.hpp"
+#include "recover/torture.hpp"
+#include "recover/wal.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -58,6 +68,10 @@ int usage() {
                  "  gt kcore <file>\n"
                  "  gt audit <dataset|rmat:V:E|file> [seed]\n"
                  "  gt convert <file.mtx>\n"
+                 "  gt recover <dir>\n"
+                 "  gt wal-dump <file> [limit]\n"
+                 "  gt torture-writer <dir> <seed> [steps] [--fsync]\n"
+                 "  gt torture-verify <dir> <seed>\n"
                  "datasets: ");
     for (const DatasetSpec& spec : table1_datasets()) {
         std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -349,6 +363,199 @@ int cmd_audit(int argc, char** argv) {
     return 1;
 }
 
+void print_recovery_info(const recover::RecoveryInfo& info) {
+    std::printf("recovery source     : %s\n",
+                std::string(recover::to_string(info.source)).c_str());
+    std::printf("snapshot.gts        : %s\n",
+                info.snapshot_status.to_string().c_str());
+    if (info.source == recover::RecoveryInfo::Source::PrevSnapshot ||
+        !info.prev_snapshot_status.ok()) {
+        std::printf("snapshot.prev.gts   : %s\n",
+                    info.prev_snapshot_status.to_string().c_str());
+    }
+    std::printf("snapshot wal seq    : %llu\n",
+                static_cast<unsigned long long>(info.snapshot_wal_seq));
+    std::printf("wal present         : %s\n", info.wal_present ? "yes" : "no");
+    std::printf("wal records scanned : %llu\n",
+                static_cast<unsigned long long>(info.replay.records_scanned));
+    std::printf("batches replayed    : %llu (+%llu / -%llu edges)\n",
+                static_cast<unsigned long long>(info.replay.batches_applied),
+                static_cast<unsigned long long>(info.replay.edges_inserted),
+                static_cast<unsigned long long>(info.replay.edges_deleted));
+    std::printf("torn tail / batch   : %s / %s\n",
+                info.replay.torn_tail ? "yes" : "no",
+                info.replay.torn_batch ? "yes" : "no");
+    if (!info.replay.tail_status.ok()) {
+        std::printf("tail status         : %s\n",
+                    info.replay.tail_status.to_string().c_str());
+    }
+    std::printf("audit after recover : %s\n",
+                !info.audit_ran     ? "skipped"
+                : info.audit_clean  ? "clean"
+                                    : "VIOLATIONS");
+}
+
+int cmd_recover(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    recover::DurableStore store;
+    recover::RecoveryInfo info;
+    const Status st = store.open(argv[0], recover::DurableOptions{}, &info);
+    print_recovery_info(info);
+    if (!st.ok()) {
+        std::printf("recovery FAILED     : %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::printf("vertices (id space) : %u\n", store.graph().num_vertices());
+    std::printf("edges (distinct)    : %llu\n",
+                static_cast<unsigned long long>(store.graph().num_edges()));
+    std::printf("next wal seq        : %llu\n",
+                static_cast<unsigned long long>(store.wal().next_seq()));
+    return 0;
+}
+
+int cmd_wal_dump(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::uint64_t limit =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+    recover::ReplayStats stats;
+    std::uint64_t printed = 0;
+    const Status st = recover::scan_wal(
+        argv[0], stats, [&](const recover::WalRecord& rec) {
+            if (printed++ >= limit) {
+                return;
+            }
+            const char* name = "?";
+            switch (rec.type) {
+                case recover::WalRecordType::BatchBegin: name = "BEGIN"; break;
+                case recover::WalRecordType::InsertRun: name = "INS"; break;
+                case recover::WalRecordType::DeleteRun: name = "DEL"; break;
+                case recover::WalRecordType::BatchCommit: name = "COMMIT"; break;
+                case recover::WalRecordType::SoloInsert: name = "SOLO+"; break;
+                case recover::WalRecordType::SoloDelete: name = "SOLO-"; break;
+            }
+            std::printf("  seq %-8llu %-7s len %-8zu @%llu\n",
+                        static_cast<unsigned long long>(rec.seq), name,
+                        rec.payload.size(),
+                        static_cast<unsigned long long>(rec.offset));
+        });
+    if (!st.ok()) {
+        std::fprintf(stderr, "error: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    if (printed > limit) {
+        std::printf("  ... %llu more record(s)\n",
+                    static_cast<unsigned long long>(printed - limit));
+    }
+    std::printf("records: %llu  last seq: %llu  last committed: %llu  "
+                "valid bytes: %llu  torn tail: %s\n",
+                static_cast<unsigned long long>(stats.records_scanned),
+                static_cast<unsigned long long>(stats.last_seq),
+                static_cast<unsigned long long>(stats.last_committed_seq),
+                static_cast<unsigned long long>(stats.valid_bytes),
+                stats.torn_tail ? "yes" : "no");
+    if (!stats.tail_status.ok()) {
+        std::printf("tail status: %s\n", stats.tail_status.to_string().c_str());
+    }
+    return 0;
+}
+
+// Torture workload parameters shared by writer and verifier. Small vertex
+// space keeps duplicate/delete churn high; ~8 checkpoints per thousand steps
+// exercises snapshot rotation under fire.
+constexpr std::uint32_t kTortureEdgesPerStep = 256;
+constexpr std::uint32_t kTortureVertices = 4096;
+constexpr std::uint64_t kTortureCheckpointEvery = 50;
+
+int cmd_torture_writer(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    const std::string dir = argv[0];
+    const std::uint64_t seed = std::strtoull(argv[1], nullptr, 10);
+    std::uint64_t max_steps = 1000000;
+    bool fsync_mode = false;
+    for (int i = 2; i < argc; ++i) {
+        if (std::string(argv[i]) == "--fsync") {
+            fsync_mode = true;
+        } else {
+            max_steps = std::strtoull(argv[i], nullptr, 10);
+        }
+    }
+    recover::DurableOptions options;
+    options.mode = fsync_mode ? recover::DurabilityMode::FsyncBatch
+                              : recover::DurabilityMode::Buffered;
+    recover::DurableStore store;
+    recover::RecoveryInfo info;
+    if (const Status st = store.open(dir, options, &info); !st.ok()) {
+        std::fprintf(stderr, "open failed: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    // Resume where the recovered state left off so repeated kill/restart
+    // cycles keep extending one coherent history.
+    const auto marker = recover::torture_max_marker(store.graph());
+    std::uint64_t step = marker ? *marker + 1 : 0;
+    if (step > 0 && recover::torture_step_is_delete(step)) {
+        // The delete step after the marker may or may not have committed;
+        // re-issuing it is idempotent either way (deletes of absent edges
+        // are no-ops), so always (re)run it.
+        std::fprintf(stderr, "resuming at step %llu (delete, idempotent)\n",
+                     static_cast<unsigned long long>(step));
+    }
+    for (; step < max_steps; ++step) {
+        const std::vector<Edge> batch = recover::torture_step_batch(
+            seed, step, kTortureEdgesPerStep, kTortureVertices);
+        const Status st = recover::torture_step_is_delete(step)
+                              ? store.graph().delete_batch(batch)
+                              : store.graph().insert_batch(batch);
+        if (!st.ok()) {
+            std::fprintf(stderr, "step %llu failed: %s\n",
+                         static_cast<unsigned long long>(step),
+                         st.to_string().c_str());
+            return 1;
+        }
+        if ((step + 1) % kTortureCheckpointEvery == 0) {
+            if (const Status cst = store.checkpoint(); !cst.ok()) {
+                std::fprintf(stderr, "checkpoint failed: %s\n",
+                             cst.to_string().c_str());
+                return 1;
+            }
+        }
+        // One line per step so the harness can kill at a known cadence.
+        std::printf("step %llu\n", static_cast<unsigned long long>(step));
+        std::fflush(stdout);
+    }
+    store.close();
+    return 0;
+}
+
+int cmd_torture_verify(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    recover::DurableStore store;
+    recover::RecoveryInfo info;
+    const Status st = store.open(argv[0], recover::DurableOptions{}, &info);
+    if (!st.ok()) {
+        print_recovery_info(info);
+        std::fprintf(stderr, "recovery failed: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    const std::uint64_t seed = std::strtoull(argv[1], nullptr, 10);
+    const recover::TortureVerdict verdict = recover::verify_torture_recovery(
+        store.graph(), seed, kTortureEdgesPerStep, kTortureVertices);
+    std::printf("source=%s replayed=%llu torn_tail=%d torn_batch=%d\n",
+                std::string(recover::to_string(info.source)).c_str(),
+                static_cast<unsigned long long>(info.replay.batches_applied),
+                info.replay.torn_tail ? 1 : 0, info.replay.torn_batch ? 1 : 0);
+    std::printf("%s: %s\n", verdict.ok ? "PASS" : "FAIL",
+                verdict.detail.c_str());
+    return verdict.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -361,6 +568,18 @@ int main(int argc, char** argv) {
     }
     if (command == "audit") {
         return cmd_audit(argc - 2, argv + 2);
+    }
+    if (command == "recover") {
+        return cmd_recover(argc - 2, argv + 2);
+    }
+    if (command == "wal-dump") {
+        return cmd_wal_dump(argc - 2, argv + 2);
+    }
+    if (command == "torture-writer") {
+        return cmd_torture_writer(argc - 2, argv + 2);
+    }
+    if (command == "torture-verify") {
+        return cmd_torture_verify(argc - 2, argv + 2);
     }
     if (argc < 3) {
         return usage();
