@@ -57,14 +57,22 @@ std::optional<VertexId> GraphTinker::dense_of(VertexId raw) const {
 
 bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
     // Solo durability frame: a single-edge call outside any batch is its
-    // own commit unit. Inside a batch (or a rollback) the enclosing frame
-    // already covers it. Log failures latch inside the log (see
-    // UpdateLog); the in-memory store stays authoritative.
+    // own all-or-nothing commit unit, with the same policy as
+    // run_transaction — if the frame cannot be staged the mutation is
+    // refused, and if the commit fails the mutation is rolled back, so the
+    // in-memory store never diverges from what post-crash replay rebuilds.
+    // The cause stays latched in the log's status(). Inside a batch (or a
+    // rollback) the enclosing frame already covers the edge.
     const bool tee = log_ != nullptr && txn_ == TxnState::Idle;
     if (tee) {
         const Edge e{src, dst, weight};
-        log_->begin_batch(1);
-        log_->stage_inserts({&e, 1});
+        if (!(log_->begin_batch(1) && log_->stage_inserts({&e, 1}))) {
+            log_->abort_batch();
+            return false;
+        }
+        journal_.clear();
+        journal_.reserve(1);  // the one apply-path journal push is nothrow
+        txn_ = TxnState::Applying;
     }
     note_raw(src);
     note_raw(dst);
@@ -78,12 +86,21 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
         }
     } catch (...) {
         if (tee) {
+            // Growth pre-flights throw before any structural mutation, so
+            // there is nothing to undo — just drop the frame.
+            txn_ = TxnState::Idle;
+            journal_.clear();
             log_->abort_batch();
         }
         throw;
     }
     if (tee) {
-        log_->commit_batch();
+        txn_ = TxnState::Idle;
+        if (!log_->commit_batch()) {
+            rollback_journal();
+            return false;
+        }
+        journal_.clear();
     }
     return created;
 }
@@ -159,11 +176,19 @@ bool GraphTinker::insert_resolved(VertexId dense, VertexId raw_src,
 }
 
 bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
+    // Same solo-frame policy as insert_edge: refuse when staging fails,
+    // roll back (re-inserting with the journaled weight) when the commit
+    // cannot be made durable.
     const bool tee = log_ != nullptr && txn_ == TxnState::Idle;
     if (tee) {
         const Edge e{src, dst, 0};
-        log_->begin_batch(1);
-        log_->stage_deletes({&e, 1});
+        if (!(log_->begin_batch(1) && log_->stage_deletes({&e, 1}))) {
+            log_->abort_batch();
+            return false;
+        }
+        journal_.clear();
+        journal_.reserve(1);  // the one apply-path journal push is nothrow
+        txn_ = TxnState::Applying;
     }
     bool found = false;
     try {
@@ -172,12 +197,19 @@ bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
         }
     } catch (...) {
         if (tee) {
+            txn_ = TxnState::Idle;
+            journal_.clear();
             log_->abort_batch();
         }
         throw;
     }
     if (tee) {
-        log_->commit_batch();
+        txn_ = TxnState::Idle;
+        if (!log_->commit_batch()) {
+            rollback_journal();
+            return false;
+        }
+        journal_.clear();
     }
     return found;
 }

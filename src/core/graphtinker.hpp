@@ -48,10 +48,19 @@ public:
 
     /// Inserts (src, dst, weight); overwrites the weight when the edge
     /// exists. Returns true when a new edge was created.
+    ///
+    /// With an update log attached (and outside a batch) the call is its
+    /// own all-or-nothing commit unit: when the log cannot stage or commit
+    /// the frame the in-memory mutation is refused or rolled back and the
+    /// call returns false, matching insert_batch semantics — memory never
+    /// diverges from what post-crash replay rebuilds. The cause stays
+    /// latched in the log's status() (recover::WalWriter::status()).
     bool insert_edge(VertexId src, VertexId dst, Weight weight = 1);
 
     /// Deletes (src, dst) under the configured deletion mode. Returns true
-    /// when the edge existed.
+    /// when the edge existed. Under an attached update log the same
+    /// all-or-nothing solo-frame policy as insert_edge applies: a failed
+    /// stage/commit leaves the edge in place and returns false.
     bool delete_edge(VertexId src, VertexId dst);
 
     /// Batched insert. Large batches take the source-grouped fast path:

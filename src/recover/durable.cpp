@@ -212,28 +212,45 @@ Status DurableStore::prune_wal() {
     const DurabilityMode mode = wal_->mode();
     graph_->attach_update_log(nullptr);
     wal_->close();
+    // From here on the graph is un-teed: every exit — success or failure —
+    // must re-attach a log. On failure that means reopening whatever
+    // wal_path() currently names (the original log, or the already-rotated
+    // fresh one; either is a valid resume point given the checkpoint). If
+    // even that fails, the writer is poisoned and re-attached so writes are
+    // *refused* with the error rather than silently applied undurably.
+    const auto fail = [&](Status st) {
+        if (const Status re = wal_->open(wal_path(), mode, resume);
+            !re.ok()) {
+            wal_->poison(re);
+        }
+        graph_->attach_update_log(wal_.get());
+        return st;
+    };
     const std::string tmp = dir_ + "/wal.tmp.gtw";
+    std::remove(tmp.c_str());  // a stale tmp must not donate its records
     {
         WalWriter fresh;
         if (const Status st = fresh.open(tmp, DurabilityMode::FsyncBatch,
                                          resume);
             !st.ok()) {
-            return st;
+            return fail(st);
         }
         if (const Status st = fresh.sync(); !st.ok()) {
-            return st;
+            return fail(st);
         }
         fresh.close();
     }
     if (std::rename(tmp.c_str(), wal_path().c_str()) != 0) {
-        return Status{StatusCode::IoError,
-                      std::string{"wal rotate failed: "} +
-                          std::strerror(errno)};
+        return fail(Status{StatusCode::IoError,
+                           std::string{"wal rotate failed: "} +
+                               std::strerror(errno)});
     }
     if (const Status st = fsync_path(dir_, /*directory=*/true); !st.ok()) {
-        return st;
+        return fail(st);
     }
     if (const Status st = wal_->open(wal_path(), mode, resume); !st.ok()) {
+        wal_->poison(st);
+        graph_->attach_update_log(wal_.get());
         return st;
     }
     graph_->attach_update_log(wal_.get());

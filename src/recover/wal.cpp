@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -51,22 +52,32 @@ bool write_all(int fd, const unsigned char* data, std::size_t len) {
     return true;
 }
 
-bool read_all(int fd, unsigned char* data, std::size_t len) {
-    while (len > 0) {
-        const ssize_t n = ::read(fd, data, len);
+/// Why a full-buffer read stopped. Scanning must tell a torn tail (EOF)
+/// apart from a failing read(): truncating the log at a transient I/O error
+/// would permanently discard the valid committed records that follow.
+enum class ReadOutcome : std::uint8_t {
+    Full,   ///< all `len` bytes read
+    Eof,    ///< clean EOF before the first byte
+    Short,  ///< EOF after some bytes — a genuinely torn record
+    Error,  ///< read() failed (errno holds the cause)
+};
+
+ReadOutcome read_exact(int fd, unsigned char* data, std::size_t len) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::read(fd, data + done, len - done);
         if (n < 0) {
             if (errno == EINTR) {
                 continue;
             }
-            return false;
+            return ReadOutcome::Error;
         }
         if (n == 0) {
-            return false;  // EOF short of len
+            return done == 0 ? ReadOutcome::Eof : ReadOutcome::Short;
         }
-        data += n;
-        len -= static_cast<std::size_t>(n);
+        done += static_cast<std::size_t>(n);
     }
-    return true;
+    return ReadOutcome::Full;
 }
 
 }  // namespace
@@ -110,14 +121,17 @@ Status WalWriter::open(const std::string& path, DurabilityMode mode,
 
     // Scan whatever is already there: resume the sequence after the last
     // valid record and cut off any torn tail so fresh appends land on a
-    // clean boundary.
+    // clean boundary. Existence is checked with stat(), not inferred from
+    // the scan's error code — a mid-scan read error must refuse the open,
+    // not masquerade as "no file yet" and stamp a header into the middle
+    // of an existing log.
+    struct stat sb{};
+    const bool exists = ::stat(path.c_str(), &sb) == 0;
     ReplayStats scan;
-    const Status scanned = scan_wal(path, scan, [](const WalRecord&) {});
-    const bool exists = scanned.code != StatusCode::IoError;
     if (exists) {
-        if (scanned.code == StatusCode::WalBadMagic ||
-            scanned.code == StatusCode::WalBadVersion) {
-            return scanned;  // refuse to append to a foreign file
+        const Status scanned = scan_wal(path, scan, [](const WalRecord&) {});
+        if (!scanned.ok()) {
+            return scanned;  // foreign file, or the scan itself failed
         }
         if (scan.torn_tail) {
             if (const Status st = truncate_wal_tail(path, scan.valid_bytes);
@@ -125,8 +139,26 @@ Status WalWriter::open(const std::string& path, DurabilityMode mode,
                 return st;
             }
         }
+        // The hint is a lower bound (the snapshot's covered seq + 1): it is
+        // never lowered to the file's resume point, or an on-disk log that
+        // lags the checkpoint chain (e.g. a DurabilityMode::Off run
+        // advanced seqs, checkpointed, then the mode was switched back)
+        // would pull new commits down to sequence numbers replay silently
+        // skips as already covered. When the hint is *ahead* of the file,
+        // every on-disk record carries a covered seq — and appending at the
+        // hint would leave a sequence gap scan_wal rejects as torn — so the
+        // log resets to just its header and restarts gap-free at the hint.
         if (scan.last_seq != 0) {
-            next_seq_ = scan.last_seq + 1;
+            if (next_seq_ > scan.last_seq + 1) {
+                if (const Status st =
+                        truncate_wal_tail(path, kFileHeaderBytes);
+                    !st.ok()) {
+                    return st;
+                }
+                scan.valid_bytes = kFileHeaderBytes;
+            } else {
+                next_seq_ = scan.last_seq + 1;
+            }
         }
     }
 
@@ -203,38 +235,42 @@ bool WalWriter::begin_batch(std::uint64_t op_count) noexcept {
     }
 }
 
-bool WalWriter::stage_inserts(std::span<const Edge> edges) noexcept {
+bool WalWriter::stage_runs(WalRecordType type,
+                           std::span<const Edge> edges) noexcept {
     if (!status_.ok() || !in_batch_) {
         return false;
     }
     try {
         GT_FAILPOINT("wal.stage");
-        staged_.push_back(StagedRun{WalRecordType::InsertRun,
-                                    static_cast<std::uint32_t>(edges.size())});
-        stage_buf_.insert(stage_buf_.end(), edges.begin(), edges.end());
+        // Split oversized spans into bounded runs: a single run whose
+        // payload tops kWalMaxRecordLen (or whose count wraps u32) would be
+        // rejected by scan_wal as corrupt, and recovery would truncate that
+        // committed batch *and every later frame* as a torn tail.
+        do {
+            const std::size_t n = std::min<std::size_t>(
+                edges.size(), kWalMaxEdgesPerRun);
+            staged_.push_back(
+                StagedRun{type, static_cast<std::uint32_t>(n)});
+            stage_buf_.insert(stage_buf_.end(), edges.begin(),
+                              edges.begin() + static_cast<std::ptrdiff_t>(n));
+            edges = edges.subspan(n);
+        } while (!edges.empty());
         return true;
     } catch (...) {
         // Staging happens entirely in memory, before any file I/O — the
-        // caller aborts the frame and the log stays coherent, so this is a
-        // transient failure, not a latched one.
+        // caller aborts the frame (dropping any partially staged runs) and
+        // the log stays coherent, so this is a transient failure, not a
+        // latched one.
         return false;
     }
 }
 
+bool WalWriter::stage_inserts(std::span<const Edge> edges) noexcept {
+    return stage_runs(WalRecordType::InsertRun, edges);
+}
+
 bool WalWriter::stage_deletes(std::span<const Edge> edges) noexcept {
-    if (!status_.ok() || !in_batch_) {
-        return false;
-    }
-    try {
-        GT_FAILPOINT("wal.stage");
-        staged_.push_back(StagedRun{WalRecordType::DeleteRun,
-                                    static_cast<std::uint32_t>(edges.size())});
-        stage_buf_.insert(stage_buf_.end(), edges.begin(), edges.end());
-        return true;
-    } catch (...) {
-        // See stage_inserts: in-memory failure before any I/O — transient.
-        return false;
-    }
+    return stage_runs(WalRecordType::DeleteRun, edges);
 }
 
 void WalWriter::encode_record(WalRecordType type, const void* payload,
@@ -368,14 +404,22 @@ Status scan_wal(const std::string& path, ReplayStats& stats,
     } closer{fd};
 
     unsigned char header[kFileHeaderBytes];
-    if (!read_all(fd, header, sizeof(header))) {
-        // Empty (or sub-header) file: treat as a valid empty log with a
-        // torn tail of whatever partial bytes exist.
-        stats.valid_bytes = 0;
-        stats.torn_tail = true;
-        stats.tail_status = Status{StatusCode::WalTruncated,
-                                   "EOF inside the file header"};
-        return Status::success();
+    switch (read_exact(fd, header, sizeof(header))) {
+        case ReadOutcome::Full:
+            break;
+        case ReadOutcome::Error:
+            return Status{StatusCode::IoError,
+                          "read('" + path +
+                              "') failed: " + std::strerror(errno)};
+        case ReadOutcome::Eof:
+        case ReadOutcome::Short:
+            // Empty (or sub-header) file: treat as a valid empty log with a
+            // torn tail of whatever partial bytes exist.
+            stats.valid_bytes = 0;
+            stats.torn_tail = true;
+            stats.tail_status = Status{StatusCode::WalTruncated,
+                                       "EOF inside the file header"};
+            return Status::success();
     }
     std::uint32_t magic = 0;
     std::uint32_t version = 0;
@@ -403,11 +447,19 @@ Status scan_wal(const std::string& path, ReplayStats& stats,
     };
     for (;;) {
         unsigned char rh[kRecordHeaderBytes];
-        const ssize_t got = ::read(fd, rh, sizeof(rh));
-        if (got == 0) {
+        const ReadOutcome got = read_exact(fd, rh, sizeof(rh));
+        if (got == ReadOutcome::Eof) {
             break;  // clean EOF on a record boundary
         }
-        if (got < 0 || static_cast<std::size_t>(got) < sizeof(rh)) {
+        if (got == ReadOutcome::Error) {
+            // A failing read is NOT a torn tail: reporting it as one would
+            // let WalWriter::open truncate away valid committed records.
+            return Status{StatusCode::IoError,
+                          "WAL read failed at offset " +
+                              std::to_string(offset) + ": " +
+                              std::strerror(errno)};
+        }
+        if (got == ReadOutcome::Short) {
             return stop(StatusCode::WalTruncated,
                         "EOF inside a record header", offset);
         }
@@ -424,9 +476,20 @@ Status scan_wal(const std::string& path, ReplayStats& stats,
                         "record header out of bounds", offset);
         }
         rec.payload.resize(len);
-        if (len > 0 && !read_all(fd, rec.payload.data(), len)) {
-            return stop(StatusCode::WalTruncated,
-                        "EOF inside a record payload", offset);
+        if (len > 0) {
+            switch (read_exact(fd, rec.payload.data(), len)) {
+                case ReadOutcome::Full:
+                    break;
+                case ReadOutcome::Error:
+                    return Status{StatusCode::IoError,
+                                  "WAL read failed at offset " +
+                                      std::to_string(offset) + ": " +
+                                      std::strerror(errno)};
+                case ReadOutcome::Eof:
+                case ReadOutcome::Short:
+                    return stop(StatusCode::WalTruncated,
+                                "EOF inside a record payload", offset);
+            }
         }
         if (crc != record_crc(len, seq, type, rec.payload.data())) {
             return stop(StatusCode::WalChecksum, "record checksum mismatch",

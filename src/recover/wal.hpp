@@ -50,8 +50,17 @@ namespace gt::recover {
 inline constexpr std::uint32_t kWalMagic = 0x4754574C;  // "GTWL"
 inline constexpr std::uint32_t kWalVersion = 1;
 /// Records larger than this are rejected as corrupt before any
-/// length-proportional allocation happens (a batch is capped well below).
+/// length-proportional allocation happens. The cap is enforced on the write
+/// side by kWalMaxEdgesPerRun: staging splits a batch into bounded runs, so
+/// no legitimate record can ever approach this limit.
 inline constexpr std::uint32_t kWalMaxRecordLen = 1U << 30;
+
+/// Edges per Insert/DeleteRun record. stage_inserts/stage_deletes split a
+/// larger span across multiple runs inside the same frame, which keeps every
+/// record payload (4 + n*sizeof(Edge) bytes) far below kWalMaxRecordLen and
+/// every run count within u32 — an arbitrarily large committed batch must
+/// never produce a record that scan_wal would reject as corrupt.
+inline constexpr std::uint32_t kWalMaxEdgesPerRun = 1U << 22;
 
 enum class WalRecordType : std::uint8_t {
     BatchBegin = 1,
@@ -97,9 +106,15 @@ public:
 
     /// Opens (creating if absent) the log at `path` for appending. An
     /// existing file is scanned: its torn tail — anything after the last
-    /// valid record — is truncated away, and appending resumes at the next
-    /// sequence number. `expect_first_seq` guards against mixing logs from
-    /// different stores (0 = don't care).
+    /// valid record — is truncated away. Appending resumes at
+    /// max(next_seq_hint, last on-disk seq + 1): the hint is a *lower
+    /// bound*, never lowered by the file, so a commit can never be
+    /// assigned a sequence number an existing checkpoint already claims to
+    /// cover — replay would silently skip it after the next crash. The
+    /// hint must itself honor that contract: pass the newest snapshot's
+    /// covered seq + 1 (every seq below the hint is checkpoint-covered).
+    /// When the hint is ahead of the whole file, the covered records are
+    /// dropped and the log restarts gap-free at the hint.
     [[nodiscard]] Status open(const std::string& path, DurabilityMode mode,
                               std::uint64_t next_seq_hint = 0);
     void close() noexcept;
@@ -120,6 +135,12 @@ public:
     /// Buffered mode).
     [[nodiscard]] Status sync() noexcept;
 
+    /// Latches `st` as the writer's terminal status: every further
+    /// begin/stage/commit fails fast with it. Used when the enclosing store
+    /// loses its log mid-rotation and must refuse writes rather than let
+    /// them run silently un-teed.
+    void poison(Status st) noexcept { latch(std::move(st)); }
+
     // ---- core::UpdateLog -------------------------------------------------
     bool begin_batch(std::uint64_t op_count) noexcept override;
     bool stage_inserts(std::span<const Edge> edges) noexcept override;
@@ -134,6 +155,10 @@ private:
     };
 
     void latch(Status st) noexcept;
+    /// Shared body of stage_inserts/stage_deletes: splits `edges` into
+    /// kWalMaxEdgesPerRun-bounded runs.
+    [[nodiscard]] bool stage_runs(WalRecordType type,
+                                  std::span<const Edge> edges) noexcept;
     /// Encodes one record (header + payload + crc) into out_buf_.
     void encode_record(WalRecordType type, const void* payload,
                        std::size_t len);

@@ -2,6 +2,10 @@
 // torn-batch discard, and WAL pruning.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <fstream>
+#include <optional>
 #include <vector>
 
 #include "common/scoped_audit.hpp"
@@ -193,6 +197,33 @@ TEST(Recovery, PruneWalDropsCoveredRecords) {
     ASSERT_TRUE(store.open(dir.file("db"), {}, &info).ok());
     EXPECT_EQ(info.source, RecoveryInfo::Source::Snapshot);
     EXPECT_EQ(edge_map_of(store.graph()), state);
+}
+
+TEST(Recovery, PruneWalFailureKeepsTheStoreDurable) {
+    TempDir dir;
+    {
+        DurableStore store;
+        ASSERT_TRUE(store.open(dir.file("db")).ok());
+        ASSERT_TRUE(store.graph().insert_batch(rmat_edges(64, 200, 65)).ok());
+        ASSERT_TRUE(store.checkpoint().ok());
+        // Sabotage the rotation: a non-empty directory squats on the tmp
+        // path, so it can be neither removed nor created as a fresh log.
+        const std::string tmp = dir.file("db") + "/wal.tmp.gtw";
+        ASSERT_EQ(::mkdir(tmp.c_str(), 0755), 0);
+        {
+            std::ofstream squatter(tmp + "/squatter");
+            squatter << "x";
+        }
+        EXPECT_FALSE(store.prune_wal().ok());
+        // The failed prune must re-attach the original log, not leave the
+        // graph silently un-teed: this insert has to survive a reopen.
+        EXPECT_TRUE(store.wal().status().ok());
+        EXPECT_TRUE(store.graph().insert_edge(4242, 4243, 7));
+        store.close();
+    }
+    DurableStore store;
+    ASSERT_TRUE(store.open(dir.file("db")).ok());
+    EXPECT_EQ(store.graph().find_edge(4242, 4243), std::optional<Weight>(7));
 }
 
 TEST(Recovery, DurabilityModesRoundTrip) {

@@ -3,6 +3,7 @@
 // against a twin store that never saw the failing batch.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <vector>
 
 #include "common/scoped_audit.hpp"
@@ -182,6 +183,80 @@ TEST(TransactionalBatch, WalCommitFailureRollsBackMemoryToo) {
     ASSERT_TRUE(
         recover::replay_wal(dir.file("wal.gtw"), replayed, 0, stats).ok());
     EXPECT_EQ(edge_map_of(replayed), before);
+}
+
+TEST(TransactionalBatch, SoloCommitFailureRollsBackAndReturnsFalse) {
+    // Solo ops follow the same policy as batches: a commit that cannot be
+    // made durable rolls the in-memory mutation back and reports failure,
+    // so the store never diverges from what replay rebuilds.
+    TempDir dir;
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "solo wal commit");
+    recover::WalWriter wal;
+    ASSERT_TRUE(wal.open(dir.file("wal.gtw"),
+                         recover::DurabilityMode::Buffered).ok());
+    g.attach_update_log(&wal);
+    ASSERT_TRUE(g.insert_edge(1, 2, 10));
+    const auto before = edge_map_of(g);
+
+    {
+        fail::ScopedFailPoint fp("wal.commit", 1);
+        EXPECT_FALSE(g.insert_edge(3, 4, 5));
+    }
+    EXPECT_EQ(edge_map_of(g), before);
+    EXPECT_EQ(wal.status().code, StatusCode::FaultInjected);
+    // The latched log refuses every further solo mutation up front rather
+    // than applying it un-teed.
+    EXPECT_FALSE(g.insert_edge(5, 6, 7));
+    EXPECT_FALSE(g.delete_edge(1, 2));
+    EXPECT_EQ(edge_map_of(g), before);
+    audit.check();
+    g.attach_update_log(nullptr);
+    wal.close();
+
+    // Replay agrees with the rolled-back store.
+    GraphTinker replayed;
+    recover::ReplayStats stats;
+    ASSERT_TRUE(
+        recover::replay_wal(dir.file("wal.gtw"), replayed, 0, stats).ok());
+    EXPECT_EQ(edge_map_of(replayed), before);
+}
+
+TEST(TransactionalBatch, SoloWeightUpdateRollsBackOnCommitFailure) {
+    TempDir dir;
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "solo wal weight");
+    recover::WalWriter wal;
+    ASSERT_TRUE(wal.open(dir.file("wal.gtw"),
+                         recover::DurabilityMode::Buffered).ok());
+    g.attach_update_log(&wal);
+    ASSERT_TRUE(g.insert_edge(1, 2, 10));
+    {
+        fail::ScopedFailPoint fp("wal.commit", 1);
+        EXPECT_FALSE(g.insert_edge(1, 2, 99));  // duplicate: weight update
+    }
+    EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(10));
+    audit.check();
+    g.attach_update_log(nullptr);
+}
+
+TEST(TransactionalBatch, SoloDeleteCommitFailureReinsertsTheEdge) {
+    TempDir dir;
+    GraphTinker g;
+    const test::ScopedAudit audit(g, "solo wal delete");
+    recover::WalWriter wal;
+    ASSERT_TRUE(wal.open(dir.file("wal.gtw"),
+                         recover::DurabilityMode::Buffered).ok());
+    g.attach_update_log(&wal);
+    ASSERT_TRUE(g.insert_edge(1, 2, 10));
+    {
+        fail::ScopedFailPoint fp("wal.commit", 1);
+        EXPECT_FALSE(g.delete_edge(1, 2));
+    }
+    EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(10));
+    EXPECT_EQ(g.num_edges(), 1u);
+    audit.check();
+    g.attach_update_log(nullptr);
 }
 
 TEST(TransactionalBatch, SoloInsertFaultLeavesStoreUntouched) {

@@ -199,6 +199,92 @@ TEST(Wal, OffModePersistsNothingButAdvancesSeqs) {
               StatusCode::IoError);
 }
 
+TEST(Wal, OversizedBatchSplitsIntoBoundedRuns) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    // One edge past the per-run cap: a single run would keep growing with
+    // the batch until its payload crossed kWalMaxRecordLen (scan would
+    // reject the *committed* record as corrupt and truncate every later
+    // frame) or its u32 count wrapped.
+    const std::size_t n = static_cast<std::size_t>(kWalMaxEdgesPerRun) + 3;
+    std::vector<Edge> batch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        batch[i] = Edge{static_cast<VertexId>(i & 0xFFFFFU),
+                        static_cast<VertexId>(i >> 20), 1};
+    }
+    WalWriter wal;
+    ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_inserts(batch));
+    ASSERT_TRUE(wal.commit_batch());
+    wal.close();
+
+    std::vector<WalRecordType> types;
+    std::vector<std::uint64_t> counts;
+    ReplayStats stats;
+    ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord& rec) {
+        types.push_back(rec.type);
+        if (rec.type == WalRecordType::InsertRun) {
+            std::uint32_t c = 0;
+            std::memcpy(&c, rec.payload.data(), sizeof(c));
+            counts.push_back(c);
+            EXPECT_LT(rec.payload.size(), std::size_t{kWalMaxRecordLen});
+        }
+    }).ok());
+    const std::vector<WalRecordType> expected{
+        WalRecordType::BatchBegin, WalRecordType::InsertRun,
+        WalRecordType::InsertRun, WalRecordType::BatchCommit};
+    EXPECT_EQ(types, expected);
+    EXPECT_EQ(counts, (std::vector<std::uint64_t>{kWalMaxEdgesPerRun, 3}));
+    EXPECT_FALSE(stats.torn_tail);
+    EXPECT_EQ(stats.last_committed_seq, 4u);
+}
+
+TEST(Wal, OpenNeverLowersSeqBelowHint) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+        const auto batch = some_edges(3);
+        ASSERT_TRUE(wal.begin_batch(batch.size()));
+        ASSERT_TRUE(wal.stage_inserts(batch));
+        ASSERT_TRUE(wal.commit_batch());
+        EXPECT_EQ(wal.durable_seq(), 3u);  // BEGIN, RUN, COMMIT
+        wal.close();
+    }
+    // A hint behind the file resumes after the last on-disk record.
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered, 2).ok());
+        EXPECT_EQ(wal.next_seq(), 4u);
+        wal.close();
+    }
+    // A hint ahead of the file (a checkpoint covers seqs the log never
+    // saw, e.g. after a DurabilityMode::Off interlude) must win: lowering
+    // it would assign new commits seqs replay skips as snapshot-covered.
+    // The stale (all-covered) records are dropped so the file stays
+    // gap-free, and appends land at the hint.
+    {
+        WalWriter wal;
+        ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered, 100).ok());
+        EXPECT_EQ(wal.next_seq(), 100u);
+        const Edge solo{1, 2, 3};
+        ASSERT_TRUE(wal.begin_batch(1));
+        ASSERT_TRUE(wal.stage_inserts({&solo, 1}));
+        ASSERT_TRUE(wal.commit_batch());
+        wal.close();
+    }
+    std::vector<std::uint64_t> seqs;
+    ReplayStats stats;
+    ASSERT_TRUE(scan_wal(path, stats, [&](const WalRecord& rec) {
+        seqs.push_back(rec.seq);
+    }).ok());
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{100}));
+    EXPECT_FALSE(stats.torn_tail);
+    EXPECT_EQ(stats.last_committed_seq, 100u);
+}
+
 TEST(Wal, ReplaySkipsFramesCoveredBySnapshotSeq) {
     TempDir dir;
     const std::string path = dir.file("wal.gtw");
