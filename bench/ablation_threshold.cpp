@@ -37,7 +37,7 @@ int main() {
         EdgeBatcher batches(edges, batch);
         for (std::size_t b = 0; b < batches.num_batches(); ++b) {
             const auto span = batches.batch(b);
-            store.insert_batch(span);
+            (void)store.insert_batch(span);
             total.accumulate(cc.on_batch(span));
         }
         table.add_row({threshold >= 1e9 ? "inf(IP)" : Table::fmt(threshold, 3),

@@ -28,7 +28,7 @@ std::vector<double> insertion_series(Store& store,
         const auto batch = batches.batch(b);
         Timer timer;
         for (const Edge& e : batch) {
-            store.insert_edge(e.src, e.dst, e.weight);
+            (void)store.insert_edge(e.src, e.dst, e.weight);
         }
         out.push_back(mops(batch.size(), timer.seconds()));
     }
@@ -46,7 +46,7 @@ std::vector<double> insertion_series_sharded(Sharded& store,
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
         Timer timer;
-        store.insert_batch(batch);
+        (void)store.insert_batch(batch);
         out.push_back(mops(batch.size(), timer.seconds()));
     }
     return out;
@@ -63,7 +63,7 @@ std::vector<double> deletion_series(Store& store, std::span<const Edge> edges,
         const auto batch = batches.batch(b);
         Timer timer;
         for (const Edge& e : batch) {
-            store.delete_edge(e.src, e.dst);
+            (void)store.delete_edge(e.src, e.dst);
         }
         out.push_back(mops(batch.size(), timer.seconds()));
     }
@@ -88,7 +88,7 @@ engine::RunStats dynamic_analytics(Store& store, std::span<const Edge> edges,
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
         for (const Edge& e : batch) {
-            store.insert_edge(e.src, e.dst, e.weight);
+            (void)store.insert_edge(e.src, e.dst, e.weight);
         }
         total.accumulate(analysis.on_batch(batch));
     }

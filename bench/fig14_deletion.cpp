@@ -36,10 +36,10 @@ int main() {
     core::GraphTinker gt_compact(compact_cfg);
     stinger::Stinger baseline(
         bench::st_config(spec.num_vertices, inserts.size()));
-    gt_only.insert_batch(inserts);
-    gt_compact.insert_batch(inserts);
+    (void)gt_only.insert_batch(inserts);
+    (void)gt_compact.insert_batch(inserts);
     for (const Edge& e : inserts) {
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
 
     const auto s_only = bench::deletion_series(gt_only, deletions, batch);

@@ -38,10 +38,10 @@ int main() {
     core::GraphTinker gt_compact(compact_cfg);
     stinger::Stinger baseline(
         bench::st_config(spec.num_vertices, inserts.size()));
-    gt_only.insert_batch(inserts);
-    gt_compact.insert_batch(inserts);
+    (void)gt_only.insert_batch(inserts);
+    (void)gt_compact.insert_batch(inserts);
     for (const Edge& e : inserts) {
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
 
     Table table({"deleted(M)", "BFS delete-only(Meps)",
@@ -49,9 +49,9 @@ int main() {
     EdgeBatcher batches(deletions, batch);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         for (const Edge& e : batches.batch(b)) {
-            gt_only.delete_edge(e.src, e.dst);
-            gt_compact.delete_edge(e.src, e.dst);
-            baseline.delete_edge(e.src, e.dst);
+            (void)gt_only.delete_edge(e.src, e.dst);
+            (void)gt_compact.delete_edge(e.src, e.dst);
+            (void)baseline.delete_edge(e.src, e.dst);
         }
         const auto r_only = bench::scratch_analytics<engine::Bfs>(
             gt_only, engine::ModePolicy::ForceFull, root);

@@ -28,7 +28,7 @@ double average_throughput_under_deletion(Store& store,
     EdgeBatcher batches(deletions, batch);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         for (const Edge& e : batches.batch(b)) {
-            store.delete_edge(e.src, e.dst);
+            (void)store.delete_edge(e.src, e.dst);
         }
         const auto stats = bench::scratch_analytics<Alg>(
             store, engine::ModePolicy::ForceFull, root);
@@ -51,10 +51,10 @@ void run_row(gt::Table& table, const std::vector<gt::Edge>& inserts,
     core::GraphTinker gt_compact(compact_cfg);
     stinger::Stinger baseline(gt::bench::st_config(
         static_cast<VertexId>(inserts.size() / 16 + 1024), inserts.size()));
-    gt_only.insert_batch(inserts);
-    gt_compact.insert_batch(inserts);
+    (void)gt_only.insert_batch(inserts);
+    (void)gt_compact.insert_batch(inserts);
     for (const Edge& e : inserts) {
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
     const double t_only = average_throughput_under_deletion<Alg>(
         gt_only, deletions, batch, root);

@@ -46,7 +46,7 @@ double run_experiment(const std::vector<Edge>& edges, std::uint32_t pagewidth,
     for (std::size_t s = 0; s < segments; ++s) {
         const std::size_t begin = s * seg_len;
         const std::size_t len = std::min(seg_len, edges.size() - begin);
-        store.insert_batch(std::span(edges).subspan(begin, len));
+        (void)store.insert_batch(std::span(edges).subspan(begin, len));
         for (int a = 0; a < ratio.analytics; ++a) {
             const VertexId root = roots[root_cursor++ % roots.size()];
             engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> bfs(

@@ -125,13 +125,13 @@ ChurnRow run_churn(core::Config cfg, const std::string& mode,
     constexpr std::size_t kBatch = 100000;
     for (std::size_t i = 0; i < stream.size(); i += kBatch) {
         const std::size_t len = std::min(kBatch, stream.size() - i);
-        g.insert_batch(std::span<const Edge>(stream).subspan(i, len));
+        (void)g.insert_batch(std::span<const Edge>(stream).subspan(i, len));
     }
     row.peak_bytes = edge_bytes(g);
 
     for (std::size_t i = 0; i < deletions.size(); i += kBatch) {
         const std::size_t len = std::min(kBatch, deletions.size() - i);
-        g.delete_batch(std::span<const Edge>(deletions).subspan(i, len));
+        (void)g.delete_batch(std::span<const Edge>(deletions).subspan(i, len));
     }
     row.peak_bytes = std::max(row.peak_bytes, edge_bytes(g));
     audit_clean(g, mode + " after deletes", row.audits_ok);
@@ -166,7 +166,7 @@ ChurnRow run_churn(core::Config cfg, const std::string& mode,
 
     // Fresh twin: only the survivors ever inserted.
     core::GraphTinker fresh(cfg);
-    fresh.insert_batch(survivors);
+    (void)fresh.insert_batch(survivors);
     row.probe_fresh = mean_probe(fresh, survivors);
     row.probe_ratio = row.probe_fresh > 0.0
                           ? row.probe_maintained / row.probe_fresh

@@ -183,7 +183,7 @@ int main(int argc, char** argv) {
         "per_edge", 1, reps, std::span<const Edge>(edges), 1, fresh_single,
         [](core::GraphTinker& st, std::span<const Edge> s) {
             for (const Edge& e : s) {
-                st.insert_edge(e.src, e.dst, e.weight);
+                (void)st.insert_edge(e.src, e.dst, e.weight);
             }
         }));
 
@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
             "batch", batch, reps, std::span<const Edge>(edges), batch,
             fresh_single,
             [](core::GraphTinker& st, std::span<const Edge> s) {
-                st.insert_batch(s);
+                (void)st.insert_batch(s);
             }));
     }
 
@@ -201,7 +201,7 @@ int main(int argc, char** argv) {
             "sharded8", batch, reps, std::span<const Edge>(edges), batch,
             fresh_sharded,
             [](core::ShardedStore<core::GraphTinker>& st,
-               std::span<const Edge> s) { st.insert_batch(s); }));
+               std::span<const Edge> s) { (void)st.insert_batch(s); }));
     }
 
     // Durability rows: same batch path, WAL teed in. Per-edge WAL logging
@@ -225,7 +225,7 @@ int main(int argc, char** argv) {
                         wm.durability);
                 },
                 [](WalStore& st, std::span<const Edge> s) {
-                    st.g.insert_batch(s);
+                    (void)st.g.insert_batch(s);
                 }));
         }
     }
@@ -269,7 +269,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < edges.size(); i += 100000) {
         const std::size_t len = std::min<std::size_t>(100000,
                                                       edges.size() - i);
-        instrumented->insert_batch(
+        (void)instrumented->insert_batch(
             std::span<const Edge>(edges).subspan(i, len));
     }
     const obs::Snapshot snap = instrumented->telemetry();

@@ -17,7 +17,7 @@ void BM_RobinHoodInsert(benchmark::State& state) {
     for (auto _ : state) {
         RobinHoodMap<std::uint32_t, std::uint32_t> map;
         for (std::uint32_t k = 0; k < n; ++k) {
-            map.insert(k * 2654435761u, k);
+            (void)map.insert(k * 2654435761u, k);
         }
         benchmark::DoNotOptimize(map.size());
     }
@@ -29,7 +29,7 @@ void BM_RobinHoodLookup(benchmark::State& state) {
     const auto n = static_cast<std::uint32_t>(state.range(0));
     RobinHoodMap<std::uint32_t, std::uint32_t> map;
     for (std::uint32_t k = 0; k < n; ++k) {
-        map.insert(k * 2654435761u, k);
+        (void)map.insert(k * 2654435761u, k);
     }
     std::uint32_t k = 0;
     for (auto _ : state) {
@@ -63,7 +63,7 @@ void BM_StingerHubInsert(benchmark::State& state) {
     for (auto _ : state) {
         stinger::Stinger s;
         for (VertexId d = 0; d < degree; ++d) {
-            s.insert_edge(0, d);
+            (void)s.insert_edge(0, d);
         }
         benchmark::DoNotOptimize(s.num_edges());
     }
@@ -75,7 +75,7 @@ void BM_GraphTinkerStreamEdges(benchmark::State& state) {
     core::GraphTinker g;
     Rng rng(1);
     for (int i = 0; i < 200000; ++i) {
-        g.insert_edge(static_cast<VertexId>(rng.next_below(20000)),
+        (void)g.insert_edge(static_cast<VertexId>(rng.next_below(20000)),
                       static_cast<VertexId>(rng.next_below(20000)), 1);
     }
     for (auto _ : state) {

@@ -32,7 +32,7 @@ engine::RunStats drive(Store& store, const std::vector<Edge>& edges,
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
         for (const Edge& e : batch) {
-            store.insert_edge(e.src, e.dst, e.weight);
+            (void)store.insert_edge(e.src, e.dst, e.weight);
         }
         total.accumulate(bfs.on_batch(batch));
     }

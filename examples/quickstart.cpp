@@ -31,7 +31,7 @@ int main() {
 
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
-        graph.insert_batch(batch);
+        (void)graph.insert_batch(batch);
         const auto stats = bfs.on_batch(batch);
         std::printf(
             "batch %zu: |E|=%llu, %zu iterations (%zu full / %zu incremental), "

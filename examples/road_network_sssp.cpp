@@ -54,7 +54,7 @@ int main() {
     }
 
     core::GraphTinker roads;
-    roads.insert_batch(base);
+    (void)roads.insert_batch(base);
 
     engine::DynamicAnalysis<core::GraphTinker, engine::Sssp> travel_time(
         roads);
@@ -85,7 +85,7 @@ int main() {
             add_road(opened, a, b,
                      static_cast<Weight>(1 + rng.next_below(3)));
         }
-        roads.insert_batch(opened);
+        (void)roads.insert_batch(opened);
         Timer refresh;
         const auto stats = travel_time.on_batch(opened);
         std::printf("%-8d %10zu %12.2f %14llu %13u min\n", season,

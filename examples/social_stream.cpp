@@ -64,7 +64,7 @@ int main() {
     for (std::size_t offset = 0; offset < follows.size(); offset += kBatch) {
         const std::size_t len = std::min(kBatch, follows.size() - offset);
         const std::span<const Edge> batch(follows.data() + offset, len);
-        network.insert_batch(batch);
+        (void)network.insert_batch(batch);
         const auto stats = communities.on_batch(batch);
 
         std::printf("%-6zu %12llu %12zu %14.1f %6zuF/%zuI\n", offset / kBatch,
@@ -85,7 +85,7 @@ int main() {
                 removed += network.delete_edge(follows[i].src, follows[i].dst)
                                ? 1
                                : 0;
-                network.delete_edge(follows[i].dst, follows[i].src);
+                (void)network.delete_edge(follows[i].dst, follows[i].src);
             }
             communities.run_from_scratch();
             std::printf("       unfollow wave: -%zu friendships, "

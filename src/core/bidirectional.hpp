@@ -25,27 +25,29 @@ public:
         delete;
 
     /// Inserts (src, dst, weight) and its reverse mirror.
-    bool insert_edge(VertexId src, VertexId dst, Weight weight = 1) {
+    [[nodiscard]] bool insert_edge(VertexId src, VertexId dst,
+                                   Weight weight = 1) {
         const bool fresh = forward_.insert_edge(src, dst, weight);
-        reverse_.insert_edge(dst, src, weight);
+        // The mirror repeats the forward outcome; nothing new to learn.
+        (void)reverse_.insert_edge(dst, src, weight);
         return fresh;
     }
 
-    bool delete_edge(VertexId src, VertexId dst) {
+    [[nodiscard]] bool delete_edge(VertexId src, VertexId dst) {
         const bool existed = forward_.delete_edge(src, dst);
-        reverse_.delete_edge(dst, src);
+        (void)reverse_.delete_edge(dst, src);
         return existed;
     }
 
     void insert_batch(std::span<const Edge> batch) {
         for (const Edge& e : batch) {
-            insert_edge(e.src, e.dst, e.weight);
+            (void)insert_edge(e.src, e.dst, e.weight);
         }
     }
 
     void delete_batch(std::span<const Edge> batch) {
         for (const Edge& e : batch) {
-            delete_edge(e.src, e.dst);
+            (void)delete_edge(e.src, e.dst);
         }
     }
 

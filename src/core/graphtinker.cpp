@@ -23,6 +23,10 @@ GraphTinker::GraphTinker(Config config)
     delete_batch_us_ = &obs_->histogram("gt.delete_batch_us");
     batches_ingested_ = &obs_->counter("gt.batches");
     updates_applied_ = &obs_->counter("gt.updates");
+    maintenance_runs_ = &obs_->counter("maintenance.runs");
+    maintenance_complete_runs_ = &obs_->counter("maintenance.complete_runs");
+    maintenance_cells_touched_ =
+        &obs_->histogram("maintenance.cells_touched");
 }
 
 VertexId GraphTinker::map_source(VertexId raw) {
@@ -73,6 +77,7 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
         journal_.clear();
         journal_.reserve(1);  // the one apply-path journal push is nothrow
         txn_ = TxnState::Applying;
+        // gt-txn: first-mutation
     }
     note_raw(src);
     note_raw(dst);
@@ -96,8 +101,11 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
     }
     if (tee) {
         txn_ = TxnState::Idle;
+        // gt-txn: commit
         if (!log_->commit_batch()) {
-            rollback_journal();
+            // An incomplete unwind here only loses the weight restore of a
+            // duplicate insert; the edge set itself is already consistent.
+            (void)rollback_journal();
             return false;
         }
         journal_.clear();
@@ -189,6 +197,7 @@ bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
         journal_.clear();
         journal_.reserve(1);  // the one apply-path journal push is nothrow
         txn_ = TxnState::Applying;
+        // gt-txn: first-mutation
     }
     bool found = false;
     try {
@@ -205,8 +214,11 @@ bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
     }
     if (tee) {
         txn_ = TxnState::Idle;
+        // gt-txn: commit
         if (!log_->commit_batch()) {
-            rollback_journal();
+            // Solo delete rollback re-inserts from the journal; a failed
+            // re-insert cannot be reported through the bool, so tolerate it.
+            (void)rollback_journal();
             return false;
         }
         journal_.clear();
@@ -437,7 +449,8 @@ bool GraphTinker::rollback_journal() noexcept {
                 case UndoEntry::Kind::Reinsert:
                     // Re-entering the insert path re-creates the edge (or
                     // overwrites the weight back) with its pre-batch value.
-                    insert_edge(u.src, u.dst, u.prev);
+                    // Either return value is a correct rollback outcome.
+                    (void)insert_edge(u.src, u.dst, u.prev);
                     break;
             }
         } catch (...) {
@@ -475,6 +488,7 @@ Status GraphTinker::run_transaction(std::span<const Edge> batch, bool deletes,
     journal_.clear();
     journal_.reserve(batch.size());  // apply-path journal pushes are nothrow
     txn_ = TxnState::Applying;
+    // gt-txn: first-mutation
     Status st = Status::success();
     try {
         apply();
@@ -487,6 +501,7 @@ Status GraphTinker::run_transaction(std::span<const Edge> batch, bool deletes,
                     "allocation failed mid-batch", journal_.size()};
     }
     txn_ = TxnState::Idle;
+    // gt-txn: commit
     if (st.ok() && log_ != nullptr && !log_->commit_batch()) {
         // Applied in memory but not durable: roll memory back so the store
         // never diverges from what a post-crash replay would rebuild.
@@ -519,7 +534,9 @@ Status GraphTinker::insert_batch(std::span<const Edge> batch) {
         if (batch.size() < kBatchFastPathMin ||
             batch.size() > std::numeric_limits<std::uint32_t>::max()) {
             for (const Edge& e : batch) {
-                insert_edge(e.src, e.dst, e.weight);
+                // Inside the transaction frame duplicates are expected and
+                // per-edge creation is journaled, not reported upward.
+                (void)insert_edge(e.src, e.dst, e.weight);
             }
             return;
         }
@@ -607,7 +624,8 @@ Status GraphTinker::delete_batch(std::span<const Edge> batch) {
         if (batch.size() < kBatchFastPathMin ||
             batch.size() > std::numeric_limits<std::uint32_t>::max()) {
             for (const Edge& e : batch) {
-                delete_edge(e.src, e.dst);
+                // Absent edges are a legal no-op within a delete batch.
+                (void)delete_edge(e.src, e.dst);
             }
             return;
         }

@@ -55,13 +55,18 @@ public:
     /// call returns false, matching insert_batch semantics — memory never
     /// diverges from what post-crash replay rebuilds. The cause stays
     /// latched in the log's status() (recover::WalWriter::status()).
-    bool insert_edge(VertexId src, VertexId dst, Weight weight = 1);
+    ///
+    /// [[nodiscard]]: with durability attached a dropped false conflates
+    /// "already present" with "refused commit" — callers that genuinely
+    /// don't care cast to void at the call site, visibly.
+    [[nodiscard]] bool insert_edge(VertexId src, VertexId dst,
+                                   Weight weight = 1);
 
     /// Deletes (src, dst) under the configured deletion mode. Returns true
     /// when the edge existed. Under an attached update log the same
     /// all-or-nothing solo-frame policy as insert_edge applies: a failed
     /// stage/commit leaves the edge in place and returns false.
-    bool delete_edge(VertexId src, VertexId dst);
+    [[nodiscard]] bool delete_edge(VertexId src, VertexId dst);
 
     /// Batched insert. Large batches take the source-grouped fast path:
     /// the batch is radix-sorted by source (stable, so last-wins weight
@@ -80,16 +85,16 @@ public:
     /// typed error returns. An attached UpdateLog sees the batch staged
     /// before application and committed only after it fully applied, so a
     /// crash mid-batch replays to the rolled-back (batch-never-happened)
-    /// state. Not [[nodiscard]]: the legacy fire-and-forget call sites
-    /// remain valid — a dropped error leaves the store exactly as it was
-    /// before the batch.
-    Status insert_batch(std::span<const Edge> batch);
+    /// state. [[nodiscard]]: a dropped error leaves the store exactly as it
+    /// was before the batch — silently losing the whole batch — so every
+    /// caller must either handle the Status or discard it explicitly.
+    [[nodiscard]] Status insert_batch(std::span<const Edge> batch);
     /// Batched delete with the same source-grouped fast path and the same
     /// transactional all-or-nothing semantics (rolled-back deletes are
     /// re-inserted with their original weights). Duplicate (src, dst) pairs
     /// within a batch delete the edge once: later occurrences are no-ops,
     /// exactly as per-edge application behaves.
-    Status delete_batch(std::span<const Edge> batch);
+    [[nodiscard]] Status delete_batch(std::span<const Edge> batch);
 
     // ---- durability (src/recover) ----------------------------------------
 
@@ -281,11 +286,11 @@ private:
     /// Returns false if a rollback step itself failed (allocation failure
     /// during re-insertion) — the store may then be missing rolled-back
     /// edges and the caller's Status says so.
-    bool rollback_journal() noexcept;
+    [[nodiscard]] bool rollback_journal() noexcept;
     /// Shared begin/commit/abort framing around both batch bodies.
     template <typename ApplyFn>
-    Status run_transaction(std::span<const Edge> batch, bool deletes,
-                           ApplyFn&& apply);
+    [[nodiscard]] Status run_transaction(std::span<const Edge> batch,
+                                         bool deletes, ApplyFn&& apply);
     /// Materializes `batch` into ingest_sorted_ grouped by source, stable
     /// in batch order within a source, so the apply loop streams
     /// sequentially. Small source spans take a single-pass counting sort
@@ -350,11 +355,15 @@ private:
     /// front so the per-update pushes on the apply path cannot throw.
     std::vector<UndoEntry> journal_;
 
-    // Batch-ingest telemetry handles (resolved once at construction).
+    // Batch-ingest and maintenance telemetry handles (resolved once at
+    // construction; recording through them is lock-free).
     obs::Histogram* ingest_batch_us_ = nullptr;
     obs::Histogram* delete_batch_us_ = nullptr;
     obs::Counter* batches_ingested_ = nullptr;
     obs::Counter* updates_applied_ = nullptr;
+    obs::Counter* maintenance_runs_ = nullptr;
+    obs::Counter* maintenance_complete_runs_ = nullptr;
+    obs::Histogram* maintenance_cells_touched_ = nullptr;
 
     // Batched-ingest scratch (capacity reused across batches; holds keys and
     // radix histograms, never edge copies).

@@ -251,7 +251,9 @@ Status read_snapshot(std::istream& in, LoadedSnapshot& out) {
         // (inserting it would poison the store) and let the checksum
         // verdict below reject the file.
         if (s != kInvalidVertex && d != kInvalidVertex) {
-            graph->insert_edge(s, d, w);
+            // Replay into a fresh un-logged store: duplicate edges in the
+            // stream legitimately return false (weight overwrite).
+            (void)graph->insert_edge(s, d, w);
         }
     }
     std::uint32_t edge_crc = 0;

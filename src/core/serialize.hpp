@@ -65,7 +65,7 @@ struct LoadedSnapshot {
 
 /// \deprecated Bool-returning shim over write_snapshot (pre-durability
 /// API). The Status overload says *why* a save failed; use it.
-[[deprecated("use write_snapshot (returns gt::Status)")]]
+[[deprecated("use write_snapshot (returns gt::Status)")]] [[nodiscard]]
 bool save_snapshot(const GraphTinker& graph, std::ostream& out);
 
 /// \deprecated nullptr-on-failure shim over read_snapshot. The Status

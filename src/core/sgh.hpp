@@ -28,7 +28,8 @@ public:
             return *dense;
         }
         const auto dense = static_cast<VertexId>(dense_to_raw_.size());
-        map_.insert(raw, dense);
+        // find() above just proved the key absent, so this always creates.
+        (void)map_.insert(raw, dense);
         dense_to_raw_.push_back(raw);
         return dense;
     }

@@ -17,13 +17,17 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "gen/batch_prep.hpp"
 #include "util/hash.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
@@ -58,34 +62,57 @@ public:
             (static_cast<std::uint64_t>(mix32(src)) * shards) >> 32);
     }
 
-    void insert_batch(std::span<const Edge> batch) {
+    /// Inserts the batch, each shard applying its slice transactionally.
+    /// Returns the first failing shard's Status (message prefixed with the
+    /// shard index). Shards fail independently: a non-Ok return means the
+    /// failing shards rolled their slices back while the others committed —
+    /// cross-shard atomicity is not provided (ROADMAP item 1 territory).
+    [[nodiscard]] Status insert_batch(std::span<const Edge> batch) {
         partition(batch, edge_arena_,
                   [](const Edge& e) { return e.src; });
+        shard_status_.assign(stores_.size(), Status::success());
         pool_.parallel_for(stores_.size(), [&](std::size_t s) {
             const std::span<const Edge> part = shard_slice(edge_arena_, s);
-            if constexpr (requires(Store& st) { st.insert_batch(part); }) {
-                stores_[s]->insert_batch(part);
+            if constexpr (requires(Store& st) {
+                              { st.insert_batch(part) } -> std::same_as<Status>;
+                          }) {
+                shard_status_[s] = stores_[s]->insert_batch(part);
+            } else if constexpr (requires(Store& st) {
+                                     st.insert_batch(part);
+                                 }) {
+                (void)stores_[s]->insert_batch(part);
             } else {
                 for (const Edge& e : part) {
-                    stores_[s]->insert_edge(e.src, e.dst, e.weight);
+                    (void)stores_[s]->insert_edge(e.src, e.dst, e.weight);
                 }
             }
         });
+        return first_shard_failure();
     }
 
-    void delete_batch(std::span<const Edge> batch) {
+    /// Batched delete with the same per-shard transactional semantics and
+    /// first-failure reporting as insert_batch.
+    [[nodiscard]] Status delete_batch(std::span<const Edge> batch) {
         partition(batch, edge_arena_,
                   [](const Edge& e) { return e.src; });
+        shard_status_.assign(stores_.size(), Status::success());
         pool_.parallel_for(stores_.size(), [&](std::size_t s) {
             const std::span<const Edge> part = shard_slice(edge_arena_, s);
-            if constexpr (requires(Store& st) { st.delete_batch(part); }) {
-                stores_[s]->delete_batch(part);
+            if constexpr (requires(Store& st) {
+                              { st.delete_batch(part) } -> std::same_as<Status>;
+                          }) {
+                shard_status_[s] = stores_[s]->delete_batch(part);
+            } else if constexpr (requires(Store& st) {
+                                     st.delete_batch(part);
+                                 }) {
+                (void)stores_[s]->delete_batch(part);
             } else {
                 for (const Edge& e : part) {
-                    stores_[s]->delete_edge(e.src, e.dst);
+                    (void)stores_[s]->delete_edge(e.src, e.dst);
                 }
             }
         });
+        return first_shard_failure();
     }
 
     /// Outcome of apply_updates: how much of the raw batch pre-combining
@@ -107,11 +134,13 @@ public:
                   [](const Update& u) { return u.edge.src; });
         pool_.parallel_for(stores_.size(), [&](std::size_t s) {
             for (const Update& u : shard_slice(update_arena_, s)) {
+                // Per-edge application: the bool is "created"/"existed",
+                // which the update stream does not track.
                 if (u.kind == UpdateKind::Insert) {
-                    stores_[s]->insert_edge(u.edge.src, u.edge.dst,
-                                            u.edge.weight);
+                    (void)stores_[s]->insert_edge(u.edge.src, u.edge.dst,
+                                                  u.edge.weight);
                 } else {
-                    stores_[s]->delete_edge(u.edge.src, u.edge.dst);
+                    (void)stores_[s]->delete_edge(u.edge.src, u.edge.dst);
                 }
             }
         });
@@ -230,11 +259,27 @@ private:
                                   offsets_[s + 1] - offsets_[s]);
     }
 
+    /// First non-Ok entry of shard_status_, its message prefixed with the
+    /// failing shard's index (Ok when every shard committed).
+    [[nodiscard]] Status first_shard_failure() const {
+        for (std::size_t s = 0; s < shard_status_.size(); ++s) {
+            if (!shard_status_[s].ok()) {
+                Status st = shard_status_[s];
+                st.message =
+                    "shard " + std::to_string(s) + ": " + st.message;
+                return st;
+            }
+        }
+        return Status::success();
+    }
+
     std::vector<std::unique_ptr<Store>> stores_;
     std::vector<Edge> edge_arena_;      // flat partitioned batch, by shard
     std::vector<Update> update_arena_;  // flat partitioned update stream
     std::vector<std::size_t> offsets_;  // shard s owns [offsets_[s], [s+1])
     std::vector<std::size_t> cursors_;  // per-(worker, shard) scratch
+    /// Per-shard batch outcomes; entry s is written only by shard s's task.
+    std::vector<Status> shard_status_;
     ThreadPool pool_;
 };
 

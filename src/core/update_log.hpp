@@ -34,14 +34,17 @@ public:
 
     /// Opens a commit frame that will stage `op_count` updates. Returns
     /// false when the log cannot accept the frame (latched failure).
-    virtual bool begin_batch(std::uint64_t op_count) noexcept = 0;
+    [[nodiscard]] virtual bool begin_batch(std::uint64_t op_count)
+        noexcept = 0;
     /// Stages edge insertions into the open frame.
-    virtual bool stage_inserts(std::span<const Edge> edges) noexcept = 0;
+    [[nodiscard]] virtual bool stage_inserts(std::span<const Edge> edges)
+        noexcept = 0;
     /// Stages edge deletions into the open frame.
-    virtual bool stage_deletes(std::span<const Edge> edges) noexcept = 0;
+    [[nodiscard]] virtual bool stage_deletes(std::span<const Edge> edges)
+        noexcept = 0;
     /// Seals and persists the frame; the durability point. Returns false
     /// when the frame could not be made durable.
-    virtual bool commit_batch() noexcept = 0;
+    [[nodiscard]] virtual bool commit_batch() noexcept = 0;
     /// Drops the open frame (the in-memory apply failed and rolled back).
     virtual void abort_batch() noexcept = 0;
 };

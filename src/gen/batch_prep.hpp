@@ -85,9 +85,9 @@ template <typename Store>
 void apply_batch(Store& store, const PreparedBatch& batch) {
     for (const Update& u : batch.updates) {
         if (u.kind == UpdateKind::Insert) {
-            store.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
+            (void)store.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
         } else {
-            store.delete_edge(u.edge.src, u.edge.dst);
+            (void)store.delete_edge(u.edge.src, u.edge.dst);
         }
     }
 }

@@ -139,18 +139,18 @@ T& resolve(Map& map, std::string_view name, Make make) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return resolve<Counter>(counters_, name,
                    [] { return std::make_unique<Counter>(); });
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return resolve<Gauge>(gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return resolve<Histogram>(histograms_, name,
                    [] { return std::make_unique<Histogram>(); });
 }
@@ -158,14 +158,14 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 Series& MetricsRegistry::series(std::string_view name,
                                 std::vector<std::string> fields,
                                 std::size_t capacity) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     return resolve<Series>(series_, name, [&] {
         return std::make_unique<Series>(std::move(fields), capacity);
     });
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     Snapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_) {

@@ -35,11 +35,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 // Compile-time gate: -DGT_OBS=0 removes histogram/series recording bodies
 // entirely (counters and gauges stay — the Stats shim and tests read them).
@@ -191,7 +193,7 @@ public:
         if (!recording()) {
             return;
         }
-        const std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         std::vector<double> stored(fields_.size(), 0.0);
         const std::size_t n = std::min(row.size(), stored.size());
         for (std::size_t i = 0; i < n; ++i) {
@@ -208,7 +210,7 @@ public:
     }
 
     void clear() {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         rows_.clear();
         head_ = 0;
         appended_ = 0;
@@ -220,7 +222,7 @@ public:
     }
     /// Rows in append order (oldest surviving row first).
     [[nodiscard]] std::vector<std::vector<double>> rows() const {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         std::vector<std::vector<double>> out;
         out.reserve(rows_.size());
         for (std::size_t i = 0; i < rows_.size(); ++i) {
@@ -229,23 +231,24 @@ public:
         return out;
     }
     [[nodiscard]] std::size_t size() const {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         return rows_.size();
     }
     /// Total rows ever appended (dropped rows included).
     [[nodiscard]] std::uint64_t appended() const {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const LockGuard lock(mu_);
         return appended_;
     }
 
 private:
-    std::vector<std::string> fields_;
-    std::size_t capacity_;
-    mutable std::mutex mu_;
-    std::vector<std::vector<double>> rows_;
-    std::size_t head_ = 0;  // oldest row once the ring wrapped
-    std::uint64_t appended_ = 0;
-    std::uint64_t dropped_ = 0;
+    std::vector<std::string> fields_;  // immutable after construction
+    std::size_t capacity_;             // immutable after construction
+    mutable Mutex mu_;
+    std::vector<std::vector<double>> rows_ GT_GUARDED_BY(mu_);
+    /// Oldest row once the ring wrapped.
+    std::size_t head_ GT_GUARDED_BY(mu_) = 0;
+    std::uint64_t appended_ GT_GUARDED_BY(mu_) = 0;
+    std::uint64_t dropped_ GT_GUARDED_BY(mu_) = 0;
 };
 
 // ---- snapshot ---------------------------------------------------------
@@ -321,12 +324,18 @@ public:
     [[nodiscard]] Snapshot snapshot() const;
 
 private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
-        histograms_;
-    std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+    // The maps are guarded (interning mutates them); the pointed-to metrics
+    // are not — handles returned from resolution are recorded through
+    // lock-free, which is the whole point of resolve-once-then-record.
+    mutable Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+        GT_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+        GT_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+        GT_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Series>, std::less<>> series_
+        GT_GUARDED_BY(mu_);
 };
 
 /// Registry is the term the rest of the tree uses.

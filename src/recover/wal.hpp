@@ -142,10 +142,13 @@ public:
     void poison(Status st) noexcept { latch(std::move(st)); }
 
     // ---- core::UpdateLog -------------------------------------------------
-    bool begin_batch(std::uint64_t op_count) noexcept override;
-    bool stage_inserts(std::span<const Edge> edges) noexcept override;
-    bool stage_deletes(std::span<const Edge> edges) noexcept override;
-    bool commit_batch() noexcept override;
+    // ([[nodiscard]] is not inherited from the interface, so restate it.)
+    [[nodiscard]] bool begin_batch(std::uint64_t op_count) noexcept override;
+    [[nodiscard]] bool stage_inserts(std::span<const Edge> edges)
+        noexcept override;
+    [[nodiscard]] bool stage_deletes(std::span<const Edge> edges)
+        noexcept override;
+    [[nodiscard]] bool commit_batch() noexcept override;
     void abort_batch() noexcept override;
 
 private:

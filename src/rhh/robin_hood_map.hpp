@@ -45,7 +45,7 @@ public:
 
     /// Inserts key->value or overwrites the existing mapping.
     /// Returns true when the key was newly inserted.
-    bool insert(Key key, Value value) {
+    [[nodiscard]] bool insert(Key key, Value value) {
         if ((size_ + 1) * 10 >= capacity() * 7) {  // load factor 0.7
             rehash(capacity() * 2);
         }

@@ -38,7 +38,7 @@ bool Stinger::insert_edge(VertexId src, VertexId dst, Weight weight) {
     ensure_vertex(src);
     ensure_vertex(dst);
     VertexMeta& meta = vertices_[src];
-    const VertexLockGuard guard(meta);  // STINGER locks the list per update
+    const LockGuard<SpinLock> guard(meta.lock);  // per-update list lock
     const std::uint32_t now = ++timestamp_;
 
     // FIND pass: walk the entire chain looking for dst, remembering the first
@@ -99,7 +99,7 @@ bool Stinger::delete_edge(VertexId src, VertexId dst) {
         return false;
     }
     VertexMeta& meta = vertices_[src];
-    const VertexLockGuard guard(meta);
+    const LockGuard<SpinLock> guard(meta.lock);
     for (std::uint32_t b = meta.head; b != kNoBlock; b = blocks_[b].next) {
         const std::size_t base = static_cast<std::size_t>(b) * block_size_;
         for (std::uint32_t i = 0; i < block_size_; ++i) {

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/types.hpp"
 #include "util/visit.hpp"
 
@@ -45,10 +46,11 @@ public:
 
     /// Inserts (src, dst, weight); if the edge already exists its weight is
     /// overwritten. Returns true when a new edge was created.
-    bool insert_edge(VertexId src, VertexId dst, Weight weight = 1);
+    [[nodiscard]] bool insert_edge(VertexId src, VertexId dst,
+                                   Weight weight = 1);
 
     /// Tombstones (src, dst). Returns true when the edge existed.
-    bool delete_edge(VertexId src, VertexId dst);
+    [[nodiscard]] bool delete_edge(VertexId src, VertexId dst);
 
     /// Weight lookup; returns nullptr when the edge is absent. The pointer is
     /// invalidated by any mutation.
@@ -146,8 +148,11 @@ private:
         std::uint32_t tail = kNoBlock;
         std::atomic<std::uint32_t> out_degree{0};
         std::atomic<std::uint32_t> in_degree{0};
-        /// STINGER serializes writers on a vertex's edge list.
-        std::atomic_flag lock = ATOMIC_FLAG_INIT;
+        /// STINGER serializes writers on a vertex's edge list. Guards this
+        /// vertex's head/tail and the cells of its chain (spread across the
+        /// shared block arenas, so not expressible as GT_GUARDED_BY —
+        /// writers take it via LockGuard<SpinLock> per update).
+        SpinLock lock;
 
         VertexMeta() = default;
         VertexMeta(const VertexMeta& other)
@@ -165,20 +170,6 @@ private:
                             std::memory_order_relaxed);
             return *this;
         }
-    };
-
-    class VertexLockGuard {
-    public:
-        explicit VertexLockGuard(VertexMeta& meta) : meta_(meta) {
-            while (meta_.lock.test_and_set(std::memory_order_acquire)) {
-            }
-        }
-        ~VertexLockGuard() { meta_.lock.clear(std::memory_order_release); }
-        VertexLockGuard(const VertexLockGuard&) = delete;
-        VertexLockGuard& operator=(const VertexLockGuard&) = delete;
-
-    private:
-        VertexMeta& meta_;
     };
 
     static constexpr std::uint32_t kNoBlock = 0xffffffffU;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gt::fail {
 
@@ -14,8 +16,8 @@ struct SiteState {
 };
 
 struct Registry {
-    std::mutex mu;
-    std::map<std::string, SiteState, std::less<>> sites;
+    Mutex mu;
+    std::map<std::string, SiteState, std::less<>> sites GT_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -38,7 +40,7 @@ void arm(const std::string& site, std::uint64_t countdown) {
         countdown = 1;
     }
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const LockGuard lock(r.mu);
     SiteState& s = r.sites[site];
     if (s.countdown == 0) {
         g_armed.fetch_add(1, std::memory_order_relaxed);
@@ -48,7 +50,7 @@ void arm(const std::string& site, std::uint64_t countdown) {
 
 void disarm(const std::string& site) {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const LockGuard lock(r.mu);
     const auto it = r.sites.find(site);
     if (it != r.sites.end() && it->second.countdown != 0) {
         it->second.countdown = 0;
@@ -58,7 +60,7 @@ void disarm(const std::string& site) {
 
 void reset() {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const LockGuard lock(r.mu);
     for (auto& [name, state] : r.sites) {
         if (state.countdown != 0) {
             state.countdown = 0;
@@ -69,7 +71,7 @@ void reset() {
 
 std::uint64_t hits(const std::string& site) {
     Registry& r = registry();
-    const std::lock_guard<std::mutex> lock(r.mu);
+    const LockGuard lock(r.mu);
     const auto it = r.sites.find(site);
     return it == r.sites.end() ? 0 : it->second.hits;
 }
@@ -80,7 +82,7 @@ void crossed(const char* site) {
     Registry& r = registry();
     bool fire = false;
     {
-        const std::lock_guard<std::mutex> lock(r.mu);
+        const LockGuard lock(r.mu);
         const auto it = r.sites.find(site);
         if (it == r.sites.end() || it->second.countdown == 0) {
             return;

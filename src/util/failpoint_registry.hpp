@@ -1,0 +1,26 @@
+// Central registry of fail-point site names.
+//
+// Every GT_FAILPOINT("<name>") in the tree must name an entry here, and
+// every entry must be exercised by at least one test — both directions are
+// enforced by tools/gt_lint.py (rule: failpoint-registry). The registry
+// exists so a fail point can't silently rot: renaming a site without
+// updating its tests, or adding an injection hook nobody ever fires, fails
+// the lint run instead of shipping dead error-handling paths.
+//
+// Keep the list sorted. The comment after each name says where the site
+// lives and what failure it simulates.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace gt::fail {
+
+inline constexpr std::array<std::string_view, 4> kKnownSites = {
+    "cal.grow",    // src/core/cal.cpp — CAL block allocation during append
+    "eba.grow",    // src/core/edgeblock_array.cpp — edgeblock pool growth
+    "wal.commit",  // src/recover/wal.cpp — commit-record write/fsync
+    "wal.stage",   // src/recover/wal.cpp — payload staging write
+};
+
+}  // namespace gt::fail

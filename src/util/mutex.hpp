@@ -1,0 +1,158 @@
+// Annotated locking primitives — the only place in the tree allowed to name
+// std::mutex and friends (gt_lint.py's raw-mutex rule enforces this).
+//
+// Every lock in the repo is a gt::Mutex / gt::SharedMutex / gt::SpinLock so
+// Clang Thread Safety Analysis (the `tsa` CMake preset) can check the lock
+// discipline statically: members carry GT_GUARDED_BY(mu_), functions carry
+// GT_REQUIRES / GT_EXCLUDES, and the RAII guards below are scoped
+// capabilities the analysis tracks through unlock()/lock() cycles (the
+// thread-pool wait loops need exactly that).
+//
+// The wrappers add no state and no virtual dispatch — each is
+// layout-identical to the std primitive it wraps; the annotations are free.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace gt {
+
+/// Exclusive-only mutex (std::mutex with a capability annotation).
+class GT_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() GT_ACQUIRE() { mu_.lock(); }
+    void unlock() GT_RELEASE() { mu_.unlock(); }
+    [[nodiscard]] bool try_lock() GT_TRY_ACQUIRE(true) {
+        return mu_.try_lock();
+    }
+
+    /// The wrapped primitive — for CondVar only; never lock it directly.
+    [[nodiscard]] std::mutex& native() { return mu_; }
+
+private:
+    std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex with capability annotations).
+class GT_CAPABILITY("shared_mutex") SharedMutex {
+public:
+    SharedMutex() = default;
+    SharedMutex(const SharedMutex&) = delete;
+    SharedMutex& operator=(const SharedMutex&) = delete;
+
+    void lock() GT_ACQUIRE() { mu_.lock(); }
+    void unlock() GT_RELEASE() { mu_.unlock(); }
+    void lock_shared() GT_ACQUIRE_SHARED() { mu_.lock_shared(); }
+    void unlock_shared() GT_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+private:
+    std::shared_mutex mu_;
+};
+
+/// Tiny test-and-set spinlock for fine-grained per-record serialization
+/// (STINGER's per-vertex edge-list lock). Spins without backoff: critical
+/// sections are a handful of cache lines and contention is per-vertex.
+class GT_CAPABILITY("spinlock") SpinLock {
+public:
+    SpinLock() = default;
+    SpinLock(const SpinLock&) = delete;
+    SpinLock& operator=(const SpinLock&) = delete;
+
+    void lock() GT_ACQUIRE() {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    void unlock() GT_RELEASE() { flag_.clear(std::memory_order_release); }
+
+private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII exclusive guard over any annotated lockable (Mutex, SharedMutex in
+/// writer mode, SpinLock). The std::lock_guard of this layer.
+template <typename LockType = Mutex>
+class GT_SCOPED_CAPABILITY LockGuard {
+public:
+    explicit LockGuard(LockType& mu) GT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() GT_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+private:
+    LockType& mu_;
+};
+
+/// RAII shared (reader) guard over a SharedMutex.
+class GT_SCOPED_CAPABILITY SharedLockGuard {
+public:
+    explicit SharedLockGuard(SharedMutex& mu) GT_ACQUIRE_SHARED(mu)
+        : mu_(mu) {
+        mu_.lock_shared();
+    }
+    ~SharedLockGuard() GT_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+    SharedLockGuard(const SharedLockGuard&) = delete;
+    SharedLockGuard& operator=(const SharedLockGuard&) = delete;
+
+private:
+    SharedMutex& mu_;
+};
+
+/// Scoped exclusive hold on a gt::Mutex that supports mid-scope
+/// unlock()/lock() cycles and condition-variable waits — the annotated
+/// std::unique_lock. Constructed locked; the destructor releases only if
+/// still held.
+class GT_SCOPED_CAPABILITY UniqueLock {
+public:
+    explicit UniqueLock(Mutex& mu) GT_ACQUIRE(mu) : native_(mu.native()) {}
+    /// Releases the hold if still held (std::unique_lock tracks that).
+    ~UniqueLock() GT_RELEASE() {}
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    /// Drops the hold mid-scope (hot sections run unlocked).
+    void unlock() GT_RELEASE() { native_.unlock(); }
+    /// Re-acquires after unlock().
+    void lock() GT_ACQUIRE() { native_.lock(); }
+
+    /// The wrapped std::unique_lock — for CondVar::wait only.
+    [[nodiscard]] std::unique_lock<std::mutex>& native() { return native_; }
+
+private:
+    std::unique_lock<std::mutex> native_;
+};
+
+/// Condition variable paired with gt::Mutex via gt::UniqueLock.
+///
+/// The analysis treats a wait as happening with the lock continuously held:
+/// wait() atomically releases and re-acquires inside, so guarded state read
+/// after wake is in fact protected — the annotation-free modeling is sound.
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// One blocking wait (spurious wakeups possible — re-test the condition
+    /// in a loop). Prefer this over a predicate overload: the analysis sees
+    /// the guarded condition read directly in the annotated caller, whereas
+    /// a predicate lambda would be analyzed as an unannotated function.
+    void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace gt

@@ -1,0 +1,70 @@
+// Clang Thread Safety Analysis attribute macros (GT_ prefix).
+//
+// These turn the repo's lock discipline — which mutex guards which state,
+// which functions require which capability — from comments into compiler-
+// checked contracts. Under Clang with -Wthread-safety (the `tsa` CMake
+// preset), a read of a GT_GUARDED_BY member without its lock held, a
+// double-acquire, or a forgotten release is a hard error; under GCC (which
+// has no equivalent analysis) every macro expands to nothing and the
+// annotated code compiles unchanged.
+//
+// Vocabulary (mirrors the Clang attribute set, see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   GT_CAPABILITY(name)        class is a lockable capability ("mutex")
+//   GT_SCOPED_CAPABILITY       RAII class acquiring at ctor / releasing at dtor
+//   GT_GUARDED_BY(mu)          member readable/writable only with mu held
+//   GT_PT_GUARDED_BY(mu)       pointee guarded by mu (the pointer itself not)
+//   GT_ACQUIRE(mu...)          function acquires mu exclusively
+//   GT_ACQUIRE_SHARED(mu...)   function acquires mu shared
+//   GT_RELEASE(mu...)          function releases mu
+//   GT_RELEASE_SHARED(mu...)   function releases a shared hold on mu
+//   GT_TRY_ACQUIRE(ok, mu...)  acquires mu when returning `ok`
+//   GT_REQUIRES(mu...)         callable only with mu held exclusively
+//   GT_REQUIRES_SHARED(mu...)  callable only with mu held (shared suffices)
+//   GT_EXCLUDES(mu...)         callable only with mu NOT held (deadlock guard)
+//   GT_ASSERT_CAPABILITY(mu)   runtime assertion that mu is held
+//   GT_RETURN_CAPABILITY(mu)   function returns a reference to mu
+//   GT_NO_THREAD_SAFETY_ANALYSIS  opt a function out (init/teardown paths)
+//
+// Keep these macros on the gt::Mutex family (src/util/mutex.hpp) and the
+// data they guard; gt_lint.py's raw-mutex rule keeps std primitives from
+// creeping back in unannotated.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef GT_THREAD_ANNOTATION
+#define GT_THREAD_ANNOTATION(x)  // no-op: GCC / MSVC / old Clang
+#endif
+
+#define GT_CAPABILITY(name) GT_THREAD_ANNOTATION(capability(name))
+#define GT_SCOPED_CAPABILITY GT_THREAD_ANNOTATION(scoped_lockable)
+#define GT_GUARDED_BY(x) GT_THREAD_ANNOTATION(guarded_by(x))
+#define GT_PT_GUARDED_BY(x) GT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define GT_ACQUIRE(...) \
+    GT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define GT_ACQUIRE_SHARED(...) \
+    GT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define GT_RELEASE(...) \
+    GT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define GT_RELEASE_SHARED(...) \
+    GT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define GT_RELEASE_GENERIC(...) \
+    GT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define GT_TRY_ACQUIRE(...) \
+    GT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define GT_REQUIRES(...) \
+    GT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define GT_REQUIRES_SHARED(...) \
+    GT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define GT_EXCLUDES(...) GT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define GT_ASSERT_CAPABILITY(x) \
+    GT_THREAD_ANNOTATION(assert_capability(x))
+#define GT_RETURN_CAPABILITY(x) GT_THREAD_ANNOTATION(lock_returned(x))
+#define GT_NO_THREAD_SAFETY_ANALYSIS \
+    GT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard lock(mutex_);
+        const LockGuard lock(mutex_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -30,7 +30,7 @@ void ThreadPool::parallel_for(std::size_t n,
     if (n == 0) {
         return;
     }
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     batch_.fn = &fn;
     batch_.n = n;
     batch_.next = 0;
@@ -47,18 +47,21 @@ void ThreadPool::parallel_for(std::size_t n,
         lock.lock();
         --batch_.remaining;
     }
-    done_cv_.wait(lock, [this] { return batch_.remaining == 0; });
+    while (batch_.remaining != 0) {
+        done_cv_.wait(lock);
+    }
     batch_.fn = nullptr;
 }
 
 void ThreadPool::worker_loop() {
-    std::unique_lock lock(mutex_);
+    UniqueLock lock(mutex_);
     std::uint64_t seen_epoch = 0;
     while (true) {
-        work_cv_.wait(lock, [&] {
-            return stop_ || (batch_.fn != nullptr && batch_.next < batch_.n &&
-                             batch_.epoch != seen_epoch);
-        });
+        while (!stop_ &&
+               !(batch_.fn != nullptr && batch_.next < batch_.n &&
+                 batch_.epoch != seen_epoch)) {
+            work_cv_.wait(lock);
+        }
         if (stop_) {
             return;
         }

@@ -5,12 +5,14 @@
 // the substrate for that as well as for shard-parallel analytics.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gt {
 
@@ -48,11 +50,14 @@ private:
     void worker_loop();
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    Batch batch_;
-    bool stop_ = false;
+    /// Guards the batch descriptor and the stop flag; work_cv_/done_cv_
+    /// wait on it. Workers and the submitting thread drop it around each
+    /// fn(i) call, so the lock only serializes index claims.
+    Mutex mutex_;
+    CondVar work_cv_;
+    CondVar done_cv_;
+    Batch batch_ GT_GUARDED_BY(mutex_);
+    bool stop_ GT_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gt

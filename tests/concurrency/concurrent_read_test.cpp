@@ -44,7 +44,7 @@ TEST(ConcurrentRead, ParallelFindersAgreeOnEveryEdge) {
     GraphTinker g(stress_config());
     const auto edges = stress_edges(64, 1500, 3);
     for (const Edge& e : edges) {
-        g.insert_edge(e.src, e.dst, e.weight);
+        (void)g.insert_edge(e.src, e.dst, e.weight);
     }
 
     constexpr int kThreads = 4;
@@ -81,7 +81,7 @@ TEST(ConcurrentRead, MixedTraversalFindAndAudit) {
     GraphTinker g(stress_config());
     const auto edges = stress_edges(48, 1200, 11);
     for (const Edge& e : edges) {
-        g.insert_edge(e.src, e.dst, e.weight);
+        (void)g.insert_edge(e.src, e.dst, e.weight);
     }
     const EdgeCount expect_edges = g.num_edges();
 
@@ -152,7 +152,7 @@ TEST(ConcurrentRead, EbaFallbackStreamIsThreadSafe) {
     GraphTinker g(cfg);
     const auto edges = stress_edges(40, 900, 17);
     for (const Edge& e : edges) {
-        g.insert_edge(e.src, e.dst, e.weight);
+        (void)g.insert_edge(e.src, e.dst, e.weight);
     }
     const EdgeCount expect_edges = g.num_edges();
 

@@ -35,8 +35,8 @@ TEST(ParallelEngineStress, IncrementalBfsStaysBitEqualUnderManyBatches) {
     EdgeBatcher batches(edges, 200);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
-        sharded.insert_batch(batch);
-        serial.insert_batch(batch);
+        (void)sharded.insert_batch(batch);
+        (void)serial.insert_batch(batch);
         par.on_batch(batch);
         ser.on_batch(batch);
         for (VertexId v = 0; v < serial.num_vertices(); ++v) {
@@ -56,7 +56,7 @@ TEST(ParallelEngineStress, RepeatedFromScratchRunsAreStable) {
     core::ShardedStore<core::GraphTinker> store(3, [] {
         return core::Config{};
     });
-    store.insert_batch(edges);
+    (void)store.insert_batch(edges);
 
     VertexId bound = 0;
     for (std::size_t s = 0; s < store.num_shards(); ++s) {
@@ -97,8 +97,8 @@ TEST(ParallelEngineStress, TwoAlgorithmsShareTheStore) {
     EdgeBatcher batches(edges, 500);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
-        store.insert_batch(batch);
-        serial.insert_batch(batch);
+        (void)store.insert_batch(batch);
+        (void)serial.insert_batch(batch);
         cc.on_batch(batch);
         bfs.on_batch(batch);
         ser_cc.on_batch(batch);

@@ -37,8 +37,8 @@ TEST(ShardedStress, InterleavedInsertDeleteMatchesSerialReference) {
     EdgeBatcher batches(inserts, 500);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
-        store.insert_batch(batch);
-        reference.insert_batch(batch);
+        (void)store.insert_batch(batch);
+        (void)reference.insert_batch(batch);
 
         // Delete a pseudo-random slice of everything inserted so far, so
         // shard-parallel DELETE walks interleave with prior INSERT state.
@@ -47,8 +47,8 @@ TEST(ShardedStress, InterleavedInsertDeleteMatchesSerialReference) {
             const auto& e = inserts[rng.next_below((b + 1) * 500)];
             doomed.push_back(e);
         }
-        store.delete_batch(doomed);
-        reference.delete_batch(doomed);
+        (void)store.delete_batch(doomed);
+        (void)reference.delete_batch(doomed);
 
         ASSERT_EQ(store.num_edges(), reference.num_edges()) << "batch " << b;
     }
@@ -85,7 +85,7 @@ TEST(ShardedStress, RepeatedSmallBatchesAcrossManyShards) {
     const auto edges = rmat_edges(100, 3000, 123);
     EdgeBatcher batches(edges, 64);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
-        store.insert_batch(batches.batch(b));
+        (void)store.insert_batch(batches.batch(b));
     }
     EdgeCount per_shard_total = 0;
     for (std::size_t s = 0; s < store.num_shards(); ++s) {
@@ -98,8 +98,8 @@ TEST(ShardedStress, RepeatedSmallBatchesAcrossManyShards) {
 TEST(ShardedStress, DeleteEverythingInParallel) {
     ShardedStore<GraphTinker> store(4, [] { return stress_config(); });
     const auto edges = rmat_edges(80, 2500, 31);
-    store.insert_batch(edges);
-    store.delete_batch(edges);
+    (void)store.insert_batch(edges);
+    (void)store.delete_batch(edges);
     EXPECT_EQ(store.num_edges(), 0u);
     for (std::size_t s = 0; s < store.num_shards(); ++s) {
         const AuditReport report = Auditor::run(store.shard(s));

@@ -29,7 +29,7 @@ void load_dense(GraphTinker& g, std::uint32_t vertices = 32,
     for (std::uint32_t i = 0; i < edges; ++i) {
         const auto src = static_cast<VertexId>(rng.next() % vertices);
         const auto dst = static_cast<VertexId>(rng.next() % (vertices * 4));
-        g.insert_edge(src, dst, 1 + static_cast<Weight>(i % 250));
+        (void)g.insert_edge(src, dst, 1 + static_cast<Weight>(i % 250));
     }
 }
 
@@ -65,7 +65,7 @@ TEST(Audit, CleanAfterDeletionsBothModes) {
         load_dense(g);
         Rng rng(13);
         for (std::uint32_t i = 0; i < 400; ++i) {
-            g.delete_edge(static_cast<VertexId>(rng.next() % 32),
+            (void)g.delete_edge(static_cast<VertexId>(rng.next() % 32),
                           static_cast<VertexId>(rng.next() % 128));
         }
         const AuditReport report = g.audit();

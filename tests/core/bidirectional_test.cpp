@@ -23,9 +23,9 @@ TEST(Bidirectional, MirrorsEveryInsert) {
 
 TEST(Bidirectional, InEdgeTraversal) {
     BidirectionalGraphTinker g;
-    g.insert_edge(1, 9);
-    g.insert_edge(2, 9);
-    g.insert_edge(9, 3);
+    (void)g.insert_edge(1, 9);
+    (void)g.insert_edge(2, 9);
+    (void)g.insert_edge(9, 3);
     std::set<VertexId> sources;
     g.visit_in_edges(9, [&](VertexId src, Weight) { sources.insert(src); });
     EXPECT_EQ(sources, (std::set<VertexId>{1, 2}));
@@ -36,7 +36,7 @@ TEST(Bidirectional, InEdgeTraversal) {
 
 TEST(Bidirectional, DeleteRemovesBothDirections) {
     BidirectionalGraphTinker g;
-    g.insert_edge(4, 5);
+    (void)g.insert_edge(4, 5);
     EXPECT_TRUE(g.delete_edge(4, 5));
     EXPECT_FALSE(g.delete_edge(4, 5));
     EXPECT_EQ(g.in_degree(5), 0u);
@@ -51,7 +51,7 @@ TEST(Bidirectional, RandomChurnStaysMirrored) {
     EXPECT_EQ(g.validate(), "");
     // Delete a third, validate the mirror again.
     for (std::size_t i = 0; i < inserts.size(); i += 3) {
-        g.delete_edge(inserts[i].src, inserts[i].dst);
+        (void)g.delete_edge(inserts[i].src, inserts[i].dst);
     }
     EXPECT_EQ(g.validate(), "");
     // in-degree sums must equal out-degree sums.
@@ -68,7 +68,7 @@ TEST(Bidirectional, RandomChurnStaysMirrored) {
 TEST(Bidirectional, UntilTraversalStopsEarly) {
     BidirectionalGraphTinker g;
     for (VertexId s = 0; s < 100; ++s) {
-        g.insert_edge(s, 7);
+        (void)g.insert_edge(s, 7);
     }
     int visited = 0;
     const bool completed = g.visit_in_edges(7, [&](VertexId, Weight) {

@@ -166,7 +166,7 @@ TEST(CalEraseEdgeCases, GraphLevelTailDeleteKeepsOwnersCoherent) {
     GraphTinker g(cfg);
     const test::ScopedAudit audit(g, "tail_delete");
     for (VertexId dst = 0; dst < 20; ++dst) {
-        g.insert_edge(4, dst, dst + 1);
+        (void)g.insert_edge(4, dst, dst + 1);
     }
     // Delete newest-first: every delete is the group-tail self-move case.
     for (VertexId dst = 20; dst-- > 10;) {
@@ -206,7 +206,7 @@ TEST(GraphTinkerCombo, LargePagewidthSmallGraph) {
     cfg.subblock = 64;
     cfg.workblock = 16;
     GraphTinker g(cfg);
-    g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(1, 2, 3);
     EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(3));
     EXPECT_EQ(g.validate(), "");
     // Iteration over a nearly-empty giant block stays correct (occupancy
@@ -244,11 +244,11 @@ TEST(GraphTinkerCombo, MixedFeatureChurnStaysValid) {
                 cfg.deletion_mode = mode;
                 GraphTinker g(cfg);
                 const auto inserts = rmat_edges(120, 2500, 7);
-                g.insert_batch(inserts);
+                (void)g.insert_batch(inserts);
                 for (std::size_t i = 0; i < inserts.size(); i += 2) {
-                    g.delete_edge(inserts[i].src, inserts[i].dst);
+                    (void)g.delete_edge(inserts[i].src, inserts[i].dst);
                 }
-                g.insert_batch(rmat_edges(120, 500, 8));
+                (void)g.insert_batch(rmat_edges(120, 500, 8));
                 ASSERT_EQ(g.validate(), "")
                     << "sgh=" << sgh << " cal=" << cal
                     << " compact=" << (mode == DeletionMode::DeleteAndCompact);
@@ -259,16 +259,16 @@ TEST(GraphTinkerCombo, MixedFeatureChurnStaysValid) {
 
 TEST(StingerExtra, InDegreeTracksBothDirections) {
     gt::stinger::Stinger s;
-    s.insert_edge(1, 5);
-    s.insert_edge(2, 5);
-    s.insert_edge(5, 1);
+    (void)s.insert_edge(1, 5);
+    (void)s.insert_edge(2, 5);
+    (void)s.insert_edge(5, 1);
     EXPECT_EQ(s.in_degree(5), 2u);
     EXPECT_EQ(s.in_degree(1), 1u);
     EXPECT_EQ(s.in_degree(2), 0u);
-    s.delete_edge(1, 5);
+    (void)s.delete_edge(1, 5);
     EXPECT_EQ(s.in_degree(5), 1u);
     // Duplicate insert must not double-count.
-    s.insert_edge(2, 5, 9);
+    (void)s.insert_edge(2, 5, 9);
     EXPECT_EQ(s.in_degree(5), 1u);
     EXPECT_GT(s.memory_bytes(), 0u);
 }

@@ -50,7 +50,7 @@ TEST(GraphTinker, SelfLoopsAndZeroVertex) {
 
 TEST(GraphTinker, DuplicateInsertIsWeightUpdateEverywhere) {
     GraphTinker g;  // CAL on: the copy must be updated too
-    g.insert_edge(1, 2, 5);
+    (void)g.insert_edge(1, 2, 5);
     EXPECT_FALSE(g.insert_edge(1, 2, 50));
     EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(50));
     Weight cal_weight = 0;
@@ -63,7 +63,7 @@ TEST(GraphTinker, OutEdgeIterationMatchesInserts) {
     GraphTinker g;
     std::set<std::pair<VertexId, Weight>> expected;
     for (VertexId d = 0; d < 500; ++d) {
-        g.insert_edge(7, d, d + 1);
+        (void)g.insert_edge(7, d, d + 1);
         expected.insert({d, d + 1});
     }
     std::set<std::pair<VertexId, Weight>> seen;
@@ -79,7 +79,7 @@ TEST(GraphTinker, OutEdgeIterationMatchesInserts) {
 TEST(GraphTinker, CalAndEbaStreamsAgree) {
     GraphTinker g;
     const auto edges = rmat_edges(200, 3000, 4);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     using E = std::tuple<VertexId, VertexId, Weight>;
     std::set<E> via_cal;
     std::set<E> via_eba;
@@ -97,14 +97,14 @@ TEST(GraphTinker, SghDisabledSweepsRawIdSpace) {
     Config cfg;
     cfg.enable_sgh = false;
     GraphTinker g(cfg);
-    g.insert_edge(34, 1, 1);
-    g.insert_edge(22789, 1, 1);
+    (void)g.insert_edge(34, 1, 1);
+    (void)g.insert_edge(22789, 1, 1);
     // Without SGH the main region spans the raw id range (the paper's
     // "22755 indexes apart" motivating example).
     EXPECT_EQ(g.num_nonempty_vertices(), 22790u);
     GraphTinker with_sgh;
-    with_sgh.insert_edge(34, 1, 1);
-    with_sgh.insert_edge(22789, 1, 1);
+    (void)with_sgh.insert_edge(34, 1, 1);
+    (void)with_sgh.insert_edge(22789, 1, 1);
     EXPECT_EQ(with_sgh.num_nonempty_vertices(), 2u);
 }
 
@@ -112,8 +112,8 @@ TEST(GraphTinker, CalDisabledStillStreams) {
     Config cfg;
     cfg.enable_cal = false;
     GraphTinker g(cfg);
-    g.insert_edge(1, 2, 3);
-    g.insert_edge(4, 5, 6);
+    (void)g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(4, 5, 6);
     std::set<std::tuple<VertexId, VertexId, Weight>> seen;
     g.visit_edges([&](VertexId s, VertexId d, Weight w) {
         seen.emplace(s, d, w);
@@ -126,10 +126,10 @@ TEST(GraphTinker, CalDisabledStillStreams) {
 TEST(GraphTinker, BatchHelpers) {
     GraphTinker g;
     const auto edges = rmat_edges(100, 1000, 6);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const auto count_after_insert = g.num_edges();
     EXPECT_GT(count_after_insert, 0u);
-    g.delete_batch(edges);
+    (void)g.delete_batch(edges);
     EXPECT_EQ(g.num_edges(), 0u);
     EXPECT_TRUE(g.validate().empty()) << g.validate();
 }

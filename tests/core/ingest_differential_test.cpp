@@ -81,9 +81,9 @@ TEST(IngestDifferential, InsertBatchMatchesPerEdge) {
     for (const NamedConfig& nc : all_configs()) {
         GraphTinker batch(nc.config);
         GraphTinker serial(nc.config);
-        batch.insert_batch(edges);
+        (void)batch.insert_batch(edges);
         for (const Edge& e : edges) {
-            serial.insert_edge(e.src, e.dst, e.weight);
+            (void)serial.insert_edge(e.src, e.dst, e.weight);
         }
         expect_equivalent(batch, serial, nc.name);
     }
@@ -102,9 +102,9 @@ TEST(IngestDifferential, DuplicatePairsKeepLastWeight) {
     }
     GraphTinker batch;
     GraphTinker serial;
-    batch.insert_batch(edges);
+    (void)batch.insert_batch(edges);
     for (const Edge& e : edges) {
-        serial.insert_edge(e.src, e.dst, e.weight);
+        (void)serial.insert_edge(e.src, e.dst, e.weight);
     }
     expect_equivalent(batch, serial, "dup_pairs");
     EXPECT_EQ(batch.find_edge(0, 5), serial.find_edge(0, 5));
@@ -119,9 +119,9 @@ TEST(IngestDifferential, DuplicateDeletesDecrementOnce) {
         GraphTinker batch(nc.config);
         GraphTinker serial(nc.config);
         const auto edges = rmat_edges(400, 6000, 21);
-        batch.insert_batch(edges);
+        (void)batch.insert_batch(edges);
         for (const Edge& e : edges) {
-            serial.insert_edge(e.src, e.dst, e.weight);
+            (void)serial.insert_edge(e.src, e.dst, e.weight);
         }
 
         // Every surviving edge deleted twice back-to-back plus once more at
@@ -141,18 +141,18 @@ TEST(IngestDifferential, DuplicateDeletesDecrementOnce) {
         deletes.insert(deletes.end(), deletes.begin(),
                        deletes.begin() + static_cast<std::ptrdiff_t>(
                                              first_wave / 2));
-        batch.delete_batch(deletes);
+        (void)batch.delete_batch(deletes);
         for (const Edge& e : deletes) {
-            serial.delete_edge(e.src, e.dst);
+            (void)serial.delete_edge(e.src, e.dst);
         }
         expect_equivalent(batch, serial, nc.name + " dup_deletes");
 
         // Deleting the same set again in a fresh batch (all already gone)
         // must be a no-op for the counters.
         const EdgeCount before = batch.num_edges();
-        batch.delete_batch(deletes);
+        (void)batch.delete_batch(deletes);
         for (const Edge& e : deletes) {
-            serial.delete_edge(e.src, e.dst);
+            (void)serial.delete_edge(e.src, e.dst);
         }
         EXPECT_EQ(batch.num_edges(), before) << nc.name;
         expect_equivalent(batch, serial, nc.name + " redelete");
@@ -170,9 +170,9 @@ TEST(IngestDifferential, MixedInsertDeleteStream) {
         for (int round = 0; round < 8; ++round) {
             const auto inserts =
                 rmat_edges(600, 4000, 1000 + round * 17);
-            batch.insert_batch(inserts);
+            (void)batch.insert_batch(inserts);
             for (const Edge& e : inserts) {
-                serial.insert_edge(e.src, e.dst, e.weight);
+                (void)serial.insert_edge(e.src, e.dst, e.weight);
             }
             live.insert(live.end(), inserts.begin(), inserts.end());
 
@@ -186,9 +186,9 @@ TEST(IngestDifferential, MixedInsertDeleteStream) {
             }
             deletes.push_back(Edge{100000, 1, 1});  // unknown source
             deletes.push_back(Edge{1, 100000, 1});  // unknown dst
-            batch.delete_batch(deletes);
+            (void)batch.delete_batch(deletes);
             for (const Edge& e : deletes) {
-                serial.delete_edge(e.src, e.dst);
+                (void)serial.delete_edge(e.src, e.dst);
             }
             expect_equivalent(batch, serial,
                               nc.name + " round " + std::to_string(round));
@@ -204,10 +204,10 @@ TEST(IngestDifferential, SmallBatchesTakeScalarPathAndStillMatch) {
     GraphTinker serial;
     for (std::size_t i = 0; i < edges.size(); i += 16) {
         const std::size_t len = std::min<std::size_t>(16, edges.size() - i);
-        batch.insert_batch(std::span<const Edge>(edges).subspan(i, len));
+        (void)batch.insert_batch(std::span<const Edge>(edges).subspan(i, len));
     }
     for (const Edge& e : edges) {
-        serial.insert_edge(e.src, e.dst, e.weight);
+        (void)serial.insert_edge(e.src, e.dst, e.weight);
     }
     expect_equivalent(batch, serial, "small_batches");
 }
@@ -216,9 +216,9 @@ TEST(IngestDifferential, ShardedMatchesSerialAndAuditsClean) {
     const auto edges = rmat_edges(1500, 50000, 11);
     ShardedStore<GraphTinker> sharded(6, [] { return Config{}; });
     GraphTinker serial;
-    sharded.insert_batch(edges);
+    (void)sharded.insert_batch(edges);
     for (const Edge& e : edges) {
-        serial.insert_edge(e.src, e.dst, e.weight);
+        (void)serial.insert_edge(e.src, e.dst, e.weight);
     }
     EXPECT_EQ(sharded.num_edges(), serial.num_edges());
     EXPECT_EQ(edge_map_sharded(sharded), edge_map(serial));
@@ -227,7 +227,7 @@ TEST(IngestDifferential, ShardedMatchesSerialAndAuditsClean) {
         EXPECT_TRUE(report.ok()) << "shard " << s << ": "
                                  << report.to_string();
     }
-    sharded.delete_batch(edges);
+    (void)sharded.delete_batch(edges);
     EXPECT_EQ(sharded.num_edges(), 0u);
 }
 

@@ -37,7 +37,7 @@ EdgeCount delete_half(GraphTinker& g, const std::vector<Edge>& edges) {
     for (std::size_t i = 0; i < edges.size(); i += 2) {
         deletes.push_back(edges[i]);
     }
-    g.delete_batch(deletes);
+    (void)g.delete_batch(deletes);
     return g.num_edges();
 }
 
@@ -80,7 +80,7 @@ TEST(Maintenance, PurgeRestoresProbeDistanceAndFreesBlocks) {
     GraphTinker g;  // default = DeleteOnly + RHH
     const test::ScopedAudit audit(g, "purge");
     const auto edges = rmat_edges(800, 40000, 5);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     delete_half(g, edges);
     audit.check();
 
@@ -111,15 +111,15 @@ TEST(Maintenance, MaintainPreservesEquivalenceAcrossConfigs) {
         GraphTinker g(nc.config);
         const test::ScopedAudit audit(g, nc.name);
         const auto edges = rmat_edges(600, 20000, 31);
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
 
         // Random 60% delete wave, batch + per-edge mixed.
         std::vector<Edge> shuffled = edges;
         std::shuffle(shuffled.begin(), shuffled.end(), rng);
         const std::size_t cut = shuffled.size() * 3 / 5;
-        g.delete_batch(std::span<const Edge>(shuffled).subspan(0, cut / 2));
+        (void)g.delete_batch(std::span<const Edge>(shuffled).subspan(0, cut / 2));
         for (std::size_t i = cut / 2; i < cut; ++i) {
-            g.delete_edge(shuffled[i].src, shuffled[i].dst);
+            (void)g.delete_edge(shuffled[i].src, shuffled[i].dst);
         }
         audit.check();
 
@@ -158,14 +158,14 @@ TEST(Maintenance, UnbranchShrinksTreeDepth) {
     constexpr VertexId kHub = 3;
     constexpr VertexId kFan = 2000;
     for (VertexId dst = 0; dst < kFan; ++dst) {
-        g.insert_edge(kHub, dst, dst + 1);
+        (void)g.insert_edge(kHub, dst, dst + 1);
     }
     const std::uint32_t depth_peak = g.tree_depth(kHub);
     ASSERT_GT(depth_peak, 1u);
 
     for (VertexId dst = 0; dst < kFan; ++dst) {
         if (dst % 16 != 0) {
-            g.delete_edge(kHub, dst);
+            (void)g.delete_edge(kHub, dst);
         }
     }
     audit.check();
@@ -188,7 +188,7 @@ TEST(Maintenance, CalCompactionReclaimsHolesAndBlocks) {
     GraphTinker g;
     const test::ScopedAudit audit(g, "cal_compact");
     const auto edges = rmat_edges(500, 30000, 13);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     delete_half(g, edges);
     ASSERT_GT(g.cal().scanned_slots(), g.cal().live_edges());
 
@@ -211,8 +211,8 @@ TEST(Maintenance, BudgetedSlicesConvergeToFullSweep) {
     GraphTinker full(cfg);
     const test::ScopedAudit audit(sliced, "budgeted");
     const auto edges = rmat_edges(400, 15000, 17);
-    sliced.insert_batch(edges);
-    full.insert_batch(edges);
+    (void)sliced.insert_batch(edges);
+    (void)full.insert_batch(edges);
     delete_half(sliced, edges);
     delete_half(full, edges);
 
@@ -248,8 +248,8 @@ TEST(Maintenance, AmortizedBudgetInsideBatchesKeepsTwinEquivalence) {
     std::vector<Edge> live;
     for (int round = 0; round < 6; ++round) {
         const auto inserts = rmat_edges(300, 5000, 400 + round);
-        g.insert_batch(inserts);
-        twin.insert_batch(inserts);
+        (void)g.insert_batch(inserts);
+        (void)twin.insert_batch(inserts);
         live.insert(live.end(), inserts.begin(), inserts.end());
         std::vector<Edge> deletes;
         for (int i = 0; i < 2000 && !live.empty(); ++i) {
@@ -258,8 +258,8 @@ TEST(Maintenance, AmortizedBudgetInsideBatchesKeepsTwinEquivalence) {
             live[pick] = live.back();
             live.pop_back();
         }
-        g.delete_batch(deletes);
-        twin.delete_batch(deletes);
+        (void)g.delete_batch(deletes);
+        (void)twin.delete_batch(deletes);
         audit.check();
         ASSERT_EQ(g.num_edges(), twin.num_edges()) << "round " << round;
         ASSERT_EQ(edge_map(g), edge_map(twin)) << "round " << round;
@@ -280,7 +280,7 @@ TEST(Maintenance, NoopOnEmptyAndFreshStores) {
     // A freshly built delete-free store has nothing to purge or compact.
     GraphTinker fresh;
     const test::ScopedAudit audit(fresh, "fresh");
-    fresh.insert_batch(rmat_edges(300, 8000, 3));
+    (void)fresh.insert_batch(rmat_edges(300, 8000, 3));
     const EdgeMap before = edge_map(fresh);
     const MaintenanceReport r = fresh.maintain();
     EXPECT_TRUE(r.complete);
@@ -292,7 +292,7 @@ TEST(Maintenance, FootprintSeparatesInUseFromCapacity) {
     GraphTinker g;
     const test::ScopedAudit audit(g, "footprint");
     const auto edges = rmat_edges(600, 25000, 41);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const GraphTinker::MemoryFootprint peak = g.memory_footprint();
     EXPECT_LE(peak.edgeblock_bytes, peak.edgeblock_capacity_bytes);
     EXPECT_LE(peak.cal_bytes, peak.cal_capacity_bytes);
@@ -314,7 +314,7 @@ TEST(Maintenance, PurgeThresholdOneDisablesPurges) {
     GraphTinker g(cfg);
     const test::ScopedAudit audit(g, "disabled");
     const auto edges = rmat_edges(300, 10000, 9);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     delete_half(g, edges);
     const MaintenanceReport report = g.maintain();
     EXPECT_TRUE(report.complete);

@@ -52,10 +52,10 @@ TEST(Serialize, EmptyGraphRoundTrips) {
 TEST(Serialize, EdgesWeightsAndDegreesSurvive) {
     GraphTinker g;
     const auto edges = rmat_edges(300, 5000, 77);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     // A few deletions so tombstoned state is exercised.
     for (std::size_t i = 0; i < edges.size(); i += 7) {
-        g.delete_edge(edges[i].src, edges[i].dst);
+        (void)g.delete_edge(edges[i].src, edges[i].dst);
     }
     std::stringstream buffer;
     ASSERT_TRUE(save(g, buffer).ok());
@@ -77,7 +77,7 @@ TEST(Serialize, ConfigurationIsPreserved) {
     cfg.enable_sgh = false;
     cfg.deletion_mode = DeletionMode::DeleteAndCompact;
     GraphTinker g(cfg);
-    g.insert_edge(5, 6, 7);
+    (void)g.insert_edge(5, 6, 7);
     std::stringstream buffer;
     ASSERT_TRUE(save(g, buffer).ok());
     const auto loaded = load(buffer);
@@ -106,14 +106,14 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
         GraphTinker g(cfg);
         const test::ScopedAudit audit(g, label);
         const auto edges = rmat_edges(400, 12000, 19);
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
 
         std::vector<Edge> shuffled = edges;
         std::shuffle(shuffled.begin(), shuffled.end(), rng);
         const std::size_t cut = shuffled.size() / 2;
-        g.delete_batch(std::span<const Edge>(shuffled).subspan(0, cut / 2));
+        (void)g.delete_batch(std::span<const Edge>(shuffled).subspan(0, cut / 2));
         for (std::size_t i = cut / 2; i < cut; ++i) {
-            g.delete_edge(shuffled[i].src, shuffled[i].dst);
+            (void)g.delete_edge(shuffled[i].src, shuffled[i].dst);
         }
         audit.check();
 
@@ -126,7 +126,7 @@ TEST(Serialize, DeleteHeavyStoreRoundTripsInBothModes) {
         // Fresh twin from the surviving edge set only.
         GraphTinker twin(cfg);
         g.visit_edges([&](VertexId s, VertexId d, Weight w) {
-            twin.insert_edge(s, d, w);
+            (void)twin.insert_edge(s, d, w);
         });
         EXPECT_EQ(loaded->num_edges(), twin.num_edges()) << label;
         EXPECT_EQ(edge_map(*loaded), edge_map(g)) << label;
@@ -157,8 +157,8 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
     }
     {
         GraphTinker g;
-        g.insert_edge(1, 2, 3);
-        g.insert_edge(4, 5, 6);
+        (void)g.insert_edge(1, 2, 3);
+        (void)g.insert_edge(4, 5, 6);
         std::stringstream buffer;
         ASSERT_TRUE(save(g, buffer).ok());
         const std::string full = buffer.str();
@@ -173,7 +173,7 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
 
 TEST(Serialize, LoadedStoreRemainsFullyUsable) {
     GraphTinker g;
-    g.insert_batch(rmat_edges(100, 1500, 3));
+    (void)g.insert_batch(rmat_edges(100, 1500, 3));
     std::stringstream buffer;
     ASSERT_TRUE(save(g, buffer).ok());
     auto loaded = load(buffer);

@@ -28,8 +28,8 @@ TEST(Sharded, GraphTinkerMatchesSerialInstance) {
     const auto edges = rmat_edges(1000, 20000, 31);
     ShardedStore<GraphTinker> sharded(4, [] { return Config{}; });
     GraphTinker serial;
-    sharded.insert_batch(edges);
-    serial.insert_batch(edges);
+    (void)sharded.insert_batch(edges);
+    (void)serial.insert_batch(edges);
     EXPECT_EQ(sharded.num_edges(), serial.num_edges());
 
     std::set<E> serial_edges;
@@ -41,7 +41,7 @@ TEST(Sharded, GraphTinkerMatchesSerialInstance) {
 TEST(Sharded, ShardsPartitionBySourceOnly) {
     const auto edges = rmat_edges(500, 5000, 32);
     ShardedStore<GraphTinker> sharded(8, [] { return Config{}; });
-    sharded.insert_batch(edges);
+    (void)sharded.insert_batch(edges);
     // Every vertex's out-edges live in exactly one shard.
     for (VertexId v = 0; v < 500; ++v) {
         int shards_with_v = 0;
@@ -57,16 +57,16 @@ TEST(Sharded, ShardsPartitionBySourceOnly) {
 TEST(Sharded, DeleteBatchRemovesEverything) {
     const auto edges = rmat_edges(300, 8000, 33);
     ShardedStore<GraphTinker> sharded(3, [] { return Config{}; });
-    sharded.insert_batch(edges);
+    (void)sharded.insert_batch(edges);
     EXPECT_GT(sharded.num_edges(), 0u);
-    sharded.delete_batch(edges);
+    (void)sharded.delete_batch(edges);
     EXPECT_EQ(sharded.num_edges(), 0u);
 }
 
 TEST(Sharded, FindRoutesToOwningShard) {
     ShardedStore<GraphTinker> sharded(5, [] { return Config{}; });
     const std::vector<Edge> batch{{1, 2, 10}, {3, 4, 20}, {100, 7, 30}};
-    sharded.insert_batch(batch);
+    (void)sharded.insert_batch(batch);
     EXPECT_EQ(sharded.find_edge(1, 2), std::optional<Weight>(10));
     EXPECT_EQ(sharded.find_edge(100, 7), std::optional<Weight>(30));
     EXPECT_FALSE(sharded.find_edge(1, 7).has_value());
@@ -77,9 +77,9 @@ TEST(Sharded, WorksForStingerToo) {
     ShardedStore<stinger::Stinger> sharded(
         4, [] { return stinger::StingerConfig{}; });
     stinger::Stinger serial;
-    sharded.insert_batch(edges);
+    (void)sharded.insert_batch(edges);
     for (const Edge& e : edges) {
-        serial.insert_edge(e.src, e.dst, e.weight);
+        (void)serial.insert_edge(e.src, e.dst, e.weight);
     }
     EXPECT_EQ(sharded.num_edges(), serial.num_edges());
     std::set<E> serial_edges;
@@ -91,7 +91,7 @@ TEST(Sharded, WorksForStingerToo) {
 TEST(Sharded, SingleShardDegeneratesGracefully) {
     ShardedStore<GraphTinker> sharded(1, [] { return Config{}; });
     const std::vector<Edge> batch{{1, 2, 3}};
-    sharded.insert_batch(batch);
+    (void)sharded.insert_batch(batch);
     EXPECT_EQ(sharded.num_edges(), 1u);
     EXPECT_EQ(sharded.num_shards(), 1u);
 }

@@ -18,14 +18,14 @@ TEST(EngineExtra, SsspImprovesWhenWeightDecreases) {
     // its source must propagate the improvement (monotone direction).
     core::GraphTinker g;
     const std::vector<Edge> initial{{0, 1, 10}, {1, 2, 10}};
-    g.insert_batch(initial);
+    (void)g.insert_batch(initial);
     DynamicAnalysis<core::GraphTinker, Sssp> sssp(g);
     sssp.set_root(0);
     sssp.run_from_scratch();
     EXPECT_EQ(sssp.property(2), 20u);
 
     const std::vector<Edge> improvement{{0, 1, 3}};  // 10 -> 3
-    g.insert_batch(improvement);
+    (void)g.insert_batch(improvement);
     sssp.on_batch(improvement);
     EXPECT_EQ(sssp.property(1), 3u);
     EXPECT_EQ(sssp.property(2), 13u);
@@ -34,14 +34,14 @@ TEST(EngineExtra, SsspImprovesWhenWeightDecreases) {
 TEST(EngineExtra, NewShortcutEdgeImprovesDownstream) {
     core::GraphTinker g;
     const std::vector<Edge> initial{{0, 1, 5}, {1, 2, 5}, {2, 3, 5}};
-    g.insert_batch(initial);
+    (void)g.insert_batch(initial);
     DynamicAnalysis<core::GraphTinker, Sssp> sssp(g);
     sssp.set_root(0);
     sssp.run_from_scratch();
     EXPECT_EQ(sssp.property(3), 15u);
 
     const std::vector<Edge> shortcut{{0, 3, 2}};
-    g.insert_batch(shortcut);
+    (void)g.insert_batch(shortcut);
     sssp.on_batch(shortcut);
     EXPECT_EQ(sssp.property(3), 2u);
 }
@@ -74,7 +74,7 @@ TEST(EngineExtra, HybridSwitchesDirectionsWithinOneRun) {
     // On a small-E graph BFS frontiers cross the A/E threshold in both
     // directions over the run, so a hybrid trace should contain both modes.
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(3000, 9000, 17)));
+    (void)g.insert_batch(symmetrize(rmat_edges(3000, 9000, 17)));
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
         g, EngineOptions{.policy = ModePolicy::Hybrid,
                          .threshold = 0.02,
@@ -106,7 +106,7 @@ TEST(EngineExtra, HybridSwitchesDirectionsWithinOneRun) {
 
 TEST(EngineExtra, NoRegistryMeansNoTraceRecording) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(100, 500, 2)));
+    (void)g.insert_batch(symmetrize(rmat_edges(100, 500, 2)));
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
         g, EngineOptions{});
     bfs.set_root(0);
@@ -130,7 +130,7 @@ TEST(EngineExtra, EmptyGraphAnalysesTerminateImmediately) {
 
 TEST(EngineExtra, OnBatchWithEmptyBatchIsANoop) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(50, 200, 1)));
+    (void)g.insert_batch(symmetrize(rmat_edges(50, 200, 1)));
     DynamicAnalysis<core::GraphTinker, Cc> cc(g);
     cc.run_from_scratch();
     const auto stats = cc.on_batch({});
@@ -147,9 +147,9 @@ TEST(EngineExtra, MemoryFootprintReflectsFeatureToggles) {
     core::GraphTinker g_all(all_on);
     core::GraphTinker g_nocal(no_cal);
     core::GraphTinker g_nosgh(no_sgh);
-    g_all.insert_batch(edges);
-    g_nocal.insert_batch(edges);
-    g_nosgh.insert_batch(edges);
+    (void)g_all.insert_batch(edges);
+    (void)g_nocal.insert_batch(edges);
+    (void)g_nosgh.insert_batch(edges);
 
     const auto fp_all = g_all.memory_footprint();
     const auto fp_nocal = g_nocal.memory_footprint();
@@ -171,7 +171,7 @@ TEST(EngineExtra, StingerDrivesEveryAlgorithm) {
     stinger::Stinger g;
     const auto edges = symmetrize(rmat_edges(150, 1200, 4));
     for (const Edge& e : edges) {
-        g.insert_edge(e.src, e.dst, e.weight);
+        (void)g.insert_edge(e.src, e.dst, e.weight);
     }
     const CsrSnapshot csr(edges, g.num_vertices());
     {

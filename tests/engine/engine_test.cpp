@@ -26,7 +26,7 @@ std::vector<Edge> tiny() {
 
 TEST(Engine, BfsOnTinyGraph) {
     core::GraphTinker g;
-    g.insert_batch(tiny());
+    (void)g.insert_batch(tiny());
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(g);
     bfs.set_root(0);
     const auto stats = bfs.run_from_scratch();
@@ -40,7 +40,7 @@ TEST(Engine, BfsOnTinyGraph) {
 
 TEST(Engine, SsspRelaxesThroughCheaperPath) {
     core::GraphTinker g;
-    g.insert_batch(tiny());
+    (void)g.insert_batch(tiny());
     DynamicAnalysis<core::GraphTinker, Sssp> sssp(g);
     sssp.set_root(0);
     sssp.run_from_scratch();
@@ -50,7 +50,7 @@ TEST(Engine, SsspRelaxesThroughCheaperPath) {
 
 TEST(Engine, CcFindsComponentsOnSymmetrizedGraph) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(tiny()));
+    (void)g.insert_batch(symmetrize(tiny()));
     DynamicAnalysis<core::GraphTinker, Cc> cc(g);
     cc.run_from_scratch();
     EXPECT_EQ(cc.property(3), 0u);
@@ -59,7 +59,7 @@ TEST(Engine, CcFindsComponentsOnSymmetrizedGraph) {
 
 TEST(Engine, ForcedPoliciesUseOnlyTheirMode) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(200, 1500, 2)));
+    (void)g.insert_batch(symmetrize(rmat_edges(200, 1500, 2)));
     {
         DynamicAnalysis<core::GraphTinker, Bfs> bfs(
             g, EngineOptions{.policy = ModePolicy::ForceFull});
@@ -80,7 +80,7 @@ TEST(Engine, ForcedPoliciesUseOnlyTheirMode) {
 TEST(Engine, AllPoliciesProduceIdenticalProperties) {
     core::GraphTinker g;
     const auto edges = symmetrize(rmat_edges(300, 4000, 3));
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const CsrSnapshot csr(edges, g.num_vertices());
     const auto want = reference_bfs(csr, 1);
     for (const ModePolicy policy :
@@ -99,7 +99,7 @@ TEST(Engine, AllPoliciesProduceIdenticalProperties) {
 
 TEST(Engine, HybridThresholdExtremesForceTheMode) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(200, 2000, 4)));
+    (void)g.insert_batch(symmetrize(rmat_edges(200, 2000, 4)));
     {
         // threshold 0: any activity => T > 0 => always full processing.
         DynamicAnalysis<core::GraphTinker, Bfs> bfs(
@@ -120,7 +120,7 @@ TEST(Engine, HybridThresholdExtremesForceTheMode) {
 
 TEST(Engine, RegistryTraceAccountingAddsUp) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(100, 1000, 5)));
+    (void)g.insert_batch(symmetrize(rmat_edges(100, 1000, 5)));
     // Point the engine at the store's registry: iteration telemetry lands
     // in the "engine.trace" series next to the store's own metrics.
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
@@ -158,7 +158,7 @@ TEST(Engine, RootMayPredateItsVertex) {
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(g);
     bfs.set_root(42);  // store is still empty
     const std::vector<Edge> batch{{42, 1, 1}, {1, 2, 1}};
-    g.insert_batch(batch);
+    (void)g.insert_batch(batch);
     bfs.on_batch(batch);
     EXPECT_EQ(bfs.property(42), 0u);
     EXPECT_EQ(bfs.property(2), 2u);
@@ -185,7 +185,7 @@ void run_dynamic(const Store& store, std::vector<Edge> const& all,
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
         for (const Edge& e : batch) {
-            mut.insert_edge(e.src, e.dst, e.weight);
+            (void)mut.insert_edge(e.src, e.dst, e.weight);
         }
         ingested += batch.size();
         analysis.on_batch(batch);
@@ -289,7 +289,7 @@ TEST(Engine, RecomputeAfterDeletionsMatchesOracle) {
         }
     }
     ASSERT_EQ(edges.size() % 2, 0u);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(g);
     bfs.set_root(0);
     bfs.run_from_scratch();
@@ -299,8 +299,8 @@ TEST(Engine, RecomputeAfterDeletionsMatchesOracle) {
     std::vector<Edge> kept;
     for (std::size_t i = 0; i < edges.size(); i += 2) {  // symmetric pairs
         if (i % 6 == 0) {
-            g.delete_edge(edges[i].src, edges[i].dst);
-            g.delete_edge(edges[i + 1].src, edges[i + 1].dst);
+            (void)g.delete_edge(edges[i].src, edges[i].dst);
+            (void)g.delete_edge(edges[i + 1].src, edges[i + 1].dst);
         } else {
             kept.push_back(edges[i]);
             kept.push_back(edges[i + 1]);

@@ -55,9 +55,9 @@ std::vector<std::uint32_t> brute_coreness(const std::vector<Edge>& edges,
 TEST(KCore, TriangleWithTail) {
     // Triangle {0,1,2} (2-core) with a pendant 3 (1-core) and isolated 4.
     core::GraphTinker g;
-    g.insert_batch(symmetrize(std::vector<Edge>{
+    (void)g.insert_batch(symmetrize(std::vector<Edge>{
         {0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {2, 3, 1}, {4, 4, 1}}));
-    g.delete_edge(4, 4);
+    (void)g.delete_edge(4, 4);
     const auto result = kcore_decomposition(g);
     EXPECT_EQ(result.coreness[0], 2u);
     EXPECT_EQ(result.coreness[1], 2u);
@@ -80,7 +80,7 @@ TEST(KCore, CliqueCorenessIsSizeMinusOne) {
             edges.push_back({a, b, 1});
         }
     }
-    g.insert_batch(symmetrize(edges));
+    (void)g.insert_batch(symmetrize(edges));
     const auto result = kcore_decomposition(g);
     for (VertexId v = 0; v < kClique; ++v) {
         EXPECT_EQ(result.coreness[v], kClique - 1) << v;
@@ -92,7 +92,7 @@ TEST(KCore, MatchesBruteForceOnRandomGraphs) {
     for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
         const auto edges = symmetrize(rmat_edges(80, 400, seed));
         core::GraphTinker g;
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
         const VertexId n = g.num_vertices();  // max streamed id + 1
         // Build the oracle over the store's deduplicated view.
         std::vector<Edge> dedup;

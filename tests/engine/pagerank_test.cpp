@@ -17,10 +17,10 @@ namespace {
 TEST(PageRank, MatchesJacobiOracleOnChain) {
     // 0 -> 1 -> 2; vertex 3 isolated.
     core::GraphTinker g;
-    g.insert_edge(0, 1);
-    g.insert_edge(1, 2);
-    g.insert_edge(3, 3);  // self loop: pushes to itself
-    g.delete_edge(3, 3);
+    (void)g.insert_edge(0, 1);
+    (void)g.insert_edge(1, 2);
+    (void)g.insert_edge(3, 3);  // self loop: pushes to itself
+    (void)g.delete_edge(3, 3);
 
     PageRank<core::GraphTinker> alg{&g, 0.85, 1e-12};
     DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
@@ -41,7 +41,7 @@ TEST(PageRank, MatchesJacobiOracleOnChain) {
 TEST(PageRank, MatchesOracleOnRandomGraphAllPolicies) {
     core::GraphTinker g;
     const auto edges = rmat_edges(300, 3000, 12);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const CsrSnapshot csr(edges, g.num_vertices());
     const auto want = reference_pagerank(csr);
 
@@ -61,7 +61,7 @@ TEST(PageRank, MatchesOracleOnRandomGraphAllPolicies) {
 
 TEST(PageRank, ResidualsDrainBelowTolerance) {
     core::GraphTinker g;
-    g.insert_batch(rmat_edges(100, 800, 3));
+    (void)g.insert_batch(rmat_edges(100, 800, 3));
     PageRank<core::GraphTinker> alg{&g, 0.85, 1e-8};
     DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
         g, EngineOptions{}, alg);
@@ -76,7 +76,7 @@ TEST(PageRank, HubCollectsMoreRankThanLeaf) {
     // Star: everyone points at the hub.
     core::GraphTinker g;
     for (VertexId v = 1; v <= 50; ++v) {
-        g.insert_edge(v, 0);
+        (void)g.insert_edge(v, 0);
     }
     PageRank<core::GraphTinker> alg{&g, 0.85, 1e-10};
     DynamicAnalysis<core::GraphTinker, PageRank<core::GraphTinker>> pr(
@@ -90,7 +90,7 @@ TEST(PageRank, WorksOverStingerToo) {
     stinger::Stinger g;
     const auto edges = rmat_edges(200, 1500, 9);
     for (const Edge& e : edges) {
-        g.insert_edge(e.src, e.dst, e.weight);
+        (void)g.insert_edge(e.src, e.dst, e.weight);
     }
     PageRank<stinger::Stinger> alg{&g, 0.85, 1e-10};
     DynamicAnalysis<stinger::Stinger, PageRank<stinger::Stinger>> pr(
@@ -106,7 +106,7 @@ TEST(PageRank, WorksOverStingerToo) {
 TEST(HybridDegreeAware, ProducesSameResultsAsOtherPolicies) {
     core::GraphTinker g;
     const auto edges = symmetrize(rmat_edges(300, 4000, 8));
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const CsrSnapshot csr(edges, g.num_vertices());
     const auto want = reference_bfs(csr, 2);
     DynamicAnalysis<core::GraphTinker, Bfs> bfs(
@@ -120,7 +120,7 @@ TEST(HybridDegreeAware, ProducesSameResultsAsOtherPolicies) {
 
 TEST(HybridDegreeAware, ExtremeThresholdsDegenerate) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(rmat_edges(200, 2000, 4)));
+    (void)g.insert_batch(symmetrize(rmat_edges(200, 2000, 4)));
     {
         DynamicAnalysis<core::GraphTinker, Bfs> bfs(
             g, EngineOptions{.policy = ModePolicy::HybridDegreeAware,

@@ -23,7 +23,7 @@ TEST_P(ParallelEngineTest, BfsMatchesReferenceAcrossShardCounts) {
     core::ShardedStore<core::GraphTinker> store(shards, [] {
         return core::Config{};
     });
-    store.insert_batch(edges);
+    (void)store.insert_batch(edges);
 
     ParallelDynamicAnalysis<core::GraphTinker, Bfs> bfs(store);
     bfs.set_root(0);
@@ -68,8 +68,8 @@ TEST(ParallelEngine, CcAndSsspMatchSerialEngineDynamically) {
     EdgeBatcher batches(stable, 1000);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
         const auto batch = batches.batch(b);
-        sharded.insert_batch(batch);
-        serial.insert_batch(batch);
+        (void)sharded.insert_batch(batch);
+        (void)serial.insert_batch(batch);
         par_cc.on_batch(batch);
         ser_cc.on_batch(batch);
         par_sssp.on_batch(batch);
@@ -88,7 +88,7 @@ TEST(ParallelEngine, ForcedModesRespected) {
     core::ShardedStore<core::GraphTinker> store(2, [] {
         return core::Config{};
     });
-    store.insert_batch(edges);
+    (void)store.insert_batch(edges);
     {
         ParallelDynamicAnalysis<core::GraphTinker, Bfs> bfs(
             store, EngineOptions{.policy = ModePolicy::ForceFull});
@@ -110,7 +110,7 @@ TEST(ParallelEngine, TraceAndCountsAddUp) {
     core::ShardedStore<core::GraphTinker> store(4, [] {
         return core::Config{};
     });
-    store.insert_batch(edges);
+    (void)store.insert_batch(edges);
     // The sharded store has per-shard registries; a standalone registry
     // collects the engine-level telemetry instead.
     obs::Registry registry;

@@ -42,7 +42,7 @@ std::uint64_t brute_triangles(const std::vector<Edge>& edges, VertexId n) {
 
 TEST(Triangles, SingleTriangle) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(std::vector<Edge>{{0, 1, 1}, {1, 2, 1},
+    (void)g.insert_batch(symmetrize(std::vector<Edge>{{0, 1, 1}, {1, 2, 1},
                                                 {2, 0, 1}}));
     const auto stats = count_triangles(g);
     EXPECT_EQ(stats.total_triangles, 1u);
@@ -57,7 +57,7 @@ TEST(Triangles, TriangleFreeGraphIsZero) {
     for (VertexId v = 1; v <= 20; ++v) {
         edges.push_back({0, v, 1});
     }
-    g.insert_batch(symmetrize(edges));
+    (void)g.insert_batch(symmetrize(edges));
     const auto stats = count_triangles(g);
     EXPECT_EQ(stats.total_triangles, 0u);
     EXPECT_DOUBLE_EQ(stats.clustering_coefficient[0], 0.0);
@@ -65,7 +65,7 @@ TEST(Triangles, TriangleFreeGraphIsZero) {
 
 TEST(Triangles, SelfLoopsAndDuplicatesIgnored) {
     core::GraphTinker g;
-    g.insert_batch(symmetrize(std::vector<Edge>{
+    (void)g.insert_batch(symmetrize(std::vector<Edge>{
         {0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {0, 0, 1}, {0, 1, 9}}));
     const auto stats = count_triangles(g);
     EXPECT_EQ(stats.total_triangles, 1u);
@@ -76,7 +76,7 @@ TEST(Triangles, MatchesBruteForceOnRandomGraphs) {
         constexpr VertexId kN = 60;
         const auto edges = symmetrize(rmat_edges(kN, 300, seed));
         core::GraphTinker g;
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
         const auto stats = count_triangles(g);
         EXPECT_EQ(stats.total_triangles, brute_triangles(edges, kN))
             << "seed " << seed;
@@ -87,9 +87,9 @@ TEST(Triangles, SameAnswerOnBothStores) {
     const auto edges = symmetrize(rmat_edges(100, 800, 14));
     core::GraphTinker tinker;
     stinger::Stinger baseline;
-    tinker.insert_batch(edges);
+    (void)tinker.insert_batch(edges);
     for (const Edge& e : edges) {
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
     EXPECT_EQ(count_triangles(tinker).total_triangles,
               count_triangles(baseline).total_triangles);
@@ -97,10 +97,10 @@ TEST(Triangles, SameAnswerOnBothStores) {
 
 TEST(Snapshot, CapturesLiveEdgesExactly) {
     core::GraphTinker g;
-    g.insert_edge(0, 1, 4);
-    g.insert_edge(1, 2, 5);
-    g.insert_edge(2, 0, 6);
-    g.delete_edge(1, 2);
+    (void)g.insert_edge(0, 1, 4);
+    (void)g.insert_edge(1, 2, 5);
+    (void)g.insert_edge(2, 0, 6);
+    (void)g.delete_edge(1, 2);
     const CsrSnapshot snap = snapshot_of(g);
     EXPECT_EQ(snap.num_edges(), 2u);
     EXPECT_EQ(snap.num_vertices(), g.num_vertices());
@@ -117,7 +117,7 @@ TEST(Snapshot, CapturesLiveEdgesExactly) {
 TEST(Snapshot, StaticAlgorithmsRunOnSnapshots) {
     const auto edges = symmetrize(rmat_edges(200, 2500, 15));
     core::GraphTinker g;
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     const CsrSnapshot snap = snapshot_of(g);
     const CsrSnapshot direct(edges, g.num_vertices());
     const auto a = reference_bfs(snap, 0);

@@ -75,9 +75,9 @@ TEST(BatchPrep, PreparedApplicationMatchesRawApplication) {
     core::GraphTinker prepared_store;
     for (const Update& u : raw) {
         if (u.kind == UpdateKind::Insert) {
-            direct.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
+            (void)direct.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
         } else {
-            direct.delete_edge(u.edge.src, u.edge.dst);
+            (void)direct.delete_edge(u.edge.src, u.edge.dst);
         }
     }
     const auto prepared = prepare_batch(raw);

@@ -52,14 +52,14 @@ TEST(DynamicWorkload, ThreeStoresTrackOneModelThroughMixedTraffic) {
             const auto dst = static_cast<VertexId>(rng.next_below(300));
             if (rng.next_below(10) < insert_bias) {
                 const auto w = static_cast<Weight>(1 + rng.next_below(200));
-                tinker_only.insert_edge(src, dst, w);
-                tinker_compact.insert_edge(src, dst, w);
-                baseline.insert_edge(src, dst, w);
+                (void)tinker_only.insert_edge(src, dst, w);
+                (void)tinker_compact.insert_edge(src, dst, w);
+                (void)baseline.insert_edge(src, dst, w);
                 model[{src, dst}] = w;
             } else {
-                tinker_only.delete_edge(src, dst);
-                tinker_compact.delete_edge(src, dst);
-                baseline.delete_edge(src, dst);
+                (void)tinker_only.delete_edge(src, dst);
+                (void)tinker_compact.delete_edge(src, dst);
+                (void)baseline.delete_edge(src, dst);
                 model.erase({src, dst});
             }
         }
@@ -110,7 +110,7 @@ TEST(DynamicWorkload, AnalyticsSurviveGrowthAndDecay) {
             batch.push_back({a, b, w});
             batch.push_back({b, a, w});
         }
-        g.insert_batch(batch);
+        (void)g.insert_batch(batch);
         for (const Edge& e : batch) {
             model[{e.src, e.dst}] = e.weight;
         }
@@ -126,8 +126,8 @@ TEST(DynamicWorkload, AnalyticsSurviveGrowthAndDecay) {
             }
         }
         for (const EdgeKey& key : to_delete) {
-            g.delete_edge(key.first, key.second);
-            g.delete_edge(key.second, key.first);
+            (void)g.delete_edge(key.first, key.second);
+            (void)g.delete_edge(key.second, key.first);
             model.erase(key);
             model.erase({key.second, key.first});
         }
@@ -157,9 +157,9 @@ TEST(DynamicWorkload, PreparedBatchesPersistenceAndPullBfsCompose) {
     // Apply forward+mirror via the wrapper's API.
     for (const Update& u : prepared.updates) {
         if (u.kind == UpdateKind::Insert) {
-            g.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
+            (void)g.insert_edge(u.edge.src, u.edge.dst, u.edge.weight);
         } else {
-            g.delete_edge(u.edge.src, u.edge.dst);
+            (void)g.delete_edge(u.edge.src, u.edge.dst);
         }
     }
     ASSERT_EQ(g.validate(), "");
@@ -202,7 +202,7 @@ TEST(DynamicWorkload, FeatureFlagsNeverChangeAnswers) {
             cfg.enable_sgh = sgh;
             cfg.enable_cal = cal;
             core::GraphTinker g(cfg);
-            g.insert_batch(stream);
+            (void)g.insert_batch(stream);
             engine::DynamicAnalysis<core::GraphTinker, engine::Sssp> sssp(g);
             sssp.set_root(0);
             sssp.run_from_scratch();

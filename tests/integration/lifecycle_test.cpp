@@ -34,7 +34,7 @@ TEST_P(LifecycleTest, LoadAnalyzeDeleteAnalyze) {
     EdgeBatcher batches(stream, 1500);
     engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(g);
     for (std::size_t b = 0; b < batches.num_batches(); ++b) {
-        g.insert_batch(batches.batch(b));
+        (void)g.insert_batch(batches.batch(b));
         cc.on_batch(batches.batch(b));
         ASSERT_EQ(g.validate(), "") << "batch " << b;
     }
@@ -56,7 +56,7 @@ TEST_P(LifecycleTest, LoadAnalyzeDeleteAnalyze) {
     }
     for (std::size_t b = 0; b < del_batches.num_batches(); ++b) {
         for (const Edge& e : del_batches.batch(b)) {
-            g.delete_edge(e.src, e.dst);
+            (void)g.delete_edge(e.src, e.dst);
             remaining.erase({e.src, e.dst});
         }
         ASSERT_EQ(g.num_edges(), remaining.size());
@@ -70,7 +70,7 @@ TEST_P(LifecycleTest, LoadAnalyzeDeleteAnalyze) {
     }
 
     // Phase 3: the structure is still fully usable after emptying.
-    g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(1, 2, 3);
     EXPECT_EQ(g.find_edge(1, 2), std::optional<Weight>(3));
     ASSERT_EQ(g.validate(), "");
 }
@@ -89,15 +89,15 @@ TEST(Integration, ReinsertionAfterDeletionReusesStructure) {
     core::GraphTinker g;
     const auto edges = rmat_edges(200, 4000, 66);
     for (int cycle = 0; cycle < 3; ++cycle) {
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
         const auto peak = g.edgeblock_array().blocks_allocated();
-        g.delete_batch(edges);
+        (void)g.delete_batch(edges);
         EXPECT_EQ(g.num_edges(), 0u);
-        g.insert_batch(edges);
+        (void)g.insert_batch(edges);
         // Tombstoned slots absorb the reinsertion: the arena must not keep
         // growing cycle over cycle.
         EXPECT_LE(g.edgeblock_array().blocks_allocated(), peak + 2);
-        g.delete_batch(edges);
+        (void)g.delete_batch(edges);
         ASSERT_EQ(g.validate(), "") << "cycle " << cycle;
     }
 }
@@ -112,16 +112,16 @@ TEST(Integration, ParallelShardsEqualSerialUnderChurn) {
 
     EdgeBatcher ins(inserts, 4000);
     for (std::size_t b = 0; b < ins.num_batches(); ++b) {
-        sharded.insert_batch(ins.batch(b));
-        serial.insert_batch(ins.batch(b));
+        (void)sharded.insert_batch(ins.batch(b));
+        (void)serial.insert_batch(ins.batch(b));
         ASSERT_EQ(sharded.num_edges(), serial.num_edges());
     }
     // Delete half.
     EdgeBatcher dels(
         std::span<const Edge>(deletions.data(), deletions.size() / 2), 3000);
     for (std::size_t b = 0; b < dels.num_batches(); ++b) {
-        sharded.delete_batch(dels.batch(b));
-        serial.delete_batch(dels.batch(b));
+        (void)sharded.delete_batch(dels.batch(b));
+        (void)serial.delete_batch(dels.batch(b));
         ASSERT_EQ(sharded.num_edges(), serial.num_edges());
     }
     using E = std::tuple<VertexId, VertexId, Weight>;
@@ -147,13 +147,13 @@ TEST(Integration, StingerAndTinkerAgreeOnFinalGraph) {
 
     core::GraphTinker tinker;
     stinger::Stinger baseline;
-    tinker.insert_batch(inserts);
+    (void)tinker.insert_batch(inserts);
     for (const Edge& e : inserts) {
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
     for (std::size_t i = 0; i < deletions.size() / 3; ++i) {
-        tinker.delete_edge(deletions[i].src, deletions[i].dst);
-        baseline.delete_edge(deletions[i].src, deletions[i].dst);
+        (void)tinker.delete_edge(deletions[i].src, deletions[i].dst);
+        (void)baseline.delete_edge(deletions[i].src, deletions[i].dst);
     }
     ASSERT_EQ(tinker.num_edges(), baseline.num_edges());
 
@@ -176,7 +176,7 @@ TEST(Integration, TinyScaledDatasetEndToEnd) {
     const auto edges = spec.generate();
     EXPECT_EQ(edges.size(), spec.num_edges);
     core::GraphTinker g;
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     EXPECT_GT(g.num_edges(), 0u);
     ASSERT_EQ(g.validate(), "");
     engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(g);

@@ -22,7 +22,7 @@ TEST(ObsParity, GaugesMatchAuditCensusAfterChurn) {
     test::ScopedAudit audit(g);
 
     const auto edges = rmat_edges(700, 30000, 23);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
 
     // Delete roughly a third to leave tombstones, compact, then reinsert a
     // slice so the structure holds live cells, tombstones and CAL chains
@@ -31,13 +31,13 @@ TEST(ObsParity, GaugesMatchAuditCensusAfterChurn) {
     for (std::size_t i = 0; i < edges.size(); i += 3) {
         deletes.push_back(edges[i]);
     }
-    g.delete_batch(deletes);
+    (void)g.delete_batch(deletes);
     g.maintain();
     const std::vector<Edge> again(edges.begin(),
                                   edges.begin() +
                                       static_cast<std::ptrdiff_t>(
                                           edges.size() / 10));
-    g.insert_batch(again);
+    (void)g.insert_batch(again);
 
     const AuditReport report = Auditor::run(g);
     ASSERT_TRUE(report.ok()) << report.to_string();
@@ -64,12 +64,12 @@ TEST(ObsParity, CensusTracksTombstonePurge) {
     GraphTinker g;
     test::ScopedAudit audit(g);
     const auto edges = rmat_edges(300, 8000, 7);
-    g.insert_batch(edges);
+    (void)g.insert_batch(edges);
     std::vector<Edge> deletes(edges.begin(),
                               edges.begin() +
                                   static_cast<std::ptrdiff_t>(
                                       edges.size() / 2));
-    g.delete_batch(deletes);
+    (void)g.delete_batch(deletes);
 
     const AuditReport before = Auditor::run(g);
     ASSERT_TRUE(before.ok()) << before.to_string();
@@ -97,7 +97,7 @@ TEST(ObsParity, NoCalConfigPublishesNoCalGauges) {
     config.enable_cal = false;
     GraphTinker g(config);
     test::ScopedAudit audit(g);
-    g.insert_batch(rmat_edges(200, 4000, 11));
+    (void)g.insert_batch(rmat_edges(200, 4000, 11));
 
     const AuditReport report = Auditor::run(g);
     ASSERT_TRUE(report.ok()) << report.to_string();

@@ -53,7 +53,7 @@ Layout layout_of(const std::string& bytes, std::uint64_t edge_count) {
 
 TEST(SnapshotStatus, EveryTruncationPointYieldsTheSectionsCode) {
     GraphTinker g;
-    g.insert_batch(rmat_edges(32, 40, 5));
+    (void)g.insert_batch(rmat_edges(32, 40, 5));
     const std::uint64_t edges = g.num_edges();
     const std::string full = snapshot_bytes(g);
     const Layout lay = layout_of(full, edges);
@@ -91,7 +91,7 @@ TEST(SnapshotStatus, EveryTruncationPointYieldsTheSectionsCode) {
 
 TEST(SnapshotStatus, DistinctCodesForHeaderCorruption) {
     GraphTinker g;
-    g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(1, 2, 3);
     const std::string full = snapshot_bytes(g);
 
     std::string bad_magic = full;
@@ -109,7 +109,7 @@ TEST(SnapshotStatus, DistinctCodesForHeaderCorruption) {
 
 TEST(SnapshotStatus, ChecksumsCatchBitFlipsInEachSection) {
     GraphTinker g;
-    g.insert_batch(rmat_edges(32, 60, 6));
+    (void)g.insert_batch(rmat_edges(32, 60, 6));
     const std::string full = snapshot_bytes(g);
     const Layout lay = layout_of(full, g.num_edges());
 
@@ -126,7 +126,7 @@ TEST(SnapshotStatus, ChecksumsCatchBitFlipsInEachSection) {
 
 TEST(SnapshotStatus, ImplausibleEdgeCountRejectedBeforeAllocation) {
     GraphTinker g;
-    g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(1, 2, 3);
     std::string full = snapshot_bytes(g);
     const Layout lay = layout_of(full, g.num_edges());
     // Declare ~4 billion edges in a file a few dozen bytes long. The gate
@@ -140,7 +140,7 @@ TEST(SnapshotStatus, ImplausibleEdgeCountRejectedBeforeAllocation) {
 
 TEST(SnapshotStatus, WalSeqRoundTrips) {
     GraphTinker g;
-    g.insert_edge(4, 5, 6);
+    (void)g.insert_edge(4, 5, 6);
     std::stringstream buffer;
     ASSERT_TRUE(write_snapshot(g, buffer, 123456789ULL).ok());
     LoadedSnapshot loaded;
@@ -155,7 +155,7 @@ TEST(SnapshotStatus, FuzzedConfigHeadersNeverCrashOrSlipThrough) {
     // rejection or a config that genuinely passes Config::check(). The real
     // assertion is implicit: no crash, no OOM, no UB under the sanitizers.
     GraphTinker g;
-    g.insert_batch(rmat_edges(16, 20, 8));
+    (void)g.insert_batch(rmat_edges(16, 20, 8));
     const std::string full = snapshot_bytes(g);
     const Layout lay = layout_of(full, g.num_edges());
     const std::size_t cfg_off = lay.header_end;

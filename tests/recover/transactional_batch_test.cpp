@@ -22,7 +22,7 @@ using test::TempDir;
 TEST(TransactionalBatch, SentinelEndpointRejectsWholeBatchWithIndex) {
     GraphTinker g;
     const test::ScopedAudit audit(g, "sentinel");
-    g.insert_edge(1, 2, 3);
+    (void)g.insert_edge(1, 2, 3);
     std::vector<Edge> batch{{4, 5, 6}, {7, 8, 9},
                             {kInvalidVertex, 1, 1}, {10, 11, 12}};
     const Status st = g.insert_batch(batch);
@@ -266,7 +266,7 @@ TEST(TransactionalBatch, SoloInsertFaultLeavesStoreUntouched) {
     const auto before = edge_map_of(g);
 
     fail::ScopedFailPoint fp("cal.grow", 1);
-    EXPECT_THROW(g.insert_edge(999999, 1, 2), fail::InjectedFault);
+    EXPECT_THROW((void)g.insert_edge(999999, 1, 2), fail::InjectedFault);
     EXPECT_EQ(edge_map_of(g), before);
     audit.check();
     EXPECT_TRUE(g.insert_edge(999999, 1, 2));

@@ -336,9 +336,9 @@ TEST(Wal, ReplayAppliesInsertsAndDeletesInCommitOrder) {
     ASSERT_TRUE(replay_wal(path, replayed, 0, stats).ok());
 
     core::GraphTinker expected;
-    expected.insert_batch(edges);
-    expected.delete_batch({edges.begin(), edges.begin() + 50});
-    expected.insert_edge(9999, 1, 5);
+    (void)expected.insert_batch(edges);
+    (void)expected.delete_batch({edges.begin(), edges.begin() + 50});
+    (void)expected.insert_edge(9999, 1, 5);
     EXPECT_EQ(test::edge_map_of(replayed), test::edge_map_of(expected));
     EXPECT_EQ(stats.batches_applied, 3u);
 }

@@ -33,7 +33,7 @@ TEST(RobinHoodMap, InsertOverwrites) {
 
 TEST(RobinHoodMap, EraseReturnsValue) {
     RobinHoodMap<std::uint32_t, int> map;
-    map.insert(5, 50);
+    (void)map.insert(5, 50);
     const auto removed = map.erase(5);
     ASSERT_TRUE(removed.has_value());
     EXPECT_EQ(*removed, 50);
@@ -45,7 +45,7 @@ TEST(RobinHoodMap, EraseReturnsValue) {
 TEST(RobinHoodMap, GrowsPastInitialCapacity) {
     RobinHoodMap<std::uint32_t, std::uint32_t> map(16);
     for (std::uint32_t k = 0; k < 10000; ++k) {
-        map.insert(k, k * 2);
+        (void)map.insert(k, k * 2);
     }
     EXPECT_EQ(map.size(), 10000u);
     for (std::uint32_t k = 0; k < 10000; ++k) {
@@ -58,7 +58,7 @@ TEST(RobinHoodMap, ProbeDistanceStaysSmallAtLoad) {
     // The Robin Hood property: bounded displacement even near max load.
     RobinHoodMap<std::uint32_t, int> map;
     for (std::uint32_t k = 0; k < 50000; ++k) {
-        map.insert(k * 2654435761u, 0);  // adversarially regular keys
+        (void)map.insert(k * 2654435761u, 0);  // adversarially regular keys
     }
     EXPECT_LT(map.mean_probe_distance(), 3.0);
     EXPECT_LT(map.max_probe_distance(), 48u);
@@ -67,7 +67,7 @@ TEST(RobinHoodMap, ProbeDistanceStaysSmallAtLoad) {
 TEST(RobinHoodMap, ForEachVisitsEverything) {
     RobinHoodMap<std::uint32_t, std::uint32_t> map;
     for (std::uint32_t k = 100; k < 200; ++k) {
-        map.insert(k, k + 1);
+        (void)map.insert(k, k + 1);
     }
     std::unordered_map<std::uint32_t, std::uint32_t> seen;
     map.for_each([&](std::uint32_t k, std::uint32_t v) { seen[k] = v; });
@@ -80,7 +80,7 @@ TEST(RobinHoodMap, ForEachVisitsEverything) {
 TEST(RobinHoodMap, ClearEmptiesAndRemainsUsable) {
     RobinHoodMap<std::uint32_t, int> map;
     for (std::uint32_t k = 0; k < 100; ++k) {
-        map.insert(k, 1);
+        (void)map.insert(k, 1);
     }
     map.clear();
     EXPECT_EQ(map.size(), 0u);
@@ -96,7 +96,7 @@ TEST(RobinHoodMap, BackwardShiftKeepsClusterFindable) {
     std::vector<std::uint64_t> keys;
     for (std::uint64_t k = 0; k < 12; ++k) {
         keys.push_back(k);
-        map.insert(k, static_cast<int>(k));
+        (void)map.insert(k, static_cast<int>(k));
     }
     map.erase(5);
     map.erase(6);
@@ -124,7 +124,7 @@ TEST_P(RobinHoodModelTest, MatchesUnorderedMapUnderRandomOps) {
         const auto roll = rng.next_below(10);
         if (roll < 5) {
             const auto value = static_cast<std::uint32_t>(rng.next());
-            map.insert(key, value);
+            (void)map.insert(key, value);
             model[key] = value;
         } else if (roll < 8) {
             const auto got = map.find(key);

@@ -30,8 +30,8 @@ TEST(Smoke, EngineMatchesReferenceOnBothStores) {
     core::GraphTinker tinker;
     stinger::Stinger baseline;
     for (const Edge& e : edges) {
-        tinker.insert_edge(e.src, e.dst, e.weight);
-        baseline.insert_edge(e.src, e.dst, e.weight);
+        (void)tinker.insert_edge(e.src, e.dst, e.weight);
+        (void)baseline.insert_edge(e.src, e.dst, e.weight);
     }
     ASSERT_EQ(tinker.num_edges(), baseline.num_edges());
 

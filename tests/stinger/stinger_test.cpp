@@ -37,14 +37,14 @@ TEST(Stinger, DuplicateInsertUpdatesWeight) {
 TEST(Stinger, DeleteTombstonesAndReuses) {
     Stinger s(StingerConfig{.edges_per_block = 4});
     for (VertexId d = 0; d < 4; ++d) {
-        s.insert_edge(0, d + 10);
+        (void)s.insert_edge(0, d + 10);
     }
     EXPECT_EQ(s.num_blocks(), 1u);
     EXPECT_TRUE(s.delete_edge(0, 11));
     EXPECT_FALSE(s.delete_edge(0, 11));  // already gone
     EXPECT_EQ(s.degree(0), 3u);
     // Reinsertion fills the tombstone rather than growing the chain.
-    s.insert_edge(0, 99);
+    (void)s.insert_edge(0, 99);
     EXPECT_EQ(s.num_blocks(), 1u);
     EXPECT_EQ(s.chain_length(0), 1u);
 }
@@ -52,7 +52,7 @@ TEST(Stinger, DeleteTombstonesAndReuses) {
 TEST(Stinger, ChainGrowsByBlocks) {
     Stinger s(StingerConfig{.edges_per_block = 4});
     for (VertexId d = 0; d < 13; ++d) {
-        s.insert_edge(7, d);
+        (void)s.insert_edge(7, d);
     }
     EXPECT_EQ(s.chain_length(7), 4u);  // ceil(13/4)
     EXPECT_EQ(s.degree(7), 13u);
@@ -64,17 +64,17 @@ TEST(Stinger, ChainGrowsByBlocks) {
 
 TEST(Stinger, VertexArrayGrowsOnDemand) {
     Stinger s(StingerConfig{.initial_vertices = 2});
-    s.insert_edge(1000, 2000);
+    (void)s.insert_edge(1000, 2000);
     EXPECT_GE(s.num_vertices(), 2001u);  // dst also registered
     EXPECT_EQ(s.degree(1000), 1u);
 }
 
 TEST(Stinger, OutEdgeTraversalSkipsTombstones) {
     Stinger s;
-    s.insert_edge(3, 1);
-    s.insert_edge(3, 2);
-    s.insert_edge(3, 5);
-    s.delete_edge(3, 2);
+    (void)s.insert_edge(3, 1);
+    (void)s.insert_edge(3, 2);
+    (void)s.insert_edge(3, 5);
+    (void)s.delete_edge(3, 2);
     std::set<VertexId> seen;
     s.visit_out_edges(3, [&](VertexId dst, Weight) { seen.insert(dst); });
     EXPECT_EQ(seen, (std::set<VertexId>{1, 5}));
@@ -85,7 +85,7 @@ TEST(Stinger, FullTraversalVisitsEveryLiveEdge) {
     const auto edges = rmat_edges(100, 1000, 17);
     std::map<std::pair<VertexId, VertexId>, Weight> model;
     for (const Edge& e : edges) {
-        s.insert_edge(e.src, e.dst, e.weight);
+        (void)s.insert_edge(e.src, e.dst, e.weight);
         model[{e.src, e.dst}] = e.weight;
     }
     std::map<std::pair<VertexId, VertexId>, Weight> seen;
@@ -110,7 +110,7 @@ TEST(Stinger, RandomOpsMatchModel) {
         const auto roll = rng.next_below(10);
         if (roll < 6) {
             const auto w = static_cast<Weight>(1 + rng.next_below(100));
-            s.insert_edge(src, dst, w);
+            (void)s.insert_edge(src, dst, w);
             model[key(src, dst)] = w;
         } else if (roll < 8) {
             const bool deleted = s.delete_edge(src, dst);
@@ -134,7 +134,7 @@ TEST(Stinger, ProbeCostGrowsLinearlyWithDegree) {
     // of a high-degree vertex keep growing linearly.
     Stinger s(StingerConfig{.edges_per_block = 16});
     for (VertexId d = 0; d < 1600; ++d) {
-        s.insert_edge(0, d);
+        (void)s.insert_edge(0, d);
     }
     EXPECT_EQ(s.chain_length(0), 100u);  // 1600 / 16, O(degree) blocks
 }

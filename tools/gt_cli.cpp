@@ -27,9 +27,11 @@
 // (schema "gt.obs.v1"), the same document the micro benches embed.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,8 +98,19 @@ ParsedGraph load(const std::string& path) {
     return read_edge_list(in);
 }
 
+/// Loads a batch or dies: on an un-logged store insert_batch only refuses
+/// malformed input (sentinel vertex ids), which a CLI must report, not
+/// silently drop.
+void ingest_or_die(core::GraphTinker& g, std::span<const Edge> edges) {
+    if (const Status st = g.insert_batch(edges); !st.ok()) {
+        std::fprintf(stderr, "error: batch refused: %s\n",
+                     st.message.c_str());
+        std::exit(2);
+    }
+}
+
 core::GraphTinker& ingest(core::GraphTinker& g, const ParsedGraph& parsed) {
-    g.insert_batch(parsed.edges);
+    ingest_or_die(g, parsed.edges);
     return g;
 }
 
@@ -237,7 +250,7 @@ int cmd_bfs(const ParsedGraph& parsed, VertexId root) {
 int cmd_cc(const ParsedGraph& parsed) {
     core::GraphTinker g;
     // CC needs symmetric reachability.
-    g.insert_batch(engine::symmetrize(parsed.edges));
+    ingest_or_die(g, engine::symmetrize(parsed.edges));
     engine::DynamicAnalysis<core::GraphTinker, engine::Cc> cc(g);
     cc.run_from_scratch();
     std::map<std::uint32_t, std::size_t> sizes;
@@ -282,7 +295,7 @@ int cmd_pagerank(const ParsedGraph& parsed, std::size_t top_k) {
 
 int cmd_kcore(const ParsedGraph& parsed) {
     core::GraphTinker g;
-    g.insert_batch(engine::symmetrize(parsed.edges));
+    ingest_or_die(g, engine::symmetrize(parsed.edges));
     const auto result = engine::kcore_decomposition(g);
     std::printf("degeneracy: %u\n", result.degeneracy);
     for (std::uint32_t k = 0; k < result.core_sizes.size(); ++k) {
@@ -293,7 +306,7 @@ int cmd_kcore(const ParsedGraph& parsed) {
 
 int cmd_triangles(const ParsedGraph& parsed) {
     core::GraphTinker g;
-    g.insert_batch(engine::symmetrize(parsed.edges));
+    ingest_or_die(g, engine::symmetrize(parsed.edges));
     const auto stats = engine::count_triangles(g);
     std::printf("triangles          : %llu\n",
                 static_cast<unsigned long long>(stats.total_triangles));
@@ -339,7 +352,7 @@ int cmd_audit(int argc, char** argv) {
 
     core::GraphTinker g;
     Timer load_timer;
-    g.insert_batch(edges);
+    ingest_or_die(g, edges);
     const double load_s = load_timer.seconds();
 
     Timer audit_timer;

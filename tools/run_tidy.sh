@@ -3,7 +3,8 @@
 # sources using the compile database from the `tidy` CMake preset.
 #
 # Usage:
-#   tools/run_tidy.sh [path ...]      # default: src tools
+#   tools/run_tidy.sh [path ...]          # default: src tools
+#   tools/run_tidy.sh --update-baseline   # rewrite tools/tidy_baseline.txt
 #
 # Environment:
 #   CLANG_TIDY   clang-tidy binary to use (default: discovered on PATH)
@@ -11,11 +12,25 @@
 #                (default: build/tidy, configured on demand)
 #   TIDY_JOBS    parallel jobs (default: nproc)
 #
+# The run fails when a diagnostic appears that is not in the committed
+# baseline (tools/tidy_baseline.txt) — so new warnings block CI while known
+# ones age out on their own schedule. Baseline entries are `file [check]`
+# pairs (no line numbers: unrelated edits must not invalidate them). Fixing
+# the last instance of a baselined warning leaves a stale entry; rerun with
+# --update-baseline and commit the shrunken file.
+#
 # Exits 0 with a notice when no clang-tidy binary is available, so the script
 # is safe to call from environments that only ship the gcc toolchain.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+BASELINE="tools/tidy_baseline.txt"
+UPDATE_BASELINE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+    UPDATE_BASELINE=1
+    shift
+fi
 
 TIDY_BIN="${CLANG_TIDY:-}"
 if [[ -z "${TIDY_BIN}" ]]; then
@@ -56,8 +71,45 @@ fi
 
 jobs="${TIDY_JOBS:-$(nproc)}"
 echo "run_tidy.sh: ${TIDY_BIN} over ${#sources[@]} files (${jobs} jobs)"
+log="$(mktemp)"
+trap 'rm -f "${log}"' EXIT
 status=0
 printf '%s\0' "${sources[@]}" |
     xargs -0 -n 1 -P "${jobs}" \
-        "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet || status=$?
-exit "${status}"
+        "${TIDY_BIN}" -p "${BUILD_DIR}" --quiet >"${log}" 2>&1 || status=$?
+cat "${log}"
+# Hard errors (WarningsAsErrors promotions, parse failures) fail outright.
+if [[ "${status}" -ne 0 ]]; then
+    exit "${status}"
+fi
+
+# Normalize diagnostics to stable `file [check]` keys: strip the absolute
+# prefix and the line:col (so edits elsewhere in a file don't churn the
+# baseline), keep one entry per file+check pair.
+current="$(
+    sed -nE "s#^$(pwd)/##; s#^([^ :]+):[0-9]+:[0-9]+: warning: .* (\[[a-z0-9.,-]+\])\$#\1 \2#p" \
+        "${log}" | sort -u
+)"
+
+if [[ "${UPDATE_BASELINE}" -eq 1 ]]; then
+    {
+        echo "# clang-tidy baseline: one \`file [check]\` pair per known"
+        echo "# diagnostic. Regenerate with tools/run_tidy.sh --update-baseline."
+        [[ -n "${current}" ]] && printf '%s\n' "${current}"
+    } >"${BASELINE}"
+    echo "run_tidy.sh: baseline rewritten ($(printf '%s' "${current}" | grep -c . || true) entries)"
+    exit 0
+fi
+
+known="$(grep -v '^#' "${BASELINE}" 2>/dev/null | sort -u || true)"
+new="$(comm -23 <(printf '%s\n' "${current}" | grep . || true) \
+                <(printf '%s\n' "${known}" | grep . || true))"
+if [[ -n "${new}" ]]; then
+    echo "run_tidy.sh: NEW diagnostics not in ${BASELINE}:" >&2
+    printf '%s\n' "${new}" >&2
+    echo "run_tidy.sh: fix them, or rerun with --update-baseline and" \
+         "justify the additions in review." >&2
+    exit 1
+fi
+echo "run_tidy.sh: no diagnostics outside the committed baseline"
+exit 0
