@@ -110,6 +110,7 @@ bool GraphTinker::insert_edge(VertexId src, VertexId dst, Weight weight) {
         }
         journal_.clear();
     }
+    mutation_epoch_.fetch_add(1, std::memory_order_release);
     return created;
 }
 
@@ -222,6 +223,9 @@ bool GraphTinker::delete_edge(VertexId src, VertexId dst) {
             return false;
         }
         journal_.clear();
+    }
+    if (found) {
+        mutation_epoch_.fetch_add(1, std::memory_order_release);
     }
     return found;
 }
@@ -530,7 +534,35 @@ Status GraphTinker::insert_batch(std::span<const Edge> batch) {
             }
         }
     } maintain_at_exit{*this};
-    return run_transaction(batch, /*deletes=*/false, [&] {
+    // Single-edge bypass (durability off): a 1-edge batch is inherently
+    // atomic because insert_edge's growth pre-flights throw before any
+    // mutation, so the journal/txn frame would be pure overhead — route it
+    // straight through the solo path at solo cost. With a log attached the
+    // transactional frame stays: batch and solo records replay differently.
+    if (batch.size() <= 1 && log_ == nullptr) {
+        if (batch.empty()) {
+            return Status::success();
+        }
+        const Edge& e = batch.front();
+        if (e.src == kInvalidVertex || e.dst == kInvalidVertex) {
+            return Status{StatusCode::InvalidArgument,
+                          "batch edge carries the invalid-vertex sentinel",
+                          0};
+        }
+        try {
+            (void)insert_edge(e.src, e.dst, e.weight);
+        } catch (const fail::InjectedFault& f) {
+            return Status{StatusCode::FaultInjected,
+                          "injected fault at site '" + f.site() +
+                              "' mid-batch",
+                          0};
+        } catch (const std::bad_alloc&) {
+            return Status{StatusCode::ResourceExhausted,
+                          "allocation failed mid-batch", 0};
+        }
+        return Status::success();
+    }
+    const Status st = run_transaction(batch, /*deletes=*/false, [&] {
         if (batch.size() < kBatchFastPathMin ||
             batch.size() > std::numeric_limits<std::uint32_t>::max()) {
             for (const Edge& e : batch) {
@@ -606,6 +638,10 @@ Status GraphTinker::insert_batch(std::span<const Edge> batch) {
             num_edges_ += created;
         }
     });
+    if (st.ok()) {
+        mutation_epoch_.fetch_add(1, std::memory_order_release);
+    }
+    return st;
 }
 
 Status GraphTinker::delete_batch(std::span<const Edge> batch) {
@@ -620,7 +656,33 @@ Status GraphTinker::delete_batch(std::span<const Edge> batch) {
             }
         }
     } maintain_at_exit{*this};
-    return run_transaction(batch, /*deletes=*/true, [&] {
+    // Single-edge bypass, mirroring insert_batch: an absent edge is a legal
+    // no-op and delete_edge's erase pre-flight throws before any mutation,
+    // so the 1-edge case needs no journal frame when durability is off.
+    if (batch.size() <= 1 && log_ == nullptr) {
+        if (batch.empty()) {
+            return Status::success();
+        }
+        const Edge& e = batch.front();
+        if (e.src == kInvalidVertex || e.dst == kInvalidVertex) {
+            return Status{StatusCode::InvalidArgument,
+                          "batch edge carries the invalid-vertex sentinel",
+                          0};
+        }
+        try {
+            (void)delete_edge(e.src, e.dst);
+        } catch (const fail::InjectedFault& f) {
+            return Status{StatusCode::FaultInjected,
+                          "injected fault at site '" + f.site() +
+                              "' mid-batch",
+                          0};
+        } catch (const std::bad_alloc&) {
+            return Status{StatusCode::ResourceExhausted,
+                          "allocation failed mid-batch", 0};
+        }
+        return Status::success();
+    }
+    const Status st = run_transaction(batch, /*deletes=*/true, [&] {
         if (batch.size() < kBatchFastPathMin ||
             batch.size() > std::numeric_limits<std::uint32_t>::max()) {
             for (const Edge& e : batch) {
@@ -651,6 +713,10 @@ Status GraphTinker::delete_batch(std::span<const Edge> batch) {
             }
         }
     });
+    if (st.ok()) {
+        mutation_epoch_.fetch_add(1, std::memory_order_release);
+    }
+    return st;
 }
 
 std::optional<Weight> GraphTinker::find_edge(VertexId src,

@@ -125,6 +125,14 @@ public:
                                                   VertexId dst) const;
 
     [[nodiscard]] EdgeCount num_edges() const noexcept { return num_edges_; }
+    /// Monotonic mutation epoch: advances (release) after every committed
+    /// mutating call — solo edge ops and transactional batches. A reader
+    /// that loads (acquire) the same value twice around a read brackets a
+    /// quiescent window without locking; the sharded pipeline's per-shard
+    /// completion epochs extend the same discipline across workers.
+    [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+        return mutation_epoch_.load(std::memory_order_acquire);
+    }
     /// One past the largest raw vertex id seen (src or dst side).
     [[nodiscard]] VertexId num_vertices() const noexcept {
         return raw_bound_;
@@ -345,6 +353,9 @@ private:
     std::vector<std::uint32_t> top_;  // dense id -> top-parent block handle
     EdgeCount num_edges_ = 0;
     VertexId raw_bound_ = 0;
+    /// See mutation_epoch(). Release on bump / acquire on read so an epoch
+    /// observation publishes the mutations it counts.
+    std::atomic<std::uint64_t> mutation_epoch_{0};
     /// Resume point of the amortized maintenance slices (dense id).
     VertexId maintain_cursor_ = 0;
 

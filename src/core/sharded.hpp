@@ -1,4 +1,5 @@
-// Parallel instances of a dynamic graph store (paper §III.D, Fig. 6).
+// Parallel instances of a dynamic graph store (paper §III.D, Fig. 6),
+// pipelined: each shard is owned by one persistent worker thread.
 //
 // The edge stream is partitioned by where the source id hashes, and each
 // partition ("interval") loads into its own store instance on its own core.
@@ -6,48 +7,125 @@
 // baseline parallelize identically — multicore comparisons (Fig. 10) then
 // measure the data structures, not the parallelization strategy.
 //
-// Batches flow through a two-pass parallel radix partition: every worker
-// histograms a chunk of the batch by shard, a serial prefix sum turns the
-// per-(worker, shard) counts into write cursors, and the workers scatter
-// their chunks into one flat arena at disjoint offsets. The arena and the
-// count/offset tables are members whose capacity is reused, so steady-state
-// batches allocate nothing. Stores that expose a native insert_batch /
-// delete_batch (GraphTinker's source-grouped fast path) receive their shard
-// slice as one span; others fall back to per-edge application.
+// Execution model (DESIGN.md §13). The original ShardedStore forked a
+// parallel_for per batch: every batch paid a wakeup/barrier rendezvous plus
+// a barrier-synchronized partition, which erased the multicore win at
+// batch=100k and collapsed ~20x at batch=1. Now each shard has a dedicated
+// worker thread that runs for the store's lifetime, fed by a bounded
+// per-shard HandoffQueue. The caller's role shrinks to radix-scattering the
+// batch into a generation arena and enqueueing one slice task per shard —
+// so partitioning batch N+1 overlaps shard application of batch N, and no
+// thread ever waits at a barrier on the ingest path. Mini-batches at or
+// below Config::sharded_small_batch_threshold that land wholly on one shard
+// (always true for batch=1) skip the partition and hand the slice to the
+// owning worker directly.
+//
+// Concurrency discipline: single writer per shard, many readers. Only shard
+// s's worker mutates shard s's store, holding the shard's rwlock exclusively
+// per task; readers either (a) call a draining accessor (num_edges, shard,
+// find_edge — these wait for the shard's queue epoch to settle, preserving
+// the old synchronous semantics for existing callers), or (b) take a
+// read_snapshot() pin — drain one shard and hold its rwlock shared — so
+// analytics on shard A proceed while shards B.. ingest. The queue's
+// enqueued/completed counters are the per-shard epoch: a reader that
+// observed completed == enqueued (acquire) sees every store write those
+// tasks made (release on completion).
+//
+// Failure semantics: per-shard application stays transactional (the store's
+// own insert_batch/delete_batch machinery), but outcomes are asynchronous.
+// Each worker latches its first non-Ok Status; flush() drains the pipeline,
+// returns the first latched failure in shard-index order ("shard N: "
+// prefixed, as before) and re-arms the latches. Shards fail independently:
+// a non-Ok flush means the failing shards rolled their slices back while
+// the others committed — cross-shard atomicity is still not provided.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "gen/batch_prep.hpp"
+#include "obs/metrics.hpp"
+#include "util/failpoint.hpp"
 #include "util/hash.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/types.hpp"
 
 namespace gt::core {
 
+/// Pipeline knobs. Fields left at kFromConfig resolve from the store
+/// config when it carries the sharded_* members (gt::core::Config does),
+/// else to the built-in defaults — so STINGER shards pick up sane values
+/// without growing config fields.
+struct ShardedOptions {
+    static constexpr std::size_t kFromConfig = static_cast<std::size_t>(-1);
+
+    /// Single-shard mini-batches at or below this size bypass partitioning.
+    std::size_t small_batch_threshold = kFromConfig;
+    /// Bounded per-shard queue depth, in hand-off tasks.
+    std::size_t queue_depth = kFromConfig;
+    /// Optional metrics sink: per-shard `shard.<i>.queue_depth` gauges, the
+    /// `shard.handoff_us` latency histogram and the `shard.tasks_applied`
+    /// counter land here.
+    obs::Registry* registry = nullptr;
+};
+
 template <typename Store>
 class ShardedStore {
+    struct Shard;
+
 public:
-    /// Creates `shards` instances and a matching pool. `factory()` returns
-    /// the *configuration* each store is constructed from (stores are built
-    /// in place — GraphTinker is intentionally non-movable).
+    /// Creates `shards` instances, each with a persistent worker thread.
+    /// `factory()` returns the *configuration* each store is constructed
+    /// from (stores are built in place — GraphTinker is intentionally
+    /// non-movable).
     template <typename Factory>
-    ShardedStore(std::size_t shards, Factory&& factory)
-        : pool_(shards == 0 ? 1 : shards) {
+    explicit ShardedStore(std::size_t shards, Factory&& factory,
+                          ShardedOptions opts = {}) {
+        resolve_options(opts, factory);
         const std::size_t n = shards == 0 ? 1 : shards;
-        stores_.reserve(n);
+        for (auto& gen : gens_) {
+            gen = std::make_unique<Generation>();
+        }
+        shards_.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
-            stores_.push_back(std::make_unique<Store>(factory()));
+            shards_.push_back(std::make_unique<Shard>(
+                std::make_unique<Store>(factory()), queue_depth_));
+        }
+        bind_metrics(opts.registry);
+        for (std::size_t i = 0; i < n; ++i) {
+            shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
         }
     }
+
+    /// Stops the queues and joins the workers. pop_some keeps returning
+    /// queued tasks after stop() until the ring is empty, so destruction
+    /// drains: every enqueued batch is applied before the stores die.
+    ~ShardedStore() {
+        for (auto& sh : shards_) {
+            sh->queue.stop();
+        }
+        for (auto& sh : shards_) {
+            if (sh->worker.joinable()) {
+                sh->worker.join();
+            }
+        }
+    }
+
+    ShardedStore(const ShardedStore&) = delete;
+    ShardedStore& operator=(const ShardedStore&) = delete;
 
     /// Owning shard of a source id. Division-free for any shard count: the
     /// mixed hash is mapped into [0, shards) with a multiply-shift (Lemire's
@@ -62,225 +140,634 @@ public:
             (static_cast<std::uint64_t>(mix32(src)) * shards) >> 32);
     }
 
-    /// Inserts the batch, each shard applying its slice transactionally.
-    /// Returns the first failing shard's Status (message prefixed with the
-    /// shard index). Shards fail independently: a non-Ok return means the
-    /// failing shards rolled their slices back while the others committed —
-    /// cross-shard atomicity is not provided (ROADMAP item 1 territory).
+    /// Scatters the batch and enqueues one slice per owning shard; the
+    /// shard workers apply the slices transactionally, asynchronously.
+    /// Always returns Ok — per-shard outcomes are latched by the workers
+    /// and surfaced by flush() / first_shard_failure(). Mutating calls
+    /// (insert/delete/apply/flush) must come from one thread at a time;
+    /// concurrent *readers* are welcome via read_snapshot().
     [[nodiscard]] Status insert_batch(std::span<const Edge> batch) {
-        partition(batch, edge_arena_,
-                  [](const Edge& e) { return e.src; });
-        shard_status_.assign(stores_.size(), Status::success());
-        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
-            const std::span<const Edge> part = shard_slice(edge_arena_, s);
-            if constexpr (requires(Store& st) {
-                              { st.insert_batch(part) } -> std::same_as<Status>;
-                          }) {
-                shard_status_[s] = stores_[s]->insert_batch(part);
-            } else if constexpr (requires(Store& st) {
-                                     st.insert_batch(part);
-                                 }) {
-                (void)stores_[s]->insert_batch(part);
-            } else {
-                for (const Edge& e : part) {
-                    (void)stores_[s]->insert_edge(e.src, e.dst, e.weight);
-                }
-            }
-        });
-        return first_shard_failure();
+        enqueue_edges(batch, Op::InsertEdges);
+        return Status::success();
     }
 
-    /// Batched delete with the same per-shard transactional semantics and
-    /// first-failure reporting as insert_batch.
+    /// Batched delete with the same pipelined application and per-shard
+    /// failure latching as insert_batch.
     [[nodiscard]] Status delete_batch(std::span<const Edge> batch) {
-        partition(batch, edge_arena_,
-                  [](const Edge& e) { return e.src; });
-        shard_status_.assign(stores_.size(), Status::success());
-        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
-            const std::span<const Edge> part = shard_slice(edge_arena_, s);
-            if constexpr (requires(Store& st) {
-                              { st.delete_batch(part) } -> std::same_as<Status>;
-                          }) {
-                shard_status_[s] = stores_[s]->delete_batch(part);
-            } else if constexpr (requires(Store& st) {
-                                     st.delete_batch(part);
-                                 }) {
-                (void)stores_[s]->delete_batch(part);
-            } else {
-                for (const Edge& e : part) {
-                    (void)stores_[s]->delete_edge(e.src, e.dst);
-                }
-            }
-        });
-        return first_shard_failure();
+        enqueue_edges(batch, Op::DeleteEdges);
+        return Status::success();
     }
 
     /// Outcome of apply_updates: how much of the raw batch pre-combining
     /// folded away before any shard saw it.
     struct ApplyResult {
-        std::size_t applied = 0;        // updates that reached the stores
+        std::size_t applied = 0;        // updates that reached the queues
         std::size_t duplicates = 0;     // folded into their survivor
         std::size_t cancellations = 0;  // insert+delete pairs dropped
     };
 
     /// Applies a mixed insert/delete stream: the batch is pre-combined with
     /// prepare_batch (dedup per pair, optional insert+delete cancellation)
-    /// *before* sharding, then radix-partitioned and applied per shard in
-    /// stream order. See prepare_batch for `assume_new_edges`.
+    /// *before* sharding, then partitioned and applied per shard in stream
+    /// order. See prepare_batch for `assume_new_edges`.
     ApplyResult apply_updates(std::span<const Update> raw,
                               bool assume_new_edges = false) {
         const PreparedBatch prepared = prepare_batch(raw, assume_new_edges);
-        partition(std::span<const Update>(prepared.updates), update_arena_,
-                  [](const Update& u) { return u.edge.src; });
-        pool_.parallel_for(stores_.size(), [&](std::size_t s) {
-            for (const Update& u : shard_slice(update_arena_, s)) {
-                // Per-edge application: the bool is "created"/"existed",
-                // which the update stream does not track.
-                if (u.kind == UpdateKind::Insert) {
-                    (void)stores_[s]->insert_edge(u.edge.src, u.edge.dst,
-                                                  u.edge.weight);
-                } else {
-                    (void)stores_[s]->delete_edge(u.edge.src, u.edge.dst);
+        const std::span<const Update> ups(prepared.updates);
+        if (!ups.empty()) {
+            Generation& gen = acquire_generation(0, ups.size());
+            const std::size_t base = gen.updates.size();
+            const std::size_t single = single_shard_of(ups);
+            if (single != kMixedShards) {
+                gen.updates.insert(gen.updates.end(), ups.begin(), ups.end());
+                submit(single, make_task(Op::ApplyUpdates, gen,
+                                         gen.updates.data() + base,
+                                         ups.size()));
+            } else {
+                partition_into(ups, gen.updates,
+                               [](const Update& u) { return u.edge.src; });
+                for (std::size_t s = 0; s < shards_.size(); ++s) {
+                    const std::size_t len =
+                        slice_offsets_[s + 1] - slice_offsets_[s];
+                    if (len != 0) {
+                        submit(s, make_task(Op::ApplyUpdates, gen,
+                                            gen.updates.data() + base +
+                                                slice_offsets_[s],
+                                            len));
+                    }
                 }
             }
-        });
+        }
         return ApplyResult{prepared.updates.size(), prepared.duplicates,
                            prepared.cancellations};
     }
 
-    [[nodiscard]] EdgeCount num_edges() const {
-        EdgeCount total = 0;
-        for (const auto& store : stores_) {
-            total += store->num_edges();
+    // ---- barriers & failure surfacing ---------------------------------
+
+    /// Blocks until every enqueued task has been applied on every shard.
+    /// After drain() returns, all store reads observe the effects of every
+    /// batch enqueued before the call (acquire on the completion epochs).
+    /// Do not call from a thread holding a ReadPin on any shard — the
+    /// pinned shard's worker cannot finish while the pin blocks it.
+    void drain() const {
+        for (const auto& sh : shards_) {
+            sh->queue.wait_idle();
         }
-        return total;
     }
 
-    [[nodiscard]] std::size_t num_shards() const noexcept {
-        return stores_.size();
-    }
-    [[nodiscard]] Store& shard(std::size_t i) { return *stores_[i]; }
-    [[nodiscard]] const Store& shard(std::size_t i) const {
-        return *stores_[i];
-    }
-
-    /// Finds the edge in its owning shard.
-    [[nodiscard]] auto find_edge(VertexId src, VertexId dst) const {
-        return stores_[shard_of(src, stores_.size())]->find_edge(src, dst);
-    }
-
-private:
-    /// Batches below this size partition serially (two passes, one thread);
-    /// the fork/join overhead would dominate otherwise.
-    static constexpr std::size_t kParallelPartitionMin = 4096;
-
-    [[nodiscard]] std::size_t chunk_begin(std::size_t chunk,
-                                          std::size_t chunk_size,
-                                          std::size_t total) const noexcept {
-        const std::size_t begin = chunk * chunk_size;
-        return begin < total ? begin : total;
-    }
-
-    /// Two-pass radix partition of `batch` by source shard into `arena`
-    /// (count -> prefix -> scatter). All scratch keeps its capacity between
-    /// batches, so the steady state is allocation-free.
-    template <typename T, typename SrcOf>
-    void partition(std::span<const T> batch, std::vector<T>& arena,
-                   SrcOf&& src_of) {
-        const std::size_t n = stores_.size();
-        const std::size_t count = batch.size();
-        arena.resize(count);
-        offsets_.assign(n + 1, 0);
-        if (count == 0) {
-            return;
-        }
-        if (n == 1) {
-            std::copy(batch.begin(), batch.end(), arena.begin());
-            offsets_[1] = count;
-            return;
-        }
-        const std::size_t workers =
-            count < kParallelPartitionMin
-                ? 1
-                : std::min(pool_.size(),
-                           count / (kParallelPartitionMin / 4) + 1);
-        const std::size_t chunk_size = (count + workers - 1) / workers;
-        cursors_.assign(workers * n, 0);
-
-        // Pass 1: per-worker shard histograms over disjoint chunks.
-        auto count_chunk = [&](std::size_t w) {
-            const std::size_t begin = chunk_begin(w, chunk_size, count);
-            const std::size_t end = chunk_begin(w + 1, chunk_size, count);
-            std::size_t* hist = cursors_.data() + w * n;
-            for (std::size_t i = begin; i < end; ++i) {
-                ++hist[shard_of(src_of(batch[i]), n)];
+    /// Drains, then returns the first latched per-shard failure in
+    /// shard-index order (message prefixed "shard N: ", Ok when every slice
+    /// committed) and re-arms the latches for the next window of batches.
+    [[nodiscard]] Status flush() {
+        drain();
+        Status first = Status::success();
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            Shard& sh = *shards_[s];
+            if (sh.failed && first.ok()) {
+                first = prefixed(s, sh.failure);
             }
-        };
-        if (workers == 1) {
-            count_chunk(0);
-        } else {
-            pool_.parallel_for(workers, count_chunk);
+            sh.failed = false;
+            sh.failure = Status::success();
         }
-
-        // Prefix sums: shard-major so each shard's slice is contiguous and
-        // each (worker, shard) pair owns a disjoint cursor range.
-        std::size_t run = 0;
-        for (std::size_t s = 0; s < n; ++s) {
-            offsets_[s] = run;
-            for (std::size_t w = 0; w < workers; ++w) {
-                const std::size_t c = cursors_[w * n + s];
-                cursors_[w * n + s] = run;
-                run += c;
-            }
-        }
-        offsets_[n] = run;
-
-        // Pass 2: scatter. Writes of different workers never overlap.
-        auto scatter_chunk = [&](std::size_t w) {
-            const std::size_t begin = chunk_begin(w, chunk_size, count);
-            const std::size_t end = chunk_begin(w + 1, chunk_size, count);
-            std::size_t* cursor = cursors_.data() + w * n;
-            T* out = arena.data();
-            for (std::size_t i = begin; i < end; ++i) {
-                out[cursor[shard_of(src_of(batch[i]), n)]++] = batch[i];
-            }
-        };
-        if (workers == 1) {
-            scatter_chunk(0);
-        } else {
-            pool_.parallel_for(workers, scatter_chunk);
-        }
+        return first;
     }
 
-    template <typename T>
-    [[nodiscard]] std::span<const T> shard_slice(const std::vector<T>& arena,
-                                                 std::size_t s) const {
-        return std::span<const T>(arena.data() + offsets_[s],
-                                  offsets_[s + 1] - offsets_[s]);
-    }
-
-    /// First non-Ok entry of shard_status_, its message prefixed with the
-    /// failing shard's index (Ok when every shard committed).
+    /// Drains and reports like flush(), but leaves the latches armed —
+    /// repeated calls keep returning the same first failure until flush()
+    /// clears it.
     [[nodiscard]] Status first_shard_failure() const {
-        for (std::size_t s = 0; s < shard_status_.size(); ++s) {
-            if (!shard_status_[s].ok()) {
-                Status st = shard_status_[s];
-                st.message =
-                    "shard " + std::to_string(s) + ": " + st.message;
-                return st;
+        drain();
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (shards_[s]->failed) {
+                return prefixed(s, shards_[s]->failure);
             }
         }
         return Status::success();
     }
 
-    std::vector<std::unique_ptr<Store>> stores_;
-    std::vector<Edge> edge_arena_;      // flat partitioned batch, by shard
-    std::vector<Update> update_arena_;  // flat partitioned update stream
-    std::vector<std::size_t> offsets_;  // shard s owns [offsets_[s], [s+1])
-    std::vector<std::size_t> cursors_;  // per-(worker, shard) scratch
-    /// Per-shard batch outcomes; entry s is written only by shard s's task.
-    std::vector<Status> shard_status_;
-    ThreadPool pool_;
+    // ---- reads --------------------------------------------------------
+
+    /// Shared-lock hold on one drained shard: the single-writer/many-reader
+    /// side of the discipline. While a pin is live, the pinned shard's
+    /// worker blocks before its next task and every other shard ingests
+    /// freely — analytics on shard A overlap writes to shards B.. .
+    class ReadPin {
+    public:
+        ReadPin(const ReadPin&) = delete;
+        ReadPin& operator=(const ReadPin&) = delete;
+
+        [[nodiscard]] const Store& store() const noexcept { return store_; }
+        const Store* operator->() const noexcept { return &store_; }
+        const Store& operator*() const noexcept { return store_; }
+
+    private:
+        friend class ShardedStore;
+        explicit ReadPin(const Shard& sh)
+            : store_(*sh.store), lock_(sh.rw) {}
+
+        const Store& store_;
+        SharedLockGuard lock_;
+    };
+
+    /// Drains shard `s` and pins it for reading. Returns by RVO (ReadPin is
+    /// not movable); hold it only as long as the read lasts.
+    [[nodiscard]] ReadPin read_snapshot(std::size_t s) const {
+        shards_[s]->queue.wait_idle();
+        return ReadPin(*shards_[s]);
+    }
+
+    /// Per-shard version counter: the number of hand-off tasks shard `s`
+    /// has fully applied (acquire). Advances monotonically; equality with
+    /// two reads brackets a quiescent window for that shard.
+    [[nodiscard]] std::uint64_t shard_epoch(std::size_t s) const noexcept {
+        return shards_[s]->queue.completed();
+    }
+
+    [[nodiscard]] EdgeCount num_edges() const {
+        drain();
+        EdgeCount total = 0;
+        for (const auto& sh : shards_) {
+            total += sh->store->num_edges();
+        }
+        return total;
+    }
+
+    [[nodiscard]] std::size_t num_shards() const noexcept {
+        return shards_.size();
+    }
+
+    /// Drains shard `i` and returns it. The reference is safe to use until
+    /// the next mutating call routes work to this shard; for reads that
+    /// must overlap ingest, use read_snapshot() instead.
+    [[nodiscard]] Store& shard(std::size_t i) {
+        shards_[i]->queue.wait_idle();
+        return *shards_[i]->store;
+    }
+    [[nodiscard]] const Store& shard(std::size_t i) const {
+        shards_[i]->queue.wait_idle();
+        return *shards_[i]->store;
+    }
+
+    /// Finds the edge in its owning shard (draining only that shard).
+    [[nodiscard]] auto find_edge(VertexId src, VertexId dst) const {
+        const std::size_t s = shard_of(src, shards_.size());
+        shards_[s]->queue.wait_idle();
+        return shards_[s]->store->find_edge(src, dst);
+    }
+
+    /// Refreshes the pipeline gauges into the bound registry. Drains first
+    /// so the per-shard stores are quiescent and the epoch gauges describe
+    /// one consistent point; queue-depth gauges therefore read the
+    /// post-drain backlog (zero) — their live values stream in at push
+    /// time.
+    void telemetry() {
+        drain();
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            Shard& sh = *shards_[s];
+            if (sh.depth_gauge != nullptr) {
+                sh.depth_gauge->set(static_cast<double>(sh.queue.depth()));
+            }
+        }
+    }
+
+private:
+    enum class Op : std::uint8_t { InsertEdges, DeleteEdges, ApplyUpdates };
+
+    /// One hand-off: a contiguous slice of a generation arena plus the
+    /// operation to apply it with. Carries raw pointers (stable — the
+    /// arena never reallocates while referenced) so the worker never
+    /// touches the producer-side vectors.
+    struct Task {
+        Op op = Op::InsertEdges;
+        std::uint32_t gen = 0;
+        std::size_t count = 0;
+        const Edge* edges = nullptr;
+        const Update* updates = nullptr;
+        std::uint64_t enqueue_ns = 0;
+    };
+
+    /// Arena one or more partitioned batches live in while their slice
+    /// tasks are in flight. `pending` counts referencing tasks; the
+    /// producer appends only while it holds the generation open and only
+    /// within reserved capacity, so worker-side slice reads never race a
+    /// reallocation. A sealed generation with pending == 0 is recyclable.
+    struct Generation {
+        std::vector<Edge> edges;
+        std::vector<Update> updates;
+        std::atomic<std::uint64_t> pending{0};
+        std::atomic<bool> sealed{true};
+    };
+
+    struct Shard {
+        Shard(std::unique_ptr<Store> st, std::size_t depth)
+            : store(std::move(st)), queue(depth) {}
+
+        std::unique_ptr<Store> store;
+        HandoffQueue<Task> queue;
+        /// Writer: the shard worker, exclusively per task. Readers: pins.
+        /// Mutable so const read paths can pin.
+        mutable SharedMutex rw;
+        /// First non-Ok outcome since the last flush(). Written only by the
+        /// shard worker (before it publishes completion), read/cleared only
+        /// after a drain — the queue's completion epoch orders the two, so
+        /// no lock is needed.
+        Status failure;
+        bool failed = false;
+        obs::Gauge* depth_gauge = nullptr;
+        std::thread worker;
+    };
+
+    /// Generations in rotation. Three is the minimum that pipelines: one
+    /// being applied, one being filled, one of slack so a slow shard does
+    /// not stall the partitioner immediately.
+    static constexpr std::size_t kGenerations = 3;
+    /// Fresh generations reserve at least this many slots so tiny batches
+    /// amortize: at batch=1 one generation absorbs thousands of hand-offs
+    /// before it seals.
+    static constexpr std::size_t kGenMinSlots = 4096;
+    /// Sentinel: no generation currently open for appends.
+    static constexpr std::uint32_t kNoGen = ~std::uint32_t{0};
+    /// single_shard_of result when the mini-batch spans shards.
+    static constexpr std::size_t kMixedShards = static_cast<std::size_t>(-1);
+    /// Worker-side bulk dequeue width: amortizes the queue lock over up to
+    /// this many tiny tasks per wakeup.
+    static constexpr std::size_t kMaxPopBatch = 64;
+
+    template <typename Factory>
+    void resolve_options(ShardedOptions& opts, Factory& factory) {
+        std::size_t small = 64;
+        std::size_t depth = 1024;
+        if constexpr (requires {
+                          factory().sharded_small_batch_threshold;
+                          factory().sharded_queue_depth;
+                      }) {
+            const auto cfg = factory();
+            small = cfg.sharded_small_batch_threshold;
+            depth = cfg.sharded_queue_depth;
+        }
+        small_batch_ = opts.small_batch_threshold ==
+                               ShardedOptions::kFromConfig
+                           ? small
+                           : opts.small_batch_threshold;
+        queue_depth_ = opts.queue_depth == ShardedOptions::kFromConfig
+                           ? depth
+                           : opts.queue_depth;
+        queue_depth_ = std::max<std::size_t>(queue_depth_, 1);
+    }
+
+    void bind_metrics(obs::Registry* registry) {
+        if (registry == nullptr) {
+            return;
+        }
+        handoff_us_ = &registry->histogram("shard.handoff_us");
+        tasks_applied_ = &registry->counter("shard.tasks_applied");
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            shards_[s]->depth_gauge = &registry->gauge(
+                "shard." + std::to_string(s) + ".queue_depth");
+        }
+    }
+
+    [[nodiscard]] static std::uint64_t now_ns() noexcept {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    [[nodiscard]] static Status prefixed(std::size_t s, const Status& st) {
+        Status out = st;
+        out.message = "shard " + std::to_string(s) + ": " + out.message;
+        return out;
+    }
+
+    // ---- producer side (mutating API, externally serialized) -----------
+
+    void enqueue_edges(std::span<const Edge> batch, Op op) {
+        if (batch.empty()) {
+            return;
+        }
+        Generation& gen = acquire_generation(batch.size(), 0);
+        const std::size_t base = gen.edges.size();
+        const std::size_t single = single_shard_of(batch);
+        if (single != kMixedShards) {
+            // Small-batch bypass (and the trivial one-shard layout): the
+            // whole mini-batch is one slice for one worker — no counting
+            // sort, no scatter.
+            gen.edges.insert(gen.edges.end(), batch.begin(), batch.end());
+            submit(single, make_task(op, gen, gen.edges.data() + base,
+                                     batch.size()));
+            return;
+        }
+        partition_into(batch, gen.edges,
+                       [](const Edge& e) { return e.src; });
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            const std::size_t len = slice_offsets_[s + 1] - slice_offsets_[s];
+            if (len != 0) {
+                submit(s, make_task(op, gen,
+                                    gen.edges.data() + base +
+                                        slice_offsets_[s],
+                                    len));
+            }
+        }
+    }
+
+    /// The owning shard when the whole mini-batch maps to one shard and is
+    /// small enough for the bypass (or there is only one shard);
+    /// kMixedShards otherwise.
+    template <typename T>
+    [[nodiscard]] std::size_t single_shard_of(std::span<const T> batch) const {
+        const std::size_t n = shards_.size();
+        if (n == 1) {
+            return 0;
+        }
+        if (batch.size() > small_batch_) {
+            return kMixedShards;
+        }
+        const std::size_t first = shard_of(src_of(batch[0]), n);
+        for (std::size_t i = 1; i < batch.size(); ++i) {
+            if (shard_of(src_of(batch[i]), n) != first) {
+                return kMixedShards;
+            }
+        }
+        return first;
+    }
+
+    [[nodiscard]] static VertexId src_of(const Edge& e) noexcept {
+        return e.src;
+    }
+    [[nodiscard]] static VertexId src_of(const Update& u) noexcept {
+        return u.edge.src;
+    }
+
+    template <typename T>
+    [[nodiscard]] Task make_task(Op op, Generation& gen, const T* data,
+                                 std::size_t count) {
+        Task t;
+        t.op = op;
+        t.gen = open_;
+        t.count = count;
+        if constexpr (std::is_same_v<T, Edge>) {
+            t.edges = data;
+        } else {
+            t.updates = data;
+        }
+        // Hand-off latency sampling: the clock read costs more than the
+        // queue push at batch=1, so stamp only every 64th submission.
+        if (handoff_us_ != nullptr && ((++push_seq_ & 63U) == 0) &&
+            obs::recording()) {
+            t.enqueue_ns = now_ns();
+        }
+        (void)gen;
+        return t;
+    }
+
+    /// Registers the task against its generation and hands it to shard
+    /// `s`'s worker. The pending increment precedes the push so the worker
+    /// can never drop the generation's refcount to zero early.
+    void submit(std::size_t s, Task&& t) {
+        gens_[t.gen]->pending.fetch_add(1, std::memory_order_relaxed);
+        Shard& sh = *shards_[s];
+        sh.queue.push(std::move(t));
+        if (sh.depth_gauge != nullptr) {
+            sh.depth_gauge->set(static_cast<double>(sh.queue.depth()));
+        }
+    }
+
+    /// Returns a generation with room for the requested append, keeping
+    /// the current one open while it fits (double buffering: the open
+    /// generation fills while sealed ones are still being applied). Blocks
+    /// — backpressure — when all generations still have tasks in flight.
+    Generation& acquire_generation(std::size_t need_edges,
+                                   std::size_t need_updates) {
+        if (open_ != kNoGen) {
+            Generation& gen = *gens_[open_];
+            const bool fits =
+                gen.edges.size() + need_edges <= gen.edges.capacity() &&
+                gen.updates.size() + need_updates <= gen.updates.capacity();
+            if (fits) {
+                return gen;
+            }
+            gen.sealed.store(true, std::memory_order_release);
+            open_ = kNoGen;
+        }
+        UniqueLock lock(gen_mutex_);
+        for (;;) {
+            for (std::size_t i = 0; i < gens_.size(); ++i) {
+                Generation& gen = *gens_[i];
+                if (gen.sealed.load(std::memory_order_relaxed) &&
+                    gen.pending.load(std::memory_order_acquire) == 0) {
+                    gen.sealed.store(false, std::memory_order_relaxed);
+                    open_ = static_cast<std::uint32_t>(i);
+                    lock.unlock();
+                    // Safe to touch the vectors: no task references them.
+                    gen.edges.clear();
+                    gen.updates.clear();
+                    if (need_edges != 0) {
+                        gen.edges.reserve(
+                            std::max(need_edges, kGenMinSlots));
+                    }
+                    if (need_updates != 0) {
+                        gen.updates.reserve(
+                            std::max(need_updates, kGenMinSlots));
+                    }
+                    return gen;
+                }
+            }
+            gen_cv_.wait(lock);
+        }
+    }
+
+    /// Serial two-pass counting partition of `batch` by source shard,
+    /// appended to `arena` grouped by shard. slice_offsets_[s]..[s+1] are
+    /// the resulting per-shard bounds *relative to the append base*.
+    /// Serial on purpose: the old parallel partition needed a fork/join
+    /// barrier, and the pipeline hides the partition behind the previous
+    /// batch's application anyway.
+    template <typename T, typename SrcOf>
+    void partition_into(std::span<const T> batch, std::vector<T>& arena,
+                        SrcOf&& src_key) {
+        const std::size_t n = shards_.size();
+        const std::size_t base = arena.size();
+        arena.resize(base + batch.size());  // within reserved capacity
+        slice_offsets_.assign(n + 1, 0);
+        for (const T& item : batch) {
+            ++slice_offsets_[shard_of(src_key(item), n) + 1];
+        }
+        for (std::size_t s = 0; s < n; ++s) {
+            slice_offsets_[s + 1] += slice_offsets_[s];
+        }
+        cursors_.assign(slice_offsets_.begin(), slice_offsets_.end() - 1);
+        T* out = arena.data() + base;
+        for (const T& item : batch) {
+            out[cursors_[shard_of(src_key(item), n)]++] = item;
+        }
+    }
+
+    // ---- worker side ---------------------------------------------------
+
+    void worker_loop(std::size_t s) {
+        const std::string name = "gt-shard-" + std::to_string(s);
+        set_current_thread_name(name.c_str());
+        (void)pin_current_thread(s);
+        std::vector<Task> tasks;
+        tasks.reserve(kMaxPopBatch);
+        while (shards_[s]->queue.pop_some(tasks, kMaxPopBatch)) {
+            for (const Task& t : tasks) {
+                apply_task(s, t);
+            }
+            if (tasks_applied_ != nullptr) {
+                tasks_applied_->add(tasks.size());
+            }
+            shards_[s]->queue.note_completed(tasks.size());
+            tasks.clear();
+        }
+    }
+
+    void apply_task(std::size_t s, const Task& t) {
+        Shard& sh = *shards_[s];
+        if (handoff_us_ != nullptr && t.enqueue_ns != 0) {
+            handoff_us_->record((now_ns() - t.enqueue_ns) / 1000);
+        }
+        Status st;
+        {
+            const LockGuard<SharedMutex> lock(sh.rw);
+            switch (t.op) {
+                case Op::InsertEdges:
+                    st = apply_insert(*sh.store,
+                                      std::span<const Edge>(t.edges,
+                                                            t.count));
+                    break;
+                case Op::DeleteEdges:
+                    st = apply_delete(*sh.store,
+                                      std::span<const Edge>(t.edges,
+                                                            t.count));
+                    break;
+                case Op::ApplyUpdates:
+                    st = apply_update_slice(
+                        *sh.store,
+                        std::span<const Update>(t.updates, t.count));
+                    break;
+            }
+        }
+        if (!st.ok() && !sh.failed) {
+            sh.failed = true;
+            sh.failure = std::move(st);
+        }
+        release_generation(*gens_[t.gen]);
+    }
+
+    void release_generation(Generation& gen) {
+        if (gen.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last reference: the producer may be waiting to recycle.
+            {
+                const LockGuard lock(gen_mutex_);
+            }
+            gen_cv_.notify_all();
+        }
+    }
+
+    /// Store dispatch: native Status-returning batch API when present,
+    /// bool/void batch API next, per-edge loop as the fallback. The
+    /// fallback loop converts thrown allocation failures into the Status
+    /// codes the latching path expects (native batch stores catch their
+    /// own).
+    [[nodiscard]] static Status apply_insert(Store& st,
+                                             std::span<const Edge> part) {
+        if constexpr (requires {
+                          { st.insert_batch(part) } -> std::same_as<Status>;
+                      }) {
+            return st.insert_batch(part);
+        } else if constexpr (requires { st.insert_batch(part); }) {
+            (void)st.insert_batch(part);
+            return Status::success();
+        } else {
+            try {
+                for (const Edge& e : part) {
+                    (void)st.insert_edge(e.src, e.dst, e.weight);
+                }
+            } catch (const fail::InjectedFault&) {
+                return Status{StatusCode::FaultInjected,
+                              "fault injected during shard insert"};
+            } catch (const std::bad_alloc&) {
+                return Status{StatusCode::ResourceExhausted,
+                              "allocation failed during shard insert"};
+            }
+            return Status::success();
+        }
+    }
+
+    [[nodiscard]] static Status apply_delete(Store& st,
+                                             std::span<const Edge> part) {
+        if constexpr (requires {
+                          { st.delete_batch(part) } -> std::same_as<Status>;
+                      }) {
+            return st.delete_batch(part);
+        } else if constexpr (requires { st.delete_batch(part); }) {
+            (void)st.delete_batch(part);
+            return Status::success();
+        } else {
+            try {
+                for (const Edge& e : part) {
+                    (void)st.delete_edge(e.src, e.dst);
+                }
+            } catch (const fail::InjectedFault&) {
+                return Status{StatusCode::FaultInjected,
+                              "fault injected during shard delete"};
+            } catch (const std::bad_alloc&) {
+                return Status{StatusCode::ResourceExhausted,
+                              "allocation failed during shard delete"};
+            }
+            return Status::success();
+        }
+    }
+
+    /// Per-edge application in stream order: the bool returns are
+    /// "created"/"existed", which the update stream does not track.
+    [[nodiscard]] static Status apply_update_slice(
+        Store& st, std::span<const Update> part) {
+        try {
+            for (const Update& u : part) {
+                if (u.kind == UpdateKind::Insert) {
+                    (void)st.insert_edge(u.edge.src, u.edge.dst,
+                                         u.edge.weight);
+                } else {
+                    (void)st.delete_edge(u.edge.src, u.edge.dst);
+                }
+            }
+        } catch (const fail::InjectedFault&) {
+            return Status{StatusCode::FaultInjected,
+                          "fault injected during shard update"};
+        } catch (const std::bad_alloc&) {
+            return Status{StatusCode::ResourceExhausted,
+                          "allocation failed during shard update"};
+        }
+        return Status::success();
+    }
+
+    // ---- members -------------------------------------------------------
+
+    std::array<std::unique_ptr<Generation>, kGenerations> gens_;
+    /// Guards generation recycling only (the producer's wait for a free
+    /// generation); appends to the open generation are producer-private.
+    Mutex gen_mutex_;
+    CondVar gen_cv_;
+    /// Index of the generation open for appends (producer-private).
+    std::uint32_t open_ = kNoGen;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    // Producer-side partition scratch; capacity reused across batches.
+    std::vector<std::size_t> slice_offsets_;  // shard s: [s, s+1) rel. base
+    std::vector<std::size_t> cursors_;        // scatter cursors
+
+    std::size_t small_batch_ = 64;
+    std::size_t queue_depth_ = 1024;
+    std::uint64_t push_seq_ = 0;
+
+    // Bound once at construction (obs hot-path discipline); null without a
+    // registry.
+    obs::Histogram* handoff_us_ = nullptr;
+    obs::Counter* tasks_applied_ = nullptr;
 };
 
 }  // namespace gt::core

@@ -2,7 +2,52 @@
 
 #include <algorithm>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
 namespace gt {
+
+void set_current_thread_name(const char* name) noexcept {
+#if defined(__linux__)
+    // The kernel caps comm names at 16 bytes including the NUL; truncate
+    // instead of letting pthread_setname_np fail with ERANGE.
+    char buf[16];
+    std::strncpy(buf, name, sizeof(buf) - 1);
+    buf[sizeof(buf) - 1] = '\0';
+    (void)pthread_setname_np(pthread_self(), buf);
+#else
+    (void)name;
+#endif
+}
+
+bool pin_current_thread(std::size_t cpu) noexcept {
+#if defined(__linux__)
+    const long online = sysconf(_SC_NPROCESSORS_ONLN);
+    if (online <= 0) {
+        return false;
+    }
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(cpu % static_cast<std::size_t>(online)), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+std::size_t spin_iterations_hint() noexcept {
+    // On a single-core host the producer cannot run while the consumer
+    // spins, so every spin iteration is pure delay — block immediately.
+    static const std::size_t hint =
+        std::thread::hardware_concurrency() > 1 ? 256 : 0;
+    return hint;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0) {
@@ -25,13 +70,13 @@ ThreadPool::~ThreadPool() {
     }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_batch(std::size_t n, RawTask call, void* ctx) {
     if (n == 0) {
         return;
     }
     UniqueLock lock(mutex_);
-    batch_.fn = &fn;
+    batch_.call = call;
+    batch_.ctx = ctx;
     batch_.n = n;
     batch_.next = 0;
     batch_.remaining = n;
@@ -43,14 +88,15 @@ void ThreadPool::parallel_for(std::size_t n,
     while (batch_.next < batch_.n) {
         const std::size_t index = batch_.next++;
         lock.unlock();
-        fn(index);
+        call(ctx, index);
         lock.lock();
         --batch_.remaining;
     }
     while (batch_.remaining != 0) {
         done_cv_.wait(lock);
     }
-    batch_.fn = nullptr;
+    batch_.call = nullptr;
+    batch_.ctx = nullptr;
 }
 
 void ThreadPool::worker_loop() {
@@ -58,7 +104,7 @@ void ThreadPool::worker_loop() {
     std::uint64_t seen_epoch = 0;
     while (true) {
         while (!stop_ &&
-               !(batch_.fn != nullptr && batch_.next < batch_.n &&
+               !(batch_.call != nullptr && batch_.next < batch_.n &&
                  batch_.epoch != seen_epoch)) {
             work_cv_.wait(lock);
         }
@@ -66,11 +112,12 @@ void ThreadPool::worker_loop() {
             return;
         }
         seen_epoch = batch_.epoch;
-        while (batch_.fn != nullptr && batch_.next < batch_.n) {
+        while (batch_.call != nullptr && batch_.next < batch_.n) {
             const std::size_t index = batch_.next++;
-            const auto* fn = batch_.fn;
+            const RawTask call = batch_.call;
+            void* ctx = batch_.ctx;
             lock.unlock();
-            (*fn)(index);
+            call(ctx, index);
             lock.lock();
             if (--batch_.remaining == 0) {
                 done_cv_.notify_all();

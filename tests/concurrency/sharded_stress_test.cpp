@@ -79,8 +79,8 @@ TEST(ShardedStress, InterleavedInsertDeleteMatchesSerialReference) {
 }
 
 TEST(ShardedStress, RepeatedSmallBatchesAcrossManyShards) {
-    // Seven shards on small batches maximizes parallel_for wakeups relative
-    // to real work — the regime where pool handoff races would surface.
+    // Seven shards on small batches maximizes queue hand-offs relative to
+    // real work — the regime where worker wakeup races would surface.
     ShardedStore<GraphTinker> store(7, [] { return stress_config(); });
     const auto edges = rmat_edges(100, 3000, 123);
     EdgeBatcher batches(edges, 64);

@@ -76,6 +76,23 @@ class RawMutexRule(unittest.TestCase):
         })
         self.assertEqual(rules_fired(diags), {"suppression-needs-reason"})
 
+    def test_oneshot_rendezvous_primitives_flagged(self):
+        diags = lint_tree({
+            "src/core/foo.cpp":
+                "#include <latch>\n"
+                "std::counting_semaphore<4> slots(4);\n"
+                "std::future<int> f = std::async(work);\n"
+                "std::barrier sync(3);\n",
+        })
+        self.assertEqual(rules_fired(diags), {"raw-mutex"})
+        self.assertEqual(len(diags), 4)
+
+    def test_wrapper_header_exempt_from_extended_ban(self):
+        diags = lint_tree({
+            "src/util/mutex.hpp": "#include <semaphore>\nstd::latch l(2);\n",
+        })
+        self.assertEqual(diags, [])
+
 
 class TxnNoThrowRule(unittest.TestCase):
     def test_flags_resize_inside_mutation_window(self):
@@ -235,6 +252,76 @@ class WalLayoutRule(unittest.TestCase):
             "0x4754574D"))
         self.assertEqual(rules_fired(diags), {"wal-layout"})
         self.assertIn("kWalMagic", diags[0].message)
+
+
+def sharded_fixture(body: str) -> dict[str, str]:
+    return {
+        "src/core/sharded.hpp":
+            "template <typename Store>\n"
+            "class ShardedStore {\n"
+            "public:\n"
+            + body +
+            "};\n",
+    }
+
+
+class ShardFlushBeforeReadRule(unittest.TestCase):
+    def test_undrained_store_read_flagged(self):
+        diags = lint_tree(sharded_fixture(
+            "    EdgeCount num_edges() const {\n"
+            "        EdgeCount total = 0;\n"
+            "        for (const auto& sh : shards_) {\n"
+            "            total += sh->store->num_edges();\n"
+            "        }\n"
+            "        return total;\n"
+            "    }\n"))
+        self.assertEqual(rules_fired(diags), {"shard-flush-before-read"})
+        self.assertIn("num_edges", diags[0].message)
+
+    def test_barrier_before_read_is_clean(self):
+        diags = lint_tree(sharded_fixture(
+            "    EdgeCount num_edges() const {\n"
+            "        drain();\n"
+            "        EdgeCount total = 0;\n"
+            "        for (const auto& sh : shards_) {\n"
+            "            total += sh->store->num_edges();\n"
+            "        }\n"
+            "        return total;\n"
+            "    }\n"
+            "    Store& shard(std::size_t i) {\n"
+            "        shards_[i]->queue.wait_idle();\n"
+            "        return *shards_[i]->store;\n"
+            "    }\n"))
+        self.assertEqual(diags, [])
+
+    def test_barrier_after_read_still_flagged(self):
+        diags = lint_tree(sharded_fixture(
+            "    void telemetry() {\n"
+            "        gauge_->set(shards_[0]->store->num_edges());\n"
+            "        drain();\n"
+            "    }\n"))
+        self.assertEqual(rules_fired(diags), {"shard-flush-before-read"})
+
+    def test_declarations_and_other_classes_ignored(self):
+        diags = lint_tree({
+            "src/core/sharded.hpp":
+                "class ShardedStore {\n"
+                "    EdgeCount num_edges() const;  // defined elsewhere\n"
+                "};\n",
+            # No `class ShardedStore` here: aggregate reads are fine.
+            "src/core/other.cpp":
+                "EdgeCount num_edges() { return store->count(); }\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_suppression_with_reason_waives(self):
+        diags = lint_tree(sharded_fixture(
+            "    void telemetry() {\n"
+            "        x_ = shards_[0]->store;  "
+            "// gt-lint: allow(shard-flush-before-read) pointer only\n"
+            "        drain();\n"
+            "    }\n"))
+        self.assertEqual(diags, [])
 
 
 class RealTree(unittest.TestCase):

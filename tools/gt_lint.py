@@ -7,7 +7,11 @@ can see (and that must hold even on machines without clang at all):
   raw-mutex           std::mutex / std::lock_guard / <mutex> may appear only
                       in src/util/mutex.hpp. Everything else goes through
                       the annotated gt::Mutex wrappers so Clang thread-safety
-                      analysis covers every lock in the tree.
+                      analysis covers every lock in the tree. The ban also
+                      covers the one-shot rendezvous primitives (semaphore,
+                      latch, barrier, future/promise/async): the pipelined
+                      ingest model forbids ad-hoc barriers — synchronize
+                      through HandoffQueue epochs or an annotated wrapper.
   txn-no-throw        between a `// gt-txn: first-mutation` marker and its
                       `// gt-txn: commit`, no throwing construct (raw `new`,
                       `.resize(`, `throw <expr>`, `.at(`) may appear unless
@@ -26,6 +30,14 @@ can see (and that must hold even on machines without clang at all):
                       the magic/version in src/recover/wal.hpp must agree
                       with the byte layout the golden-file test assembles by
                       hand (tests/recover/wal_golden_test.cpp).
+  shard-flush-before-read
+                      in any file that defines `class ShardedStore`, the
+                      aggregate read methods (num_edges, find_edge, shard,
+                      telemetry, serialize, save_snapshot) must hit a
+                      pipeline barrier (drain() / flush() / wait_idle())
+                      before dereferencing a shard's store — reading a
+                      pipelined store without draining returns data from an
+                      unknown epoch.
 
 Any finding can be waived inline with
 
@@ -163,8 +175,11 @@ class RawMutexRule(Rule):
     _banned = re.compile(
         r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
         r"lock_guard|unique_lock|shared_lock|scoped_lock|"
-        r"condition_variable\w*)\b"
-        r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>")
+        r"condition_variable\w*|counting_semaphore|binary_semaphore|"
+        r"latch|barrier|future|shared_future|promise|packaged_task|"
+        r"async)\b"
+        r"|#\s*include\s*<(mutex|shared_mutex|condition_variable|"
+        r"semaphore|latch|barrier|future)>")
 
     def check(self, f: SourceFile) -> Iterator[Diagnostic]:
         for no, code in enumerate(f.code, start=1):
@@ -174,10 +189,10 @@ class RawMutexRule(Rule):
             what = m.group(0).strip()
             yield self.diag(
                 f, no,
-                f"raw locking primitive `{what}` outside src/util/mutex.hpp"
-                " — use the annotated gt:: wrappers (gt::Mutex, "
-                "gt::LockGuard, gt::CondVar) so thread-safety analysis "
-                "sees the lock")
+                f"raw synchronization primitive `{what}` outside "
+                "src/util/mutex.hpp — use the annotated gt:: wrappers "
+                "(gt::Mutex, gt::LockGuard, gt::CondVar) or the HandoffQueue "
+                "epochs so thread-safety analysis sees every rendezvous")
 
 
 class TxnNoThrowRule(Rule):
@@ -425,12 +440,93 @@ class WalLayoutRule(Rule):
                     f"{expect:#x}")
 
 
+class ShardFlushBeforeReadRule(Rule):
+    """Aggregate reads on a pipelined sharded wrapper must drain first.
+
+    Applies only to files that define `class ShardedStore`. Within the
+    bodies of the aggregate read methods, dereferencing a shard's store
+    (`->store` / `store->`) before the first pipeline barrier call
+    (drain / flush / wait_idle) is a finding: with persistent shard
+    workers, an un-drained read observes an arbitrary mid-pipeline epoch.
+    """
+
+    name = "shard-flush-before-read"
+    _class = re.compile(r"\bclass\s+ShardedStore\b")
+    _method = re.compile(
+        r"\b(?P<name>num_edges|find_edge|shard|telemetry|serialize|"
+        r"save_snapshot)\s*\(")
+    _barrier = re.compile(r"\b(drain|flush|wait_idle)\s*\(")
+    _store = re.compile(r"->\s*store\b|\bstore\s*->")
+
+    def check(self, f: SourceFile) -> Iterator[Diagnostic]:
+        if not any(self._class.search(code) for code in f.code):
+            return
+        i = 0
+        n = len(f.code)
+        while i < n:
+            m = self._method.search(f.code[i])
+            if m is None:
+                i += 1
+                continue
+            body = self._body_range(f, i, m.end())
+            if body is None:
+                i += 1
+                continue
+            begin, end = body
+            yield from self._check_body(f, m.group("name"), begin, end)
+            i = end + 1
+
+    def _body_range(self, f: SourceFile, line_idx: int,
+                    col: int) -> tuple[int, int] | None:
+        """([begin, end] 0-based line range of the method body, or None
+        when the match is a declaration or a call (`;` or `)` ends it
+        before any `{` opens)."""
+        depth = 0
+        seen_open = False
+        i, j = line_idx, col
+        while i < len(f.code):
+            for c in f.code[i][j:]:
+                if c == ";" and not seen_open:
+                    return None
+                if c == "{":
+                    depth += 1
+                    seen_open = True
+                elif c == "}":
+                    depth -= 1
+                    if seen_open and depth == 0:
+                        return line_idx, i
+            i, j = i + 1, 0
+        return None
+
+    def _check_body(self, f: SourceFile, method: str, begin: int,
+                    end: int) -> Iterator[Diagnostic]:
+        barrier_at: int | None = None
+        for i in range(begin, end + 1):
+            code = f.code[i]
+            if barrier_at is None and self._barrier.search(code):
+                barrier_at = i
+            m = self._store.search(code)
+            if m is None:
+                continue
+            if barrier_at is not None and barrier_at <= i:
+                return  # drained before the first store touch — clean
+            if f.suppressed(i + 1, self.name):
+                return
+            yield self.diag(
+                f, i + 1,
+                f"{method}() dereferences a shard store before any "
+                "pipeline barrier — call drain()/flush()/wait_idle() "
+                "first so the read observes a settled epoch")
+            return
+
+
 RULES: list[Rule] = [
     RawMutexRule(),
     TxnNoThrowRule(),
     FailpointRegistryRule(),
     ObsHotLookupRule(),
     WalLayoutRule(),
+    ShardFlushBeforeReadRule(),
 ]
 
 _CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
@@ -449,6 +545,8 @@ def _rule_files(root: Path, rule: Rule,
                 and (root / "src/obs") not in f.path.parents]
     if isinstance(rule, TxnNoThrowRule):
         return list(files.values())
+    if isinstance(rule, ShardFlushBeforeReadRule):
+        return [f for f in files.values() if src in f.path.parents]
     return []
 
 
