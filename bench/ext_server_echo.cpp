@@ -1,0 +1,209 @@
+// Extension bench (no paper figure): gt serve wire-protocol overhead.
+// Emits BENCH_server_echo.json.
+//
+// Spins a Server on 127.0.0.1 (ephemeral port, tmpdir root) and measures,
+// from a client on the same host:
+//
+//   rtt_us            sequential ping round-trip latency (best-of median)
+//   pipelined_rps     pings/sec with `depth` requests in flight — the
+//                     pipelining win the request-id design pays for
+//   wire_ingest_eps   insert_batch edges/sec through socket + WAL
+//   local_ingest_eps  the same stream into a local DurableStore — the
+//                     denominator isolating wire + loop overhead
+//
+// Flags / env:
+//   --out=PATH           JSON output path (default BENCH_server_echo.json)
+//   --check              require wire_ingest_eps >= 10% of local (sanity
+//                        bound, generous because the wire adds a full
+//                        serialize/checksum/parse cycle per batch)
+//   GT_SERVER_EDGES      stream length (default 500000)
+//   GT_SERVER_PINGS      ping count per mode (default 2000)
+//   GT_SERVER_DEPTH      pipeline depth (default 64)
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/harness.hpp"
+#include "gen/rmat.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "obs/export.hpp"
+#include "recover/durable.hpp"
+#include "util/timer.hpp"
+#include "util/types.hpp"
+
+namespace {
+
+using namespace gt;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* v = std::getenv(name);
+    return v != nullptr && *v != '\0'
+               ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10))
+               : fallback;
+}
+
+std::string make_temp_root() {
+    std::string tmpl = "/tmp/gt_server_bench.XXXXXX";
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+        std::perror("mkdtemp");
+        std::exit(1);
+    }
+    return tmpl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bench::BenchArgs args =
+        bench::parse_bench_args(argc, argv, "BENCH_server_echo.json");
+    if (!args.ok) {
+        return 2;
+    }
+    const std::size_t num_edges = env_size("GT_SERVER_EDGES", 500000);
+    const std::size_t num_pings = env_size("GT_SERVER_PINGS", 2000);
+    const std::size_t depth = env_size("GT_SERVER_DEPTH", 64);
+    bench::banner("ext: server echo",
+                  "gt.net.v1 round-trip latency, pipelined throughput and "
+                  "wire-vs-local ingest");
+
+    const std::string root = make_temp_root();
+    net::Server server;
+    net::ServerOptions options;
+    options.root = root;
+    options.max_inflight = depth * 2;
+    if (const Status st = server.start(options); !st.ok()) {
+        std::fprintf(stderr, "start: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::thread loop([&server] { (void)server.run(); });
+
+    net::Client client;
+    if (const Status st = client.connect("127.0.0.1", server.port());
+        !st.ok()) {
+        std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
+        return 1;
+    }
+
+    // --- sequential ping RTT ------------------------------------------------
+    const unsigned char probe[8] = {};
+    Timer timer;
+    for (std::size_t i = 0; i < num_pings; ++i) {
+        if (!client.ping(probe).ok()) {
+            std::fprintf(stderr, "ping failed\n");
+            return 1;
+        }
+    }
+    const double rtt_us =
+        timer.seconds() * 1e6 / static_cast<double>(num_pings);
+
+    // --- pipelined ping throughput -----------------------------------------
+    timer.reset();
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    while (received < num_pings) {
+        while (sent < num_pings && sent - received < depth) {
+            std::uint64_t id = 0;
+            if (!client.send_request(net::MsgType::Ping, probe, id).ok()) {
+                std::fprintf(stderr, "pipelined send failed\n");
+                return 1;
+            }
+            ++sent;
+        }
+        net::Frame reply;
+        if (!client.recv_reply(reply).ok()) {
+            std::fprintf(stderr, "pipelined recv failed\n");
+            return 1;
+        }
+        ++received;
+    }
+    const double pipelined_rps =
+        static_cast<double>(num_pings) / timer.seconds();
+
+    // --- wire ingest --------------------------------------------------------
+    const std::vector<Edge> stream = rmat_edges(
+        1U << 16, static_cast<EdgeCount>(num_edges), 42);
+    const std::size_t batch = 10000;
+    if (!client.open_graph("bench", 1).ok()) {
+        std::fprintf(stderr, "open_graph failed\n");
+        return 1;
+    }
+    timer.reset();
+    for (std::size_t off = 0; off < stream.size(); off += batch) {
+        const std::size_t n = std::min(batch, stream.size() - off);
+        if (!client.insert_batch("bench", {stream.data() + off, n}).ok()) {
+            std::fprintf(stderr, "wire ingest failed at %zu\n", off);
+            return 1;
+        }
+    }
+    const double wire_eps =
+        static_cast<double>(stream.size()) / timer.seconds();
+
+    server.stop();
+    loop.join();
+
+    // --- local baseline: same stream, same durability, no socket ------------
+    const std::string local_dir = root + "/local-baseline";
+    recover::DurableStore store;
+    if (const Status st = store.open(local_dir, {}, nullptr); !st.ok()) {
+        std::fprintf(stderr, "local open: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    timer.reset();
+    for (std::size_t off = 0; off < stream.size(); off += batch) {
+        const std::size_t n = std::min(batch, stream.size() - off);
+        if (!store.graph().insert_batch({stream.data() + off, n}).ok()) {
+            std::fprintf(stderr, "local ingest failed\n");
+            return 1;
+        }
+    }
+    const double local_eps =
+        static_cast<double>(stream.size()) / timer.seconds();
+    store.close();
+
+    const double wire_ratio = local_eps > 0 ? wire_eps / local_eps : 0.0;
+    std::printf("rtt: %.1f us  pipelined: %.0f rps  wire: %.2f Meps  "
+                "local: %.2f Meps  ratio: %.2f\n",
+                rtt_us, pipelined_rps, wire_eps / 1e6, local_eps / 1e6,
+                wire_ratio);
+
+    {
+        std::ofstream json(args.out_path);
+        obs::JsonWriter w(json);
+        w.begin_object();
+        w.member("bench", "ext_server_echo");
+        w.member("edges", static_cast<std::uint64_t>(stream.size()));
+        w.member("pings", static_cast<std::uint64_t>(num_pings));
+        w.member("depth", static_cast<std::uint64_t>(depth));
+        w.member("rtt_us", rtt_us);
+        w.member("pipelined_rps", pipelined_rps);
+        w.member("wire_ingest_eps", wire_eps);
+        w.member("local_ingest_eps", local_eps);
+        w.member("wire_local_ratio", wire_ratio);
+        w.end_object();
+    }
+    std::cout << "wrote " << args.out_path << "\n";
+
+    const std::string cleanup = "rm -rf '" + root + "'";
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+
+    if (args.check && wire_ratio < 0.10) {
+        std::fprintf(stderr,
+                     "check FAILED: wire ingest at %.1f%% of local "
+                     "(bound 10%%)\n",
+                     wire_ratio * 100.0);
+        return 1;
+    }
+    if (args.check) {
+        std::printf("check passed: wire/local ratio %.2f >= 0.10\n",
+                    wire_ratio);
+    }
+    return 0;
+}

@@ -42,6 +42,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <chrono>
 #include <concepts>
 #include <cstddef>
@@ -64,6 +65,16 @@
 #include "util/types.hpp"
 
 namespace gt::core {
+
+namespace detail {
+/// Shards the calling thread currently holds ReadPins on, identified by
+/// shard object address. Registration is what lets the drain/flush paths
+/// detect a self-deadlock (waiting on a shard whose worker is blocked by
+/// this very thread's pin) and refuse instead of hanging. A flat vector:
+/// pins are scarce — at most a handful per thread — so linear scans beat
+/// any set.
+inline thread_local std::vector<const void*> tl_pinned_shards;
+}  // namespace detail
 
 /// Pipeline knobs. Fields left at kFromConfig resolve from the store
 /// config when it carries the sharded_* members (gt::core::Config does),
@@ -205,20 +216,43 @@ public:
     // ---- barriers & failure surfacing ---------------------------------
 
     /// Blocks until every enqueued task has been applied on every shard.
-    /// After drain() returns, all store reads observe the effects of every
-    /// batch enqueued before the call (acquire on the completion epochs).
-    /// Do not call from a thread holding a ReadPin on any shard — the
-    /// pinned shard's worker cannot finish while the pin blocks it.
+    /// A shard the calling thread holds a ReadPin on is *skipped* (with a
+    /// debug assert): its worker cannot finish while the pin blocks it, so
+    /// waiting would self-deadlock — and the pin already froze that shard
+    /// at a settled epoch, so skipping keeps reads-through-the-pin
+    /// consistent. Full completeness guarantees require no caller pins;
+    /// flush()/first_shard_failure() enforce that with a typed error.
     void drain() const {
-        for (const auto& sh : shards_) {
-            sh->queue.wait_idle();
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (pinned_by_caller(s)) {
+                assert(!"ShardedStore::drain() from a thread holding a "
+                        "ReadPin on that shard — would self-deadlock");
+                continue;
+            }
+            shards_[s]->queue.wait_idle();
         }
+    }
+
+    /// True when the calling thread holds a live ReadPin on shard `s` of
+    /// this store (thread-local registration by ReadPin).
+    [[nodiscard]] bool pinned_by_caller(std::size_t s) const noexcept {
+        const auto& pins = detail::tl_pinned_shards;
+        return std::find(pins.begin(), pins.end(),
+                         static_cast<const void*>(shards_[s].get())) !=
+               pins.end();
     }
 
     /// Drains, then returns the first latched per-shard failure in
     /// shard-index order (message prefixed "shard N: ", Ok when every slice
     /// committed) and re-arms the latches for the next window of batches.
+    /// Refused with WouldDeadlock (detail = shard index) when the calling
+    /// thread holds a ReadPin on any shard: the pinned worker cannot drain
+    /// while the pin blocks it, and a partial flush would silently re-arm
+    /// latches it never read. Release the pin first.
     [[nodiscard]] Status flush() {
+        if (Status st = refuse_if_caller_pinned("flush()"); !st.ok()) {
+            return st;
+        }
         drain();
         Status first = Status::success();
         for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -234,8 +268,13 @@ public:
 
     /// Drains and reports like flush(), but leaves the latches armed —
     /// repeated calls keep returning the same first failure until flush()
-    /// clears it.
+    /// clears it. Refused with WouldDeadlock under a caller-held ReadPin,
+    /// like flush().
     [[nodiscard]] Status first_shard_failure() const {
+        if (Status st = refuse_if_caller_pinned("first_shard_failure()");
+            !st.ok()) {
+            return st;
+        }
         drain();
         for (std::size_t s = 0; s < shards_.size(); ++s) {
             if (shards_[s]->failed) {
@@ -256,6 +295,14 @@ public:
         ReadPin(const ReadPin&) = delete;
         ReadPin& operator=(const ReadPin&) = delete;
 
+        ~ReadPin() {
+            auto& pins = detail::tl_pinned_shards;
+            const auto it = std::find(pins.rbegin(), pins.rend(), key_);
+            if (it != pins.rend()) {
+                pins.erase(std::next(it).base());
+            }
+        }
+
         [[nodiscard]] const Store& store() const noexcept { return store_; }
         const Store* operator->() const noexcept { return &store_; }
         const Store& operator*() const noexcept { return store_; }
@@ -263,16 +310,27 @@ public:
     private:
         friend class ShardedStore;
         explicit ReadPin(const Shard& sh)
-            : store_(*sh.store), lock_(sh.rw) {}
+            : store_(*sh.store), key_(&sh), lock_(sh.rw) {
+            detail::tl_pinned_shards.push_back(key_);
+        }
 
         const Store& store_;
+        const void* key_;
         SharedLockGuard lock_;
     };
 
     /// Drains shard `s` and pins it for reading. Returns by RVO (ReadPin is
-    /// not movable); hold it only as long as the read lasts.
+    /// not movable); hold it only as long as the read lasts. Re-pinning a
+    /// shard this thread already holds pinned skips the drain (waiting
+    /// would self-deadlock) and debug-asserts — nest pins only by accident,
+    /// never by design.
     [[nodiscard]] ReadPin read_snapshot(std::size_t s) const {
-        shards_[s]->queue.wait_idle();
+        if (pinned_by_caller(s)) {
+            assert(!"read_snapshot() on a shard the calling thread "
+                    "already pins");
+        } else {
+            shards_[s]->queue.wait_idle();
+        }
         return ReadPin(*shards_[s]);
     }
 
@@ -298,20 +356,29 @@ public:
 
     /// Drains shard `i` and returns it. The reference is safe to use until
     /// the next mutating call routes work to this shard; for reads that
-    /// must overlap ingest, use read_snapshot() instead.
+    /// must overlap ingest, use read_snapshot() instead. A shard the
+    /// caller already pins is returned without waiting (the pin froze it
+    /// at a settled epoch; waiting would self-deadlock).
     [[nodiscard]] Store& shard(std::size_t i) {
-        shards_[i]->queue.wait_idle();
+        if (!pinned_by_caller(i)) {
+            shards_[i]->queue.wait_idle();
+        }
         return *shards_[i]->store;
     }
     [[nodiscard]] const Store& shard(std::size_t i) const {
-        shards_[i]->queue.wait_idle();
+        if (!pinned_by_caller(i)) {
+            shards_[i]->queue.wait_idle();
+        }
         return *shards_[i]->store;
     }
 
-    /// Finds the edge in its owning shard (draining only that shard).
+    /// Finds the edge in its owning shard (draining only that shard, or
+    /// skipping the wait when the caller already pins it).
     [[nodiscard]] auto find_edge(VertexId src, VertexId dst) const {
         const std::size_t s = shard_of(src, shards_.size());
-        shards_[s]->queue.wait_idle();
+        if (!pinned_by_caller(s)) {
+            shards_[s]->queue.wait_idle();
+        }
         return shards_[s]->store->find_edge(src, dst);
     }
 
@@ -438,6 +505,25 @@ private:
         Status out = st;
         out.message = "shard " + std::to_string(s) + ": " + out.message;
         return out;
+    }
+
+    /// WouldDeadlock (detail = shard index) when the calling thread holds
+    /// a ReadPin on any shard of this store; Ok otherwise. The full-drain
+    /// entry points call this before blocking.
+    [[nodiscard]] Status refuse_if_caller_pinned(const char* what) const {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (pinned_by_caller(s)) {
+                return Status{
+                    StatusCode::WouldDeadlock,
+                    std::string(what) +
+                        " called from a thread holding a ReadPin on shard " +
+                        std::to_string(s) +
+                        " — the pinned worker cannot drain while the pin "
+                        "blocks it; release the pin first",
+                    s};
+            }
+        }
+        return Status::success();
     }
 
     // ---- producer side (mutating API, externally serialized) -----------

@@ -1,0 +1,365 @@
+#include "net/client.hpp"
+
+#include <cstring>
+
+namespace gt::net {
+
+namespace {
+
+[[nodiscard]] Status decode_error_payload(const Frame& f) {
+    PayloadReader r(f.payload);
+    const auto code = static_cast<WireCode>(r.u16());
+    const std::string msg = r.str();
+    if (!r.ok()) {
+        return Status{StatusCode::IoError,
+                      "malformed error frame from server"};
+    }
+    return status_of_wire(code, "server: " + msg);
+}
+
+}  // namespace
+
+Status Client::connect(const std::string& host, std::uint16_t port) {
+    return tcp_connect(host, port, fd_);
+}
+
+Status Client::send_request(MsgType type,
+                            std::span<const unsigned char> payload,
+                            std::uint64_t& request_id) {
+    if (!fd_.valid()) {
+        return Status{StatusCode::InvalidArgument, "client not connected"};
+    }
+    if (payload.size() > kMaxFramePayload) {
+        return Status{StatusCode::InvalidArgument,
+                      "request payload exceeds kMaxFramePayload; split the "
+                      "batch"};
+    }
+    request_id = next_id_++;
+    frame_buf_.clear();
+    encode_frame(frame_buf_, static_cast<std::uint8_t>(type), request_id,
+                 payload);
+    return send_all(fd_.get(), frame_buf_);
+}
+
+Status Client::recv_reply(Frame& out) {
+    if (!fd_.valid()) {
+        return Status{StatusCode::InvalidArgument, "client not connected"};
+    }
+    // Frames arrive back-to-back when the server pipelines responses, so
+    // recv_buf_ may already hold the next one (or a prefix of it).
+    for (;;) {
+        std::size_t consumed = 0;
+        DecodeError err;
+        switch (decode_frame(recv_buf_, out, consumed, err)) {
+            case DecodeResult::Ok:
+                recv_buf_.erase(recv_buf_.begin(),
+                                recv_buf_.begin() +
+                                    static_cast<std::ptrdiff_t>(consumed));
+                if (out.type == kErrorType) {
+                    return decode_error_payload(out);
+                }
+                if ((out.type & kResponseBit) == 0) {
+                    return Status{StatusCode::IoError,
+                                  "server sent a non-response frame"};
+                }
+                return Status::success();
+            case DecodeResult::Bad:
+                close();
+                return Status{StatusCode::IoError,
+                              "undecodable reply frame (" +
+                                  std::string(to_string(err.code)) +
+                                  "): " + err.message};
+            case DecodeResult::NeedMore:
+                break;
+        }
+        const std::size_t base = recv_buf_.size();
+        recv_buf_.resize(base + 64 * 1024);
+        std::size_t n = 0;
+        const IoResult got =
+            recv_some(fd_.get(), recv_buf_.data() + base, 64 * 1024, n);
+        recv_buf_.resize(base + n);
+        if (got == IoResult::Ok) {
+            continue;
+        }
+        close();
+        if (got == IoResult::Closed) {
+            return Status{StatusCode::IoError,
+                          base == 0 ? "server closed the connection"
+                                    : "server closed mid-frame"};
+        }
+        return Status{StatusCode::IoError,
+                      std::string{"recv failed: "} + std::strerror(errno)};
+    }
+}
+
+Status Client::round_trip(MsgType type,
+                          std::span<const unsigned char> payload,
+                          Frame& reply) {
+    std::uint64_t id = 0;
+    if (Status st = send_request(type, payload, id); !st.ok()) {
+        return st;
+    }
+    if (Status st = recv_reply(reply); !st.ok()) {
+        return st;
+    }
+    if (reply.request_id != id) {
+        close();
+        return Status{StatusCode::IoError,
+                      "reply id mismatch (protocol desync)"};
+    }
+    if (reply.type !=
+        (static_cast<std::uint8_t>(type) | kResponseBit)) {
+        close();
+        return Status{StatusCode::IoError, "reply type mismatch"};
+    }
+    return Status::success();
+}
+
+// ---- typed wrappers -------------------------------------------------------
+
+Status Client::ping(std::span<const unsigned char> echo) {
+    Frame reply;
+    if (Status st = round_trip(MsgType::Ping, echo, reply); !st.ok()) {
+        return st;
+    }
+    if (reply.payload.size() != echo.size() ||
+        (!echo.empty() &&
+         std::memcmp(reply.payload.data(), echo.data(), echo.size()) != 0)) {
+        return Status{StatusCode::IoError, "ping echo mismatch"};
+    }
+    return Status::success();
+}
+
+Status Client::open_graph(const std::string& name, std::uint8_t durability,
+                          std::uint8_t* recovery_source) {
+    PayloadWriter w;
+    w.str(name);
+    w.u8(durability);
+    Frame reply;
+    if (Status st = round_trip(MsgType::OpenGraph, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    const std::uint8_t source = r.u8();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed OpenGraph reply"};
+    }
+    if (recovery_source != nullptr) {
+        *recovery_source = source;
+    }
+    return Status::success();
+}
+
+Status Client::insert_batch(const std::string& name,
+                            std::span<const Edge> edges,
+                            std::uint64_t* edge_count) {
+    PayloadWriter w;
+    w.str(name);
+    w.edges(edges);
+    Frame reply;
+    if (Status st = round_trip(MsgType::InsertBatch, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    const std::uint64_t count = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed InsertBatch reply"};
+    }
+    if (edge_count != nullptr) {
+        *edge_count = count;
+    }
+    return Status::success();
+}
+
+Status Client::delete_batch(const std::string& name,
+                            std::span<const Edge> edges,
+                            std::uint64_t* edge_count) {
+    PayloadWriter w;
+    w.str(name);
+    w.edges(edges);
+    Frame reply;
+    if (Status st = round_trip(MsgType::DeleteBatch, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    const std::uint64_t count = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed DeleteBatch reply"};
+    }
+    if (edge_count != nullptr) {
+        *edge_count = count;
+    }
+    return Status::success();
+}
+
+Status Client::degree(const std::string& name, VertexId v,
+                      std::uint64_t& out) {
+    PayloadWriter w;
+    w.str(name);
+    w.u32(v);
+    Frame reply;
+    if (Status st = round_trip(MsgType::Degree, w.span(), reply); !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    out = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed Degree reply"};
+    }
+    return Status::success();
+}
+
+Status Client::neighbors(const std::string& name, VertexId v,
+                         std::vector<std::pair<VertexId, Weight>>& out,
+                         std::uint32_t max) {
+    PayloadWriter w;
+    w.str(name);
+    w.u32(v);
+    w.u32(max);
+    Frame reply;
+    if (Status st = round_trip(MsgType::Neighbors, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    const std::uint32_t n = r.u32();
+    out.clear();
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const VertexId dst = r.u32();
+        const Weight wt = r.u32();
+        out.emplace_back(dst, wt);
+    }
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed Neighbors reply"};
+    }
+    return Status::success();
+}
+
+namespace {
+
+[[nodiscard]] Status parse_props(const Frame& reply, std::size_t expect,
+                                 std::vector<std::uint32_t>& out,
+                                 const char* what) {
+    PayloadReader r(reply.payload);
+    const std::uint32_t k = r.u32();
+    if (k != expect) {
+        return Status{StatusCode::IoError,
+                      std::string{"short "} + what + " reply"};
+    }
+    out.resize(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+        out[i] = r.u32();
+    }
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError,
+                      std::string{"malformed "} + what + " reply"};
+    }
+    return Status::success();
+}
+
+}  // namespace
+
+Status Client::bfs(const std::string& name, VertexId root,
+                   std::span<const VertexId> targets,
+                   std::vector<std::uint32_t>& out) {
+    PayloadWriter w;
+    w.str(name);
+    w.u32(root);
+    w.u32(static_cast<std::uint32_t>(targets.size()));
+    for (const VertexId t : targets) {
+        w.u32(t);
+    }
+    Frame reply;
+    if (Status st = round_trip(MsgType::Bfs, w.span(), reply); !st.ok()) {
+        return st;
+    }
+    return parse_props(reply, targets.size(), out, "Bfs");
+}
+
+Status Client::sssp(const std::string& name, VertexId root,
+                    std::span<const VertexId> targets,
+                    std::vector<std::uint32_t>& out) {
+    PayloadWriter w;
+    w.str(name);
+    w.u32(root);
+    w.u32(static_cast<std::uint32_t>(targets.size()));
+    for (const VertexId t : targets) {
+        w.u32(t);
+    }
+    Frame reply;
+    if (Status st = round_trip(MsgType::Sssp, w.span(), reply); !st.ok()) {
+        return st;
+    }
+    return parse_props(reply, targets.size(), out, "Sssp");
+}
+
+Status Client::cc(const std::string& name, std::span<const VertexId> targets,
+                  std::vector<std::uint32_t>& out) {
+    PayloadWriter w;
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(targets.size()));
+    for (const VertexId t : targets) {
+        w.u32(t);
+    }
+    Frame reply;
+    if (Status st = round_trip(MsgType::Cc, w.span(), reply); !st.ok()) {
+        return st;
+    }
+    return parse_props(reply, targets.size(), out, "Cc");
+}
+
+Status Client::edge_count(const std::string& name, std::uint64_t& edges,
+                          std::uint64_t& vertices) {
+    PayloadWriter w;
+    w.str(name);
+    Frame reply;
+    if (Status st = round_trip(MsgType::EdgeCount, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    edges = r.u64();
+    vertices = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed EdgeCount reply"};
+    }
+    return Status::success();
+}
+
+Status Client::checkpoint(const std::string& name) {
+    PayloadWriter w;
+    w.str(name);
+    Frame reply;
+    return round_trip(MsgType::Checkpoint, w.span(), reply);
+}
+
+Status Client::sync(const std::string& name) {
+    PayloadWriter w;
+    w.str(name);
+    Frame reply;
+    return round_trip(MsgType::Sync, w.span(), reply);
+}
+
+Status Client::stats_json(const std::string& name, std::string& json) {
+    PayloadWriter w;
+    w.str(name);
+    Frame reply;
+    if (Status st = round_trip(MsgType::StatsJson, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    const std::uint32_t len = r.u32();
+    if (!r.ok() || r.remaining() != len) {
+        return Status{StatusCode::IoError, "malformed StatsJson reply"};
+    }
+    const auto rest = r.rest();
+    json.assign(reinterpret_cast<const char*>(rest.data()), rest.size());
+    return Status::success();
+}
+
+}  // namespace gt::net

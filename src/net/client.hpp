@@ -1,0 +1,105 @@
+// Blocking client for the gt.net.v1 protocol — what the CLI's `remote-*`
+// subcommands, the tests, and bench/ext_server_echo talk through.
+//
+// Two layers:
+//   - raw pipelining: send_request() stamps a fresh request id and writes
+//     one frame; recv_reply() blocks for the next response frame and pairs
+//     it by id. Callers may stack N send_request()s before draining — that
+//     is the protocol's throughput lever.
+//   - typed wrappers (ping/open_graph/insert_batch/.../stats_json): one
+//     request, one reply, wire errors mapped back into Status via
+//     status_of_wire (the original WireCode rides in Status::detail).
+//
+// Not thread-safe: one Client per thread, like a file handle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/io.hpp"
+#include "net/protocol.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace gt::net {
+
+class Client {
+public:
+    Client() = default;
+
+    [[nodiscard]] Status connect(const std::string& host,
+                                 std::uint16_t port);
+    void close() noexcept { fd_.reset(); }
+    [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+
+    // ---- raw pipelining layer ---------------------------------------------
+
+    /// Encodes and writes one request frame; returns the request id to pair
+    /// the eventual reply with.
+    [[nodiscard]] Status send_request(MsgType type,
+                                      std::span<const unsigned char> payload,
+                                      std::uint64_t& request_id);
+
+    /// Blocks for the next response frame (any id). Transport failures and
+    /// frames that fail to decode are IoError; a wire error frame is
+    /// surfaced as its mapped Status, with the reply's request_id still
+    /// reported so pipelined callers know which request failed.
+    [[nodiscard]] Status recv_reply(Frame& out);
+
+    // ---- typed wrappers ---------------------------------------------------
+
+    [[nodiscard]] Status ping(std::span<const unsigned char> echo = {});
+    /// `durability`: 0 off, 1 buffered, 2 fsync_batch, 255 server default.
+    /// On success `recovery_source` (if non-null) receives the
+    /// RecoveryInfo::Source the server saw when it first opened the graph.
+    [[nodiscard]] Status open_graph(const std::string& name,
+                                    std::uint8_t durability = 255,
+                                    std::uint8_t* recovery_source = nullptr);
+    [[nodiscard]] Status insert_batch(const std::string& name,
+                                      std::span<const Edge> edges,
+                                      std::uint64_t* edge_count = nullptr);
+    [[nodiscard]] Status delete_batch(const std::string& name,
+                                      std::span<const Edge> edges,
+                                      std::uint64_t* edge_count = nullptr);
+    [[nodiscard]] Status degree(const std::string& name, VertexId v,
+                                std::uint64_t& out);
+    [[nodiscard]] Status neighbors(
+        const std::string& name, VertexId v,
+        std::vector<std::pair<VertexId, Weight>>& out,
+        std::uint32_t max = 0);
+    /// Distances (kInfDistance = unreachable), one per target, in order.
+    [[nodiscard]] Status bfs(const std::string& name, VertexId root,
+                             std::span<const VertexId> targets,
+                             std::vector<std::uint32_t>& out);
+    [[nodiscard]] Status sssp(const std::string& name, VertexId root,
+                              std::span<const VertexId> targets,
+                              std::vector<std::uint32_t>& out);
+    /// Component labels, one per target.
+    [[nodiscard]] Status cc(const std::string& name,
+                            std::span<const VertexId> targets,
+                            std::vector<std::uint32_t>& out);
+    [[nodiscard]] Status edge_count(const std::string& name,
+                                    std::uint64_t& edges,
+                                    std::uint64_t& vertices);
+    [[nodiscard]] Status checkpoint(const std::string& name);
+    [[nodiscard]] Status sync(const std::string& name);
+    [[nodiscard]] Status stats_json(const std::string& name,
+                                    std::string& json);
+
+private:
+    /// One request, one reply; fails if the reply id or type mismatches.
+    [[nodiscard]] Status round_trip(MsgType type,
+                                    std::span<const unsigned char> payload,
+                                    Frame& reply);
+
+    Fd fd_;
+    std::uint64_t next_id_ = 1;
+    std::vector<unsigned char> frame_buf_;
+    std::vector<unsigned char> recv_buf_;
+};
+
+}  // namespace gt::net

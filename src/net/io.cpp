@@ -1,0 +1,255 @@
+#include "net/io.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gt::net {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+    return Status{StatusCode::IoError, what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+    if (fd_ >= 0) {
+        // EINTR after close is unrecoverable by retry (the fd state is
+        // unspecified); POSIX says don't loop here.
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+IoResult recv_some(int fd, unsigned char* buf, std::size_t cap,
+                   std::size_t& n) noexcept {
+    n = 0;
+    for (;;) {
+        const ssize_t got = ::recv(fd, buf, cap, 0);
+        if (got > 0) {
+            n = static_cast<std::size_t>(got);
+            return IoResult::Ok;
+        }
+        if (got == 0) {
+            return IoResult::Closed;  // orderly shutdown
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return IoResult::WouldBlock;
+        }
+        if (errno == ECONNRESET) {
+            return IoResult::Closed;
+        }
+        return IoResult::Error;
+    }
+}
+
+IoResult send_some(int fd, const unsigned char* buf, std::size_t len,
+                   std::size_t& n) noexcept {
+    n = 0;
+    for (;;) {
+        const ssize_t sent = ::send(fd, buf, len, MSG_NOSIGNAL);
+        if (sent > 0) {
+            n = static_cast<std::size_t>(sent);
+            return IoResult::Ok;
+        }
+        if (sent == 0) {
+            // Zero progress on a nonempty buffer: retrying would spin
+            // (the write_all lesson). Latch an errno and fail.
+            if (len == 0) {
+                return IoResult::Ok;
+            }
+            if (errno == 0) {
+                errno = ENOSPC;
+            }
+            return IoResult::Error;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            return IoResult::WouldBlock;
+        }
+        if (errno == EPIPE || errno == ECONNRESET) {
+            return IoResult::Closed;
+        }
+        return IoResult::Error;
+    }
+}
+
+Status send_all(int fd, std::span<const unsigned char> buf) noexcept {
+    std::size_t off = 0;
+    while (off < buf.size()) {
+        std::size_t n = 0;
+        switch (send_some(fd, buf.data() + off, buf.size() - off, n)) {
+            case IoResult::Ok:
+                off += n;
+                break;
+            case IoResult::WouldBlock:
+                // Blocking socket: EAGAIN only fires with SO_SNDTIMEO,
+                // which the client does not set — treat as an error rather
+                // than busy-loop.
+                return Status{StatusCode::IoError,
+                              "send timed out (would block)"};
+            case IoResult::Closed:
+                return Status{StatusCode::IoError,
+                              "peer closed the connection mid-send"};
+            case IoResult::Error:
+                return errno_status("send");
+        }
+    }
+    return Status::success();
+}
+
+Status recv_exact(int fd, unsigned char* buf, std::size_t len) noexcept {
+    std::size_t off = 0;
+    while (off < len) {
+        std::size_t n = 0;
+        switch (recv_some(fd, buf + off, len - off, n)) {
+            case IoResult::Ok:
+                off += n;
+                break;
+            case IoResult::WouldBlock:
+                return Status{StatusCode::IoError,
+                              "recv timed out (would block)"};
+            case IoResult::Closed:
+                return Status{StatusCode::IoError,
+                              off == 0
+                                  ? "connection closed"
+                                  : "connection closed mid-frame"};
+            case IoResult::Error:
+                return errno_status("recv");
+        }
+    }
+    return Status::success();
+}
+
+int accept_retry(int listen_fd) noexcept {
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0 || errno != EINTR) {
+            return fd;
+        }
+    }
+}
+
+Status set_nonblocking(int fd) noexcept {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        return errno_status("fcntl(O_NONBLOCK)");
+    }
+    return Status::success();
+}
+
+Status tcp_listen(const std::string& host, std::uint16_t port, Fd& out,
+                  std::uint16_t& bound_port) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        return errno_status("socket");
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status{StatusCode::InvalidArgument,
+                      "not an IPv4 address: " + host};
+    }
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        return errno_status("bind " + host + ":" + std::to_string(port));
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) {
+        return errno_status("listen");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+        return errno_status("getsockname");
+    }
+    bound_port = ntohs(bound.sin_port);
+    out = std::move(fd);
+    return Status::success();
+}
+
+Status tcp_connect(const std::string& host, std::uint16_t port, Fd& out) {
+    Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd.valid()) {
+        return errno_status("socket");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        return Status{StatusCode::InvalidArgument,
+                      "not an IPv4 address: " + host};
+    }
+    for (;;) {
+        if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) == 0) {
+            break;
+        }
+        if (errno == EINTR) {
+            continue;
+        }
+        return errno_status("connect " + host + ":" +
+                            std::to_string(port));
+    }
+    const int one = 1;
+    (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                       sizeof(one));
+    out = std::move(fd);
+    return Status::success();
+}
+
+Status make_wake_pipe(Fd& read_end, Fd& write_end) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        return errno_status("pipe");
+    }
+    read_end = Fd(fds[0]);
+    write_end = Fd(fds[1]);
+    for (const int fd : fds) {
+        (void)::fcntl(fd, F_SETFD, FD_CLOEXEC);
+        if (const Status st = set_nonblocking(fd); !st.ok()) {
+            return st;
+        }
+    }
+    return Status::success();
+}
+
+void wake(int write_fd) noexcept {
+    const unsigned char byte = 1;
+    // Single attempt, no EINTR loop: signal handlers must not spin, and a
+    // full pipe means the loop is already waking.
+    (void)::write(write_fd, &byte, 1);
+}
+
+void drain_wake(int read_fd) noexcept {
+    unsigned char sink[64];
+    for (;;) {
+        const ssize_t n = ::read(read_fd, sink, sizeof(sink));
+        if (n > 0) {
+            continue;
+        }
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        return;  // EAGAIN (drained), EOF, or a real error — all terminal
+    }
+}
+
+}  // namespace gt::net

@@ -1,0 +1,112 @@
+// Socket plumbing for gt::net — the only files in the tree allowed to call
+// the raw socket syscalls (::send/::recv/::read/::write on fds that may be
+// sockets); tools/gt_lint.py's raw-socket-io rule enforces that boundary.
+// Everything here encodes the loop disciplines the rest of the server must
+// not re-derive per call site:
+//
+//   - EINTR retries on every syscall (accept included),
+//   - MSG_NOSIGNAL on sends so a vanished peer raises EPIPE instead of
+//     delivering SIGPIPE and killing the daemon,
+//   - a zero return from a *send* treated as an error, never progress
+//     (the write_all spin bug from wal.cpp, fixed once, stays fixed here),
+//   - EAGAIN surfaced as WouldBlock so nonblocking event loops can park.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace gt::net {
+
+/// Owning fd handle (close-on-destroy, move-only).
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) noexcept : fd_(fd) {}
+    ~Fd() { reset(); }
+    Fd(Fd&& other) noexcept : fd_(other.release()) {}
+    Fd& operator=(Fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    [[nodiscard]] int get() const noexcept { return fd_; }
+    [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int release() noexcept {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset() noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// Outcome of one nonblocking transfer attempt.
+enum class IoResult : std::uint8_t {
+    Ok,          ///< made progress (`n` bytes)
+    WouldBlock,  ///< EAGAIN/EWOULDBLOCK — park until the poller fires
+    Closed,      ///< orderly peer shutdown (recv == 0) or EPIPE/ECONNRESET
+    Error,       ///< anything else; errno holds the cause
+};
+
+/// One recv() attempt with EINTR retry. `n` receives the byte count on Ok.
+[[nodiscard]] IoResult recv_some(int fd, unsigned char* buf, std::size_t cap,
+                                 std::size_t& n) noexcept;
+
+/// One send() attempt (MSG_NOSIGNAL) with EINTR retry; partial sends
+/// return Ok with the short count. A zero return from send() on a nonempty
+/// buffer is reported as Error with errno latched (ENOSPC-style refusal to
+/// spin), mirroring the WAL's write_all fix.
+[[nodiscard]] IoResult send_some(int fd, const unsigned char* buf,
+                                 std::size_t len, std::size_t& n) noexcept;
+
+/// Blocking full-buffer send for the client side: loops send_some until
+/// done. Closed peers surface as IoError with an EPIPE message.
+[[nodiscard]] Status send_all(int fd,
+                              std::span<const unsigned char> buf) noexcept;
+
+/// Blocking full-buffer receive for the client side; an early EOF is an
+/// IoError ("connection closed mid-frame"), matching read_exact's Short.
+[[nodiscard]] Status recv_exact(int fd, unsigned char* buf,
+                                std::size_t len) noexcept;
+
+/// accept(2) with EINTR retry. Returns the fd, or -1 with errno set
+/// (EAGAIN when the nonblocking backlog is empty).
+[[nodiscard]] int accept_retry(int listen_fd) noexcept;
+
+[[nodiscard]] Status set_nonblocking(int fd) noexcept;
+
+/// Binds + listens on host:port (TCP, SO_REUSEADDR). `port` 0 picks an
+/// ephemeral port; `bound_port` receives the actual one.
+[[nodiscard]] Status tcp_listen(const std::string& host, std::uint16_t port,
+                                Fd& out, std::uint16_t& bound_port);
+
+/// Blocking TCP connect (TCP_NODELAY — the protocol is request/response
+/// with small frames, Nagle only adds latency).
+[[nodiscard]] Status tcp_connect(const std::string& host, std::uint16_t port,
+                                 Fd& out);
+
+/// Nonblocking close-on-exec self-pipe: the event loop's wake/stop channel.
+[[nodiscard]] Status make_wake_pipe(Fd& read_end, Fd& write_end);
+
+/// Best-effort single-byte write to the pipe. Async-signal-safe — this is
+/// what a SIGINT handler calls; a full pipe already means a wake is
+/// pending, so the dropped byte is harmless.
+void wake(int write_fd) noexcept;
+
+/// Drains all pending wake bytes (nonblocking read end).
+void drain_wake(int read_fd) noexcept;
+
+}  // namespace gt::net

@@ -1,0 +1,171 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "util/crc32c.hpp"
+
+namespace gt::net {
+
+namespace {
+
+/// crc32c over (len, version, type, flags, request_id, payload) — the WAL's
+/// init/final-xor convention so the two formats share one checksum idiom.
+std::uint32_t frame_crc(std::uint32_t len, std::uint8_t version,
+                        std::uint8_t type, std::uint16_t flags,
+                        std::uint64_t request_id, const void* payload) {
+    std::uint32_t crc = 0xFFFFFFFFU;
+    crc = util::crc32c_extend(crc, &len, sizeof(len));
+    crc = util::crc32c_extend(crc, &version, sizeof(version));
+    crc = util::crc32c_extend(crc, &type, sizeof(type));
+    crc = util::crc32c_extend(crc, &flags, sizeof(flags));
+    crc = util::crc32c_extend(crc, &request_id, sizeof(request_id));
+    crc = util::crc32c_extend(crc, payload, len);
+    return crc ^ 0xFFFFFFFFU;
+}
+
+}  // namespace
+
+WireCode wire_code_of(const Status& st) noexcept {
+    switch (st.code) {
+        case StatusCode::Ok:
+            return WireCode::Ok;
+        case StatusCode::InvalidArgument:
+            return WireCode::InvalidArgument;
+        case StatusCode::ResourceExhausted:
+            return WireCode::ResourceExhausted;
+        case StatusCode::FaultInjected:
+            return WireCode::FaultInjected;
+        case StatusCode::IoError:
+            return WireCode::IoError;
+        case StatusCode::WouldDeadlock:
+            return WireCode::Busy;  // transient ordering conflict: retry
+        case StatusCode::WalBadMagic:
+        case StatusCode::WalBadVersion:
+        case StatusCode::WalTruncated:
+        case StatusCode::WalChecksum:
+        case StatusCode::WalBadRecord:
+        case StatusCode::WalBadSequence:
+        case StatusCode::WalTornBatch:
+        case StatusCode::WalClosed:
+            return WireCode::WalError;
+        default:
+            return WireCode::Internal;
+    }
+}
+
+Status status_of_wire(WireCode code, std::string message) {
+    const auto detail = static_cast<std::uint64_t>(code);
+    switch (code) {
+        case WireCode::Ok:
+            return Status::success();
+        case WireCode::InvalidArgument:
+        case WireCode::UnknownGraph:
+        case WireCode::BadGraphName:
+        case WireCode::UnknownType:
+        case WireCode::BadPayload:
+            return Status{StatusCode::InvalidArgument, std::move(message),
+                          detail};
+        case WireCode::Busy:
+        case WireCode::ShuttingDown:
+        case WireCode::ResourceExhausted:
+            return Status{StatusCode::ResourceExhausted, std::move(message),
+                          detail};
+        case WireCode::FaultInjected:
+            return Status{StatusCode::FaultInjected, std::move(message),
+                          detail};
+        case WireCode::WalError:
+            return Status{StatusCode::WalClosed, std::move(message), detail};
+        default:
+            return Status{StatusCode::IoError, std::move(message), detail};
+    }
+}
+
+void encode_frame(std::vector<unsigned char>& out, std::uint8_t type,
+                  std::uint64_t request_id,
+                  std::span<const unsigned char> payload,
+                  std::uint16_t flags) {
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = frame_crc(len, kProtoVersion, type, flags,
+                                        request_id, payload.data());
+    const auto append = [&out](const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        out.insert(out.end(), b, b + n);
+    };
+    out.reserve(out.size() + kFrameHeaderBytes + payload.size());
+    append(&crc, sizeof(crc));
+    append(&len, sizeof(len));
+    append(&kProtoVersion, sizeof(kProtoVersion));
+    append(&type, sizeof(type));
+    append(&flags, sizeof(flags));
+    append(&request_id, sizeof(request_id));
+    append(payload.data(), payload.size());
+}
+
+DecodeResult decode_frame(std::span<const unsigned char> buf, Frame& out,
+                          std::size_t& consumed, DecodeError& err) {
+    consumed = 0;
+    if (buf.size() < kFrameHeaderBytes) {
+        return DecodeResult::NeedMore;
+    }
+    std::uint32_t crc = 0;
+    std::uint32_t len = 0;
+    std::memcpy(&crc, buf.data(), sizeof(crc));
+    std::memcpy(&len, buf.data() + 4, sizeof(len));
+    std::memcpy(&out.version, buf.data() + 8, sizeof(out.version));
+    std::memcpy(&out.type, buf.data() + 9, sizeof(out.type));
+    std::memcpy(&out.flags, buf.data() + 10, sizeof(out.flags));
+    std::memcpy(&out.request_id, buf.data() + 12, sizeof(out.request_id));
+
+    // Bound the length *before* waiting for the payload: a hostile prefix
+    // must not make the reader buffer gigabytes hoping the frame completes.
+    if (len > kMaxFramePayload) {
+        err = DecodeError{WireCode::TooLarge,
+                          "frame payload of " + std::to_string(len) +
+                              " bytes exceeds the " +
+                              std::to_string(kMaxFramePayload) + " cap"};
+        return DecodeResult::Bad;
+    }
+    if (buf.size() < kFrameHeaderBytes + len) {
+        return DecodeResult::NeedMore;
+    }
+    const unsigned char* payload = buf.data() + kFrameHeaderBytes;
+    if (crc != frame_crc(len, out.version, out.type, out.flags,
+                         out.request_id, payload)) {
+        // After a checksum failure the stream has no trustworthy record
+        // boundary left — resynchronizing would mean guessing. Close.
+        err = DecodeError{WireCode::BadFrame, "frame checksum mismatch"};
+        return DecodeResult::Bad;
+    }
+    if (out.version != kProtoVersion) {
+        err = DecodeError{WireCode::UnsupportedVersion,
+                          "protocol version " +
+                              std::to_string(out.version) +
+                              " (speaking " +
+                              std::to_string(kProtoVersion) + ")"};
+        return DecodeResult::Bad;
+    }
+    out.payload.assign(payload, payload + len);
+    consumed = kFrameHeaderBytes + len;
+    return DecodeResult::Ok;
+}
+
+bool validate_graph_name(std::string_view name) noexcept {
+    if (name.empty() || name.size() > kMaxGraphName) {
+        return false;
+    }
+    const auto alnum = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9');
+    };
+    if (!alnum(name.front())) {
+        return false;
+    }
+    for (const char c : name) {
+        if (!alnum(c) && c != '_' && c != '-') {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace gt::net

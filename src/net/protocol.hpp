@@ -1,0 +1,309 @@
+// gt.net.v1 — the length-prefixed binary wire protocol `gt serve` speaks.
+//
+// Frame layout (all integers little-endian, the only byte order the
+// codebase targets — same stance as the WAL and snapshot formats):
+//
+//   u32 crc32c   over everything after this field (len..payload)
+//   u32 len      payload length in bytes (<= kMaxFramePayload)
+//   u8  version  kProtoVersion; anything else is UnsupportedVersion
+//   u8  type     MsgType; responses set kResponseBit, errors are kErrorType
+//   u16 flags    reserved, must be zero on the wire today
+//   u64 request_id  chosen by the client, echoed verbatim in the response —
+//                   this is what makes pipelining work: N requests may be
+//                   in flight and responses pair up by id (the server
+//                   answers in order, but clients must not rely on that)
+//   payload[len]
+//
+// The crc mirrors the WAL's discipline (crc32c, 0xFFFFFFFF init + final
+// xor): a flipped bit anywhere after the crc field is detected, and a
+// truncated frame is simply "need more bytes" until the connection closes.
+// decode_frame never trusts `len` before bounding it, so a hostile header
+// can cost at most kMaxFramePayload of buffering, never an unbounded
+// allocation — the scan_wal torn-frame stance applied to sockets.
+//
+// Request payload conventions (composed with PayloadWriter/PayloadReader):
+//
+//   graph-scoped requests start with  u16 name_len | name bytes
+//
+//   Ping         opaque bytes, echoed verbatim
+//   OpenGraph    name | u8 durability (0 off, 1 buffered, 2 fsync_batch,
+//                255 server default)
+//   InsertBatch  name | u32 n | n × (u32 src, u32 dst, u32 weight)
+//   DeleteBatch  name | u32 n | n × (u32 src, u32 dst, u32 weight)
+//   Degree       name | u32 v
+//   Neighbors    name | u32 v | u32 max
+//   Bfs / Sssp   name | u32 root | u32 k | k × u32 target
+//   Cc           name | u32 k | k × u32 target
+//   EdgeCount    name
+//   Checkpoint   name
+//   Sync         name
+//   StatsJson    name
+//
+// Response payloads:
+//
+//   Ping         the request payload, echoed
+//   OpenGraph    u8 recovery source (RecoveryInfo::Source)
+//   Insert/DeleteBatch  u64 store edge count after the batch committed
+//   Degree       u64 degree
+//   Neighbors    u32 n | n × (u32 dst, u32 weight)
+//   Bfs/Sssp/Cc  u32 k | k × u32 property (kInfDistance = unreachable)
+//   EdgeCount    u64 edges | u64 vertices
+//   Checkpoint / Sync   empty
+//   StatsJson    u32 len | len bytes of gt.obs.v1 JSON
+//   error (kErrorType)  u16 WireCode | u16 msg_len | msg bytes
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace gt::net {
+
+inline constexpr std::uint8_t kProtoVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Largest payload a peer may send or receive. Bounds the per-connection
+/// buffer a hostile length prefix can demand; batches larger than this
+/// must be split client-side (the CLI does).
+inline constexpr std::uint32_t kMaxFramePayload = 1U << 24;  // 16 MiB
+inline constexpr std::size_t kMaxGraphName = 64;
+
+/// Request types. A response carries the request's type with kResponseBit
+/// set; failures come back as kErrorType regardless of request type.
+enum class MsgType : std::uint8_t {
+    Ping = 1,
+    OpenGraph = 2,
+    InsertBatch = 3,
+    DeleteBatch = 4,
+    Degree = 5,
+    Neighbors = 6,
+    Bfs = 7,
+    Sssp = 8,
+    Cc = 9,
+    EdgeCount = 10,
+    Checkpoint = 11,
+    StatsJson = 12,
+    Sync = 13,
+};
+
+inline constexpr std::uint8_t kResponseBit = 0x80;
+inline constexpr std::uint8_t kErrorType = 0xFF;
+
+[[nodiscard]] constexpr bool valid_request_type(std::uint8_t t) noexcept {
+    return t >= static_cast<std::uint8_t>(MsgType::Ping) &&
+           t <= static_cast<std::uint8_t>(MsgType::Sync);
+}
+
+/// Wire-level error classes. Client-visible and stable: codes are appended,
+/// never renumbered (same contract as StatusCode).
+enum class WireCode : std::uint16_t {
+    Ok = 0,
+    BadFrame = 1,            // header/crc/len violation; connection closes
+    UnsupportedVersion = 2,  // frame version != kProtoVersion
+    UnknownType = 3,         // type outside the MsgType range
+    BadPayload = 4,          // payload too short / malformed for its type
+    UnknownGraph = 5,        // graph-scoped op before OpenGraph
+    BadGraphName = 6,        // name fails validate_graph_name
+    TooLarge = 7,            // len > kMaxFramePayload; connection closes
+    Busy = 8,                // shed by backpressure — retryable
+    ShuttingDown = 9,        // server is draining; retryable elsewhere
+    InvalidArgument = 10,
+    ResourceExhausted = 11,
+    IoError = 12,
+    WalError = 13,
+    FaultInjected = 14,
+    Internal = 15,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(WireCode c) noexcept {
+    switch (c) {
+        case WireCode::Ok: return "ok";
+        case WireCode::BadFrame: return "bad_frame";
+        case WireCode::UnsupportedVersion: return "unsupported_version";
+        case WireCode::UnknownType: return "unknown_type";
+        case WireCode::BadPayload: return "bad_payload";
+        case WireCode::UnknownGraph: return "unknown_graph";
+        case WireCode::BadGraphName: return "bad_graph_name";
+        case WireCode::TooLarge: return "too_large";
+        case WireCode::Busy: return "busy";
+        case WireCode::ShuttingDown: return "shutting_down";
+        case WireCode::InvalidArgument: return "invalid_argument";
+        case WireCode::ResourceExhausted: return "resource_exhausted";
+        case WireCode::IoError: return "io_error";
+        case WireCode::WalError: return "wal_error";
+        case WireCode::FaultInjected: return "fault_injected";
+        case WireCode::Internal: return "internal";
+    }
+    return "unknown";
+}
+
+/// Whether a client should retry the same request (possibly after backoff).
+[[nodiscard]] constexpr bool retryable(WireCode c) noexcept {
+    return c == WireCode::Busy || c == WireCode::ShuttingDown;
+}
+
+/// Maps a store/durability Status onto the wire. Lossy by design — the
+/// message string carries the detail.
+[[nodiscard]] WireCode wire_code_of(const Status& st) noexcept;
+
+/// Maps a wire error back into a local Status for client callers. The
+/// original WireCode rides in Status::detail so tests and retry loops can
+/// recover it exactly.
+[[nodiscard]] Status status_of_wire(WireCode code, std::string message);
+
+/// One decoded frame.
+struct Frame {
+    std::uint8_t version = kProtoVersion;
+    std::uint8_t type = 0;
+    std::uint16_t flags = 0;
+    std::uint64_t request_id = 0;
+    std::vector<unsigned char> payload;
+};
+
+/// Appends one encoded frame (header + crc + payload) to `out`.
+void encode_frame(std::vector<unsigned char>& out, std::uint8_t type,
+                  std::uint64_t request_id,
+                  std::span<const unsigned char> payload,
+                  std::uint16_t flags = 0);
+
+enum class DecodeResult : std::uint8_t {
+    Ok,        ///< one frame decoded; `consumed` bytes may be dropped
+    NeedMore,  ///< prefix of a valid frame; read more bytes
+    Bad,       ///< unrecoverable framing violation; close the connection
+};
+
+struct DecodeError {
+    WireCode code = WireCode::Ok;
+    std::string message;
+};
+
+/// Decodes the first frame in `buf`. On Ok, `out` holds the frame and
+/// `consumed` the bytes to discard. On Bad, `err` says why — oversized
+/// length and crc mismatches are Bad (the stream can never resynchronize),
+/// truncation is NeedMore. Never reads past `buf`, never allocates more
+/// than the bounded payload.
+[[nodiscard]] DecodeResult decode_frame(std::span<const unsigned char> buf,
+                                        Frame& out, std::size_t& consumed,
+                                        DecodeError& err);
+
+/// Graph names become directory names under the server root, so they are
+/// locked to a conservative charset: [A-Za-z0-9_-]{1,64}, first char
+/// alphanumeric. Rejects path traversal by construction.
+[[nodiscard]] bool validate_graph_name(std::string_view name) noexcept;
+
+// ---- payload composition --------------------------------------------------
+
+/// Little-endian append-only payload builder.
+class PayloadWriter {
+public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v) { append(&v, sizeof(v)); }
+    void u32(std::uint32_t v) { append(&v, sizeof(v)); }
+    void u64(std::uint64_t v) { append(&v, sizeof(v)); }
+    void bytes(std::span<const unsigned char> b) {
+        buf_.insert(buf_.end(), b.begin(), b.end());
+    }
+    /// u16 length prefix + bytes (graph names, error messages).
+    void str(std::string_view s) {
+        u16(static_cast<std::uint16_t>(s.size()));
+        const auto* p = reinterpret_cast<const unsigned char*>(s.data());
+        buf_.insert(buf_.end(), p, p + s.size());
+    }
+    void edges(std::span<const Edge> es) {
+        u32(static_cast<std::uint32_t>(es.size()));
+        for (const Edge& e : es) {
+            u32(e.src);
+            u32(e.dst);
+            u32(e.weight);
+        }
+    }
+
+    [[nodiscard]] const std::vector<unsigned char>& data() const noexcept {
+        return buf_;
+    }
+    [[nodiscard]] std::span<const unsigned char> span() const noexcept {
+        return buf_;
+    }
+
+private:
+    void append(const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+    std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked little-endian payload cursor. Overruns latch `ok() ==
+/// false` and every later read returns zero — callers validate once at the
+/// end instead of after every field, and a malformed payload can never read
+/// out of bounds.
+class PayloadReader {
+public:
+    explicit PayloadReader(std::span<const unsigned char> buf) noexcept
+        : buf_(buf) {}
+
+    [[nodiscard]] std::uint8_t u8() noexcept {
+        std::uint8_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+    [[nodiscard]] std::uint16_t u16() noexcept {
+        std::uint16_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+    [[nodiscard]] std::uint32_t u32() noexcept {
+        std::uint32_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+    [[nodiscard]] std::uint64_t u64() noexcept {
+        std::uint64_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+    /// Reads a u16-length-prefixed string.
+    [[nodiscard]] std::string str() {
+        const std::uint16_t len = u16();
+        if (pos_ + len > buf_.size()) {
+            ok_ = false;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+    [[nodiscard]] bool exhausted() const noexcept {
+        return ok_ && pos_ == buf_.size();
+    }
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return buf_.size() - pos_;
+    }
+    [[nodiscard]] std::span<const unsigned char> rest() const noexcept {
+        return buf_.subspan(pos_);
+    }
+
+private:
+    void read(void* out, std::size_t n) noexcept {
+        if (!ok_ || pos_ + n > buf_.size()) {
+            ok_ = false;
+            return;
+        }
+        std::memcpy(out, buf_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::span<const unsigned char> buf_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+}  // namespace gt::net

@@ -1,0 +1,844 @@
+#include "net/server.hpp"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
+#include "obs/export.hpp"
+
+#if defined(__linux__) && !defined(GT_NET_FORCE_POLL)
+#define GT_NET_USE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define GT_NET_USE_EPOLL 0
+#include <poll.h>
+#endif
+
+namespace gt::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Compact the parsed prefix of a read buffer once it crosses this size —
+/// below it, the memmove costs more than the memory it reclaims.
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+/// Error messages are operator-facing, not a transport for bulk data.
+constexpr std::size_t kMaxErrorMessage = 512;
+
+[[nodiscard]] std::uint64_t now_us() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// mkdir -p, two levels deep at most (<root> and <root>/<name>).
+[[nodiscard]] Status ensure_dir(const std::string& path) {
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+        return Status::success();
+    }
+    return Status{StatusCode::IoError,
+                  "mkdir('" + path + "') failed: " + std::strerror(errno)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Poller — epoll on Linux, poll(2) everywhere else. Level-triggered in both
+// backends: the loop re-arms nothing, it just leaves unread bytes in the
+// kernel buffer and gets woken again.
+
+class Server::Poller {
+public:
+    struct Event {
+        int fd = -1;
+        bool readable = false;
+        bool writable = false;
+        bool error = false;
+    };
+
+    [[nodiscard]] Status init() {
+#if GT_NET_USE_EPOLL
+        ep_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+        if (!ep_.valid()) {
+            return Status{StatusCode::IoError,
+                          std::string{"epoll_create1 failed: "} +
+                              std::strerror(errno)};
+        }
+#endif
+        return Status::success();
+    }
+
+    void add(int fd, bool want_write) {
+#if GT_NET_USE_EPOLL
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0U);
+        ev.data.fd = fd;
+        (void)::epoll_ctl(ep_.get(), EPOLL_CTL_ADD, fd, &ev);
+#else
+        want_write_[fd] = want_write;
+#endif
+    }
+
+    void mod(int fd, bool want_write) {
+#if GT_NET_USE_EPOLL
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0U);
+        ev.data.fd = fd;
+        (void)::epoll_ctl(ep_.get(), EPOLL_CTL_MOD, fd, &ev);
+#else
+        want_write_[fd] = want_write;
+#endif
+    }
+
+    void del(int fd) {
+#if GT_NET_USE_EPOLL
+        (void)::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, nullptr);
+#else
+        want_write_.erase(fd);
+#endif
+    }
+
+    /// Blocks until at least one event; EINTR retries (the accept/event
+    /// loop discipline — a signal must wake stop(), not kill the wait).
+    [[nodiscard]] Status wait(std::vector<Event>& out) {
+        out.clear();
+#if GT_NET_USE_EPOLL
+        epoll_event evs[64];
+        int n = 0;
+        for (;;) {
+            n = ::epoll_wait(ep_.get(), evs, 64, -1);
+            if (n >= 0) {
+                break;
+            }
+            if (errno == EINTR) {
+                continue;
+            }
+            return Status{StatusCode::IoError,
+                          std::string{"epoll_wait failed: "} +
+                              std::strerror(errno)};
+        }
+        for (int i = 0; i < n; ++i) {
+            Event e;
+            e.fd = evs[i].data.fd;
+            e.readable = (evs[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+            e.writable = (evs[i].events & EPOLLOUT) != 0;
+            e.error = (evs[i].events & EPOLLERR) != 0;
+            out.push_back(e);
+        }
+#else
+        std::vector<pollfd> pfds;
+        pfds.reserve(want_write_.size());
+        for (const auto& [fd, ww] : want_write_) {
+            pollfd p{};
+            p.fd = fd;
+            p.events = static_cast<short>(POLLIN | (ww ? POLLOUT : 0));
+            pfds.push_back(p);
+        }
+        int n = 0;
+        for (;;) {
+            n = ::poll(pfds.data(), pfds.size(), -1);
+            if (n >= 0) {
+                break;
+            }
+            if (errno == EINTR) {
+                continue;
+            }
+            return Status{StatusCode::IoError,
+                          std::string{"poll failed: "} +
+                              std::strerror(errno)};
+        }
+        for (const pollfd& p : pfds) {
+            if (p.revents == 0) {
+                continue;
+            }
+            Event e;
+            e.fd = p.fd;
+            e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+            e.writable = (p.revents & POLLOUT) != 0;
+            e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+            out.push_back(e);
+        }
+#endif
+        return Status::success();
+    }
+
+private:
+#if GT_NET_USE_EPOLL
+    Fd ep_;
+#else
+    std::map<int, bool> want_write_;
+#endif
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Server::Server() = default;
+Server::~Server() = default;
+
+void Server::bind_metrics() {
+    obs::Registry& r = *registry_;
+    accepted_m_ = &r.counter("net.conns_accepted");
+    closed_m_ = &r.counter("net.conns_closed");
+    frames_rx_m_ = &r.counter("net.frames_rx");
+    frames_tx_m_ = &r.counter("net.frames_tx");
+    bytes_rx_m_ = &r.counter("net.bytes_rx");
+    bytes_tx_m_ = &r.counter("net.bytes_tx");
+    busy_shed_m_ = &r.counter("net.busy_shed");
+    bad_frames_m_ = &r.counter("net.bad_frames");
+    errors_tx_m_ = &r.counter("net.errors_tx");
+    request_us_m_ = &r.histogram("net.request_us");
+    conns_gauge_ = &r.gauge("net.open_conns");
+    wbuf_gauge_ = &r.gauge("net.wbuf_bytes");
+    graphs_gauge_ = &r.gauge("net.open_graphs");
+}
+
+void Server::update_gauges() {
+    conns_gauge_->set(static_cast<double>(conns_.size()));
+    graphs_gauge_->set(static_cast<double>(graphs_.size()));
+    std::size_t wbuf = 0;
+    for (const auto& [fd, conn] : conns_) {
+        wbuf += conn->wbuf.size() - conn->wpos;
+    }
+    wbuf_gauge_->set(static_cast<double>(wbuf));
+}
+
+Status Server::start(const ServerOptions& options) {
+    opts_ = options;
+    if (opts_.root.empty()) {
+        return Status{StatusCode::InvalidArgument,
+                      "ServerOptions.root is required"};
+    }
+    opts_.max_inflight = std::max<std::size_t>(opts_.max_inflight, 1);
+    opts_.parse_budget = std::max<std::size_t>(opts_.parse_budget, 1);
+    registry_ = opts_.registry;
+    if (registry_ == nullptr) {
+        owned_registry_ = std::make_unique<obs::Registry>();
+        registry_ = owned_registry_.get();
+    }
+    bind_metrics();
+    if (Status st = ensure_dir(opts_.root); !st.ok()) {
+        return st;
+    }
+    if (Status st = make_wake_pipe(wake_r_, wake_w_); !st.ok()) {
+        return st;
+    }
+    if (Status st = tcp_listen(opts_.host, opts_.port, listen_fd_, port_);
+        !st.ok()) {
+        return st;
+    }
+    if (Status st = set_nonblocking(listen_fd_.get()); !st.ok()) {
+        return st;
+    }
+    poller_ = std::make_unique<Poller>();
+    if (Status st = poller_->init(); !st.ok()) {
+        return st;
+    }
+    poller_->add(listen_fd_.get(), false);
+    poller_->add(wake_r_.get(), false);
+    return Status::success();
+}
+
+void Server::stop() noexcept {
+    if (wake_w_.valid()) {
+        wake(wake_w_.get());
+    }
+}
+
+Status Server::run() {
+    if (poller_ == nullptr) {
+        return Status{StatusCode::InvalidArgument, "start() first"};
+    }
+    std::vector<Poller::Event> events;
+    while (!stopping_) {
+        if (Status st = poller_->wait(events); !st.ok()) {
+            return st;
+        }
+        for (const Poller::Event& ev : events) {
+            if (ev.fd == wake_r_.get()) {
+                drain_wake(wake_r_.get());
+                stopping_ = true;
+                continue;
+            }
+            if (ev.fd == listen_fd_.get()) {
+                accept_new();
+                continue;
+            }
+            // The connection may already have been torn down by an earlier
+            // event in this batch.
+            if (conns_.find(ev.fd) == conns_.end()) {
+                continue;
+            }
+            if (ev.error) {
+                teardown(ev.fd);
+                continue;
+            }
+            if (ev.writable) {
+                handle_writable(ev.fd);
+            }
+            if (conns_.find(ev.fd) != conns_.end() && ev.readable) {
+                handle_readable(ev.fd);
+            }
+        }
+        drain_pending();
+        update_gauges();
+    }
+    // Graceful teardown: drop connections, then close every store (the
+    // DurableStore close flushes buffered WAL bytes; FsyncBatch syncs).
+    while (!conns_.empty()) {
+        teardown(conns_.begin()->first);
+    }
+    for (auto& [name, entry] : graphs_) {
+        entry->store.close();
+    }
+    graphs_.clear();
+    update_gauges();
+    return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// Connection plumbing
+
+void Server::accept_new() {
+    for (;;) {
+        const int fd = accept_retry(listen_fd_.get());
+        if (fd < 0) {
+            return;  // EAGAIN (drained) or transient accept failure
+        }
+        accepted_m_->inc();
+        if (conns_.size() >= opts_.max_conns) {
+            // Over the connection cap: one best-effort Busy frame so a
+            // well-behaved client backs off, then close.
+            busy_shed_m_->inc();
+            PayloadWriter w;
+            w.u16(static_cast<std::uint16_t>(WireCode::Busy));
+            w.str("connection limit reached; retry later");
+            std::vector<unsigned char> frame;
+            encode_frame(frame, kErrorType, 0, w.span());
+            std::size_t sent = 0;
+            (void)send_some(fd, frame.data(), frame.size(), sent);
+            Fd(fd).reset();
+            closed_m_->inc();
+            continue;
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = Fd(fd);
+        if (!set_nonblocking(fd).ok()) {
+            closed_m_->inc();
+            continue;  // conn (and fd) dropped
+        }
+        poller_->add(fd, false);
+        conns_.emplace(fd, std::move(conn));
+    }
+}
+
+void Server::teardown(int fd) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) {
+        return;
+    }
+    poller_->del(fd);
+    conns_.erase(it);  // Fd destructor closes
+    closed_m_->inc();
+}
+
+void Server::handle_readable(int fd) {
+    Conn& conn = *conns_.at(fd);
+    bool peer_done = false;
+    for (;;) {
+        const std::size_t base = conn.rbuf.size();
+        // Cap the buffered request bytes: header + payload cap + one read
+        // chunk of slack. A peer that streams past an unread frame this
+        // large is either broken or hostile.
+        if (base - conn.rpos > kFrameHeaderBytes + kMaxFramePayload) {
+            teardown(fd);
+            return;
+        }
+        conn.rbuf.resize(base + kReadChunk);
+        std::size_t n = 0;
+        const IoResult got =
+            recv_some(conn.fd.get(), conn.rbuf.data() + base, kReadChunk, n);
+        conn.rbuf.resize(base + n);
+        if (got == IoResult::Ok) {
+            bytes_rx_m_->add(n);
+            continue;
+        }
+        if (got == IoResult::WouldBlock) {
+            break;
+        }
+        if (got == IoResult::Closed) {
+            // Half-close: the peer may still be reading responses to the
+            // requests it already pipelined — answer them, flush, close.
+            peer_done = true;
+            break;
+        }
+        teardown(fd);
+        return;
+    }
+    parse_and_execute(conn);
+    if (peer_done) {
+        conn.closing = true;
+    }
+    if (!flush_conn(conn)) {
+        teardown(fd);
+        return;
+    }
+    if (conn.closing && conn.wpos == conn.wbuf.size()) {
+        teardown(fd);
+    }
+}
+
+void Server::handle_writable(int fd) {
+    Conn& conn = *conns_.at(fd);
+    if (!flush_conn(conn)) {
+        teardown(fd);
+        return;
+    }
+    if (conn.closing && conn.wpos == conn.wbuf.size()) {
+        teardown(fd);
+    }
+}
+
+bool Server::flush_conn(Conn& conn) {
+    while (conn.wpos < conn.wbuf.size()) {
+        std::size_t n = 0;
+        const IoResult sent =
+            send_some(conn.fd.get(), conn.wbuf.data() + conn.wpos,
+                      conn.wbuf.size() - conn.wpos, n);
+        if (sent == IoResult::Ok) {
+            conn.wpos += n;
+            bytes_tx_m_->add(n);
+            continue;
+        }
+        if (sent == IoResult::WouldBlock) {
+            if (!conn.want_write) {
+                conn.want_write = true;
+                poller_->mod(conn.fd.get(), true);
+            }
+            return true;
+        }
+        // Closed (EPIPE/ECONNRESET — the client vanished mid-reply) or a
+        // real error: either way the connection is done. MSG_NOSIGNAL in
+        // send_some is what turned the SIGPIPE crash into this branch.
+        return false;
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    conn.inflight = 0;
+    if (conn.want_write) {
+        conn.want_write = false;
+        poller_->mod(conn.fd.get(), false);
+    }
+    return true;
+}
+
+void Server::parse_and_execute(Conn& conn) {
+    for (std::size_t parsed = 0;
+         parsed < opts_.parse_budget && !conn.closing; ++parsed) {
+        const std::span<const unsigned char> rest(
+            conn.rbuf.data() + conn.rpos, conn.rbuf.size() - conn.rpos);
+        Frame req;
+        std::size_t consumed = 0;
+        DecodeError err;
+        const DecodeResult got = decode_frame(rest, req, consumed, err);
+        if (got == DecodeResult::NeedMore) {
+            break;
+        }
+        if (got == DecodeResult::Bad) {
+            // The stream cannot resynchronize after a framing violation:
+            // reply once (the header's request id, when it parsed, lets
+            // the client pair the failure), flush, close.
+            bad_frames_m_->inc();
+            reply_error(conn, req.request_id, err.code, err.message);
+            conn.rpos = conn.rbuf.size();
+            conn.closing = true;
+            break;
+        }
+        conn.rpos += consumed;
+        frames_rx_m_->inc();
+        if (stopping_) {
+            reply_error(conn, req.request_id, WireCode::ShuttingDown,
+                        "server is shutting down");
+            continue;
+        }
+        // Backpressure: shed (retryable Busy) instead of queueing beyond
+        // the per-connection caps.
+        if (conn.inflight >= opts_.max_inflight ||
+            conn.wbuf.size() - conn.wpos > opts_.max_wbuf_bytes) {
+            busy_shed_m_->inc();
+            reply_error(conn, req.request_id, WireCode::Busy,
+                        "connection backlog full; retry");
+            continue;
+        }
+        execute(conn, req);
+    }
+    // Reclaim the parsed prefix (or the whole buffer when fully consumed).
+    if (conn.rpos == conn.rbuf.size()) {
+        conn.rbuf.clear();
+        conn.rpos = 0;
+    } else if (conn.rpos > kCompactThreshold) {
+        conn.rbuf.erase(conn.rbuf.begin(),
+                        conn.rbuf.begin() +
+                            static_cast<std::ptrdiff_t>(conn.rpos));
+        conn.rpos = 0;
+    }
+}
+
+void Server::drain_pending() {
+    // Passes repeat until no connection consumes anything: each pass gives
+    // every connection at most parse_budget frames, so one deep pipeline
+    // cannot starve the others within a pass.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        std::vector<int> fds;
+        fds.reserve(conns_.size());
+        for (const auto& [fd, conn] : conns_) {
+            fds.push_back(fd);
+        }
+        for (const int fd : fds) {
+            const auto it = conns_.find(fd);
+            if (it == conns_.end()) {
+                continue;  // torn down earlier in this pass
+            }
+            Conn& conn = *it->second;
+            const std::size_t before = conn.rbuf.size() - conn.rpos;
+            if (conn.closing || before < kFrameHeaderBytes) {
+                continue;
+            }
+            parse_and_execute(conn);
+            if (!flush_conn(conn)) {
+                teardown(fd);
+                continue;
+            }
+            if (conn.closing && conn.wpos == conn.wbuf.size()) {
+                teardown(fd);
+                continue;
+            }
+            if (conn.rbuf.size() - conn.rpos < before) {
+                progress = true;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request execution
+
+void Server::reply(Conn& conn, const Frame& req,
+                   std::span<const unsigned char> payload) {
+    encode_frame(conn.wbuf,
+                 static_cast<std::uint8_t>(req.type | kResponseBit),
+                 req.request_id, payload);
+    frames_tx_m_->inc();
+    ++conn.inflight;
+}
+
+void Server::reply_error(Conn& conn, std::uint64_t request_id, WireCode code,
+                         std::string_view message) {
+    PayloadWriter w;
+    w.u16(static_cast<std::uint16_t>(code));
+    w.str(message.substr(0, kMaxErrorMessage));
+    encode_frame(conn.wbuf, kErrorType, request_id, w.span());
+    frames_tx_m_->inc();
+    errors_tx_m_->inc();
+    ++conn.inflight;
+}
+
+Server::GraphEntry* Server::find_graph(const std::string& name) {
+    const auto it = graphs_.find(name);
+    return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+void Server::execute(Conn& conn, const Frame& req) {
+    const std::uint64_t begin_us = now_us();
+    switch (req.type) {
+        case static_cast<std::uint8_t>(MsgType::Ping):
+            reply(conn, req, req.payload);
+            break;
+        case static_cast<std::uint8_t>(MsgType::OpenGraph):
+            handle_open_graph(conn, req);
+            break;
+        case static_cast<std::uint8_t>(MsgType::InsertBatch):
+        case static_cast<std::uint8_t>(MsgType::DeleteBatch):
+            handle_mutate(conn, req);
+            break;
+        case static_cast<std::uint8_t>(MsgType::Degree):
+        case static_cast<std::uint8_t>(MsgType::Neighbors):
+        case static_cast<std::uint8_t>(MsgType::Bfs):
+        case static_cast<std::uint8_t>(MsgType::Sssp):
+        case static_cast<std::uint8_t>(MsgType::Cc):
+        case static_cast<std::uint8_t>(MsgType::EdgeCount):
+        case static_cast<std::uint8_t>(MsgType::Checkpoint):
+        case static_cast<std::uint8_t>(MsgType::StatsJson):
+        case static_cast<std::uint8_t>(MsgType::Sync):
+            handle_query(conn, req);
+            break;
+        default:
+            reply_error(conn, req.request_id, WireCode::UnknownType,
+                        "unknown request type " +
+                            std::to_string(req.type));
+            break;
+    }
+    request_us_m_->record(now_us() - begin_us);
+}
+
+void Server::handle_open_graph(Conn& conn, const Frame& req) {
+    PayloadReader r(req.payload);
+    const std::string name = r.str();
+    const std::uint8_t mode = r.u8();
+    if (!r.ok() || !r.exhausted() || (mode > 2 && mode != 255)) {
+        reply_error(conn, req.request_id, WireCode::BadPayload,
+                    "OpenGraph payload: name | u8 durability(0..2, 255)");
+        return;
+    }
+    if (!validate_graph_name(name)) {
+        reply_error(conn, req.request_id, WireCode::BadGraphName,
+                    "graph names are [A-Za-z0-9_-]{1,64}, alnum first");
+        return;
+    }
+    GraphEntry* entry = find_graph(name);
+    if (entry == nullptr) {
+        const std::string dir = opts_.root + "/" + name;
+        if (const Status st = ensure_dir(dir); !st.ok()) {
+            reply_error(conn, req.request_id, wire_code_of(st),
+                        st.to_string());
+            return;
+        }
+        auto fresh = std::make_unique<GraphEntry>();
+        recover::DurableOptions dopts;
+        dopts.mode = mode == 0     ? recover::DurabilityMode::Off
+                     : mode == 1   ? recover::DurabilityMode::Buffered
+                     : mode == 2   ? recover::DurabilityMode::FsyncBatch
+                                   : opts_.durability;  // 255: server default
+        recover::RecoveryInfo info;
+        if (const Status st = fresh->store.open(dir, dopts, &info);
+            !st.ok()) {
+            reply_error(conn, req.request_id, wire_code_of(st),
+                        st.to_string());
+            return;
+        }
+        fresh->recovery_source = static_cast<std::uint8_t>(info.source);
+        entry = fresh.get();
+        graphs_.emplace(name, std::move(fresh));
+    }
+    PayloadWriter w;
+    w.u8(entry->recovery_source);
+    reply(conn, req, w.span());
+}
+
+void Server::handle_mutate(Conn& conn, const Frame& req) {
+    PayloadReader r(req.payload);
+    const std::string name = r.str();
+    const std::uint32_t n = r.u32();
+    if (!r.ok() ||
+        r.remaining() != static_cast<std::size_t>(n) * 3 * sizeof(VertexId)) {
+        reply_error(conn, req.request_id, WireCode::BadPayload,
+                    "mutation payload: name | u32 n | n edges");
+        return;
+    }
+    GraphEntry* entry = find_graph(name);
+    if (entry == nullptr) {
+        reply_error(conn, req.request_id, WireCode::UnknownGraph,
+                    "graph '" + name + "' is not open (OpenGraph first)");
+        return;
+    }
+    std::vector<Edge> edges(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        edges[i].src = r.u32();
+        edges[i].dst = r.u32();
+        edges[i].weight = r.u32();
+    }
+    core::GraphTinker& g = entry->store.graph();
+    const Status st =
+        req.type == static_cast<std::uint8_t>(MsgType::InsertBatch)
+            ? g.insert_batch(edges)
+            : g.delete_batch(edges);
+    if (!st.ok()) {
+        reply_error(conn, req.request_id, wire_code_of(st), st.to_string());
+        return;
+    }
+    PayloadWriter w;
+    w.u64(g.num_edges());
+    reply(conn, req, w.span());
+}
+
+void Server::handle_query(Conn& conn, const Frame& req) {
+    PayloadReader r(req.payload);
+    const std::string name = r.str();
+    if (!r.ok()) {
+        reply_error(conn, req.request_id, WireCode::BadPayload,
+                    "query payload starts with the graph name");
+        return;
+    }
+    GraphEntry* entry = find_graph(name);
+    if (entry == nullptr) {
+        reply_error(conn, req.request_id,
+                    validate_graph_name(name) ? WireCode::UnknownGraph
+                                              : WireCode::BadGraphName,
+                    "graph '" + name + "' is not open (OpenGraph first)");
+        return;
+    }
+    core::GraphTinker& g = entry->store.graph();
+    PayloadWriter w;
+
+    const auto finish = [&](const PayloadReader& rr) {
+        if (!rr.ok() || !rr.exhausted()) {
+            reply_error(conn, req.request_id, WireCode::BadPayload,
+                        "malformed query payload");
+            return false;
+        }
+        return true;
+    };
+    /// Shared shape of the BFS/SSSP/CC replies: k requested vertices, k
+    /// property values.
+    const auto run_props = [&](auto&& analysis,
+                               const std::vector<VertexId>& targets) {
+        analysis.run_from_scratch();
+        w.u32(static_cast<std::uint32_t>(targets.size()));
+        for (const VertexId v : targets) {
+            w.u32(analysis.property(v));
+        }
+        reply(conn, req, w.span());
+    };
+    const auto read_targets = [&](std::vector<VertexId>& out) {
+        const std::uint32_t k = r.u32();
+        if (!r.ok() ||
+            r.remaining() != static_cast<std::size_t>(k) * sizeof(VertexId)) {
+            return false;
+        }
+        out.resize(k);
+        for (std::uint32_t i = 0; i < k; ++i) {
+            out[i] = r.u32();
+        }
+        return true;
+    };
+
+    switch (req.type) {
+        case static_cast<std::uint8_t>(MsgType::Degree): {
+            const VertexId v = r.u32();
+            if (!finish(r)) {
+                return;
+            }
+            w.u64(g.degree(v));
+            reply(conn, req, w.span());
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Neighbors): {
+            const VertexId v = r.u32();
+            const std::uint32_t max = r.u32();
+            if (!finish(r)) {
+                return;
+            }
+            std::vector<std::pair<VertexId, Weight>> out;
+            (void)g.visit_out_edges(v, [&](VertexId dst, Weight wt) {
+                out.emplace_back(dst, wt);
+                return max == 0 || out.size() < max;
+            });
+            w.u32(static_cast<std::uint32_t>(out.size()));
+            for (const auto& [dst, wt] : out) {
+                w.u32(dst);
+                w.u32(wt);
+            }
+            reply(conn, req, w.span());
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Bfs):
+        case static_cast<std::uint8_t>(MsgType::Sssp): {
+            const VertexId root = r.u32();
+            std::vector<VertexId> targets;
+            if (!read_targets(targets) || !finish(r)) {
+                reply_error(conn, req.request_id, WireCode::BadPayload,
+                            "payload: name | u32 root | u32 k | k targets");
+                return;
+            }
+            if (req.type == static_cast<std::uint8_t>(MsgType::Bfs)) {
+                engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> a(g);
+                a.set_root(root);
+                run_props(a, targets);
+            } else {
+                engine::DynamicAnalysis<core::GraphTinker, engine::Sssp> a(
+                    g);
+                a.set_root(root);
+                run_props(a, targets);
+            }
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Cc): {
+            std::vector<VertexId> targets;
+            if (!read_targets(targets) || !finish(r)) {
+                reply_error(conn, req.request_id, WireCode::BadPayload,
+                            "payload: name | u32 k | k targets");
+                return;
+            }
+            engine::DynamicAnalysis<core::GraphTinker, engine::Cc> a(g);
+            run_props(a, targets);
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::EdgeCount): {
+            if (!finish(r)) {
+                return;
+            }
+            w.u64(g.num_edges());
+            w.u64(g.num_vertices());
+            reply(conn, req, w.span());
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Checkpoint): {
+            if (!finish(r)) {
+                return;
+            }
+            if (const Status st = entry->store.checkpoint(); !st.ok()) {
+                reply_error(conn, req.request_id, wire_code_of(st),
+                            st.to_string());
+                return;
+            }
+            reply(conn, req, {});
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Sync): {
+            if (!finish(r)) {
+                return;
+            }
+            if (const Status st = entry->store.sync(); !st.ok()) {
+                reply_error(conn, req.request_id, wire_code_of(st),
+                            st.to_string());
+                return;
+            }
+            reply(conn, req, {});
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::StatsJson): {
+            if (!finish(r)) {
+                return;
+            }
+            std::ostringstream os;
+            obs::Exporter::write_json(os, g.telemetry());
+            const std::string json = os.str();
+            if (json.size() > kMaxFramePayload - 64) {
+                reply_error(conn, req.request_id, WireCode::TooLarge,
+                            "stats snapshot exceeds the frame cap");
+                return;
+            }
+            w.u32(static_cast<std::uint32_t>(json.size()));
+            w.bytes(std::span<const unsigned char>(
+                reinterpret_cast<const unsigned char*>(json.data()),
+                json.size()));
+            reply(conn, req, w.span());
+            return;
+        }
+        default:
+            reply_error(conn, req.request_id, WireCode::UnknownType,
+                        "unhandled query type");
+            return;
+    }
+}
+
+}  // namespace gt::net

@@ -1,0 +1,166 @@
+// gt serve — the networked front end over DurableStore (DESIGN.md §14).
+//
+// Threading model: ONE thread owns everything. run() is the event loop
+// (epoll on Linux, poll elsewhere); it accepts, reads, parses, executes
+// and writes. Mutations ride the store's transactional insert_batch/
+// delete_batch (WAL-teed, all-or-nothing), queries run engine analytics
+// in-line. Single-threaded on purpose: the durable store's mutation API is
+// externally serialized anyway, and one thread means zero locks on the
+// request path — the pipelining win comes from *clients* batching many
+// requests per round trip, not from server-side parallelism. A long query
+// therefore delays later requests on every connection; that is the
+// documented tradeoff, bounded by kMaxFramePayload-sized batches.
+//
+// Backpressure (admission control): two caps, both surfaced as retryable
+// Busy errors rather than silent queueing —
+//   - per-connection in-flight cap: at most `max_inflight` responses may
+//     sit unflushed in a connection's write buffer; further requests on
+//     that connection are shed,
+//   - per-connection write-buffer byte cap (`max_wbuf_bytes`): a client
+//     that stops reading cannot make the server buffer unboundedly.
+// Both feed the `net.*` gauges so operators watch the same numbers the
+// shedding logic acts on. Connections over `max_conns` receive a single
+// best-effort Busy frame and are closed.
+//
+// Robustness: malformed, truncated, fuzzed, or oversized frames produce a
+// clean error reply (or connection close for unsynchronizable streams) —
+// never a crash, never a hang; a mid-batch kill is exactly the WAL crash
+// contract (recovery replays the committed prefix).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/io.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "recover/durable.hpp"
+#include "util/status.hpp"
+
+namespace gt::net {
+
+struct ServerOptions {
+    /// Directory the named graphs live under (<root>/<name>/...); created
+    /// if absent. Required.
+    std::string root;
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port; Server::port() reports the bound one.
+    std::uint16_t port = 0;
+    /// Default durability for graphs a client opens without a mode.
+    recover::DurabilityMode durability = recover::DurabilityMode::Buffered;
+    std::size_t max_conns = 64;
+    /// Per-connection unflushed-response cap (requests past it shed Busy).
+    std::size_t max_inflight = 64;
+    /// Per-connection write-buffer byte cap (requests past it shed Busy).
+    std::size_t max_wbuf_bytes = std::size_t{8} << 20;
+    /// Frames parsed+executed per connection per loop wake — fairness
+    /// bound so one pipelining client cannot starve the rest.
+    std::size_t parse_budget = 64;
+    /// Server metrics ("net.*") land here; null keeps a private registry.
+    obs::Registry* registry = nullptr;
+};
+
+class Server {
+public:
+    Server();
+    ~Server();
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Binds and listens (no thread is spawned — call run() to serve).
+    [[nodiscard]] Status start(const ServerOptions& options);
+
+    /// Event loop: blocks until stop(), then tears down connections and
+    /// closes every open graph (flushing WALs). Returns the first fatal
+    /// loop error, Ok on a requested shutdown.
+    [[nodiscard]] Status run();
+
+    /// Requests shutdown. Async-signal-safe and callable from any thread:
+    /// writes one byte to the loop's self-pipe.
+    void stop() noexcept;
+
+    /// Port actually bound (valid after start()).
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+    /// The registry receiving the "net.*" series (the options-supplied one
+    /// or the private fallback).
+    [[nodiscard]] obs::Registry& obs() noexcept { return *registry_; }
+
+private:
+    struct Conn {
+        Fd fd;
+        std::vector<unsigned char> rbuf;
+        std::size_t rpos = 0;  // parsed prefix of rbuf
+        std::vector<unsigned char> wbuf;
+        std::size_t wpos = 0;  // flushed prefix of wbuf
+        std::size_t inflight = 0;  // responses in wbuf, not yet flushed
+        bool want_write = false;
+        bool closing = false;  // flush wbuf, then close
+    };
+
+    struct GraphEntry {
+        recover::DurableStore store;
+        std::uint8_t recovery_source = 0;
+    };
+
+    class Poller;
+
+    // Event-loop steps (all single-threaded).
+    void accept_new();
+    void handle_readable(int fd);
+    void handle_writable(int fd);
+    [[nodiscard]] bool flush_conn(Conn& conn);  // false = tear down
+    void parse_and_execute(Conn& conn);
+    /// Re-parses connections whose buffers still hold complete frames after
+    /// the event pass — a pipelined burst larger than parse_budget arrives
+    /// in one readable event, and level-triggered polling will not fire
+    /// again for bytes already read.
+    void drain_pending();
+    void execute(Conn& conn, const Frame& req);
+    void teardown(int fd);
+
+    // Request handlers append exactly one response frame to conn.wbuf.
+    void reply(Conn& conn, const Frame& req,
+               std::span<const unsigned char> payload);
+    void reply_error(Conn& conn, std::uint64_t request_id, WireCode code,
+                     std::string_view message);
+    [[nodiscard]] GraphEntry* find_graph(const std::string& name);
+    void handle_open_graph(Conn& conn, const Frame& req);
+    void handle_mutate(Conn& conn, const Frame& req);
+    void handle_query(Conn& conn, const Frame& req);
+
+    void bind_metrics();
+    void update_gauges();
+
+    ServerOptions opts_;
+    obs::Registry* registry_ = nullptr;
+    std::unique_ptr<obs::Registry> owned_registry_;
+    Fd listen_fd_;
+    Fd wake_r_;
+    Fd wake_w_;
+    std::uint16_t port_ = 0;
+    bool stopping_ = false;
+    std::unique_ptr<Poller> poller_;
+    std::map<int, std::unique_ptr<Conn>> conns_;
+    std::map<std::string, std::unique_ptr<GraphEntry>> graphs_;
+
+    // Handles bound once in start() (obs hot-path discipline).
+    obs::Counter* accepted_m_ = nullptr;
+    obs::Counter* closed_m_ = nullptr;
+    obs::Counter* frames_rx_m_ = nullptr;
+    obs::Counter* frames_tx_m_ = nullptr;
+    obs::Counter* bytes_rx_m_ = nullptr;
+    obs::Counter* bytes_tx_m_ = nullptr;
+    obs::Counter* busy_shed_m_ = nullptr;
+    obs::Counter* bad_frames_m_ = nullptr;
+    obs::Counter* errors_tx_m_ = nullptr;
+    obs::Histogram* request_us_m_ = nullptr;
+    obs::Gauge* conns_gauge_ = nullptr;
+    obs::Gauge* wbuf_gauge_ = nullptr;
+    obs::Gauge* graphs_gauge_ = nullptr;
+};
+
+}  // namespace gt::net

@@ -93,6 +93,19 @@ public:
     }
     [[nodiscard]] WalWriter& wal() noexcept { return *wal_; }
 
+    /// Directory this store was opened on (empty when closed). The server
+    /// uses it to key multi-tenant graphs by their on-disk root.
+    [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+    /// Forces the WAL to the platter now (hard durability boundary on
+    /// demand — the server's Sync endpoint). Ok when no WAL is attached.
+    [[nodiscard]] Status sync() noexcept {
+        if (wal_ == nullptr || !wal_->is_open()) {
+            return Status::success();
+        }
+        return wal_->sync();
+    }
+
     /// Crash-atomically replaces the newest snapshot with the current
     /// in-memory state and records the WAL position it covers.
     [[nodiscard]] Status checkpoint();

@@ -14,7 +14,21 @@
 
 namespace gt::recover {
 
+namespace testing {
 namespace {
+WriteFn g_write_override = nullptr;
+}  // namespace
+void set_write_override(WriteFn fn) noexcept { g_write_override = fn; }
+}  // namespace testing
+
+namespace {
+
+ssize_t wal_write(int fd, const void* buf, std::size_t len) {
+    if (testing::g_write_override != nullptr) {
+        return testing::g_write_override(fd, buf, len);
+    }
+    return ::write(fd, buf, len);
+}
 
 constexpr std::size_t kRecordHeaderBytes =
     sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + 1;
@@ -36,13 +50,23 @@ bool valid_type(std::uint8_t t) {
            t <= static_cast<std::uint8_t>(WalRecordType::SoloDelete);
 }
 
-/// Full-buffer write with EINTR/partial-write handling.
+/// Full-buffer write with EINTR/partial-write handling. A zero return from
+/// write() (seen near ENOSPC boundaries on some filesystems) is terminal,
+/// not progress — retrying it would spin forever — so it fails the write
+/// with errno latched (ENOSPC when the kernel left it unset).
 bool write_all(int fd, const unsigned char* data, std::size_t len) {
     while (len > 0) {
-        const ssize_t n = ::write(fd, data, len);
+        errno = 0;
+        const ssize_t n = wal_write(fd, data, len);
         if (n < 0) {
             if (errno == EINTR) {
                 continue;
+            }
+            return false;
+        }
+        if (n == 0) {
+            if (errno == 0) {
+                errno = ENOSPC;
             }
             return false;
         }

@@ -28,6 +28,8 @@
 // rollback would have produced.
 #pragma once
 
+#include <sys/types.h>
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -46,6 +48,15 @@ class GraphTinker;
 }  // namespace gt::core
 
 namespace gt::recover {
+
+namespace testing {
+/// write(2)-shaped hook the WAL append path routes through when set. Tests
+/// use it to provoke outcomes real filesystems won't produce on demand —
+/// notably the `write() == 0` boundary — without touching the kernel. Not
+/// thread-safe: install before I/O starts, clear (nullptr) when done.
+using WriteFn = ssize_t (*)(int fd, const void* buf, std::size_t len);
+void set_write_override(WriteFn fn) noexcept;
+}  // namespace testing
 
 inline constexpr std::uint32_t kWalMagic = 0x4754574C;  // "GTWL"
 inline constexpr std::uint32_t kWalVersion = 1;

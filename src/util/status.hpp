@@ -30,6 +30,8 @@ enum class StatusCode : std::uint8_t {
     ResourceExhausted,  // allocation failure (std::bad_alloc)
     FaultInjected,      // a gt::fail FailPoint fired (tests/torture only)
     IoError,            // read/write/fsync/rename on the underlying file
+    WouldDeadlock,      // refused: completing the call would self-deadlock
+                        // (e.g. draining a shard the caller holds pinned)
 
     // ---- snapshot save/load (core/serialize.hpp) -----------------------
     SnapshotBadMagic,           // leading magic is not "GTSB"
@@ -67,6 +69,7 @@ enum class StatusCode : std::uint8_t {
         case StatusCode::ResourceExhausted: return "resource_exhausted";
         case StatusCode::FaultInjected: return "fault_injected";
         case StatusCode::IoError: return "io_error";
+        case StatusCode::WouldDeadlock: return "would_deadlock";
         case StatusCode::SnapshotBadMagic: return "snapshot_bad_magic";
         case StatusCode::SnapshotBadVersion: return "snapshot_bad_version";
         case StatusCode::SnapshotTruncatedHeader:

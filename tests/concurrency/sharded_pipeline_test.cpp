@@ -177,6 +177,40 @@ TEST(ShardedPipeline, ShardFailureLatchesUntilFlush) {
     EXPECT_EQ(store.num_edges(), reference.num_edges());
 }
 
+TEST(ShardedPipeline, FlushUnderReadPinRefusesWouldDeadlock) {
+    constexpr std::size_t kShards = 2;
+    Sharded store(kShards, [] { return pipeline_config(); });
+    const auto all = rmat_edges(100, 1000, 17);
+    (void)store.insert_batch(all);
+    ASSERT_TRUE(store.flush().ok());
+
+    {
+        const auto pin = store.read_snapshot(0);
+        // Queue work that lands on the pinned shard too: its worker blocks
+        // on the pin's shared lock, so the queue cannot settle. Before the
+        // per-thread pin registry, flush() here waited on that worker
+        // forever — the self-deadlock sharded.hpp only warned about.
+        (void)store.insert_batch(all);
+        const Status st = store.flush();
+        ASSERT_FALSE(st.ok());
+        EXPECT_EQ(st.code, StatusCode::WouldDeadlock);
+        EXPECT_EQ(st.detail, 0u);  // names the pinned shard
+        EXPECT_EQ(store.first_shard_failure().code,
+                  StatusCode::WouldDeadlock);
+        // Single-shard reads on the pinned shard stay non-blocking: they
+        // serve the pin's settled epoch instead of waiting on the blocked
+        // worker (shard-local wait is skipped when the caller holds the
+        // pin).
+        EXPECT_EQ(store.shard(0).num_edges(), pin->num_edges());
+    }
+
+    // Pin released: the same flush completes and reports a healthy run.
+    ASSERT_TRUE(store.flush().ok());
+    GraphTinker reference(pipeline_config());
+    (void)reference.insert_batch(all);
+    EXPECT_EQ(store.num_edges(), reference.num_edges());
+}
+
 /// Minimal store: counts applied edges. Exercises the per-edge fallback of
 /// the worker's dispatch (no insert_batch member) and makes destruction
 /// observable from outside the wrapper.

@@ -1,0 +1,528 @@
+// gt serve end-to-end: a real Server on a real socket, exercised by the
+// blocking Client and by raw byte streams. Covers the happy path (open /
+// pipelined mutate / BFS with verified distances), the robustness matrix
+// (malformed frames, garbage bytes, half-open disconnects), backpressure
+// shedding, durable recovery across server restarts, multi-client traffic
+// under TSan, and — via fork + SIGKILL — the crash contract: a server
+// killed mid-batch leaves a directory that recovers exactly the committed
+// prefix.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "recover/durable.hpp"
+#include "recover/torture.hpp"
+#include "recover/recover_test_util.hpp"
+
+namespace gt::net {
+namespace {
+
+using test::TempDir;
+
+/// Server on an ephemeral port, run() on a background thread, stopped and
+/// joined on scope exit.
+class ScopedServer {
+public:
+    explicit ScopedServer(ServerOptions options) {
+        const Status st = server_.start(options);
+        EXPECT_TRUE(st.ok()) << st.to_string();
+        thread_ = std::thread([this] {
+            const Status run = server_.run();
+            EXPECT_TRUE(run.ok()) << run.to_string();
+        });
+    }
+    ~ScopedServer() {
+        server_.stop();
+        thread_.join();
+    }
+    ScopedServer(const ScopedServer&) = delete;
+    ScopedServer& operator=(const ScopedServer&) = delete;
+
+    [[nodiscard]] std::uint16_t port() const noexcept {
+        return server_.port();
+    }
+    [[nodiscard]] Server& server() noexcept { return server_; }
+
+private:
+    Server server_;
+    std::thread thread_;
+};
+
+[[nodiscard]] Client connect_to(std::uint16_t port) {
+    Client c;
+    const Status st = c.connect("127.0.0.1", port);
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    return c;
+}
+
+TEST(Server, PingAndEcho) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Client client = connect_to(server.port());
+    ASSERT_TRUE(client.ping().ok());
+    const unsigned char blob[] = {0, 1, 2, 255, 254};
+    ASSERT_TRUE(client.ping(blob).ok());
+}
+
+TEST(Server, EndToEndMutateAndQuery) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Client client = connect_to(server.port());
+
+    std::uint8_t source = 99;
+    ASSERT_TRUE(client.open_graph("g1", 255, &source).ok());
+    EXPECT_EQ(source,
+              static_cast<std::uint8_t>(
+                  recover::RecoveryInfo::Source::Fresh));
+
+    // A directed path 0→1→2→3 plus a shortcut 0→4; distances are known.
+    const std::vector<Edge> edges = {
+        {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 4, 1}};
+    std::uint64_t count = 0;
+    ASSERT_TRUE(client.insert_batch("g1", edges, &count).ok());
+    EXPECT_EQ(count, 4U);
+
+    std::uint64_t deg = 0;
+    ASSERT_TRUE(client.degree("g1", 0, deg).ok());
+    EXPECT_EQ(deg, 2U);
+
+    std::vector<std::pair<VertexId, Weight>> nbrs;
+    ASSERT_TRUE(client.neighbors("g1", 0, nbrs).ok());
+    EXPECT_EQ(nbrs.size(), 2U);
+
+    const std::vector<VertexId> targets = {0, 1, 2, 3, 4, 9};
+    std::vector<std::uint32_t> dist;
+    ASSERT_TRUE(client.bfs("g1", 0, targets, dist).ok());
+    const std::vector<std::uint32_t> expected = {0, 1, 2, 3, 1,
+                                                 kInfDistance};
+    EXPECT_EQ(dist, expected);
+
+    std::vector<std::uint32_t> sdist;
+    ASSERT_TRUE(client.sssp("g1", 0, targets, sdist).ok());
+    EXPECT_EQ(sdist[3], 3U);  // unit weights: same as hops
+
+    std::vector<std::uint32_t> labels;
+    ASSERT_TRUE(client.cc("g1", {targets.data(), 5}, labels).ok());
+    // All five vertices hang off root 0 in the directed propagation.
+    for (const std::uint32_t label : labels) {
+        EXPECT_EQ(label, labels[0]);
+    }
+
+    // Deleting the shortcut pushes 4 out of reach.
+    const std::vector<Edge> del = {{0, 4, 1}};
+    ASSERT_TRUE(client.delete_batch("g1", del, &count).ok());
+    EXPECT_EQ(count, 3U);
+    ASSERT_TRUE(client.bfs("g1", 0, targets, dist).ok());
+    EXPECT_EQ(dist[4], kInfDistance);
+
+    std::uint64_t e = 0;
+    std::uint64_t v = 0;
+    ASSERT_TRUE(client.edge_count("g1", e, v).ok());
+    EXPECT_EQ(e, 3U);
+    EXPECT_EQ(v, 5U);
+
+    std::string json;
+    ASSERT_TRUE(client.stats_json("g1", json).ok());
+    EXPECT_NE(json.find("gt.obs.v1"), std::string::npos);
+
+    ASSERT_TRUE(client.checkpoint("g1").ok());
+    ASSERT_TRUE(client.sync("g1").ok());
+}
+
+TEST(Server, PipelinedRequestsPairById) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Client client = connect_to(server.port());
+    ASSERT_TRUE(client.open_graph("p", 0).ok());
+
+    // Stack 32 insert requests before draining a single reply.
+    std::vector<std::uint64_t> ids;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+        PayloadWriter w;
+        w.str("p");
+        const Edge e{i, i + 1, 1};
+        w.edges({&e, 1});
+        std::uint64_t id = 0;
+        ASSERT_TRUE(
+            client
+                .send_request(MsgType::InsertBatch, w.span(), id)
+                .ok());
+        ids.push_back(id);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Frame reply;
+        ASSERT_TRUE(client.recv_reply(reply).ok());
+        EXPECT_EQ(reply.request_id, ids[i]) << "reply order broke";
+        EXPECT_EQ(reply.type,
+                  static_cast<std::uint8_t>(MsgType::InsertBatch) |
+                      kResponseBit);
+    }
+    std::uint64_t e = 0;
+    std::uint64_t v = 0;
+    ASSERT_TRUE(client.edge_count("p", e, v).ok());
+    EXPECT_EQ(e, 32U);
+}
+
+TEST(Server, ErrorsForBadRequests) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Client client = connect_to(server.port());
+
+    // Graph-scoped op before OpenGraph.
+    std::uint64_t deg = 0;
+    Status st = client.degree("nope", 1, deg);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::UnknownGraph));
+
+    // Path-traversal name.
+    st = client.open_graph("../evil");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail,
+              static_cast<std::uint64_t>(WireCode::BadGraphName));
+
+    // Bad durability byte.
+    st = client.open_graph("ok-name", 7);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::BadPayload));
+
+    // Truncated payload for the declared type.
+    std::uint64_t id = 0;
+    const unsigned char junk[] = {3, 0, 'a'};  // name_len=3 but 1 byte
+    ASSERT_TRUE(client.send_request(MsgType::Degree, junk, id).ok());
+    Frame reply;
+    st = client.recv_reply(reply);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::BadPayload));
+
+    // Unknown message type.
+    ASSERT_TRUE(client.ping().ok());  // still alive after all of the above
+}
+
+TEST(Server, GarbageBytesGetErrorThenClose) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Fd fd;
+    ASSERT_TRUE(tcp_connect("127.0.0.1", server.port(), fd).ok());
+    // 64 bytes of noise whose length field is plausible (so the size guard
+    // does not classify it first) but whose crc cannot match.
+    std::vector<unsigned char> noise(64, 0xA5);
+    const std::uint32_t small_len = 4;
+    std::memcpy(noise.data() + 4, &small_len, sizeof(small_len));
+    ASSERT_TRUE(send_all(fd.get(), noise).ok());
+    // The server must answer with exactly one error frame, then close.
+    std::vector<unsigned char> buf;
+    unsigned char chunk[4096];
+    for (;;) {
+        std::size_t n = 0;
+        const IoResult got = recv_some(fd.get(), chunk, sizeof(chunk), n);
+        if (got == IoResult::Ok) {
+            buf.insert(buf.end(), chunk, chunk + n);
+            continue;
+        }
+        ASSERT_EQ(got, IoResult::Closed) << "server neither replied nor "
+                                            "closed";
+        break;
+    }
+    Frame f;
+    std::size_t consumed = 0;
+    DecodeError err;
+    ASSERT_EQ(decode_frame(buf, f, consumed, err), DecodeResult::Ok);
+    EXPECT_EQ(f.type, kErrorType);
+    PayloadReader r(f.payload);
+    EXPECT_EQ(static_cast<WireCode>(r.u16()), WireCode::BadFrame);
+    EXPECT_EQ(consumed, buf.size()) << "more than one frame after garbage";
+}
+
+TEST(Server, OversizedFrameHeaderRejected) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    Fd fd;
+    ASSERT_TRUE(tcp_connect("127.0.0.1", server.port(), fd).ok());
+    // Hand-build a header announcing a 512MiB payload. The crc is garbage,
+    // but the length check must fire first — the server must reject
+    // immediately rather than waiting for half a gigabyte.
+    std::vector<unsigned char> header(kFrameHeaderBytes, 0);
+    const std::uint32_t huge = 512U << 20;
+    std::memcpy(header.data() + 4, &huge, sizeof(huge));
+    header[8] = kProtoVersion;
+    header[9] = static_cast<unsigned char>(MsgType::Ping);
+    ASSERT_TRUE(send_all(fd.get(), header).ok());
+    std::vector<unsigned char> buf;
+    unsigned char chunk[4096];
+    for (;;) {
+        std::size_t n = 0;
+        const IoResult got = recv_some(fd.get(), chunk, sizeof(chunk), n);
+        if (got != IoResult::Ok) {
+            ASSERT_EQ(got, IoResult::Closed);
+            break;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    Frame f;
+    std::size_t consumed = 0;
+    DecodeError err;
+    ASSERT_EQ(decode_frame(buf, f, consumed, err), DecodeResult::Ok);
+    EXPECT_EQ(f.type, kErrorType);
+    PayloadReader r(f.payload);
+    EXPECT_EQ(static_cast<WireCode>(r.u16()), WireCode::TooLarge);
+}
+
+TEST(Server, HalfFrameThenDisconnectIsHarmless) {
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    {
+        Fd fd;
+        ASSERT_TRUE(tcp_connect("127.0.0.1", server.port(), fd).ok());
+        const unsigned char partial[] = {0x12, 0x34, 0x56};
+        ASSERT_TRUE(send_all(fd.get(), partial).ok());
+    }  // abrupt close with a truncated frame in flight
+    // Server survives and serves the next client.
+    Client client = connect_to(server.port());
+    EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(Server, BackpressureShedsRetryableBusy) {
+    TempDir dir;
+    ServerOptions options{.root = dir.path()};
+    options.max_wbuf_bytes = 64 * 1024;  // shed once 64KiB is unflushed
+    options.max_inflight = 100000;       // isolate the byte cap
+    ScopedServer server(options);
+
+    Client client = connect_to(server.port());
+    // Pipeline many large pings without reading a single reply: the echo
+    // responses jam the server's write buffer past the cap (the kernel
+    // socket buffers absorb only so much), so later requests must shed.
+    const std::vector<unsigned char> big(64 * 1024, 0x42);
+    const int kRequests = 100;
+    for (int i = 0; i < kRequests; ++i) {
+        std::uint64_t id = 0;
+        ASSERT_TRUE(client.send_request(MsgType::Ping, big, id).ok());
+    }
+    int ok = 0;
+    int busy = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        Frame reply;
+        const Status st = client.recv_reply(reply);
+        if (st.ok()) {
+            ++ok;
+        } else {
+            ASSERT_EQ(st.detail,
+                      static_cast<std::uint64_t>(WireCode::Busy))
+                << st.to_string();
+            ++busy;
+        }
+    }
+    EXPECT_GT(ok, 0);
+    EXPECT_GT(busy, 0) << "no shedding under a 6.4MB pipelined burst";
+    // The connection survives shedding; a fresh request succeeds.
+    EXPECT_TRUE(client.ping().ok());
+}
+
+TEST(Server, DurableAcrossServerRestart) {
+    TempDir dir;
+    std::uint16_t first_port = 0;
+    {
+        ScopedServer server({.root = dir.path()});
+        first_port = server.port();
+        Client client = connect_to(first_port);
+        ASSERT_TRUE(client.open_graph("persist", 1).ok());
+        const std::vector<Edge> edges = {{1, 2, 5}, {2, 3, 7}};
+        ASSERT_TRUE(client.insert_batch("persist", edges).ok());
+        ASSERT_TRUE(client.checkpoint("persist").ok());
+    }  // graceful stop closes the store, flushing the WAL
+    {
+        ScopedServer server({.root = dir.path()});
+        Client client = connect_to(server.port());
+        std::uint8_t source = 0;
+        ASSERT_TRUE(client.open_graph("persist", 1, &source).ok());
+        EXPECT_EQ(source, static_cast<std::uint8_t>(
+                              recover::RecoveryInfo::Source::Snapshot));
+        std::uint64_t e = 0;
+        std::uint64_t v = 0;
+        ASSERT_TRUE(client.edge_count("persist", e, v).ok());
+        EXPECT_EQ(e, 2U);
+    }
+}
+
+TEST(Server, MultiClientConcurrentTraffic) {
+    // Four client threads hammering one server: two mutating their own
+    // graphs, two running queries against a shared one. Sized to finish
+    // under TSan; the assertion is freedom from races (server is single-
+    // threaded, but start/stop/port cross threads) and per-client
+    // linearity of results.
+    TempDir dir;
+    ScopedServer server({.root = dir.path()});
+    {
+        Client setup = connect_to(server.port());
+        ASSERT_TRUE(setup.open_graph("shared", 0).ok());
+        const std::vector<Edge> chain = {{0, 1, 1}, {1, 2, 1}};
+        ASSERT_TRUE(setup.insert_batch("shared", chain).ok());
+    }
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            Client c = connect_to(server.port());
+            const std::string mine = "writer" + std::to_string(t);
+            if (!c.open_graph(mine, 0).ok()) {
+                ++failures;
+                return;
+            }
+            for (std::uint32_t i = 0; i < 50; ++i) {
+                const Edge e{i, i + 1, 1};
+                std::uint64_t count = 0;
+                if (!c.insert_batch(mine, {&e, 1}, &count).ok() ||
+                    count != i + 1) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&] {
+            Client c = connect_to(server.port());
+            for (int i = 0; i < 50; ++i) {
+                std::uint64_t deg = 0;
+                if (!c.degree("shared", 0, deg).ok() || deg != 1) {
+                    ++failures;
+                    return;
+                }
+                const std::vector<VertexId> targets = {2};
+                std::vector<std::uint32_t> dist;
+                if (!c.bfs("shared", 0, targets, dist).ok() ||
+                    dist[0] != 2) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Server, ConnectionCapShedsExtraClients) {
+    TempDir dir;
+    ServerOptions options{.root = dir.path()};
+    options.max_conns = 2;
+    ScopedServer server(options);
+    Client a = connect_to(server.port());
+    Client b = connect_to(server.port());
+    ASSERT_TRUE(a.ping().ok());
+    ASSERT_TRUE(b.ping().ok());
+    // The third connection gets a best-effort Busy frame and a close.
+    Fd fd;
+    ASSERT_TRUE(tcp_connect("127.0.0.1", server.port(), fd).ok());
+    std::vector<unsigned char> buf;
+    unsigned char chunk[1024];
+    for (;;) {
+        std::size_t n = 0;
+        const IoResult got = recv_some(fd.get(), chunk, sizeof(chunk), n);
+        if (got != IoResult::Ok) {
+            break;
+        }
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    Frame f;
+    std::size_t consumed = 0;
+    DecodeError err;
+    ASSERT_EQ(decode_frame(buf, f, consumed, err), DecodeResult::Ok);
+    EXPECT_EQ(f.type, kErrorType);
+    PayloadReader r(f.payload);
+    EXPECT_EQ(static_cast<WireCode>(r.u16()), WireCode::Busy);
+    // Earlier clients are unaffected.
+    EXPECT_TRUE(a.ping().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Crash contract: SIGKILL the serving *process* mid-batch-stream, then
+// recover the graph directory offline. The committed prefix — and nothing
+// else — must come back (the WAL recovery contract carried over the wire).
+
+constexpr std::uint32_t kCrashEdgesPerStep = 64;
+constexpr std::uint32_t kCrashVertices = 512;
+
+TEST(Server, KilledMidBatchRecoversCommittedPrefix) {
+    TempDir dir;
+    int port_pipe[2];
+    ASSERT_EQ(::pipe(port_pipe), 0);
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        // Server process. No gtest asserts in here — report through the
+        // exit code only, and leave via _exit so no parent state unwinds.
+        ::close(port_pipe[0]);
+        Server server;
+        if (!server.start({.root = dir.path()}).ok()) {
+            ::_exit(3);
+        }
+        const std::uint16_t port = server.port();
+        if (::write(port_pipe[1], &port, sizeof(port)) !=
+            static_cast<ssize_t>(sizeof(port))) {
+            ::_exit(3);
+        }
+        ::close(port_pipe[1]);
+        (void)server.run();  // until SIGKILL
+        ::_exit(0);
+    }
+    ::close(port_pipe[1]);
+    std::uint16_t port = 0;
+    ASSERT_EQ(::read(port_pipe[0], &port, sizeof(port)),
+              static_cast<ssize_t>(sizeof(port)));
+    ::close(port_pipe[0]);
+
+    const std::uint64_t kSeed = 20260807;
+    Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", port).ok());
+    ASSERT_TRUE(client.open_graph("crashme", 2).ok());  // fsync_batch
+    // Stream torture batches; SIGKILL the server in the middle of the run
+    // with requests still in flight.
+    std::uint64_t step = 0;
+    for (; step < 200; ++step) {
+        const std::vector<Edge> batch = recover::torture_step_batch(
+            kSeed, step, kCrashEdgesPerStep, kCrashVertices);
+        const Status st =
+            recover::torture_step_is_delete(step)
+                ? client.delete_batch("crashme", batch)
+                : client.insert_batch("crashme", batch);
+        if (step == 150) {
+            ASSERT_EQ(::kill(child, SIGKILL), 0);
+        }
+        if (!st.ok()) {
+            break;  // the kill landed mid-conversation
+        }
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+    ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+    // Offline recovery of the graph directory the dead server left behind.
+    recover::DurableStore store;
+    recover::RecoveryInfo info;
+    const Status st =
+        store.open(dir.path() + "/crashme", {}, &info);
+    ASSERT_TRUE(st.ok()) << st.to_string();
+    const recover::TortureVerdict verdict =
+        recover::verify_torture_recovery(store.graph(), kSeed,
+                                         kCrashEdgesPerStep,
+                                         kCrashVertices);
+    EXPECT_TRUE(verdict.ok) << verdict.detail;
+    store.close();
+}
+
+}  // namespace
+}  // namespace gt::net

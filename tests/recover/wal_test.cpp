@@ -343,5 +343,44 @@ TEST(Wal, ReplayAppliesInsertsAndDeletesInCommitOrder) {
     EXPECT_EQ(stats.batches_applied, 3u);
 }
 
+/// write(2) stand-in that reports "wrote nothing" forever, the ENOSPC-ish
+/// boundary behavior some filesystems exhibit. Clears errno like a
+/// succeeding syscall would, so the test proves write_all latches its own.
+ssize_t write_zero(int, const void*, std::size_t) {
+    errno = 0;
+    return 0;
+}
+
+struct ScopedWriteOverride {
+    explicit ScopedWriteOverride(testing::WriteFn fn) {
+        testing::set_write_override(fn);
+    }
+    ~ScopedWriteOverride() { testing::set_write_override(nullptr); }
+};
+
+TEST(Wal, ZeroLengthWriteFailsInsteadOfSpinning) {
+    TempDir dir;
+    const std::string path = dir.file("wal.gtw");
+    WalWriter wal;
+    ASSERT_TRUE(wal.open(path, DurabilityMode::Buffered).ok());
+
+    const auto batch = some_edges(4);
+    ASSERT_TRUE(wal.begin_batch(batch.size()));
+    ASSERT_TRUE(wal.stage_inserts(batch));
+    {
+        // Before the fix, write_all treated n == 0 as progress and this
+        // commit spun forever; now it must fail fast and latch IoError.
+        const ScopedWriteOverride guard(&write_zero);
+        EXPECT_FALSE(wal.commit_batch());
+    }
+    EXPECT_EQ(wal.status().code, StatusCode::IoError);
+    // The latched message carries the errno write_all substituted.
+    EXPECT_NE(wal.status().message.find("No space"), std::string::npos)
+        << wal.status().message;
+
+    // The writer stays poisoned per the latching contract.
+    EXPECT_FALSE(wal.begin_batch(1));
+}
+
 }  // namespace
 }  // namespace gt::recover

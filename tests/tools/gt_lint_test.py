@@ -324,6 +324,56 @@ class ShardFlushBeforeReadRule(unittest.TestCase):
         self.assertEqual(diags, [])
 
 
+class RawSocketIoRule(unittest.TestCase):
+    def test_raw_send_outside_io_flagged(self):
+        diags = lint_tree({
+            "src/net/server.cpp":
+                "void f(int fd) { ::send(fd, p, n, 0); }\n",
+        })
+        self.assertEqual(rules_fired(diags), {"raw-socket-io"})
+
+    def test_raw_recv_in_tests_flagged(self):
+        diags = lint_tree({
+            "tests/net/x_test.cpp":
+                "void f(int fd) { ::recv(fd, p, n, 0); }\n",
+        })
+        self.assertEqual(rules_fired(diags), {"raw-socket-io"})
+
+    def test_io_pair_is_exempt(self):
+        diags = lint_tree({
+            "src/net/io.cpp":
+                "void f(int fd) { ::send(fd, p, n, 0); "
+                "::write(fd, p, n); }\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_write_inside_net_flagged_but_legal_elsewhere(self):
+        diags = lint_tree({
+            "src/net/server.cpp": "void f(int fd) { ::write(fd, p, 1); }\n",
+            "src/recover/files.cpp":
+                "void g(int fd) { ::write(fd, p, 1); }\n",
+        })
+        self.assertEqual(rules_fired(diags), {"raw-socket-io"})
+        self.assertEqual(len(diags), 1)
+        self.assertIn("net", str(diags[0].path))
+
+    def test_qualified_wrappers_not_matched(self):
+        diags = lint_tree({
+            "src/net/client.cpp":
+                "void f() { net::send_all(fd, buf); send_some(fd, p, n, "
+                "m); }\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_suppression_with_reason_waives(self):
+        diags = lint_tree({
+            "src/core/probe.cpp":
+                "void f(int fd) { ::recv(fd, p, n, 0); "
+                "// gt-lint: allow(raw-socket-io) perf probe\n}\n",
+        })
+        self.assertEqual(diags, [])
+
+
 class RealTree(unittest.TestCase):
     def test_repository_is_clean(self):
         diags = gt_lint.run(REPO_ROOT)

@@ -20,12 +20,32 @@
 //                                                writer (killed externally)
 //   gt torture-verify <dir> <seed>               recover + committed-prefix
 //                                                verification (exit 0/1)
+//   gt serve <root> [--host H] [--port N] [--fsync|--nosync]
+//                                                run the gt.net.v1 daemon
+//                                                (DESIGN.md §14); prints
+//                                                "listening on H:P" once
+//                                                bound; SIGINT/SIGTERM
+//                                                drain and exit cleanly
+//   gt ping <host:port> [count]                  round-trip latency check
+//   gt remote-load <host:port> <graph> <file> [batch]
+//                                                stream an edge list into a
+//                                                named graph over the wire
+//   gt remote-bfs <host:port> <graph> <root> <target...>
+//                                                BFS hop counts, serverside
+//   gt remote-stats <host:port> <graph>          gt.obs.v1 JSON snapshot
+//   gt remote-torture-write <host:port> <graph> <seed> [steps]
+//                                                torture workload over the
+//                                                wire — kill the *server*
+//                                                mid-stream, then verify
+//                                                <root>/<graph> offline
+//                                                with gt torture-verify
 //
 // <file> may be a plain edge list ("src dst [weight]" lines) or a Matrix
 // Market .mtx file (detected by extension). "-" reads stdin as an edge list.
 // --json renders the registry snapshot through the shared gt::obs exporter
 // (schema "gt.obs.v1"), the same document the micro benches embed.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -45,6 +65,8 @@
 #include "gen/datasets.hpp"
 #include "gen/io.hpp"
 #include "gen/rmat.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "recover/durable.hpp"
 #include "recover/torture.hpp"
@@ -74,6 +96,13 @@ int usage() {
                  "  gt wal-dump <file> [limit]\n"
                  "  gt torture-writer <dir> <seed> [steps] [--fsync]\n"
                  "  gt torture-verify <dir> <seed>\n"
+                 "  gt serve <root> [--host H] [--port N] [--fsync|--nosync]\n"
+                 "  gt ping <host:port> [count]\n"
+                 "  gt remote-load <host:port> <graph> <file> [batch]\n"
+                 "  gt remote-bfs <host:port> <graph> <root> <target...>\n"
+                 "  gt remote-stats <host:port> <graph>\n"
+                 "  gt remote-torture-write <host:port> <graph> <seed> "
+                 "[steps]\n"
                  "datasets: ");
     for (const DatasetSpec& spec : table1_datasets()) {
         std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -569,6 +598,250 @@ int cmd_torture_verify(int argc, char** argv) {
     return verdict.ok ? 0 : 1;
 }
 
+// ---- gt serve + remote clients --------------------------------------------
+
+net::Server* g_server = nullptr;
+
+extern "C" void serve_signal_handler(int /*sig*/) {
+    if (g_server != nullptr) {
+        g_server->stop();  // async-signal-safe (self-pipe write)
+    }
+}
+
+int cmd_serve(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    net::ServerOptions options;
+    options.root = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host" && i + 1 < argc) {
+            options.host = argv[++i];
+        } else if (arg == "--port" && i + 1 < argc) {
+            options.port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--fsync") {
+            options.durability = recover::DurabilityMode::FsyncBatch;
+        } else if (arg == "--nosync") {
+            options.durability = recover::DurabilityMode::Off;
+        } else {
+            return usage();
+        }
+    }
+    // The server write path survives vanished peers via MSG_NOSIGNAL, but
+    // belt-and-braces: a stray SIGPIPE from any other fd must not kill the
+    // daemon either.
+    std::signal(SIGPIPE, SIG_IGN);
+    net::Server server;
+    if (const Status st = server.start(options); !st.ok()) {
+        std::fprintf(stderr, "serve: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, serve_signal_handler);
+    std::signal(SIGTERM, serve_signal_handler);
+    // Scripts (tools/server_smoke.sh) wait for this exact line.
+    std::printf("listening on %s:%u\n", options.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    const Status st = server.run();
+    g_server = nullptr;
+    if (!st.ok()) {
+        std::fprintf(stderr, "serve: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/// "host:port" → Client::connect, usage() on malformed input.
+int remote_connect(const std::string& hostport, net::Client& client) {
+    const std::size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= hostport.size()) {
+        std::fprintf(stderr, "error: expected host:port, got '%s'\n",
+                     hostport.c_str());
+        return usage();
+    }
+    const std::string host = hostport.substr(0, colon);
+    const auto port = static_cast<std::uint16_t>(
+        std::strtoul(hostport.c_str() + colon + 1, nullptr, 10));
+    if (const Status st = client.connect(host, port); !st.ok()) {
+        std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+int cmd_ping(int argc, char** argv) {
+    if (argc < 1) {
+        return usage();
+    }
+    const std::uint64_t count =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+    net::Client client;
+    if (const int rc = remote_connect(argv[0], client); rc != 0) {
+        return rc;
+    }
+    const unsigned char probe[] = {'g', 't', '?'};
+    Timer timer;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (const Status st = client.ping(probe); !st.ok()) {
+            std::fprintf(stderr, "ping: %s\n", st.to_string().c_str());
+            return 1;
+        }
+    }
+    const double total_us = timer.seconds() * 1e6;
+    std::printf("%llu pings ok, %.1f us/rtt\n",
+                static_cast<unsigned long long>(count),
+                total_us / static_cast<double>(count == 0 ? 1 : count));
+    return 0;
+}
+
+int cmd_remote_load(int argc, char** argv) {
+    if (argc < 3) {
+        return usage();
+    }
+    const std::string graph = argv[1];
+    const std::size_t batch_size =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+    const ParsedGraph parsed = load(argv[2]);
+    if (!parsed.error.empty()) {
+        std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+        return 1;
+    }
+    net::Client client;
+    if (const int rc = remote_connect(argv[0], client); rc != 0) {
+        return rc;
+    }
+    if (const Status st = client.open_graph(graph); !st.ok()) {
+        std::fprintf(stderr, "open_graph: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::uint64_t edge_count = 0;
+    Timer timer;
+    for (std::size_t off = 0; off < parsed.edges.size();
+         off += batch_size) {
+        const std::size_t n =
+            std::min(batch_size, parsed.edges.size() - off);
+        const std::span<const Edge> chunk(parsed.edges.data() + off, n);
+        if (const Status st = client.insert_batch(graph, chunk, &edge_count);
+            !st.ok()) {
+            std::fprintf(stderr, "insert_batch @%zu: %s\n", off,
+                         st.to_string().c_str());
+            return 1;
+        }
+    }
+    std::printf(
+        "loaded %zu edges into '%s' (store now %llu), %.2f Medges/s\n",
+        parsed.edges.size(), graph.c_str(),
+        static_cast<unsigned long long>(edge_count),
+        mops(parsed.edges.size(), timer.seconds()));
+    return 0;
+}
+
+int cmd_remote_bfs(int argc, char** argv) {
+    if (argc < 4) {
+        return usage();
+    }
+    const std::string graph = argv[1];
+    const auto root = static_cast<VertexId>(
+        std::strtoul(argv[2], nullptr, 10));
+    std::vector<VertexId> targets;
+    for (int i = 3; i < argc; ++i) {
+        targets.push_back(
+            static_cast<VertexId>(std::strtoul(argv[i], nullptr, 10)));
+    }
+    net::Client client;
+    if (const int rc = remote_connect(argv[0], client); rc != 0) {
+        return rc;
+    }
+    // Open (or attach to) the graph so a one-shot query works against a
+    // freshly restarted server where nothing has opened it yet.
+    if (const Status st = client.open_graph(graph, 255); !st.ok()) {
+        std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::vector<std::uint32_t> dist;
+    if (const Status st = client.bfs(graph, root, targets, dist); !st.ok()) {
+        std::fprintf(stderr, "bfs: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        if (dist[i] == kInfDistance) {
+            std::printf("%u unreachable\n", targets[i]);
+        } else {
+            std::printf("%u %u\n", targets[i], dist[i]);
+        }
+    }
+    return 0;
+}
+
+int cmd_remote_stats(int argc, char** argv) {
+    if (argc < 2) {
+        return usage();
+    }
+    net::Client client;
+    if (const int rc = remote_connect(argv[0], client); rc != 0) {
+        return rc;
+    }
+    if (const Status st = client.open_graph(argv[1], 255); !st.ok()) {
+        std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::string json;
+    if (const Status st = client.stats_json(argv[1], json); !st.ok()) {
+        std::fprintf(stderr, "stats: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+}
+
+/// The torture-writer workload pushed through the wire instead of a local
+/// DurableStore: same deterministic batches, same marker edges, so a
+/// server killed mid-stream leaves a directory `gt torture-verify` can
+/// check offline. Retryable Busy shedding is handled here (bounded retry)
+/// because the point of the exercise is to outrun the server.
+int cmd_remote_torture_write(int argc, char** argv) {
+    if (argc < 3) {
+        return usage();
+    }
+    const std::string graph = argv[1];
+    const std::uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+    const std::uint64_t max_steps =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
+    net::Client client;
+    if (const int rc = remote_connect(argv[0], client); rc != 0) {
+        return rc;
+    }
+    if (const Status st = client.open_graph(graph, 1); !st.ok()) {
+        std::fprintf(stderr, "open_graph: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    for (std::uint64_t step = 0; step < max_steps; ++step) {
+        const std::vector<Edge> batch = recover::torture_step_batch(
+            seed, step, kTortureEdgesPerStep, kTortureVertices);
+        const bool is_delete = recover::torture_step_is_delete(step);
+        Status st;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            st = is_delete ? client.delete_batch(graph, batch)
+                           : client.insert_batch(graph, batch);
+            if (st.code != StatusCode::ResourceExhausted) {
+                break;  // success, or a non-retryable failure
+            }
+        }
+        if (!st.ok()) {
+            std::fprintf(stderr, "step %llu failed: %s\n",
+                         static_cast<unsigned long long>(step),
+                         st.to_string().c_str());
+            return 1;
+        }
+        std::printf("step %llu\n", static_cast<unsigned long long>(step));
+        std::fflush(stdout);
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -593,6 +866,24 @@ int main(int argc, char** argv) {
     }
     if (command == "torture-verify") {
         return cmd_torture_verify(argc - 2, argv + 2);
+    }
+    if (command == "serve") {
+        return cmd_serve(argc - 2, argv + 2);
+    }
+    if (command == "ping") {
+        return cmd_ping(argc - 2, argv + 2);
+    }
+    if (command == "remote-load") {
+        return cmd_remote_load(argc - 2, argv + 2);
+    }
+    if (command == "remote-bfs") {
+        return cmd_remote_bfs(argc - 2, argv + 2);
+    }
+    if (command == "remote-stats") {
+        return cmd_remote_stats(argc - 2, argv + 2);
+    }
+    if (command == "remote-torture-write") {
+        return cmd_remote_torture_write(argc - 2, argv + 2);
     }
     if (argc < 3) {
         return usage();

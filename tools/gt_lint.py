@@ -520,6 +520,54 @@ class ShardFlushBeforeReadRule(Rule):
             return
 
 
+class RawSocketIoRule(Rule):
+    """Raw socket syscalls live only in src/net/io.{hpp,cpp}.
+
+    That pair encodes the loop disciplines (EINTR retry, MSG_NOSIGNAL,
+    zero-send-is-error, EAGAIN classification) exactly once; a bare
+    `::send`/`::recv` anywhere else re-derives them per call site and will
+    eventually drop one — the SIGPIPE and write-spin bugs both started
+    that way. `::write`/`::read` are additionally banned inside src/net/
+    (where every fd is a socket or the wake pipe); outside src/net/ they
+    stay legal for regular-file I/O such as the WAL.
+    """
+
+    name = "raw-socket-io"
+    _io_files = (Path("src/net/io.hpp"), Path("src/net/io.cpp"))
+    # `::send(`/`::recv(` with nothing qualifying the `::` — matches the
+    # global-namespace syscall spelling, not net::send_some etc.
+    _sendrecv = re.compile(r"(?<![:\w])::\s*(?P<fn>send|recv)\s*\(")
+    _readwrite = re.compile(r"(?<![:\w])::\s*(?P<fn>write|read)\s*\(")
+
+    def check_tree(self, files: dict[Path, SourceFile],
+                   root: Path) -> Iterator[Diagnostic]:
+        io_paths = {root / p for p in self._io_files}
+        net_dir = root / "src/net"
+        for f in files.values():
+            if f.path in io_paths:
+                continue
+            in_net = net_dir in f.path.parents
+            for no, code in enumerate(f.code, start=1):
+                for m in self._sendrecv.finditer(code):
+                    if f.suppressed(no, self.name):
+                        continue
+                    yield self.diag(
+                        f, no,
+                        f"raw ::{m.group('fn')}() outside src/net/io.* — "
+                        "route socket I/O through gt::net (send_some/"
+                        "recv_some/send_all/recv_exact) so the EINTR/"
+                        "MSG_NOSIGNAL/zero-return disciplines apply")
+                if in_net:
+                    for m in self._readwrite.finditer(code):
+                        if f.suppressed(no, self.name):
+                            continue
+                        yield self.diag(
+                            f, no,
+                            f"raw ::{m.group('fn')}() inside src/net/ — "
+                            "every fd here is a socket or the wake pipe; "
+                            "use the io.hpp helpers")
+
+
 RULES: list[Rule] = [
     RawMutexRule(),
     TxnNoThrowRule(),
@@ -527,6 +575,7 @@ RULES: list[Rule] = [
     ObsHotLookupRule(),
     WalLayoutRule(),
     ShardFlushBeforeReadRule(),
+    RawSocketIoRule(),
 ]
 
 _CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}

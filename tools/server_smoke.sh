@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# End-to-end smoke for `gt serve` (DESIGN.md §14): boots the daemon, drives
+# the full client surface over a real socket, then SIGKILLs the server
+# mid-batch-stream and proves the graph directory recovers exactly a
+# committed prefix (gt torture-verify).
+#
+# Phases:
+#   1. serve + ping            liveness, RTT sanity
+#   2. remote-load + remote-bfs  pipelined batch inserts on a named graph,
+#                              BFS distances checked against known values
+#   3. remote-stats            gt.obs.v1 JSON reachable over the wire
+#   4. graceful restart        SIGTERM, reboot on same root, data intact
+#   5. kill -9 mid-stream      remote-torture-write against a second graph,
+#                              SIGKILL the *server*, offline torture-verify
+#
+# usage: server_smoke.sh [path-to-gt]
+set -u
+
+GT="${1:-build/tools/gt}"
+if [ ! -x "$GT" ]; then
+    echo "error: gt binary not found at $GT" >&2
+    echo "usage: $0 [path-to-gt]" >&2
+    exit 2
+fi
+
+WORK="$(mktemp -d /tmp/gt_server_smoke.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+PORT=$(( 20000 + (RANDOM % 20000) ))
+ROOT="$WORK/root"
+
+fail() {
+    echo "FAIL: $*" >&2
+    [ -f "$WORK/serve.log" ] && sed 's/^/  server: /' "$WORK/serve.log" >&2
+    exit 1
+}
+
+start_server() {
+    "$GT" serve "$ROOT" --port "$PORT" > "$WORK/serve.log" 2>&1 &
+    SERVER_PID=$!
+    for _ in $(seq 1 50); do
+        grep -q "listening on" "$WORK/serve.log" 2>/dev/null && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup"
+        sleep 0.1
+    done
+    fail "server did not report listening within 5s"
+}
+
+# --- phase 1: liveness ------------------------------------------------------
+start_server
+"$GT" ping "127.0.0.1:$PORT" 100 || fail "ping"
+
+# --- phase 2: load + query --------------------------------------------------
+# Path 0->1->2->3 plus shortcut 0->4: distances are known in advance.
+printf '0 1\n1 2\n2 3\n0 4\n' > "$WORK/edges.txt"
+"$GT" remote-load "127.0.0.1:$PORT" smoke "$WORK/edges.txt" \
+    || fail "remote-load"
+"$GT" remote-bfs "127.0.0.1:$PORT" smoke 0 1 2 3 4 9 > "$WORK/bfs.out" \
+    || fail "remote-bfs"
+printf '1 1\n2 2\n3 3\n4 1\n9 unreachable\n' > "$WORK/bfs.expected"
+diff -u "$WORK/bfs.expected" "$WORK/bfs.out" \
+    || fail "BFS distances wrong over the wire"
+
+# --- phase 3: telemetry -----------------------------------------------------
+"$GT" remote-stats "127.0.0.1:$PORT" smoke | grep -q '"gt.obs.v1"' \
+    || fail "remote-stats did not return a gt.obs.v1 document"
+
+# --- phase 4: graceful restart keeps data -----------------------------------
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+start_server
+"$GT" remote-bfs "127.0.0.1:$PORT" smoke 0 3 > "$WORK/bfs2.out" \
+    || fail "remote-bfs after restart"
+grep -q '^3 3$' "$WORK/bfs2.out" || fail "data lost across graceful restart"
+
+# --- phase 5: SIGKILL mid-batch, recover committed prefix -------------------
+SEED=20260807
+"$GT" remote-torture-write "127.0.0.1:$PORT" crashme "$SEED" 100000 \
+    > "$WORK/torture.log" 2>&1 &
+WRITER_PID=$!
+# Let some batches commit, then murder the server with requests in flight.
+for _ in $(seq 1 100); do
+    steps=$(wc -l < "$WORK/torture.log" 2>/dev/null || echo 0)
+    [ "$steps" -ge 20 ] && break
+    sleep 0.1
+done
+[ "${steps:-0}" -ge 1 ] || fail "torture writer made no progress"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null  # reap so bash does not print "Killed"
+SERVER_PID=""
+wait "$WRITER_PID" 2>/dev/null  # writer exits nonzero once the server dies
+"$GT" torture-verify "$ROOT/crashme" "$SEED" \
+    || fail "killed server left an unrecoverable or wrong-prefix store"
+
+echo "PASS: server smoke (load/query, restart, kill -9 recovery)"
