@@ -1,27 +1,39 @@
-// Extension bench (no paper figure): gt serve wire-protocol overhead.
-// Emits BENCH_server_echo.json.
+// Extension bench (no paper figure): gt serve wire-protocol overhead and
+// multi-loop scaling. Emits BENCH_server_echo.json.
 //
 // Spins a Server on 127.0.0.1 (ephemeral port, tmpdir root) and measures,
-// from a client on the same host:
+// from clients on the same host:
 //
-//   rtt_us            sequential ping round-trip latency (best-of median)
-//   pipelined_rps     pings/sec with `depth` requests in flight — the
-//                     pipelining win the request-id design pays for
-//   wire_ingest_eps   insert_batch edges/sec through socket + WAL
-//   local_ingest_eps  the same stream into a local DurableStore — the
-//                     denominator isolating wire + loop overhead
+//   rtt_us              sequential ping round-trip latency
+//   pipelined_rps       pings/sec with `depth` requests in flight on one
+//                       connection — the pipelining win the request-id
+//                       design pays for
+//   pipelined_rps_loops1/loops4
+//                       aggregate pings/sec from 4 concurrent connections
+//                       against a 1-loop vs a 4-loop server; their ratio
+//                       (loop_scaling) is the multi-loop payoff
+//   wire_ingest_eps     insert_edges edges/sec through socket + WAL
+//   local_ingest_eps    the same stream into a local DurableStore — the
+//                       denominator isolating wire + loop overhead
+//
+// Wire and local ingest run through ONE code path: ingest_stream() takes a
+// gt::GraphService&, and both net::RemoteGraph and recover::DurableStore
+// implement it — the bench is also the interface's conformance check (the
+// two edge counts must agree).
 //
 // Flags / env:
 //   --out=PATH           JSON output path (default BENCH_server_echo.json)
-//   --check              require wire_ingest_eps >= 10% of local (sanity
-//                        bound, generous because the wire adds a full
-//                        serialize/checksum/parse cycle per batch)
+//   --check              require wire_ingest_eps >= 10% of local, and — on
+//                        hosts with >= 4 cores — loop_scaling >= 2.0
+//                        (fewer cores cannot run 4 loops in parallel, so
+//                        the scaling gate is skipped there)
 //   GT_SERVER_EDGES      stream length (default 500000)
 //   GT_SERVER_PINGS      ping count per mode (default 2000)
 //   GT_SERVER_DEPTH      pipeline depth (default 64)
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +43,7 @@
 #include <vector>
 
 #include "common/harness.hpp"
+#include "core/graph_service.hpp"
 #include "gen/rmat.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -59,6 +72,70 @@ std::string make_temp_root() {
     return tmpl;
 }
 
+/// The shared ingest path: local store and wire handle are both just a
+/// GraphService here.
+Status ingest_stream(GraphService& svc, std::span<const Edge> stream,
+                     std::size_t batch) {
+    for (std::size_t off = 0; off < stream.size(); off += batch) {
+        const std::size_t n = std::min(batch, stream.size() - off);
+        if (const Status st =
+                svc.insert_edges(stream.subspan(off, n), nullptr);
+            !st.ok()) {
+            return st;
+        }
+    }
+    return Status::success();
+}
+
+/// One pipelined-ping client loop; returns false on any wire failure.
+bool pipelined_pings(net::Client& client, std::size_t num_pings,
+                     std::size_t depth) {
+    const unsigned char probe[8] = {};
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    while (received < num_pings) {
+        while (sent < num_pings && sent - received < depth) {
+            std::uint64_t id = 0;
+            if (!client.send_request(net::MsgType::Ping, probe, id).ok()) {
+                return false;
+            }
+            ++sent;
+        }
+        net::Frame reply;
+        if (!client.recv_reply(reply).ok()) {
+            return false;
+        }
+        ++received;
+    }
+    return true;
+}
+
+/// Aggregate pings/sec from `num_clients` concurrent connections, each
+/// pipelining `num_pings` requests. 0.0 on failure.
+double measure_multi_client(std::uint16_t port, std::size_t num_clients,
+                            std::size_t num_pings, std::size_t depth) {
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> threads;
+    threads.reserve(num_clients);
+    Timer timer;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+        threads.emplace_back([&] {
+            net::Client client;
+            if (!client.connect("127.0.0.1", port).ok() ||
+                !pipelined_pings(client, num_pings, depth)) {
+                failed.store(true, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    if (failed.load(std::memory_order_relaxed)) {
+        return 0.0;
+    }
+    return static_cast<double>(num_clients * num_pings) / timer.seconds();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,109 +147,157 @@ int main(int argc, char** argv) {
     const std::size_t num_edges = env_size("GT_SERVER_EDGES", 500000);
     const std::size_t num_pings = env_size("GT_SERVER_PINGS", 2000);
     const std::size_t depth = env_size("GT_SERVER_DEPTH", 64);
+    const unsigned cores = std::thread::hardware_concurrency();
     bench::banner("ext: server echo",
-                  "gt.net.v1 round-trip latency, pipelined throughput and "
-                  "wire-vs-local ingest");
+                  "gt.net.v1 round-trip latency, pipelined throughput, "
+                  "multi-loop scaling and wire-vs-local ingest");
 
     const std::string root = make_temp_root();
-    net::Server server;
-    net::ServerOptions options;
-    options.root = root;
-    options.max_inflight = depth * 2;
-    if (const Status st = server.start(options); !st.ok()) {
-        std::fprintf(stderr, "start: %s\n", st.to_string().c_str());
-        return 1;
-    }
-    std::thread loop([&server] { (void)server.run(); });
+    const std::size_t kScaleClients = 4;
+    double pipelined_loops1 = 0.0;
+    double pipelined_loops4 = 0.0;
+    double rtt_us = 0.0;
+    double pipelined_rps = 0.0;
+    double wire_eps = 0.0;
+    std::uint64_t wire_edges = 0;
 
-    net::Client client;
-    if (const Status st = client.connect("127.0.0.1", server.port());
-        !st.ok()) {
-        std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
-        return 1;
-    }
-
-    // --- sequential ping RTT ------------------------------------------------
-    const unsigned char probe[8] = {};
-    Timer timer;
-    for (std::size_t i = 0; i < num_pings; ++i) {
-        if (!client.ping(probe).ok()) {
-            std::fprintf(stderr, "ping failed\n");
+    {
+        net::Server server;
+        net::ServerOptions options;
+        options.root = root;
+        options.max_inflight = depth * 2;
+        options.loop_threads = 1;
+        if (const Status st = server.start(options); !st.ok()) {
+            std::fprintf(stderr, "start: %s\n", st.to_string().c_str());
             return 1;
         }
-    }
-    const double rtt_us =
-        timer.seconds() * 1e6 / static_cast<double>(num_pings);
+        std::thread loop([&server] { (void)server.run(); });
 
-    // --- pipelined ping throughput -----------------------------------------
-    timer.reset();
-    std::size_t sent = 0;
-    std::size_t received = 0;
-    while (received < num_pings) {
-        while (sent < num_pings && sent - received < depth) {
-            std::uint64_t id = 0;
-            if (!client.send_request(net::MsgType::Ping, probe, id).ok()) {
-                std::fprintf(stderr, "pipelined send failed\n");
+        net::Client client;
+        if (const Status st = client.connect("127.0.0.1", server.port());
+            !st.ok()) {
+            std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
+            return 1;
+        }
+
+        // --- sequential ping RTT -------------------------------------------
+        const unsigned char probe[8] = {};
+        Timer timer;
+        for (std::size_t i = 0; i < num_pings; ++i) {
+            if (!client.ping(probe).ok()) {
+                std::fprintf(stderr, "ping failed\n");
                 return 1;
             }
-            ++sent;
         }
-        net::Frame reply;
-        if (!client.recv_reply(reply).ok()) {
-            std::fprintf(stderr, "pipelined recv failed\n");
+        rtt_us = timer.seconds() * 1e6 / static_cast<double>(num_pings);
+
+        // --- pipelined ping throughput, one connection ---------------------
+        timer.reset();
+        if (!pipelined_pings(client, num_pings, depth)) {
+            std::fprintf(stderr, "pipelined pings failed\n");
             return 1;
         }
-        ++received;
-    }
-    const double pipelined_rps =
-        static_cast<double>(num_pings) / timer.seconds();
+        pipelined_rps = static_cast<double>(num_pings) / timer.seconds();
 
-    // --- wire ingest --------------------------------------------------------
+        // --- 4 connections against 1 loop (scaling denominator) ------------
+        pipelined_loops1 = measure_multi_client(server.port(), kScaleClients,
+                                                num_pings, depth);
+        if (pipelined_loops1 == 0.0) {
+            std::fprintf(stderr, "multi-client pings (1 loop) failed\n");
+            return 1;
+        }
+
+        // --- wire ingest through the GraphService path ---------------------
+        const std::vector<Edge> stream = rmat_edges(
+            1U << 16, static_cast<EdgeCount>(num_edges), 42);
+        net::RemoteGraph remote;
+        if (!client.open("bench", remote, 1).ok()) {
+            std::fprintf(stderr, "open failed\n");
+            return 1;
+        }
+        timer.reset();
+        if (const Status st = ingest_stream(remote, stream, 10000);
+            !st.ok()) {
+            std::fprintf(stderr, "wire ingest failed: %s\n",
+                         st.to_string().c_str());
+            return 1;
+        }
+        wire_eps = static_cast<double>(stream.size()) / timer.seconds();
+        std::uint64_t wire_vertices = 0;
+        if (!remote.count(wire_edges, wire_vertices).ok()) {
+            std::fprintf(stderr, "wire count failed\n");
+            return 1;
+        }
+
+        server.stop();
+        loop.join();
+    }
+
+    // --- 4 connections against 4 loops (scaling numerator) -----------------
+    {
+        net::Server server;
+        net::ServerOptions options;
+        options.root = root;
+        options.max_inflight = depth * 2;
+        options.loop_threads = 4;
+        if (const Status st = server.start(options); !st.ok()) {
+            std::fprintf(stderr, "start (4 loops): %s\n",
+                         st.to_string().c_str());
+            return 1;
+        }
+        std::thread loop([&server] { (void)server.run(); });
+        pipelined_loops4 = measure_multi_client(server.port(), kScaleClients,
+                                                num_pings, depth);
+        server.stop();
+        loop.join();
+        if (pipelined_loops4 == 0.0) {
+            std::fprintf(stderr, "multi-client pings (4 loops) failed\n");
+            return 1;
+        }
+    }
+    const double loop_scaling =
+        pipelined_loops1 > 0 ? pipelined_loops4 / pipelined_loops1 : 0.0;
+
+    // --- local baseline: same stream, same durability, same code path ------
     const std::vector<Edge> stream = rmat_edges(
         1U << 16, static_cast<EdgeCount>(num_edges), 42);
-    const std::size_t batch = 10000;
-    if (!client.open_graph("bench", 1).ok()) {
-        std::fprintf(stderr, "open_graph failed\n");
-        return 1;
-    }
-    timer.reset();
-    for (std::size_t off = 0; off < stream.size(); off += batch) {
-        const std::size_t n = std::min(batch, stream.size() - off);
-        if (!client.insert_batch("bench", {stream.data() + off, n}).ok()) {
-            std::fprintf(stderr, "wire ingest failed at %zu\n", off);
-            return 1;
-        }
-    }
-    const double wire_eps =
-        static_cast<double>(stream.size()) / timer.seconds();
-
-    server.stop();
-    loop.join();
-
-    // --- local baseline: same stream, same durability, no socket ------------
     const std::string local_dir = root + "/local-baseline";
     recover::DurableStore store;
     if (const Status st = store.open(local_dir, {}, nullptr); !st.ok()) {
         std::fprintf(stderr, "local open: %s\n", st.to_string().c_str());
         return 1;
     }
-    timer.reset();
-    for (std::size_t off = 0; off < stream.size(); off += batch) {
-        const std::size_t n = std::min(batch, stream.size() - off);
-        if (!store.graph().insert_batch({stream.data() + off, n}).ok()) {
-            std::fprintf(stderr, "local ingest failed\n");
-            return 1;
-        }
+    Timer timer;
+    if (const Status st = ingest_stream(store, stream, 10000); !st.ok()) {
+        std::fprintf(stderr, "local ingest failed: %s\n",
+                     st.to_string().c_str());
+        return 1;
     }
     const double local_eps =
         static_cast<double>(stream.size()) / timer.seconds();
+    std::uint64_t local_edges = 0;
+    std::uint64_t local_vertices = 0;
+    if (!store.count(local_edges, local_vertices).ok()) {
+        std::fprintf(stderr, "local count failed\n");
+        return 1;
+    }
     store.close();
 
+    if (wire_edges != local_edges) {
+        std::fprintf(stderr,
+                     "FAIL: wire and local GraphService paths disagree "
+                     "(%llu vs %llu edges)\n",
+                     static_cast<unsigned long long>(wire_edges),
+                     static_cast<unsigned long long>(local_edges));
+        return 1;
+    }
+
     const double wire_ratio = local_eps > 0 ? wire_eps / local_eps : 0.0;
-    std::printf("rtt: %.1f us  pipelined: %.0f rps  wire: %.2f Meps  "
-                "local: %.2f Meps  ratio: %.2f\n",
-                rtt_us, pipelined_rps, wire_eps / 1e6, local_eps / 1e6,
-                wire_ratio);
+    std::printf("rtt: %.1f us  pipelined: %.0f rps  4-conn: %.0f/%.0f rps "
+                "(x%.2f @4 loops)  wire: %.2f Meps  local: %.2f Meps  "
+                "ratio: %.2f\n",
+                rtt_us, pipelined_rps, pipelined_loops1, pipelined_loops4,
+                loop_scaling, wire_eps / 1e6, local_eps / 1e6, wire_ratio);
 
     {
         std::ofstream json(args.out_path);
@@ -182,8 +307,12 @@ int main(int argc, char** argv) {
         w.member("edges", static_cast<std::uint64_t>(stream.size()));
         w.member("pings", static_cast<std::uint64_t>(num_pings));
         w.member("depth", static_cast<std::uint64_t>(depth));
+        w.member("cores", static_cast<std::uint64_t>(cores));
         w.member("rtt_us", rtt_us);
         w.member("pipelined_rps", pipelined_rps);
+        w.member("pipelined_rps_loops1", pipelined_loops1);
+        w.member("pipelined_rps_loops4", pipelined_loops4);
+        w.member("loop_scaling", loop_scaling);
         w.member("wire_ingest_eps", wire_eps);
         w.member("local_ingest_eps", local_eps);
         w.member("wire_local_ratio", wire_ratio);
@@ -201,9 +330,23 @@ int main(int argc, char** argv) {
                      wire_ratio * 100.0);
         return 1;
     }
+    if (args.check && cores >= 4 && loop_scaling < 2.0) {
+        std::fprintf(stderr,
+                     "check FAILED: 4-loop scaling x%.2f < 2.0 on %u "
+                     "cores\n",
+                     loop_scaling, cores);
+        return 1;
+    }
     if (args.check) {
-        std::printf("check passed: wire/local ratio %.2f >= 0.10\n",
-                    wire_ratio);
+        if (cores >= 4) {
+            std::printf("check passed: ratio %.2f >= 0.10, scaling x%.2f "
+                        ">= 2.0\n",
+                        wire_ratio, loop_scaling);
+        } else {
+            std::printf("check passed: ratio %.2f >= 0.10 (scaling gate "
+                        "skipped, %u < 4 cores)\n",
+                        wire_ratio, cores);
+        }
     }
     return 0;
 }

@@ -1,0 +1,55 @@
+// gt::GraphService — the minimal read/mutate verb surface a graph host
+// exposes, implemented by both recover::DurableStore (in-process) and
+// net::RemoteGraph (gt.net.v1 wire handle).
+//
+// The point is substitutability: tools and benches that load edges and ask
+// questions (the CLI's load/bfs verbs, bench/ext_server_echo's
+// local-vs-wire comparison, tools/server_smoke.sh's driver paths) code
+// against this interface once and run unchanged over a local store or a
+// socket. The surface is deliberately small — exactly the verbs both sides
+// can honor with identical semantics. Representation-specific power
+// (neighbors enumeration, SSSP/CC, stats export, WAL subscription) stays on
+// the concrete types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace gt {
+
+class GraphService {
+public:
+    virtual ~GraphService() = default;
+
+    /// Applies `edges` as one committed batch (all-or-nothing under the
+    /// store's transactional contract). `edge_count`, when non-null,
+    /// receives the store's edge count after the batch.
+    [[nodiscard]] virtual Status insert_edges(
+        std::span<const Edge> edges, std::uint64_t* edge_count = nullptr) = 0;
+    [[nodiscard]] virtual Status delete_edges(
+        std::span<const Edge> edges, std::uint64_t* edge_count = nullptr) = 0;
+
+    /// Out-degree of `v` (0 for a vertex the graph has never seen).
+    [[nodiscard]] virtual Status degree_of(VertexId v,
+                                           std::uint64_t& out) = 0;
+
+    /// BFS hop distances from `root`, one per target in order
+    /// (kInfDistance = unreachable).
+    [[nodiscard]] virtual Status bfs_distances(
+        VertexId root, std::span<const VertexId> targets,
+        std::vector<std::uint32_t>& out) = 0;
+
+    /// Live edge and vertex counts.
+    [[nodiscard]] virtual Status count(std::uint64_t& edges,
+                                       std::uint64_t& vertices) = 0;
+
+    /// Forces a durability checkpoint (snapshot rotation locally, the
+    /// Checkpoint verb over the wire).
+    [[nodiscard]] virtual Status checkpoint_now() = 0;
+};
+
+}  // namespace gt

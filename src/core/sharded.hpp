@@ -334,6 +334,77 @@ public:
         return ReadPin(*shards_[s]);
     }
 
+    /// Whole-store pin: every shard drained, every rwlock held shared for
+    /// the pin's lifetime. This is the consistent-cut read the service
+    /// layer's query pool wants — cross-shard aggregates (counts, traversal
+    /// over all intervals) see one settled epoch per shard while writers to
+    /// *no* shard can slip in between the per-shard reads. Ingest resumes
+    /// the moment the pin drops. Must not be taken by a thread already
+    /// holding any per-shard pin (the drain would self-deadlock).
+    class ReadPinAll {
+    public:
+        ReadPinAll(const ReadPinAll&) = delete;
+        ReadPinAll& operator=(const ReadPinAll&) = delete;
+
+        ~ReadPinAll() GT_NO_THREAD_SAFETY_ANALYSIS {
+            auto& pins = detail::tl_pinned_shards;
+            for (auto it = shards_->rbegin(); it != shards_->rend(); ++it) {
+                (*it)->rw.unlock_shared();
+                const auto p =
+                    std::find(pins.rbegin(), pins.rend(), it->get());
+                if (p != pins.rend()) {
+                    pins.erase(std::next(p).base());
+                }
+            }
+        }
+
+        /// Shard `i`'s store, frozen at the pinned epoch (mirrors
+        /// ReadPin::store(); the pin constructor already drained, so no
+        /// further barrier is needed here).
+        [[nodiscard]] const Store& store(std::size_t i) const noexcept {
+            return *(*shards_)[i]->store;
+        }
+        [[nodiscard]] std::size_t num_shards() const noexcept {
+            return shards_->size();
+        }
+        /// Cross-shard edge total at the pinned cut.
+        [[nodiscard]] EdgeCount edge_total() const {
+            EdgeCount total = 0;
+            for (std::size_t i = 0; i < shards_->size(); ++i) {
+                total += store(i).num_edges();
+            }
+            return total;
+        }
+
+    private:
+        friend class ShardedStore;
+        explicit ReadPinAll(
+            const std::vector<std::unique_ptr<Shard>>& shards)
+            GT_NO_THREAD_SAFETY_ANALYSIS : shards_(&shards) {
+            for (const auto& sh : shards) {
+                sh->rw.lock_shared();
+                detail::tl_pinned_shards.push_back(sh.get());
+            }
+        }
+
+        const std::vector<std::unique_ptr<Shard>>* shards_;
+    };
+
+    /// Drains all shards, then pins them all shared (index order; readers
+    /// never block each other, so pin order only matters versus writers and
+    /// those are per-shard). Returns by RVO — ReadPinAll is not movable.
+    [[nodiscard]] ReadPinAll read_snapshot_all() const {
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            if (pinned_by_caller(s)) {
+                assert(!"read_snapshot_all() while this thread already "
+                        "pins a shard");
+                continue;
+            }
+            shards_[s]->queue.wait_idle();
+        }
+        return ReadPinAll(shards_);
+    }
+
     /// Per-shard version counter: the number of hand-off tasks shard `s`
     /// has fully applied (acquire). Advances monotonically; equality with
     /// two reads brackets a quiescent window for that shard.

@@ -1,5 +1,6 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace gt::net {
@@ -17,7 +18,29 @@ namespace {
     return status_of_wire(code, "server: " + msg);
 }
 
+[[nodiscard]] Status parse_props(const Frame& reply, std::size_t expect,
+                                 std::vector<std::uint32_t>& out,
+                                 const char* what) {
+    PayloadReader r(reply.payload);
+    const std::uint32_t k = r.u32();
+    if (k != expect) {
+        return Status{StatusCode::IoError,
+                      std::string{"short "} + what + " reply"};
+    }
+    out.resize(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+        out[i] = r.u32();
+    }
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError,
+                      std::string{"malformed "} + what + " reply"};
+    }
+    return Status::success();
+}
+
 }  // namespace
+
+// ---- Client: transport ----------------------------------------------------
 
 Status Client::connect(const std::string& host, std::uint16_t port) {
     return tcp_connect(host, port, fd_);
@@ -38,10 +61,14 @@ Status Client::send_request(MsgType type,
     frame_buf_.clear();
     encode_frame(frame_buf_, static_cast<std::uint8_t>(type), request_id,
                  payload);
-    return send_all(fd_.get(), frame_buf_);
+    if (Status st = send_all(fd_.get(), frame_buf_); !st.ok()) {
+        return st;
+    }
+    pending_.insert(request_id);
+    return Status::success();
 }
 
-Status Client::recv_reply(Frame& out) {
+Status Client::read_frame(Frame& out) {
     if (!fd_.valid()) {
         return Status{StatusCode::InvalidArgument, "client not connected"};
     }
@@ -55,13 +82,6 @@ Status Client::recv_reply(Frame& out) {
                 recv_buf_.erase(recv_buf_.begin(),
                                 recv_buf_.begin() +
                                     static_cast<std::ptrdiff_t>(consumed));
-                if (out.type == kErrorType) {
-                    return decode_error_payload(out);
-                }
-                if ((out.type & kResponseBit) == 0) {
-                    return Status{StatusCode::IoError,
-                                  "server sent a non-response frame"};
-                }
                 return Status::success();
             case DecodeResult::Bad:
                 close();
@@ -92,6 +112,126 @@ Status Client::recv_reply(Frame& out) {
     }
 }
 
+Status Client::finish_reply(const Frame& f) {
+    if (f.type == kErrorType) {
+        return decode_error_payload(f);
+    }
+    if ((f.type & kResponseBit) == 0) {
+        close();
+        return Status{StatusCode::IoError,
+                      "server sent a non-response frame"};
+    }
+    return Status::success();
+}
+
+Status Client::recv_reply(Frame& out) {
+    if (!buffered_.empty()) {
+        out = std::move(buffered_.front());
+        buffered_.pop_front();
+        pending_.erase(out.request_id);
+        return finish_reply(out);
+    }
+    for (;;) {
+        Frame f;
+        if (Status st = read_frame(f); !st.ok()) {
+            return st;
+        }
+        if (stream_ids_.count(f.request_id) != 0) {
+            stream_q_.push_back(std::move(f));
+            continue;
+        }
+        if (pending_.erase(f.request_id) == 0) {
+            close();
+            return Status{StatusCode::IoError,
+                          "stale reply: id " + std::to_string(f.request_id) +
+                              " matches no pending request"};
+        }
+        out = std::move(f);
+        return finish_reply(out);
+    }
+}
+
+Status Client::recv_matching(std::uint64_t id, Frame& out) {
+    const auto hit = std::find_if(
+        buffered_.begin(), buffered_.end(),
+        [id](const Frame& f) { return f.request_id == id; });
+    if (hit != buffered_.end()) {
+        out = std::move(*hit);
+        buffered_.erase(hit);
+        pending_.erase(id);
+        return finish_reply(out);
+    }
+    for (;;) {
+        Frame f;
+        if (Status st = read_frame(f); !st.ok()) {
+            return st;
+        }
+        if (stream_ids_.count(f.request_id) != 0) {
+            stream_q_.push_back(std::move(f));
+            continue;
+        }
+        if (pending_.count(f.request_id) == 0) {
+            close();
+            return Status{StatusCode::IoError,
+                          "stale reply: id " + std::to_string(f.request_id) +
+                              " matches no pending request"};
+        }
+        if (f.request_id == id) {
+            pending_.erase(id);
+            out = std::move(f);
+            return finish_reply(out);
+        }
+        buffered_.push_back(std::move(f));
+    }
+}
+
+Status Client::recv_shipment(std::uint64_t sub_id, Frame& out) {
+    if (stream_ids_.count(sub_id) == 0) {
+        return Status{StatusCode::InvalidArgument,
+                      "no live subscription with id " +
+                          std::to_string(sub_id)};
+    }
+    const auto deliver = [&](Frame&& f) {
+        out = std::move(f);
+        if (out.type == kErrorType) {
+            // The primary tore this subscriber down (slow consumer, pruned
+            // past its cursor, shutdown): the stream id is dead.
+            stream_ids_.erase(sub_id);
+            return decode_error_payload(out);
+        }
+        return Status::success();
+    };
+    const auto hit = std::find_if(
+        stream_q_.begin(), stream_q_.end(),
+        [sub_id](const Frame& f) { return f.request_id == sub_id; });
+    if (hit != stream_q_.end()) {
+        Frame f = std::move(*hit);
+        stream_q_.erase(hit);
+        return deliver(std::move(f));
+    }
+    for (;;) {
+        Frame f;
+        if (Status st = read_frame(f); !st.ok()) {
+            return st;
+        }
+        if (f.request_id == sub_id) {
+            return deliver(std::move(f));
+        }
+        if (stream_ids_.count(f.request_id) != 0) {
+            stream_q_.push_back(std::move(f));
+            continue;
+        }
+        if (pending_.count(f.request_id) != 0) {
+            buffered_.push_back(std::move(f));
+            continue;
+        }
+        close();
+        return Status{StatusCode::IoError,
+                      "stale reply: id " + std::to_string(f.request_id) +
+                          " matches no pending request"};
+    }
+}
+
 Status Client::round_trip(MsgType type,
                           std::span<const unsigned char> payload,
                           Frame& reply) {
@@ -99,13 +239,8 @@ Status Client::round_trip(MsgType type,
     if (Status st = send_request(type, payload, id); !st.ok()) {
         return st;
     }
-    if (Status st = recv_reply(reply); !st.ok()) {
+    if (Status st = recv_matching(id, reply); !st.ok()) {
         return st;
-    }
-    if (reply.request_id != id) {
-        close();
-        return Status{StatusCode::IoError,
-                      "reply id mismatch (protocol desync)"};
     }
     if (reply.type !=
         (static_cast<std::uint8_t>(type) | kResponseBit)) {
@@ -115,7 +250,7 @@ Status Client::round_trip(MsgType type,
     return Status::success();
 }
 
-// ---- typed wrappers -------------------------------------------------------
+// ---- Client: sessions -----------------------------------------------------
 
 Status Client::ping(std::span<const unsigned char> echo) {
     Frame reply;
@@ -130,8 +265,8 @@ Status Client::ping(std::span<const unsigned char> echo) {
     return Status::success();
 }
 
-Status Client::open_graph(const std::string& name, std::uint8_t durability,
-                          std::uint8_t* recovery_source) {
+Status Client::open(const std::string& name, RemoteGraph& out,
+                    std::uint8_t durability) {
     PayloadWriter w;
     w.str(name);
     w.u8(durability);
@@ -145,27 +280,40 @@ Status Client::open_graph(const std::string& name, std::uint8_t durability,
     if (!r.ok() || !r.exhausted()) {
         return Status{StatusCode::IoError, "malformed OpenGraph reply"};
     }
-    if (recovery_source != nullptr) {
-        *recovery_source = source;
+    out = RemoteGraph(this, name, source);
+    return Status::success();
+}
+
+// ---- RemoteGraph ----------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] Status require_bound(const Client* client) {
+    if (client == nullptr) {
+        return Status{StatusCode::InvalidArgument,
+                      "RemoteGraph not bound (use Client::open)"};
     }
     return Status::success();
 }
 
-Status Client::insert_batch(const std::string& name,
-                            std::span<const Edge> edges,
-                            std::uint64_t* edge_count) {
+}  // namespace
+
+Status RemoteGraph::mutate(MsgType type, std::span<const Edge> edges,
+                           std::uint64_t* edge_count) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     w.edges(edges);
     Frame reply;
-    if (Status st = round_trip(MsgType::InsertBatch, w.span(), reply);
-        !st.ok()) {
+    if (Status st = client_->round_trip(type, w.span(), reply); !st.ok()) {
         return st;
     }
     PayloadReader r(reply.payload);
     const std::uint64_t count = r.u64();
     if (!r.ok() || !r.exhausted()) {
-        return Status{StatusCode::IoError, "malformed InsertBatch reply"};
+        return Status{StatusCode::IoError, "malformed mutation reply"};
     }
     if (edge_count != nullptr) {
         *edge_count = count;
@@ -173,35 +321,26 @@ Status Client::insert_batch(const std::string& name,
     return Status::success();
 }
 
-Status Client::delete_batch(const std::string& name,
-                            std::span<const Edge> edges,
-                            std::uint64_t* edge_count) {
-    PayloadWriter w;
-    w.str(name);
-    w.edges(edges);
-    Frame reply;
-    if (Status st = round_trip(MsgType::DeleteBatch, w.span(), reply);
-        !st.ok()) {
-        return st;
-    }
-    PayloadReader r(reply.payload);
-    const std::uint64_t count = r.u64();
-    if (!r.ok() || !r.exhausted()) {
-        return Status{StatusCode::IoError, "malformed DeleteBatch reply"};
-    }
-    if (edge_count != nullptr) {
-        *edge_count = count;
-    }
-    return Status::success();
+Status RemoteGraph::insert_edges(std::span<const Edge> edges,
+                                 std::uint64_t* edge_count) {
+    return mutate(MsgType::InsertBatch, edges, edge_count);
 }
 
-Status Client::degree(const std::string& name, VertexId v,
-                      std::uint64_t& out) {
+Status RemoteGraph::delete_edges(std::span<const Edge> edges,
+                                 std::uint64_t* edge_count) {
+    return mutate(MsgType::DeleteBatch, edges, edge_count);
+}
+
+Status RemoteGraph::degree_of(VertexId v, std::uint64_t& out) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     w.u32(v);
     Frame reply;
-    if (Status st = round_trip(MsgType::Degree, w.span(), reply); !st.ok()) {
+    if (Status st = client_->round_trip(MsgType::Degree, w.span(), reply);
+        !st.ok()) {
         return st;
     }
     PayloadReader r(reply.payload);
@@ -212,15 +351,18 @@ Status Client::degree(const std::string& name, VertexId v,
     return Status::success();
 }
 
-Status Client::neighbors(const std::string& name, VertexId v,
-                         std::vector<std::pair<VertexId, Weight>>& out,
-                         std::uint32_t max) {
+Status RemoteGraph::neighbors(VertexId v,
+                              std::vector<std::pair<VertexId, Weight>>& out,
+                              std::uint32_t max) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     w.u32(v);
     w.u32(max);
     Frame reply;
-    if (Status st = round_trip(MsgType::Neighbors, w.span(), reply);
+    if (Status st = client_->round_trip(MsgType::Neighbors, w.span(), reply);
         !st.ok()) {
         return st;
     }
@@ -239,85 +381,54 @@ Status Client::neighbors(const std::string& name, VertexId v,
     return Status::success();
 }
 
-namespace {
-
-[[nodiscard]] Status parse_props(const Frame& reply, std::size_t expect,
-                                 std::vector<std::uint32_t>& out,
-                                 const char* what) {
-    PayloadReader r(reply.payload);
-    const std::uint32_t k = r.u32();
-    if (k != expect) {
-        return Status{StatusCode::IoError,
-                      std::string{"short "} + what + " reply"};
+Status RemoteGraph::props(MsgType type, const char* what, bool with_root,
+                          VertexId root, std::span<const VertexId> targets,
+                          std::vector<std::uint32_t>& out) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
     }
-    out.resize(k);
-    for (std::uint32_t i = 0; i < k; ++i) {
-        out[i] = r.u32();
-    }
-    if (!r.ok() || !r.exhausted()) {
-        return Status{StatusCode::IoError,
-                      std::string{"malformed "} + what + " reply"};
-    }
-    return Status::success();
-}
-
-}  // namespace
-
-Status Client::bfs(const std::string& name, VertexId root,
-                   std::span<const VertexId> targets,
-                   std::vector<std::uint32_t>& out) {
     PayloadWriter w;
-    w.str(name);
-    w.u32(root);
+    w.str(name_);
+    if (with_root) {
+        w.u32(root);
+    }
     w.u32(static_cast<std::uint32_t>(targets.size()));
     for (const VertexId t : targets) {
         w.u32(t);
     }
     Frame reply;
-    if (Status st = round_trip(MsgType::Bfs, w.span(), reply); !st.ok()) {
+    if (Status st = client_->round_trip(type, w.span(), reply); !st.ok()) {
         return st;
     }
-    return parse_props(reply, targets.size(), out, "Bfs");
+    return parse_props(reply, targets.size(), out, what);
 }
 
-Status Client::sssp(const std::string& name, VertexId root,
-                    std::span<const VertexId> targets,
-                    std::vector<std::uint32_t>& out) {
-    PayloadWriter w;
-    w.str(name);
-    w.u32(root);
-    w.u32(static_cast<std::uint32_t>(targets.size()));
-    for (const VertexId t : targets) {
-        w.u32(t);
-    }
-    Frame reply;
-    if (Status st = round_trip(MsgType::Sssp, w.span(), reply); !st.ok()) {
+Status RemoteGraph::bfs_distances(VertexId root,
+                                  std::span<const VertexId> targets,
+                                  std::vector<std::uint32_t>& out) {
+    return props(MsgType::Bfs, "Bfs", /*with_root=*/true, root, targets,
+                 out);
+}
+
+Status RemoteGraph::sssp(VertexId root, std::span<const VertexId> targets,
+                         std::vector<std::uint32_t>& out) {
+    return props(MsgType::Sssp, "Sssp", /*with_root=*/true, root, targets,
+                 out);
+}
+
+Status RemoteGraph::cc(std::span<const VertexId> targets,
+                       std::vector<std::uint32_t>& out) {
+    return props(MsgType::Cc, "Cc", /*with_root=*/false, 0, targets, out);
+}
+
+Status RemoteGraph::count(std::uint64_t& edges, std::uint64_t& vertices) {
+    if (Status st = require_bound(client_); !st.ok()) {
         return st;
     }
-    return parse_props(reply, targets.size(), out, "Sssp");
-}
-
-Status Client::cc(const std::string& name, std::span<const VertexId> targets,
-                  std::vector<std::uint32_t>& out) {
     PayloadWriter w;
-    w.str(name);
-    w.u32(static_cast<std::uint32_t>(targets.size()));
-    for (const VertexId t : targets) {
-        w.u32(t);
-    }
+    w.str(name_);
     Frame reply;
-    if (Status st = round_trip(MsgType::Cc, w.span(), reply); !st.ok()) {
-        return st;
-    }
-    return parse_props(reply, targets.size(), out, "Cc");
-}
-
-Status Client::edge_count(const std::string& name, std::uint64_t& edges,
-                          std::uint64_t& vertices) {
-    PayloadWriter w;
-    w.str(name);
-    Frame reply;
-    if (Status st = round_trip(MsgType::EdgeCount, w.span(), reply);
+    if (Status st = client_->round_trip(MsgType::EdgeCount, w.span(), reply);
         !st.ok()) {
         return st;
     }
@@ -330,25 +441,34 @@ Status Client::edge_count(const std::string& name, std::uint64_t& edges,
     return Status::success();
 }
 
-Status Client::checkpoint(const std::string& name) {
+Status RemoteGraph::checkpoint_now() {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     Frame reply;
-    return round_trip(MsgType::Checkpoint, w.span(), reply);
+    return client_->round_trip(MsgType::Checkpoint, w.span(), reply);
 }
 
-Status Client::sync(const std::string& name) {
+Status RemoteGraph::sync_wal() {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     Frame reply;
-    return round_trip(MsgType::Sync, w.span(), reply);
+    return client_->round_trip(MsgType::Sync, w.span(), reply);
 }
 
-Status Client::stats_json(const std::string& name, std::string& json) {
+Status RemoteGraph::stats_json(std::string& json) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
     PayloadWriter w;
-    w.str(name);
+    w.str(name_);
     Frame reply;
-    if (Status st = round_trip(MsgType::StatsJson, w.span(), reply);
+    if (Status st = client_->round_trip(MsgType::StatsJson, w.span(), reply);
         !st.ok()) {
         return st;
     }
@@ -360,6 +480,137 @@ Status Client::stats_json(const std::string& name, std::string& json) {
     const auto rest = r.rest();
     json.assign(reinterpret_cast<const char*>(rest.data()), rest.size());
     return Status::success();
+}
+
+Status RemoteGraph::subscribe(std::uint64_t from_seq, Subscription& out) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
+    PayloadWriter w;
+    w.str(name_);
+    w.u64(from_seq);
+    std::uint64_t id = 0;
+    if (Status st = client_->send_request(MsgType::Subscribe, w.span(), id);
+        !st.ok()) {
+        return st;
+    }
+    Frame ack;
+    if (Status st = client_->recv_matching(id, ack); !st.ok()) {
+        return st;
+    }
+    if (ack.type !=
+            (static_cast<std::uint8_t>(MsgType::Subscribe) | kResponseBit) ||
+        ack.flags != 0) {
+        client_->close();
+        return Status{StatusCode::IoError, "subscribe ack mismatch"};
+    }
+    PayloadReader r(ack.payload);
+    out.wal_floor = r.u64();
+    out.primary_seq = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed Subscribe ack"};
+    }
+    out.id = id;
+    // The id lives on: every shipped frame from here carries it. Route
+    // those to the stream queue instead of treating them as stale replies.
+    client_->stream_ids_.insert(id);
+    return Status::success();
+}
+
+Status RemoteGraph::send_ack(std::uint64_t acked_seq) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
+    PayloadWriter w;
+    w.str(name_);
+    w.u64(acked_seq);
+    Frame reply;
+    return client_->round_trip(MsgType::SubAck, w.span(), reply);
+}
+
+// ---- deprecated per-name shims --------------------------------------------
+// Each one wraps a transient RemoteGraph so the wire behavior is byte-for-
+// byte identical to the handle API; they only survive to keep PR 8 call
+// sites compiling during migration.
+
+Status Client::open_graph(const std::string& name, std::uint8_t durability,
+                          std::uint8_t* recovery_source) {
+    RemoteGraph g;
+    if (Status st = open(name, g, durability); !st.ok()) {
+        return st;
+    }
+    if (recovery_source != nullptr) {
+        *recovery_source = g.recovery_source();
+    }
+    return Status::success();
+}
+
+Status Client::insert_batch(const std::string& name,
+                            std::span<const Edge> edges,
+                            std::uint64_t* edge_count) {
+    RemoteGraph g(this, name, 0);
+    return g.insert_edges(edges, edge_count);
+}
+
+Status Client::delete_batch(const std::string& name,
+                            std::span<const Edge> edges,
+                            std::uint64_t* edge_count) {
+    RemoteGraph g(this, name, 0);
+    return g.delete_edges(edges, edge_count);
+}
+
+Status Client::degree(const std::string& name, VertexId v,
+                      std::uint64_t& out) {
+    RemoteGraph g(this, name, 0);
+    return g.degree_of(v, out);
+}
+
+Status Client::neighbors(const std::string& name, VertexId v,
+                         std::vector<std::pair<VertexId, Weight>>& out,
+                         std::uint32_t max) {
+    RemoteGraph g(this, name, 0);
+    return g.neighbors(v, out, max);
+}
+
+Status Client::bfs(const std::string& name, VertexId root,
+                   std::span<const VertexId> targets,
+                   std::vector<std::uint32_t>& out) {
+    RemoteGraph g(this, name, 0);
+    return g.bfs_distances(root, targets, out);
+}
+
+Status Client::sssp(const std::string& name, VertexId root,
+                    std::span<const VertexId> targets,
+                    std::vector<std::uint32_t>& out) {
+    RemoteGraph g(this, name, 0);
+    return g.sssp(root, targets, out);
+}
+
+Status Client::cc(const std::string& name, std::span<const VertexId> targets,
+                  std::vector<std::uint32_t>& out) {
+    RemoteGraph g(this, name, 0);
+    return g.cc(targets, out);
+}
+
+Status Client::edge_count(const std::string& name, std::uint64_t& edges,
+                          std::uint64_t& vertices) {
+    RemoteGraph g(this, name, 0);
+    return g.count(edges, vertices);
+}
+
+Status Client::checkpoint(const std::string& name) {
+    RemoteGraph g(this, name, 0);
+    return g.checkpoint_now();
+}
+
+Status Client::sync(const std::string& name) {
+    RemoteGraph g(this, name, 0);
+    return g.sync_wal();
+}
+
+Status Client::stats_json(const std::string& name, std::string& json) {
+    RemoteGraph g(this, name, 0);
+    return g.stats_json(json);
 }
 
 }  // namespace gt::net

@@ -1,25 +1,41 @@
 // Blocking client for the gt.net.v1 protocol — what the CLI's `remote-*`
-// subcommands, the tests, and bench/ext_server_echo talk through.
+// subcommands, the tests, bench/ext_server_echo and the replication feeder
+// talk through.
 //
-// Two layers:
-//   - raw pipelining: send_request() stamps a fresh request id and writes
-//     one frame; recv_reply() blocks for the next response frame and pairs
-//     it by id. Callers may stack N send_request()s before draining — that
-//     is the protocol's throughput lever.
-//   - typed wrappers (ping/open_graph/insert_batch/.../stats_json): one
-//     request, one reply, wire errors mapped back into Status via
-//     status_of_wire (the original WireCode rides in Status::detail).
+// Three layers:
+//   - raw pipelining: send_request() stamps a fresh request id, registers
+//     it as pending, and writes one frame; recv_reply() blocks for the next
+//     response belonging to *some* pending request. Callers may stack N
+//     send_request()s before draining — that is the protocol's throughput
+//     lever.
+//   - session handles: Client::open(name, graph) binds a RemoteGraph to one
+//     named graph; its verbs (insert_edges/bfs_distances/degree_of/...)
+//     carry the name on the wire so the caller never repeats it. RemoteGraph
+//     implements gt::GraphService, so local-store and over-the-wire callers
+//     share one code path.
+//   - subscriptions: RemoteGraph::subscribe() registers a WAL-shipping
+//     stream; Client::recv_shipment() drains its frames (replies to other
+//     in-flight requests are buffered, not lost).
+//
+// Reply pairing is deterministic: every reply frame must match a pending
+// request id (or a live subscription id). Out-of-order replies — possible
+// now that the server runs reads on a pool — are buffered until their
+// requester asks; a reply with an id this client never sent (or already
+// consumed) closes the connection with an explicit "stale reply" error
+// instead of being silently matched to the wrong request.
 //
 // Not thread-safe: one Client per thread, like a file handle.
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <deque>
+#include <set>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/graph_service.hpp"
 #include "net/io.hpp"
 #include "net/protocol.hpp"
 #include "util/status.hpp"
@@ -27,77 +43,196 @@
 
 namespace gt::net {
 
+class Client;
+
+/// What Subscribe negotiated: the stream id (frames carry it), the lowest
+/// seq the primary can still serve, and its committed seq at ack time.
+struct Subscription {
+    std::uint64_t id = 0;
+    std::uint64_t wal_floor = 0;
+    std::uint64_t primary_seq = 0;
+};
+
+/// Session handle bound to one named graph on one Client connection.
+/// Obtained from Client::open(); copyable (it is a name plus a connection
+/// pointer) and valid for as long as the Client outlives it. All verbs are
+/// one request / one reply over the owning client.
+class RemoteGraph final : public GraphService {
+public:
+    RemoteGraph() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return client_ != nullptr; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    /// RecoveryInfo::Source the server reported when this open first
+    /// materialized the graph.
+    [[nodiscard]] std::uint8_t recovery_source() const noexcept {
+        return recovery_source_;
+    }
+
+    // ---- GraphService -----------------------------------------------------
+    [[nodiscard]] Status insert_edges(std::span<const Edge> edges,
+                                      std::uint64_t* edge_count) override;
+    [[nodiscard]] Status delete_edges(std::span<const Edge> edges,
+                                      std::uint64_t* edge_count) override;
+    [[nodiscard]] Status degree_of(VertexId v, std::uint64_t& out) override;
+    [[nodiscard]] Status bfs_distances(
+        VertexId root, std::span<const VertexId> targets,
+        std::vector<std::uint32_t>& out) override;
+    [[nodiscard]] Status count(std::uint64_t& edges,
+                               std::uint64_t& vertices) override;
+    [[nodiscard]] Status checkpoint_now() override;
+
+    // ---- wire-only verbs --------------------------------------------------
+    [[nodiscard]] Status neighbors(
+        VertexId v, std::vector<std::pair<VertexId, Weight>>& out,
+        std::uint32_t max = 0);
+    [[nodiscard]] Status sssp(VertexId root,
+                              std::span<const VertexId> targets,
+                              std::vector<std::uint32_t>& out);
+    [[nodiscard]] Status cc(std::span<const VertexId> targets,
+                            std::vector<std::uint32_t>& out);
+    /// Forces the server-side WAL to disk (the Sync verb).
+    [[nodiscard]] Status sync_wal();
+    [[nodiscard]] Status stats_json(std::string& json);
+
+    /// Starts a WAL-shipping subscription from `from_seq` (records with
+    /// seq > from_seq will be streamed). On success the stream is live:
+    /// drain it with Client::recv_shipment(out.id). Fails SeqUnavailable
+    /// (in Status::detail) when the primary pruned past from_seq.
+    [[nodiscard]] Status subscribe(std::uint64_t from_seq, Subscription& out);
+    /// Reports the follower's applied low-water seq (feeds the primary's
+    /// checkpoint/prune fence).
+    [[nodiscard]] Status send_ack(std::uint64_t acked_seq);
+
+private:
+    friend class Client;
+    RemoteGraph(Client* client, std::string name, std::uint8_t source)
+        : client_(client), name_(std::move(name)),
+          recovery_source_(source) {}
+
+    [[nodiscard]] Status mutate(MsgType type, std::span<const Edge> edges,
+                                std::uint64_t* edge_count);
+    [[nodiscard]] Status props(MsgType type, const char* what, bool with_root,
+                               VertexId root,
+                               std::span<const VertexId> targets,
+                               std::vector<std::uint32_t>& out);
+
+    Client* client_ = nullptr;
+    std::string name_;
+    std::uint8_t recovery_source_ = 0;
+};
+
 class Client {
 public:
     Client() = default;
 
     [[nodiscard]] Status connect(const std::string& host,
                                  std::uint16_t port);
-    void close() noexcept { fd_.reset(); }
+    void close() noexcept {
+        fd_.reset();
+        pending_.clear();
+        buffered_.clear();
+        stream_ids_.clear();
+        stream_q_.clear();
+        recv_buf_.clear();
+    }
     [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+    /// Raw socket fd (-1 when closed) — lets a signal handler ::shutdown()
+    /// a blocking recv from outside (gt replicate's clean-exit path).
+    [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
+    // ---- session handles --------------------------------------------------
+
+    /// Opens (creating/recovering server-side if needed) graph `name` and
+    /// binds `out` to it. `durability`: 0 off, 1 buffered, 2 fsync_batch,
+    /// 255 server default.
+    [[nodiscard]] Status open(const std::string& name, RemoteGraph& out,
+                              std::uint8_t durability = 255);
+
+    [[nodiscard]] Status ping(std::span<const unsigned char> echo = {});
 
     // ---- raw pipelining layer ---------------------------------------------
 
-    /// Encodes and writes one request frame; returns the request id to pair
-    /// the eventual reply with.
+    /// Encodes and writes one request frame; returns the request id (now
+    /// pending) to pair the eventual reply with.
     [[nodiscard]] Status send_request(MsgType type,
                                       std::span<const unsigned char> payload,
                                       std::uint64_t& request_id);
 
-    /// Blocks for the next response frame (any id). Transport failures and
-    /// frames that fail to decode are IoError; a wire error frame is
-    /// surfaced as its mapped Status, with the reply's request_id still
-    /// reported so pipelined callers know which request failed.
+    /// Blocks for the next reply belonging to any pending request (arrival
+    /// order; buffered replies first). Transport failures and undecodable
+    /// frames are IoError; a wire error frame is surfaced as its mapped
+    /// Status, with the reply's request_id still reported so pipelined
+    /// callers know which request failed. A reply that matches no pending
+    /// request closes the connection ("stale reply").
     [[nodiscard]] Status recv_reply(Frame& out);
 
-    // ---- typed wrappers ---------------------------------------------------
+    /// Blocks for the next shipped frame of subscription `sub_id`
+    /// (Subscribe|kResponseBit, kFlagShipData). Replies to other pending
+    /// requests encountered on the way are buffered for their callers. An
+    /// error frame on the subscription ends it (the id is retired) and
+    /// surfaces as the mapped Status.
+    [[nodiscard]] Status recv_shipment(std::uint64_t sub_id, Frame& out);
 
-    [[nodiscard]] Status ping(std::span<const unsigned char> echo = {});
-    /// `durability`: 0 off, 1 buffered, 2 fsync_batch, 255 server default.
-    /// On success `recovery_source` (if non-null) receives the
-    /// RecoveryInfo::Source the server saw when it first opened the graph.
-    [[nodiscard]] Status open_graph(const std::string& name,
-                                    std::uint8_t durability = 255,
-                                    std::uint8_t* recovery_source = nullptr);
-    [[nodiscard]] Status insert_batch(const std::string& name,
-                                      std::span<const Edge> edges,
-                                      std::uint64_t* edge_count = nullptr);
-    [[nodiscard]] Status delete_batch(const std::string& name,
-                                      std::span<const Edge> edges,
-                                      std::uint64_t* edge_count = nullptr);
-    [[nodiscard]] Status degree(const std::string& name, VertexId v,
-                                std::uint64_t& out);
-    [[nodiscard]] Status neighbors(
-        const std::string& name, VertexId v,
-        std::vector<std::pair<VertexId, Weight>>& out,
-        std::uint32_t max = 0);
-    /// Distances (kInfDistance = unreachable), one per target, in order.
-    [[nodiscard]] Status bfs(const std::string& name, VertexId root,
-                             std::span<const VertexId> targets,
-                             std::vector<std::uint32_t>& out);
-    [[nodiscard]] Status sssp(const std::string& name, VertexId root,
-                              std::span<const VertexId> targets,
-                              std::vector<std::uint32_t>& out);
-    /// Component labels, one per target.
-    [[nodiscard]] Status cc(const std::string& name,
-                            std::span<const VertexId> targets,
-                            std::vector<std::uint32_t>& out);
-    [[nodiscard]] Status edge_count(const std::string& name,
-                                    std::uint64_t& edges,
-                                    std::uint64_t& vertices);
-    [[nodiscard]] Status checkpoint(const std::string& name);
-    [[nodiscard]] Status sync(const std::string& name);
-    [[nodiscard]] Status stats_json(const std::string& name,
-                                    std::string& json);
+    // ---- deprecated per-name wrappers (PR 8 surface) ----------------------
+    // Thin shims over a transient RemoteGraph; migrate to
+    // Client::open() + handle verbs.
+
+    [[deprecated("use Client::open + RemoteGraph")]] [[nodiscard]] Status
+    open_graph(const std::string& name, std::uint8_t durability = 255,
+               std::uint8_t* recovery_source = nullptr);
+    [[deprecated("use RemoteGraph::insert_edges")]] [[nodiscard]] Status
+    insert_batch(const std::string& name, std::span<const Edge> edges,
+                 std::uint64_t* edge_count = nullptr);
+    [[deprecated("use RemoteGraph::delete_edges")]] [[nodiscard]] Status
+    delete_batch(const std::string& name, std::span<const Edge> edges,
+                 std::uint64_t* edge_count = nullptr);
+    [[deprecated("use RemoteGraph::degree_of")]] [[nodiscard]] Status degree(
+        const std::string& name, VertexId v, std::uint64_t& out);
+    [[deprecated("use RemoteGraph::neighbors")]] [[nodiscard]] Status
+    neighbors(const std::string& name, VertexId v,
+              std::vector<std::pair<VertexId, Weight>>& out,
+              std::uint32_t max = 0);
+    [[deprecated("use RemoteGraph::bfs_distances")]] [[nodiscard]] Status bfs(
+        const std::string& name, VertexId root,
+        std::span<const VertexId> targets, std::vector<std::uint32_t>& out);
+    [[deprecated("use RemoteGraph::sssp")]] [[nodiscard]] Status sssp(
+        const std::string& name, VertexId root,
+        std::span<const VertexId> targets, std::vector<std::uint32_t>& out);
+    [[deprecated("use RemoteGraph::cc")]] [[nodiscard]] Status cc(
+        const std::string& name, std::span<const VertexId> targets,
+        std::vector<std::uint32_t>& out);
+    [[deprecated("use RemoteGraph::count")]] [[nodiscard]] Status edge_count(
+        const std::string& name, std::uint64_t& edges,
+        std::uint64_t& vertices);
+    [[deprecated("use RemoteGraph::checkpoint_now")]] [[nodiscard]] Status
+    checkpoint(const std::string& name);
+    [[deprecated("use RemoteGraph::sync_wal")]] [[nodiscard]] Status sync(
+        const std::string& name);
+    [[deprecated("use RemoteGraph::stats_json")]] [[nodiscard]] Status
+    stats_json(const std::string& name, std::string& json);
 
 private:
+    friend class RemoteGraph;
+
     /// One request, one reply; fails if the reply id or type mismatches.
     [[nodiscard]] Status round_trip(MsgType type,
                                     std::span<const unsigned char> payload,
                                     Frame& reply);
+    /// Blocks for the reply to pending request `id`, buffering replies to
+    /// other pending requests encountered first.
+    [[nodiscard]] Status recv_matching(std::uint64_t id, Frame& out);
+    /// Reads exactly one frame off the socket (decoding from recv_buf_).
+    [[nodiscard]] Status read_frame(Frame& out);
+    /// Maps a consumed reply frame to a Status (error payloads decoded).
+    [[nodiscard]] Status finish_reply(const Frame& f);
 
     Fd fd_;
     std::uint64_t next_id_ = 1;
+    std::set<std::uint64_t> pending_;     // sent, reply not yet consumed
+    std::deque<Frame> buffered_;          // replies awaiting their caller
+    std::set<std::uint64_t> stream_ids_;  // live subscription ids
+    std::deque<Frame> stream_q_;          // shipped frames awaiting drain
     std::vector<unsigned char> frame_buf_;
     std::vector<unsigned char> recv_buf_;
 };

@@ -63,6 +63,8 @@ Status status_of_wire(WireCode code, std::string message) {
         case WireCode::BadGraphName:
         case WireCode::UnknownType:
         case WireCode::BadPayload:
+        case WireCode::SeqUnavailable:
+        case WireCode::ReadOnly:
             return Status{StatusCode::InvalidArgument, std::move(message),
                           detail};
         case WireCode::Busy:

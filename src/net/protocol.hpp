@@ -7,7 +7,8 @@
 //   u32 len      payload length in bytes (<= kMaxFramePayload)
 //   u8  version  kProtoVersion; anything else is UnsupportedVersion
 //   u8  type     MsgType; responses set kResponseBit, errors are kErrorType
-//   u16 flags    reserved, must be zero on the wire today
+//   u16 flags    per-type modifier bits; zero everywhere except Subscribe
+//                responses, where kFlagShipData marks streamed WAL frames
 //   u64 request_id  chosen by the client, echoed verbatim in the response —
 //                   this is what makes pipelining work: N requests may be
 //                   in flight and responses pair up by id (the server
@@ -38,6 +39,10 @@
 //   Checkpoint   name
 //   Sync         name
 //   StatsJson    name
+//   Subscribe    name | u64 from_seq — stream committed WAL records with
+//                seq > from_seq; the reply sequence is described below
+//   SubAck       name | u64 acked_seq — follower's applied low-water mark;
+//                feeds the primary's checkpoint/prune fence
 //
 // Response payloads:
 //
@@ -50,6 +55,18 @@
 //   EdgeCount    u64 edges | u64 vertices
 //   Checkpoint / Sync   empty
 //   StatsJson    u32 len | len bytes of gt.obs.v1 JSON
+//   SubAck       empty
+//   Subscribe    a *stream* of frames, every one carrying the Subscribe
+//                request_id and type Subscribe|kResponseBit:
+//                  flags == 0 (exactly one, first): subscription ack —
+//                    u64 wal_floor | u64 primary_seq
+//                    (wal_floor = lowest seq the primary can still serve;
+//                     from_seq < wal_floor - 1 is refused SeqUnavailable)
+//                  flags & kFlagShipData: shipped WAL records —
+//                    u64 primary_seq | u32 count |
+//                    count × (u64 seq | u8 type | u32 len | len bytes)
+//                    — records verbatim from the primary's WAL, replayable
+//                    through the recover:: frame accumulator
 //   error (kErrorType)  u16 WireCode | u16 msg_len | msg bytes
 #pragma once
 
@@ -89,14 +106,19 @@ enum class MsgType : std::uint8_t {
     Checkpoint = 11,
     StatsJson = 12,
     Sync = 13,
+    Subscribe = 14,
+    SubAck = 15,
 };
 
 inline constexpr std::uint8_t kResponseBit = 0x80;
 inline constexpr std::uint8_t kErrorType = 0xFF;
+/// Set on Subscribe response frames that carry shipped WAL records (the
+/// first, flag-less response is the subscription ack).
+inline constexpr std::uint16_t kFlagShipData = 0x1;
 
 [[nodiscard]] constexpr bool valid_request_type(std::uint8_t t) noexcept {
     return t >= static_cast<std::uint8_t>(MsgType::Ping) &&
-           t <= static_cast<std::uint8_t>(MsgType::Sync);
+           t <= static_cast<std::uint8_t>(MsgType::SubAck);
 }
 
 /// Wire-level error classes. Client-visible and stable: codes are appended,
@@ -118,6 +140,8 @@ enum class WireCode : std::uint16_t {
     WalError = 13,
     FaultInjected = 14,
     Internal = 15,
+    SeqUnavailable = 16,  // Subscribe from_seq older than the WAL retains
+    ReadOnly = 17,        // replica serving reads; mutations go upstream
 };
 
 [[nodiscard]] constexpr std::string_view to_string(WireCode c) noexcept {
@@ -138,6 +162,8 @@ enum class WireCode : std::uint16_t {
         case WireCode::WalError: return "wal_error";
         case WireCode::FaultInjected: return "fault_injected";
         case WireCode::Internal: return "internal";
+        case WireCode::SeqUnavailable: return "seq_unavailable";
+        case WireCode::ReadOnly: return "read_only";
     }
     return "unknown";
 }

@@ -1,0 +1,182 @@
+#include "net/replica.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/graphtinker.hpp"
+#include "recover/durable.hpp"
+#include "util/mutex.hpp"
+
+namespace gt::net {
+
+Status Replicator::start(const ReplicatorOptions& opts,
+                         Server::LocalGraph local) {
+    if (started_) {
+        return Status{StatusCode::InvalidArgument, "replicator already started"};
+    }
+    if (local.store == nullptr || local.lock == nullptr ||
+        !local.store->is_open()) {
+        return Status{StatusCode::InvalidArgument,
+                      "replicator needs an open local store"};
+    }
+    if (!local.store->wal().is_open() ||
+        local.store->wal().mode() == recover::DurabilityMode::Off) {
+        return Status{StatusCode::InvalidArgument,
+                      "replication requires a durable local WAL (the shipped "
+                      "records are mirrored into it)"};
+    }
+    local_ = local;
+    lag_gauge_ = &local_.store->graph().obs().gauge("replication.lag_seqs");
+
+    const std::uint64_t base = local_.store->wal().durable_seq();
+    applier_ = std::make_unique<recover::WalApplier>(local_.store->graph(),
+                                                     base);
+    // The apply path must not tee back into the WAL we mirror into — the
+    // follower's log would re-frame (and re-number) the primary's batches.
+    local_.store->graph().attach_update_log(nullptr);
+    started_ = true;  // from here on, close() must undo the detach
+
+    Status st = client_.connect(opts.host, opts.port);
+    if (st.ok()) {
+        st = client_.open(opts.graph, remote_, opts.durability);
+    }
+    if (st.ok()) {
+        st = remote_.subscribe(base, sub_);
+    }
+    if (!st.ok()) {
+        close();
+        return st;
+    }
+    primary_seq_ = std::max(sub_.primary_seq, base);
+    lag_gauge_->set(static_cast<double>(lag_seqs()));
+    return Status::success();
+}
+
+Status Replicator::apply_frame(const Frame& f) {
+    // Ship payload: u64 primary_seq | u32 count | count x
+    // (u64 seq | u8 type | u32 len | len bytes). PayloadReader has no
+    // skip/raw-bytes cursor, so parse by hand.
+    const unsigned char* p = f.payload.data();
+    std::size_t left = f.payload.size();
+    const auto take = [&](void* out, std::size_t n) {
+        if (left < n) {
+            return false;
+        }
+        std::memcpy(out, p, n);
+        p += n;
+        left -= n;
+        return true;
+    };
+    std::uint64_t primary_seq = 0;
+    std::uint32_t count = 0;
+    if (!take(&primary_seq, sizeof(primary_seq)) ||
+        !take(&count, sizeof(count))) {
+        return Status{StatusCode::IoError, "malformed ship frame header"};
+    }
+    recover::WalWriter& wal = local_.store->wal();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        recover::WalRecord rec;
+        std::uint8_t type8 = 0;
+        std::uint32_t len = 0;
+        if (!take(&rec.seq, sizeof(rec.seq)) || !take(&type8, sizeof(type8)) ||
+            !take(&len, sizeof(len)) || left < len) {
+            return Status{StatusCode::IoError, "malformed ship frame record"};
+        }
+        rec.type = static_cast<recover::WalRecordType>(type8);
+        rec.payload.assign(p, p + len);
+        p += len;
+        left -= len;
+        if (rec.seq <= wal.durable_seq()) {
+            continue;  // re-shipped prefix after a re-subscribe overlap
+        }
+        const bool closes_frame =
+            rec.type == recover::WalRecordType::BatchCommit ||
+            rec.type == recover::WalRecordType::SoloInsert ||
+            rec.type == recover::WalRecordType::SoloDelete;
+        if (rec.type == recover::WalRecordType::BatchBegin) {
+            frame_buf_.clear();
+        }
+        frame_buf_.push_back(std::move(rec));
+        if (!closes_frame) {
+            continue;
+        }
+        // Durable first, then applied: a crash between the two replays the
+        // frame from our own WAL on restart, which is idempotent; the
+        // reverse order could ack state we'd lose.
+        Status st = wal.append_frame(frame_buf_);
+        if (!st.ok()) {
+            return st;
+        }
+        {
+            gt::LockGuard<gt::SharedMutex> lk(*local_.lock);
+            for (const recover::WalRecord& r : frame_buf_) {
+                st = applier_->apply(r);
+                if (!st.ok()) {
+                    return st;
+                }
+            }
+        }
+        frame_buf_.clear();
+    }
+    if (left != 0) {
+        return Status{StatusCode::IoError, "trailing bytes in ship frame"};
+    }
+    primary_seq_ = std::max(primary_seq_, primary_seq);
+    lag_gauge_->set(static_cast<double>(lag_seqs()));
+    return remote_.send_ack(applied_seq());
+}
+
+Status Replicator::pump_once() {
+    if (!started_) {
+        return Status{StatusCode::InvalidArgument, "replicator not started"};
+    }
+    Frame f;
+    Status st = client_.recv_shipment(sub_.id, f);
+    if (!st.ok()) {
+        return st;
+    }
+    return apply_frame(f);
+}
+
+Status Replicator::pump_until_current() {
+    while (lag_seqs() > 0) {
+        Status st = pump_once();
+        if (!st.ok()) {
+            return st;
+        }
+    }
+    return Status::success();
+}
+
+Status Replicator::run() {
+    for (;;) {
+        Status st = pump_once();
+        if (!st.ok()) {
+            return st;
+        }
+    }
+}
+
+void Replicator::close() noexcept {
+    if (!started_) {
+        return;
+    }
+    started_ = false;
+    local_.store->graph().attach_update_log(&local_.store->wal());
+    applier_.reset();
+    frame_buf_.clear();
+    client_.close();
+    remote_ = RemoteGraph{};
+    sub_ = Subscription{};
+}
+
+std::uint64_t Replicator::applied_seq() const noexcept {
+    return started_ ? local_.store->wal().durable_seq() : 0;
+}
+
+std::uint64_t Replicator::lag_seqs() const noexcept {
+    const std::uint64_t applied = applied_seq();
+    return primary_seq_ > applied ? primary_seq_ - applied : 0;
+}
+
+}  // namespace gt::net

@@ -1,0 +1,111 @@
+// Warm-replica feeder: the consuming half of the WAL-shipping pipeline.
+//
+// A Replicator sits between a blocking net::Client subscription and a local
+// DurableStore that a read_only Server is serving. Each shipped frame's
+// records are (1) appended VERBATIM to the replica's own WAL via
+// WalWriter::append_frame — carrying the primary's sequence numbers, so the
+// two logs stay byte-compatible and re-subscribing after a crash resumes at
+// exactly durable_seq() — and (2) fed through a WalApplier into the graph
+// while holding the graph's state lock exclusively (the server's reads take
+// it shared). The graph's update log is detached for the Replicator's
+// lifetime: the apply path must not tee back into the WAL it is mirroring,
+// or the follower's log would diverge from the primary's frame boundaries.
+//
+// Crash consistency: records of a still-open frame are buffered in memory
+// and hit the WAL only when the frame's commit/solo record arrives, so the
+// replica's durable_seq() always equals its last *applied committed* seq —
+// there is never a torn frame to reconcile on restart.
+//
+// Lag accounting: every ship frame carries the primary's committed seq at
+// send time; `replication.lag_seqs` (a gauge on the store's registry) is
+// primary_seq - durable_seq, clamped at 0. After each applied frame the
+// Replicator acks durable_seq upstream, feeding the primary's
+// checkpoint/prune fence.
+//
+// Single-threaded like the Client it wraps: run() (or pump_once()) must be
+// driven from one thread. The serving Server threads only read.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "recover/wal.hpp"
+#include "util/status.hpp"
+
+namespace gt::net {
+
+struct ReplicatorOptions {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Graph name on the primary (and locally; they must match so seqs
+    /// mean the same store).
+    std::string graph;
+    /// Durability requested for the remote OpenGraph (255 = server
+    /// default). The *local* store's mode comes from its own open.
+    std::uint8_t durability = 255;
+};
+
+class Replicator {
+public:
+    Replicator() = default;
+    ~Replicator() { close(); }
+
+    Replicator(const Replicator&) = delete;
+    Replicator& operator=(const Replicator&) = delete;
+
+    /// Connects, opens the remote graph, and subscribes from the local
+    /// store's durable_seq(). `local` must come from Server::open_local()
+    /// on a read_only server whose store has a durable WAL (the mirror
+    /// path needs somewhere to append). Detaches the graph's update log
+    /// until close().
+    [[nodiscard]] Status start(const ReplicatorOptions& opts,
+                               Server::LocalGraph local);
+
+    /// Blocks for one shipped frame and applies it. IoError with the
+    /// primary gone; any apply/append violation is returned and the
+    /// stream should be considered dead.
+    [[nodiscard]] Status pump_once();
+
+    /// Pumps until the last ship frame reports no outstanding seqs
+    /// (lag_seqs() == 0). Returns the first error.
+    [[nodiscard]] Status pump_until_current();
+
+    /// Pumps until the stream dies (primary exit/kill surfaces as
+    /// IoError, which is returned).
+    [[nodiscard]] Status run();
+
+    /// Ends the subscription, reattaches the store's WAL as the graph's
+    /// update log, and drops the connection. Idempotent.
+    void close() noexcept;
+
+    /// Raw socket fd of the upstream connection (-1 before start) — lets a
+    /// signal handler ::shutdown() a blocking pump from outside.
+    [[nodiscard]] int client_native_handle() const noexcept {
+        return client_.native_handle();
+    }
+
+    /// Seq of the last committed record applied (== local durable_seq).
+    [[nodiscard]] std::uint64_t applied_seq() const noexcept;
+    /// primary committed seq (from the newest ship frame) minus
+    /// applied_seq, clamped at 0.
+    [[nodiscard]] std::uint64_t lag_seqs() const noexcept;
+
+private:
+    [[nodiscard]] Status apply_frame(const Frame& f);
+
+    Client client_;
+    RemoteGraph remote_;
+    Subscription sub_;
+    Server::LocalGraph local_{};
+    std::unique_ptr<recover::WalApplier> applier_;
+    std::vector<recover::WalRecord> frame_buf_;  // open frame, not yet durable
+    std::uint64_t primary_seq_ = 0;
+    obs::Gauge* lag_gauge_ = nullptr;
+    bool started_ = false;
+};
+
+}  // namespace gt::net

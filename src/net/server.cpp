@@ -2,9 +2,11 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -30,6 +32,14 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::size_t kCompactThreshold = 64 * 1024;
 /// Error messages are operator-facing, not a transport for bulk data.
 constexpr std::size_t kMaxErrorMessage = 512;
+/// Target size of one shipped-WAL frame: large enough to amortize framing,
+/// small enough that a follower never waits long behind one frame.
+constexpr std::size_t kShipChunkBytes = 256 * 1024;
+/// Per-record overhead inside a ship frame: u64 seq | u8 type | u32 len.
+constexpr std::size_t kShipRecordOverhead = 13;
+/// Hard ceiling for the records section of one ship frame (the outer
+/// u64 primary_seq | u32 count and the frame header need the rest).
+constexpr std::size_t kShipBudget = kMaxFramePayload - 64;
 
 [[nodiscard]] std::uint64_t now_us() noexcept {
     return static_cast<std::uint64_t>(
@@ -45,6 +55,32 @@ constexpr std::size_t kMaxErrorMessage = 512;
     }
     return Status{StatusCode::IoError,
                   "mkdir('" + path + "') failed: " + std::strerror(errno)};
+}
+
+/// Owner verbs that mutate store state and therefore need the exclusive
+/// state lock. Subscribe/SubAck only touch owner-loop-private follower
+/// bookkeeping, so they run lock-free on the owner loop.
+[[nodiscard]] bool needs_exclusive_lock(std::uint8_t type) noexcept {
+    return type == static_cast<std::uint8_t>(MsgType::InsertBatch) ||
+           type == static_cast<std::uint8_t>(MsgType::DeleteBatch) ||
+           type == static_cast<std::uint8_t>(MsgType::Checkpoint) ||
+           type == static_cast<std::uint8_t>(MsgType::Sync);
+}
+
+[[nodiscard]] bool is_owner_verb(std::uint8_t type) noexcept {
+    return needs_exclusive_lock(type) ||
+           type == static_cast<std::uint8_t>(MsgType::Subscribe) ||
+           type == static_cast<std::uint8_t>(MsgType::SubAck);
+}
+
+[[nodiscard]] bool is_read_verb(std::uint8_t type) noexcept {
+    return type == static_cast<std::uint8_t>(MsgType::Degree) ||
+           type == static_cast<std::uint8_t>(MsgType::Neighbors) ||
+           type == static_cast<std::uint8_t>(MsgType::Bfs) ||
+           type == static_cast<std::uint8_t>(MsgType::Sssp) ||
+           type == static_cast<std::uint8_t>(MsgType::Cc) ||
+           type == static_cast<std::uint8_t>(MsgType::EdgeCount) ||
+           type == static_cast<std::uint8_t>(MsgType::StatsJson);
 }
 
 }  // namespace
@@ -178,6 +214,147 @@ private:
 };
 
 // ---------------------------------------------------------------------------
+// Loop — one event-loop thread's world: its poller, the connections it owns
+// (keyed by fd, and by process-unique conn id for async completions), and a
+// wake-pipe-signalled inbox other threads post LoopMsgs into.
+
+struct Server::Loop {
+    std::uint32_t index = 0;
+    Fd wake_r;
+    Fd wake_w;
+    std::unique_ptr<Poller> poller;
+    std::map<int, std::unique_ptr<Conn>> conns;
+    std::unordered_map<std::uint64_t, Conn*> by_id;
+    gt::Mutex inbox_mu;
+    std::vector<LoopMsg> inbox GT_GUARDED_BY(inbox_mu);
+    std::thread thread;
+};
+
+// ---------------------------------------------------------------------------
+// ReaderPool — the shared-lock analytics pool. Workers pull read tasks,
+// take the graph's state lock shared, and run the verb; results ride a Done
+// message back to the connection's loop. A task against a graph with
+// deferred mutations parks (same mu_ hold as the dequeue — the unpark in
+// drain_deferred cannot miss it), which is what stops readers from starving
+// writers through glibc's reader-preferring shared_mutex.
+
+class Server::ReaderPool {
+public:
+    ReaderPool(Server& server, std::size_t threads)
+        : server_(server), count_(threads) {}
+
+    void start() {
+        threads_.reserve(count_);
+        for (std::size_t i = 0; i < count_; ++i) {
+            threads_.emplace_back([this] { worker(); });
+        }
+    }
+
+    void submit(GraphEntry* graph, std::uint64_t conn_id,
+                std::uint32_t origin_loop, const Frame& req) {
+        {
+            gt::LockGuard lk(mu_);
+            queue_.push_back(Task{graph, conn_id, origin_loop, req});
+        }
+        cv_.notify_one();
+    }
+
+    /// Re-queues tasks parked on `graph` (called after its deferred
+    /// mutations drained).
+    void unpark(GraphEntry* graph) {
+        bool moved = false;
+        {
+            gt::LockGuard lk(mu_);
+            auto it = parked_.begin();
+            while (it != parked_.end()) {
+                if (it->graph == graph) {
+                    queue_.push_back(std::move(*it));
+                    it = parked_.erase(it);
+                    moved = true;
+                } else {
+                    ++it;
+                }
+            }
+        }
+        if (moved) {
+            cv_.notify_all();
+        }
+    }
+
+    void stop_and_join() {
+        {
+            gt::LockGuard lk(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& t : threads_) {
+            if (t.joinable()) {
+                t.join();
+            }
+        }
+        threads_.clear();
+    }
+
+private:
+    struct Task {
+        GraphEntry* graph = nullptr;
+        std::uint64_t conn_id = 0;
+        std::uint32_t origin_loop = 0;
+        Frame req;
+    };
+
+    void worker() {
+        for (;;) {
+            Task t;
+            bool have = false;
+            {
+                gt::UniqueLock lk(mu_);
+                while (queue_.empty() && !stopping_) {
+                    cv_.wait(lk);
+                }
+                if (queue_.empty()) {
+                    return;  // stopping, drained
+                }
+                t = std::move(queue_.front());
+                queue_.pop_front();
+                if (t.graph->has_deferred.load()) {
+                    parked_.push_back(std::move(t));
+                } else {
+                    have = true;
+                }
+            }
+            if (!have) {
+                continue;
+            }
+            Sink sink;
+            {
+                gt::SharedLockGuard g(t.graph->state_lock);
+                server_.execute_read(t.graph, t.req, sink);
+            }
+            if (t.graph->has_deferred.load()) {
+                // We may have been the hold blocking a deferred mutation —
+                // tell the owner loop the lock is droppable now.
+                LoopMsg m;
+                m.kind = LoopMsg::Kind::Retry;
+                m.graph = t.graph;
+                server_.post(t.graph->owner_loop, std::move(m));
+            }
+            server_.deliver(nullptr, t.origin_loop, t.conn_id,
+                            std::move(sink), 1);
+        }
+    }
+
+    Server& server_;
+    std::size_t count_ = 0;
+    gt::Mutex mu_;
+    gt::CondVar cv_;
+    std::deque<Task> queue_ GT_GUARDED_BY(mu_);
+    std::vector<Task> parked_ GT_GUARDED_BY(mu_);
+    bool stopping_ GT_GUARDED_BY(mu_) = false;
+    std::vector<std::thread> threads_;
+};
+
+// ---------------------------------------------------------------------------
 // Lifecycle
 
 Server::Server() = default;
@@ -194,20 +371,24 @@ void Server::bind_metrics() {
     busy_shed_m_ = &r.counter("net.busy_shed");
     bad_frames_m_ = &r.counter("net.bad_frames");
     errors_tx_m_ = &r.counter("net.errors_tx");
+    cross_loop_m_ = &r.counter("net.cross_loop_hops");
+    deferred_m_ = &r.counter("net.deferred_ops");
+    shipped_m_ = &r.counter("net.wal_frames_shipped");
     request_us_m_ = &r.histogram("net.request_us");
     conns_gauge_ = &r.gauge("net.open_conns");
     wbuf_gauge_ = &r.gauge("net.wbuf_bytes");
     graphs_gauge_ = &r.gauge("net.open_graphs");
+    subs_gauge_ = &r.gauge("net.subscribers");
 }
 
 void Server::update_gauges() {
-    conns_gauge_->set(static_cast<double>(conns_.size()));
+    conns_gauge_->set(static_cast<double>(num_conns_.load()));
+    wbuf_gauge_->set(static_cast<double>(
+        std::max<long long>(0, wbuf_total_.load())));
+    subs_gauge_->set(static_cast<double>(
+        std::max<long long>(0, num_subs_.load())));
+    gt::LockGuard lk(graphs_mu_);
     graphs_gauge_->set(static_cast<double>(graphs_.size()));
-    std::size_t wbuf = 0;
-    for (const auto& [fd, conn] : conns_) {
-        wbuf += conn->wbuf.size() - conn->wpos;
-    }
-    wbuf_gauge_->set(static_cast<double>(wbuf));
 }
 
 Status Server::start(const ServerOptions& options) {
@@ -218,6 +399,7 @@ Status Server::start(const ServerOptions& options) {
     }
     opts_.max_inflight = std::max<std::size_t>(opts_.max_inflight, 1);
     opts_.parse_budget = std::max<std::size_t>(opts_.parse_budget, 1);
+    opts_.loop_threads = std::max<std::size_t>(opts_.loop_threads, 1);
     registry_ = opts_.registry;
     if (registry_ == nullptr) {
         owned_registry_ = std::make_unique<obs::Registry>();
@@ -237,12 +419,24 @@ Status Server::start(const ServerOptions& options) {
     if (Status st = set_nonblocking(listen_fd_.get()); !st.ok()) {
         return st;
     }
-    poller_ = std::make_unique<Poller>();
-    if (Status st = poller_->init(); !st.ok()) {
-        return st;
+    loops_.clear();
+    for (std::size_t i = 0; i < opts_.loop_threads; ++i) {
+        auto loop = std::make_unique<Loop>();
+        loop->index = static_cast<std::uint32_t>(i);
+        if (Status st = make_wake_pipe(loop->wake_r, loop->wake_w);
+            !st.ok()) {
+            return st;
+        }
+        loop->poller = std::make_unique<Poller>();
+        if (Status st = loop->poller->init(); !st.ok()) {
+            return st;
+        }
+        loop->poller->add(loop->wake_r.get(), false);
+        loops_.push_back(std::move(loop));
     }
-    poller_->add(listen_fd_.get(), false);
-    poller_->add(wake_r_.get(), false);
+    if (opts_.reader_threads > 0) {
+        readers_ = std::make_unique<ReaderPool>(*this, opts_.reader_threads);
+    }
     return Status::success();
 }
 
@@ -253,67 +447,77 @@ void Server::stop() noexcept {
 }
 
 Status Server::run() {
-    if (poller_ == nullptr) {
+    if (loops_.empty()) {
         return Status{StatusCode::InvalidArgument, "start() first"};
     }
-    std::vector<Poller::Event> events;
-    while (!stopping_) {
-        if (Status st = poller_->wait(events); !st.ok()) {
-            return st;
+    for (auto& loop : loops_) {
+        loop->thread = std::thread([this, lp = loop.get()] { run_loop(*lp); });
+    }
+    if (readers_ != nullptr) {
+        readers_->start();
+    }
+    Poller acceptor;
+    Status result = acceptor.init();
+    if (result.ok()) {
+        acceptor.add(listen_fd_.get(), false);
+        acceptor.add(wake_r_.get(), false);
+        std::vector<Poller::Event> events;
+        while (!stopping_.load()) {
+            if (Status st = acceptor.wait(events); !st.ok()) {
+                result = st;
+                break;
+            }
+            for (const Poller::Event& ev : events) {
+                if (ev.fd == wake_r_.get()) {
+                    drain_wake(wake_r_.get());
+                    stopping_.store(true);
+                    continue;
+                }
+                if (ev.fd == listen_fd_.get()) {
+                    accept_new(acceptor);
+                }
+            }
+            update_gauges();
         }
-        for (const Poller::Event& ev : events) {
-            if (ev.fd == wake_r_.get()) {
-                drain_wake(wake_r_.get());
-                stopping_ = true;
-                continue;
-            }
-            if (ev.fd == listen_fd_.get()) {
-                accept_new();
-                continue;
-            }
-            // The connection may already have been torn down by an earlier
-            // event in this batch.
-            if (conns_.find(ev.fd) == conns_.end()) {
-                continue;
-            }
-            if (ev.error) {
-                teardown(ev.fd);
-                continue;
-            }
-            if (ev.writable) {
-                handle_writable(ev.fd);
-            }
-            if (conns_.find(ev.fd) != conns_.end() && ev.readable) {
-                handle_readable(ev.fd);
-            }
+    }
+    // Graceful teardown: stop the loops (each drops its connections), the
+    // readers, then close every store (the DurableStore close flushes
+    // buffered WAL bytes; FsyncBatch syncs).
+    stopping_.store(true);
+    for (auto& loop : loops_) {
+        wake(loop->wake_w.get());
+    }
+    for (auto& loop : loops_) {
+        if (loop->thread.joinable()) {
+            loop->thread.join();
         }
-        drain_pending();
-        update_gauges();
     }
-    // Graceful teardown: drop connections, then close every store (the
-    // DurableStore close flushes buffered WAL bytes; FsyncBatch syncs).
-    while (!conns_.empty()) {
-        teardown(conns_.begin()->first);
+    if (readers_ != nullptr) {
+        readers_->stop_and_join();
     }
-    for (auto& [name, entry] : graphs_) {
-        entry->store.close();
+    {
+        gt::LockGuard lk(graphs_mu_);
+        for (auto& [name, entry] : graphs_) {
+            entry->store.close();
+        }
+        graphs_.clear();
     }
-    graphs_.clear();
     update_gauges();
-    return Status::success();
+    return result;
 }
 
 // ---------------------------------------------------------------------------
-// Connection plumbing
+// Acceptor
 
-void Server::accept_new() {
+void Server::accept_new(Poller& poller) {
+    (void)poller;
     for (;;) {
         const int fd = accept_retry(listen_fd_.get());
         if (fd < 0) {
             return;  // EAGAIN (drained) or transient accept failure
         }
         accepted_m_->inc();
-        if (conns_.size() >= opts_.max_conns) {
+        if (num_conns_.load() >= opts_.max_conns) {
             // Over the connection cap: one best-effort Busy frame so a
             // well-behaved client backs off, then close.
             busy_shed_m_->inc();
@@ -328,29 +532,203 @@ void Server::accept_new() {
             closed_m_->inc();
             continue;
         }
-        auto conn = std::make_unique<Conn>();
-        conn->fd = Fd(fd);
-        if (!set_nonblocking(fd).ok()) {
-            closed_m_->inc();
-            continue;  // conn (and fd) dropped
-        }
-        poller_->add(fd, false);
-        conns_.emplace(fd, std::move(conn));
+        num_conns_.fetch_add(1);
+        LoopMsg m;
+        m.kind = LoopMsg::Kind::AdoptFd;
+        m.fd = fd;
+        post(next_loop_, std::move(m));
+        next_loop_ = (next_loop_ + 1) % static_cast<std::uint32_t>(
+                                            loops_.size());
     }
 }
 
-void Server::teardown(int fd) {
-    const auto it = conns_.find(fd);
-    if (it == conns_.end()) {
+// ---------------------------------------------------------------------------
+// Loop threads
+
+void Server::post(std::uint32_t loop_index, LoopMsg&& msg) {
+    Loop& loop = *loops_[loop_index];
+    {
+        gt::LockGuard lk(loop.inbox_mu);
+        loop.inbox.push_back(std::move(msg));
+    }
+    wake(loop.wake_w.get());
+}
+
+void Server::run_loop(Loop& loop) {
+    std::vector<Poller::Event> events;
+    for (;;) {
+        if (!loop.poller->wait(events).ok()) {
+            break;  // fatal poller failure; the loop retires
+        }
+        bool woke = false;
+        for (const Poller::Event& ev : events) {
+            if (ev.fd == loop.wake_r.get()) {
+                drain_wake(loop.wake_r.get());
+                woke = true;
+                continue;
+            }
+            // The connection may already have been torn down by an earlier
+            // event in this batch.
+            if (loop.conns.find(ev.fd) == loop.conns.end()) {
+                continue;
+            }
+            if (ev.error) {
+                teardown(loop, ev.fd);
+                continue;
+            }
+            if (ev.writable) {
+                handle_writable(loop, ev.fd);
+            }
+            if (loop.conns.find(ev.fd) != loop.conns.end() && ev.readable) {
+                handle_readable(loop, ev.fd);
+            }
+        }
+        if (woke) {
+            process_inbox(loop);
+        }
+        drain_pending(loop);
+        flush_all(loop);
+        update_gauges();
+        if (stopping_.load()) {
+            break;
+        }
+    }
+    // Final inbox sweep: sockets handed over but never adopted must not
+    // leak. Everything else (replies, retries) has nowhere to go.
+    {
+        std::vector<LoopMsg> msgs;
+        {
+            gt::LockGuard lk(loop.inbox_mu);
+            msgs.swap(loop.inbox);
+        }
+        for (LoopMsg& m : msgs) {
+            if (m.kind == LoopMsg::Kind::AdoptFd) {
+                Fd(m.fd).reset();
+                num_conns_.fetch_sub(1);
+                closed_m_->inc();
+            }
+        }
+    }
+    while (!loop.conns.empty()) {
+        teardown(loop, loop.conns.begin()->first);
+    }
+}
+
+void Server::process_inbox(Loop& loop) {
+    std::vector<LoopMsg> msgs;
+    {
+        gt::LockGuard lk(loop.inbox_mu);
+        msgs.swap(loop.inbox);
+    }
+    for (LoopMsg& m : msgs) {
+        switch (m.kind) {
+            case LoopMsg::Kind::AdoptFd:
+                adopt_fd(loop, m.fd);
+                break;
+            case LoopMsg::Kind::Exec:
+                execute_owner(m.graph, m.conn_id, m.origin_loop, m.req);
+                break;
+            case LoopMsg::Kind::Done:
+                apply_done(loop, m);
+                break;
+            case LoopMsg::Kind::Retry:
+                drain_deferred(m.graph);
+                break;
+            case LoopMsg::Kind::Unsub:
+                drop_subscriber(m.graph, m.conn_id);
+                break;
+        }
+    }
+}
+
+void Server::adopt_fd(Loop& loop, int fd) {
+    if (stopping_.load()) {
+        Fd(fd).reset();
+        num_conns_.fetch_sub(1);
+        closed_m_->inc();
         return;
     }
-    poller_->del(fd);
-    conns_.erase(it);  // Fd destructor closes
+    if (!set_nonblocking(fd).ok()) {
+        Fd(fd).reset();
+        num_conns_.fetch_sub(1);
+        closed_m_->inc();
+        return;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(fd);
+    conn->id = next_conn_id_.fetch_add(1);
+    loop.poller->add(fd, false);
+    loop.by_id.emplace(conn->id, conn.get());
+    loop.conns.emplace(fd, std::move(conn));
+}
+
+void Server::apply_done(Loop& loop, LoopMsg& msg) {
+    const auto it = loop.by_id.find(msg.conn_id);
+    if (it == loop.by_id.end()) {
+        // The connection died while the op was in flight. If this Done was
+        // also carrying a fresh subscription, the teardown's Unsub cannot
+        // have covered it — retire it at the owner now.
+        if (msg.sub_graph != nullptr) {
+            if (msg.sub_graph->owner_loop == loop.index) {
+                drop_subscriber(msg.sub_graph, msg.conn_id);
+            } else {
+                LoopMsg m;
+                m.kind = LoopMsg::Kind::Unsub;
+                m.graph = msg.sub_graph;
+                m.conn_id = msg.conn_id;
+                post(msg.sub_graph->owner_loop, std::move(m));
+            }
+        }
+        return;
+    }
+    Conn& conn = *it->second;
+    conn.pending -= std::min(msg.ops_done, conn.pending);
+    if (msg.sub_graph != nullptr) {
+        conn.subscribed.push_back(msg.sub_graph);
+    }
+    if (!msg.bytes.empty()) {
+        conn.wbuf.insert(conn.wbuf.end(), msg.bytes.begin(),
+                         msg.bytes.end());
+        conn.inflight += msg.frames;
+        wbuf_total_.fetch_add(static_cast<long long>(msg.bytes.size()));
+    }
+}
+
+void Server::teardown(Loop& loop, int fd) {
+    const auto it = loop.conns.find(fd);
+    if (it == loop.conns.end()) {
+        return;
+    }
+    Conn& conn = *it->second;
+    for (GraphEntry* g : conn.subscribed) {
+        if (g->owner_loop == loop.index) {
+            drop_subscriber(g, conn.id);
+        } else {
+            LoopMsg m;
+            m.kind = LoopMsg::Kind::Unsub;
+            m.graph = g;
+            m.conn_id = conn.id;
+            post(g->owner_loop, std::move(m));
+        }
+    }
+    wbuf_total_.fetch_sub(
+        static_cast<long long>(conn.wbuf.size() - conn.wpos));
+    loop.poller->del(fd);
+    loop.by_id.erase(conn.id);
+    loop.conns.erase(it);  // Fd destructor closes
+    num_conns_.fetch_sub(1);
     closed_m_->inc();
 }
 
-void Server::handle_readable(int fd) {
-    Conn& conn = *conns_.at(fd);
+void Server::maybe_finish(Loop& loop, Conn& conn) {
+    if (conn.closing && conn.wpos == conn.wbuf.size() &&
+        conn.pending == 0) {
+        teardown(loop, conn.fd.get());
+    }
+}
+
+void Server::handle_readable(Loop& loop, int fd) {
+    Conn& conn = *loop.conns.at(fd);
     bool peer_done = false;
     for (;;) {
         const std::size_t base = conn.rbuf.size();
@@ -358,7 +736,7 @@ void Server::handle_readable(int fd) {
         // chunk of slack. A peer that streams past an unread frame this
         // large is either broken or hostile.
         if (base - conn.rpos > kFrameHeaderBytes + kMaxFramePayload) {
-            teardown(fd);
+            teardown(loop, fd);
             return;
         }
         conn.rbuf.resize(base + kReadChunk);
@@ -379,34 +757,30 @@ void Server::handle_readable(int fd) {
             peer_done = true;
             break;
         }
-        teardown(fd);
+        teardown(loop, fd);
         return;
     }
-    parse_and_execute(conn);
+    parse_and_execute(loop, conn);
     if (peer_done) {
         conn.closing = true;
     }
-    if (!flush_conn(conn)) {
-        teardown(fd);
+    if (!flush_conn(loop, conn)) {
+        teardown(loop, fd);
         return;
     }
-    if (conn.closing && conn.wpos == conn.wbuf.size()) {
-        teardown(fd);
-    }
+    maybe_finish(loop, conn);
 }
 
-void Server::handle_writable(int fd) {
-    Conn& conn = *conns_.at(fd);
-    if (!flush_conn(conn)) {
-        teardown(fd);
+void Server::handle_writable(Loop& loop, int fd) {
+    Conn& conn = *loop.conns.at(fd);
+    if (!flush_conn(loop, conn)) {
+        teardown(loop, fd);
         return;
     }
-    if (conn.closing && conn.wpos == conn.wbuf.size()) {
-        teardown(fd);
-    }
+    maybe_finish(loop, conn);
 }
 
-bool Server::flush_conn(Conn& conn) {
+bool Server::flush_conn(Loop& loop, Conn& conn) {
     while (conn.wpos < conn.wbuf.size()) {
         std::size_t n = 0;
         const IoResult sent =
@@ -415,12 +789,13 @@ bool Server::flush_conn(Conn& conn) {
         if (sent == IoResult::Ok) {
             conn.wpos += n;
             bytes_tx_m_->add(n);
+            wbuf_total_.fetch_sub(static_cast<long long>(n));
             continue;
         }
         if (sent == IoResult::WouldBlock) {
             if (!conn.want_write) {
                 conn.want_write = true;
-                poller_->mod(conn.fd.get(), true);
+                loop.poller->mod(conn.fd.get(), true);
             }
             return true;
         }
@@ -434,12 +809,41 @@ bool Server::flush_conn(Conn& conn) {
     conn.inflight = 0;
     if (conn.want_write) {
         conn.want_write = false;
-        poller_->mod(conn.fd.get(), false);
+        loop.poller->mod(conn.fd.get(), false);
     }
     return true;
 }
 
-void Server::parse_and_execute(Conn& conn) {
+void Server::flush_all(Loop& loop) {
+    std::vector<int> fds;
+    fds.reserve(loop.conns.size());
+    for (const auto& [fd, conn] : loop.conns) {
+        fds.push_back(fd);
+    }
+    for (const int fd : fds) {
+        const auto it = loop.conns.find(fd);
+        if (it == loop.conns.end()) {
+            continue;
+        }
+        Conn& conn = *it->second;
+        // A subscriber that cannot keep up with the shipped stream would
+        // buffer without bound — disconnect it (it can re-subscribe from
+        // its applied seq). Ordinary connections are protected by the Busy
+        // shed instead; what is buffered is replies they asked for.
+        if (!conn.subscribed.empty() &&
+            conn.wbuf.size() - conn.wpos > opts_.max_wbuf_bytes) {
+            teardown(loop, fd);
+            continue;
+        }
+        if (!flush_conn(loop, conn)) {
+            teardown(loop, fd);
+            continue;
+        }
+        maybe_finish(loop, conn);
+    }
+}
+
+void Server::parse_and_execute(Loop& loop, Conn& conn) {
     for (std::size_t parsed = 0;
          parsed < opts_.parse_budget && !conn.closing; ++parsed) {
         const std::span<const unsigned char> rest(
@@ -456,28 +860,29 @@ void Server::parse_and_execute(Conn& conn) {
             // reply once (the header's request id, when it parsed, lets
             // the client pair the failure), flush, close.
             bad_frames_m_->inc();
-            reply_error(conn, req.request_id, err.code, err.message);
+            conn_error(conn, req.request_id, err.code, err.message);
             conn.rpos = conn.rbuf.size();
             conn.closing = true;
             break;
         }
         conn.rpos += consumed;
         frames_rx_m_->inc();
-        if (stopping_) {
-            reply_error(conn, req.request_id, WireCode::ShuttingDown,
-                        "server is shutting down");
+        if (stopping_.load()) {
+            conn_error(conn, req.request_id, WireCode::ShuttingDown,
+                       "server is shutting down");
             continue;
         }
         // Backpressure: shed (retryable Busy) instead of queueing beyond
-        // the per-connection caps.
-        if (conn.inflight >= opts_.max_inflight ||
+        // the per-connection caps. `pending` counts dispatched async ops
+        // whose replies have not come back yet.
+        if (conn.inflight + conn.pending >= opts_.max_inflight ||
             conn.wbuf.size() - conn.wpos > opts_.max_wbuf_bytes) {
             busy_shed_m_->inc();
-            reply_error(conn, req.request_id, WireCode::Busy,
-                        "connection backlog full; retry");
+            conn_error(conn, req.request_id, WireCode::Busy,
+                       "connection backlog full; retry");
             continue;
         }
-        execute(conn, req);
+        execute(loop, conn, req);
     }
     // Reclaim the parsed prefix (or the whole buffer when fully consumed).
     if (conn.rpos == conn.rbuf.size()) {
@@ -491,7 +896,7 @@ void Server::parse_and_execute(Conn& conn) {
     }
 }
 
-void Server::drain_pending() {
+void Server::drain_pending(Loop& loop) {
     // Passes repeat until no connection consumes anything: each pass gives
     // every connection at most parse_budget frames, so one deep pipeline
     // cannot starve the others within a pass.
@@ -499,13 +904,13 @@ void Server::drain_pending() {
     while (progress) {
         progress = false;
         std::vector<int> fds;
-        fds.reserve(conns_.size());
-        for (const auto& [fd, conn] : conns_) {
+        fds.reserve(loop.conns.size());
+        for (const auto& [fd, conn] : loop.conns) {
             fds.push_back(fd);
         }
         for (const int fd : fds) {
-            const auto it = conns_.find(fd);
-            if (it == conns_.end()) {
+            const auto it = loop.conns.find(fd);
+            if (it == loop.conns.end()) {
                 continue;  // torn down earlier in this pass
             }
             Conn& conn = *it->second;
@@ -513,16 +918,14 @@ void Server::drain_pending() {
             if (conn.closing || before < kFrameHeaderBytes) {
                 continue;
             }
-            parse_and_execute(conn);
-            if (!flush_conn(conn)) {
-                teardown(fd);
+            parse_and_execute(loop, conn);
+            if (!flush_conn(loop, conn)) {
+                teardown(loop, fd);
                 continue;
             }
-            if (conn.closing && conn.wpos == conn.wbuf.size()) {
-                teardown(fd);
-                continue;
-            }
-            if (conn.rbuf.size() - conn.rpos < before) {
+            maybe_finish(loop, conn);
+            if (loop.conns.find(fd) != loop.conns.end() &&
+                conn.rbuf.size() - conn.rpos < before) {
                 progress = true;
             }
         }
@@ -530,169 +933,627 @@ void Server::drain_pending() {
 }
 
 // ---------------------------------------------------------------------------
-// Request execution
+// Reply plumbing
 
-void Server::reply(Conn& conn, const Frame& req,
-                   std::span<const unsigned char> payload) {
-    encode_frame(conn.wbuf,
+void Server::emit_reply(Sink& sink, const Frame& req,
+                        std::span<const unsigned char> payload) {
+    encode_frame(sink.bytes,
                  static_cast<std::uint8_t>(req.type | kResponseBit),
                  req.request_id, payload);
     frames_tx_m_->inc();
-    ++conn.inflight;
+    ++sink.frames;
 }
 
-void Server::reply_error(Conn& conn, std::uint64_t request_id, WireCode code,
-                         std::string_view message) {
+void Server::emit_error(Sink& sink, std::uint64_t request_id, WireCode code,
+                        std::string_view message) {
     PayloadWriter w;
     w.u16(static_cast<std::uint16_t>(code));
     w.str(message.substr(0, kMaxErrorMessage));
-    encode_frame(conn.wbuf, kErrorType, request_id, w.span());
+    encode_frame(sink.bytes, kErrorType, request_id, w.span());
     frames_tx_m_->inc();
     errors_tx_m_->inc();
-    ++conn.inflight;
+    ++sink.frames;
 }
 
+void Server::append_sink(Conn& conn, Sink&& sink) {
+    if (sink.sub_graph != nullptr) {
+        conn.subscribed.push_back(sink.sub_graph);
+    }
+    if (sink.bytes.empty()) {
+        return;
+    }
+    conn.wbuf.insert(conn.wbuf.end(), sink.bytes.begin(), sink.bytes.end());
+    conn.inflight += sink.frames;
+    wbuf_total_.fetch_add(static_cast<long long>(sink.bytes.size()));
+}
+
+void Server::conn_error(Conn& conn, std::uint64_t request_id, WireCode code,
+                        std::string_view message) {
+    Sink sink;
+    emit_error(sink, request_id, code, message);
+    append_sink(conn, std::move(sink));
+}
+
+void Server::deliver(Loop* current, std::uint32_t origin_loop,
+                     std::uint64_t conn_id, Sink&& sink,
+                     std::size_t ops_done) {
+    if (sink.bytes.empty() && sink.sub_graph == nullptr && ops_done == 0) {
+        return;
+    }
+    LoopMsg m;
+    m.kind = LoopMsg::Kind::Done;
+    m.conn_id = conn_id;
+    m.bytes = std::move(sink.bytes);
+    m.frames = sink.frames;
+    m.ops_done = ops_done;
+    m.sub_graph = sink.sub_graph;
+    if (current != nullptr && current->index == origin_loop) {
+        apply_done(*current, m);
+    } else {
+        post(origin_loop, std::move(m));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph registry
+
 Server::GraphEntry* Server::find_graph(const std::string& name) {
+    gt::LockGuard lk(graphs_mu_);
     const auto it = graphs_.find(name);
     return it == graphs_.end() ? nullptr : it->second.get();
 }
 
-void Server::execute(Conn& conn, const Frame& req) {
-    const std::uint64_t begin_us = now_us();
-    switch (req.type) {
-        case static_cast<std::uint8_t>(MsgType::Ping):
-            reply(conn, req, req.payload);
-            break;
-        case static_cast<std::uint8_t>(MsgType::OpenGraph):
-            handle_open_graph(conn, req);
-            break;
-        case static_cast<std::uint8_t>(MsgType::InsertBatch):
-        case static_cast<std::uint8_t>(MsgType::DeleteBatch):
-            handle_mutate(conn, req);
-            break;
-        case static_cast<std::uint8_t>(MsgType::Degree):
-        case static_cast<std::uint8_t>(MsgType::Neighbors):
-        case static_cast<std::uint8_t>(MsgType::Bfs):
-        case static_cast<std::uint8_t>(MsgType::Sssp):
-        case static_cast<std::uint8_t>(MsgType::Cc):
-        case static_cast<std::uint8_t>(MsgType::EdgeCount):
-        case static_cast<std::uint8_t>(MsgType::Checkpoint):
-        case static_cast<std::uint8_t>(MsgType::StatsJson):
-        case static_cast<std::uint8_t>(MsgType::Sync):
-            handle_query(conn, req);
-            break;
-        default:
-            reply_error(conn, req.request_id, WireCode::UnknownType,
-                        "unknown request type " +
-                            std::to_string(req.type));
-            break;
+Status Server::open_entry(const std::string& name, std::uint8_t mode,
+                          std::uint32_t owner_loop, GraphEntry*& out) {
+    gt::LockGuard lk(graphs_mu_);
+    const auto it = graphs_.find(name);
+    if (it != graphs_.end()) {
+        out = it->second.get();
+        return Status::success();
     }
-    request_us_m_->record(now_us() - begin_us);
+    const std::string dir = opts_.root + "/" + name;
+    if (Status st = ensure_dir(dir); !st.ok()) {
+        return st;
+    }
+    auto fresh = std::make_unique<GraphEntry>();
+    recover::DurableOptions dopts;
+    dopts.mode = mode == 0     ? recover::DurabilityMode::Off
+                 : mode == 1   ? recover::DurabilityMode::Buffered
+                 : mode == 2   ? recover::DurabilityMode::FsyncBatch
+                               : opts_.durability;  // 255: server default
+    recover::RecoveryInfo info;
+    if (Status st = fresh->store.open(dir, dopts, &info); !st.ok()) {
+        return st;
+    }
+    fresh->name = name;
+    fresh->recovery_source = static_cast<std::uint8_t>(info.source);
+    fresh->owner_loop = owner_loop;
+    fresh->mode = dopts.mode;
+    out = graphs_.emplace(name, std::move(fresh)).first->second.get();
+    return Status::success();
 }
 
-void Server::handle_open_graph(Conn& conn, const Frame& req) {
+Status Server::open_local(const std::string& name, LocalGraph& out) {
+    if (loops_.empty()) {
+        return Status{StatusCode::InvalidArgument, "start() first"};
+    }
+    if (!validate_graph_name(name)) {
+        return Status{StatusCode::InvalidArgument,
+                      "graph names are [A-Za-z0-9_-]{1,64}, alnum first"};
+    }
+    GraphEntry* entry = nullptr;
+    if (Status st = open_entry(name, 255, 0, entry); !st.ok()) {
+        return st;
+    }
+    out.store = &entry->store;
+    out.lock = &entry->state_lock;
+    return Status::success();
+}
+
+void Server::handle_open_graph(Loop& loop, Conn& conn, const Frame& req) {
     PayloadReader r(req.payload);
     const std::string name = r.str();
     const std::uint8_t mode = r.u8();
     if (!r.ok() || !r.exhausted() || (mode > 2 && mode != 255)) {
-        reply_error(conn, req.request_id, WireCode::BadPayload,
-                    "OpenGraph payload: name | u8 durability(0..2, 255)");
+        conn_error(conn, req.request_id, WireCode::BadPayload,
+                   "OpenGraph payload: name | u8 durability(0..2, 255)");
         return;
     }
     if (!validate_graph_name(name)) {
-        reply_error(conn, req.request_id, WireCode::BadGraphName,
-                    "graph names are [A-Za-z0-9_-]{1,64}, alnum first");
+        conn_error(conn, req.request_id, WireCode::BadGraphName,
+                   "graph names are [A-Za-z0-9_-]{1,64}, alnum first");
         return;
     }
-    GraphEntry* entry = find_graph(name);
-    if (entry == nullptr) {
-        const std::string dir = opts_.root + "/" + name;
-        if (const Status st = ensure_dir(dir); !st.ok()) {
-            reply_error(conn, req.request_id, wire_code_of(st),
-                        st.to_string());
-            return;
-        }
-        auto fresh = std::make_unique<GraphEntry>();
-        recover::DurableOptions dopts;
-        dopts.mode = mode == 0     ? recover::DurabilityMode::Off
-                     : mode == 1   ? recover::DurabilityMode::Buffered
-                     : mode == 2   ? recover::DurabilityMode::FsyncBatch
-                                   : opts_.durability;  // 255: server default
-        recover::RecoveryInfo info;
-        if (const Status st = fresh->store.open(dir, dopts, &info);
-            !st.ok()) {
-            reply_error(conn, req.request_id, wire_code_of(st),
-                        st.to_string());
-            return;
-        }
-        fresh->recovery_source = static_cast<std::uint8_t>(info.source);
-        entry = fresh.get();
-        graphs_.emplace(name, std::move(fresh));
+    GraphEntry* entry = nullptr;
+    if (Status st = open_entry(name, mode, loop.index, entry); !st.ok()) {
+        conn_error(conn, req.request_id, wire_code_of(st), st.to_string());
+        return;
     }
     PayloadWriter w;
     w.u8(entry->recovery_source);
-    reply(conn, req, w.span());
+    Sink sink;
+    emit_reply(sink, req, w.span());
+    append_sink(conn, std::move(sink));
 }
 
-void Server::handle_mutate(Conn& conn, const Frame& req) {
-    PayloadReader r(req.payload);
-    const std::string name = r.str();
-    const std::uint32_t n = r.u32();
-    if (!r.ok() ||
-        r.remaining() != static_cast<std::size_t>(n) * 3 * sizeof(VertexId)) {
-        reply_error(conn, req.request_id, WireCode::BadPayload,
-                    "mutation payload: name | u32 n | n edges");
-        return;
-    }
-    GraphEntry* entry = find_graph(name);
-    if (entry == nullptr) {
-        reply_error(conn, req.request_id, WireCode::UnknownGraph,
-                    "graph '" + name + "' is not open (OpenGraph first)");
-        return;
-    }
-    std::vector<Edge> edges(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-        edges[i].src = r.u32();
-        edges[i].dst = r.u32();
-        edges[i].weight = r.u32();
-    }
-    core::GraphTinker& g = entry->store.graph();
-    const Status st =
-        req.type == static_cast<std::uint8_t>(MsgType::InsertBatch)
-            ? g.insert_batch(edges)
-            : g.delete_batch(edges);
-    if (!st.ok()) {
-        reply_error(conn, req.request_id, wire_code_of(st), st.to_string());
-        return;
-    }
-    PayloadWriter w;
-    w.u64(g.num_edges());
-    reply(conn, req, w.span());
-}
+// ---------------------------------------------------------------------------
+// Request routing
 
-void Server::handle_query(Conn& conn, const Frame& req) {
+void Server::execute(Loop& loop, Conn& conn, const Frame& req) {
+    const std::uint64_t begin_us = now_us();
+    if (req.type == static_cast<std::uint8_t>(MsgType::Ping)) {
+        Sink sink;
+        emit_reply(sink, req, req.payload);
+        append_sink(conn, std::move(sink));
+        request_us_m_->record(now_us() - begin_us);
+        return;
+    }
+    if (req.type == static_cast<std::uint8_t>(MsgType::OpenGraph)) {
+        handle_open_graph(loop, conn, req);
+        request_us_m_->record(now_us() - begin_us);
+        return;
+    }
+    if (!is_owner_verb(req.type) && !is_read_verb(req.type)) {
+        conn_error(conn, req.request_id, WireCode::UnknownType,
+                   "unknown request type " + std::to_string(req.type));
+        return;
+    }
+    // Everything from here is graph-scoped: the payload starts with the
+    // name.
     PayloadReader r(req.payload);
     const std::string name = r.str();
     if (!r.ok()) {
-        reply_error(conn, req.request_id, WireCode::BadPayload,
-                    "query payload starts with the graph name");
+        conn_error(conn, req.request_id, WireCode::BadPayload,
+                   "graph-scoped payloads start with the graph name");
         return;
     }
-    GraphEntry* entry = find_graph(name);
-    if (entry == nullptr) {
-        reply_error(conn, req.request_id,
-                    validate_graph_name(name) ? WireCode::UnknownGraph
-                                              : WireCode::BadGraphName,
-                    "graph '" + name + "' is not open (OpenGraph first)");
+    if (is_owner_verb(req.type) && opts_.read_only) {
+        conn_error(conn, req.request_id, WireCode::ReadOnly,
+                   "read-only replica; route mutations to the primary");
         return;
     }
-    core::GraphTinker& g = entry->store.graph();
+    GraphEntry* g = find_graph(name);
+    if (g == nullptr) {
+        conn_error(conn, req.request_id,
+                   validate_graph_name(name) ? WireCode::UnknownGraph
+                                             : WireCode::BadGraphName,
+                   "graph '" + name + "' is not open (OpenGraph first)");
+        return;
+    }
+    if (is_owner_verb(req.type)) {
+        ++conn.pending;
+        if (g->owner_loop == loop.index) {
+            execute_owner(g, conn.id, loop.index, req);
+        } else {
+            cross_loop_m_->inc();
+            LoopMsg m;
+            m.kind = LoopMsg::Kind::Exec;
+            m.graph = g;
+            m.req = req;
+            m.origin_loop = loop.index;
+            m.conn_id = conn.id;
+            post(g->owner_loop, std::move(m));
+        }
+        request_us_m_->record(now_us() - begin_us);
+        return;
+    }
+    // Read verb.
+    if (readers_ != nullptr) {
+        ++conn.pending;
+        readers_->submit(g, conn.id, loop.index, req);
+        request_us_m_->record(now_us() - begin_us);
+        return;
+    }
+    Sink sink;
+    {
+        gt::SharedLockGuard lk(g->state_lock);
+        execute_read(g, req, sink);
+    }
+    if (g->has_deferred.load()) {
+        if (g->owner_loop == loop.index) {
+            drain_deferred(g);
+        } else {
+            LoopMsg m;
+            m.kind = LoopMsg::Kind::Retry;
+            m.graph = g;
+            post(g->owner_loop, std::move(m));
+        }
+    }
+    append_sink(conn, std::move(sink));
+    request_us_m_->record(now_us() - begin_us);
+}
+
+// ---------------------------------------------------------------------------
+// Owner-loop graph ops
+
+void Server::execute_owner(GraphEntry* g, std::uint64_t conn_id,
+                           std::uint32_t origin_loop, const Frame& req) {
+    Loop* cur = loops_[g->owner_loop].get();
+    DeferredOp op;
+    op.conn_id = conn_id;
+    op.origin_loop = origin_loop;
+    op.req = req;
+    if (!needs_exclusive_lock(req.type)) {
+        // Subscribe/SubAck: owner-loop-private bookkeeping, no state lock.
+        Sink sink;
+        execute_owner_op(g, op, sink);
+        deliver(cur, origin_loop, conn_id, std::move(sink), 1);
+        pump_subscribers(g);
+        return;
+    }
+    if (g->has_deferred.load() || !g->state_lock.try_lock()) {
+        // Readers hold the lock (or earlier ops already queued): keep FIFO
+        // order. The flag store *before* the readers' post-release check is
+        // what guarantees a Retry will arrive.
+        g->deferred.push_back(std::move(op));
+        g->has_deferred.store(true);
+        deferred_m_->inc();
+        drain_deferred(g);
+        return;
+    }
+    Sink sink;
+    execute_owner_op(g, op, sink);
+    g->state_lock.unlock();
+    deliver(cur, origin_loop, conn_id, std::move(sink), 1);
+    pump_subscribers(g);
+}
+
+void Server::drain_deferred(GraphEntry* g) {
+    Loop* cur = loops_[g->owner_loop].get();
+    while (!g->deferred.empty()) {
+        if (!g->state_lock.try_lock()) {
+            // A reader is still in; its release posts a Retry (it observes
+            // has_deferred, stored before our failed try_lock).
+            return;
+        }
+        std::vector<std::pair<DeferredOp, Sink>> done;
+        while (!g->deferred.empty()) {
+            DeferredOp op = std::move(g->deferred.front());
+            g->deferred.pop_front();
+            Sink sink;
+            execute_owner_op(g, op, sink);
+            done.emplace_back(std::move(op), std::move(sink));
+        }
+        g->state_lock.unlock();
+        for (auto& [op, sink] : done) {
+            deliver(cur, op.origin_loop, op.conn_id, std::move(sink), 1);
+        }
+        pump_subscribers(g);
+    }
+    g->has_deferred.store(false);
+    if (readers_ != nullptr) {
+        readers_->unpark(g);
+    }
+}
+
+void Server::execute_owner_op(GraphEntry* g, const DeferredOp& op,
+                              Sink& sink) {
+    const Frame& req = op.req;
+    switch (req.type) {
+        case static_cast<std::uint8_t>(MsgType::InsertBatch):
+        case static_cast<std::uint8_t>(MsgType::DeleteBatch): {
+            PayloadReader r(req.payload);
+            (void)r.str();  // name, validated by the router
+            const std::uint32_t n = r.u32();
+            if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 3 *
+                                                sizeof(VertexId)) {
+                emit_error(sink, req.request_id, WireCode::BadPayload,
+                           "mutation payload: name | u32 n | n edges");
+                return;
+            }
+            std::vector<Edge> edges(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                edges[i].src = r.u32();
+                edges[i].dst = r.u32();
+                edges[i].weight = r.u32();
+            }
+            core::GraphTinker& graph = g->store.graph();
+            const Status st =
+                req.type == static_cast<std::uint8_t>(MsgType::InsertBatch)
+                    ? graph.insert_batch(edges)
+                    : graph.delete_batch(edges);
+            if (!st.ok()) {
+                emit_error(sink, req.request_id, wire_code_of(st),
+                           st.to_string());
+                return;
+            }
+            PayloadWriter w;
+            w.u64(graph.num_edges());
+            emit_reply(sink, req, w.span());
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Checkpoint):
+            handle_checkpoint(g, op, sink);
+            return;
+        case static_cast<std::uint8_t>(MsgType::Sync): {
+            PayloadReader r(req.payload);
+            (void)r.str();
+            if (!r.ok() || !r.exhausted()) {
+                emit_error(sink, req.request_id, WireCode::BadPayload,
+                           "Sync payload is just the graph name");
+                return;
+            }
+            if (const Status st = g->store.sync(); !st.ok()) {
+                emit_error(sink, req.request_id, wire_code_of(st),
+                           st.to_string());
+                return;
+            }
+            emit_reply(sink, req, {});
+            return;
+        }
+        case static_cast<std::uint8_t>(MsgType::Subscribe):
+            handle_subscribe(g, op, sink);
+            return;
+        case static_cast<std::uint8_t>(MsgType::SubAck):
+            handle_sub_ack(g, op, sink);
+            return;
+        default:
+            emit_error(sink, req.request_id, WireCode::Internal,
+                       "non-owner verb routed to the owner loop");
+            return;
+    }
+}
+
+void Server::handle_subscribe(GraphEntry* g, const DeferredOp& op,
+                              Sink& sink) {
+    PayloadReader r(op.req.payload);
+    (void)r.str();  // name
+    const std::uint64_t from_seq = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        emit_error(sink, op.req.request_id, WireCode::BadPayload,
+                   "Subscribe payload: name | u64 from_seq");
+        return;
+    }
+    if (g->mode == recover::DurabilityMode::Off) {
+        emit_error(sink, op.req.request_id, WireCode::WalError,
+                   "subscribe requires a durable graph (durability off "
+                   "keeps no WAL)");
+        return;
+    }
+    auto tailer = std::make_unique<recover::WalTailer>();
+    if (Status st = tailer->open(g->store.wal_path(), from_seq); !st.ok()) {
+        emit_error(sink, op.req.request_id, wire_code_of(st),
+                   st.to_string());
+        return;
+    }
+    std::uint64_t floor = tailer->first_seq();
+    if (floor == 0) {
+        floor = g->store.wal().next_seq();  // fresh/pruned log, no records
+    }
+    if (from_seq + 1 < floor) {
+        emit_error(sink, op.req.request_id, WireCode::SeqUnavailable,
+                   "primary WAL starts at seq " + std::to_string(floor) +
+                       "; from_seq " + std::to_string(from_seq) +
+                       " was pruned — re-seed from a snapshot");
+        return;
+    }
+    PayloadWriter w;
+    w.u64(floor);
+    w.u64(g->store.wal().durable_seq());
+    emit_reply(sink, op.req, w.span());
+    sink.sub_graph = g;
+    Subscriber sub;
+    sub.conn_id = op.conn_id;
+    sub.origin_loop = op.origin_loop;
+    sub.request_id = op.req.request_id;
+    sub.sent_seq = from_seq;
+    sub.acked_seq = from_seq;
+    sub.tailer = std::move(tailer);
+    g->subscribers.push_back(std::move(sub));
+    num_subs_.fetch_add(1);
+}
+
+void Server::handle_sub_ack(GraphEntry* g, const DeferredOp& op,
+                            Sink& sink) {
+    PayloadReader r(op.req.payload);
+    (void)r.str();  // name
+    const std::uint64_t acked = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        emit_error(sink, op.req.request_id, WireCode::BadPayload,
+                   "SubAck payload: name | u64 acked_seq");
+        return;
+    }
+    bool found = false;
+    for (Subscriber& sub : g->subscribers) {
+        if (sub.conn_id == op.conn_id) {
+            sub.acked_seq = std::max(sub.acked_seq, acked);
+            found = true;
+        }
+    }
+    if (!found) {
+        emit_error(sink, op.req.request_id, WireCode::BadPayload,
+                   "no subscription on this connection");
+        return;
+    }
+    emit_reply(sink, op.req, {});
+}
+
+void Server::handle_checkpoint(GraphEntry* g, const DeferredOp& op,
+                               Sink& sink) {
+    PayloadReader r(op.req.payload);
+    (void)r.str();
+    if (!r.ok() || !r.exhausted()) {
+        emit_error(sink, op.req.request_id, WireCode::BadPayload,
+                   "Checkpoint payload is just the graph name");
+        return;
+    }
+    if (const Status st = g->store.checkpoint(); !st.ok()) {
+        emit_error(sink, op.req.request_id, wire_code_of(st),
+                   st.to_string());
+        return;
+    }
+    // The checkpoint/prune fence: with followers attached, the WAL may be
+    // pruned only once every follower has acked everything the snapshot
+    // covers — otherwise a lagging follower's unshipped records would be
+    // destroyed. Without followers the WAL is kept (the historical
+    // behavior: prune stays an explicit, separate decision).
+    if (!g->subscribers.empty() &&
+        g->mode != recover::DurabilityMode::Off) {
+        const std::uint64_t durable = g->store.wal().durable_seq();
+        bool fenced = false;
+        for (const Subscriber& sub : g->subscribers) {
+            if (sub.acked_seq < durable) {
+                fenced = true;
+                break;
+            }
+        }
+        if (!fenced) {
+            if (const Status st = g->store.prune_wal(); !st.ok()) {
+                emit_error(sink, op.req.request_id, wire_code_of(st),
+                           st.to_string());
+                return;
+            }
+            // The prune rewrote the log file and orphaned every tailer fd;
+            // reopen each at its shipped position (== durable, thanks to
+            // the fence) on the fresh log.
+            Loop* cur = loops_[g->owner_loop].get();
+            auto it = g->subscribers.begin();
+            while (it != g->subscribers.end()) {
+                it->tailer = std::make_unique<recover::WalTailer>();
+                if (Status st = it->tailer->open(g->store.wal_path(),
+                                                 it->sent_seq);
+                    !st.ok()) {
+                    Sink err;
+                    emit_error(err, it->request_id, wire_code_of(st),
+                               "subscription lost across WAL prune: " +
+                                   st.to_string());
+                    deliver(cur, it->origin_loop, it->conn_id,
+                            std::move(err), 0);
+                    it = g->subscribers.erase(it);
+                    num_subs_.fetch_sub(1);
+                    continue;
+                }
+                ++it;
+            }
+        }
+    }
+    emit_reply(sink, op.req, {});
+}
+
+void Server::pump_subscribers(GraphEntry* g) {
+    if (g->subscribers.empty()) {
+        return;
+    }
+    Loop* cur = loops_[g->owner_loop].get();
+    const std::uint64_t primary_seq = g->store.wal().durable_seq();
+    auto it = g->subscribers.begin();
+    while (it != g->subscribers.end()) {
+        Subscriber& sub = *it;
+        bool dropped = false;
+        bool drained = false;
+        std::optional<recover::WalRecord> carry;
+        while (!drained && !dropped) {
+            PayloadWriter rec_w;
+            std::uint32_t count = 0;
+            std::uint64_t last_shipped = sub.sent_seq;
+            const auto add = [&](const recover::WalRecord& rec) {
+                rec_w.u64(rec.seq);
+                rec_w.u8(static_cast<std::uint8_t>(rec.type));
+                rec_w.u32(static_cast<std::uint32_t>(rec.payload.size()));
+                rec_w.bytes(rec.payload);
+                last_shipped = rec.seq;
+                ++count;
+            };
+            if (carry.has_value()) {
+                add(*carry);
+                carry.reset();
+            }
+            while (rec_w.span().size() < kShipChunkBytes &&
+                   !carry.has_value()) {
+                const std::size_t got = sub.tailer->poll(
+                    [&](const recover::WalRecord& rec) {
+                        const std::size_t need =
+                            kShipRecordOverhead + rec.payload.size();
+                        if (count > 0 &&
+                            rec_w.span().size() + need > kShipBudget) {
+                            carry = rec;  // next frame's first record
+                            return;
+                        }
+                        add(rec);
+                    },
+                    1);
+                if (got == 0) {
+                    drained = true;
+                    break;
+                }
+            }
+            if (!sub.tailer->status().ok()) {
+                Sink err;
+                emit_error(err, sub.request_id, WireCode::WalError,
+                           "WAL tail failed: " +
+                               sub.tailer->status().to_string());
+                deliver(cur, sub.origin_loop, sub.conn_id, std::move(err),
+                        0);
+                dropped = true;
+                break;
+            }
+            if (count == 0) {
+                break;  // caught up
+            }
+            if (rec_w.span().size() + 12 > kMaxFramePayload) {
+                // A single record larger than a frame can carry cannot be
+                // shipped; the follower must re-seed from a snapshot.
+                Sink err;
+                emit_error(err, sub.request_id, WireCode::TooLarge,
+                           "WAL record exceeds the frame cap; re-seed the "
+                           "replica from a snapshot");
+                deliver(cur, sub.origin_loop, sub.conn_id, std::move(err),
+                        0);
+                dropped = true;
+                break;
+            }
+            PayloadWriter w;
+            w.u64(primary_seq);
+            w.u32(count);
+            w.bytes(rec_w.span());
+            Sink ship;
+            encode_frame(
+                ship.bytes,
+                static_cast<std::uint8_t>(
+                    static_cast<std::uint8_t>(MsgType::Subscribe) |
+                    kResponseBit),
+                sub.request_id, w.span(), kFlagShipData);
+            // Shipped frames ride outside the request/response accounting:
+            // frames = 0 keeps them from consuming the inflight budget.
+            shipped_m_->inc();
+            frames_tx_m_->inc();
+            sub.sent_seq = last_shipped;
+            deliver(cur, sub.origin_loop, sub.conn_id, std::move(ship), 0);
+        }
+        if (dropped) {
+            it = g->subscribers.erase(it);
+            num_subs_.fetch_sub(1);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void Server::drop_subscriber(GraphEntry* g, std::uint64_t conn_id) {
+    auto it = g->subscribers.begin();
+    while (it != g->subscribers.end()) {
+        if (it->conn_id == conn_id) {
+            it = g->subscribers.erase(it);
+            num_subs_.fetch_sub(1);
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read verbs (reader pool or inline, shared state-lock hold)
+
+void Server::execute_read(GraphEntry* g, const Frame& req, Sink& sink) {
+    PayloadReader r(req.payload);
+    (void)r.str();  // name, validated by the router
+    core::GraphTinker& graph = g->store.graph();
     PayloadWriter w;
 
     const auto finish = [&](const PayloadReader& rr) {
         if (!rr.ok() || !rr.exhausted()) {
-            reply_error(conn, req.request_id, WireCode::BadPayload,
-                        "malformed query payload");
+            emit_error(sink, req.request_id, WireCode::BadPayload,
+                       "malformed query payload");
             return false;
         }
         return true;
@@ -706,7 +1567,7 @@ void Server::handle_query(Conn& conn, const Frame& req) {
         for (const VertexId v : targets) {
             w.u32(analysis.property(v));
         }
-        reply(conn, req, w.span());
+        emit_reply(sink, req, w.span());
     };
     const auto read_targets = [&](std::vector<VertexId>& out) {
         const std::uint32_t k = r.u32();
@@ -727,8 +1588,8 @@ void Server::handle_query(Conn& conn, const Frame& req) {
             if (!finish(r)) {
                 return;
             }
-            w.u64(g.degree(v));
-            reply(conn, req, w.span());
+            w.u64(graph.degree(v));
+            emit_reply(sink, req, w.span());
             return;
         }
         case static_cast<std::uint8_t>(MsgType::Neighbors): {
@@ -738,7 +1599,7 @@ void Server::handle_query(Conn& conn, const Frame& req) {
                 return;
             }
             std::vector<std::pair<VertexId, Weight>> out;
-            (void)g.visit_out_edges(v, [&](VertexId dst, Weight wt) {
+            (void)graph.visit_out_edges(v, [&](VertexId dst, Weight wt) {
                 out.emplace_back(dst, wt);
                 return max == 0 || out.size() < max;
             });
@@ -747,7 +1608,7 @@ void Server::handle_query(Conn& conn, const Frame& req) {
                 w.u32(dst);
                 w.u32(wt);
             }
-            reply(conn, req, w.span());
+            emit_reply(sink, req, w.span());
             return;
         }
         case static_cast<std::uint8_t>(MsgType::Bfs):
@@ -755,17 +1616,18 @@ void Server::handle_query(Conn& conn, const Frame& req) {
             const VertexId root = r.u32();
             std::vector<VertexId> targets;
             if (!read_targets(targets) || !finish(r)) {
-                reply_error(conn, req.request_id, WireCode::BadPayload,
-                            "payload: name | u32 root | u32 k | k targets");
+                emit_error(sink, req.request_id, WireCode::BadPayload,
+                           "payload: name | u32 root | u32 k | k targets");
                 return;
             }
             if (req.type == static_cast<std::uint8_t>(MsgType::Bfs)) {
-                engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> a(g);
+                engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> a(
+                    graph);
                 a.set_root(root);
                 run_props(a, targets);
             } else {
                 engine::DynamicAnalysis<core::GraphTinker, engine::Sssp> a(
-                    g);
+                    graph);
                 a.set_root(root);
                 run_props(a, targets);
             }
@@ -774,11 +1636,11 @@ void Server::handle_query(Conn& conn, const Frame& req) {
         case static_cast<std::uint8_t>(MsgType::Cc): {
             std::vector<VertexId> targets;
             if (!read_targets(targets) || !finish(r)) {
-                reply_error(conn, req.request_id, WireCode::BadPayload,
-                            "payload: name | u32 k | k targets");
+                emit_error(sink, req.request_id, WireCode::BadPayload,
+                           "payload: name | u32 k | k targets");
                 return;
             }
-            engine::DynamicAnalysis<core::GraphTinker, engine::Cc> a(g);
+            engine::DynamicAnalysis<core::GraphTinker, engine::Cc> a(graph);
             run_props(a, targets);
             return;
         }
@@ -786,33 +1648,9 @@ void Server::handle_query(Conn& conn, const Frame& req) {
             if (!finish(r)) {
                 return;
             }
-            w.u64(g.num_edges());
-            w.u64(g.num_vertices());
-            reply(conn, req, w.span());
-            return;
-        }
-        case static_cast<std::uint8_t>(MsgType::Checkpoint): {
-            if (!finish(r)) {
-                return;
-            }
-            if (const Status st = entry->store.checkpoint(); !st.ok()) {
-                reply_error(conn, req.request_id, wire_code_of(st),
-                            st.to_string());
-                return;
-            }
-            reply(conn, req, {});
-            return;
-        }
-        case static_cast<std::uint8_t>(MsgType::Sync): {
-            if (!finish(r)) {
-                return;
-            }
-            if (const Status st = entry->store.sync(); !st.ok()) {
-                reply_error(conn, req.request_id, wire_code_of(st),
-                            st.to_string());
-                return;
-            }
-            reply(conn, req, {});
+            w.u64(graph.num_edges());
+            w.u64(graph.num_vertices());
+            emit_reply(sink, req, w.span());
             return;
         }
         case static_cast<std::uint8_t>(MsgType::StatsJson): {
@@ -820,23 +1658,23 @@ void Server::handle_query(Conn& conn, const Frame& req) {
                 return;
             }
             std::ostringstream os;
-            obs::Exporter::write_json(os, g.telemetry());
+            obs::Exporter::write_json(os, graph.telemetry());
             const std::string json = os.str();
             if (json.size() > kMaxFramePayload - 64) {
-                reply_error(conn, req.request_id, WireCode::TooLarge,
-                            "stats snapshot exceeds the frame cap");
+                emit_error(sink, req.request_id, WireCode::TooLarge,
+                           "stats snapshot exceeds the frame cap");
                 return;
             }
             w.u32(static_cast<std::uint32_t>(json.size()));
             w.bytes(std::span<const unsigned char>(
                 reinterpret_cast<const unsigned char*>(json.data()),
                 json.size()));
-            reply(conn, req, w.span());
+            emit_reply(sink, req, w.span());
             return;
         }
         default:
-            reply_error(conn, req.request_id, WireCode::UnknownType,
-                        "unhandled query type");
+            emit_error(sink, req.request_id, WireCode::UnknownType,
+                       "unhandled query type");
             return;
     }
 }

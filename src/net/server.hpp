@@ -1,26 +1,51 @@
-// gt serve — the networked front end over DurableStore (DESIGN.md §14).
+// gt serve — the networked front end over DurableStore (DESIGN.md §14/§15).
 //
-// Threading model: ONE thread owns everything. run() is the event loop
-// (epoll on Linux, poll elsewhere); it accepts, reads, parses, executes
-// and writes. Mutations ride the store's transactional insert_batch/
-// delete_batch (WAL-teed, all-or-nothing), queries run engine analytics
-// in-line. Single-threaded on purpose: the durable store's mutation API is
-// externally serialized anyway, and one thread means zero locks on the
-// request path — the pipelining win comes from *clients* batching many
-// requests per round trip, not from server-side parallelism. A long query
-// therefore delays later requests on every connection; that is the
-// documented tradeoff, bounded by kMaxFramePayload-sized batches.
+// Threading model (DESIGN.md §15): an acceptor thread plus N event loops
+// plus an optional reader pool.
 //
-// Backpressure (admission control): two caps, both surfaced as retryable
-// Busy errors rather than silent queueing —
-//   - per-connection in-flight cap: at most `max_inflight` responses may
-//     sit unflushed in a connection's write buffer; further requests on
-//     that connection are shed,
-//   - per-connection write-buffer byte cap (`max_wbuf_bytes`): a client
-//     that stops reading cannot make the server buffer unboundedly.
-// Both feed the `net.*` gauges so operators watch the same numbers the
-// shedding logic acts on. Connections over `max_conns` receive a single
-// best-effort Busy frame and are closed.
+//   - run() is the acceptor: it owns the listen socket and hands each new
+//     connection to a loop round-robin. With loop_threads == 1 and
+//     reader_threads == 0 the server behaves exactly like the historical
+//     single-threaded build: one loop, zero locks on the request path.
+//   - Each Loop is one epoll/poll event loop owning a disjoint set of
+//     connections: it reads, parses, and executes. Loops exchange work
+//     through per-loop inboxes (mutex-guarded vectors) woken by self-pipes.
+//   - Every graph is *pinned* to the loop that first opened it. Mutation
+//     verbs (Insert/Delete/Checkpoint/Sync/Subscribe/SubAck) execute only
+//     on the owner loop — cross-loop requests hop via the owner's inbox and
+//     the reply rides back to the connection's loop. One writer per graph,
+//     by construction.
+//   - Read-only verbs (Degree/Neighbors/Bfs/Sssp/Cc/EdgeCount/StatsJson)
+//     run on the reader pool under a shared (reader) hold of the graph's
+//     state lock, so long analytics overlap ingest on other graphs *and*
+//     other reads of the same graph. With reader_threads == 0 they run
+//     inline on the connection's loop (shared hold, may briefly block).
+//
+// Writer/reader coordination per graph: the owner loop never blocks its
+// event loop behind readers. A mutation that cannot take the state lock
+// immediately (try_lock fails, or earlier ops are already queued) joins the
+// graph's deferred FIFO; the last reader out posts a Retry to the owner's
+// inbox, which drains the FIFO under one exclusive hold. Queued reads for a
+// graph with deferred mutations park until the drain finishes — writers
+// cannot starve behind glibc's reader-preferring shared_mutex. Ordering
+// contract: mutations from one connection apply in send order; a *read*
+// pipelined behind an unacknowledged mutation may observe the pre-mutation
+// state (wait for the mutation's reply when read-your-writes matters).
+//
+// WAL shipping: Subscribe registers the connection as a replication
+// follower of one graph. The owner loop tails the graph's WAL file and
+// streams committed records (kFlagShipData frames, the Subscribe request id)
+// after every commit; SubAck reports the follower's applied low-water mark,
+// and Checkpoint only prunes the WAL once every follower has acked what the
+// snapshot covers (the checkpoint/prune fence). read_only mode turns the
+// server into a serving replica: mutation verbs are refused with ReadOnly
+// while an external feeder (net::Replicator via open_local()) applies the
+// shipped stream.
+//
+// Backpressure (admission control): per-connection in-flight cap now counts
+// unflushed responses *plus* dispatched-but-unanswered async ops; the write
+// buffer byte cap and the max_conns shed are unchanged from the
+// single-threaded design. All caps surface as retryable Busy errors.
 //
 // Robustness: malformed, truncated, fuzzed, or oversized frames produce a
 // clean error reply (or connection close for unsynchronizable streams) —
@@ -28,16 +53,22 @@
 // contract (recovery replays the committed prefix).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/io.hpp"
 #include "net/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "recover/durable.hpp"
+#include "recover/wal.hpp"
+#include "util/mutex.hpp"
 #include "util/status.hpp"
 
 namespace gt::net {
@@ -51,10 +82,21 @@ struct ServerOptions {
     std::uint16_t port = 0;
     /// Default durability for graphs a client opens without a mode.
     recover::DurabilityMode durability = recover::DurabilityMode::Buffered;
+    /// Event-loop threads; each graph is pinned to the loop that first
+    /// opened it, each connection to the loop that accepted it.
+    std::size_t loop_threads = 1;
+    /// Reader-pool threads for the read-only verbs; 0 runs reads inline on
+    /// the connection's loop.
+    std::size_t reader_threads = 0;
+    /// Refuse mutation verbs with ReadOnly (warm-replica mode: an external
+    /// feeder owns the store's write side via open_local()).
+    bool read_only = false;
     std::size_t max_conns = 64;
-    /// Per-connection unflushed-response cap (requests past it shed Busy).
+    /// Per-connection cap on unflushed responses + in-flight async ops
+    /// (requests past it shed Busy).
     std::size_t max_inflight = 64;
-    /// Per-connection write-buffer byte cap (requests past it shed Busy).
+    /// Per-connection write-buffer byte cap (requests past it shed Busy; a
+    /// subscriber that falls this far behind is disconnected).
     std::size_t max_wbuf_bytes = std::size_t{8} << 20;
     /// Frames parsed+executed per connection per loop wake — fairness
     /// bound so one pipelining client cannot starve the rest.
@@ -73,13 +115,14 @@ public:
     /// Binds and listens (no thread is spawned — call run() to serve).
     [[nodiscard]] Status start(const ServerOptions& options);
 
-    /// Event loop: blocks until stop(), then tears down connections and
-    /// closes every open graph (flushing WALs). Returns the first fatal
-    /// loop error, Ok on a requested shutdown.
+    /// Spawns the loop/reader threads and runs the acceptor until stop(),
+    /// then joins everything, tears down connections and closes every open
+    /// graph (flushing WALs). Returns the first fatal acceptor error, Ok on
+    /// a requested shutdown.
     [[nodiscard]] Status run();
 
     /// Requests shutdown. Async-signal-safe and callable from any thread:
-    /// writes one byte to the loop's self-pipe.
+    /// writes one byte to the acceptor's self-pipe.
     void stop() noexcept;
 
     /// Port actually bound (valid after start()).
@@ -89,48 +132,172 @@ public:
     /// or the private fallback).
     [[nodiscard]] obs::Registry& obs() noexcept { return *registry_; }
 
+    /// In-process handle to a served graph — the replica feeder's doorway.
+    /// `lock` is the graph's state lock: hold it exclusively while mutating
+    /// through `store` (sound only with read_only == true, which keeps the
+    /// owner loop from ever writing). Lifetime: the pointers dangle once
+    /// run() returns — its teardown closes and frees every store — so a
+    /// feeder must be detached (Replicator::close()) before the server is
+    /// stopped.
+    struct LocalGraph {
+        recover::DurableStore* store = nullptr;
+        gt::SharedMutex* lock = nullptr;
+    };
+
+    /// Opens (creating/recovering if needed) graph `name` exactly as an
+    /// OpenGraph request would, and returns the in-process handle. Callable
+    /// from any thread once start() succeeded.
+    [[nodiscard]] Status open_local(const std::string& name, LocalGraph& out);
+
 private:
+    struct GraphEntry;
+    struct Loop;
+    class Poller;
+    class ReaderPool;
+
     struct Conn {
         Fd fd;
+        std::uint64_t id = 0;  // process-unique; async results route by it
         std::vector<unsigned char> rbuf;
         std::size_t rpos = 0;  // parsed prefix of rbuf
         std::vector<unsigned char> wbuf;
-        std::size_t wpos = 0;  // flushed prefix of wbuf
+        std::size_t wpos = 0;      // flushed prefix of wbuf
         std::size_t inflight = 0;  // responses in wbuf, not yet flushed
+        std::size_t pending = 0;   // dispatched async ops, reply not back
         bool want_write = false;
-        bool closing = false;  // flush wbuf, then close
+        bool closing = false;  // flush wbuf + drain pending, then close
+        /// Graphs this connection subscribed to (teardown unsubscribes).
+        std::vector<GraphEntry*> subscribed;
+    };
+
+    /// A mutation/owner op waiting for the graph's exclusive lock.
+    struct DeferredOp {
+        std::uint64_t conn_id = 0;
+        std::uint32_t origin_loop = 0;
+        Frame req;
+    };
+
+    /// One attached WAL-shipping follower (owner-loop state).
+    struct Subscriber {
+        std::uint64_t conn_id = 0;
+        std::uint32_t origin_loop = 0;
+        std::uint64_t request_id = 0;  // stream frames carry it
+        std::uint64_t sent_seq = 0;    // last record shipped
+        std::uint64_t acked_seq = 0;   // follower's applied low-water mark
+        std::unique_ptr<recover::WalTailer> tailer;
     };
 
     struct GraphEntry {
+        std::string name;
         recover::DurableStore store;
         std::uint8_t recovery_source = 0;
+        std::uint32_t owner_loop = 0;
+        recover::DurabilityMode mode{};
+        /// Readers (pool / inline) hold shared; the owner loop (or the
+        /// read_only feeder) holds exclusive around mutations.
+        gt::SharedMutex state_lock;
+        /// True while `deferred` is non-empty — readers check it to park
+        /// (writer gate) and to post a Retry when they release the lock.
+        std::atomic<bool> has_deferred{false};
+        /// Owner-loop-private FIFO of ops awaiting the exclusive lock.
+        std::deque<DeferredOp> deferred;
+        /// Owner-loop-private follower list.
+        std::vector<Subscriber> subscribers;
     };
 
-    class Poller;
+    /// Cross-thread message into a loop's inbox.
+    struct LoopMsg {
+        enum class Kind : std::uint8_t {
+            AdoptFd,  // acceptor -> loop: take ownership of a socket
+            Exec,     // conn loop -> owner loop: run an owner op
+            Done,     // owner loop / pool -> conn loop: deliver reply bytes
+            Retry,    // pool -> owner loop: lock released, drain deferred
+            Unsub,    // conn loop -> owner loop: connection went away
+        };
+        Kind kind = Kind::AdoptFd;
+        int fd = -1;                       // AdoptFd
+        GraphEntry* graph = nullptr;       // Exec / Retry / Unsub
+        Frame req;                         // Exec
+        std::uint32_t origin_loop = 0;     // Exec
+        std::uint64_t conn_id = 0;         // Exec / Done / Unsub
+        std::vector<unsigned char> bytes;  // Done: encoded reply frames
+        std::size_t frames = 0;            // Done: responses in `bytes`
+        std::size_t ops_done = 0;          // Done: pending ops to retire
+        GraphEntry* sub_graph = nullptr;   // Done: record a subscription
+    };
 
-    // Event-loop steps (all single-threaded).
-    void accept_new();
-    void handle_readable(int fd);
-    void handle_writable(int fd);
-    [[nodiscard]] bool flush_conn(Conn& conn);  // false = tear down
-    void parse_and_execute(Conn& conn);
-    /// Re-parses connections whose buffers still hold complete frames after
-    /// the event pass — a pipelined burst larger than parse_budget arrives
-    /// in one readable event, and level-triggered polling will not fire
-    /// again for bytes already read.
-    void drain_pending();
-    void execute(Conn& conn, const Frame& req);
-    void teardown(int fd);
+    /// Reply frames accumulated off the connection's thread, plus routing
+    /// side-effects to apply on delivery.
+    struct Sink {
+        std::vector<unsigned char> bytes;
+        std::size_t frames = 0;
+        GraphEntry* sub_graph = nullptr;
+    };
 
-    // Request handlers append exactly one response frame to conn.wbuf.
-    void reply(Conn& conn, const Frame& req,
-               std::span<const unsigned char> payload);
-    void reply_error(Conn& conn, std::uint64_t request_id, WireCode code,
-                     std::string_view message);
+    // ---- acceptor ---------------------------------------------------------
+    void accept_new(Poller& poller);
+
+    // ---- loop thread ------------------------------------------------------
+    void run_loop(Loop& loop);
+    void process_inbox(Loop& loop);
+    void adopt_fd(Loop& loop, int fd);
+    void apply_done(Loop& loop, LoopMsg& msg);
+    void handle_readable(Loop& loop, int fd);
+    void handle_writable(Loop& loop, int fd);
+    [[nodiscard]] bool flush_conn(Loop& loop, Conn& conn);
+    /// Flush every connection on the loop, disconnect subscribers whose
+    /// backlog overflowed, finish closing connections — the per-wake sweep.
+    void flush_all(Loop& loop);
+    void parse_and_execute(Loop& loop, Conn& conn);
+    void drain_pending(Loop& loop);
+    void execute(Loop& loop, Conn& conn, const Frame& req);
+    void teardown(Loop& loop, int fd);
+    void maybe_finish(Loop& loop, Conn& conn);
+    void post(std::uint32_t loop_index, LoopMsg&& msg);
+
+    // ---- owner-loop graph ops --------------------------------------------
+    /// Entry point for owner ops on the owner loop: respects the deferred
+    /// FIFO, executes inline when the exclusive lock is free.
+    void execute_owner(GraphEntry* g, std::uint64_t conn_id,
+                       std::uint32_t origin_loop, const Frame& req);
+    void drain_deferred(GraphEntry* g);
+    /// Runs one owner op (state lock held for mutations). Appends replies
+    /// to `sink`.
+    void execute_owner_op(GraphEntry* g, const DeferredOp& op, Sink& sink);
+    void handle_subscribe(GraphEntry* g, const DeferredOp& op, Sink& sink);
+    void handle_sub_ack(GraphEntry* g, const DeferredOp& op, Sink& sink);
+    void handle_checkpoint(GraphEntry* g, const DeferredOp& op, Sink& sink);
+    /// Ships newly committed WAL records to every subscriber (owner loop,
+    /// after commits and on subscribe catch-up).
+    void pump_subscribers(GraphEntry* g);
+    void drop_subscriber(GraphEntry* g, std::uint64_t conn_id);
+
+    // ---- read verbs (pool or inline) -------------------------------------
+    /// Runs one read verb under a shared hold of g->state_lock.
+    void execute_read(GraphEntry* g, const Frame& req, Sink& sink);
+
+    // ---- shared helpers ---------------------------------------------------
+    void emit_reply(Sink& sink, const Frame& req,
+                    std::span<const unsigned char> payload);
+    void emit_error(Sink& sink, std::uint64_t request_id, WireCode code,
+                    std::string_view message);
+    /// Applies a sink to its connection: inline when the caller *is* the
+    /// origin loop (pass it), via a Done inbox message otherwise (null).
+    void deliver(Loop* current, std::uint32_t origin_loop,
+                 std::uint64_t conn_id, Sink&& sink, std::size_t ops_done);
+    /// Appends a sink's frames to the connection's write buffer (the
+    /// loop-local fast path of deliver()).
+    void append_sink(Conn& conn, Sink&& sink);
+    void conn_error(Conn& conn, std::uint64_t request_id, WireCode code,
+                    std::string_view message);
     [[nodiscard]] GraphEntry* find_graph(const std::string& name);
-    void handle_open_graph(Conn& conn, const Frame& req);
-    void handle_mutate(Conn& conn, const Frame& req);
-    void handle_query(Conn& conn, const Frame& req);
+    /// Find-or-create under graphs_mu_; a fresh graph is pinned to
+    /// `owner_loop`. `mode`: 0..2 explicit, 255 the server default.
+    [[nodiscard]] Status open_entry(const std::string& name,
+                                    std::uint8_t mode,
+                                    std::uint32_t owner_loop,
+                                    GraphEntry*& out);
+    void handle_open_graph(Loop& loop, Conn& conn, const Frame& req);
 
     void bind_metrics();
     void update_gauges();
@@ -142,12 +309,23 @@ private:
     Fd wake_r_;
     Fd wake_w_;
     std::uint16_t port_ = 0;
-    bool stopping_ = false;
-    std::unique_ptr<Poller> poller_;
-    std::map<int, std::unique_ptr<Conn>> conns_;
-    std::map<std::string, std::unique_ptr<GraphEntry>> graphs_;
+    std::atomic<bool> stopping_{false};
+    std::vector<std::unique_ptr<Loop>> loops_;
+    std::unique_ptr<ReaderPool> readers_;
+    std::uint32_t next_loop_ = 0;  // acceptor round-robin cursor
+    std::atomic<std::uint64_t> next_conn_id_{1};
+    std::atomic<std::size_t> num_conns_{0};
+    std::atomic<long long> wbuf_total_{0};
+    std::atomic<long long> num_subs_{0};
 
-    // Handles bound once in start() (obs hot-path discipline).
+    gt::Mutex graphs_mu_;
+    /// Entries are never erased while the server lives: GraphEntry* is
+    /// stable and safe to pass between threads.
+    std::map<std::string, std::unique_ptr<GraphEntry>> graphs_
+        GT_GUARDED_BY(graphs_mu_);
+
+    // Handles bound once in start() (obs hot-path discipline; counters and
+    // gauges are atomics, safe from every thread).
     obs::Counter* accepted_m_ = nullptr;
     obs::Counter* closed_m_ = nullptr;
     obs::Counter* frames_rx_m_ = nullptr;
@@ -157,10 +335,14 @@ private:
     obs::Counter* busy_shed_m_ = nullptr;
     obs::Counter* bad_frames_m_ = nullptr;
     obs::Counter* errors_tx_m_ = nullptr;
+    obs::Counter* cross_loop_m_ = nullptr;
+    obs::Counter* deferred_m_ = nullptr;
+    obs::Counter* shipped_m_ = nullptr;
     obs::Histogram* request_us_m_ = nullptr;
     obs::Gauge* conns_gauge_ = nullptr;
     obs::Gauge* wbuf_gauge_ = nullptr;
     obs::Gauge* graphs_gauge_ = nullptr;
+    obs::Gauge* subs_gauge_ = nullptr;
 };
 
 }  // namespace gt::net

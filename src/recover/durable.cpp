@@ -11,6 +11,8 @@
 
 #include "core/audit.hpp"
 #include "core/serialize.hpp"
+#include "engine/algorithms.hpp"
+#include "engine/hybrid_engine.hpp"
 
 namespace gt::recover {
 
@@ -154,6 +156,83 @@ Status DurableStore::open(const std::string& dir,
         return wst;
     }
     graph_->attach_update_log(wal_.get());
+    return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// GraphService
+
+namespace {
+
+[[nodiscard]] Status require_open(const DurableStore& store,
+                                  const char* verb) {
+    if (!store.is_open()) {
+        return Status{StatusCode::InvalidArgument,
+                      std::string{verb} + " on a closed store"};
+    }
+    return Status::success();
+}
+
+}  // namespace
+
+Status DurableStore::insert_edges(std::span<const Edge> edges,
+                                  std::uint64_t* edge_count) {
+    if (Status st = require_open(*this, "insert_edges"); !st.ok()) {
+        return st;
+    }
+    if (Status st = graph_->insert_batch(edges); !st.ok()) {
+        return st;
+    }
+    if (edge_count != nullptr) {
+        *edge_count = graph_->num_edges();
+    }
+    return Status::success();
+}
+
+Status DurableStore::delete_edges(std::span<const Edge> edges,
+                                  std::uint64_t* edge_count) {
+    if (Status st = require_open(*this, "delete_edges"); !st.ok()) {
+        return st;
+    }
+    if (Status st = graph_->delete_batch(edges); !st.ok()) {
+        return st;
+    }
+    if (edge_count != nullptr) {
+        *edge_count = graph_->num_edges();
+    }
+    return Status::success();
+}
+
+Status DurableStore::degree_of(VertexId v, std::uint64_t& out) {
+    if (Status st = require_open(*this, "degree_of"); !st.ok()) {
+        return st;
+    }
+    out = graph_->degree(v);
+    return Status::success();
+}
+
+Status DurableStore::bfs_distances(VertexId root,
+                                   std::span<const VertexId> targets,
+                                   std::vector<std::uint32_t>& out) {
+    if (Status st = require_open(*this, "bfs_distances"); !st.ok()) {
+        return st;
+    }
+    engine::DynamicAnalysis<core::GraphTinker, engine::Bfs> a(*graph_);
+    a.set_root(root);
+    a.run_from_scratch();
+    out.resize(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        out[i] = a.property(targets[i]);
+    }
+    return Status::success();
+}
+
+Status DurableStore::count(std::uint64_t& edges, std::uint64_t& vertices) {
+    if (Status st = require_open(*this, "count"); !st.ok()) {
+        return st;
+    }
+    edges = graph_->num_edges();
+    vertices = graph_->num_vertices();
     return Status::success();
 }
 

@@ -28,7 +28,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/graph_service.hpp"
 #include "core/graphtinker.hpp"
 #include "recover/wal.hpp"
 #include "util/status.hpp"
@@ -68,10 +70,10 @@ struct RecoveryInfo {
     return "unknown";
 }
 
-class DurableStore {
+class DurableStore final : public GraphService {
 public:
     DurableStore() = default;
-    ~DurableStore();
+    ~DurableStore() override;
     DurableStore(const DurableStore&) = delete;
     DurableStore& operator=(const DurableStore&) = delete;
 
@@ -118,6 +120,22 @@ public:
     [[nodiscard]] std::string snapshot_path() const;
     [[nodiscard]] std::string prev_snapshot_path() const;
     [[nodiscard]] std::string wal_path() const;
+
+    // ---- GraphService ----------------------------------------------------
+    // The local implementation of the shared verb surface: mutations ride
+    // the WAL-teed transactional batch path, bfs_distances runs the engine
+    // in-process. checkpoint_now() is checkpoint().
+    [[nodiscard]] Status insert_edges(std::span<const Edge> edges,
+                                      std::uint64_t* edge_count) override;
+    [[nodiscard]] Status delete_edges(std::span<const Edge> edges,
+                                      std::uint64_t* edge_count) override;
+    [[nodiscard]] Status degree_of(VertexId v, std::uint64_t& out) override;
+    [[nodiscard]] Status bfs_distances(
+        VertexId root, std::span<const VertexId> targets,
+        std::vector<std::uint32_t>& out) override;
+    [[nodiscard]] Status count(std::uint64_t& edges,
+                               std::uint64_t& vertices) override;
+    [[nodiscard]] Status checkpoint_now() override { return checkpoint(); }
 
 private:
     std::string dir_;

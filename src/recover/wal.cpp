@@ -412,6 +412,72 @@ void WalWriter::abort_batch() noexcept {
     }
 }
 
+Status WalWriter::append_frame(std::span<const WalRecord> records) noexcept {
+    if (!status_.ok()) {
+        return status_;
+    }
+    if (in_batch_) {
+        return Status{StatusCode::InvalidArgument,
+                      "append_frame during an open local batch"};
+    }
+    if (records.empty()) {
+        return Status::success();
+    }
+    if (fd_ < 0 || mode_ == DurabilityMode::Off) {
+        return Status{StatusCode::WalClosed,
+                      "append_frame requires an open, durable WAL"};
+    }
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (records[i].seq != next_seq_ + i) {
+            return Status{StatusCode::WalBadSequence,
+                          "append_frame: records do not continue this log's "
+                          "sequence (expected " +
+                              std::to_string(next_seq_ + i) + ", got " +
+                              std::to_string(records[i].seq) + ")"};
+        }
+        if (records[i].payload.size() > kWalMaxRecordLen) {
+            return Status{StatusCode::WalBadRecord,
+                          "append_frame: record payload exceeds "
+                          "kWalMaxRecordLen"};
+        }
+    }
+    const WalRecordType last = records.back().type;
+    if (last != WalRecordType::BatchCommit &&
+        last != WalRecordType::SoloInsert &&
+        last != WalRecordType::SoloDelete) {
+        return Status{StatusCode::WalBadRecord,
+                      "append_frame: frame does not end at a commit or solo "
+                      "record"};
+    }
+    try {
+        out_buf_.clear();
+        for (const WalRecord& rec : records) {
+            // Seq equality was pre-validated above, so encode_record's
+            // internally assigned next_seq_++ reproduces rec.seq exactly.
+            encode_record(rec.type, rec.payload.data(), rec.payload.size());
+        }
+        const std::size_t commit_bytes = out_buf_.size();
+        if (!write_out_buf()) {
+            return status_;
+        }
+        if (mode_ == DurabilityMode::FsyncBatch) {
+            if (::fsync(fd_) != 0) {
+                latch(Status{StatusCode::IoError,
+                             std::string{"fsync failed: "} +
+                                 std::strerror(errno)});
+                return status_;
+            }
+            fsyncs_m_->inc();
+        }
+        commits_m_->inc();
+        commit_bytes_m_->record_sampled(commit_bytes);
+        return Status::success();
+    } catch (...) {
+        latch(Status{StatusCode::ResourceExhausted, "append_frame failed"});
+        return status_;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Scan / replay
 
@@ -557,22 +623,6 @@ Status scan_wal(const std::string& path, ReplayStats& stats,
 
 namespace {
 
-/// Frame accumulator for replay: buffers the runs of the open frame and
-/// applies them only when the commit record arrives.
-struct FrameReplay {
-    struct Run {
-        bool deletes;
-        std::vector<Edge> edges;
-    };
-    bool open = false;
-    std::vector<Run> runs;
-
-    void reset() {
-        open = false;
-        runs.clear();
-    }
-};
-
 [[nodiscard]] bool decode_run(const std::vector<unsigned char>& payload,
                               std::vector<Edge>& out) {
     std::uint32_t count = 0;
@@ -593,110 +643,292 @@ struct FrameReplay {
 
 }  // namespace
 
+Status WalApplier::apply(const WalRecord& rec) {
+    if (!status_.ok()) {
+        return status_;
+    }
+    const auto latch = [&](Status st) {
+        if (!st.ok() && status_.ok()) {
+            status_ = st;
+        }
+    };
+    const auto reset_frame = [&] {
+        open_ = false;
+        runs_.clear();
+    };
+    switch (rec.type) {
+        case WalRecordType::BatchBegin:
+            reset_frame();  // an older open frame is simply torn
+            open_ = true;
+            break;
+        case WalRecordType::InsertRun:
+        case WalRecordType::DeleteRun: {
+            if (!open_) {
+                latch(Status{StatusCode::WalBadRecord,
+                             "well-checksummed record violates framing"});
+                break;
+            }
+            Run run;
+            run.deletes = rec.type == WalRecordType::DeleteRun;
+            if (!decode_run(rec.payload, run.edges)) {
+                latch(Status{StatusCode::WalBadRecord,
+                             "well-checksummed record violates framing"});
+                break;
+            }
+            runs_.push_back(std::move(run));
+            break;
+        }
+        case WalRecordType::BatchCommit: {
+            if (!open_) {
+                latch(Status{StatusCode::WalBadRecord,
+                             "well-checksummed record violates framing"});
+                break;
+            }
+            // Skip frames the snapshot already covers: the *commit* seq is
+            // the frame's durability point.
+            if (rec.seq > after_seq_) {
+                for (const Run& run : runs_) {
+                    if (run.deletes) {
+                        latch(graph_.delete_batch(run.edges));
+                        if (stats_ != nullptr) {
+                            stats_->edges_deleted += run.edges.size();
+                        }
+                    } else {
+                        latch(graph_.insert_batch(run.edges));
+                        if (stats_ != nullptr) {
+                            stats_->edges_inserted += run.edges.size();
+                        }
+                    }
+                }
+                if (stats_ != nullptr) {
+                    ++stats_->batches_applied;
+                }
+                applied_seq_ = rec.seq;
+            }
+            reset_frame();
+            break;
+        }
+        case WalRecordType::SoloInsert:
+        case WalRecordType::SoloDelete: {
+            if (open_) {
+                // A solo record implicitly tears any open frame.
+                reset_frame();
+            }
+            if (rec.payload.size() != sizeof(Edge)) {
+                latch(Status{StatusCode::WalBadRecord,
+                             "well-checksummed record violates framing"});
+                break;
+            }
+            if (rec.seq <= after_seq_) {
+                break;
+            }
+            std::vector<Edge> solo(1);
+            std::memcpy(solo.data(), rec.payload.data(), sizeof(Edge));
+            if (rec.type == WalRecordType::SoloInsert) {
+                latch(graph_.insert_batch(solo));
+                if (stats_ != nullptr) {
+                    ++stats_->edges_inserted;
+                }
+            } else {
+                latch(graph_.delete_batch(solo));
+                if (stats_ != nullptr) {
+                    ++stats_->edges_deleted;
+                }
+            }
+            if (stats_ != nullptr) {
+                ++stats_->batches_applied;
+            }
+            applied_seq_ = rec.seq;
+            break;
+        }
+    }
+    return status_;
+}
+
 Status replay_wal(const std::string& path, core::GraphTinker& graph,
                   std::uint64_t after_seq, ReplayStats& stats) {
-    FrameReplay frame;
-    Status apply_status = Status::success();
-    const auto apply_runs = [&](const std::vector<FrameReplay::Run>& runs) {
-        for (const FrameReplay::Run& run : runs) {
-            if (run.deletes) {
-                const Status st = graph.delete_batch(run.edges);
-                if (!st.ok() && apply_status.ok()) {
-                    apply_status = st;
-                }
-                stats.edges_deleted += run.edges.size();
-            } else {
-                const Status st = graph.insert_batch(run.edges);
-                if (!st.ok() && apply_status.ok()) {
-                    apply_status = st;
-                }
-                stats.edges_inserted += run.edges.size();
-            }
-        }
-        ++stats.batches_applied;
-    };
-    std::vector<Edge> solo(1);
-    bool malformed = false;
+    WalApplier applier(graph, after_seq, &stats);
     const Status st = scan_wal(path, stats, [&](const WalRecord& rec) {
-        if (malformed || !apply_status.ok()) {
-            return;
-        }
-        switch (rec.type) {
-            case WalRecordType::BatchBegin:
-                frame.reset();
-                frame.open = true;
-                break;
-            case WalRecordType::InsertRun:
-            case WalRecordType::DeleteRun: {
-                if (!frame.open) {
-                    malformed = true;  // run outside a frame
-                    return;
-                }
-                FrameReplay::Run run;
-                run.deletes = rec.type == WalRecordType::DeleteRun;
-                if (!decode_run(rec.payload, run.edges)) {
-                    malformed = true;
-                    return;
-                }
-                frame.runs.push_back(std::move(run));
-                break;
-            }
-            case WalRecordType::BatchCommit:
-                if (!frame.open) {
-                    malformed = true;
-                    return;
-                }
-                // Skip frames the snapshot already covers: the *commit*
-                // seq is the frame's durability point.
-                if (rec.seq > after_seq) {
-                    apply_runs(frame.runs);
-                }
-                frame.reset();
-                break;
-            case WalRecordType::SoloInsert:
-            case WalRecordType::SoloDelete: {
-                if (frame.open) {
-                    // A solo record implicitly tears any open frame.
-                    frame.reset();
-                }
-                if (rec.payload.size() != sizeof(Edge)) {
-                    malformed = true;
-                    return;
-                }
-                if (rec.seq <= after_seq) {
-                    return;
-                }
-                std::memcpy(solo.data(), rec.payload.data(), sizeof(Edge));
-                if (rec.type == WalRecordType::SoloInsert) {
-                    const Status ist = graph.insert_batch(solo);
-                    if (!ist.ok() && apply_status.ok()) {
-                        apply_status = ist;
-                    }
-                    ++stats.edges_inserted;
-                } else {
-                    const Status dst = graph.delete_batch(solo);
-                    if (!dst.ok() && apply_status.ok()) {
-                        apply_status = dst;
-                    }
-                    ++stats.edges_deleted;
-                }
-                ++stats.batches_applied;
-                break;
-            }
-        }
+        (void)applier.apply(rec);  // first failure latches; later feeds no-op
     });
     if (!st.ok()) {
         return st;
     }
-    if (!apply_status.ok()) {
-        return apply_status;
+    if (!applier.status().ok()) {
+        return applier.status();
     }
-    if (malformed) {
-        return Status{StatusCode::WalBadRecord,
-                      "well-checksummed record violates framing"};
-    }
-    stats.torn_batch = stats.torn_batch || frame.open;
+    stats.torn_batch = stats.torn_batch || applier.frame_open();
     return Status::success();
+}
+
+// ---------------------------------------------------------------------------
+// WalTailer
+
+namespace {
+
+/// pread_exact: like read_exact but at an explicit offset, leaving the fd's
+/// own position alone — a stalled poll must not disturb the cursor.
+ReadOutcome pread_exact(int fd, unsigned char* data, std::size_t len,
+                        std::uint64_t offset) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::pread(fd, data + done, len - done,
+                                  static_cast<off_t>(offset + done));
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return ReadOutcome::Error;
+        }
+        if (n == 0) {
+            return done == 0 ? ReadOutcome::Eof : ReadOutcome::Short;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return ReadOutcome::Full;
+}
+
+}  // namespace
+
+Status WalTailer::open(const std::string& path, std::uint64_t after_seq) {
+    close();
+    status_ = Status::success();
+    skip_seq_ = after_seq;
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0) {
+        return Status{StatusCode::IoError,
+                      "open('" + path + "') failed: " + std::strerror(errno)};
+    }
+    unsigned char header[kFileHeaderBytes];
+    switch (pread_exact(fd_, header, sizeof(header), 0)) {
+        case ReadOutcome::Full:
+            break;
+        case ReadOutcome::Error: {
+            Status st{StatusCode::IoError,
+                      "read('" + path +
+                          "') failed: " + std::strerror(errno)};
+            close();
+            return st;
+        }
+        case ReadOutcome::Eof:
+        case ReadOutcome::Short:
+            close();
+            return Status{StatusCode::WalTruncated,
+                          "EOF inside the WAL file header"};
+    }
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::memcpy(&magic, header, sizeof(magic));
+    std::memcpy(&version, header + sizeof(magic), sizeof(version));
+    if (magic != kWalMagic) {
+        close();
+        return Status{StatusCode::WalBadMagic, "not a GraphTinker WAL",
+                      magic};
+    }
+    if (version != kWalVersion) {
+        close();
+        return Status{StatusCode::WalBadVersion, "unsupported WAL version",
+                      version};
+    }
+    offset_ = kFileHeaderBytes;
+    prev_seq_ = 0;
+    last_seq_ = 0;
+    // Peek the first record header for the servable floor; an incomplete
+    // header (fresh log, or mid-first-append) leaves it 0 and the owner
+    // falls back to the writer's resume seq.
+    first_seq_ = 0;
+    unsigned char rh[kRecordHeaderBytes];
+    if (pread_exact(fd_, rh, sizeof(rh), kFileHeaderBytes) ==
+        ReadOutcome::Full) {
+        std::memcpy(&first_seq_, rh + 8, sizeof(first_seq_));
+    }
+    return Status::success();
+}
+
+void WalTailer::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    offset_ = 0;
+    prev_seq_ = 0;
+    last_seq_ = 0;
+    first_seq_ = 0;
+}
+
+std::size_t WalTailer::poll(const std::function<void(const WalRecord&)>& fn,
+                            std::size_t limit) {
+    if (fd_ < 0 || !status_.ok()) {
+        return 0;
+    }
+    std::size_t surfaced = 0;
+    WalRecord rec;
+    while (limit == 0 || surfaced < limit) {
+        unsigned char rh[kRecordHeaderBytes];
+        const ReadOutcome got = pread_exact(fd_, rh, sizeof(rh), offset_);
+        if (got == ReadOutcome::Eof || got == ReadOutcome::Short) {
+            break;  // caught up (a short header fills in on a later poll)
+        }
+        if (got == ReadOutcome::Error) {
+            status_ = Status{StatusCode::IoError,
+                             "WAL tail read failed at offset " +
+                                 std::to_string(offset_) + ": " +
+                                 std::strerror(errno)};
+            break;
+        }
+        std::uint32_t crc = 0;
+        std::uint32_t len = 0;
+        std::uint64_t seq = 0;
+        std::uint8_t type = 0;
+        std::memcpy(&crc, rh, sizeof(crc));
+        std::memcpy(&len, rh + 4, sizeof(len));
+        std::memcpy(&seq, rh + 8, sizeof(seq));
+        std::memcpy(&type, rh + 16, sizeof(type));
+        if (len > kWalMaxRecordLen || !valid_type(type)) {
+            status_ = Status{StatusCode::WalBadRecord,
+                             "record header out of bounds", offset_};
+            break;
+        }
+        rec.payload.resize(len);
+        if (len > 0) {
+            const ReadOutcome body = pread_exact(
+                fd_, rec.payload.data(), len, offset_ + sizeof(rh));
+            if (body == ReadOutcome::Eof || body == ReadOutcome::Short) {
+                break;  // mid-append; the rest arrives with the commit
+            }
+            if (body == ReadOutcome::Error) {
+                status_ = Status{StatusCode::IoError,
+                                 "WAL tail read failed at offset " +
+                                     std::to_string(offset_) + ": " +
+                                     std::strerror(errno)};
+                break;
+            }
+        }
+        // Complete bytes past this point are final (appends are ordered),
+        // so validation failures are corruption, not racing.
+        if (crc != record_crc(len, seq, type, rec.payload.data())) {
+            status_ = Status{StatusCode::WalChecksum,
+                             "record checksum mismatch", offset_};
+            break;
+        }
+        if (prev_seq_ != 0 && seq != prev_seq_ + 1) {
+            status_ = Status{StatusCode::WalBadSequence,
+                             "sequence gap in the record stream", seq};
+            break;
+        }
+        prev_seq_ = seq;
+        rec.seq = seq;
+        rec.type = static_cast<WalRecordType>(type);
+        rec.offset = offset_;
+        offset_ += sizeof(rh) + len;
+        if (seq <= skip_seq_) {
+            continue;  // catch-up skip: the follower already holds this
+        }
+        last_seq_ = seq;
+        ++surfaced;
+        fn(rec);
+    }
+    return surfaced;
 }
 
 Status truncate_wal_tail(const std::string& path,

@@ -103,6 +103,14 @@ enum class DurabilityMode : std::uint8_t {
     return "unknown";
 }
 
+/// One decoded record (payload still raw bytes).
+struct WalRecord {
+    std::uint64_t seq = 0;
+    WalRecordType type{};
+    std::vector<unsigned char> payload;
+    std::uint64_t offset = 0;  // byte offset of the record header
+};
+
 /// Appending side. Implements core::UpdateLog so GraphTinker tees through
 /// it; all UpdateLog methods are noexcept and latch the first failure into
 /// status() (the store must not unwind through its durability tee).
@@ -145,6 +153,18 @@ public:
     /// Forces an fsync now (checkpointing wants a hard boundary even in
     /// Buffered mode).
     [[nodiscard]] Status sync() noexcept;
+
+    /// Appends externally produced records verbatim — the replication
+    /// follower's mirror path: records shipped from a primary land in this
+    /// log carrying the primary's own sequence numbers, so the two logs
+    /// stay byte-compatible and the follower's durable_seq() *is* its
+    /// applied position. The records must continue this log's sequence
+    /// exactly and form one complete frame (last record a commit or solo).
+    /// One write() per call — the same durability point as commit_batch();
+    /// FsyncBatch syncs. Refused (not latched) on a sequence gap so the
+    /// caller can re-subscribe; I/O failures latch as usual.
+    [[nodiscard]] Status append_frame(
+        std::span<const WalRecord> records) noexcept;
 
     /// Latches `st` as the writer's terminal status: every further
     /// begin/stage/commit fails fast with it. Used when the enclosing store
@@ -199,14 +219,6 @@ private:
     obs::Histogram* commit_bytes_m_ = nullptr;
 };
 
-/// One decoded record (payload still raw bytes).
-struct WalRecord {
-    std::uint64_t seq = 0;
-    WalRecordType type{};
-    std::vector<unsigned char> payload;
-    std::uint64_t offset = 0;  // byte offset of the record header
-};
-
 /// Outcome of a scan/replay pass.
 struct ReplayStats {
     std::uint64_t records_scanned = 0;
@@ -242,5 +254,113 @@ struct ReplayStats {
 /// by WalWriter::open before appending, and by tests.
 [[nodiscard]] Status truncate_wal_tail(const std::string& path,
                                        std::uint64_t valid_bytes);
+
+/// Record-by-record WAL application — the framing/commit semantics of
+/// replay_wal() exposed incrementally, for consumers whose records arrive
+/// one at a time (the replication follower's shipped stream) instead of
+/// from a file scan. Runs of an open frame buffer in memory; only a
+/// BatchCommit (or a solo record) mutates the graph, so a stream that stops
+/// mid-frame leaves the graph exactly at the last committed boundary.
+/// Records with seq <= `after_seq` (judged at the commit/solo record, the
+/// frame's durability point) are skipped. The first framing violation or
+/// apply failure latches: every later apply() returns it unchanged.
+class WalApplier {
+public:
+    /// `stats`, when non-null, accumulates batches/edges counters exactly
+    /// as replay_wal() reports them.
+    explicit WalApplier(core::GraphTinker& graph, std::uint64_t after_seq = 0,
+                        ReplayStats* stats = nullptr)
+        : graph_(graph), after_seq_(after_seq), stats_(stats) {}
+
+    /// Feeds one record (callers supply them in seq order). Returns the
+    /// latched status — Ok means everything fed so far applied cleanly.
+    [[nodiscard]] Status apply(const WalRecord& rec);
+
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+    /// True while a BatchBegin has been fed without its commit.
+    [[nodiscard]] bool frame_open() const noexcept { return open_; }
+    /// Seq of the last commit/solo record whose effects are in the graph.
+    [[nodiscard]] std::uint64_t applied_seq() const noexcept {
+        return applied_seq_;
+    }
+
+private:
+    struct Run {
+        bool deletes = false;
+        std::vector<Edge> edges;
+    };
+
+    core::GraphTinker& graph_;
+    std::uint64_t after_seq_ = 0;
+    ReplayStats* stats_ = nullptr;
+    bool open_ = false;
+    std::vector<Run> runs_;
+    std::uint64_t applied_seq_ = 0;
+    Status status_;
+};
+
+/// Incremental WAL reader — the primary-side cursor behind the Subscribe
+/// verb. Holds a private read fd plus a byte/seq cursor and surfaces the
+/// complete records appended since the last poll(), in order.
+///
+/// Safe to run against a live WalWriter on the same file: the writer
+/// write()s a frame's records in one append, so a poll sees either the
+/// whole frame or a clean prefix ending in an incomplete record. An
+/// incomplete tail is not an error here — the cursor stays parked on the
+/// last whole-record boundary and the next poll retries — but a checksum
+/// or sequence violation in *complete* bytes is real corruption and
+/// latches status(). prune_wal() rewrites the log file in place, which
+/// orphans this fd; the owner detects the resulting stall (or listens for
+/// the prune) and reopens from its last shipped seq.
+class WalTailer {
+public:
+    WalTailer() = default;
+    ~WalTailer() { close(); }
+
+    WalTailer(const WalTailer&) = delete;
+    WalTailer& operator=(const WalTailer&) = delete;
+
+    /// Opens `path` read-only and validates the file header. Records with
+    /// seq <= `after_seq` are read but not surfaced — the catch-up skip for
+    /// a follower that already holds a prefix.
+    [[nodiscard]] Status open(const std::string& path,
+                              std::uint64_t after_seq = 0);
+    void close() noexcept;
+    [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+    /// First hard failure (corruption past a complete record, read errors).
+    /// Once latched every poll() returns 0.
+    [[nodiscard]] const Status& status() const noexcept { return status_; }
+    /// Sequence of the last record surfaced to a poll() callback (0 when
+    /// nothing surfaced yet; skipped catch-up records do not count).
+    [[nodiscard]] std::uint64_t last_seq() const noexcept {
+        return last_seq_;
+    }
+    /// Sequence of the first record the file held at open() time — the
+    /// tailer's servable floor. 0 when the log had no complete record header
+    /// yet (fresh or pruned log; the owner falls back to the writer's
+    /// resume seq).
+    [[nodiscard]] std::uint64_t first_seq() const noexcept {
+        return first_seq_;
+    }
+
+    /// Reads forward from the cursor, invoking `fn` for every complete
+    /// record (after the catch-up skip). Stops at EOF, at an incomplete
+    /// tail (both are "caught up for now" — retry after the next commit),
+    /// after `limit` surfaced records (0 = unbounded), or at a latched
+    /// failure. Returns the number surfaced to `fn` this call.
+    [[nodiscard]] std::size_t poll(
+        const std::function<void(const WalRecord&)>& fn,
+        std::size_t limit = 0);
+
+private:
+    int fd_ = -1;
+    std::uint64_t offset_ = 0;    // next unread byte
+    std::uint64_t prev_seq_ = 0;  // contiguity check
+    std::uint64_t skip_seq_ = 0;  // surface only seq > skip_seq_
+    std::uint64_t last_seq_ = 0;
+    std::uint64_t first_seq_ = 0;
+    Status status_;
+};
 
 }  // namespace gt::recover

@@ -50,6 +50,12 @@ public:
 
     void lock() GT_ACQUIRE() { mu_.lock(); }
     void unlock() GT_RELEASE() { mu_.unlock(); }
+    /// Non-blocking writer acquire — lets a single-writer owner fall back
+    /// to a deferred queue instead of stalling its event loop behind
+    /// readers (glibc's shared_mutex is reader-preferring).
+    [[nodiscard]] bool try_lock() GT_TRY_ACQUIRE(true) {
+        return mu_.try_lock();
+    }
     void lock_shared() GT_ACQUIRE_SHARED() { mu_.lock_shared(); }
     void unlock_shared() GT_RELEASE_SHARED() { mu_.unlock_shared(); }
 

@@ -263,5 +263,35 @@ TEST(Protocol, StatusWireMapping) {
     EXPECT_TRUE(status_of_wire(WireCode::Ok, "").ok());
 }
 
+TEST(Protocol, SubscriptionWireConstants) {
+    // The replication stream's wire contract is frozen: the type values,
+    // the ship-data flag bit and the two replication error codes are part
+    // of gt.net.v1 and must never drift (a replica built against one
+    // binary talks to a primary built against another).
+    EXPECT_EQ(static_cast<std::uint8_t>(MsgType::Subscribe), 14);
+    EXPECT_EQ(static_cast<std::uint8_t>(MsgType::SubAck), 15);
+    EXPECT_EQ(kFlagShipData, 0x1);
+    EXPECT_EQ(static_cast<std::uint16_t>(WireCode::SeqUnavailable), 16);
+    EXPECT_EQ(static_cast<std::uint16_t>(WireCode::ReadOnly), 17);
+    // Neither replication failure is retry-as-is: the replica must
+    // re-seed (SeqUnavailable) or redirect its write (ReadOnly).
+    EXPECT_FALSE(retryable(WireCode::SeqUnavailable));
+    EXPECT_FALSE(retryable(WireCode::ReadOnly));
+    // A ship frame is a response-typed Subscribe frame with the flag set;
+    // it round-trips like any frame.
+    std::vector<unsigned char> bytes;
+    const unsigned char payload[] = {1, 2, 3};
+    encode_frame(bytes,
+                 static_cast<std::uint8_t>(MsgType::Subscribe) |
+                     kResponseBit,
+                 42, payload, kFlagShipData);
+    Frame f;
+    std::size_t consumed = 0;
+    DecodeError err;
+    ASSERT_EQ(decode_frame(bytes, f, consumed, err), DecodeResult::Ok);
+    EXPECT_EQ(f.flags & kFlagShipData, kFlagShipData);
+    EXPECT_EQ(f.request_id, 42U);
+}
+
 }  // namespace
 }  // namespace gt::net

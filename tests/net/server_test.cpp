@@ -1,11 +1,12 @@
 // gt serve end-to-end: a real Server on a real socket, exercised by the
 // blocking Client and by raw byte streams. Covers the happy path (open /
-// pipelined mutate / BFS with verified distances), the robustness matrix
-// (malformed frames, garbage bytes, half-open disconnects), backpressure
-// shedding, durable recovery across server restarts, multi-client traffic
-// under TSan, and — via fork + SIGKILL — the crash contract: a server
-// killed mid-batch leaves a directory that recovers exactly the committed
-// prefix.
+// pipelined mutate / BFS with verified distances) through RemoteGraph
+// session handles, the robustness matrix (malformed frames, garbage bytes,
+// half-open disconnects), backpressure shedding, durable recovery across
+// server restarts, reply-id pairing (out-of-order buffering, stale-reply
+// rejection), multi-loop + reader-pool traffic under TSan, read-only
+// refusal, and — via fork + SIGKILL — the crash contract: a server killed
+// mid-batch leaves a directory that recovers exactly the committed prefix.
 #include "net/server.hpp"
 
 #include <gtest/gtest.h>
@@ -15,6 +16,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -79,9 +81,9 @@ TEST(Server, EndToEndMutateAndQuery) {
     ScopedServer server({.root = dir.path()});
     Client client = connect_to(server.port());
 
-    std::uint8_t source = 99;
-    ASSERT_TRUE(client.open_graph("g1", 255, &source).ok());
-    EXPECT_EQ(source,
+    RemoteGraph g1;
+    ASSERT_TRUE(client.open("g1", g1).ok());
+    EXPECT_EQ(g1.recovery_source(),
               static_cast<std::uint8_t>(
                   recover::RecoveryInfo::Source::Fresh));
 
@@ -89,30 +91,30 @@ TEST(Server, EndToEndMutateAndQuery) {
     const std::vector<Edge> edges = {
         {0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {0, 4, 1}};
     std::uint64_t count = 0;
-    ASSERT_TRUE(client.insert_batch("g1", edges, &count).ok());
+    ASSERT_TRUE(g1.insert_edges(edges, &count).ok());
     EXPECT_EQ(count, 4U);
 
     std::uint64_t deg = 0;
-    ASSERT_TRUE(client.degree("g1", 0, deg).ok());
+    ASSERT_TRUE(g1.degree_of(0, deg).ok());
     EXPECT_EQ(deg, 2U);
 
     std::vector<std::pair<VertexId, Weight>> nbrs;
-    ASSERT_TRUE(client.neighbors("g1", 0, nbrs).ok());
+    ASSERT_TRUE(g1.neighbors(0, nbrs).ok());
     EXPECT_EQ(nbrs.size(), 2U);
 
     const std::vector<VertexId> targets = {0, 1, 2, 3, 4, 9};
     std::vector<std::uint32_t> dist;
-    ASSERT_TRUE(client.bfs("g1", 0, targets, dist).ok());
+    ASSERT_TRUE(g1.bfs_distances(0, targets, dist).ok());
     const std::vector<std::uint32_t> expected = {0, 1, 2, 3, 1,
                                                  kInfDistance};
     EXPECT_EQ(dist, expected);
 
     std::vector<std::uint32_t> sdist;
-    ASSERT_TRUE(client.sssp("g1", 0, targets, sdist).ok());
+    ASSERT_TRUE(g1.sssp(0, targets, sdist).ok());
     EXPECT_EQ(sdist[3], 3U);  // unit weights: same as hops
 
     std::vector<std::uint32_t> labels;
-    ASSERT_TRUE(client.cc("g1", {targets.data(), 5}, labels).ok());
+    ASSERT_TRUE(g1.cc({targets.data(), 5}, labels).ok());
     // All five vertices hang off root 0 in the directed propagation.
     for (const std::uint32_t label : labels) {
         EXPECT_EQ(label, labels[0]);
@@ -120,30 +122,31 @@ TEST(Server, EndToEndMutateAndQuery) {
 
     // Deleting the shortcut pushes 4 out of reach.
     const std::vector<Edge> del = {{0, 4, 1}};
-    ASSERT_TRUE(client.delete_batch("g1", del, &count).ok());
+    ASSERT_TRUE(g1.delete_edges(del, &count).ok());
     EXPECT_EQ(count, 3U);
-    ASSERT_TRUE(client.bfs("g1", 0, targets, dist).ok());
+    ASSERT_TRUE(g1.bfs_distances(0, targets, dist).ok());
     EXPECT_EQ(dist[4], kInfDistance);
 
     std::uint64_t e = 0;
     std::uint64_t v = 0;
-    ASSERT_TRUE(client.edge_count("g1", e, v).ok());
+    ASSERT_TRUE(g1.count(e, v).ok());
     EXPECT_EQ(e, 3U);
     EXPECT_EQ(v, 5U);
 
     std::string json;
-    ASSERT_TRUE(client.stats_json("g1", json).ok());
+    ASSERT_TRUE(g1.stats_json(json).ok());
     EXPECT_NE(json.find("gt.obs.v1"), std::string::npos);
 
-    ASSERT_TRUE(client.checkpoint("g1").ok());
-    ASSERT_TRUE(client.sync("g1").ok());
+    ASSERT_TRUE(g1.checkpoint_now().ok());
+    ASSERT_TRUE(g1.sync_wal().ok());
 }
 
 TEST(Server, PipelinedRequestsPairById) {
     TempDir dir;
     ScopedServer server({.root = dir.path()});
     Client client = connect_to(server.port());
-    ASSERT_TRUE(client.open_graph("p", 0).ok());
+    RemoteGraph graph;
+    ASSERT_TRUE(client.open("p", graph, 0).ok());
 
     // Stack 32 insert requests before draining a single reply.
     std::vector<std::uint64_t> ids;
@@ -169,8 +172,123 @@ TEST(Server, PipelinedRequestsPairById) {
     }
     std::uint64_t e = 0;
     std::uint64_t v = 0;
-    ASSERT_TRUE(client.edge_count("p", e, v).ok());
+    ASSERT_TRUE(graph.count(e, v).ok());
     EXPECT_EQ(e, 32U);
+}
+
+// ---------------------------------------------------------------------------
+// Reply-id pairing: the client must match replies deterministically — out of
+// order is fine (async reads reorder), an id it never sent is a protocol
+// violation that closes the connection. A hand-rolled one-connection "server"
+// lets the test control reply order exactly.
+
+/// Accepts one connection and runs `script(fd)` on it.
+class FakeServer {
+public:
+    explicit FakeServer(std::function<void(int)> script) {
+        Status st = tcp_listen("127.0.0.1", 0, listen_, port_);
+        EXPECT_TRUE(st.ok()) << st.to_string();
+        thread_ = std::thread([this, script = std::move(script)] {
+            const Fd conn{accept_retry(listen_.get())};
+            if (!conn.valid()) {
+                return;
+            }
+            script(conn.get());
+        });
+    }
+    ~FakeServer() { thread_.join(); }
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+private:
+    Fd listen_;
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+/// Appends exactly `n` request frames to `out`. `buf` carries undecoded
+/// bytes across calls — TCP happily coalesces pipelined frames, so a later
+/// request may already sit behind an earlier one in the same recv.
+void drain_requests(int fd, std::size_t n, std::vector<Frame>& out,
+                    std::vector<unsigned char>& buf) {
+    const std::size_t want = out.size() + n;
+    while (out.size() < want) {
+        for (; out.size() < want;) {
+            Frame f;
+            std::size_t consumed = 0;
+            DecodeError err;
+            if (decode_frame(buf, f, consumed, err) != DecodeResult::Ok) {
+                break;
+            }
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(consumed));
+            out.push_back(std::move(f));
+        }
+        if (out.size() >= want) {
+            return;
+        }
+        unsigned char chunk[4096];
+        std::size_t got = 0;
+        if (recv_some(fd, chunk, sizeof(chunk), got) != IoResult::Ok) {
+            return;
+        }
+        buf.insert(buf.end(), chunk, chunk + got);
+    }
+}
+
+void send_pong(int fd, std::uint64_t request_id) {
+    std::vector<unsigned char> out;
+    encode_frame(out,
+                 static_cast<std::uint8_t>(MsgType::Ping) | kResponseBit,
+                 request_id, {});
+    EXPECT_TRUE(send_all(fd, out).ok());
+}
+
+TEST(Client, OutOfOrderRepliesBufferForTheirRequester) {
+    FakeServer fake([](int fd) {
+        std::vector<Frame> reqs;
+        std::vector<unsigned char> buf;
+        drain_requests(fd, 2, reqs, buf);
+        ASSERT_EQ(reqs.size(), 2U);
+        // Answer the SECOND request first; the first reply arrives while
+        // the client is blocked inside ping() (round_trip on a 3rd id).
+        send_pong(fd, reqs[1].request_id);
+        drain_requests(fd, 1, reqs, buf);
+        ASSERT_EQ(reqs.size(), 3U);
+        send_pong(fd, reqs[0].request_id);
+        send_pong(fd, reqs[2].request_id);
+    });
+    Client client = connect_to(fake.port());
+    std::uint64_t id_a = 0;
+    std::uint64_t id_b = 0;
+    ASSERT_TRUE(client.send_request(MsgType::Ping, {}, id_a).ok());
+    ASSERT_TRUE(client.send_request(MsgType::Ping, {}, id_b).ok());
+    // round_trip(id_c) must skip past the buffered replies to a and b and
+    // still complete — and the buffered replies stay claimable.
+    ASSERT_TRUE(client.ping().ok());
+    Frame f;
+    ASSERT_TRUE(client.recv_reply(f).ok());
+    EXPECT_EQ(f.request_id, id_b);  // arrival order: b was sent first
+    ASSERT_TRUE(client.recv_reply(f).ok());
+    EXPECT_EQ(f.request_id, id_a);
+}
+
+TEST(Client, StaleReplyIdClosesTheConnection) {
+    FakeServer fake([](int fd) {
+        std::vector<Frame> reqs;
+        std::vector<unsigned char> buf;
+        drain_requests(fd, 1, reqs, buf);
+        ASSERT_EQ(reqs.size(), 1U);
+        send_pong(fd, reqs[0].request_id + 777);  // an id never issued
+    });
+    Client client = connect_to(fake.port());
+    std::uint64_t id = 0;
+    ASSERT_TRUE(client.send_request(MsgType::Ping, {}, id).ok());
+    Frame f;
+    const Status st = client.recv_reply(f);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message.find("stale"), std::string::npos)
+        << st.to_string();
+    EXPECT_FALSE(client.connected());
 }
 
 TEST(Server, ErrorsForBadRequests) {
@@ -178,28 +296,34 @@ TEST(Server, ErrorsForBadRequests) {
     ScopedServer server({.root = dir.path()});
     Client client = connect_to(server.port());
 
-    // Graph-scoped op before OpenGraph.
-    std::uint64_t deg = 0;
-    Status st = client.degree("nope", 1, deg);
+    // Graph-scoped op before OpenGraph (raw frame: a RemoteGraph handle can
+    // only exist after a successful open).
+    PayloadWriter unknown;
+    unknown.str("nope");
+    unknown.u32(1);
+    std::uint64_t id = 0;
+    ASSERT_TRUE(
+        client.send_request(MsgType::Degree, unknown.span(), id).ok());
+    Frame reply;
+    Status st = client.recv_reply(reply);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::UnknownGraph));
 
     // Path-traversal name.
-    st = client.open_graph("../evil");
+    RemoteGraph g;
+    st = client.open("../evil", g);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.detail,
               static_cast<std::uint64_t>(WireCode::BadGraphName));
 
     // Bad durability byte.
-    st = client.open_graph("ok-name", 7);
+    st = client.open("ok-name", g, 7);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::BadPayload));
 
     // Truncated payload for the declared type.
-    std::uint64_t id = 0;
     const unsigned char junk[] = {3, 0, 'a'};  // name_len=3 but 1 byte
     ASSERT_TRUE(client.send_request(MsgType::Degree, junk, id).ok());
-    Frame reply;
     st = client.recv_reply(reply);
     EXPECT_FALSE(st.ok());
     EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::BadPayload));
@@ -330,28 +454,46 @@ TEST(Server, BackpressureShedsRetryableBusy) {
 
 TEST(Server, DurableAcrossServerRestart) {
     TempDir dir;
-    std::uint16_t first_port = 0;
     {
         ScopedServer server({.root = dir.path()});
-        first_port = server.port();
-        Client client = connect_to(first_port);
-        ASSERT_TRUE(client.open_graph("persist", 1).ok());
+        Client client = connect_to(server.port());
+        RemoteGraph g;
+        ASSERT_TRUE(client.open("persist", g, 1).ok());
         const std::vector<Edge> edges = {{1, 2, 5}, {2, 3, 7}};
-        ASSERT_TRUE(client.insert_batch("persist", edges).ok());
-        ASSERT_TRUE(client.checkpoint("persist").ok());
+        ASSERT_TRUE(g.insert_edges(edges, nullptr).ok());
+        ASSERT_TRUE(g.checkpoint_now().ok());
     }  // graceful stop closes the store, flushing the WAL
     {
         ScopedServer server({.root = dir.path()});
         Client client = connect_to(server.port());
-        std::uint8_t source = 0;
-        ASSERT_TRUE(client.open_graph("persist", 1, &source).ok());
-        EXPECT_EQ(source, static_cast<std::uint8_t>(
-                              recover::RecoveryInfo::Source::Snapshot));
+        RemoteGraph g;
+        ASSERT_TRUE(client.open("persist", g, 1).ok());
+        EXPECT_EQ(g.recovery_source(),
+                  static_cast<std::uint8_t>(
+                      recover::RecoveryInfo::Source::Snapshot));
         std::uint64_t e = 0;
         std::uint64_t v = 0;
-        ASSERT_TRUE(client.edge_count("persist", e, v).ok());
+        ASSERT_TRUE(g.count(e, v).ok());
         EXPECT_EQ(e, 2U);
     }
+}
+
+TEST(Server, ReadOnlyModeRefusesMutations) {
+    TempDir dir;
+    ServerOptions options{.root = dir.path()};
+    options.read_only = true;
+    ScopedServer server(options);
+    Client client = connect_to(server.port());
+    RemoteGraph g;
+    ASSERT_TRUE(client.open("ro", g).ok());  // opening is fine
+    const std::vector<Edge> edges = {{0, 1, 1}};
+    const Status st = g.insert_edges(edges, nullptr);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::ReadOnly));
+    // Reads still work.
+    std::uint64_t deg = 99;
+    EXPECT_TRUE(g.degree_of(0, deg).ok());
+    EXPECT_EQ(deg, 0U);
 }
 
 TEST(Server, MultiClientConcurrentTraffic) {
@@ -364,9 +506,10 @@ TEST(Server, MultiClientConcurrentTraffic) {
     ScopedServer server({.root = dir.path()});
     {
         Client setup = connect_to(server.port());
-        ASSERT_TRUE(setup.open_graph("shared", 0).ok());
+        RemoteGraph shared;
+        ASSERT_TRUE(setup.open("shared", shared, 0).ok());
         const std::vector<Edge> chain = {{0, 1, 1}, {1, 2, 1}};
-        ASSERT_TRUE(setup.insert_batch("shared", chain).ok());
+        ASSERT_TRUE(shared.insert_edges(chain, nullptr).ok());
     }
     std::vector<std::thread> threads;
     std::atomic<int> failures{0};
@@ -374,14 +517,15 @@ TEST(Server, MultiClientConcurrentTraffic) {
         threads.emplace_back([&, t] {
             Client c = connect_to(server.port());
             const std::string mine = "writer" + std::to_string(t);
-            if (!c.open_graph(mine, 0).ok()) {
+            RemoteGraph g;
+            if (!c.open(mine, g, 0).ok()) {
                 ++failures;
                 return;
             }
             for (std::uint32_t i = 0; i < 50; ++i) {
                 const Edge e{i, i + 1, 1};
                 std::uint64_t count = 0;
-                if (!c.insert_batch(mine, {&e, 1}, &count).ok() ||
+                if (!g.insert_edges({&e, 1}, &count).ok() ||
                     count != i + 1) {
                     ++failures;
                     return;
@@ -392,15 +536,20 @@ TEST(Server, MultiClientConcurrentTraffic) {
     for (int t = 0; t < 2; ++t) {
         threads.emplace_back([&] {
             Client c = connect_to(server.port());
+            RemoteGraph g;
+            if (!c.open("shared", g, 0).ok()) {
+                ++failures;
+                return;
+            }
             for (int i = 0; i < 50; ++i) {
                 std::uint64_t deg = 0;
-                if (!c.degree("shared", 0, deg).ok() || deg != 1) {
+                if (!g.degree_of(0, deg).ok() || deg != 1) {
                     ++failures;
                     return;
                 }
                 const std::vector<VertexId> targets = {2};
                 std::vector<std::uint32_t> dist;
-                if (!c.bfs("shared", 0, targets, dist).ok() ||
+                if (!g.bfs_distances(0, targets, dist).ok() ||
                     dist[0] != 2) {
                     ++failures;
                     return;
@@ -412,6 +561,87 @@ TEST(Server, MultiClientConcurrentTraffic) {
         th.join();
     }
     EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Server, MultiLoopMixedTraffic) {
+    // 4 event loops + a 2-thread reader pool, 4 writer clients + 4 reader
+    // clients, ALL on the same graph: connections land round-robin on
+    // different loops, so mutations from three of the four writers take
+    // the cross-loop hop into the owner loop's inbox, queries fan out to
+    // the reader pool under shared locks, and deferred mutations must
+    // interleave without losing ops. TSan covers the loop/pool handoffs;
+    // the final edge count covers lost-update bugs.
+    TempDir dir;
+    ServerOptions options{.root = dir.path()};
+    options.loop_threads = 4;
+    options.reader_threads = 2;
+    ScopedServer server(options);
+    {
+        Client setup = connect_to(server.port());
+        RemoteGraph g;
+        ASSERT_TRUE(setup.open("hot", g, 0).ok());
+        const std::vector<Edge> chain = {{0, 1, 1}, {1, 2, 1}};
+        ASSERT_TRUE(g.insert_edges(chain, nullptr).ok());
+    }
+    constexpr std::uint32_t kWriters = 4;
+    constexpr std::uint32_t kOpsPerWriter = 40;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (std::uint32_t t = 0; t < kWriters; ++t) {
+        threads.emplace_back([&, t] {
+            Client c = connect_to(server.port());
+            RemoteGraph g;
+            if (!c.open("hot", g, 0).ok()) {
+                ++failures;
+                return;
+            }
+            for (std::uint32_t i = 0; i < kOpsPerWriter; ++i) {
+                // Distinct vertex ranges per writer: no edge collides, so
+                // the final count is exact.
+                const Edge e{1000 + t * 1000 + i, 1000 + t * 1000 + i + 1,
+                             1};
+                if (!g.insert_edges({&e, 1}, nullptr).ok()) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&] {
+            Client c = connect_to(server.port());
+            RemoteGraph g;
+            if (!c.open("hot", g, 0).ok()) {
+                ++failures;
+                return;
+            }
+            for (int i = 0; i < 40; ++i) {
+                std::uint64_t deg = 0;
+                if (!g.degree_of(0, deg).ok() || deg != 1) {
+                    ++failures;
+                    return;
+                }
+                const std::vector<VertexId> targets = {2};
+                std::vector<std::uint32_t> dist;
+                if (!g.bfs_distances(0, targets, dist).ok() ||
+                    dist[0] != 2) {
+                    ++failures;
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread& th : threads) {
+        th.join();
+    }
+    EXPECT_EQ(failures.load(), 0);
+    Client check = connect_to(server.port());
+    RemoteGraph g;
+    ASSERT_TRUE(check.open("hot", g, 0).ok());
+    std::uint64_t e = 0;
+    std::uint64_t v = 0;
+    ASSERT_TRUE(g.count(e, v).ok());
+    EXPECT_EQ(e, 2U + kWriters * kOpsPerWriter);
 }
 
 TEST(Server, ConnectionCapShedsExtraClients) {
@@ -487,7 +717,8 @@ TEST(Server, KilledMidBatchRecoversCommittedPrefix) {
     const std::uint64_t kSeed = 20260807;
     Client client;
     ASSERT_TRUE(client.connect("127.0.0.1", port).ok());
-    ASSERT_TRUE(client.open_graph("crashme", 2).ok());  // fsync_batch
+    RemoteGraph crashme;
+    ASSERT_TRUE(client.open("crashme", crashme, 2).ok());  // fsync_batch
     // Stream torture batches; SIGKILL the server in the middle of the run
     // with requests still in flight.
     std::uint64_t step = 0;
@@ -496,8 +727,8 @@ TEST(Server, KilledMidBatchRecoversCommittedPrefix) {
             kSeed, step, kCrashEdgesPerStep, kCrashVertices);
         const Status st =
             recover::torture_step_is_delete(step)
-                ? client.delete_batch("crashme", batch)
-                : client.insert_batch("crashme", batch);
+                ? crashme.delete_edges(batch, nullptr)
+                : crashme.insert_edges(batch, nullptr);
         if (step == 150) {
             ASSERT_EQ(::kill(child, SIGKILL), 0);
         }

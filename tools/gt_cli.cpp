@@ -21,11 +21,27 @@
 //   gt torture-verify <dir> <seed>               recover + committed-prefix
 //                                                verification (exit 0/1)
 //   gt serve <root> [--host H] [--port N] [--fsync|--nosync]
+//            [--loops N] [--readers N]
 //                                                run the gt.net.v1 daemon
-//                                                (DESIGN.md §14); prints
+//                                                (DESIGN.md §14/§15); prints
 //                                                "listening on H:P" once
 //                                                bound; SIGINT/SIGTERM
-//                                                drain and exit cleanly
+//                                                drain and exit cleanly;
+//                                                --loops spreads connections
+//                                                over N event loops,
+//                                                --readers adds a shared-lock
+//                                                pool for the query verbs
+//   gt replicate <root> <primary host:port> <graph>
+//            [--host H] [--port N] [--once]
+//                                                warm replica: subscribe to
+//                                                the primary's WAL stream,
+//                                                mirror + apply it into
+//                                                <root>/<graph>, and serve
+//                                                read verbs (mutations are
+//                                                refused with ReadOnly).
+//                                                Prints "lag=0" once caught
+//                                                up; --once exits there
+//                                                instead of streaming on
 //   gt ping <host:port> [count]                  round-trip latency check
 //   gt remote-load <host:port> <graph> <file> [batch]
 //                                                stream an edge list into a
@@ -44,7 +60,10 @@
 // Market .mtx file (detected by extension). "-" reads stdin as an edge list.
 // --json renders the registry snapshot through the shared gt::obs exporter
 // (schema "gt.obs.v1"), the same document the micro benches embed.
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +72,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/audit.hpp"
@@ -66,6 +86,7 @@
 #include "gen/io.hpp"
 #include "gen/rmat.hpp"
 #include "net/client.hpp"
+#include "net/replica.hpp"
 #include "net/server.hpp"
 #include "obs/export.hpp"
 #include "recover/durable.hpp"
@@ -96,7 +117,10 @@ int usage() {
                  "  gt wal-dump <file> [limit]\n"
                  "  gt torture-writer <dir> <seed> [steps] [--fsync]\n"
                  "  gt torture-verify <dir> <seed>\n"
-                 "  gt serve <root> [--host H] [--port N] [--fsync|--nosync]\n"
+                 "  gt serve <root> [--host H] [--port N] [--fsync|--nosync]"
+                 " [--loops N] [--readers N]\n"
+                 "  gt replicate <root> <primary host:port> <graph> "
+                 "[--host H] [--port N] [--once]\n"
                  "  gt ping <host:port> [count]\n"
                  "  gt remote-load <host:port> <graph> <file> [batch]\n"
                  "  gt remote-bfs <host:port> <graph> <root> <target...>\n"
@@ -625,6 +649,10 @@ int cmd_serve(int argc, char** argv) {
             options.durability = recover::DurabilityMode::FsyncBatch;
         } else if (arg == "--nosync") {
             options.durability = recover::DurabilityMode::Off;
+        } else if (arg == "--loops" && i + 1 < argc) {
+            options.loop_threads = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--readers" && i + 1 < argc) {
+            options.reader_threads = std::strtoul(argv[++i], nullptr, 10);
         } else {
             return usage();
         }
@@ -654,22 +682,170 @@ int cmd_serve(int argc, char** argv) {
     return 0;
 }
 
-/// "host:port" → Client::connect, usage() on malformed input.
-int remote_connect(const std::string& hostport, net::Client& client) {
+/// Splits "host:port"; false on malformed input.
+bool parse_hostport(const std::string& hostport, std::string& host,
+                    std::uint16_t& port) {
     const std::size_t colon = hostport.rfind(':');
     if (colon == std::string::npos || colon + 1 >= hostport.size()) {
+        return false;
+    }
+    host = hostport.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::strtoul(hostport.c_str() + colon + 1, nullptr, 10));
+    return true;
+}
+
+/// "host:port" → Client::connect, usage() on malformed input.
+int remote_connect(const std::string& hostport, net::Client& client) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_hostport(hostport, host, port)) {
         std::fprintf(stderr, "error: expected host:port, got '%s'\n",
                      hostport.c_str());
         return usage();
     }
-    const std::string host = hostport.substr(0, colon);
-    const auto port = static_cast<std::uint16_t>(
-        std::strtoul(hostport.c_str() + colon + 1, nullptr, 10));
     if (const Status st = client.connect(host, port); !st.ok()) {
         std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
         return 1;
     }
     return 0;
+}
+
+// gt replicate — warm replica: a read_only server answers the read verbs
+// while a Replicator (owning the store's write side through open_local)
+// mirrors the primary's WAL stream.
+//
+// Shutdown ordering is load-bearing. Server::run()'s teardown closes and
+// frees every graph store, so the signal handler must NOT stop the server
+// while the Replicator can still touch its open_local handle — it only
+// shuts down the upstream socket (waking the blocking recv) and sets the
+// stop flag. The main thread detaches the feeder (rep.close()), and only
+// then publishes g_server, handing the handler authority to stop the
+// serving side.
+std::atomic<int> g_replica_upstream_fd{-1};
+std::atomic<bool> g_replica_stop{false};
+
+extern "C" void replicate_signal_handler(int /*sig*/) {
+    g_replica_stop.store(true, std::memory_order_relaxed);
+    if (g_server != nullptr) {
+        g_server->stop();
+    }
+    const int fd = g_replica_upstream_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);  // async-signal-safe; recv returns 0
+    }
+}
+
+int cmd_replicate(int argc, char** argv) {
+    if (argc < 3) {
+        return usage();
+    }
+    net::ServerOptions options;
+    options.root = argv[0];
+    options.read_only = true;
+    const std::string primary = argv[1];
+    const std::string graph = argv[2];
+    bool once = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host" && i + 1 < argc) {
+            options.host = argv[++i];
+        } else if (arg == "--port" && i + 1 < argc) {
+            options.port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--once") {
+            once = true;
+        } else {
+            return usage();
+        }
+    }
+    net::ReplicatorOptions ropts;
+    ropts.graph = graph;
+    if (!parse_hostport(primary, ropts.host, ropts.port)) {
+        std::fprintf(stderr, "error: expected host:port, got '%s'\n",
+                     primary.c_str());
+        return usage();
+    }
+    std::signal(SIGPIPE, SIG_IGN);
+    net::Server server;
+    if (const Status st = server.start(options); !st.ok()) {
+        std::fprintf(stderr, "replicate: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    // g_server stays null for now: the handler may only break the upstream
+    // recv while the feeder is attached (see the comment on the handler).
+    std::signal(SIGINT, replicate_signal_handler);
+    std::signal(SIGTERM, replicate_signal_handler);
+    // Scripts (tools/server_smoke.sh) wait for this exact line.
+    std::printf("listening on %s:%u\n", options.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    Status serve_st;
+    std::thread serve_thread([&] { serve_st = server.run(); });
+    const auto shutdown_server = [&] {
+        server.stop();
+        serve_thread.join();
+        g_server = nullptr;
+    };
+
+    net::Server::LocalGraph local;
+    if (const Status st = server.open_local(graph, local); !st.ok()) {
+        std::fprintf(stderr, "replicate: open '%s': %s\n", graph.c_str(),
+                     st.to_string().c_str());
+        shutdown_server();
+        return 1;
+    }
+    net::Replicator rep;
+    if (const Status st = rep.start(ropts, local); !st.ok()) {
+        std::fprintf(stderr, "replicate: %s\n", st.to_string().c_str());
+        shutdown_server();
+        return 1;
+    }
+    g_replica_upstream_fd.store(rep.client_native_handle(),
+                                std::memory_order_relaxed);
+
+    int rc = 0;
+    bool stream_ended = false;
+    if (const Status st = rep.pump_until_current(); !st.ok()) {
+        std::fprintf(stderr, "replicate: catch-up failed: %s\n",
+                     st.to_string().c_str());
+        rc = 1;
+    } else {
+        // Scripts grep for this exact line (seq is informational).
+        std::printf("lag=0 seq=%llu\n",
+                    static_cast<unsigned long long>(rep.applied_seq()));
+        std::fflush(stdout);
+        if (!once) {
+            const Status st2 = rep.run();
+            std::fprintf(stderr, "replicate: stream ended: %s\n",
+                         st2.to_string().c_str());
+            stream_ended = true;
+        }
+    }
+    const std::uint64_t final_seq = rep.applied_seq();
+    // Detach the feeder while the serving side is still up — only then may
+    // the handler (or we) stop the server, whose teardown closes stores.
+    g_replica_upstream_fd.store(-1, std::memory_order_relaxed);
+    rep.close();
+    g_server = &server;
+    if (stream_ended && rc == 0 &&
+        !g_replica_stop.load(std::memory_order_relaxed)) {
+        // The primary went away; keep answering reads until SIGTERM.
+        std::printf("serving committed prefix seq=%llu (SIGTERM to exit)\n",
+                    static_cast<unsigned long long>(final_seq));
+        std::fflush(stdout);
+    }
+    if (once || rc != 0 ||
+        g_replica_stop.load(std::memory_order_relaxed)) {
+        server.stop();  // idempotent — the handler may race us harmlessly
+    }
+    serve_thread.join();
+    g_server = nullptr;
+    if (!serve_st.ok()) {
+        std::fprintf(stderr, "replicate: %s\n", serve_st.to_string().c_str());
+        return 1;
+    }
+    return rc;
 }
 
 int cmd_ping(int argc, char** argv) {
@@ -713,8 +889,9 @@ int cmd_remote_load(int argc, char** argv) {
     if (const int rc = remote_connect(argv[0], client); rc != 0) {
         return rc;
     }
-    if (const Status st = client.open_graph(graph); !st.ok()) {
-        std::fprintf(stderr, "open_graph: %s\n", st.to_string().c_str());
+    net::RemoteGraph g;
+    if (const Status st = client.open(graph, g); !st.ok()) {
+        std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
         return 1;
     }
     std::uint64_t edge_count = 0;
@@ -724,9 +901,8 @@ int cmd_remote_load(int argc, char** argv) {
         const std::size_t n =
             std::min(batch_size, parsed.edges.size() - off);
         const std::span<const Edge> chunk(parsed.edges.data() + off, n);
-        if (const Status st = client.insert_batch(graph, chunk, &edge_count);
-            !st.ok()) {
-            std::fprintf(stderr, "insert_batch @%zu: %s\n", off,
+        if (const Status st = g.insert_edges(chunk, &edge_count); !st.ok()) {
+            std::fprintf(stderr, "insert_edges @%zu: %s\n", off,
                          st.to_string().c_str());
             return 1;
         }
@@ -757,12 +933,13 @@ int cmd_remote_bfs(int argc, char** argv) {
     }
     // Open (or attach to) the graph so a one-shot query works against a
     // freshly restarted server where nothing has opened it yet.
-    if (const Status st = client.open_graph(graph, 255); !st.ok()) {
+    net::RemoteGraph g;
+    if (const Status st = client.open(graph, g); !st.ok()) {
         std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
         return 1;
     }
     std::vector<std::uint32_t> dist;
-    if (const Status st = client.bfs(graph, root, targets, dist); !st.ok()) {
+    if (const Status st = g.bfs_distances(root, targets, dist); !st.ok()) {
         std::fprintf(stderr, "bfs: %s\n", st.to_string().c_str());
         return 1;
     }
@@ -784,12 +961,13 @@ int cmd_remote_stats(int argc, char** argv) {
     if (const int rc = remote_connect(argv[0], client); rc != 0) {
         return rc;
     }
-    if (const Status st = client.open_graph(argv[1], 255); !st.ok()) {
+    net::RemoteGraph g;
+    if (const Status st = client.open(argv[1], g); !st.ok()) {
         std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
         return 1;
     }
     std::string json;
-    if (const Status st = client.stats_json(argv[1], json); !st.ok()) {
+    if (const Status st = g.stats_json(json); !st.ok()) {
         std::fprintf(stderr, "stats: %s\n", st.to_string().c_str());
         return 1;
     }
@@ -814,8 +992,9 @@ int cmd_remote_torture_write(int argc, char** argv) {
     if (const int rc = remote_connect(argv[0], client); rc != 0) {
         return rc;
     }
-    if (const Status st = client.open_graph(graph, 1); !st.ok()) {
-        std::fprintf(stderr, "open_graph: %s\n", st.to_string().c_str());
+    net::RemoteGraph g;
+    if (const Status st = client.open(graph, g, 1); !st.ok()) {
+        std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
         return 1;
     }
     for (std::uint64_t step = 0; step < max_steps; ++step) {
@@ -824,8 +1003,8 @@ int cmd_remote_torture_write(int argc, char** argv) {
         const bool is_delete = recover::torture_step_is_delete(step);
         Status st;
         for (int attempt = 0; attempt < 100; ++attempt) {
-            st = is_delete ? client.delete_batch(graph, batch)
-                           : client.insert_batch(graph, batch);
+            st = is_delete ? g.delete_edges(batch, nullptr)
+                           : g.insert_edges(batch, nullptr);
             if (st.code != StatusCode::ResourceExhausted) {
                 break;  // success, or a non-retryable failure
             }
@@ -869,6 +1048,9 @@ int main(int argc, char** argv) {
     }
     if (command == "serve") {
         return cmd_serve(argc - 2, argv + 2);
+    }
+    if (command == "replicate") {
+        return cmd_replicate(argc - 2, argv + 2);
     }
     if (command == "ping") {
         return cmd_ping(argc - 2, argv + 2);

@@ -12,6 +12,11 @@
 #   4. graceful restart        SIGTERM, reboot on same root, data intact
 #   5. kill -9 mid-stream      remote-torture-write against a second graph,
 #                              SIGKILL the *server*, offline torture-verify
+#   6. warm replica            gt replicate catches up (lag=0) while the
+#                              primary streams torture writes, answers reads,
+#                              survives kill -9 of the primary, and its own
+#                              directory torture-verifies as a committed
+#                              prefix
 #
 # usage: server_smoke.sh [path-to-gt]
 set -u
@@ -25,8 +30,10 @@ fi
 
 WORK="$(mktemp -d /tmp/gt_server_smoke.XXXXXX)"
 SERVER_PID=""
+REPLICA_PID=""
 cleanup() {
     [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+    [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -98,4 +105,53 @@ wait "$WRITER_PID" 2>/dev/null  # writer exits nonzero once the server dies
 "$GT" torture-verify "$ROOT/crashme" "$SEED" \
     || fail "killed server left an unrecoverable or wrong-prefix store"
 
-echo "PASS: server smoke (load/query, restart, kill -9 recovery)"
+# --- phase 6: replica catch-up, then kill -9 the primary --------------------
+start_server  # reboots on the same root (recovers phase-5's graphs)
+RPORT=$(( PORT + 1 ))
+"$GT" remote-torture-write "127.0.0.1:$PORT" crashme2 "$SEED" 100000 \
+    > "$WORK/torture2.log" 2>&1 &
+WRITER_PID=$!
+for _ in $(seq 1 100); do
+    steps=$(wc -l < "$WORK/torture2.log" 2>/dev/null || echo 0)
+    [ "$steps" -ge 20 ] && break
+    sleep 0.1
+done
+[ "${steps:-0}" -ge 1 ] || fail "phase-6 torture writer made no progress"
+
+"$GT" replicate "$WORK/replica" "127.0.0.1:$PORT" crashme2 --port "$RPORT" \
+    > "$WORK/replica.log" 2>&1 &
+REPLICA_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "lag=0" "$WORK/replica.log" 2>/dev/null && break
+    kill -0 "$REPLICA_PID" 2>/dev/null || fail "replica died before catch-up"
+    sleep 0.1
+done
+grep -q "lag=0" "$WORK/replica.log" || fail "replica never reported lag=0"
+# The replica answers reads (and exports the lag gauge) while following.
+"$GT" remote-stats "127.0.0.1:$RPORT" crashme2 \
+        | grep -q 'replication.lag_seqs' \
+    || fail "replica stats missing replication.lag_seqs"
+
+# Murder the primary mid-stream; the replica must hold its committed prefix.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+wait "$WRITER_PID" 2>/dev/null
+for _ in $(seq 1 100); do
+    grep -q "serving committed prefix" "$WORK/replica.log" && break
+    sleep 0.1
+done
+grep -q "serving committed prefix" "$WORK/replica.log" \
+    || fail "replica did not survive the primary kill"
+"$GT" remote-stats "127.0.0.1:$RPORT" crashme2 | grep -q '"gt.obs.v1"' \
+    || fail "replica stopped serving after primary death"
+
+# Clean replica shutdown, then its directory must verify as a committed
+# prefix of the exact same torture stream (same seed, same checker).
+kill -TERM "$REPLICA_PID"
+wait "$REPLICA_PID" || fail "replica exited nonzero on SIGTERM"
+REPLICA_PID=""
+"$GT" torture-verify "$WORK/replica/crashme2" "$SEED" \
+    || fail "replica holds a wrong or uncommitted torture prefix"
+
+echo "PASS: server smoke (load/query, restart, kill -9 recovery, replica)"
