@@ -1,7 +1,11 @@
 #include "net/client.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "util/failpoint.hpp"
 
 namespace gt::net {
 
@@ -43,7 +47,117 @@ namespace {
 // ---- Client: transport ----------------------------------------------------
 
 Status Client::connect(const std::string& host, std::uint16_t port) {
-    return tcp_connect(host, port, fd_);
+    return connect(std::vector<Endpoint>{{host, port}});
+}
+
+Status Client::connect(std::vector<Endpoint> endpoints) {
+    if (endpoints.empty()) {
+        return Status{StatusCode::InvalidArgument, "endpoint list is empty"};
+    }
+    close();
+    endpoints_ = std::move(endpoints);
+    ep_index_ = 0;
+    graphs_.clear();
+    // highest_term_ survives a re-connect on purpose: a term, once seen,
+    // must keep fencing for the lifetime of this client.
+    return reconnect();
+}
+
+Status Client::reconnect() {
+    close();
+    Status last{StatusCode::InvalidArgument, "client has no endpoints"};
+    const std::size_t n = endpoints_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = (ep_index_ + i) % n;
+        const Endpoint& ep = endpoints_[idx];
+        const Deadline deadline =
+            cfg_.connect_timeout_ms == 0
+                ? Deadline{}
+                : Deadline::after(
+                      std::chrono::milliseconds(cfg_.connect_timeout_ms));
+        Fd fd;
+        if (Status st = tcp_connect(ep.host, ep.port, fd, deadline);
+            !st.ok()) {
+            last = st;
+            continue;
+        }
+        fd_ = std::move(fd);
+        ep_index_ = idx;
+        // Replay the session: every graph this client opened gets re-opened
+        // (restoring its durability choice) and greeted under the highest
+        // term we have witnessed — the greeting is what keeps a resurrected
+        // stale primary from quietly accepting our writes.
+        in_reconnect_ = true;
+        Status replay = Status::success();
+        for (const OpenedGraph& g : graphs_) {
+            RemoteGraph handle;
+            replay = open(g.name, handle, g.durability);
+            if (replay.ok()) {
+                HelloInfo info;
+                replay = handle.hello(info);
+            }
+            if (!replay.ok()) {
+                break;
+            }
+        }
+        in_reconnect_ = false;
+        if (replay.ok()) {
+            return Status::success();
+        }
+        last = replay;
+        close();
+    }
+    return last;
+}
+
+bool Client::retryable_failure(const Status& st) const noexcept {
+    if (st.ok()) {
+        return false;
+    }
+    // Transport-level loss and deadline expiry: the server (or this
+    // endpoint) is gone or wedged — reconnect and resend under a fresh id.
+    if (st.code == StatusCode::TimedOut || st.code == StatusCode::IoError) {
+        return true;
+    }
+    // Wire errors carry their WireCode in Status::detail.
+    const auto wire = static_cast<WireCode>(st.detail);
+    if (wire == WireCode::Busy || wire == WireCode::ShuttingDown) {
+        return true;
+    }
+    // "You are talking to the wrong server": a replica that has not
+    // promoted yet (ReadOnly) or a fenced stale primary (StaleTerm). Only
+    // retryable when there is another endpoint to hunt through.
+    if ((wire == WireCode::ReadOnly || wire == WireCode::StaleTerm) &&
+        endpoints_.size() > 1) {
+        return true;
+    }
+    return false;
+}
+
+void Client::backoff(std::uint32_t attempt) {
+    if (cfg_.backoff_base_ms == 0) {
+        return;
+    }
+    if (rng_state_ == 0) {
+        rng_state_ =
+            static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now().time_since_epoch().count()) ^
+            reinterpret_cast<std::uintptr_t>(this);
+        rng_state_ |= 1;  // xorshift must never see zero
+    }
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    const std::uint32_t shift = attempt > 10 ? 10U : attempt;
+    std::uint64_t ms = std::uint64_t{cfg_.backoff_base_ms} << (shift - 1);
+    ms = std::min<std::uint64_t>(ms, cfg_.backoff_max_ms);
+    // Jitter to [ms/2, ms): concurrent clients must not retry in lockstep.
+    const double u =
+        static_cast<double>(rng_state_ >> 11) / 9007199254740992.0;
+    ms = static_cast<std::uint64_t>(static_cast<double>(ms) * (0.5 + u / 2));
+    if (ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
 }
 
 Status Client::send_request(MsgType type,
@@ -61,14 +175,18 @@ Status Client::send_request(MsgType type,
     frame_buf_.clear();
     encode_frame(frame_buf_, static_cast<std::uint8_t>(type), request_id,
                  payload);
-    if (Status st = send_all(fd_.get(), frame_buf_); !st.ok()) {
+    if (Status st = send_all(fd_.get(), frame_buf_, op_deadline());
+        !st.ok()) {
+        // A failed (or timed-out) send may have left a partial frame on the
+        // wire; the connection's framing is unknowable. Drop it.
+        close();
         return st;
     }
     pending_.insert(request_id);
     return Status::success();
 }
 
-Status Client::read_frame(Frame& out) {
+Status Client::read_frame(Frame& out, Deadline deadline) {
     if (!fd_.valid()) {
         return Status{StatusCode::InvalidArgument, "client not connected"};
     }
@@ -82,6 +200,11 @@ Status Client::read_frame(Frame& out) {
                 recv_buf_.erase(recv_buf_.begin(),
                                 recv_buf_.begin() +
                                     static_cast<std::ptrdiff_t>(consumed));
+                if (GT_FAILPOINT_HIT("net.client.drop_frame")) {
+                    // The decoded frame evaporates, as if the network ate
+                    // the response: the caller's deadline now governs.
+                    continue;
+                }
                 return Status::success();
             case DecodeResult::Bad:
                 close();
@@ -91,6 +214,15 @@ Status Client::read_frame(Frame& out) {
                                   "): " + err.message};
             case DecodeResult::NeedMore:
                 break;
+        }
+        if (Status st = wait_readable(fd_.get(), deadline); !st.ok()) {
+            if (st.code != StatusCode::TimedOut) {
+                close();
+            }
+            // TimedOut keeps the connection and any partial frame in
+            // recv_buf_: the next read resumes exactly where this left off
+            // (recv_shipment's heartbeat relies on that).
+            return st;
         }
         const std::size_t base = recv_buf_.size();
         recv_buf_.resize(base + 64 * 1024);
@@ -131,9 +263,10 @@ Status Client::recv_reply(Frame& out) {
         pending_.erase(out.request_id);
         return finish_reply(out);
     }
+    const Deadline deadline = op_deadline();
     for (;;) {
         Frame f;
-        if (Status st = read_frame(f); !st.ok()) {
+        if (Status st = read_frame(f, deadline); !st.ok()) {
             return st;
         }
         if (stream_ids_.count(f.request_id) != 0) {
@@ -161,9 +294,10 @@ Status Client::recv_matching(std::uint64_t id, Frame& out) {
         pending_.erase(id);
         return finish_reply(out);
     }
+    const Deadline deadline = op_deadline();
     for (;;) {
         Frame f;
-        if (Status st = read_frame(f); !st.ok()) {
+        if (Status st = read_frame(f, deadline); !st.ok()) {
             return st;
         }
         if (stream_ids_.count(f.request_id) != 0) {
@@ -185,12 +319,19 @@ Status Client::recv_matching(std::uint64_t id, Frame& out) {
     }
 }
 
-Status Client::recv_shipment(std::uint64_t sub_id, Frame& out) {
+Status Client::recv_shipment(std::uint64_t sub_id, Frame& out,
+                             std::int64_t timeout_ms) {
     if (stream_ids_.count(sub_id) == 0) {
         return Status{StatusCode::InvalidArgument,
                       "no live subscription with id " +
                           std::to_string(sub_id)};
     }
+    const Deadline deadline =
+        timeout_ms < 0
+            ? op_deadline()
+            : (timeout_ms == 0
+                   ? Deadline{}
+                   : Deadline::after(std::chrono::milliseconds(timeout_ms)));
     const auto deliver = [&](Frame&& f) {
         out = std::move(f);
         if (out.type == kErrorType) {
@@ -211,7 +352,7 @@ Status Client::recv_shipment(std::uint64_t sub_id, Frame& out) {
     }
     for (;;) {
         Frame f;
-        if (Status st = read_frame(f); !st.ok()) {
+        if (Status st = read_frame(f, deadline); !st.ok()) {
             return st;
         }
         if (f.request_id == sub_id) {
@@ -232,9 +373,9 @@ Status Client::recv_shipment(std::uint64_t sub_id, Frame& out) {
     }
 }
 
-Status Client::round_trip(MsgType type,
-                          std::span<const unsigned char> payload,
-                          Frame& reply) {
+Status Client::round_trip_once(MsgType type,
+                               std::span<const unsigned char> payload,
+                               Frame& reply) {
     std::uint64_t id = 0;
     if (Status st = send_request(type, payload, id); !st.ok()) {
         return st;
@@ -248,6 +389,46 @@ Status Client::round_trip(MsgType type,
         return Status{StatusCode::IoError, "reply type mismatch"};
     }
     return Status::success();
+}
+
+Status Client::round_trip(MsgType type,
+                          std::span<const unsigned char> payload,
+                          Frame& reply) {
+    if (in_reconnect_) {
+        return round_trip_once(type, payload, reply);
+    }
+    Status st = round_trip_once(type, payload, reply);
+    for (std::uint32_t attempt = 1;
+         !st.ok() && attempt < cfg_.max_attempts && retryable_failure(st);
+         ++attempt) {
+        const auto wire = static_cast<WireCode>(st.detail);
+        if (wire == WireCode::ReadOnly || wire == WireCode::StaleTerm) {
+            // Wrong server: hunt from the next endpoint onward.
+            close();
+            if (!endpoints_.empty()) {
+                ep_index_ = (ep_index_ + 1) % endpoints_.size();
+            }
+        } else if (wire != WireCode::Busy) {
+            // Transport loss, timeout, or a shutting-down server: this
+            // connection (if any survives) can no longer be trusted to be
+            // frame-aligned or to answer. Busy alone keeps the connection —
+            // the server shed load but the session is healthy.
+            close();
+        }
+        backoff(attempt);
+        if (!connected()) {
+            if (Status rc = reconnect(); !rc.ok()) {
+                st = rc;
+                continue;
+            }
+        }
+        // Resend under a fresh request id (send_request always stamps one):
+        // if the original reply ever surfaces on a surviving connection it
+        // can only match as "stale" and fail loudly, never pair with the
+        // retry. Safe because every gt.net.v1 mutation is idempotent.
+        st = round_trip_once(type, payload, reply);
+    }
+    return st;
 }
 
 // ---- Client: sessions -----------------------------------------------------
@@ -281,6 +462,16 @@ Status Client::open(const std::string& name, RemoteGraph& out,
         return Status{StatusCode::IoError, "malformed OpenGraph reply"};
     }
     out = RemoteGraph(this, name, source);
+    // Remember the open so a reconnect can replay the session (idempotent:
+    // a re-open just refreshes the durability choice).
+    const auto known = std::find_if(
+        graphs_.begin(), graphs_.end(),
+        [&name](const OpenedGraph& g) { return g.name == name; });
+    if (known == graphs_.end()) {
+        graphs_.push_back(OpenedGraph{name, durability});
+    } else {
+        known->durability = durability;
+    }
     return Status::success();
 }
 
@@ -482,6 +673,30 @@ Status RemoteGraph::stats_json(std::string& json) {
     return Status::success();
 }
 
+Status RemoteGraph::hello(HelloInfo& out) {
+    if (Status st = require_bound(client_); !st.ok()) {
+        return st;
+    }
+    PayloadWriter w;
+    w.str(name_);
+    w.u64(client_->highest_term());
+    Frame reply;
+    if (Status st = client_->round_trip(MsgType::Hello, w.span(), reply);
+        !st.ok()) {
+        return st;
+    }
+    PayloadReader r(reply.payload);
+    out.role = r.u8();
+    out.term = r.u64();
+    out.durable_seq = r.u64();
+    out.lag_seqs = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        return Status{StatusCode::IoError, "malformed Hello reply"};
+    }
+    client_->observe_term(out.term);
+    return Status::success();
+}
+
 Status RemoteGraph::subscribe(std::uint64_t from_seq, Subscription& out) {
     if (Status st = require_bound(client_); !st.ok()) {
         return st;
@@ -489,6 +704,7 @@ Status RemoteGraph::subscribe(std::uint64_t from_seq, Subscription& out) {
     PayloadWriter w;
     w.str(name_);
     w.u64(from_seq);
+    w.u64(client_->highest_term());
     std::uint64_t id = 0;
     if (Status st = client_->send_request(MsgType::Subscribe, w.span(), id);
         !st.ok()) {
@@ -507,10 +723,12 @@ Status RemoteGraph::subscribe(std::uint64_t from_seq, Subscription& out) {
     PayloadReader r(ack.payload);
     out.wal_floor = r.u64();
     out.primary_seq = r.u64();
+    out.term = r.u64();
     if (!r.ok() || !r.exhausted()) {
         return Status{StatusCode::IoError, "malformed Subscribe ack"};
     }
     out.id = id;
+    client_->observe_term(out.term);
     // The id lives on: every shipped frame from here carries it. Route
     // those to the stream queue instead of treating them as stale replies.
     client_->stream_ids_.insert(id);

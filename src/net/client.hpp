@@ -24,6 +24,24 @@
 // consumed) closes the connection with an explicit "stale reply" error
 // instead of being silently matched to the wrong request.
 //
+// Failover: connect() also takes an *endpoint list*. Session verbs (every
+// RemoteGraph call, open, ping — anything routed through round_trip) then
+// retry on retryable failures: transport loss and timeouts reconnect to the
+// next live endpoint with jittered exponential backoff, Busy/ShuttingDown
+// back off in place, and ReadOnly/StaleTerm rotate endpoints hunting for
+// the current primary. Resends are id-guarded: a retried request is always
+// re-encoded under a fresh request id, so a late reply to the original can
+// never be matched to the retry (and a reconnect empties the pending set
+// wholesale). All gt.net.v1 mutations are idempotent (insert is upsert,
+// delete of a missing edge is a no-op), which is what makes blind resend
+// after an ambiguous failure safe. Reconnects replay the session: every
+// graph this client opened is re-opened, then greeted with Hello carrying
+// the highest term the client has observed — a resurrected stale primary
+// answers StaleTerm and is skipped.
+//
+// Every socket operation is deadline-bounded by ClientConfig (a stalled or
+// half-open peer surfaces StatusCode::TimedOut instead of hanging forever).
+//
 // Not thread-safe: one Client per thread, like a file handle.
 #pragma once
 
@@ -45,12 +63,42 @@ namespace gt::net {
 
 class Client;
 
+/// One server address. connect() takes a list of these; the client hunts
+/// through them for the current primary on every reconnect.
+struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// Deadlines and retry policy for one Client. The defaults suit tests and
+/// CLI use: every socket op is bounded (nothing hangs on a half-open peer)
+/// and a handful of retries with jittered exponential backoff rides out a
+/// promotion. A timeout of 0 means unbounded (legacy blocking behavior).
+struct ClientConfig {
+    std::uint32_t op_timeout_ms = 30'000;       ///< per send/recv deadline
+    std::uint32_t connect_timeout_ms = 5'000;   ///< per tcp_connect deadline
+    std::uint32_t max_attempts = 8;             ///< per logical request
+    std::uint32_t backoff_base_ms = 25;         ///< first retry delay
+    std::uint32_t backoff_max_ms = 1'000;       ///< exponential cap
+};
+
+/// What Hello reports: who answers writes here, under which term, and how
+/// far behind the upstream this server is (0 on a primary).
+struct HelloInfo {
+    std::uint8_t role = kRolePrimary;
+    std::uint64_t term = 0;
+    std::uint64_t durable_seq = 0;
+    std::uint64_t lag_seqs = 0;
+};
+
 /// What Subscribe negotiated: the stream id (frames carry it), the lowest
-/// seq the primary can still serve, and its committed seq at ack time.
+/// seq the primary can still serve, its committed seq at ack time, and the
+/// term its history belongs to.
 struct Subscription {
     std::uint64_t id = 0;
     std::uint64_t wal_floor = 0;
     std::uint64_t primary_seq = 0;
+    std::uint64_t term = 0;
 };
 
 /// Session handle bound to one named graph on one Client connection.
@@ -95,10 +143,18 @@ public:
     [[nodiscard]] Status sync_wal();
     [[nodiscard]] Status stats_json(std::string& json);
 
+    /// Asks who serves this graph (role/term/lag), carrying the highest
+    /// term this client has observed. A server whose term is lower fences
+    /// itself and answers StaleTerm — the split-brain check. On success the
+    /// client adopts the reported term if it is higher.
+    [[nodiscard]] Status hello(HelloInfo& out);
+
     /// Starts a WAL-shipping subscription from `from_seq` (records with
-    /// seq > from_seq will be streamed). On success the stream is live:
-    /// drain it with Client::recv_shipment(out.id). Fails SeqUnavailable
-    /// (in Status::detail) when the primary pruned past from_seq.
+    /// seq > from_seq will be streamed), announcing the subscriber's term.
+    /// On success the stream is live: drain it with
+    /// Client::recv_shipment(out.id). Fails SeqUnavailable (in
+    /// Status::detail) when the primary pruned past from_seq, StaleTerm
+    /// when the server's history is older than the subscriber's.
     [[nodiscard]] Status subscribe(std::uint64_t from_seq, Subscription& out);
     /// Reports the follower's applied low-water seq (feeds the primary's
     /// checkpoint/prune fence).
@@ -125,9 +181,14 @@ private:
 class Client {
 public:
     Client() = default;
+    explicit Client(ClientConfig cfg) : cfg_(cfg) {}
 
     [[nodiscard]] Status connect(const std::string& host,
                                  std::uint16_t port);
+    /// Failover form: remembers the whole list and connects to the first
+    /// endpoint that answers. Session verbs reconnect through the list on
+    /// retryable failures (see the header comment).
+    [[nodiscard]] Status connect(std::vector<Endpoint> endpoints);
     void close() noexcept {
         fd_.reset();
         pending_.clear();
@@ -140,6 +201,27 @@ public:
     /// Raw socket fd (-1 when closed) — lets a signal handler ::shutdown()
     /// a blocking recv from outside (gt replicate's clean-exit path).
     [[nodiscard]] int native_handle() const noexcept { return fd_.get(); }
+
+    /// Deadline/retry policy. Mutable so tests and tools can tighten
+    /// timeouts after construction; takes effect on the next operation.
+    [[nodiscard]] ClientConfig& config() noexcept { return cfg_; }
+    [[nodiscard]] const ClientConfig& config() const noexcept { return cfg_; }
+
+    /// Highest primary term observed on this client (Hello and Subscribe
+    /// replies, shipped frames). Reconnects announce it, which is what
+    /// fences a resurrected stale primary off a client that saw the
+    /// promotion.
+    [[nodiscard]] std::uint64_t highest_term() const noexcept {
+        return highest_term_;
+    }
+    /// Adopt `term` if it is higher than anything seen so far (shipped
+    /// frames are parsed by the replication layer, which feeds terms back
+    /// through here).
+    void observe_term(std::uint64_t term) noexcept {
+        if (term > highest_term_) {
+            highest_term_ = term;
+        }
+    }
 
     // ---- session handles --------------------------------------------------
 
@@ -171,8 +253,12 @@ public:
     /// (Subscribe|kResponseBit, kFlagShipData). Replies to other pending
     /// requests encountered on the way are buffered for their callers. An
     /// error frame on the subscription ends it (the id is retired) and
-    /// surfaces as the mapped Status.
-    [[nodiscard]] Status recv_shipment(std::uint64_t sub_id, Frame& out);
+    /// surfaces as the mapped Status. `timeout_ms` overrides the config op
+    /// deadline (-1: use config; 0: unbounded); on TimedOut the connection
+    /// and subscription stay live — a partial frame is kept and the next
+    /// call resumes it. That is the replica's heartbeat primitive.
+    [[nodiscard]] Status recv_shipment(std::uint64_t sub_id, Frame& out,
+                                       std::int64_t timeout_ms = -1);
 
     // ---- deprecated per-name wrappers (PR 8 surface) ----------------------
     // Thin shims over a transient RemoteGraph; migrate to
@@ -216,18 +302,46 @@ private:
     friend class RemoteGraph;
 
     /// One request, one reply; fails if the reply id or type mismatches.
+    /// With an endpoint list, this is also the retry/failover point: see
+    /// the header comment for the policy.
     [[nodiscard]] Status round_trip(MsgType type,
                                     std::span<const unsigned char> payload,
                                     Frame& reply);
+    /// One attempt of round_trip, no retries.
+    [[nodiscard]] Status round_trip_once(
+        MsgType type, std::span<const unsigned char> payload, Frame& reply);
     /// Blocks for the reply to pending request `id`, buffering replies to
     /// other pending requests encountered first.
     [[nodiscard]] Status recv_matching(std::uint64_t id, Frame& out);
     /// Reads exactly one frame off the socket (decoding from recv_buf_).
-    [[nodiscard]] Status read_frame(Frame& out);
+    /// TimedOut keeps the connection (and any partial frame) intact; every
+    /// other failure closes it.
+    [[nodiscard]] Status read_frame(Frame& out, Deadline deadline);
     /// Maps a consumed reply frame to a Status (error payloads decoded).
     [[nodiscard]] Status finish_reply(const Frame& f);
 
+    /// Per-operation deadline from cfg_ (unbounded when op_timeout_ms==0).
+    [[nodiscard]] Deadline op_deadline() const noexcept {
+        return cfg_.op_timeout_ms == 0
+                   ? Deadline{}
+                   : Deadline::after(
+                         std::chrono::milliseconds(cfg_.op_timeout_ms));
+    }
+    /// True if round_trip should retry after `st` (possibly on another
+    /// endpoint). Transport loss / timeouts always; wire Busy/ShuttingDown
+    /// always; ReadOnly/StaleTerm only when there is another endpoint to
+    /// rotate to.
+    [[nodiscard]] bool retryable_failure(const Status& st) const noexcept;
+    /// Reconnects to the first endpoint (starting at ep_index_) that
+    /// accepts, then replays the session: re-open every remembered graph
+    /// and Hello it with highest_term_. An endpoint that answers StaleTerm
+    /// is skipped.
+    [[nodiscard]] Status reconnect();
+    /// Sleeps the jittered exponential backoff for retry `attempt`.
+    void backoff(std::uint32_t attempt);
+
     Fd fd_;
+    ClientConfig cfg_;
     std::uint64_t next_id_ = 1;
     std::set<std::uint64_t> pending_;     // sent, reply not yet consumed
     std::deque<Frame> buffered_;          // replies awaiting their caller
@@ -235,6 +349,19 @@ private:
     std::deque<Frame> stream_q_;          // shipped frames awaiting drain
     std::vector<unsigned char> frame_buf_;
     std::vector<unsigned char> recv_buf_;
+
+    // ---- failover state ----
+    struct OpenedGraph {
+        std::string name;
+        std::uint8_t durability = 255;
+    };
+    std::vector<Endpoint> endpoints_;     // empty: single-endpoint client
+    std::size_t ep_index_ = 0;            // endpoint currently connected
+    std::vector<OpenedGraph> graphs_;     // session to replay on reconnect
+    std::uint64_t highest_term_ = 0;
+    std::uint64_t rng_state_ = 0;         // backoff jitter (lazily seeded)
+    bool in_reconnect_ = false;           // reconnect() replays via
+                                          // round_trip; no nested retries
 };
 
 }  // namespace gt::net

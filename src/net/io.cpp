@@ -4,11 +4,14 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "util/failpoint.hpp"
 
 namespace gt::net {
 
@@ -16,6 +19,62 @@ namespace {
 
 Status errno_status(const std::string& what) {
     return Status{StatusCode::IoError, what + ": " + std::strerror(errno)};
+}
+
+Status timeout_status(const char* what) {
+    return Status{StatusCode::TimedOut,
+                  std::string(what) + " deadline expired"};
+}
+
+/// Waits until `fd` is ready for `events` or the deadline passes.
+/// Ok = ready; TimedOut = deadline; IoError = poll failure. Unbounded
+/// deadlines skip the poll entirely (the subsequent blocking syscall is
+/// the wait).
+Status poll_ready(int fd, short events, Deadline deadline,
+                  const char* what) noexcept {
+    if (!deadline.bounded()) {
+        return Status::success();
+    }
+    for (;;) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = events;
+        const int timeout = deadline.poll_timeout_ms();
+        if (timeout == 0) {
+            return timeout_status(what);
+        }
+        const int n = ::poll(&pfd, 1, timeout);
+        if (n > 0) {
+            return Status::success();  // ready, or HUP/ERR — syscall tells
+        }
+        if (n == 0) {
+            return timeout_status(what);
+        }
+        if (errno == EINTR) {
+            continue;  // re-derive the remaining timeout and re-poll
+        }
+        return errno_status("poll");
+    }
+}
+
+/// Burns the remaining deadline, then reports TimedOut — the simulated
+/// behaviour of a peer that accepted the connection and went silent. An
+/// unbounded deadline reports TimedOut immediately instead of hanging the
+/// test binary forever.
+Status stall_until(Deadline deadline, const char* what) noexcept {
+    if (!deadline.bounded()) {
+        return timeout_status(what);
+    }
+    for (;;) {
+        const int timeout = deadline.poll_timeout_ms();
+        if (timeout == 0) {
+            return timeout_status(what);
+        }
+        // Poll on no fds: a pure bounded sleep that stays EINTR-correct.
+        if (::poll(nullptr, 0, timeout) == 0) {
+            return timeout_status(what);
+        }
+    }
 }
 
 }  // namespace
@@ -32,7 +91,17 @@ void Fd::reset() noexcept {
 IoResult recv_some(int fd, unsigned char* buf, std::size_t cap,
                    std::size_t& n) noexcept {
     n = 0;
+    if (GT_FAILPOINT_HIT("net.recv.reset")) {
+        errno = ECONNRESET;
+        return IoResult::Closed;
+    }
     for (;;) {
+        // Injected EINTR storm: take the retry branch exactly as a real
+        // signal interruption would (arm with countdown N for N spins).
+        if (GT_FAILPOINT_HIT("net.recv.eintr")) {
+            errno = EINTR;
+            continue;
+        }
         const ssize_t got = ::recv(fd, buf, cap, 0);
         if (got > 0) {
             n = static_cast<std::size_t>(got);
@@ -57,7 +126,20 @@ IoResult recv_some(int fd, unsigned char* buf, std::size_t cap,
 IoResult send_some(int fd, const unsigned char* buf, std::size_t len,
                    std::size_t& n) noexcept {
     n = 0;
+    if (GT_FAILPOINT_HIT("net.send.reset")) {
+        errno = ECONNRESET;
+        return IoResult::Closed;
+    }
+    // Injected short write: hand the kernel one byte so callers' partial-
+    // send reassembly is exercised on loopback, where sends rarely split.
+    if (len > 1 && GT_FAILPOINT_HIT("net.send.short")) {
+        len = 1;
+    }
     for (;;) {
+        if (GT_FAILPOINT_HIT("net.send.eintr")) {
+            errno = EINTR;
+            continue;
+        }
         const ssize_t sent = ::send(fd, buf, len, MSG_NOSIGNAL);
         if (sent > 0) {
             n = static_cast<std::size_t>(sent);
@@ -87,15 +169,23 @@ IoResult send_some(int fd, const unsigned char* buf, std::size_t len,
     }
 }
 
-Status send_all(int fd, std::span<const unsigned char> buf) noexcept {
+Status send_all(int fd, std::span<const unsigned char> buf,
+                Deadline deadline) noexcept {
     std::size_t off = 0;
     while (off < buf.size()) {
+        if (const Status ready = poll_ready(fd, POLLOUT, deadline, "send");
+            !ready.ok()) {
+            return ready;
+        }
         std::size_t n = 0;
         switch (send_some(fd, buf.data() + off, buf.size() - off, n)) {
             case IoResult::Ok:
                 off += n;
                 break;
             case IoResult::WouldBlock:
+                if (deadline.bounded()) {
+                    continue;  // nonblocking fd raced; re-poll
+                }
                 // Blocking socket: EAGAIN only fires with SO_SNDTIMEO,
                 // which the client does not set — treat as an error rather
                 // than busy-loop.
@@ -111,15 +201,26 @@ Status send_all(int fd, std::span<const unsigned char> buf) noexcept {
     return Status::success();
 }
 
-Status recv_exact(int fd, unsigned char* buf, std::size_t len) noexcept {
+Status recv_exact(int fd, unsigned char* buf, std::size_t len,
+                  Deadline deadline) noexcept {
+    if (len > 0 && GT_FAILPOINT_HIT("net.recv.stall")) {
+        return stall_until(deadline, "recv");
+    }
     std::size_t off = 0;
     while (off < len) {
+        if (const Status ready = poll_ready(fd, POLLIN, deadline, "recv");
+            !ready.ok()) {
+            return ready;
+        }
         std::size_t n = 0;
         switch (recv_some(fd, buf + off, len - off, n)) {
             case IoResult::Ok:
                 off += n;
                 break;
             case IoResult::WouldBlock:
+                if (deadline.bounded()) {
+                    continue;  // spurious wakeup on a nonblocking fd
+                }
                 return Status{StatusCode::IoError,
                               "recv timed out (would block)"};
             case IoResult::Closed:
@@ -132,6 +233,13 @@ Status recv_exact(int fd, unsigned char* buf, std::size_t len) noexcept {
         }
     }
     return Status::success();
+}
+
+Status wait_readable(int fd, Deadline deadline) noexcept {
+    if (GT_FAILPOINT_HIT("net.recv.stall")) {
+        return stall_until(deadline, "recv");
+    }
+    return poll_ready(fd, POLLIN, deadline, "recv");
 }
 
 int accept_retry(int listen_fd) noexcept {
@@ -185,7 +293,11 @@ Status tcp_listen(const std::string& host, std::uint16_t port, Fd& out,
     return Status::success();
 }
 
-Status tcp_connect(const std::string& host, std::uint16_t port, Fd& out) {
+Status tcp_connect(const std::string& host, std::uint16_t port, Fd& out,
+                   Deadline deadline) {
+    if (GT_FAILPOINT_HIT("net.connect.stall")) {
+        return stall_until(deadline, "connect");
+    }
     Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
     if (!fd.valid()) {
         return errno_status("socket");
@@ -197,16 +309,51 @@ Status tcp_connect(const std::string& host, std::uint16_t port, Fd& out) {
         return Status{StatusCode::InvalidArgument,
                       "not an IPv4 address: " + host};
     }
-    for (;;) {
+    const std::string where = host + ":" + std::to_string(port);
+    if (deadline.bounded()) {
+        // Nonblocking connect + poll + SO_ERROR: an unreachable host costs
+        // the deadline, not the kernel's SYN-retransmit minutes.
+        if (const Status st = set_nonblocking(fd.get()); !st.ok()) {
+            return st;
+        }
         if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                      sizeof(addr)) == 0) {
-            break;
+                      sizeof(addr)) != 0) {
+            if (errno != EINPROGRESS && errno != EINTR) {
+                return errno_status("connect " + where);
+            }
+            if (const Status ready =
+                    poll_ready(fd.get(), POLLOUT, deadline, "connect");
+                !ready.ok()) {
+                return ready;
+            }
+            int err = 0;
+            socklen_t len = sizeof(err);
+            if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) !=
+                    0 ||
+                err != 0) {
+                errno = err != 0 ? err : errno;
+                return errno_status("connect " + where);
+            }
         }
-        if (errno == EINTR) {
-            continue;
+        // Back to blocking: callers get the classic semantics, deadlines
+        // come from poll_ready in send_all/recv_exact.
+        const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+        if (flags < 0 ||
+            ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+            return errno_status("fcntl(~O_NONBLOCK)");
         }
-        return errno_status("connect " + host + ":" +
-                            std::to_string(port));
+    } else {
+        for (;;) {
+            if (::connect(fd.get(),
+                          reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0) {
+                break;
+            }
+            if (errno == EINTR) {
+                continue;
+            }
+            return errno_status("connect " + where);
+        }
     }
     const int one = 1;
     (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,

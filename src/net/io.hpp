@@ -9,11 +9,23 @@
 //     delivering SIGPIPE and killing the daemon,
 //   - a zero return from a *send* treated as an error, never progress
 //     (the write_all spin bug from wal.cpp, fixed once, stays fixed here),
-//   - EAGAIN surfaced as WouldBlock so nonblocking event loops can park.
+//   - EAGAIN surfaced as WouldBlock so nonblocking event loops can park,
+//   - poll-based deadlines on every blocking operation (connect included):
+//     a stalled or half-open peer costs at most the deadline, never a hung
+//     client. tools/gt_lint.py's deadline-discipline rule keeps the rest
+//     of src/net/ on these helpers with explicit deadlines.
+//
+// Fault injection: the gt::fail sites named net.* live here (short writes,
+// EINTR storms, connection resets, stalled reads). They use the
+// non-throwing GT_FAILPOINT_HIT form — these functions are noexcept, so a
+// fired site mutates the syscall outcome (errno + return) instead of
+// throwing.
 #pragma once
 
 #include <sys/types.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -22,6 +34,48 @@
 #include "util/status.hpp"
 
 namespace gt::net {
+
+/// Absolute monotonic deadline for a blocking io operation. Default
+/// construction means "no deadline" (legacy blocking behaviour); bounded
+/// deadlines are enforced with poll(2) before every syscall that could
+/// block, so expiry surfaces as StatusCode::TimedOut within one poll
+/// granularity.
+class Deadline {
+public:
+    constexpr Deadline() noexcept = default;
+
+    /// A deadline `ms` from now (monotonic clock).
+    [[nodiscard]] static Deadline after(std::chrono::milliseconds ms) noexcept {
+        Deadline d;
+        d.bounded_ = true;
+        d.at_ = std::chrono::steady_clock::now() + ms;
+        return d;
+    }
+    [[nodiscard]] static constexpr Deadline infinite() noexcept { return {}; }
+
+    [[nodiscard]] bool bounded() const noexcept { return bounded_; }
+    [[nodiscard]] bool expired() const noexcept {
+        return bounded_ && std::chrono::steady_clock::now() >= at_;
+    }
+    /// Remaining time as a poll(2) timeout: -1 when unbounded, else >= 0
+    /// milliseconds (rounded up so a 0.5ms remainder still waits).
+    [[nodiscard]] int poll_timeout_ms() const noexcept {
+        if (!bounded_) {
+            return -1;
+        }
+        const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+            at_ - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+            return 0;
+        }
+        constexpr long kMaxPollMs = 1000L * 60 * 60 * 24;  // cap at a day
+        return static_cast<int>(std::min<long>(left.count(), kMaxPollMs));
+    }
+
+private:
+    std::chrono::steady_clock::time_point at_{};
+    bool bounded_ = false;
+};
 
 /// Owning fd handle (close-on-destroy, move-only).
 class Fd {
@@ -73,14 +127,24 @@ enum class IoResult : std::uint8_t {
                                  std::size_t len, std::size_t& n) noexcept;
 
 /// Blocking full-buffer send for the client side: loops send_some until
-/// done. Closed peers surface as IoError with an EPIPE message.
-[[nodiscard]] Status send_all(int fd,
-                              std::span<const unsigned char> buf) noexcept;
+/// done, polling for writability when a bounded deadline is set. Closed
+/// peers surface as IoError with an EPIPE message; deadline expiry as
+/// TimedOut (the peer may have received a prefix — the connection is no
+/// longer frame-aligned and must be closed).
+[[nodiscard]] Status send_all(int fd, std::span<const unsigned char> buf,
+                              Deadline deadline = {}) noexcept;
 
 /// Blocking full-buffer receive for the client side; an early EOF is an
 /// IoError ("connection closed mid-frame"), matching read_exact's Short.
-[[nodiscard]] Status recv_exact(int fd, unsigned char* buf,
-                                std::size_t len) noexcept;
+/// A bounded deadline turns a stalled peer into TimedOut.
+[[nodiscard]] Status recv_exact(int fd, unsigned char* buf, std::size_t len,
+                                Deadline deadline = {}) noexcept;
+
+/// Polls `fd` for readability until data arrives, EOF, or the deadline.
+/// Ok = readable now (recv will not block), TimedOut = deadline expired.
+/// The frame readers use it to bound the wait *before* committing to a
+/// recv_exact of a whole header.
+[[nodiscard]] Status wait_readable(int fd, Deadline deadline) noexcept;
 
 /// accept(2) with EINTR retry. Returns the fd, or -1 with errno set
 /// (EAGAIN when the nonblocking backlog is empty).
@@ -93,10 +157,13 @@ enum class IoResult : std::uint8_t {
 [[nodiscard]] Status tcp_listen(const std::string& host, std::uint16_t port,
                                 Fd& out, std::uint16_t& bound_port);
 
-/// Blocking TCP connect (TCP_NODELAY — the protocol is request/response
-/// with small frames, Nagle only adds latency).
+/// TCP connect (TCP_NODELAY — the protocol is request/response with small
+/// frames, Nagle only adds latency). With a bounded deadline the connect
+/// runs nonblocking + poll + SO_ERROR, so an unresponsive host costs the
+/// deadline, not the kernel's SYN-retry minutes; the returned fd is back
+/// in blocking mode either way.
 [[nodiscard]] Status tcp_connect(const std::string& host, std::uint16_t port,
-                                 Fd& out);
+                                 Fd& out, Deadline deadline = {});
 
 /// Nonblocking close-on-exec self-pipe: the event loop's wake/stop channel.
 [[nodiscard]] Status make_wake_pipe(Fd& read_end, Fd& write_end);

@@ -65,6 +65,7 @@ Status status_of_wire(WireCode code, std::string message) {
         case WireCode::BadPayload:
         case WireCode::SeqUnavailable:
         case WireCode::ReadOnly:
+        case WireCode::StaleTerm:
             return Status{StatusCode::InvalidArgument, std::move(message),
                           detail};
         case WireCode::Busy:

@@ -39,15 +39,25 @@
 //   Checkpoint   name
 //   Sync         name
 //   StatsJson    name
-//   Subscribe    name | u64 from_seq — stream committed WAL records with
-//                seq > from_seq; the reply sequence is described below
+//   Subscribe    name | u64 from_seq | u64 term — stream committed WAL
+//                records with seq > from_seq; `term` is the subscriber's
+//                current primary term (fencing: a server whose term is
+//                older than the subscriber's answers StaleTerm and fences
+//                itself — it has been superseded by a promotion)
 //   SubAck       name | u64 acked_seq — follower's applied low-water mark;
 //                feeds the primary's checkpoint/prune fence
+//   Hello        name | u64 known_term — role/term probe and fence. A
+//                server whose term for the graph is older than known_term
+//                answers StaleTerm and fences the graph (a promotion
+//                elsewhere outranks it); otherwise it reports its role and
+//                term so clients can find the current primary
 //
 // Response payloads:
 //
 //   Ping         the request payload, echoed
 //   OpenGraph    u8 recovery source (RecoveryInfo::Source)
+//   Hello        u8 role (0 primary/read-write, 1 replica/read-only) |
+//                u64 term | u64 durable_seq | u64 lag_seqs
 //   Insert/DeleteBatch  u64 store edge count after the batch committed
 //   Degree       u64 degree
 //   Neighbors    u32 n | n × (u32 dst, u32 weight)
@@ -59,14 +69,18 @@
 //   Subscribe    a *stream* of frames, every one carrying the Subscribe
 //                request_id and type Subscribe|kResponseBit:
 //                  flags == 0 (exactly one, first): subscription ack —
-//                    u64 wal_floor | u64 primary_seq
+//                    u64 wal_floor | u64 primary_seq | u64 term
 //                    (wal_floor = lowest seq the primary can still serve;
-//                     from_seq < wal_floor - 1 is refused SeqUnavailable)
+//                     from_seq < wal_floor - 1 is refused SeqUnavailable;
+//                     term is the server's current primary term — a
+//                     subscriber adopts it when higher than its own)
 //                  flags & kFlagShipData: shipped WAL records —
-//                    u64 primary_seq | u32 count |
+//                    u64 term | u64 primary_seq | u32 count |
 //                    count × (u64 seq | u8 type | u32 len | len bytes)
 //                    — records verbatim from the primary's WAL, replayable
-//                    through the recover:: frame accumulator
+//                    through the recover:: frame accumulator; a ship term
+//                    below the subscriber's own is a stale primary and
+//                    aborts the stream (StaleTerm)
 //   error (kErrorType)  u16 WireCode | u16 msg_len | msg bytes
 #pragma once
 
@@ -108,7 +122,12 @@ enum class MsgType : std::uint8_t {
     Sync = 13,
     Subscribe = 14,
     SubAck = 15,
+    Hello = 16,
 };
+
+/// Hello's role byte: who answers writes here.
+inline constexpr std::uint8_t kRolePrimary = 0;
+inline constexpr std::uint8_t kRoleReplica = 1;
 
 inline constexpr std::uint8_t kResponseBit = 0x80;
 inline constexpr std::uint8_t kErrorType = 0xFF;
@@ -118,7 +137,7 @@ inline constexpr std::uint16_t kFlagShipData = 0x1;
 
 [[nodiscard]] constexpr bool valid_request_type(std::uint8_t t) noexcept {
     return t >= static_cast<std::uint8_t>(MsgType::Ping) &&
-           t <= static_cast<std::uint8_t>(MsgType::SubAck);
+           t <= static_cast<std::uint8_t>(MsgType::Hello);
 }
 
 /// Wire-level error classes. Client-visible and stable: codes are appended,
@@ -142,6 +161,8 @@ enum class WireCode : std::uint16_t {
     Internal = 15,
     SeqUnavailable = 16,  // Subscribe from_seq older than the WAL retains
     ReadOnly = 17,        // replica serving reads; mutations go upstream
+    StaleTerm = 18,       // sender/receiver term outranked by a promotion;
+                          // never retry here — find the current primary
 };
 
 [[nodiscard]] constexpr std::string_view to_string(WireCode c) noexcept {
@@ -164,6 +185,7 @@ enum class WireCode : std::uint16_t {
         case WireCode::Internal: return "internal";
         case WireCode::SeqUnavailable: return "seq_unavailable";
         case WireCode::ReadOnly: return "read_only";
+        case WireCode::StaleTerm: return "stale_term";
     }
     return "unknown";
 }

@@ -5,6 +5,7 @@
 
 #include "core/graphtinker.hpp"
 #include "recover/durable.hpp"
+#include "recover/term.hpp"
 #include "util/mutex.hpp"
 
 namespace gt::net {
@@ -26,7 +27,21 @@ Status Replicator::start(const ReplicatorOptions& opts,
                       "records are mirrored into it)"};
     }
     local_ = local;
+    report_to_ = opts.server;
+    graph_ = opts.graph;
     lag_gauge_ = &local_.store->graph().obs().gauge("replication.lag_seqs");
+
+    // The local sidecar term fences the subscription: a primary whose term
+    // is below ours (we outlived a promotion it missed) answers StaleTerm
+    // instead of feeding us a forked history.
+    if (Status st = recover::load_term(local_.store->dir(), term_);
+        !st.ok()) {
+        return st;
+    }
+    client_.observe_term(term_);
+    // Resume/failover logic lives up here, not in the client: one attempt
+    // per call, so a dead primary surfaces immediately.
+    client_.config().max_attempts = 1;
 
     const std::uint64_t base = local_.store->wal().durable_seq();
     applier_ = std::make_unique<recover::WalApplier>(local_.store->graph(),
@@ -47,13 +62,23 @@ Status Replicator::start(const ReplicatorOptions& opts,
         close();
         return st;
     }
+    if (sub_.term > term_) {
+        // Adopt the upstream's newer history marker durably before
+        // applying anything shipped under it.
+        if (Status ts = recover::store_term(local_.store->dir(), sub_.term);
+            !ts.ok()) {
+            close();
+            return ts;
+        }
+        term_ = sub_.term;
+    }
     primary_seq_ = std::max(sub_.primary_seq, base);
     lag_gauge_->set(static_cast<double>(lag_seqs()));
     return Status::success();
 }
 
 Status Replicator::apply_frame(const Frame& f) {
-    // Ship payload: u64 primary_seq | u32 count | count x
+    // Ship payload: u64 term | u64 primary_seq | u32 count | count x
     // (u64 seq | u8 type | u32 len | len bytes). PayloadReader has no
     // skip/raw-bytes cursor, so parse by hand.
     const unsigned char* p = f.payload.data();
@@ -67,11 +92,32 @@ Status Replicator::apply_frame(const Frame& f) {
         left -= n;
         return true;
     };
+    std::uint64_t ship_term = 0;
     std::uint64_t primary_seq = 0;
     std::uint32_t count = 0;
-    if (!take(&primary_seq, sizeof(primary_seq)) ||
+    if (!take(&ship_term, sizeof(ship_term)) ||
+        !take(&primary_seq, sizeof(primary_seq)) ||
         !take(&count, sizeof(count))) {
         return Status{StatusCode::IoError, "malformed ship frame header"};
+    }
+    if (ship_term < term_) {
+        // An upstream from an older history (a resurrected primary this
+        // replica has already outlived) must never feed us: abort the
+        // stream instead of forking the log.
+        return status_of_wire(
+            WireCode::StaleTerm,
+            "ship frame carries term " + std::to_string(ship_term) +
+                " but this replica is at term " + std::to_string(term_));
+    }
+    if (ship_term > term_) {
+        // The chain above us promoted: adopt the new term durably before
+        // appending anything recorded under it.
+        if (Status st = recover::store_term(local_.store->dir(), ship_term);
+            !st.ok()) {
+            return st;
+        }
+        term_ = ship_term;
+        client_.observe_term(ship_term);
     }
     recover::WalWriter& wal = local_.store->wal();
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -102,13 +148,16 @@ Status Replicator::apply_frame(const Frame& f) {
         }
         // Durable first, then applied: a crash between the two replays the
         // frame from our own WAL on restart, which is idempotent; the
-        // reverse order could ack state we'd lose.
-        Status st = wal.append_frame(frame_buf_);
-        if (!st.ok()) {
-            return st;
-        }
+        // reverse order could ack state we'd lose. Both run under the
+        // exclusive state lock — the serving side tails this WAL under the
+        // shared lock (Subscribe/pump on a chained replica), so appends
+        // must never interleave with its reads.
         {
             gt::LockGuard<gt::SharedMutex> lk(*local_.lock);
+            Status st = wal.append_frame(frame_buf_);
+            if (!st.ok()) {
+                return st;
+            }
             for (const recover::WalRecord& r : frame_buf_) {
                 st = applier_->apply(r);
                 if (!st.ok()) {
@@ -123,15 +172,22 @@ Status Replicator::apply_frame(const Frame& f) {
     }
     primary_seq_ = std::max(primary_seq_, primary_seq);
     lag_gauge_->set(static_cast<double>(lag_seqs()));
+    if (report_to_ != nullptr) {
+        report_to_->set_replication_lag(lag_seqs());
+        // Chain link: records we just mirrored arrived outside the serving
+        // side's request path, so its subscribers only see them if we kick
+        // the owner-loop pump ourselves.
+        report_to_->pump_graph(graph_);
+    }
     return remote_.send_ack(applied_seq());
 }
 
-Status Replicator::pump_once() {
+Status Replicator::pump_once(std::int64_t timeout_ms) {
     if (!started_) {
         return Status{StatusCode::InvalidArgument, "replicator not started"};
     }
     Frame f;
-    Status st = client_.recv_shipment(sub_.id, f);
+    Status st = client_.recv_shipment(sub_.id, f, timeout_ms);
     if (!st.ok()) {
         return st;
     }
@@ -148,12 +204,27 @@ Status Replicator::pump_until_current() {
     return Status::success();
 }
 
-Status Replicator::run() {
+Status Replicator::run(std::int64_t heartbeat_ms) {
     for (;;) {
-        Status st = pump_once();
-        if (!st.ok()) {
-            return st;
+        Status st = pump_once(heartbeat_ms > 0 ? heartbeat_ms : -1);
+        if (st.ok()) {
+            continue;
         }
+        if (heartbeat_ms > 0 && st.code == StatusCode::TimedOut) {
+            // Quiet stream: an idle primary and a dead one look identical
+            // from here, so probe with a ping on the same connection —
+            // replies interleave with stream frames via client buffering.
+            const std::uint32_t saved = client_.config().op_timeout_ms;
+            client_.config().op_timeout_ms =
+                static_cast<std::uint32_t>(heartbeat_ms);
+            const Status alive = client_.ping();
+            client_.config().op_timeout_ms = saved;
+            if (alive.ok()) {
+                continue;
+            }
+            return alive;  // the failover trigger
+        }
+        return st;
     }
 }
 

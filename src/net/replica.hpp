@@ -47,6 +47,9 @@ struct ReplicatorOptions {
     /// Durability requested for the remote OpenGraph (255 = server
     /// default). The *local* store's mode comes from its own open.
     std::uint8_t durability = 255;
+    /// When set, the Replicator reports its lag there after every applied
+    /// frame so the serving side's Hello replies carry it.
+    Server* server = nullptr;
 };
 
 class Replicator {
@@ -66,17 +69,23 @@ public:
                                Server::LocalGraph local);
 
     /// Blocks for one shipped frame and applies it. IoError with the
-    /// primary gone; any apply/append violation is returned and the
-    /// stream should be considered dead.
-    [[nodiscard]] Status pump_once();
+    /// primary gone; any apply/append violation is returned and the stream
+    /// should be considered dead. A positive `timeout_ms` bounds the wait:
+    /// TimedOut means "stream quiet", not "stream dead" — the subscription
+    /// stays live and the next pump resumes (even mid-frame).
+    [[nodiscard]] Status pump_once(std::int64_t timeout_ms = -1);
 
     /// Pumps until the last ship frame reports no outstanding seqs
     /// (lag_seqs() == 0). Returns the first error.
     [[nodiscard]] Status pump_until_current();
 
     /// Pumps until the stream dies (primary exit/kill surfaces as
-    /// IoError, which is returned).
-    [[nodiscard]] Status run();
+    /// IoError, which is returned). A positive `heartbeat_ms` turns quiet
+    /// periods into liveness probes: after `heartbeat_ms` without a ship
+    /// frame the primary is pinged on the same connection (replies
+    /// interleave safely with stream frames); a failed probe returns its
+    /// error — that is the failover trigger.
+    [[nodiscard]] Status run(std::int64_t heartbeat_ms = 0);
 
     /// Ends the subscription, reattaches the store's WAL as the graph's
     /// update log, and drops the connection. Idempotent.
@@ -93,6 +102,9 @@ public:
     /// primary committed seq (from the newest ship frame) minus
     /// applied_seq, clamped at 0.
     [[nodiscard]] std::uint64_t lag_seqs() const noexcept;
+    /// Highest term witnessed on this stream (local sidecar at start, then
+    /// Subscribe ack and ship frames). A promotion must exceed it.
+    [[nodiscard]] std::uint64_t term() const noexcept { return term_; }
 
 private:
     [[nodiscard]] Status apply_frame(const Frame& f);
@@ -101,9 +113,12 @@ private:
     RemoteGraph remote_;
     Subscription sub_;
     Server::LocalGraph local_{};
+    Server* report_to_ = nullptr;
+    std::string graph_;  // name on the serving side, for pump_graph
     std::unique_ptr<recover::WalApplier> applier_;
     std::vector<recover::WalRecord> frame_buf_;  // open frame, not yet durable
     std::uint64_t primary_seq_ = 0;
+    std::uint64_t term_ = 0;
     obs::Gauge* lag_gauge_ = nullptr;
     bool started_ = false;
 };

@@ -13,6 +13,7 @@
 #include "engine/algorithms.hpp"
 #include "engine/hybrid_engine.hpp"
 #include "obs/export.hpp"
+#include "recover/term.hpp"
 
 #if defined(__linux__) && !defined(GT_NET_FORCE_POLL)
 #define GT_NET_USE_EPOLL 1
@@ -38,7 +39,8 @@ constexpr std::size_t kShipChunkBytes = 256 * 1024;
 /// Per-record overhead inside a ship frame: u64 seq | u8 type | u32 len.
 constexpr std::size_t kShipRecordOverhead = 13;
 /// Hard ceiling for the records section of one ship frame (the outer
-/// u64 primary_seq | u32 count and the frame header need the rest).
+/// u64 term | u64 primary_seq | u32 count and the frame header need the
+/// rest).
 constexpr std::size_t kShipBudget = kMaxFramePayload - 64;
 
 [[nodiscard]] std::uint64_t now_us() noexcept {
@@ -70,7 +72,8 @@ constexpr std::size_t kShipBudget = kMaxFramePayload - 64;
 [[nodiscard]] bool is_owner_verb(std::uint8_t type) noexcept {
     return needs_exclusive_lock(type) ||
            type == static_cast<std::uint8_t>(MsgType::Subscribe) ||
-           type == static_cast<std::uint8_t>(MsgType::SubAck);
+           type == static_cast<std::uint8_t>(MsgType::SubAck) ||
+           type == static_cast<std::uint8_t>(MsgType::Hello);
 }
 
 [[nodiscard]] bool is_read_verb(std::uint8_t type) noexcept {
@@ -379,6 +382,8 @@ void Server::bind_metrics() {
     wbuf_gauge_ = &r.gauge("net.wbuf_bytes");
     graphs_gauge_ = &r.gauge("net.open_graphs");
     subs_gauge_ = &r.gauge("net.subscribers");
+    role_gauge_ = &r.gauge("net.role");
+    term_gauge_ = &r.gauge("net.term");
 }
 
 void Server::update_gauges() {
@@ -387,8 +392,15 @@ void Server::update_gauges() {
         std::max<long long>(0, wbuf_total_.load())));
     subs_gauge_->set(static_cast<double>(
         std::max<long long>(0, num_subs_.load())));
+    role_gauge_->set(read_only_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
     gt::LockGuard lk(graphs_mu_);
     graphs_gauge_->set(static_cast<double>(graphs_.size()));
+    std::uint64_t max_term = 0;
+    for (const auto& [name, g] : graphs_) {
+        max_term = std::max(
+            max_term, g->term.load(std::memory_order_relaxed));
+    }
+    term_gauge_->set(static_cast<double>(max_term));
 }
 
 Status Server::start(const ServerOptions& options) {
@@ -400,6 +412,7 @@ Status Server::start(const ServerOptions& options) {
     opts_.max_inflight = std::max<std::size_t>(opts_.max_inflight, 1);
     opts_.parse_budget = std::max<std::size_t>(opts_.parse_budget, 1);
     opts_.loop_threads = std::max<std::size_t>(opts_.loop_threads, 1);
+    read_only_.store(opts_.read_only, std::memory_order_relaxed);
     registry_ = opts_.registry;
     if (registry_ == nullptr) {
         owned_registry_ = std::make_unique<obs::Registry>();
@@ -636,6 +649,9 @@ void Server::process_inbox(Loop& loop) {
                 break;
             case LoopMsg::Kind::Unsub:
                 drop_subscriber(m.graph, m.conn_id);
+                break;
+            case LoopMsg::Kind::Pump:
+                pump_subscribers(m.graph);
                 break;
         }
     }
@@ -1003,6 +1019,20 @@ Server::GraphEntry* Server::find_graph(const std::string& name) {
     return it == graphs_.end() ? nullptr : it->second.get();
 }
 
+void Server::pump_graph(const std::string& name) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+        return;
+    }
+    GraphEntry* g = find_graph(name);
+    if (g == nullptr) {
+        return;
+    }
+    LoopMsg m;
+    m.kind = LoopMsg::Kind::Pump;
+    m.graph = g;
+    post(g->owner_loop, std::move(m));
+}
+
 Status Server::open_entry(const std::string& name, std::uint8_t mode,
                           std::uint32_t owner_loop, GraphEntry*& out) {
     gt::LockGuard lk(graphs_mu_);
@@ -1025,11 +1055,43 @@ Status Server::open_entry(const std::string& name, std::uint8_t mode,
     if (Status st = fresh->store.open(dir, dopts, &info); !st.ok()) {
         return st;
     }
+    std::uint64_t term = 0;
+    if (Status st = recover::load_term(dir, term); !st.ok()) {
+        return st;  // a malformed fence must never silently read as 0
+    }
+    fresh->term.store(term, std::memory_order_relaxed);
     fresh->name = name;
     fresh->recovery_source = static_cast<std::uint8_t>(info.source);
     fresh->owner_loop = owner_loop;
     fresh->mode = dopts.mode;
     out = graphs_.emplace(name, std::move(fresh)).first->second.get();
+    return Status::success();
+}
+
+Status Server::promote_local(const std::string& name,
+                             std::uint64_t new_term) {
+    GraphEntry* g = find_graph(name);
+    if (g == nullptr) {
+        return Status{StatusCode::InvalidArgument,
+                      "graph '" + name + "' is not open"};
+    }
+    const std::uint64_t cur = g->term.load(std::memory_order_relaxed);
+    if (new_term <= cur) {
+        return Status{StatusCode::InvalidArgument,
+                      "promotion term " + std::to_string(new_term) +
+                          " does not exceed current term " +
+                          std::to_string(cur),
+                      cur};
+    }
+    // Durable before visible: if we crash here, recovery reads the bumped
+    // term from the sidecar; the reverse order could serve writes under a
+    // term that evaporates on power loss.
+    if (Status st = recover::store_term(g->store.dir(), new_term);
+        !st.ok()) {
+        return st;
+    }
+    g->term.store(new_term, std::memory_order_relaxed);
+    g->stale.store(false, std::memory_order_relaxed);
     return Status::success();
 }
 
@@ -1107,7 +1169,11 @@ void Server::execute(Loop& loop, Conn& conn, const Frame& req) {
                    "graph-scoped payloads start with the graph name");
         return;
     }
-    if (is_owner_verb(req.type) && opts_.read_only) {
+    // Only the *exclusive* verbs are a primary's privilege: a read-only
+    // replica still answers Subscribe/SubAck/Hello, which is what lets it
+    // feed a downstream replica (chains) and report its role.
+    if (needs_exclusive_lock(req.type) &&
+        read_only_.load(std::memory_order_relaxed)) {
         conn_error(conn, req.request_id, WireCode::ReadOnly,
                    "read-only replica; route mutations to the primary");
         return;
@@ -1118,6 +1184,16 @@ void Server::execute(Loop& loop, Conn& conn, const Frame& req) {
                    validate_graph_name(name) ? WireCode::UnknownGraph
                                              : WireCode::BadGraphName,
                    "graph '" + name + "' is not open (OpenGraph first)");
+        return;
+    }
+    // A fenced graph (a higher term exists elsewhere) refuses mutations —
+    // the split-brain guard. Reads stay up: stale data is labeled, not
+    // hidden (Hello reports the fence).
+    if (needs_exclusive_lock(req.type) &&
+        g->stale.load(std::memory_order_relaxed)) {
+        conn_error(conn, req.request_id, WireCode::StaleTerm,
+                   "term " + std::to_string(g->term.load()) +
+                       " is fenced: a higher-term primary exists; find it");
         return;
     }
     if (is_owner_verb(req.type)) {
@@ -1174,9 +1250,15 @@ void Server::execute_owner(GraphEntry* g, std::uint64_t conn_id,
     op.origin_loop = origin_loop;
     op.req = req;
     if (!needs_exclusive_lock(req.type)) {
-        // Subscribe/SubAck: owner-loop-private bookkeeping, no state lock.
+        // Subscribe/SubAck/Hello: owner-loop-private bookkeeping, but held
+        // shared against the state lock — on a chained replica a Replicator
+        // thread appends to the WAL these verbs read (durable_seq, tailer
+        // open) under the exclusive lock.
         Sink sink;
-        execute_owner_op(g, op, sink);
+        {
+            gt::SharedLockGuard lk(g->state_lock);
+            execute_owner_op(g, op, sink);
+        }
         deliver(cur, origin_loop, conn_id, std::move(sink), 1);
         pump_subscribers(g);
         return;
@@ -1287,6 +1369,9 @@ void Server::execute_owner_op(GraphEntry* g, const DeferredOp& op,
         case static_cast<std::uint8_t>(MsgType::SubAck):
             handle_sub_ack(g, op, sink);
             return;
+        case static_cast<std::uint8_t>(MsgType::Hello):
+            handle_hello(g, op, sink);
+            return;
         default:
             emit_error(sink, req.request_id, WireCode::Internal,
                        "non-owner verb routed to the owner loop");
@@ -1294,14 +1379,59 @@ void Server::execute_owner_op(GraphEntry* g, const DeferredOp& op,
     }
 }
 
+void Server::handle_hello(GraphEntry* g, const DeferredOp& op, Sink& sink) {
+    PayloadReader r(op.req.payload);
+    (void)r.str();  // name
+    const std::uint64_t known_term = r.u64();
+    if (!r.ok() || !r.exhausted()) {
+        emit_error(sink, op.req.request_id, WireCode::BadPayload,
+                   "Hello payload: name | u64 known_term");
+        return;
+    }
+    const std::uint64_t cur = g->term.load(std::memory_order_relaxed);
+    if (known_term > cur) {
+        // The caller has witnessed a promotion this server missed: fence
+        // the graph for good. This is exactly how a client that saw the
+        // new primary protects itself from a resurrected old one.
+        g->stale.store(true, std::memory_order_relaxed);
+    }
+    if (g->stale.load(std::memory_order_relaxed)) {
+        emit_error(sink, op.req.request_id, WireCode::StaleTerm,
+                   "term " + std::to_string(cur) + " is fenced (caller knows "
+                       "term " + std::to_string(known_term) +
+                       "); find the current primary");
+        return;
+    }
+    const bool replica = read_only_.load(std::memory_order_relaxed);
+    PayloadWriter w;
+    w.u8(replica ? kRoleReplica : kRolePrimary);
+    w.u64(cur);
+    w.u64(g->mode == recover::DurabilityMode::Off
+              ? 0
+              : g->store.wal().durable_seq());
+    w.u64(replica ? replication_lag_.load(std::memory_order_relaxed) : 0);
+    emit_reply(sink, op.req, w.span());
+}
+
 void Server::handle_subscribe(GraphEntry* g, const DeferredOp& op,
                               Sink& sink) {
     PayloadReader r(op.req.payload);
     (void)r.str();  // name
     const std::uint64_t from_seq = r.u64();
+    const std::uint64_t sub_term = r.u64();
     if (!r.ok() || !r.exhausted()) {
         emit_error(sink, op.req.request_id, WireCode::BadPayload,
-                   "Subscribe payload: name | u64 from_seq");
+                   "Subscribe payload: name | u64 from_seq | u64 term");
+        return;
+    }
+    if (sub_term > g->term.load(std::memory_order_relaxed)) {
+        // A subscriber from a newer history must never be fed ours.
+        g->stale.store(true, std::memory_order_relaxed);
+    }
+    if (g->stale.load(std::memory_order_relaxed)) {
+        emit_error(sink, op.req.request_id, WireCode::StaleTerm,
+                   "term " + std::to_string(g->term.load()) +
+                       " is fenced; subscribe to the current primary");
         return;
     }
     if (g->mode == recover::DurabilityMode::Off) {
@@ -1330,6 +1460,7 @@ void Server::handle_subscribe(GraphEntry* g, const DeferredOp& op,
     PayloadWriter w;
     w.u64(floor);
     w.u64(g->store.wal().durable_seq());
+    w.u64(g->term.load(std::memory_order_relaxed));
     emit_reply(sink, op.req, w.span());
     sink.sub_graph = g;
     Subscriber sub;
@@ -1434,7 +1565,28 @@ void Server::pump_subscribers(GraphEntry* g) {
     if (g->subscribers.empty()) {
         return;
     }
+    // Shared against the graph's state lock: on a chained replica the
+    // Replicator thread appends to this WAL (under the exclusive lock)
+    // while we tail it here — never concurrently, or the tailer could see
+    // a torn record and durable_seq would be read mid-update. Callers on
+    // the exclusive path release the lock before pumping.
+    gt::SharedLockGuard lk(g->state_lock);
     Loop* cur = loops_[g->owner_loop].get();
+    if (g->stale.load(std::memory_order_relaxed)) {
+        // A fenced history must not keep feeding followers: end every
+        // stream loudly so each follower re-subscribes to the new primary.
+        for (Subscriber& sub : g->subscribers) {
+            Sink err;
+            emit_error(err, sub.request_id, WireCode::StaleTerm,
+                       "upstream term " + std::to_string(g->term.load()) +
+                           " is fenced; re-subscribe to the current primary");
+            deliver(cur, sub.origin_loop, sub.conn_id, std::move(err), 0);
+            num_subs_.fetch_sub(1);
+        }
+        g->subscribers.clear();
+        return;
+    }
+    const std::uint64_t term = g->term.load(std::memory_order_relaxed);
     const std::uint64_t primary_seq = g->store.wal().durable_seq();
     auto it = g->subscribers.begin();
     while (it != g->subscribers.end()) {
@@ -1490,7 +1642,7 @@ void Server::pump_subscribers(GraphEntry* g) {
             if (count == 0) {
                 break;  // caught up
             }
-            if (rec_w.span().size() + 12 > kMaxFramePayload) {
+            if (rec_w.span().size() + 20 > kMaxFramePayload) {
                 // A single record larger than a frame can carry cannot be
                 // shipped; the follower must re-seed from a snapshot.
                 Sink err;
@@ -1503,6 +1655,7 @@ void Server::pump_subscribers(GraphEntry* g) {
                 break;
             }
             PayloadWriter w;
+            w.u64(term);
             w.u64(primary_seq);
             w.u32(count);
             w.bytes(rec_w.span());

@@ -88,8 +88,11 @@ struct ServerOptions {
     /// Reader-pool threads for the read-only verbs; 0 runs reads inline on
     /// the connection's loop.
     std::size_t reader_threads = 0;
-    /// Refuse mutation verbs with ReadOnly (warm-replica mode: an external
-    /// feeder owns the store's write side via open_local()).
+    /// Refuse exclusive mutation verbs (Insert/Delete/Checkpoint/Sync) with
+    /// ReadOnly (warm-replica mode: an external feeder owns the store's
+    /// write side via open_local()). Subscribe/SubAck/Hello still serve, so
+    /// a replica can feed downstream replicas (replica chains). Runtime-
+    /// flippable via Server::set_read_only() — that is the promotion path.
     bool read_only = false;
     std::size_t max_conns = 64;
     /// Per-connection cap on unflushed responses + in-flight async ops
@@ -149,6 +152,36 @@ public:
     /// from any thread once start() succeeded.
     [[nodiscard]] Status open_local(const std::string& name, LocalGraph& out);
 
+    /// Runtime read-only flip. Promotion clears it so a warm replica starts
+    /// answering mutations; callable from any thread.
+    void set_read_only(bool read_only) noexcept {
+        read_only_.store(read_only, std::memory_order_relaxed);
+    }
+    [[nodiscard]] bool read_only() const noexcept {
+        return read_only_.load(std::memory_order_relaxed);
+    }
+
+    /// Promotes a served graph to primary under `new_term`: durably records
+    /// the term (sidecar, ratchet-only), adopts it on the entry and clears
+    /// any stale fence. Refuses a term that does not exceed the current
+    /// one. Callable from any thread (the replication watcher's thread in
+    /// practice); pair with set_read_only(false) to start taking writes.
+    [[nodiscard]] Status promote_local(const std::string& name,
+                                       std::uint64_t new_term);
+
+    /// Replication lag (primary durable seq minus locally applied seq) as
+    /// reported by the external feeder; surfaces in Hello replies while the
+    /// server is a replica.
+    void set_replication_lag(std::uint64_t lag) noexcept {
+        replication_lag_.store(lag, std::memory_order_relaxed);
+    }
+
+    /// Ships WAL records appended *outside* the request path (a Replicator
+    /// mirroring an upstream) to this graph's subscribers — the link that
+    /// keeps replica chains flowing live. Safe from any thread: posts to
+    /// the graph's owner loop. No-op for unknown graphs or while stopping.
+    void pump_graph(const std::string& name);
+
 private:
     struct GraphEntry;
     struct Loop;
@@ -203,6 +236,13 @@ private:
         std::deque<DeferredOp> deferred;
         /// Owner-loop-private follower list.
         std::vector<Subscriber> subscribers;
+        /// Primary term this graph's history belongs to (term.gtt sidecar;
+        /// adopted at open, bumped by promote_local).
+        std::atomic<std::uint64_t> term{0};
+        /// Fenced: a Hello/Subscribe proved a higher term exists elsewhere.
+        /// Mutations, new subscriptions and shipping refuse with StaleTerm
+        /// until a promotion (promote_local) clears the fence.
+        std::atomic<bool> stale{false};
     };
 
     /// Cross-thread message into a loop's inbox.
@@ -213,10 +253,11 @@ private:
             Done,     // owner loop / pool -> conn loop: deliver reply bytes
             Retry,    // pool -> owner loop: lock released, drain deferred
             Unsub,    // conn loop -> owner loop: connection went away
+            Pump,     // feeder thread -> owner loop: ship fresh WAL records
         };
         Kind kind = Kind::AdoptFd;
         int fd = -1;                       // AdoptFd
-        GraphEntry* graph = nullptr;       // Exec / Retry / Unsub
+        GraphEntry* graph = nullptr;       // Exec / Retry / Unsub / Pump
         Frame req;                         // Exec
         std::uint32_t origin_loop = 0;     // Exec
         std::uint64_t conn_id = 0;         // Exec / Done / Unsub
@@ -264,6 +305,7 @@ private:
     /// Runs one owner op (state lock held for mutations). Appends replies
     /// to `sink`.
     void execute_owner_op(GraphEntry* g, const DeferredOp& op, Sink& sink);
+    void handle_hello(GraphEntry* g, const DeferredOp& op, Sink& sink);
     void handle_subscribe(GraphEntry* g, const DeferredOp& op, Sink& sink);
     void handle_sub_ack(GraphEntry* g, const DeferredOp& op, Sink& sink);
     void handle_checkpoint(GraphEntry* g, const DeferredOp& op, Sink& sink);
@@ -310,6 +352,9 @@ private:
     Fd wake_w_;
     std::uint16_t port_ = 0;
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> read_only_{false};  // seeded from opts_, flipped by
+                                          // promotion
+    std::atomic<std::uint64_t> replication_lag_{0};
     std::vector<std::unique_ptr<Loop>> loops_;
     std::unique_ptr<ReaderPool> readers_;
     std::uint32_t next_loop_ = 0;  // acceptor round-robin cursor
@@ -343,6 +388,8 @@ private:
     obs::Gauge* wbuf_gauge_ = nullptr;
     obs::Gauge* graphs_gauge_ = nullptr;
     obs::Gauge* subs_gauge_ = nullptr;
+    obs::Gauge* role_gauge_ = nullptr;  // 0 primary, 1 replica
+    obs::Gauge* term_gauge_ = nullptr;  // max term across open graphs
 };
 
 }  // namespace gt::net

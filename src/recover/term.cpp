@@ -1,0 +1,132 @@
+#include "recover/term.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace gt::recover {
+
+namespace {
+
+constexpr std::uint32_t kTermMagic = 0x4754544DU;  // "GTTM" little-endian
+constexpr std::uint32_t kTermVersion = 1;
+
+std::string term_path(const std::string& dir) { return dir + "/term.gtt"; }
+
+Status errno_status(const std::string& what) {
+    return Status{StatusCode::IoError, what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+Status load_term(const std::string& dir, std::uint64_t& term) {
+    term = 0;
+    const std::string path = term_path(dir);
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (errno == ENOENT) {
+            return Status::success();  // never promoted: term 0
+        }
+        return errno_status("open('" + path + "')");
+    }
+    unsigned char buf[sizeof(kTermMagic) + sizeof(kTermVersion) +
+                      sizeof(std::uint64_t)];
+    ssize_t got = 0;
+    for (;;) {
+        got = ::read(fd, buf, sizeof(buf));
+        if (got >= 0 || errno != EINTR) {
+            break;
+        }
+    }
+    ::close(fd);
+    if (got != static_cast<ssize_t>(sizeof(buf))) {
+        return Status{StatusCode::IoError,
+                      "term file '" + path + "' is truncated"};
+    }
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::memcpy(&magic, buf, sizeof(magic));
+    std::memcpy(&version, buf + 4, sizeof(version));
+    if (magic != kTermMagic) {
+        return Status{StatusCode::IoError,
+                      "term file '" + path + "' has a bad magic"};
+    }
+    if (version != kTermVersion) {
+        return Status{StatusCode::IoError,
+                      "term file '" + path + "' has unsupported version " +
+                          std::to_string(version)};
+    }
+    std::memcpy(&term, buf + 8, sizeof(term));
+    return Status::success();
+}
+
+Status store_term(const std::string& dir, std::uint64_t term) {
+    std::uint64_t current = 0;
+    if (const Status st = load_term(dir, current); !st.ok()) {
+        return st;
+    }
+    if (term < current) {
+        return Status{StatusCode::InvalidArgument,
+                      "refusing to lower term " + std::to_string(current) +
+                          " to " + std::to_string(term),
+                      current};
+    }
+    if (term == current && term != 0) {
+        return Status::success();  // already durable at this term
+    }
+    const std::string path = term_path(dir);
+    const std::string tmp = path + ".tmp";
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        return errno_status("open('" + tmp + "')");
+    }
+    unsigned char buf[sizeof(kTermMagic) + sizeof(kTermVersion) +
+                      sizeof(term)];
+    std::memcpy(buf, &kTermMagic, sizeof(kTermMagic));
+    std::memcpy(buf + 4, &kTermVersion, sizeof(kTermVersion));
+    std::memcpy(buf + 8, &term, sizeof(term));
+    std::size_t off = 0;
+    while (off < sizeof(buf)) {
+        const ssize_t put = ::write(fd, buf + off, sizeof(buf) - off);
+        if (put > 0) {
+            off += static_cast<std::size_t>(put);
+            continue;
+        }
+        if (put < 0 && errno == EINTR) {
+            continue;
+        }
+        if (put == 0) {
+            errno = ENOSPC;
+        }
+        const Status st = errno_status("write('" + tmp + "')");
+        ::close(fd);
+        return st;
+    }
+    if (::fsync(fd) != 0) {
+        const Status st = errno_status("fsync('" + tmp + "')");
+        ::close(fd);
+        return st;
+    }
+    ::close(fd);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        return errno_status("rename('" + tmp + "')");
+    }
+    // Fence the rename itself: a promotion must not evaporate on power
+    // loss, or a resurrected stale primary could win the next election.
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+        return errno_status("open('" + dir + "') for fsync");
+    }
+    const int rc = ::fsync(dfd);
+    ::close(dfd);
+    if (rc != 0) {
+        return errno_status("fsync('" + dir + "')");
+    }
+    return Status::success();
+}
+
+}  // namespace gt::recover

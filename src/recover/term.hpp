@@ -1,0 +1,37 @@
+// Primary-term sidecar — the durable fencing token for failover.
+//
+// A *term* is a monotonically increasing u64 naming which primary's history
+// a graph directory belongs to. Every promotion bumps it; the gt.net.v1
+// protocol carries it on Hello / Subscribe / ship frames so a partitioned
+// old primary (lower term) can never overwrite or ship into a promoted
+// replica (higher term) — the split-brain fence.
+//
+// The term deliberately lives *beside* the WAL, not inside it: replication
+// mirrors WAL bytes verbatim (`WalWriter::append_frame`), and the WAL
+// file/record headers are frozen by the wal-layout lint rule against the
+// golden byte test. A sidecar keeps the primary's and replica's logs
+// byte-identical across a promotion while still making the term crash-
+// durable (written tmp + fsync + rename + dir fsync, the snapshot
+// rotation's discipline).
+//
+// File format (<dir>/term.gtt): "GTTM" magic | u32 version (1) | u64 term,
+// all little-endian. A missing file reads as term 0 — every pre-failover
+// directory is term 0 by definition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace gt::recover {
+
+/// Reads the term recorded in `dir`. Missing file => term 0, Ok. A present
+/// but malformed file is an error — fencing must never silently regress.
+[[nodiscard]] Status load_term(const std::string& dir, std::uint64_t& term);
+
+/// Crash-atomically records `term` in `dir`. Refuses (InvalidArgument) to
+/// lower a previously recorded term: the fence only ratchets up.
+[[nodiscard]] Status store_term(const std::string& dir, std::uint64_t term);
+
+}  // namespace gt::recover

@@ -100,6 +100,21 @@ void crossed(const char* site) {
     }
 }
 
+bool check(const char* site) noexcept {
+    Registry& r = registry();
+    const LockGuard lock(r.mu);
+    const auto it = r.sites.find(site);
+    if (it == r.sites.end() || it->second.countdown == 0) {
+        return false;
+    }
+    ++it->second.hits;
+    if (--it->second.countdown == 0) {
+        g_armed.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
 }  // namespace detail
 
 }  // namespace gt::fail

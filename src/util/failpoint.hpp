@@ -58,6 +58,11 @@ namespace detail {
 /// Slow path of GT_FAILPOINT: decrements `site`'s countdown and throws
 /// InjectedFault when it reaches zero. Called only when any_armed().
 void crossed(const char* site);
+
+/// Slow path of GT_FAILPOINT_HIT: same countdown bookkeeping as crossed(),
+/// but reports the firing as a return value instead of throwing — the form
+/// noexcept code (the net io layer) uses to mutate a syscall outcome.
+[[nodiscard]] bool check(const char* site) noexcept;
 }  // namespace detail
 
 /// Marks a fail-point site. Near-zero cost when nothing is armed.
@@ -65,6 +70,11 @@ inline void failpoint(const char* site) {
     if (any_armed()) {
         detail::crossed(site);
     }
+}
+
+/// Non-throwing site marker: true exactly when the armed countdown fires.
+[[nodiscard]] inline bool failpoint_hit(const char* site) noexcept {
+    return any_armed() && detail::check(site);
 }
 
 /// RAII arm/disarm for tests.
@@ -86,3 +96,7 @@ private:
 
 /// Site marker macro — reads as a statement at the injection site.
 #define GT_FAILPOINT(site) ::gt::fail::failpoint(site)
+
+/// Non-throwing site marker — reads as a condition: the branch taken when
+/// it fires simulates the failure in place (errno, short count, ...).
+#define GT_FAILPOINT_HIT(site) ::gt::fail::failpoint_hit(site)

@@ -16,9 +16,21 @@
 
 namespace gt::fail {
 
-inline constexpr std::array<std::string_view, 4> kKnownSites = {
+inline constexpr std::array<std::string_view, 12> kKnownSites = {
     "cal.grow",    // src/core/cal.cpp — CAL block allocation during append
     "eba.grow",    // src/core/edgeblock_array.cpp — edgeblock pool growth
+    "net.client.drop_frame",  // src/net/client.cpp — a decoded reply frame
+                              // vanishes (lost response; resend path)
+    "net.connect.stall",      // src/net/io.cpp — connect to a host that
+                              // never answers the SYN (deadline path)
+    "net.recv.eintr",         // src/net/io.cpp — EINTR storm inside recv
+    "net.recv.reset",         // src/net/io.cpp — ECONNRESET on recv
+    "net.recv.stall",         // src/net/io.cpp — peer accepts then goes
+                              // silent mid-frame (deadline path)
+    "net.send.eintr",         // src/net/io.cpp — EINTR storm inside send
+    "net.send.reset",         // src/net/io.cpp — ECONNRESET on send
+    "net.send.short",         // src/net/io.cpp — kernel takes one byte
+                              // (partial-send reassembly)
     "wal.commit",  // src/recover/wal.cpp — commit-record write/fsync
     "wal.stage",   // src/recover/wal.cpp — payload staging write
 };

@@ -32,6 +32,10 @@ enum class StatusCode : std::uint8_t {
     IoError,            // read/write/fsync/rename on the underlying file
     WouldDeadlock,      // refused: completing the call would self-deadlock
                         // (e.g. draining a shard the caller holds pinned)
+    TimedOut,           // a deadline-bounded operation ran out of time
+                        // (net io deadlines; retryable at the caller's
+                        // discretion — the operation may have partially
+                        // happened on the other side)
 
     // ---- snapshot save/load (core/serialize.hpp) -----------------------
     SnapshotBadMagic,           // leading magic is not "GTSB"
@@ -70,6 +74,7 @@ enum class StatusCode : std::uint8_t {
         case StatusCode::FaultInjected: return "fault_injected";
         case StatusCode::IoError: return "io_error";
         case StatusCode::WouldDeadlock: return "would_deadlock";
+        case StatusCode::TimedOut: return "timed_out";
         case StatusCode::SnapshotBadMagic: return "snapshot_bad_magic";
         case StatusCode::SnapshotBadVersion: return "snapshot_bad_version";
         case StatusCode::SnapshotTruncatedHeader:

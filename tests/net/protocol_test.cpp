@@ -293,5 +293,21 @@ TEST(Protocol, SubscriptionWireConstants) {
     EXPECT_EQ(f.request_id, 42U);
 }
 
+TEST(Protocol, FailoverWireConstants) {
+    // The failover additions are frozen the same way: Hello's type value,
+    // the StaleTerm code and the role bytes cross binary versions.
+    EXPECT_EQ(static_cast<std::uint8_t>(MsgType::Hello), 16);
+    EXPECT_EQ(static_cast<std::uint16_t>(WireCode::StaleTerm), 18);
+    EXPECT_EQ(kRolePrimary, 0);
+    EXPECT_EQ(kRoleReplica, 1);
+    // StaleTerm must never be retried as-is on the same server: the term
+    // fence is permanent until a newer primary is found. (The client may
+    // still *fail over* to another endpoint — that is not a retry.)
+    EXPECT_FALSE(retryable(WireCode::StaleTerm));
+    const Status st = status_of_wire(WireCode::StaleTerm, "fenced");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.detail, static_cast<std::uint64_t>(WireCode::StaleTerm));
+}
+
 }  // namespace
 }  // namespace gt::net

@@ -360,8 +360,8 @@ class RawSocketIoRule(unittest.TestCase):
     def test_qualified_wrappers_not_matched(self):
         diags = lint_tree({
             "src/net/client.cpp":
-                "void f() { net::send_all(fd, buf); send_some(fd, p, n, "
-                "m); }\n",
+                "void f() { net::send_all(fd, buf, deadline); "
+                "send_some(fd, p, n, m); }\n",
         })
         self.assertEqual(diags, [])
 
@@ -437,6 +437,69 @@ class ClientVerbSurfaceRule(unittest.TestCase):
                 '    (void)client.sync("g");  '
                 "// gt-lint: allow(client-verb-surface) shim deprecation "
                 "test\n"
+                "}\n",
+        })
+        self.assertEqual(diags, [])
+
+
+class DeadlineDisciplineRule(unittest.TestCase):
+    def test_raw_connect_and_accept_flagged(self):
+        diags = lint_tree({
+            "src/net/client.cpp":
+                "void f(int fd, sockaddr* a) {\n"
+                "    ::connect(fd, a, sizeof *a);\n"
+                "    int c = ::accept(fd, nullptr, nullptr);\n"
+                "}\n",
+        })
+        self.assertEqual(rules_fired(diags), {"deadline-discipline"})
+        self.assertEqual(len(diags), 2)
+        self.assertIn("tcp_connect", diags[0].message)
+
+    def test_unbounded_blocking_call_flagged(self):
+        diags = lint_tree({
+            "src/net/client.cpp":
+                "void f(int fd) { (void)recv_exact(fd, p, n); }\n",
+        })
+        self.assertEqual(rules_fired(diags), {"deadline-discipline"})
+        self.assertIn("unbounded", diags[0].message)
+
+    def test_deadline_argument_satisfies_the_rule(self):
+        diags = lint_tree({
+            "src/net/client.cpp":
+                "void f(int fd) {\n"
+                "    (void)send_all(fd, buf, Deadline::after(ms));\n"
+                "    (void)recv_exact(fd, p, n, op_deadline());\n"
+                '    (void)tcp_connect("h", 1, fd, connect_timeout);\n'
+                "}\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_deadline_on_continuation_line_is_seen(self):
+        diags = lint_tree({
+            "src/net/client.cpp":
+                "void f(int fd) {\n"
+                "    (void)send_all(fd, buf,\n"
+                "                   deadline);\n"
+                "}\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_io_implementation_and_non_net_code_exempt(self):
+        diags = lint_tree({
+            # io.cpp IS the deadline machinery; a benchmark's accept(4)
+            # helper is out of scope.
+            "src/net/io.cpp":
+                "void f(int fd, sockaddr* a) { ::connect(fd, a, 4); }\n",
+            "bench/harness.cpp":
+                "void g(int fd) { ::accept(fd, nullptr, nullptr); }\n",
+        })
+        self.assertEqual(diags, [])
+
+    def test_suppression_with_reason_waives(self):
+        diags = lint_tree({
+            "src/net/probe.cpp":
+                "void f(int fd) { (void)send_all(fd, b); "
+                "// gt-lint: allow(deadline-discipline) shutdown path\n"
                 "}\n",
         })
         self.assertEqual(diags, [])

@@ -49,12 +49,17 @@
 //   gt remote-bfs <host:port> <graph> <root> <target...>
 //                                                BFS hop counts, serverside
 //   gt remote-stats <host:port> <graph>          gt.obs.v1 JSON snapshot
-//   gt remote-torture-write <host:port> <graph> <seed> [steps]
+//   gt remote-torture-write <host:port> <graph> <seed> [steps] [first]
 //                                                torture workload over the
 //                                                wire — kill the *server*
 //                                                mid-stream, then verify
 //                                                <root>/<graph> offline
-//                                                with gt torture-verify
+//                                                with gt torture-verify.
+//                                                [first] resumes the same
+//                                                stream mid-way (steps
+//                                                first..steps), for failover
+//                                                drills that finish a stream
+//                                                against the promoted node
 //
 // <file> may be a plain edge list ("src dst [weight]" lines) or a Matrix
 // Market .mtx file (detected by extension). "-" reads stdin as an edge list.
@@ -121,12 +126,16 @@ int usage() {
                  " [--loops N] [--readers N]\n"
                  "  gt replicate <root> <primary host:port> <graph> "
                  "[--host H] [--port N] [--once]\n"
-                 "  gt ping <host:port> [count]\n"
-                 "  gt remote-load <host:port> <graph> <file> [batch]\n"
-                 "  gt remote-bfs <host:port> <graph> <root> <target...>\n"
-                 "  gt remote-stats <host:port> <graph>\n"
-                 "  gt remote-torture-write <host:port> <graph> <seed> "
-                 "[steps]\n"
+                 "      [--promote-on-failure] [--heartbeat-ms N]\n"
+                 "  gt ping <host:port[,...]> [count] [--graph G] "
+                 "[--min-term N]\n"
+                 "  gt remote-load <host:port[,...]> <graph> <file> "
+                 "[batch]\n"
+                 "  gt remote-bfs <host:port[,...]> <graph> <root> "
+                 "<target...>\n"
+                 "  gt remote-stats <host:port[,...]> <graph>\n"
+                 "  gt remote-torture-write <host:port[,...]> <graph> "
+                 "<seed> [steps] [first]\n"
                  "datasets: ");
     for (const DatasetSpec& spec : table1_datasets()) {
         std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -695,16 +704,37 @@ bool parse_hostport(const std::string& hostport, std::string& host,
     return true;
 }
 
-/// "host:port" → Client::connect, usage() on malformed input.
-int remote_connect(const std::string& hostport, net::Client& client) {
-    std::string host;
-    std::uint16_t port = 0;
-    if (!parse_hostport(hostport, host, port)) {
-        std::fprintf(stderr, "error: expected host:port, got '%s'\n",
-                     hostport.c_str());
+/// "host:port[,host:port...]" → endpoint list; false on malformed input.
+bool parse_endpoints(const std::string& spec,
+                     std::vector<net::Endpoint>& out) {
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) {
+            comma = spec.size();
+        }
+        net::Endpoint ep;
+        if (!parse_hostport(spec.substr(pos, comma - pos), ep.host,
+                            ep.port)) {
+            return false;
+        }
+        out.push_back(std::move(ep));
+        pos = comma + 1;
+    }
+    return !out.empty();
+}
+
+/// "host:port[,host:port...]" → Client::connect, usage() on malformed
+/// input. With more than one endpoint the client fails over between them.
+int remote_connect(const std::string& spec, net::Client& client) {
+    std::vector<net::Endpoint> endpoints;
+    if (!parse_endpoints(spec, endpoints)) {
+        std::fprintf(stderr,
+                     "error: expected host:port[,host:port...], got '%s'\n",
+                     spec.c_str());
         return usage();
     }
-    if (const Status st = client.connect(host, port); !st.ok()) {
+    if (const Status st = client.connect(std::move(endpoints)); !st.ok()) {
         std::fprintf(stderr, "connect: %s\n", st.to_string().c_str());
         return 1;
     }
@@ -746,6 +776,8 @@ int cmd_replicate(int argc, char** argv) {
     const std::string primary = argv[1];
     const std::string graph = argv[2];
     bool once = false;
+    bool promote = false;
+    std::int64_t heartbeat_ms = 0;
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--host" && i + 1 < argc) {
@@ -755,19 +787,28 @@ int cmd_replicate(int argc, char** argv) {
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--once") {
             once = true;
+        } else if (arg == "--promote-on-failure") {
+            promote = true;
+        } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+            heartbeat_ms = static_cast<std::int64_t>(
+                std::strtoll(argv[++i], nullptr, 10));
         } else {
             return usage();
         }
     }
+    if (promote && heartbeat_ms <= 0) {
+        heartbeat_ms = 500;  // failover needs liveness probes to trigger
+    }
     net::ReplicatorOptions ropts;
     ropts.graph = graph;
+    net::Server server;
+    ropts.server = &server;  // Hello replies carry replication.lag_seqs
     if (!parse_hostport(primary, ropts.host, ropts.port)) {
         std::fprintf(stderr, "error: expected host:port, got '%s'\n",
                      primary.c_str());
         return usage();
     }
     std::signal(SIGPIPE, SIG_IGN);
-    net::Server server;
     if (const Status st = server.start(options); !st.ok()) {
         std::fprintf(stderr, "replicate: %s\n", st.to_string().c_str());
         return 1;
@@ -816,13 +857,16 @@ int cmd_replicate(int argc, char** argv) {
                     static_cast<unsigned long long>(rep.applied_seq()));
         std::fflush(stdout);
         if (!once) {
-            const Status st2 = rep.run();
+            const Status st2 = rep.run(heartbeat_ms);
             std::fprintf(stderr, "replicate: stream ended: %s\n",
                          st2.to_string().c_str());
             stream_ended = true;
         }
     }
     const std::uint64_t final_seq = rep.applied_seq();
+    // A promotion must exceed every term this replica has witnessed —
+    // capture it before close() (which resets the stream, not the term).
+    const std::uint64_t new_term = rep.term() + 1;
     // Detach the feeder while the serving side is still up — only then may
     // the handler (or we) stop the server, whose teardown closes stores.
     g_replica_upstream_fd.store(-1, std::memory_order_relaxed);
@@ -830,10 +874,31 @@ int cmd_replicate(int argc, char** argv) {
     g_server = &server;
     if (stream_ended && rc == 0 &&
         !g_replica_stop.load(std::memory_order_relaxed)) {
-        // The primary went away; keep answering reads until SIGTERM.
-        std::printf("serving committed prefix seq=%llu (SIGTERM to exit)\n",
+        if (promote) {
+            // rep.close() above reattached the WAL as the graph's update
+            // log, so mutations accepted from here on are durable.
+            if (const Status st = server.promote_local(graph, new_term);
+                !st.ok()) {
+                std::fprintf(stderr, "replicate: promote: %s\n",
+                             st.to_string().c_str());
+                rc = 1;
+            } else {
+                server.set_read_only(false);
+                // Scripts grep for this exact line.
+                std::printf(
+                    "promoted to primary term=%llu seq=%llu "
+                    "(SIGTERM to exit)\n",
+                    static_cast<unsigned long long>(new_term),
                     static_cast<unsigned long long>(final_seq));
-        std::fflush(stdout);
+                std::fflush(stdout);
+            }
+        } else {
+            // The primary went away; keep answering reads until SIGTERM.
+            std::printf(
+                "serving committed prefix seq=%llu (SIGTERM to exit)\n",
+                static_cast<unsigned long long>(final_seq));
+            std::fflush(stdout);
+        }
     }
     if (once || rc != 0 ||
         g_replica_stop.load(std::memory_order_relaxed)) {
@@ -852,15 +917,33 @@ int cmd_ping(int argc, char** argv) {
     if (argc < 1) {
         return usage();
     }
-    const std::uint64_t count =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+    std::uint64_t count = 1;
+    std::string graph;
+    std::uint64_t min_term = 0;
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') {
+        count = std::strtoull(argv[i++], nullptr, 10);
+    }
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--graph" && i + 1 < argc) {
+            graph = argv[++i];
+        } else if (arg == "--min-term" && i + 1 < argc) {
+            min_term = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            return usage();
+        }
+    }
     net::Client client;
+    // Seed the fencing floor before any graph traffic: the Hello carries
+    // it, so a server left behind by a promotion answers StaleTerm.
+    client.observe_term(min_term);
     if (const int rc = remote_connect(argv[0], client); rc != 0) {
         return rc;
     }
     const unsigned char probe[] = {'g', 't', '?'};
     Timer timer;
-    for (std::uint64_t i = 0; i < count; ++i) {
+    for (std::uint64_t n = 0; n < count; ++n) {
         if (const Status st = client.ping(probe); !st.ok()) {
             std::fprintf(stderr, "ping: %s\n", st.to_string().c_str());
             return 1;
@@ -870,6 +953,28 @@ int cmd_ping(int argc, char** argv) {
     std::printf("%llu pings ok, %.1f us/rtt\n",
                 static_cast<unsigned long long>(count),
                 total_us / static_cast<double>(count == 0 ? 1 : count));
+    if (graph.empty()) {
+        return 0;
+    }
+    net::RemoteGraph g;
+    if (const Status st = client.open(graph, g); !st.ok()) {
+        std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
+        return 1;
+    }
+    net::HelloInfo info;
+    if (const Status st = g.hello(info); !st.ok()) {
+        const bool stale =
+            static_cast<net::WireCode>(st.detail) == net::WireCode::StaleTerm;
+        std::fprintf(stderr, "hello: %s%s\n", stale ? "stale_term: " : "",
+                     st.to_string().c_str());
+        return 1;
+    }
+    // Scripts grep these fields; keep the key=value shape stable.
+    std::printf("role=%s term=%llu durable_seq=%llu lag=%llu\n",
+                info.role == net::kRoleReplica ? "replica" : "primary",
+                static_cast<unsigned long long>(info.term),
+                static_cast<unsigned long long>(info.durable_seq),
+                static_cast<unsigned long long>(info.lag_seqs));
     return 0;
 }
 
@@ -979,7 +1084,10 @@ int cmd_remote_stats(int argc, char** argv) {
 /// DurableStore: same deterministic batches, same marker edges, so a
 /// server killed mid-stream leaves a directory `gt torture-verify` can
 /// check offline. Retryable Busy shedding is handled here (bounded retry)
-/// because the point of the exercise is to outrun the server.
+/// because the point of the exercise is to outrun the server. Given a
+/// comma-separated endpoint list the client fails over mid-stream — the
+/// failover drill kills the primary under this writer and expects the
+/// stream to finish against the promoted replica.
 int cmd_remote_torture_write(int argc, char** argv) {
     if (argc < 3) {
         return usage();
@@ -988,6 +1096,8 @@ int cmd_remote_torture_write(int argc, char** argv) {
     const std::uint64_t seed = std::strtoull(argv[2], nullptr, 10);
     const std::uint64_t max_steps =
         argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
+    const std::uint64_t first_step =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
     net::Client client;
     if (const int rc = remote_connect(argv[0], client); rc != 0) {
         return rc;
@@ -997,7 +1107,7 @@ int cmd_remote_torture_write(int argc, char** argv) {
         std::fprintf(stderr, "open: %s\n", st.to_string().c_str());
         return 1;
     }
-    for (std::uint64_t step = 0; step < max_steps; ++step) {
+    for (std::uint64_t step = first_step; step < max_steps; ++step) {
         const std::vector<Edge> batch = recover::torture_step_batch(
             seed, step, kTortureEdgesPerStep, kTortureVertices);
         const bool is_delete = recover::torture_step_is_delete(step);

@@ -255,7 +255,7 @@ class FailpointRegistryRule(Rule):
 
     name = "failpoint-registry"
     registry_path = Path("src/util/failpoint_registry.hpp")
-    _site = re.compile(r"GT_FAILPOINT\(\s*\"([^\"]+)\"\s*\)")
+    _site = re.compile(r"GT_FAILPOINT(?:_HIT)?\(\s*\"([^\"]+)\"\s*\)")
     _entry = re.compile(r"^\s*\"([^\"]+)\"\s*,")
 
     def _sites(self, files: dict[Path, SourceFile],
@@ -594,6 +594,7 @@ class ClientVerbSurfaceRule(Rule):
     _transport = frozenset({
         "connect", "close", "connected", "native_handle", "open", "ping",
         "send_request", "recv_reply", "recv_shipment",
+        "config", "highest_term", "observe_term",
     })
     # `Client c;` / `net::Client& c` / `gt::net::Client* c` declarations —
     # the variable is what we then track call sites of.
@@ -625,6 +626,64 @@ class ClientVerbSurfaceRule(Rule):
                     "Client::open() and call the verb on it")
 
 
+class DeadlineDisciplineRule(Rule):
+    """Every blocking socket call in src/net/ must carry a deadline.
+
+    The failover client's liveness guarantee ("never blocks forever on a
+    stalled or half-open peer") holds only if no call site quietly falls
+    back to an unbounded wait. Inside src/net/ (io.* excluded — it is the
+    implementation):
+
+    * raw `::connect(` / `::accept(` are banned outright — tcp_connect
+      carries the nonblocking-connect deadline machinery and accept_retry
+      the EINTR loop; going around them reintroduces the kernel's
+      SYN-retransmit minutes;
+    * a `send_all(` / `recv_exact(` / `tcp_connect(` call whose argument
+      list names nothing deadline-shaped (deadline/Deadline/timeout/
+      budget) is relying on the defaulted unbounded Deadline — spell the
+      bound (or pass an explicitly-constructed unbounded one) so the
+      choice is visible in review.
+    """
+
+    name = "deadline-discipline"
+    _io_files = (Path("src/net/io.hpp"), Path("src/net/io.cpp"))
+    _banned = re.compile(r"(?<![:\w])::\s*(?P<fn>connect|accept)\s*\(")
+    _bounded = re.compile(
+        r"\b(?P<fn>send_all|recv_exact|tcp_connect)\s*\(")
+    _deadline_token = re.compile(r"deadline|Deadline|timeout|budget")
+
+    def check_tree(self, files: dict[Path, SourceFile],
+                   root: Path) -> Iterator[Diagnostic]:
+        io_paths = {root / p for p in self._io_files}
+        net_dir = root / "src/net"
+        for f in files.values():
+            if f.path in io_paths or net_dir not in f.path.parents:
+                continue
+            for no, code in enumerate(f.code, start=1):
+                if f.suppressed(no, self.name):
+                    continue
+                for m in self._banned.finditer(code):
+                    yield self.diag(
+                        f, no,
+                        f"raw ::{m.group('fn')}() in src/net/ — use "
+                        "tcp_connect (deadline-bounded nonblocking "
+                        "connect) or accept_retry instead")
+                if not self._bounded.search(code):
+                    continue
+                # The deadline argument may sit on the call line or wrap
+                # onto the next one — check both before flagging.
+                window = code + " " + (
+                    f.code[no] if no < len(f.code) else "")
+                if self._deadline_token.search(window):
+                    continue
+                fn = self._bounded.search(code).group("fn")
+                yield self.diag(
+                    f, no,
+                    f"{fn}() without a deadline argument — the default "
+                    "is an unbounded wait; pass a Deadline (or name the "
+                    "timeout) so a stalled peer cannot wedge this path")
+
+
 RULES: list[Rule] = [
     RawMutexRule(),
     TxnNoThrowRule(),
@@ -634,6 +693,7 @@ RULES: list[Rule] = [
     ShardFlushBeforeReadRule(),
     RawSocketIoRule(),
     ClientVerbSurfaceRule(),
+    DeadlineDisciplineRule(),
 ]
 
 _CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}

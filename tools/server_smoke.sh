@@ -17,6 +17,12 @@
 #                              survives kill -9 of the primary, and its own
 #                              directory torture-verifies as a committed
 #                              prefix
+#   7. automatic failover      gt replicate --promote-on-failure detects the
+#                              primary's death, bumps the term and goes
+#                              read-write; an endpoint-list client finishes
+#                              the torture stream against the promoted node;
+#                              the result torture-verifies; the resurrected
+#                              old primary is fenced by gt ping --min-term
 #
 # usage: server_smoke.sh [path-to-gt]
 set -u
@@ -31,9 +37,13 @@ fi
 WORK="$(mktemp -d /tmp/gt_server_smoke.XXXXXX)"
 SERVER_PID=""
 REPLICA_PID=""
+REPLICA2_PID=""
 cleanup() {
-    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
-    [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null
+    for pid in "$SERVER_PID" "$REPLICA_PID" "$REPLICA2_PID"; do
+        [ -n "$pid" ] || continue
+        kill -9 "$pid" 2>/dev/null
+        wait "$pid" 2>/dev/null  # reap so bash does not print "Killed"
+    done
     rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -154,4 +164,81 @@ REPLICA_PID=""
 "$GT" torture-verify "$WORK/replica/crashme2" "$SEED" \
     || fail "replica holds a wrong or uncommitted torture prefix"
 
-echo "PASS: server smoke (load/query, restart, kill -9 recovery, replica)"
+# --- phase 7: automatic failover with term fencing --------------------------
+start_server  # reboot the primary once more on the same root
+RPORT2=$(( PORT + 2 ))
+TOTAL_STEPS=120
+PREFIX_STEPS=60
+# First half of the stream lands on the primary before the replica attaches.
+"$GT" remote-torture-write "127.0.0.1:$PORT" crashme3 "$SEED" \
+        "$PREFIX_STEPS" > "$WORK/torture3.log" 2>&1 \
+    || fail "phase-7 torture prefix failed"
+
+"$GT" replicate "$WORK/replica2" "127.0.0.1:$PORT" crashme3 \
+        --port "$RPORT2" --promote-on-failure --heartbeat-ms 200 \
+    > "$WORK/replica2.log" 2>&1 &
+REPLICA2_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "lag=0" "$WORK/replica2.log" 2>/dev/null && break
+    kill -0 "$REPLICA2_PID" 2>/dev/null \
+        || fail "promotable replica died before catch-up"
+    sleep 0.1
+done
+grep -q "lag=0" "$WORK/replica2.log" \
+    || fail "promotable replica never reported lag=0"
+
+# Drain before the kill: replication is asynchronous, so a batch the primary
+# acked but had not yet shipped dies with it — and a client that then resumes
+# mid-stream would punch a hole in the replica's prefix. Wait until the
+# replica's durable_seq matches the (now idle) primary's.
+pseq=$("$GT" ping "127.0.0.1:$PORT" 1 --graph crashme3 \
+        | sed -n 's/.*durable_seq=\([0-9]*\).*/\1/p')
+[ -n "$pseq" ] || fail "could not read the primary's durable_seq"
+rseq=""
+for _ in $(seq 1 100); do
+    rseq=$("$GT" ping "127.0.0.1:$RPORT2" 1 --graph crashme3 \
+            | sed -n 's/.*durable_seq=\([0-9]*\).*/\1/p')
+    [ "$rseq" = "$pseq" ] && break
+    sleep 0.1
+done
+[ "$rseq" = "$pseq" ] \
+    || fail "replica never drained to the primary's durable_seq ($rseq vs $pseq)"
+
+# Murder the primary; the replica's heartbeat probe must notice, bump the
+# term, and flip itself read-write.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+for _ in $(seq 1 150); do
+    grep -q "promoted to primary term=" "$WORK/replica2.log" && break
+    kill -0 "$REPLICA2_PID" 2>/dev/null \
+        || fail "replica died instead of promoting"
+    sleep 0.1
+done
+grep -q "promoted to primary term=" "$WORK/replica2.log" \
+    || fail "replica did not auto-promote after the primary's death"
+NEW_TERM=$(sed -n 's/.*promoted to primary term=\([0-9]*\).*/\1/p' \
+    "$WORK/replica2.log")
+
+# The endpoint-list client lists the dead primary first — it must fail over
+# to the promoted node and finish the exact same torture stream.
+"$GT" remote-torture-write "127.0.0.1:$PORT,127.0.0.1:$RPORT2" crashme3 \
+        "$SEED" "$TOTAL_STEPS" "$PREFIX_STEPS" > "$WORK/torture3b.log" 2>&1 \
+    || fail "endpoint-list client could not finish the stream after failover"
+
+kill -TERM "$REPLICA2_PID"
+wait "$REPLICA2_PID" || fail "promoted replica exited nonzero on SIGTERM"
+REPLICA2_PID=""
+"$GT" torture-verify "$WORK/replica2/crashme3" "$SEED" \
+    || fail "promoted replica holds a wrong or uncommitted torture prefix"
+
+# Resurrect the old primary on its old root: a client that witnessed the new
+# term must refuse to trust it (split-brain fence).
+start_server
+"$GT" ping "127.0.0.1:$PORT" 1 --graph crashme3 --min-term "$NEW_TERM" \
+    > "$WORK/fence.out" 2>&1
+grep -q "stale_term" "$WORK/fence.out" \
+    || fail "resurrected old primary was not fenced by --min-term"
+
+echo "PASS: server smoke (load/query, restart, kill -9 recovery, replica," \
+     "failover)"
